@@ -1,0 +1,173 @@
+//! Kronecker (R-MAT) edge generation, Graph 500 style.
+//!
+//! Every edge is generated independently from a counter-based PRNG
+//! (splitmix64 of `(seed, edge index, level)`), so any rank can generate
+//! any slice of the edge list deterministically with no communication and
+//! no shared RNG state — matching how the reference implementation
+//! parallelizes generation.
+
+/// R-MAT quadrant probabilities from the Graph 500 specification.
+const A: f64 = 0.57;
+const B: f64 = 0.19;
+const C: f64 = 0.19;
+// D = 0.05 (the remainder).
+
+/// splitmix64: a small, high-quality counter-based generator.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0,1) from a hash.
+#[inline]
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generate the `idx`-th edge of a scale-`scale` Kronecker graph.
+pub fn edge(seed: u64, scale: u32, idx: u64) -> (u64, u64) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    for level in 0..scale {
+        let h = splitmix64(seed ^ splitmix64(idx ^ (level as u64) << 32 | level as u64));
+        let r = unit(h);
+        let (ubit, vbit) = if r < A {
+            (0, 0)
+        } else if r < A + B {
+            (0, 1)
+        } else if r < A + B + C {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        u = (u << 1) | ubit;
+        v = (v << 1) | vbit;
+    }
+    // Graph 500 scrambles vertex ids to break the generator's locality.
+    (scramble(u, seed, scale), scramble(v, seed, scale))
+}
+
+/// Permute a vertex id within [0, 2^scale) (a cheap Feistel-style mix).
+fn scramble(v: u64, seed: u64, scale: u32) -> u64 {
+    let mask = (1u64 << scale) - 1;
+    let mut x = v;
+    for round in 0..3u64 {
+        x ^= splitmix64(seed ^ (round << 48) ^ (x >> (scale / 2))) & mask;
+        x = (x.rotate_left(scale / 2 + 1)) & mask;
+    }
+    x & mask
+}
+
+/// The vertex owner under block 1-D partitioning.
+#[inline]
+pub fn owner(v: u64, num_vertices: u64, ranks: usize) -> usize {
+    let per = num_vertices.div_ceil(ranks as u64);
+    (v / per) as usize
+}
+
+/// The local index of `v` on its owner.
+#[inline]
+pub fn local_index(v: u64, num_vertices: u64, ranks: usize) -> usize {
+    let per = num_vertices.div_ceil(ranks as u64);
+    (v % per) as usize
+}
+
+/// Vertex range `[lo, hi)` owned by `rank`.
+pub fn owned_range(rank: usize, num_vertices: u64, ranks: usize) -> (u64, u64) {
+    let per = num_vertices.div_ceil(ranks as u64);
+    let lo = (rank as u64 * per).min(num_vertices);
+    let hi = ((rank as u64 + 1) * per).min(num_vertices);
+    (lo, hi)
+}
+
+/// Pick the `i`-th BFS root: a vertex with at least one edge (probed
+/// deterministically).
+pub fn bfs_root(seed: u64, scale: u32, edgefactor: u32, i: u64) -> u64 {
+    let n = 1u64 << scale;
+    let m = n * edgefactor as u64;
+    // Sample edges until one has distinct endpoints; use its source.
+    let mut probe = splitmix64(seed ^ 0x526f_6f74_0000_0000 ^ i);
+    loop {
+        let e = probe % m;
+        let (u, v) = edge(seed, scale, e);
+        if u != v {
+            return u;
+        }
+        probe = splitmix64(probe);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for idx in [0u64, 1, 999, 123_456] {
+            assert_eq!(edge(42, 16, idx), edge(42, 16, idx));
+        }
+        assert_ne!(edge(42, 16, 0), edge(43, 16, 0));
+    }
+
+    #[test]
+    fn edges_stay_in_range() {
+        let scale = 10;
+        let n = 1u64 << scale;
+        for idx in 0..5_000 {
+            let (u, v) = edge(7, scale, idx);
+            assert!(u < n && v < n, "edge {idx} = ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn rmat_skew_produces_hubs() {
+        // R-MAT graphs are highly skewed: the max degree must far exceed
+        // the average.
+        let scale = 10;
+        let n = 1usize << scale;
+        let m = (n * 8) as u64;
+        let mut deg = vec![0u32; n];
+        for idx in 0..m {
+            let (u, v) = edge(1, scale, idx);
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let avg = 2.0 * m as f64 / n as f64;
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max > 5.0 * avg, "max degree {max} vs avg {avg} — not skewed enough");
+    }
+
+    #[test]
+    fn ownership_partitions_every_vertex_exactly_once() {
+        let n = 1000u64;
+        for ranks in [1usize, 3, 7, 16] {
+            let mut counts = vec![0u64; ranks];
+            for v in 0..n {
+                let o = owner(v, n, ranks);
+                assert!(o < ranks);
+                let (lo, hi) = owned_range(o, n, ranks);
+                assert!(v >= lo && v < hi);
+                assert_eq!(local_index(v, n, ranks) as u64, v - lo);
+                counts[o] += 1;
+            }
+            assert_eq!(counts.iter().sum::<u64>(), n);
+        }
+    }
+
+    #[test]
+    fn roots_are_valid_and_distinct_enough() {
+        let mut roots = Vec::new();
+        for i in 0..8 {
+            let r = bfs_root(99, 10, 8, i);
+            assert!(r < 1 << 10);
+            roots.push(r);
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        assert!(roots.len() >= 4, "roots collapsed: {roots:?}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Parent-tree validation (Graph 500 kernel 2 verification).
+//!
+//! Parent arrays are gathered to rank 0, which regenerates the edge list
+//! and checks the Graph 500 validation rules:
+//!
+//! 1. the root's parent is itself;
+//! 2. every other visited vertex has a visited parent and a real edge to
+//!    it;
+//! 3. parent chains terminate at the root (no cycles);
+//! 4. connectivity: each edge's endpoints are either both visited or both
+//!    unvisited (BFS covers the root's whole component).
+//!
+//! This is a test-scale verifier (it centralizes the tree); the figure
+//! harness disables it for its largest runs.
+
+use std::collections::HashSet;
+
+use cmpi_core::Mpi;
+
+use super::bfs::NO_PARENT;
+use super::generator::edge;
+use super::{bfs::LocalGraph, Graph500Config};
+
+/// Padding marker for the gather of unequal local slices.
+const PAD: u64 = u64::MAX - 1;
+
+/// Gather the distributed parent array and validate on rank 0; the
+/// verdict is broadcast so every rank returns the same bool.
+pub fn validate(
+    mpi: &mut Mpi,
+    cfg: &Graph500Config,
+    g: &LocalGraph,
+    root: u64,
+    parent: &[u64],
+) -> bool {
+    let n = cfg.num_vertices();
+    let per = n.div_ceil(mpi.size() as u64) as usize;
+    let mut padded = parent.to_vec();
+    padded.resize(per, PAD);
+    debug_assert_eq!(g.local_n(), parent.len());
+    let gathered = mpi.gather(&padded, 0);
+    let ok = if let Some(all) = gathered {
+        let full: Vec<u64> = all.into_iter().filter(|&x| x != PAD).collect();
+        check_tree(cfg, root, &full) as u64
+    } else {
+        0
+    };
+    let mut verdict = [ok];
+    mpi.bcast(&mut verdict, 0);
+    verdict[0] == 1
+}
+
+/// Rank 0's sequential check of the assembled parent array.
+pub fn check_tree(cfg: &Graph500Config, root: u64, parent: &[u64]) -> bool {
+    let n = cfg.num_vertices() as usize;
+    if parent.len() != n {
+        return false;
+    }
+    let ri = root as usize;
+    if parent[ri] != root {
+        return false;
+    }
+    // Regenerate the edge set (undirected, normalized).
+    let mut edges: HashSet<(u64, u64)> = HashSet::new();
+    for idx in 0..cfg.num_edges() {
+        let (u, v) = edge(cfg.seed, cfg.scale, idx);
+        if u != v {
+            edges.insert((u.min(v), u.max(v)));
+        }
+    }
+    // Rule 2: tree edges are real edges.
+    for (v, &p) in parent.iter().enumerate() {
+        if p == NO_PARENT || v == ri {
+            continue;
+        }
+        if p as usize >= n || parent[p as usize] == NO_PARENT {
+            return false;
+        }
+        let key = ((v as u64).min(p), (v as u64).max(p));
+        if !edges.contains(&key) {
+            return false;
+        }
+    }
+    // Rule 3: chains terminate at the root. Memoized walk.
+    let mut state = vec![0u8; n]; // 0 unknown, 1 in-progress, 2 ok
+    state[ri] = 2;
+    for v in 0..n {
+        if parent[v] == NO_PARENT {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = v;
+        while state[cur] == 0 {
+            state[cur] = 1;
+            path.push(cur);
+            cur = parent[cur] as usize;
+            if state[cur] == 1 {
+                return false; // cycle
+            }
+        }
+        if state[cur] != 2 {
+            return false;
+        }
+        for x in path {
+            state[x] = 2;
+        }
+    }
+    // Rule 4: component coverage.
+    for &(u, v) in &edges {
+        let uv = parent[u as usize] != NO_PARENT;
+        let vv = parent[v as usize] != NO_PARENT;
+        if uv != vv {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> Graph500Config {
+        Graph500Config { scale: 6, edgefactor: 8, ..Default::default() }
+    }
+
+    /// Sequential reference BFS over the regenerated edge list.
+    fn reference_parents(cfg: &Graph500Config, root: u64) -> Vec<u64> {
+        let n = cfg.num_vertices() as usize;
+        let mut adj = vec![Vec::new(); n];
+        for idx in 0..cfg.num_edges() {
+            let (u, v) = edge(cfg.seed, cfg.scale, idx);
+            if u != v {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+        }
+        let mut parent = vec![NO_PARENT; n];
+        parent[root as usize] = root;
+        let mut q = std::collections::VecDeque::from([root as usize]);
+        while let Some(u) = q.pop_front() {
+            for &v in &adj[u] {
+                if parent[v as usize] == NO_PARENT {
+                    parent[v as usize] = u as u64;
+                    q.push_back(v as usize);
+                }
+            }
+        }
+        parent
+    }
+
+    #[test]
+    fn reference_tree_validates() {
+        let cfg = tiny_cfg();
+        let root = super::super::generator::bfs_root(cfg.seed, cfg.scale, cfg.edgefactor, 0);
+        let parent = reference_parents(&cfg, root);
+        assert!(check_tree(&cfg, root, &parent));
+    }
+
+    #[test]
+    fn corrupted_trees_are_rejected() {
+        let cfg = tiny_cfg();
+        let root = super::super::generator::bfs_root(cfg.seed, cfg.scale, cfg.edgefactor, 0);
+        let good = reference_parents(&cfg, root);
+
+        // Wrong root parent.
+        let mut bad = good.clone();
+        bad[root as usize] = NO_PARENT;
+        assert!(!check_tree(&cfg, root, &bad));
+
+        // A fabricated edge: point some visited vertex at a non-neighbor.
+        let mut bad = good.clone();
+        let victim = (0..bad.len())
+            .find(|&v| v as u64 != root && bad[v] != NO_PARENT && bad[v] != (v as u64 + 1) % 7)
+            .unwrap();
+        // Parent it to a vertex at distance "random"; ensure no real edge.
+        let mut fake = None;
+        for cand in 0..bad.len() as u64 {
+            if cand != victim as u64 && bad[cand as usize] != NO_PARENT {
+                let cfg2 = tiny_cfg();
+                let mut edges = HashSet::new();
+                for idx in 0..cfg2.num_edges() {
+                    let (u, v) = edge(cfg2.seed, cfg2.scale, idx);
+                    edges.insert((u.min(v), u.max(v)));
+                }
+                let key = ((victim as u64).min(cand), (victim as u64).max(cand));
+                if !edges.contains(&key) {
+                    fake = Some(cand);
+                    break;
+                }
+            }
+        }
+        if let Some(f) = fake {
+            bad[victim] = f;
+            assert!(!check_tree(&cfg, root, &bad));
+        }
+
+        // A 2-cycle between visited vertices.
+        let mut bad = good.clone();
+        let a = (0..bad.len())
+            .find(|&v| v as u64 != root && bad[v] != NO_PARENT)
+            .unwrap();
+        let p = bad[a] as usize;
+        if p != root as usize {
+            bad[p] = a as u64;
+            assert!(!check_tree(&cfg, root, &bad));
+        }
+
+        // Wrong length.
+        assert!(!check_tree(&cfg, root, &good[..good.len() - 1]));
+    }
+}

@@ -1,0 +1,79 @@
+//! EP — embarrassingly parallel random-number statistics.
+//!
+//! Each rank generates its disjoint slice of Gaussian pairs via the
+//! Marsaglia polar method over a counter-based PRNG, tallies annulus
+//! counts, and the job ends with one small allreduce — NPB's
+//! communication-free baseline (the flat bars of Fig. 12).
+
+use cmpi_cluster::SimTime;
+use cmpi_core::{Mpi, ReduceOp};
+
+use super::NpbClass;
+use crate::graph500::generator::splitmix64;
+
+fn log2_pairs(class: NpbClass) -> u32 {
+    match class {
+        NpbClass::S => 15,
+        NpbClass::W => 17,
+        NpbClass::A => 19,
+    }
+}
+
+/// Modelled cost per sampled pair, ns (EP is compute-bound).
+const NS_PER_PAIR: u64 = 400;
+
+fn unit(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Run EP; returns (verified, timed-section span).
+pub fn run(mpi: &mut Mpi, class: NpbClass) -> (bool, SimTime) {
+    let total: u64 = 1 << log2_pairs(class);
+    let ranks = mpi.size() as u64;
+    let rank = mpi.rank() as u64;
+    let per = total.div_ceil(ranks);
+    let lo = (rank * per).min(total);
+    let hi = ((rank + 1) * per).min(total);
+
+    mpi.barrier();
+    let t0 = mpi.now();
+    let mut sx = 0.0f64;
+    let mut sy = 0.0f64;
+    let mut counts = [0u64; 10];
+    let mut accepted = 0u64;
+    for i in lo..hi {
+        let a = unit(splitmix64(0xE9 ^ i * 2)) * 2.0 - 1.0;
+        let b = unit(splitmix64(0xE9 ^ (i * 2 + 1))) * 2.0 - 1.0;
+        let t = a * a + b * b;
+        if t <= 1.0 && t > 0.0 {
+            let f = (-2.0 * t.ln() / t).sqrt();
+            let (x, y) = (a * f, b * f);
+            sx += x;
+            sy += y;
+            let m = x.abs().max(y.abs()) as usize;
+            if m < counts.len() {
+                counts[m] += 1;
+            }
+            accepted += 1;
+        }
+    }
+    mpi.compute_items(hi - lo, NS_PER_PAIR);
+
+    // The single communication step: global sums.
+    let sums = mpi.allreduce(&[sx, sy], ReduceOp::Sum);
+    let gcounts = mpi.allreduce(&counts, ReduceOp::Sum);
+    let gaccepted = mpi.allreduce(&[accepted], ReduceOp::Sum)[0];
+    let span = mpi.now() - t0;
+
+    // Verification: acceptance rate near pi/4, annulus counts total the
+    // accepted pairs, moments of the standard normal are small.
+    let rate = gaccepted as f64 / total as f64;
+    let counted: u64 = gcounts.iter().sum();
+    let mean_x = sums[0] / gaccepted as f64;
+    let mean_y = sums[1] / gaccepted as f64;
+    let verified = (rate - std::f64::consts::FRAC_PI_4).abs() < 0.02
+        && counted == gaccepted
+        && mean_x.abs() < 0.05
+        && mean_y.abs() < 0.05;
+    (verified, span)
+}

@@ -1,0 +1,250 @@
+//! FT — distributed FFT with global transposes.
+//!
+//! Reduced-dimension FT: a 2-D complex FFT over an `n1 × n2` array,
+//! row-distributed. Each pass FFTs the local rows, then the array is
+//! transposed with `alltoall` — the signature communication pattern of
+//! NPB FT (the paper's most alltoall-heavy workload). Verification is
+//! exact: forward transform followed by inverse must reproduce the
+//! original field to round-off.
+
+use cmpi_cluster::SimTime;
+use cmpi_core::Mpi;
+
+use super::NpbClass;
+use crate::graph500::generator::splitmix64;
+
+fn dims(class: NpbClass) -> (usize, usize, usize) {
+    // (n1, n2, iterations) — both powers of two.
+    match class {
+        NpbClass::S => (64, 64, 2),
+        NpbClass::W => (128, 128, 2),
+        NpbClass::A => (256, 256, 3),
+    }
+}
+
+/// Modelled cost per butterfly, ns.
+const NS_PER_BUTTERFLY: u64 = 6;
+
+/// In-place radix-2 complex FFT (`inverse` flips the twiddle sign and
+/// scales by 1/n).
+pub fn fft(re: &mut [f64], im: &mut [f64], inverse: bool) {
+    let n = re.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            re.swap(i, j);
+            im.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let (wr, wi) = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let (mut cr, mut ci) = (1.0f64, 0.0f64);
+            for k in 0..len / 2 {
+                let (ur, ui) = (re[i + k], im[i + k]);
+                let (vr, vi) = (
+                    re[i + k + len / 2] * cr - im[i + k + len / 2] * ci,
+                    re[i + k + len / 2] * ci + im[i + k + len / 2] * cr,
+                );
+                re[i + k] = ur + vr;
+                im[i + k] = ui + vi;
+                re[i + k + len / 2] = ur - vr;
+                im[i + k + len / 2] = ui - vi;
+                let ncr = cr * wr - ci * wi;
+                ci = cr * wi + ci * wr;
+                cr = ncr;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv = 1.0 / n as f64;
+        for x in re.iter_mut() {
+            *x *= inv;
+        }
+        for x in im.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Distributed transpose of a row-distributed `n1 × n2` array (rows of
+/// length `n2`, `rows_per` rows per rank) into the row-distributed
+/// transpose (`n2 × n1`).
+fn transpose(
+    mpi: &mut Mpi,
+    re: &[f64],
+    im: &[f64],
+    n2: usize,
+    rows_per: usize,
+) -> (Vec<f64>, Vec<f64>) {
+    let p = mpi.size();
+    let cols_per = n2 / p;
+    // Pack interleaved (re, im) blocks destined for each peer: peer `d`
+    // receives columns [d*cols_per, (d+1)*cols_per) of my rows.
+    let block = rows_per * cols_per;
+    let mut sendbuf = vec![0.0f64; 2 * block * p];
+    for d in 0..p {
+        for r in 0..rows_per {
+            for c in 0..cols_per {
+                let src = r * n2 + d * cols_per + c;
+                let dst = d * 2 * block + (r * cols_per + c) * 2;
+                sendbuf[dst] = re[src];
+                sendbuf[dst + 1] = im[src];
+            }
+        }
+    }
+    mpi.compute_items((rows_per * n2) as u64, 2);
+    let recvbuf = mpi.alltoall(&sendbuf, 2 * block);
+    // Unpack: my transposed rows are the old columns I own; their length
+    // is n1 = rows_per * p.
+    let n1 = rows_per * p;
+    let mut tre = vec![0.0f64; cols_per * n1];
+    let mut tim = vec![0.0f64; cols_per * n1];
+    for s in 0..p {
+        for r in 0..rows_per {
+            for c in 0..cols_per {
+                let src = s * 2 * block + (r * cols_per + c) * 2;
+                // Column c (global row c + rank*cols_per of the transpose),
+                // element index s*rows_per + r.
+                let dst = c * n1 + s * rows_per + r;
+                tre[dst] = recvbuf[src];
+                tim[dst] = recvbuf[src + 1];
+            }
+        }
+    }
+    mpi.compute_items((cols_per * n1) as u64, 2);
+    (tre, tim)
+}
+
+/// Run FT; returns (verified, timed-section span).
+pub fn run(mpi: &mut Mpi, class: NpbClass) -> (bool, SimTime) {
+    let (mut n1, mut n2, iters) = dims(class);
+    let p = mpi.size();
+    // The pencil decomposition needs both dimensions divisible by the
+    // rank count; grow the grid to the next power of two >= p when a
+    // large job outgrows the class size (mirrors how NPB pins class to
+    // rank-count ranges).
+    let min_dim = p.next_power_of_two();
+    n1 = n1.max(min_dim);
+    n2 = n2.max(min_dim);
+    assert!(n1 % p == 0 && n2 % p == 0, "FT grid must divide the rank count");
+    let rows_per = n1 / p;
+    let rank = mpi.rank();
+
+    // Deterministic complex field.
+    let mut re = vec![0.0f64; rows_per * n2];
+    let mut im = vec![0.0f64; rows_per * n2];
+    for r in 0..rows_per {
+        for c in 0..n2 {
+            let h = splitmix64(((rank * rows_per + r) as u64) << 32 | c as u64);
+            re[r * n2 + c] = (h >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            im[r * n2 + c] = ((splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+        }
+    }
+    let orig_re = re.clone();
+    let orig_im = im.clone();
+
+    mpi.barrier();
+    let t0 = mpi.now();
+    let mut verified = true;
+    for _ in 0..iters {
+        // Forward: FFT rows (length n2), transpose, FFT rows (length n1),
+        // transpose back.
+        for pass in 0..2 {
+            let width = if pass == 0 { n2 } else { n1 };
+            let rows = re.len() / width;
+            for r in 0..rows {
+                fft(&mut re[r * width..(r + 1) * width], &mut im[r * width..(r + 1) * width], false);
+            }
+            mpi.compute_items((rows * width * width.trailing_zeros() as usize) as u64, NS_PER_BUTTERFLY);
+            let rp = if pass == 0 { rows_per } else { n2 / p };
+            let w = if pass == 0 { n2 } else { n1 };
+            let (tre, tim) = transpose(mpi, &re, &im, w, rp);
+            re = tre;
+            im = tim;
+        }
+        // Inverse: same dance with inverse FFTs.
+        for pass in 0..2 {
+            let width = if pass == 0 { n2 } else { n1 };
+            let rows = re.len() / width;
+            for r in 0..rows {
+                fft(&mut re[r * width..(r + 1) * width], &mut im[r * width..(r + 1) * width], true);
+            }
+            mpi.compute_items((rows * width * width.trailing_zeros() as usize) as u64, NS_PER_BUTTERFLY);
+            let rp = if pass == 0 { rows_per } else { n2 / p };
+            let w = if pass == 0 { n2 } else { n1 };
+            let (tre, tim) = transpose(mpi, &re, &im, w, rp);
+            re = tre;
+            im = tim;
+        }
+        // Round trip must reproduce the original field.
+        let err = re
+            .iter()
+            .zip(&orig_re)
+            .chain(im.iter().zip(&orig_im))
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        verified &= err < 1e-9;
+    }
+    let span = mpi.now() - t0;
+    (verified, span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_roundtrip_identity() {
+        let n = 64;
+        let re0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let im0: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+        let mut re = re0.clone();
+        let mut im = im0.clone();
+        fft(&mut re, &mut im, false);
+        fft(&mut re, &mut im, true);
+        for i in 0..n {
+            assert!((re[i] - re0[i]).abs() < 1e-10);
+            assert!((im[i] - im0[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut re = vec![0.0; 16];
+        let mut im = vec![0.0; 16];
+        re[0] = 1.0;
+        fft(&mut re, &mut im, false);
+        for i in 0..16 {
+            assert!((re[i] - 1.0).abs() < 1e-12);
+            assert!(im[i].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_parseval_energy_preserved() {
+        let n = 128usize;
+        let re0: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let im0 = vec![0.0f64; n];
+        let e0: f64 = re0.iter().map(|x| x * x).sum();
+        let mut re = re0;
+        let mut im = im0;
+        fft(&mut re, &mut im, false);
+        let e1: f64 = re.iter().zip(&im).map(|(r, i)| r * r + i * i).sum::<f64>() / n as f64;
+        assert!((e0 - e1).abs() < 1e-8, "{e0} vs {e1}");
+    }
+}

@@ -1,0 +1,173 @@
+//! MG — multigrid V-cycles with nearest-neighbour halo exchange.
+//!
+//! A 1-D (z) decomposition of an `n × n × nz` grid solving a Poisson-like
+//! smoothing problem: each V-cycle smooths on a hierarchy of coarsened
+//! grids, exchanging boundary planes with the two z-neighbours at every
+//! level — NPB MG's defining pattern of many small-to-medium
+//! `sendrecv`s. Verification: smoothing is a contraction, so the residual
+//! against the (known) uniform fixed point must decrease every cycle.
+
+use cmpi_cluster::SimTime;
+use cmpi_core::{Mpi, ReduceOp};
+
+use super::NpbClass;
+use crate::graph500::generator::splitmix64;
+
+fn dims(class: NpbClass) -> (usize, usize, usize) {
+    // (n, planes per rank at the finest level, v-cycles)
+    match class {
+        NpbClass::S => (16, 4, 2),
+        NpbClass::W => (32, 4, 3),
+        NpbClass::A => (64, 8, 3),
+    }
+}
+
+/// Modelled cost per grid point per smoothing pass, ns.
+const NS_PER_POINT: u64 = 9;
+
+struct Level {
+    n: usize,
+    planes: usize,
+    field: Vec<f64>,
+}
+
+/// Run MG; returns (verified, timed-section span).
+pub fn run(mpi: &mut Mpi, class: NpbClass) -> (bool, SimTime) {
+    let (n0, planes0, cycles) = dims(class);
+    let p = mpi.size();
+    let rank = mpi.rank();
+
+    // Finest level: deterministic field.
+    let finest: Vec<f64> = (0..planes0 * n0 * n0)
+        .map(|i| {
+            let h = splitmix64(((rank * planes0 * n0 * n0 + i) as u64) ^ 0x4D47);
+            (h >> 11) as f64 / (1u64 << 53) as f64
+        })
+        .collect();
+
+    mpi.barrier();
+    let t0 = mpi.now();
+    let mut field = finest;
+    let mut verified = true;
+    let mut prev = deviation(mpi, &field);
+    for _ in 0..cycles {
+        v_cycle(mpi, &mut field, n0, planes0, rank, p);
+        let dev = deviation(mpi, &field);
+        verified &= dev.is_finite() && dev <= prev + 1e-12;
+        prev = dev;
+    }
+    let span = mpi.now() - t0;
+    (verified, span)
+}
+
+/// Global squared deviation from the global mean (the smoothing residual).
+fn deviation(mpi: &mut Mpi, field: &[f64]) -> f64 {
+    let sums = mpi.allreduce(&[field.iter().sum::<f64>(), field.len() as f64], ReduceOp::Sum);
+    let mean = sums[0] / sums[1];
+    let dev: f64 = field.iter().map(|x| (x - mean) * (x - mean)).sum();
+    mpi.allreduce(&[dev], ReduceOp::Sum)[0]
+}
+
+/// One V-cycle: smooth, restrict (coarsen in-plane), smooth, ...,
+/// then prolong back up with post-smoothing.
+fn v_cycle(mpi: &mut Mpi, field: &mut Vec<f64>, n0: usize, planes: usize, rank: usize, p: usize) {
+    // Build the level hierarchy by in-plane coarsening (z-extent and the
+    // decomposition stay fixed, like NPB MG's per-process z-pencils).
+    let mut levels: Vec<Level> = vec![Level { n: n0, planes, field: std::mem::take(field) }];
+    while levels.last().unwrap().n > 4 {
+        let last = levels.last().unwrap();
+        let nc = last.n / 2;
+        let mut coarse = vec![0.0f64; last.planes * nc * nc];
+        for z in 0..last.planes {
+            for i in 0..nc {
+                for j in 0..nc {
+                    let f = |ii: usize, jj: usize| last.field[z * last.n * last.n + ii * last.n + jj];
+                    coarse[z * nc * nc + i * nc + j] = 0.25
+                        * (f(2 * i, 2 * j) + f(2 * i + 1, 2 * j) + f(2 * i, 2 * j + 1)
+                            + f(2 * i + 1, 2 * j + 1));
+                }
+            }
+        }
+        mpi.compute_items((last.planes * nc * nc) as u64, 4);
+        levels.push(Level { n: nc, planes: last.planes, field: coarse });
+    }
+    // Smooth down the hierarchy (restriction already applied), then back
+    // up with prolongation + post-smoothing.
+    for lvl in levels.iter_mut() {
+        smooth(mpi, lvl, rank, p);
+    }
+    for k in (0..levels.len() - 1).rev() {
+        let (fine, coarse) = {
+            let (a, b) = levels.split_at_mut(k + 1);
+            (&mut a[k], &b[0])
+        };
+        // Prolong: blend the coarse correction into the fine grid.
+        let nf = fine.n;
+        let nc = coarse.n;
+        for z in 0..fine.planes {
+            for i in 0..nf {
+                for j in 0..nf {
+                    let c = coarse.field[z * nc * nc + (i / 2).min(nc - 1) * nc + (j / 2).min(nc - 1)];
+                    let x = &mut fine.field[z * nf * nf + i * nf + j];
+                    *x = 0.5 * (*x + c);
+                }
+            }
+        }
+        mpi.compute_items((fine.planes * nf * nf) as u64, 3);
+        smooth(mpi, fine, rank, p);
+    }
+    *field = std::mem::take(&mut levels[0].field);
+}
+
+/// One smoothing pass with halo exchange of boundary planes.
+fn smooth(mpi: &mut Mpi, lvl: &mut Level, rank: usize, p: usize) {
+    let n = lvl.n;
+    let plane = n * n;
+    // Exchange boundary planes with z-neighbours (non-periodic).
+    let up = if rank + 1 < p { Some(rank + 1) } else { None };
+    let down = if rank > 0 { Some(rank - 1) } else { None };
+    let top: Vec<f64> = lvl.field[(lvl.planes - 1) * plane..].to_vec();
+    let bottom: Vec<f64> = lvl.field[..plane].to_vec();
+    let mut halo_down = bottom.clone();
+    let mut halo_up = top.clone();
+    // Send top up / receive from below, then send bottom down / receive
+    // from above, with sendrecv to stay deadlock-free.
+    match (up, down) {
+        (Some(u), Some(d)) => {
+            mpi.sendrecv(&top, u, 60 + n as u32, &mut halo_down, d, 60 + n as u32);
+            mpi.sendrecv(&bottom, d, 80 + n as u32, &mut halo_up, u, 80 + n as u32);
+        }
+        (Some(u), None) => {
+            mpi.send(&top, u, 60 + n as u32);
+            mpi.recv(&mut halo_up, u, 80 + n as u32);
+        }
+        (None, Some(d)) => {
+            mpi.recv(&mut halo_down, d, 60 + n as u32);
+            mpi.send(&bottom, d, 80 + n as u32);
+        }
+        (None, None) => {}
+    }
+    // Jacobi-ish smoothing with the halos as z-neighbours.
+    let old = lvl.field.clone();
+    for z in 0..lvl.planes {
+        let below: &[f64] = if z == 0 { &halo_down } else { &old[(z - 1) * plane..z * plane] };
+        let above: &[f64] = if z + 1 == lvl.planes {
+            &halo_up
+        } else {
+            &old[(z + 1) * plane..(z + 2) * plane]
+        };
+        for i in 0..n {
+            for j in 0..n {
+                let idx = i * n + j;
+                let c = old[z * plane + idx];
+                let w = if j > 0 { old[z * plane + idx - 1] } else { c };
+                let e = if j + 1 < n { old[z * plane + idx + 1] } else { c };
+                let no = if i > 0 { old[z * plane + idx - n] } else { c };
+                let s = if i + 1 < n { old[z * plane + idx + n] } else { c };
+                lvl.field[z * plane + idx] =
+                    (2.0 * c + w + e + no + s + below[idx] + above[idx]) / 8.0;
+            }
+        }
+    }
+    mpi.compute_items((lvl.planes * plane) as u64, NS_PER_POINT);
+}

@@ -1,0 +1,138 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! figures [--fig 1|3a|3bc|7a|7b|7c|8|9|10|11|12] [--table 1]
+//!         [--ablations] [--all] [--full] [--csv DIR]
+//! ```
+//!
+//! Without `--full` the CI-sized effort is used (seconds per figure);
+//! `--full` switches to the paper-shaped deployment (256 ranks, scale-16
+//! graphs) and takes minutes.
+
+use std::io::Write;
+
+use cmpi_bench::{experiments as ex, Effort, Table};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures [--fig <id>]... [--table 1] [--ablations] [--all] [--full] [--csv DIR]\n\
+         \x20  figure ids: 1 3a 3bc 7a 7b 7c 8 9 10 11 12"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut figs: Vec<String> = Vec::new();
+    let mut tables: Vec<String> = Vec::new();
+    let mut ablations = false;
+    let mut all = false;
+    let mut full = false;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fig" => {
+                figs.push(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--table" => {
+                tables.push(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--ablations" => {
+                ablations = true;
+                i += 1;
+            }
+            "--all" => {
+                all = true;
+                i += 1;
+            }
+            "--full" => {
+                full = true;
+                i += 1;
+            }
+            "--csv" => {
+                csv_dir = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    if figs.is_empty() && tables.is_empty() && !ablations && !all {
+        all = true;
+    }
+    let e = if full { Effort::full() } else { Effort::quick() };
+    eprintln!(
+        "# effort: graph scale {}, {} ranks on the cluster deployment{}",
+        e.graph_scale,
+        cmpi_cluster::DeploymentScenario::collective_256(e.hosts_div).num_ranks(),
+        if full { " (--full)" } else { "" }
+    );
+
+    let mut out: Vec<Table> = Vec::new();
+    let want = |id: &str, figs: &[String]| all || figs.iter().any(|f| f == id);
+    if want("1", &figs) {
+        out.push(ex::fig01(&e));
+    }
+    if want("3a", &figs) {
+        out.push(ex::fig03a(&e));
+    }
+    if want("3bc", &figs) {
+        let (a, b) = ex::fig03bc(&e);
+        out.push(a);
+        out.push(b);
+    }
+    if all || tables.iter().any(|t| t == "1") {
+        out.push(ex::table1(&e));
+    }
+    if want("7a", &figs) {
+        out.push(ex::fig07a(&e));
+    }
+    if want("7b", &figs) {
+        out.push(ex::fig07b(&e));
+    }
+    if want("7c", &figs) {
+        out.push(ex::fig07c(&e));
+    }
+    if want("8", &figs) {
+        out.extend(ex::fig08(&e));
+    }
+    if want("9", &figs) {
+        out.extend(ex::fig09(&e));
+    }
+    if want("10", &figs) {
+        out.extend(ex::fig10(&e));
+    }
+    if want("11", &figs) {
+        out.push(ex::fig11(&e));
+    }
+    if want("12", &figs) {
+        out.push(ex::fig12(&e));
+    }
+    if ablations || all {
+        out.push(ex::ablation_namespaces(&e));
+        out.push(ex::ablation_smp_collectives(&e));
+        out.push(ex::ext_pgas(&e));
+    }
+
+    for t in &out {
+        println!("{t}");
+    }
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        for t in &out {
+            let name: String = t
+                .title
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                .collect::<String>()
+                .trim_matches('_')
+                .to_lowercase();
+            let path = format!("{dir}/{name}.csv");
+            let mut f = std::fs::File::create(&path).expect("create csv");
+            f.write_all(t.to_csv().as_bytes()).expect("write csv");
+            eprintln!("wrote {path}");
+        }
+    }
+}

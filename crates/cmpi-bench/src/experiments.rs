@@ -1,0 +1,643 @@
+//! The per-figure experiment drivers.
+
+use cmpi_apps::graph500::{self, Graph500Config};
+use cmpi_apps::npb::{self, Kernel, NpbClass};
+use cmpi_cluster::{Channel, DeploymentScenario, NamespaceSharing, SimTime, Tunables};
+use cmpi_core::{CallClass, JobSpec, LocalityPolicy};
+use cmpi_osu::collective::{self, CollOp};
+use cmpi_osu::{onesided, power_of_two_sizes, pt2pt};
+
+use crate::table::Table;
+
+/// How hard to run the experiments.
+#[derive(Clone, Copy, Debug)]
+pub struct Effort {
+    /// Graph 500 scale (paper: 20).
+    pub graph_scale: u32,
+    /// BFS roots per run (paper: 64).
+    pub roots: usize,
+    /// Divisor on the 16-host collective deployment (1 = the paper's 256
+    /// ranks, 4 = 64 ranks).
+    pub hosts_div: u32,
+    /// Largest message size in sweeps.
+    pub max_size: usize,
+    /// Iterations per measurement.
+    pub iters: usize,
+    /// NPB class for Fig. 12.
+    pub npb_class: NpbClass,
+}
+
+impl Effort {
+    /// CI-sized: every driver finishes in seconds.
+    pub fn quick() -> Self {
+        Effort {
+            graph_scale: 10,
+            roots: 2,
+            hosts_div: 4,
+            max_size: 256 * 1024,
+            iters: 6,
+            npb_class: NpbClass::S,
+        }
+    }
+
+    /// Paper-shaped: 256 ranks, scale-16 graphs, 1 MiB sweeps.
+    pub fn full() -> Self {
+        Effort {
+            graph_scale: 16,
+            roots: 4,
+            hosts_div: 1,
+            max_size: 1 << 20,
+            iters: 12,
+            npb_class: NpbClass::W,
+        }
+    }
+
+    fn graph_cfg(&self) -> Graph500Config {
+        Graph500Config {
+            scale: self.graph_scale,
+            edgefactor: 16,
+            num_roots: self.roots,
+            validate: self.graph_scale <= 14,
+            ..Default::default()
+        }
+    }
+}
+
+fn ms(t: SimTime) -> String {
+    format!("{:.3}", t.as_ms_f64())
+}
+
+fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// The four Fig. 1 deployment scenarios (16 ranks, one host).
+fn fig1_scenarios() -> Vec<(&'static str, u32)> {
+    vec![("Native", 0), ("1-Container", 1), ("2-Containers", 2), ("4-Containers", 4)]
+}
+
+/// Fig. 1: Graph500 BFS time under the *default* library.
+pub fn fig01(e: &Effort) -> Table {
+    let mut t = Table::new(
+        "Fig. 1 — Graph500 BFS (16 ranks, 1 host), default MPI library",
+        &["scenario", "bfs_ms"],
+    );
+    for (name, cph) in fig1_scenarios() {
+        let spec =
+            JobSpec::new(DeploymentScenario::fig1(cph)).with_policy(LocalityPolicy::Hostname);
+        let r = graph500::run(&spec, e.graph_cfg());
+        t.row(vec![name.into(), ms(r.mean_bfs_time())]);
+    }
+    t
+}
+
+/// Fig. 3(a): communication/computation breakdown of the Fig. 1 runs.
+pub fn fig03a(e: &Effort) -> Table {
+    let mut t = Table::new(
+        "Fig. 3(a) — BFS time breakdown, default library",
+        &["scenario", "comm_pct", "compute_ms", "pt2pt_ms", "poll_ms", "collective_ms"],
+    );
+    for (name, cph) in fig1_scenarios() {
+        let spec =
+            JobSpec::new(DeploymentScenario::fig1(cph)).with_policy(LocalityPolicy::Hostname);
+        let r = spec.run(|mpi| {
+            let cfg = e.graph_cfg();
+            cmpi_apps::graph500::bfs::run_rank(mpi, &cfg)
+        });
+        let s = &r.stats.total;
+        t.row(vec![
+            name.into(),
+            f2(r.stats.comm_fraction() * 100.0),
+            ms(s.time(CallClass::Compute)),
+            ms(s.time(CallClass::Pt2pt)),
+            ms(s.time(CallClass::Poll)),
+            ms(s.time(CallClass::Collective)),
+        ]);
+    }
+    t
+}
+
+/// Fig. 3(b)(c): forced-channel latency and bandwidth curves.
+pub fn fig03bc(e: &Effort) -> (Table, Table) {
+    let sizes = power_of_two_sizes(e.max_size);
+    let mut lat = Table::new(
+        "Fig. 3(b) — channel latency (us), co-resident containers",
+        &["size", "SHM", "CMA", "HCA"],
+    );
+    let mut bw = Table::new(
+        "Fig. 3(c) — channel bandwidth (MB/s), co-resident containers",
+        &["size", "SHM", "CMA", "HCA"],
+    );
+    let spec = |c| {
+        JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+            .with_policy(LocalityPolicy::ForceChannel(c))
+    };
+    let curves: Vec<(Vec<_>, Vec<_>)> = [Channel::Shm, Channel::Cma, Channel::Hca]
+        .into_iter()
+        .map(|c| {
+            (
+                pt2pt::latency(&spec(c), &sizes, e.iters),
+                pt2pt::bandwidth(&spec(c), &sizes, 32, 3),
+            )
+        })
+        .collect();
+    for (i, &size) in sizes.iter().enumerate() {
+        lat.row(vec![
+            size.to_string(),
+            f2(curves[0].0[i].value),
+            f2(curves[1].0[i].value),
+            f2(curves[2].0[i].value),
+        ]);
+        bw.row(vec![
+            size.to_string(),
+            f2(curves[0].1[i].value),
+            f2(curves[1].1[i].value),
+            f2(curves[2].1[i].value),
+        ]);
+    }
+    (lat, bw)
+}
+
+/// Table I: message-transfer operations per channel during BFS.
+pub fn table1(e: &Effort) -> Table {
+    let mut t = Table::new(
+        "Table I — transfer operations per channel (Graph500 BFS, default library)",
+        &["channel", "Native", "1-Container", "2-Containers", "4-Containers"],
+    );
+    let mut cols: Vec<Vec<u64>> = Vec::new();
+    for (_, cph) in fig1_scenarios() {
+        let spec =
+            JobSpec::new(DeploymentScenario::fig1(cph)).with_policy(LocalityPolicy::Hostname);
+        let r = spec.run(|mpi| {
+            let cfg = e.graph_cfg();
+            cmpi_apps::graph500::bfs::run_rank(mpi, &cfg)
+        });
+        cols.push(vec![
+            r.stats.channel_ops(Channel::Cma),
+            r.stats.channel_ops(Channel::Shm),
+            r.stats.channel_ops(Channel::Hca),
+        ]);
+    }
+    for (ci, name) in ["CMA", "SHM", "HCA"].iter().enumerate() {
+        t.row(vec![
+            name.to_string(),
+            cols[0][ci].to_string(),
+            cols[1][ci].to_string(),
+            cols[2][ci].to_string(),
+            cols[3][ci].to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 7(a): `SMP_EAGER_SIZE` bandwidth sweep (co-resident pair).
+pub fn fig07a(_e: &Effort) -> Table {
+    let settings = [2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024];
+    let sizes: Vec<usize> = power_of_two_sizes(64 * 1024).into_iter().filter(|&s| s >= 512).collect();
+    let mut t = Table::new(
+        "Fig. 7(a) — SMP_EAGER_SIZE sweep: bandwidth (MB/s)",
+        &["size", "2K", "4K", "8K", "16K", "32K"],
+    );
+    let mut curves = Vec::new();
+    for &eager in &settings {
+        let spec =
+            JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+                .with_tunables(
+                    Tunables::default()
+                        .with_smp_eager_size(eager)
+                        .with_smpi_length_queue((eager * 16).max(128 * 1024)),
+                );
+        curves.push(pt2pt::bandwidth(&spec, &sizes, 32, 3));
+    }
+    for (i, &size) in sizes.iter().enumerate() {
+        let mut row = vec![size.to_string()];
+        row.extend(curves.iter().map(|c| f2(c[i].value)));
+        t.row(row);
+    }
+    t
+}
+
+/// Fig. 7(b): `SMPI_LENGTH_QUEUE` bandwidth sweep.
+pub fn fig07b(e: &Effort) -> Table {
+    let settings: [(usize, &str); 5] = [
+        (16 * 1024, "16K"),
+        (32 * 1024, "32K"),
+        (64 * 1024, "64K"),
+        (128 * 1024, "128K"),
+        (1024 * 1024, "1M"),
+    ];
+    let sizes = [1024usize, 2048, 4096, 8192];
+    let mut t = Table::new(
+        "Fig. 7(b) — SMPI_LENGTH_QUEUE sweep: bandwidth (MB/s)",
+        &["size", "16K", "32K", "64K", "128K", "1M"],
+    );
+    let mut curves = Vec::new();
+    for &(q, _) in &settings {
+        let spec =
+            JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+                .with_tunables(
+                    Tunables::default().with_smp_eager_size(8 * 1024.min(q)).with_smpi_length_queue(q),
+                );
+        curves.push(pt2pt::bandwidth(&spec, &sizes, 64, e.iters.min(4)));
+    }
+    for (i, &size) in sizes.iter().enumerate() {
+        let mut row = vec![size.to_string()];
+        row.extend(curves.iter().map(|c| f2(c[i].value)));
+        t.row(row);
+    }
+    t
+}
+
+/// Fig. 7(c): `MV2_IBA_EAGER_THRESHOLD` latency sweep between hosts.
+pub fn fig07c(e: &Effort) -> Table {
+    let settings: [(usize, &str); 4] =
+        [(13 * 1024, "13K"), (15 * 1024, "15K"), (17 * 1024, "17K"), (19 * 1024, "19K")];
+    let sizes = [13 * 1024usize, 14 * 1024, 16 * 1024, 17 * 1024, 18 * 1024, 19 * 1024];
+    let mut t = Table::new(
+        "Fig. 7(c) — MV2_IBA_EAGER_THRESHOLD sweep: latency (us), two hosts",
+        &["size", "13K", "15K", "17K", "19K"],
+    );
+    let mut curves = Vec::new();
+    for &(thr, _) in &settings {
+        let spec = JobSpec::new(DeploymentScenario::pt2pt_two_hosts(true, NamespaceSharing::default()))
+            .with_tunables(Tunables::default().with_iba_eager_threshold(thr));
+        curves.push(pt2pt::latency(&spec, &sizes, e.iters));
+    }
+    for (i, &size) in sizes.iter().enumerate() {
+        let mut row = vec![size.to_string()];
+        row.extend(curves.iter().map(|c| f2(c[i].value)));
+        t.row(row);
+    }
+    t
+}
+
+/// The Fig. 8/9 configuration set.
+fn pt2pt_configs(
+    same_socket: bool,
+) -> Vec<(&'static str, JobSpec)> {
+    let sharing = NamespaceSharing::default();
+    vec![
+        (
+            "Cont-Def",
+            JobSpec::new(DeploymentScenario::pt2pt_pair(true, same_socket, sharing))
+                .with_policy(LocalityPolicy::Hostname),
+        ),
+        (
+            "Cont-Opt",
+            JobSpec::new(DeploymentScenario::pt2pt_pair(true, same_socket, sharing))
+                .with_policy(LocalityPolicy::ContainerDetector),
+        ),
+        (
+            "Native",
+            JobSpec::new(DeploymentScenario::pt2pt_pair(false, same_socket, sharing)),
+        ),
+    ]
+}
+
+/// Fig. 8: two-sided latency, bandwidth and bidirectional bandwidth.
+pub fn fig08(e: &Effort) -> Vec<Table> {
+    let sizes = power_of_two_sizes(e.max_size);
+    let mut out = Vec::new();
+    for (metric, which) in [("latency (us)", 0), ("bandwidth (MB/s)", 1), ("bi-bandwidth (MB/s)", 2)]
+    {
+        for same_socket in [true, false] {
+            let sock = if same_socket { "intra-socket" } else { "inter-socket" };
+            let mut t = Table::new(
+                format!("Fig. 8 — two-sided {metric}, {sock}"),
+                &["size", "Cont-Def", "Cont-Opt", "Native"],
+            );
+            let curves: Vec<Vec<_>> = pt2pt_configs(same_socket)
+                .iter()
+                .map(|(_, spec)| match which {
+                    0 => pt2pt::latency(spec, &sizes, e.iters),
+                    1 => pt2pt::bandwidth(spec, &sizes, 32, 3),
+                    _ => pt2pt::bibandwidth(spec, &sizes, 32, 3),
+                })
+                .collect();
+            for (i, &size) in sizes.iter().enumerate() {
+                t.row(vec![
+                    size.to_string(),
+                    f2(curves[0][i].value),
+                    f2(curves[1][i].value),
+                    f2(curves[2][i].value),
+                ]);
+            }
+            out.push(t);
+        }
+    }
+    out
+}
+
+/// Fig. 9: one-sided put/get latency and bandwidth (intra-socket).
+pub fn fig09(e: &Effort) -> Vec<Table> {
+    let sizes = power_of_two_sizes(e.max_size);
+    let mut out = Vec::new();
+    type F = fn(&JobSpec, &[usize], usize) -> Vec<cmpi_osu::SizePoint>;
+    let put_bw: F = |s, z, i| onesided::put_bandwidth(s, z, 64, i.min(3));
+    let get_bw: F = |s, z, i| onesided::get_bandwidth(s, z, 64, i.min(3));
+    let metrics: [(&str, F); 4] = [
+        ("put latency (us)", onesided::put_latency as F),
+        ("put bandwidth (MB/s)", put_bw),
+        ("get latency (us)", onesided::get_latency as F),
+        ("get bandwidth (MB/s)", get_bw),
+    ];
+    for (name, f) in metrics {
+        let mut t = Table::new(
+            format!("Fig. 9 — one-sided {name}, intra-socket"),
+            &["size", "Cont-Def", "Cont-Opt", "Native"],
+        );
+        let curves: Vec<Vec<_>> =
+            pt2pt_configs(true).iter().map(|(_, spec)| f(spec, &sizes, e.iters)).collect();
+        for (i, &size) in sizes.iter().enumerate() {
+            t.row(vec![
+                size.to_string(),
+                f2(curves[0][i].value),
+                f2(curves[1][i].value),
+                f2(curves[2][i].value),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// The Section V-C/V-D deployments: Def/Opt on 4-containers-per-host,
+/// plus Native.
+fn cluster_configs(e: &Effort) -> Vec<(&'static str, JobSpec)> {
+    vec![
+        (
+            "Cont-Def",
+            JobSpec::new(DeploymentScenario::collective_256(e.hosts_div))
+                .with_policy(LocalityPolicy::Hostname),
+        ),
+        (
+            "Cont-Opt",
+            JobSpec::new(DeploymentScenario::collective_256(e.hosts_div))
+                .with_policy(LocalityPolicy::ContainerDetector),
+        ),
+        (
+            "Native",
+            JobSpec::new(DeploymentScenario::collective_256_native(e.hosts_div)),
+        ),
+    ]
+}
+
+/// Fig. 10: collective latencies on the 64-container deployment.
+pub fn fig10(e: &Effort) -> Vec<Table> {
+    let sizes: Vec<usize> = power_of_two_sizes(e.max_size.min(64 * 1024))
+        .into_iter()
+        .filter(|&s| s >= 64)
+        .collect();
+    let mut out = Vec::new();
+    for op in [CollOp::Bcast, CollOp::Allreduce, CollOp::Allgather, CollOp::Alltoall] {
+        let mut t = Table::new(
+            format!(
+                "Fig. 10 — {} latency (us), {} ranks",
+                op.name(),
+                DeploymentScenario::collective_256(e.hosts_div).num_ranks()
+            ),
+            &["size", "Cont-Def", "Cont-Opt", "Native"],
+        );
+        let curves: Vec<Vec<_>> = cluster_configs(e)
+            .iter()
+            .map(|(_, spec)| collective::latency(spec, op, &sizes, 2))
+            .collect();
+        for (i, &size) in sizes.iter().enumerate() {
+            t.row(vec![
+                size.to_string(),
+                f2(curves[0][i].value),
+                f2(curves[1][i].value),
+                f2(curves[2][i].value),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Fig. 11: Graph500 under Default vs Proposed vs Native across the
+/// container sweep.
+pub fn fig11(e: &Effort) -> Table {
+    let mut t = Table::new(
+        "Fig. 11 — Graph500 BFS (16 ranks, 1 host): Default vs Proposed",
+        &["scenario", "default_ms", "proposed_ms", "native_ms"],
+    );
+    let native = {
+        let spec = JobSpec::new(DeploymentScenario::fig1(0));
+        graph500::run(&spec, e.graph_cfg()).mean_bfs_time()
+    };
+    for (name, cph) in fig1_scenarios() {
+        let def = graph500::run(
+            &JobSpec::new(DeploymentScenario::fig1(cph)).with_policy(LocalityPolicy::Hostname),
+            e.graph_cfg(),
+        );
+        let opt = graph500::run(
+            &JobSpec::new(DeploymentScenario::fig1(cph))
+                .with_policy(LocalityPolicy::ContainerDetector),
+            e.graph_cfg(),
+        );
+        t.row(vec![
+            name.into(),
+            ms(def.mean_bfs_time()),
+            ms(opt.mean_bfs_time()),
+            ms(native),
+        ]);
+    }
+    t
+}
+
+/// Fig. 12: application execution times (Graph500 + NPB kernels).
+pub fn fig12(e: &Effort) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Fig. 12 — applications, {} ranks: Default vs Proposed vs Native",
+            DeploymentScenario::collective_256(e.hosts_div).num_ranks()
+        ),
+        &["app", "default_ms", "proposed_ms", "native_ms", "opt_gain_pct", "opt_vs_native_pct"],
+    );
+    let configs = cluster_configs(e);
+    // Graph500 row.
+    let mut cfg = e.graph_cfg();
+    cfg.validate = false;
+    let g: Vec<SimTime> = configs
+        .iter()
+        .map(|(_, spec)| graph500::run(spec, cfg).mean_bfs_time())
+        .collect();
+    push_app_row(&mut t, "Graph500", &g);
+    // NPB rows.
+    for k in Kernel::ALL {
+        let times: Vec<SimTime> = configs
+            .iter()
+            .map(|(_, spec)| {
+                let r = npb::run(spec, k, e.npb_class);
+                assert!(r.verified, "{} failed verification", k.name());
+                r.elapsed
+            })
+            .collect();
+        push_app_row(&mut t, k.name(), &times);
+    }
+    t
+}
+
+fn push_app_row(t: &mut Table, name: &str, times: &[SimTime]) {
+    let (def, opt, nat) = (times[0], times[1], times[2]);
+    let gain = (def.as_ns() as f64 - opt.as_ns() as f64) / def.as_ns() as f64 * 100.0;
+    let overhead = (opt.as_ns() as f64 - nat.as_ns() as f64) / nat.as_ns() as f64 * 100.0;
+    t.row(vec![name.into(), ms(def), ms(opt), ms(nat), f2(gain), f2(overhead)]);
+}
+
+/// Ablation: what each namespace-sharing flag buys (latency of a 1 KiB
+/// and a 64 KiB message between co-resident containers).
+pub fn ablation_namespaces(e: &Effort) -> Table {
+    let mut t = Table::new(
+        "Ablation — namespace sharing: 2-sided latency (us) between co-resident containers",
+        &["sharing", "1KiB", "64KiB"],
+    );
+    let cases: [(&str, NamespaceSharing); 4] = [
+        ("ipc+pid (paper)", NamespaceSharing::default()),
+        ("ipc only", NamespaceSharing { ipc: true, pid: false, privileged: true }),
+        ("pid only", NamespaceSharing { ipc: false, pid: true, privileged: true }),
+        ("isolated", NamespaceSharing::isolated()),
+    ];
+    for (name, sharing) in cases {
+        let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, sharing));
+        let pts = pt2pt::latency(&spec, &[1024, 64 * 1024], e.iters);
+        t.row(vec![name.into(), f2(pts[0].value), f2(pts[1].value)]);
+    }
+    t
+}
+
+/// Extension: PGAS (GUPS) on co-resident containers — the paper's
+/// Section VII future work, measured with the same Def/Opt/Native
+/// methodology.
+pub fn ext_pgas(e: &Effort) -> Table {
+    let mut t = Table::new(
+        "Extension — PGAS GUPS (global random access), 8 ranks in 4 containers",
+        &["config", "updates_per_s", "elapsed_ms"],
+    );
+    let updates = (e.iters as u64) * 50;
+    let mk = |name: &str, spec: JobSpec| {
+        let r = spec.run(move |mpi| cmpi_pgas::gups(mpi, 1 << 12, updates, 7));
+        (name.to_string(), r.results[0].0, r.elapsed)
+    };
+    let sharing = NamespaceSharing::default();
+    let rows = vec![
+        mk(
+            "Cont-Def",
+            JobSpec::new(DeploymentScenario::containers(1, 4, 2, sharing))
+                .with_policy(LocalityPolicy::Hostname),
+        ),
+        mk(
+            "Cont-Opt",
+            JobSpec::new(DeploymentScenario::containers(1, 4, 2, sharing))
+                .with_policy(LocalityPolicy::ContainerDetector),
+        ),
+        mk("Native", JobSpec::new(DeploymentScenario::native(1, 8))),
+    ];
+    for (name, rate, elapsed) in rows {
+        t.row(vec![name, f2(rate), ms(elapsed)]);
+    }
+    t
+}
+
+/// Ablation: flat vs two-level (SMP-aware) vs size-tuned collective
+/// algorithms on the cluster deployment.
+pub fn ablation_smp_collectives(e: &Effort) -> Table {
+    let mut t = Table::new(
+        "Ablation — collective algorithms (us), locality-aware library",
+        &["size", "bcast", "bcast-smp", "bcast-tuned", "allreduce", "allreduce-smp", "allreduce-tuned"],
+    );
+    let spec = JobSpec::new(DeploymentScenario::collective_256(e.hosts_div));
+    let sizes = [256usize, 4096, 65536, 262144];
+    let curves: Vec<Vec<_>> = [
+        CollOp::Bcast,
+        CollOp::BcastSmp,
+        CollOp::BcastTuned,
+        CollOp::Allreduce,
+        CollOp::AllreduceSmp,
+        CollOp::AllreduceTuned,
+    ]
+    .into_iter()
+    .map(|op| collective::latency(&spec, op, &sizes, 2))
+    .collect();
+    for (i, &size) in sizes.iter().enumerate() {
+        let mut row = vec![size.to_string()];
+        row.extend(curves.iter().map(|c| f2(c[i].value)));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Effort {
+        Effort {
+            graph_scale: 9,
+            roots: 1,
+            hosts_div: 8,
+            max_size: 16 * 1024,
+            iters: 3,
+            npb_class: NpbClass::S,
+        }
+    }
+
+    #[test]
+    fn fig01_degrades_with_containers() {
+        let t = fig01(&tiny());
+        assert_eq!(t.rows.len(), 4);
+        let native = t.cell_f64(0, "bfs_ms");
+        let four = t.cell_f64(3, "bfs_ms");
+        assert!(four > native * 1.2, "native {native} four {four}");
+    }
+
+    #[test]
+    fn table1_shifts_ops_to_hca() {
+        let t = table1(&tiny());
+        // Native column has zero HCA ops; 4-Containers has many.
+        let hca_native: u64 = t.cell(2, "Native").parse().unwrap();
+        let hca_four: u64 = t.cell(2, "4-Containers").parse().unwrap();
+        let shm_native: u64 = t.cell(1, "Native").parse().unwrap();
+        let shm_four: u64 = t.cell(1, "4-Containers").parse().unwrap();
+        assert_eq!(hca_native, 0);
+        assert!(hca_four > 0);
+        // At this toy scale batches rarely fill, so CMA counts are small;
+        // the load shifting from the local channels to HCA is the trend
+        // that must hold (the full-effort run reproduces the CMA-dominant
+        // shape of the paper's Table I).
+        assert!(shm_four < shm_native);
+    }
+
+    #[test]
+    fn fig11_closes_the_gap() {
+        let t = fig11(&tiny());
+        // Rows 2 and 3 (2- and 4-containers) are where the paper's gap
+        // exists; Native/1-Container route identically under both
+        // policies, so they are excluded (only jitter differs there).
+        for row in 2..4 {
+            let def = t.cell_f64(row, "default_ms");
+            let opt = t.cell_f64(row, "proposed_ms");
+            assert!(opt < def, "row {row}: opt {opt} vs def {def}");
+        }
+    }
+
+    #[test]
+    fn fig07c_17k_wins_overall() {
+        let t = fig07c(&tiny());
+        // Sum latency across the sweep sizes per setting: 17K must beat
+        // 13K and 19K.
+        let sum = |col: &str| -> f64 { (0..t.rows.len()).map(|r| t.cell_f64(r, col)).sum() };
+        let (s13, s17, s19) = (sum("13K"), sum("17K"), sum("19K"));
+        assert!(s17 < s13, "17K {s17} vs 13K {s13}");
+        assert!(s17 <= s19, "17K {s17} vs 19K {s19}");
+    }
+
+    #[test]
+    fn ablation_namespaces_ordering() {
+        let t = ablation_namespaces(&tiny());
+        let full = t.cell_f64(0, "1KiB");
+        let isolated = t.cell_f64(3, "1KiB");
+        assert!(isolated > 2.0 * full, "isolated {isolated} vs full {full}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # cmpi-cluster — simulated cluster substrate
+//!
+//! This crate models the physical and virtual environment the paper's
+//! experiments run on: bare-metal InfiniBand hosts with multi-socket CPUs,
+//! Docker-style containers with Linux namespace isolation (UTS/IPC/PID),
+//! rank placements, and the *virtual time* machinery used by every other
+//! crate to account communication and computation costs deterministically.
+//!
+//! Nothing in this crate performs communication; it is the shared
+//! vocabulary for [`cmpi_shmem`](https://docs.invalid), `cmpi-fabric` and
+//! `cmpi-core`.
+//!
+//! ## Why a simulation substrate?
+//!
+//! The reproduced paper (Zhang, Lu, Panda — ICPP 2016) ran on a 16-node
+//! Chameleon Cloud testbed with Mellanox FDR HCAs and Docker 1.8. None of
+//! that hardware is available here, but the paper's *effect* — hostname-based
+//! locality detection mis-routing intra-host traffic through the HCA — is a
+//! pure software phenomenon. We therefore rebuild the environment as a
+//! deterministic model: ranks run as real OS threads, data movement really
+//! happens, and elapsed time is *virtual*, advanced by a calibrated cost
+//! model ([`CostModel`]).
+
+pub mod cost;
+pub mod placement;
+pub mod scenario;
+pub mod time;
+pub mod topology;
+pub mod tunables;
+
+pub use cost::{Channel, CostModel};
+pub use placement::{Placement, RankLoc};
+pub use scenario::{DeploymentScenario, NamespaceSharing};
+pub use time::SimTime;
+pub use topology::{
+    Cluster, Container, ContainerId, CoreId, Host, HostId, NamespaceId, SocketId,
+};
+pub use tunables::Tunables;

@@ -1,0 +1,328 @@
+//! Deployment scenarios — reusable builders for the exact cluster layouts
+//! the paper evaluates.
+//!
+//! Every experiment in the paper is a combination of: number of hosts,
+//! containers per host, ranks per container, namespace sharing, and core
+//! pinning. [`DeploymentScenario`] packages a [`Cluster`] and a matching
+//! [`Placement`] with a descriptive name so the benchmark harness can
+//! enumerate scenarios declaratively.
+
+use crate::placement::{Placement, RankLoc};
+use crate::topology::{Cluster, ContainerId, CoreId, HostId};
+
+/// Which host namespaces containers are started with.
+///
+/// The paper's deployments always share both (`docker run --ipc=host
+/// --pid=host --privileged`); the failure-injection tests flip these off to
+/// verify the library degrades gracefully to the HCA channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NamespaceSharing {
+    /// Share the host IPC namespace (`--ipc=host`) — prerequisite for SHM.
+    pub ipc: bool,
+    /// Share the host PID namespace (`--pid=host`) — prerequisite for CMA.
+    pub pid: bool,
+    /// Run privileged (`--privileged`) — prerequisite for HCA access.
+    pub privileged: bool,
+}
+
+impl Default for NamespaceSharing {
+    fn default() -> Self {
+        NamespaceSharing { ipc: true, pid: true, privileged: true }
+    }
+}
+
+impl NamespaceSharing {
+    /// Fully isolated containers (no host namespace sharing).
+    pub fn isolated() -> Self {
+        NamespaceSharing { ipc: false, pid: false, privileged: true }
+    }
+}
+
+/// A named cluster + placement combination.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct DeploymentScenario {
+    /// Human-readable scenario name ("2-Containers", "Native", ...).
+    pub name: String,
+    /// The simulated cluster.
+    pub cluster: Cluster,
+    /// Rank placement onto the cluster.
+    pub placement: Placement,
+}
+
+/// Sockets per host on the paper's testbed (Xeon E5-2670 v3 duals).
+pub const TESTBED_SOCKETS: u32 = 2;
+/// Cores per socket on the paper's testbed.
+pub const TESTBED_CORES_PER_SOCKET: u32 = 12;
+
+impl DeploymentScenario {
+    /// Native scenario: `ranks_per_host` MPI processes directly on each of
+    /// `hosts` hosts, pinned to consecutive cores.
+    pub fn native(hosts: u32, ranks_per_host: u32) -> Self {
+        let mut cluster = Cluster::new();
+        let mut locs = Vec::new();
+        for _ in 0..hosts {
+            let h = cluster.add_host(TESTBED_SOCKETS, TESTBED_CORES_PER_SOCKET);
+            let env = cluster.add_native_env(h);
+            place_block(&cluster, h, env, ranks_per_host, 0, &mut locs);
+        }
+        DeploymentScenario {
+            name: "Native".to_string(),
+            cluster,
+            placement: Placement::new(locs),
+        }
+    }
+
+    /// Containerized scenario: `containers_per_host` containers on each of
+    /// `hosts` hosts, `ranks_per_container` ranks each. Ranks are numbered
+    /// host-major then container-major (the same block ordering `mpirun`
+    /// produces with a host file), and pinned to disjoint consecutive
+    /// cores.
+    pub fn containers(
+        hosts: u32,
+        containers_per_host: u32,
+        ranks_per_container: u32,
+        sharing: NamespaceSharing,
+    ) -> Self {
+        let mut cluster = Cluster::new();
+        let mut locs = Vec::new();
+        for _ in 0..hosts {
+            let h = cluster.add_host(TESTBED_SOCKETS, TESTBED_CORES_PER_SOCKET);
+            for ci in 0..containers_per_host {
+                let cont =
+                    cluster.add_container(h, sharing.ipc, sharing.pid, sharing.privileged);
+                place_block(
+                    &cluster,
+                    h,
+                    cont,
+                    ranks_per_container,
+                    ci * ranks_per_container,
+                    &mut locs,
+                );
+            }
+        }
+        let name = if containers_per_host == 1 {
+            "1-Container".to_string()
+        } else {
+            format!("{containers_per_host}-Containers")
+        };
+        DeploymentScenario { name, cluster, placement: Placement::new(locs) }
+    }
+
+    /// Two-rank point-to-point scenario on a single host (Section V-B):
+    /// each rank in its own container when `containerized`, pinned either
+    /// to the same socket or to different sockets.
+    pub fn pt2pt_pair(containerized: bool, same_socket: bool, sharing: NamespaceSharing) -> Self {
+        let mut cluster = Cluster::new();
+        let h = cluster.add_host(TESTBED_SOCKETS, TESTBED_CORES_PER_SOCKET);
+        let cores = if same_socket {
+            [0u32, 1u32]
+        } else {
+            [0u32, TESTBED_CORES_PER_SOCKET]
+        };
+        let mut locs = Vec::new();
+        for core in cores {
+            let env = if containerized {
+                cluster.add_container(h, sharing.ipc, sharing.pid, sharing.privileged)
+            } else {
+                cluster.add_native_env(h)
+            };
+            let host = cluster.host(h);
+            locs.push(RankLoc {
+                host: h,
+                container: env,
+                socket: host.socket_of_core(CoreId(core)),
+                core: CoreId(core),
+            });
+        }
+        let name = format!(
+            "{}-{}",
+            if containerized { "Cont" } else { "Native" },
+            if same_socket { "intra-socket" } else { "inter-socket" }
+        );
+        DeploymentScenario { name, cluster, placement: Placement::new(locs) }
+    }
+
+    /// Two-rank scenario across two hosts (for HCA threshold tuning,
+    /// Fig. 7(c)).
+    pub fn pt2pt_two_hosts(containerized: bool, sharing: NamespaceSharing) -> Self {
+        let mut cluster = Cluster::new();
+        let mut locs = Vec::new();
+        for _ in 0..2 {
+            let h = cluster.add_host(TESTBED_SOCKETS, TESTBED_CORES_PER_SOCKET);
+            let env = if containerized {
+                cluster.add_container(h, sharing.ipc, sharing.pid, sharing.privileged)
+            } else {
+                cluster.add_native_env(h)
+            };
+            let host = cluster.host(h);
+            locs.push(RankLoc {
+                host: h,
+                container: env,
+                socket: host.socket_of_core(CoreId(0)),
+                core: CoreId(0),
+            });
+        }
+        DeploymentScenario {
+            name: if containerized { "Cont-2hosts" } else { "Native-2hosts" }.to_string(),
+            cluster,
+            placement: Placement::new(locs),
+        }
+    }
+
+    /// The Fig. 1 / Fig. 11 single-host scenarios: 16 ranks on one host in
+    /// `containers_per_host` containers (0 = native).
+    pub fn fig1(containers_per_host: u32) -> Self {
+        const TOTAL: u32 = 16;
+        if containers_per_host == 0 {
+            Self::native(1, TOTAL)
+        } else {
+            Self::containers(
+                1,
+                containers_per_host,
+                TOTAL / containers_per_host,
+                NamespaceSharing::default(),
+            )
+        }
+    }
+
+    /// The Section V-C/V-D scenario: 64 containers spread evenly across 16
+    /// hosts, 256 ranks total (4 containers × 4 ranks per host). `scale`
+    /// divides the layout for quicker test runs (scale 4 = 4 hosts,
+    /// 64 ranks).
+    pub fn collective_256(scale_down: u32) -> Self {
+        let hosts = 16 / scale_down.max(1);
+        Self::containers(hosts.max(1), 4, 4, NamespaceSharing::default())
+    }
+
+    /// Native counterpart of [`DeploymentScenario::collective_256`].
+    pub fn collective_256_native(scale_down: u32) -> Self {
+        let hosts = (16 / scale_down.max(1)).max(1);
+        Self::native(hosts, 16)
+    }
+
+    /// Total number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.placement.num_ranks()
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        self.placement.validate(&self.cluster)
+    }
+}
+
+/// Pin `n` ranks of container `cont` on host `h` to consecutive cores
+/// starting at `first_core`, appending to `locs`.
+fn place_block(
+    cluster: &Cluster,
+    h: HostId,
+    cont: ContainerId,
+    n: u32,
+    first_core: u32,
+    locs: &mut Vec<RankLoc>,
+) {
+    let host = cluster.host(h);
+    assert!(
+        first_core + n <= host.total_cores(),
+        "host {h} has {} cores, cannot pin {} ranks from core {}",
+        host.total_cores(),
+        n,
+        first_core
+    );
+    for i in 0..n {
+        let core = CoreId(first_core + i);
+        locs.push(RankLoc { host: h, container: cont, socket: host.socket_of_core(core), core });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_scenario_shape() {
+        let s = DeploymentScenario::native(2, 8);
+        s.validate().unwrap();
+        assert_eq!(s.num_ranks(), 16);
+        assert_eq!(s.placement.hosts_used(), 2);
+        assert_eq!(s.placement.containers_used(), 2); // one native env per host
+        assert!(s.placement.same_container(0, 7));
+        assert!(!s.placement.same_host(0, 8));
+    }
+
+    #[test]
+    fn fig1_scenarios_match_paper() {
+        for (cph, conts) in [(0u32, 1usize), (1, 1), (2, 2), (4, 4)] {
+            let s = DeploymentScenario::fig1(cph);
+            s.validate().unwrap();
+            assert_eq!(s.num_ranks(), 16, "{}", s.name);
+            assert_eq!(s.placement.hosts_used(), 1);
+            assert_eq!(s.placement.containers_used(), conts);
+        }
+        assert_eq!(DeploymentScenario::fig1(2).name, "2-Containers");
+        assert_eq!(DeploymentScenario::fig1(0).name, "Native");
+    }
+
+    #[test]
+    fn containers_share_host_namespaces_by_default() {
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let a = s.cluster.container(s.placement.loc(0).container).clone();
+        let b = s.cluster.container(s.placement.loc(2).container).clone();
+        assert!(a.shares_ipc_with(&b));
+        assert!(a.shares_pid_with(&b));
+        assert_ne!(a.hostname, b.hostname);
+    }
+
+    #[test]
+    fn isolated_containers_do_not_share() {
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::isolated());
+        let a = s.cluster.container(s.placement.loc(0).container).clone();
+        let b = s.cluster.container(s.placement.loc(2).container).clone();
+        assert!(!a.shares_ipc_with(&b));
+        assert!(!a.shares_pid_with(&b));
+    }
+
+    #[test]
+    fn pt2pt_pair_socket_layouts() {
+        let intra = DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default());
+        intra.validate().unwrap();
+        assert!(intra.placement.same_socket(0, 1));
+        assert!(!intra.placement.same_container(0, 1));
+
+        let inter = DeploymentScenario::pt2pt_pair(true, false, NamespaceSharing::default());
+        inter.validate().unwrap();
+        assert!(!inter.placement.same_socket(0, 1));
+        assert!(inter.placement.same_host(0, 1));
+    }
+
+    #[test]
+    fn two_host_pair_is_remote() {
+        let s = DeploymentScenario::pt2pt_two_hosts(true, NamespaceSharing::default());
+        s.validate().unwrap();
+        assert!(!s.placement.same_host(0, 1));
+    }
+
+    #[test]
+    fn collective_scenario_is_256_ranks() {
+        let s = DeploymentScenario::collective_256(1);
+        s.validate().unwrap();
+        assert_eq!(s.num_ranks(), 256);
+        assert_eq!(s.placement.hosts_used(), 16);
+        assert_eq!(s.placement.containers_used(), 64);
+        // Scaled-down variant for tests.
+        let s = DeploymentScenario::collective_256(4);
+        s.validate().unwrap();
+        assert_eq!(s.num_ranks(), 64);
+        assert_eq!(s.placement.hosts_used(), 4);
+    }
+
+    #[test]
+    fn rank_order_is_block_by_container() {
+        let s = DeploymentScenario::containers(2, 2, 4, NamespaceSharing::default());
+        // ranks 0..4 container 0, 4..8 container 1 (host 0), 8..12 container 2...
+        assert!(s.placement.same_container(0, 3));
+        assert!(!s.placement.same_container(3, 4));
+        assert!(s.placement.same_host(0, 7));
+        assert!(!s.placement.same_host(7, 8));
+    }
+}

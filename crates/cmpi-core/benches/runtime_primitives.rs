@@ -1,0 +1,78 @@
+//! Real-time micro-benchmarks of the MPI runtime primitives: job
+//! spin-up, point-to-point round trips, collectives and the locality
+//! detection itself — measuring harness cost (wall time), not the
+//! simulated virtual time.
+
+use bytes::Bytes;
+use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
+use cmpi_core::{JobSpec, LocalityPolicy, ReduceOp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_job_startup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("job_startup");
+    g.sample_size(20);
+    for &ranks in &[2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("init_finalize", ranks), &ranks, |b, &n| {
+            let spec = JobSpec::new(DeploymentScenario::containers(
+                1,
+                2,
+                (n / 2) as u32,
+                NamespaceSharing::default(),
+            ));
+            b.iter(|| spec.run(|mpi| std::hint::black_box(mpi.rank())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pingpong_100x");
+    g.sample_size(20);
+    for (name, policy) in [
+        ("opt", LocalityPolicy::ContainerDetector),
+        ("def", LocalityPolicy::Hostname),
+    ] {
+        g.bench_function(name, |b| {
+            let spec =
+                JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+                    .with_policy(policy);
+            b.iter(|| {
+                spec.run(|mpi| {
+                    let payload = Bytes::from(vec![0u8; 1024]);
+                    if mpi.rank() == 0 {
+                        for _ in 0..100 {
+                            mpi.send_bytes(payload.clone(), 1, 0);
+                            mpi.recv_bytes(1, 0);
+                        }
+                    } else {
+                        for _ in 0..100 {
+                            let (m, _) = mpi.recv_bytes(0, 0);
+                            mpi.send_bytes(m, 0, 0);
+                        }
+                    }
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_16r_20x");
+    g.sample_size(10);
+    let spec = JobSpec::new(DeploymentScenario::containers(1, 4, 4, NamespaceSharing::default()));
+    g.bench_function("sum_1k_u64", |b| {
+        b.iter(|| {
+            spec.run(|mpi| {
+                let mine = vec![mpi.rank() as u64; 128];
+                for _ in 0..20 {
+                    std::hint::black_box(mpi.allreduce(&mine, ReduceOp::Sum));
+                }
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_job_startup, bench_pingpong, bench_allreduce);
+criterion_main!(benches);

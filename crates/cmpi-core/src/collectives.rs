@@ -1,0 +1,607 @@
+//! Collective operations over the point-to-point engine.
+//!
+//! Algorithms follow the MVAPICH2/MPICH defaults the paper runs on:
+//! dissemination barrier, binomial broadcast/reduce/gather/scatter,
+//! recursive-doubling allreduce, ring allgather and pairwise alltoall.
+//! Because every collective decomposes into pt2pt transfers, the
+//! locality-aware channel selection benefits collectives exactly the way
+//! Section V-C reports: the intra-host fraction of the traffic moves from
+//! the HCA loopback to SHM/CMA.
+//!
+//! The module also provides *two-level* (SMP-aware) variants
+//! ([`Mpi::bcast_smp`], [`Mpi::allreduce_smp`]) that explicitly stage
+//! through per-host leaders — the natural follow-on design once locality
+//! information exists; benchmarked as an ablation.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, Reducible, ReduceOp};
+use crate::pt2pt::CTX_COLL;
+use crate::runtime::Mpi;
+use crate::stats::CallClass;
+
+/// Collective op ids baked into internal tags (high byte).
+mod op {
+    pub const BARRIER: u32 = 1;
+    pub const BCAST: u32 = 2;
+    pub const REDUCE: u32 = 3;
+    pub const ALLREDUCE: u32 = 4;
+    pub const GATHER: u32 = 5;
+    pub const SCATTER: u32 = 6;
+    pub const ALLGATHER: u32 = 7;
+    pub const ALLTOALL: u32 = 8;
+    pub const ALLTOALLV: u32 = 9;
+    pub const SMP_PHASE0: u32 = 10;
+    pub const SMP_PHASE1: u32 = 11;
+    pub const SMP_PHASE2: u32 = 12;
+}
+
+fn tag(op_id: u32, round: u32) -> u32 {
+    (op_id << 20) | round
+}
+
+/// Serialize `(rank, payload)` pairs for tree bundles.
+fn bundle(parts: &[(usize, Bytes)]) -> Bytes {
+    let mut out = BytesMut::new();
+    for (rank, data) in parts {
+        out.put_u32_le(*rank as u32);
+        out.put_u32_le(data.len() as u32);
+        out.extend_from_slice(data);
+    }
+    out.freeze()
+}
+
+/// Inverse of [`bundle`].
+fn unbundle(data: &Bytes) -> Vec<(usize, Bytes)> {
+    let mut parts = Vec::new();
+    let mut off = 0usize;
+    while off < data.len() {
+        let rank = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap()) as usize;
+        off += 8;
+        parts.push((rank, data.slice(off..off + len)));
+        off += len;
+    }
+    parts
+}
+
+impl Mpi {
+    // ---- internal helpers (no time-class attribution) ----------------------
+
+    fn coll_send(&mut self, data: Bytes, dst: usize, t: u32, ctx: u32) {
+        let id = self.isend_inner(data, dst, t, ctx);
+        self.wait_send_inner(id);
+    }
+
+    fn coll_recv(&mut self, src: usize, t: u32, ctx: u32) -> Bytes {
+        let id = self.irecv_inner(Some(src), Some(t), ctx);
+        self.wait_recv_inner(id).0
+    }
+
+    fn coll_sendrecv(&mut self, data: Bytes, dst: usize, src: usize, t: u32, ctx: u32) -> Bytes {
+        let sid = self.isend_inner(data, dst, t, ctx);
+        let rid = self.irecv_inner(Some(src), Some(t), ctx);
+        let out = self.wait_recv_inner(rid).0;
+        self.wait_send_inner(sid);
+        out
+    }
+
+    /// Dissemination barrier over an explicit rank list (positions in
+    /// `list` act as virtual ranks).
+    pub(crate) fn barrier_inner(&mut self, list: &[usize], op_id: u32) {
+        self.barrier_inner_ctx(list, op_id, CTX_COLL)
+    }
+
+    /// [`Mpi::barrier_inner`] on an explicit communicator context.
+    pub(crate) fn barrier_inner_ctx(&mut self, list: &[usize], op_id: u32, ctx: u32) {
+        let n = list.len();
+        if n <= 1 {
+            return;
+        }
+        let me = list.iter().position(|&r| r == self.rank).expect("rank not in barrier group");
+        let mut k = 0u32;
+        let mut dist = 1usize;
+        while dist < n {
+            let dst = list[(me + dist) % n];
+            let src = list[(me + n - dist % n) % n];
+            self.coll_sendrecv(Bytes::new(), dst, src, tag(op_id, k), ctx);
+            dist <<= 1;
+            k += 1;
+        }
+    }
+
+    /// Binomial broadcast over an explicit rank list; `root_pos` indexes
+    /// `list`. Every rank returns the payload.
+    pub(crate) fn bcast_inner(
+        &mut self,
+        data: Option<Bytes>,
+        list: &[usize],
+        root_pos: usize,
+        op_id: u32,
+    ) -> Bytes {
+        self.bcast_inner_ctx(data, list, root_pos, op_id, CTX_COLL)
+    }
+
+    /// [`Mpi::bcast_inner`] on an explicit communicator context.
+    pub(crate) fn bcast_inner_ctx(
+        &mut self,
+        data: Option<Bytes>,
+        list: &[usize],
+        root_pos: usize,
+        op_id: u32,
+        ctx: u32,
+    ) -> Bytes {
+        let n = list.len();
+        let me = list.iter().position(|&r| r == self.rank).expect("rank not in bcast group");
+        let relative = (me + n - root_pos) % n;
+        let mut payload = data.unwrap_or_default();
+        // Receive phase.
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                let src_pos = (relative ^ mask + 0) % n; // relative - mask
+                let src = list[(src_pos + root_pos) % n];
+                payload = self.coll_recv(src, tag(op_id, 0), ctx);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward phase.
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < n {
+                let dst = list[((relative + mask) + root_pos) % n];
+                self.coll_send(payload.clone(), dst, tag(op_id, 0), ctx);
+            }
+            mask >>= 1;
+        }
+        payload
+    }
+
+    /// Binomial reduce over a rank list; only the root's return value is
+    /// meaningful.
+    pub(crate) fn reduce_inner<T: Reducible>(
+        &mut self,
+        data: &[T],
+        rop: ReduceOp,
+        list: &[usize],
+        root_pos: usize,
+        op_id: u32,
+    ) -> Vec<T> {
+        self.reduce_inner_ctx(data, rop, list, root_pos, op_id, CTX_COLL)
+    }
+
+    /// [`Mpi::reduce_inner`] on an explicit communicator context.
+    pub(crate) fn reduce_inner_ctx<T: Reducible>(
+        &mut self,
+        data: &[T],
+        rop: ReduceOp,
+        list: &[usize],
+        root_pos: usize,
+        op_id: u32,
+        ctx: u32,
+    ) -> Vec<T> {
+        let n = list.len();
+        let me = list.iter().position(|&r| r == self.rank).expect("rank not in reduce group");
+        let relative = (me + n - root_pos) % n;
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask == 0 {
+                let peer_rel = relative | mask;
+                if peer_rel < n {
+                    let peer = list[(peer_rel + root_pos) % n];
+                    let bytes = self.coll_recv(peer, tag(op_id, 0), ctx);
+                    let mut tmp = vec![acc[0]; acc.len()];
+                    from_bytes(&bytes, &mut tmp);
+                    reduce_into(rop, &mut acc, &tmp);
+                }
+            } else {
+                let peer_rel = relative ^ mask;
+                let peer = list[(peer_rel + root_pos) % n];
+                self.coll_send(to_bytes(&acc), peer, tag(op_id, 0), ctx);
+                break;
+            }
+            mask <<= 1;
+        }
+        acc
+    }
+
+    /// Recursive-doubling allreduce over a rank list (falls back to
+    /// reduce+bcast when the group size is not a power of two).
+    pub(crate) fn allreduce_inner<T: Reducible>(
+        &mut self,
+        data: &[T],
+        rop: ReduceOp,
+        list: &[usize],
+        op_id: u32,
+    ) -> Vec<T> {
+        self.allreduce_inner_ctx(data, rop, list, op_id, CTX_COLL)
+    }
+
+    /// [`Mpi::allreduce_inner`] on an explicit communicator context.
+    pub(crate) fn allreduce_inner_ctx<T: Reducible>(
+        &mut self,
+        data: &[T],
+        rop: ReduceOp,
+        list: &[usize],
+        op_id: u32,
+        ctx: u32,
+    ) -> Vec<T> {
+        let n = list.len();
+        if n == 1 {
+            return data.to_vec();
+        }
+        if !n.is_power_of_two() {
+            let red = self.reduce_inner_ctx(data, rop, list, 0, op_id, ctx);
+            let seed = if self.rank == list[0] { Some(to_bytes(&red)) } else { None };
+            let bytes = self.bcast_inner_ctx(seed, list, 0, op_id + 1, ctx);
+            let mut out = vec![data[0]; data.len()];
+            from_bytes(&bytes, &mut out);
+            return out;
+        }
+        let me = list.iter().position(|&r| r == self.rank).expect("rank not in allreduce group");
+        let mut acc = data.to_vec();
+        let mut mask = 1usize;
+        let mut round = 0u32;
+        while mask < n {
+            let peer = list[me ^ mask];
+            let bytes = self.coll_sendrecv(to_bytes(&acc), peer, peer, tag(op_id, round), ctx);
+            let mut tmp = vec![acc[0]; acc.len()];
+            from_bytes(&bytes, &mut tmp);
+            reduce_into(rop, &mut acc, &tmp);
+            mask <<= 1;
+            round += 1;
+        }
+        acc
+    }
+
+    /// Binomial gather of per-rank payloads; only the root's return value
+    /// (rank-ordered payloads) is meaningful.
+    pub(crate) fn gather_inner(
+        &mut self,
+        mine: Bytes,
+        list: &[usize],
+        root_pos: usize,
+        op_id: u32,
+    ) -> Vec<(usize, Bytes)> {
+        self.gather_inner_ctx(mine, list, root_pos, op_id, CTX_COLL)
+    }
+
+    /// [`Mpi::gather_inner`] on an explicit communicator context.
+    pub(crate) fn gather_inner_ctx(
+        &mut self,
+        mine: Bytes,
+        list: &[usize],
+        root_pos: usize,
+        op_id: u32,
+        ctx: u32,
+    ) -> Vec<(usize, Bytes)> {
+        let n = list.len();
+        let me = list.iter().position(|&r| r == self.rank).expect("rank not in gather group");
+        let relative = (me + n - root_pos) % n;
+        let mut parts: Vec<(usize, Bytes)> = vec![(self.rank, mine)];
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask == 0 {
+                let src_rel = relative | mask;
+                if src_rel < n {
+                    let src = list[(src_rel + root_pos) % n];
+                    let b = self.coll_recv(src, tag(op_id, 0), ctx);
+                    parts.extend(unbundle(&b));
+                }
+            } else {
+                let dst_rel = relative ^ mask;
+                let dst = list[(dst_rel + root_pos) % n];
+                self.coll_send(bundle(&parts), dst, tag(op_id, 0), ctx);
+                break;
+            }
+            mask <<= 1;
+        }
+        parts.sort_by_key(|&(r, _)| r);
+        parts
+    }
+
+    // ---- public collectives --------------------------------------------------
+
+    /// Synchronize all ranks (`MPI_Barrier`).
+    pub fn barrier(&mut self) {
+        let t0 = self.enter();
+        let list: Vec<usize> = (0..self.n).collect();
+        self.barrier_inner(&list, op::BARRIER);
+        self.exit(CallClass::Collective, t0);
+    }
+
+    /// Broadcast `buf` from `root` to every rank (`MPI_Bcast`).
+    pub fn bcast<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
+        let t0 = self.enter();
+        let list: Vec<usize> = (0..self.n).collect();
+        let seed = if self.rank == root { Some(to_bytes(buf)) } else { None };
+        let out = self.bcast_inner(seed, &list, root, op::BCAST);
+        if self.rank != root {
+            from_bytes(&out, buf);
+        }
+        self.exit(CallClass::Collective, t0);
+    }
+
+    /// Reduce elementwise to `root` (`MPI_Reduce`). Returns `Some(result)`
+    /// at the root, `None` elsewhere.
+    pub fn reduce<T: Reducible>(&mut self, data: &[T], rop: ReduceOp, root: usize) -> Option<Vec<T>> {
+        let t0 = self.enter();
+        let list: Vec<usize> = (0..self.n).collect();
+        let acc = self.reduce_inner(data, rop, &list, root, op::REDUCE);
+        self.exit(CallClass::Collective, t0);
+        (self.rank == root).then_some(acc)
+    }
+
+    /// Elementwise reduction visible on every rank (`MPI_Allreduce`).
+    pub fn allreduce<T: Reducible>(&mut self, data: &[T], rop: ReduceOp) -> Vec<T> {
+        let t0 = self.enter();
+        let list: Vec<usize> = (0..self.n).collect();
+        let out = self.allreduce_inner(data, rop, &list, op::ALLREDUCE);
+        self.exit(CallClass::Collective, t0);
+        out
+    }
+
+    /// Gather equal-size contributions to `root` (`MPI_Gather`). Returns
+    /// the rank-ordered concatenation at the root.
+    pub fn gather<T: MpiData>(&mut self, data: &[T], root: usize) -> Option<Vec<T>> {
+        let t0 = self.enter();
+        let list: Vec<usize> = (0..self.n).collect();
+        let parts = self.gather_inner(to_bytes(data), &list, root, op::GATHER);
+        let out = if self.rank == root {
+            let mut all = vec![data[0]; data.len() * self.n];
+            for (r, b) in parts {
+                from_bytes(&b, &mut all[r * data.len()..(r + 1) * data.len()]);
+            }
+            Some(all)
+        } else {
+            None
+        };
+        self.exit(CallClass::Collective, t0);
+        out
+    }
+
+    /// Scatter equal-size blocks from `root` (`MPI_Scatter`). `data` is
+    /// required at the root (length `n * block`), ignored elsewhere;
+    /// returns this rank's block.
+    pub fn scatter<T: MpiData>(&mut self, data: Option<&[T]>, block: usize, root: usize) -> Vec<T> {
+        let t0 = self.enter();
+        let n = self.n;
+        let relative = (self.rank + n - root) % n;
+        // Bundle keyed by *relative* position.
+        let mut mine: Option<Bytes> = None;
+        let mut held: Vec<(usize, Bytes)> = Vec::new();
+        if self.rank == root {
+            let data = data.expect("scatter root must supply data");
+            assert_eq!(data.len(), block * n, "scatter data must be n * block elements");
+            for rel in 0..n {
+                let abs = (rel + root) % n;
+                let b = to_bytes(&data[abs * block..(abs + 1) * block]);
+                if rel == 0 {
+                    mine = Some(b);
+                } else {
+                    held.push((rel, b));
+                }
+            }
+        } else {
+            // Receive my subtree's bundle from the parent.
+            let mut mask = 1usize;
+            while mask < n {
+                if relative & mask != 0 {
+                    let parent = ((relative ^ mask) + root) % n;
+                    let b = self.coll_recv(parent, tag(op::SCATTER, 0), CTX_COLL);
+                    for (rel, part) in unbundle(&b) {
+                        if rel == relative {
+                            mine = Some(part);
+                        } else {
+                            held.push((rel, part));
+                        }
+                    }
+                    break;
+                }
+                mask <<= 1;
+            }
+        }
+        // Forward children's subtrees: child subtree rooted at
+        // relative+mask covers [relative+mask, relative+2*mask).
+        let mut mask = 1usize;
+        while mask < n {
+            if relative & mask != 0 {
+                break;
+            }
+            mask <<= 1;
+        }
+        // `mask` is now above my subtree span; walk down.
+        let mut m = mask >> 1;
+        // For the root, span the whole tree.
+        let mut m_cur = if relative == 0 { n.next_power_of_two() >> 1 } else { m };
+        while m_cur > 0 {
+            if relative + m_cur < n {
+                let lo = relative + m_cur;
+                let hi = (relative + 2 * m_cur).min(n);
+                let parts: Vec<(usize, Bytes)> =
+                    held.iter().filter(|(rel, _)| *rel >= lo && *rel < hi).cloned().collect();
+                held.retain(|(rel, _)| *rel < lo || *rel >= hi);
+                let dst = list_abs(lo, root, n);
+                self.coll_send(bundle(&parts), dst, tag(op::SCATTER, 0), CTX_COLL);
+            }
+            m_cur >>= 1;
+        }
+        m = 0;
+        let _ = m;
+        let bytes = mine.expect("scatter block never arrived");
+        let mut out = vec![T::read_le(&vec![0u8; T::SIZE]); block];
+        from_bytes(&bytes, &mut out);
+        self.exit(CallClass::Collective, t0);
+        out
+    }
+
+    /// All-to-all gather of equal contributions (`MPI_Allgather`), ring
+    /// algorithm. Returns the rank-ordered concatenation.
+    pub fn allgather<T: MpiData>(&mut self, data: &[T]) -> Vec<T> {
+        let t0 = self.enter();
+        let n = self.n;
+        let block = data.len();
+        let mut all = vec![data[0]; block * n];
+        all[self.rank * block..(self.rank + 1) * block].copy_from_slice(data);
+        if n > 1 {
+            let right = (self.rank + 1) % n;
+            let left = (self.rank + n - 1) % n;
+            for step in 0..n - 1 {
+                let send_block = (self.rank + n - step) % n;
+                let recv_block = (self.rank + n - step - 1) % n;
+                let payload = to_bytes(&all[send_block * block..(send_block + 1) * block]);
+                let got =
+                    self.coll_sendrecv(payload, right, left, tag(op::ALLGATHER, step as u32), CTX_COLL);
+                from_bytes(&got, &mut all[recv_block * block..(recv_block + 1) * block]);
+            }
+        }
+        self.exit(CallClass::Collective, t0);
+        all
+    }
+
+    /// Personalized all-to-all exchange (`MPI_Alltoall`), pairwise
+    /// algorithm. `data` holds one `block`-element slab per destination;
+    /// returns one slab per source.
+    pub fn alltoall<T: MpiData>(&mut self, data: &[T], block: usize) -> Vec<T> {
+        let t0 = self.enter();
+        let n = self.n;
+        assert_eq!(data.len(), block * n, "alltoall data must be n * block elements");
+        let mut out = vec![data[0]; block * n];
+        out[self.rank * block..(self.rank + 1) * block]
+            .copy_from_slice(&data[self.rank * block..(self.rank + 1) * block]);
+        for step in 1..n {
+            let dst = (self.rank + step) % n;
+            let src = (self.rank + n - step) % n;
+            let payload = to_bytes(&data[dst * block..(dst + 1) * block]);
+            let got = self.coll_sendrecv(payload, dst, src, tag(op::ALLTOALL, step as u32), CTX_COLL);
+            from_bytes(&got, &mut out[src * block..(src + 1) * block]);
+        }
+        self.exit(CallClass::Collective, t0);
+        out
+    }
+
+    /// Variable-size personalized all-to-all (`MPI_Alltoallv`): one byte
+    /// payload per destination; returns one payload per source.
+    pub fn alltoallv_bytes(&mut self, blocks: Vec<Bytes>) -> Vec<Bytes> {
+        let t0 = self.enter();
+        let n = self.n;
+        assert_eq!(blocks.len(), n, "alltoallv needs one block per rank");
+        let mut out: Vec<Bytes> = vec![Bytes::new(); n];
+        out[self.rank] = blocks[self.rank].clone();
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for step in 1..n {
+            let dst = (self.rank + step) % n;
+            let src = (self.rank + n - step) % n;
+            sends.push(self.isend_inner(blocks[dst].clone(), dst, tag(op::ALLTOALLV, 0), CTX_COLL));
+            recvs.push((src, self.irecv_inner(Some(src), Some(tag(op::ALLTOALLV, 0)), CTX_COLL)));
+        }
+        for (src, rid) in recvs {
+            out[src] = self.wait_recv_inner(rid).0;
+        }
+        for sid in sends {
+            self.wait_send_inner(sid);
+        }
+        self.exit(CallClass::Collective, t0);
+        out
+    }
+
+    // ---- two-level (SMP-aware) variants --------------------------------------
+
+    /// The locality groups the active policy induces (each group sorted,
+    /// groups ordered by smallest member). All ranks compute the same
+    /// partition.
+    pub fn policy_groups(&self) -> Vec<Vec<usize>> {
+        use crate::locality::LocalityPolicy;
+        let mut keyed: Vec<(String, usize)> = (0..self.n)
+            .map(|r| {
+                let loc = self.state.placement.loc(r);
+                let cont = self.state.cluster.container(loc.container);
+                let key = match self.state.policy {
+                    LocalityPolicy::Hostname => format!("h:{}:{}", loc.host, cont.hostname),
+                    _ => format!("d:{}:{}", loc.host, cont.ipc_ns.0),
+                };
+                (key, r)
+            })
+            .collect();
+        keyed.sort();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut cur_key: Option<String> = None;
+        for (k, r) in keyed {
+            if cur_key.as_deref() == Some(k.as_str()) {
+                groups.last_mut().unwrap().push(r);
+            } else {
+                cur_key = Some(k);
+                groups.push(vec![r]);
+            }
+        }
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+
+    /// Two-level broadcast: root → per-host leaders → host-local ranks.
+    pub fn bcast_smp<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
+        let t0 = self.enter();
+        let groups = self.policy_groups();
+        let my_group =
+            groups.iter().find(|g| g.contains(&self.rank)).expect("rank in no group").clone();
+        // Leaders: the root represents its own group; other groups use
+        // their smallest rank.
+        let leaders: Vec<usize> = groups
+            .iter()
+            .map(|g| if g.contains(&root) { root } else { g[0] })
+            .collect();
+        let my_leader = if my_group.contains(&root) { root } else { my_group[0] };
+        let mut payload = if self.rank == root { Some(to_bytes(buf)) } else { None };
+        if self.rank == my_leader && leaders.len() > 1 {
+            let root_pos = leaders.iter().position(|&l| l == root).unwrap();
+            let out = self.bcast_inner(payload.take(), &leaders, root_pos, op::SMP_PHASE0);
+            payload = Some(out);
+        }
+        if my_group.len() > 1 {
+            let root_pos = my_group.iter().position(|&l| l == my_leader).unwrap();
+            let out = self.bcast_inner(payload.take(), &my_group, root_pos, op::SMP_PHASE1);
+            payload = Some(out);
+        }
+        if self.rank != root {
+            from_bytes(&payload.expect("bcast payload missing"), buf);
+        }
+        self.exit(CallClass::Collective, t0);
+    }
+
+    /// Two-level allreduce: host-local reduce to the leader, inter-leader
+    /// allreduce, host-local broadcast.
+    pub fn allreduce_smp<T: Reducible>(&mut self, data: &[T], rop: ReduceOp) -> Vec<T> {
+        let t0 = self.enter();
+        let groups = self.policy_groups();
+        let my_group =
+            groups.iter().find(|g| g.contains(&self.rank)).expect("rank in no group").clone();
+        let leaders: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+        let mut acc = if my_group.len() > 1 {
+            self.reduce_inner(data, rop, &my_group, 0, op::SMP_PHASE0)
+        } else {
+            data.to_vec()
+        };
+        if self.rank == my_group[0] && leaders.len() > 1 {
+            acc = self.allreduce_inner(&acc, rop, &leaders, op::SMP_PHASE1);
+        }
+        if my_group.len() > 1 {
+            let seed = if self.rank == my_group[0] { Some(to_bytes(&acc)) } else { None };
+            let out = self.bcast_inner(seed, &my_group, 0, op::SMP_PHASE2);
+            from_bytes(&out, &mut acc);
+        }
+        self.exit(CallClass::Collective, t0);
+        acc
+    }
+}
+
+/// Absolute rank of relative position `rel` for root `root` in a group of
+/// `n` (world-list variant).
+fn list_abs(rel: usize, root: usize, n: usize) -> usize {
+    (rel + root) % n
+}

@@ -1,0 +1,201 @@
+//! MPI datatypes and reduction operators.
+//!
+//! [`MpiData`] is the fixed-size plain-old-data contract the typed API is
+//! generic over; [`ReduceOp`] provides the predefined elementwise
+//! reduction operators used by `reduce`/`allreduce`.
+
+use bytes::Bytes;
+
+/// A fixed-size plain-old-data element that can cross the wire.
+///
+/// Implementations must be bit-pattern round-trippable: `from_le_bytes ∘
+/// to_le_bytes = id`. Provided for all primitive integers and floats.
+pub trait MpiData: Copy + Send + Sync + 'static {
+    /// Serialized size in bytes.
+    const SIZE: usize;
+    /// Append this element's little-endian bytes to `out`.
+    fn write_le(&self, out: &mut Vec<u8>);
+    /// Decode one element from `bytes` (exactly `SIZE` bytes).
+    fn read_le(bytes: &[u8]) -> Self;
+}
+
+macro_rules! impl_mpi_data {
+    ($($t:ty),*) => {$(
+        impl MpiData for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes.try_into().expect("element size mismatch"))
+            }
+        }
+    )*};
+}
+
+impl_mpi_data!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize, f32, f64);
+
+/// Serialize a slice of elements to bytes.
+pub fn to_bytes<T: MpiData>(data: &[T]) -> Bytes {
+    let mut out = Vec::with_capacity(data.len() * T::SIZE);
+    for x in data {
+        x.write_le(&mut out);
+    }
+    Bytes::from(out)
+}
+
+/// Deserialize bytes into a slice of elements.
+///
+/// # Panics
+/// Panics if `bytes.len()` is not a multiple of `T::SIZE` or the element
+/// count differs from `out.len()` (an MPI type-mismatch abort).
+pub fn from_bytes<T: MpiData>(bytes: &[u8], out: &mut [T]) {
+    assert_eq!(
+        bytes.len(),
+        out.len() * T::SIZE,
+        "datatype mismatch: {} bytes for {} elements of {} bytes",
+        bytes.len(),
+        out.len(),
+        T::SIZE
+    );
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = T::read_le(&bytes[i * T::SIZE..(i + 1) * T::SIZE]);
+    }
+}
+
+/// Predefined reduction operators (the subset the paper's workloads use).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise product.
+    Prod,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// Bitwise or (integers; for floats, defined over the bit pattern of
+    /// `max` — callers should use integer types).
+    BOr,
+    /// Bitwise and (integers).
+    BAnd,
+}
+
+/// Element-level reduction semantics, implemented per type.
+pub trait Reducible: MpiData {
+    /// Combine two elements under `op`.
+    fn reduce(op: ReduceOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reducible_int {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            #[inline]
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                    ReduceOp::BOr => a | b,
+                    ReduceOp::BAnd => a & b,
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! impl_reducible_float {
+    ($($t:ty),*) => {$(
+        impl Reducible for $t {
+            #[inline]
+            fn reduce(op: ReduceOp, a: Self, b: Self) -> Self {
+                match op {
+                    ReduceOp::Sum => a + b,
+                    ReduceOp::Prod => a * b,
+                    ReduceOp::Max => a.max(b),
+                    ReduceOp::Min => a.min(b),
+                    // Bitwise ops are not defined for floats in MPI either.
+                    ReduceOp::BOr | ReduceOp::BAnd => {
+                        panic!("bitwise reduction on floating-point data")
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_reducible_float!(f32, f64);
+
+/// Reduce `src` into `acc` elementwise.
+pub fn reduce_into<T: Reducible>(op: ReduceOp, acc: &mut [T], src: &[T]) {
+    assert_eq!(acc.len(), src.len(), "reduction length mismatch");
+    for (a, &s) in acc.iter_mut().zip(src) {
+        *a = T::reduce(op, *a, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        let xs = [1u64, u64::MAX, 42, 0];
+        let b = to_bytes(&xs);
+        let mut out = [0u64; 4];
+        from_bytes(&b, &mut out);
+        assert_eq!(out, xs);
+
+        let fs = [1.5f64, -0.0, f64::INFINITY, 1e-300];
+        let b = to_bytes(&fs);
+        let mut out = [0f64; 4];
+        from_bytes(&b, &mut out);
+        assert_eq!(out.map(|f| f.to_bits()), fs.map(|f| f.to_bits()));
+    }
+
+    #[test]
+    #[should_panic(expected = "datatype mismatch")]
+    fn length_mismatch_panics() {
+        let b = to_bytes(&[1u32, 2]);
+        let mut out = [0u32; 3];
+        from_bytes(&b, &mut out);
+    }
+
+    #[test]
+    fn integer_reductions() {
+        assert_eq!(u32::reduce(ReduceOp::Sum, 2, 3), 5);
+        assert_eq!(u32::reduce(ReduceOp::Prod, 2, 3), 6);
+        assert_eq!(i32::reduce(ReduceOp::Max, -2, 3), 3);
+        assert_eq!(i32::reduce(ReduceOp::Min, -2, 3), -2);
+        assert_eq!(u8::reduce(ReduceOp::BOr, 0b0101, 0b0011), 0b0111);
+        assert_eq!(u8::reduce(ReduceOp::BAnd, 0b0101, 0b0011), 0b0001);
+        // Wrapping semantics keep reductions total.
+        assert_eq!(u8::reduce(ReduceOp::Sum, 255, 1), 0);
+    }
+
+    #[test]
+    fn float_reductions() {
+        assert_eq!(f64::reduce(ReduceOp::Sum, 1.5, 2.5), 4.0);
+        assert_eq!(f64::reduce(ReduceOp::Max, 1.5, 2.5), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "bitwise reduction")]
+    fn float_bitwise_panics() {
+        f64::reduce(ReduceOp::BOr, 1.0, 2.0);
+    }
+
+    #[test]
+    fn reduce_into_elementwise() {
+        let mut acc = [1u32, 2, 3];
+        reduce_into(ReduceOp::Sum, &mut acc, &[10, 20, 30]);
+        assert_eq!(acc, [11, 22, 33]);
+        reduce_into(ReduceOp::Max, &mut acc, &[5, 100, 5]);
+        assert_eq!(acc, [11, 100, 33]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Derived datatype layouts: strided and indexed views over typed
+//! buffers (`MPI_Type_vector` / `MPI_Type_indexed` equivalents).
+//!
+//! MPI's derived datatypes describe non-contiguous memory so halo
+//! exchanges can send a matrix column without manual packing. Our
+//! transport moves contiguous byte payloads, so a [`Layout`] provides the
+//! pack/unpack pair — the same thing an MPI implementation's internal
+//! dataloop engine does — plus `send`/`recv` wrappers that apply it.
+
+use crate::datatype::{from_bytes, to_bytes, MpiData};
+use crate::pt2pt::Status;
+use crate::runtime::Mpi;
+
+/// A non-contiguous element layout over a buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// `count` elements starting at `offset` (the trivial case —
+    /// `MPI_Type_contiguous`).
+    Contiguous {
+        /// First element index.
+        offset: usize,
+        /// Number of elements.
+        count: usize,
+    },
+    /// `count` blocks of `blocklen` elements, the starts `stride`
+    /// elements apart (`MPI_Type_vector`). A matrix column is
+    /// `blocklen = 1, stride = row_len`.
+    Vector {
+        /// First element index.
+        offset: usize,
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklen: usize,
+        /// Distance between block starts, in elements.
+        stride: usize,
+    },
+    /// Explicit block displacements (`MPI_Type_indexed`):
+    /// `(displacement, blocklen)` pairs.
+    Indexed(Vec<(usize, usize)>),
+}
+
+impl Layout {
+    /// Total number of elements the layout selects.
+    pub fn len(&self) -> usize {
+        match self {
+            Layout::Contiguous { count, .. } => *count,
+            Layout::Vector { count, blocklen, .. } => count * blocklen,
+            Layout::Indexed(blocks) => blocks.iter().map(|&(_, l)| l).sum(),
+        }
+    }
+
+    /// `true` when the layout selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The largest element index the layout touches, plus one (the
+    /// minimum buffer length it is valid over).
+    pub fn extent(&self) -> usize {
+        match self {
+            Layout::Contiguous { offset, count } => offset + count,
+            Layout::Vector { offset, count, blocklen, stride } => {
+                if *count == 0 {
+                    *offset
+                } else {
+                    offset + (count - 1) * stride + blocklen
+                }
+            }
+            Layout::Indexed(blocks) => {
+                blocks.iter().map(|&(d, l)| d + l).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Gather the selected elements into a contiguous vector.
+    pub fn pack<T: MpiData>(&self, buf: &[T]) -> Vec<T> {
+        assert!(self.extent() <= buf.len(), "layout reaches past the buffer");
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each_block(|d, l| out.extend_from_slice(&buf[d..d + l]));
+        out
+    }
+
+    /// Scatter a contiguous vector back into the selected positions.
+    pub fn unpack<T: MpiData>(&self, data: &[T], buf: &mut [T]) {
+        assert!(self.extent() <= buf.len(), "layout reaches past the buffer");
+        assert_eq!(data.len(), self.len(), "packed data length mismatch");
+        let mut off = 0usize;
+        self.for_each_block(|d, l| {
+            buf[d..d + l].copy_from_slice(&data[off..off + l]);
+            off += l;
+        });
+    }
+
+    fn for_each_block(&self, mut f: impl FnMut(usize, usize)) {
+        match self {
+            Layout::Contiguous { offset, count } => {
+                if *count > 0 {
+                    f(*offset, *count)
+                }
+            }
+            Layout::Vector { offset, count, blocklen, stride } => {
+                for i in 0..*count {
+                    if *blocklen > 0 {
+                        f(offset + i * stride, *blocklen);
+                    }
+                }
+            }
+            Layout::Indexed(blocks) => {
+                for &(d, l) in blocks {
+                    if l > 0 {
+                        f(d, l)
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Mpi {
+    /// Send the elements a layout selects from `buf` (pack + send — what
+    /// MPI does internally for non-contiguous datatypes over channels
+    /// that need contiguous staging).
+    pub fn send_layout<T: MpiData>(&mut self, buf: &[T], layout: &Layout, dst: usize, tag: u32) {
+        let packed = layout.pack(buf);
+        self.send_bytes(to_bytes(&packed), dst, tag);
+    }
+
+    /// Receive into the positions a layout selects in `buf`.
+    pub fn recv_layout<T: MpiData>(
+        &mut self,
+        buf: &mut [T],
+        layout: &Layout,
+        src: usize,
+        tag: u32,
+    ) -> Status {
+        let (bytes, status) = self.recv_bytes(src, tag);
+        assert_eq!(status.len, layout.len() * T::SIZE, "layout/message size mismatch");
+        let mut packed = vec![buf.first().copied().expect("empty receive buffer"); layout.len()];
+        from_bytes(&bytes, &mut packed);
+        layout.unpack(&packed, buf);
+        status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_pack_roundtrip() {
+        let buf: Vec<u32> = (0..10).collect();
+        let l = Layout::Contiguous { offset: 3, count: 4 };
+        assert_eq!(l.pack(&buf), vec![3, 4, 5, 6]);
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.extent(), 7);
+        let mut out = vec![0u32; 10];
+        l.unpack(&[30, 40, 50, 60], &mut out);
+        assert_eq!(out[3..7], [30, 40, 50, 60]);
+        assert_eq!(out[0..3], [0, 0, 0]);
+    }
+
+    #[test]
+    fn vector_selects_a_matrix_column() {
+        // 4x5 row-major matrix; column 2 = stride 5, blocklen 1.
+        let m: Vec<u32> = (0..20).collect();
+        let col = Layout::Vector { offset: 2, count: 4, blocklen: 1, stride: 5 };
+        assert_eq!(col.pack(&m), vec![2, 7, 12, 17]);
+        assert_eq!(col.extent(), 18);
+        let mut m2 = m.clone();
+        col.unpack(&[0, 0, 0, 0], &mut m2);
+        assert_eq!(m2[2], 0);
+        assert_eq!(m2[7], 0);
+        assert_eq!(m2[3], 3, "untouched elements survive");
+    }
+
+    #[test]
+    fn vector_with_blocks() {
+        let buf: Vec<u8> = (0..12).collect();
+        let l = Layout::Vector { offset: 0, count: 3, blocklen: 2, stride: 4 };
+        assert_eq!(l.pack(&buf), vec![0, 1, 4, 5, 8, 9]);
+        assert_eq!(l.len(), 6);
+    }
+
+    #[test]
+    fn indexed_arbitrary_blocks() {
+        let buf: Vec<u16> = (0..16).collect();
+        let l = Layout::Indexed(vec![(10, 2), (0, 1), (5, 3)]);
+        assert_eq!(l.pack(&buf), vec![10, 11, 0, 5, 6, 7]);
+        assert_eq!(l.extent(), 12);
+        assert_eq!(l.len(), 6);
+    }
+
+    #[test]
+    fn empty_layouts_are_harmless() {
+        let buf = [1u8, 2, 3];
+        assert!(Layout::Contiguous { offset: 1, count: 0 }.pack(&buf).is_empty());
+        assert!(Layout::Indexed(vec![]).is_empty());
+        assert_eq!(Layout::Indexed(vec![]).extent(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past the buffer")]
+    fn overreach_is_rejected() {
+        Layout::Vector { offset: 0, count: 3, blocklen: 2, stride: 4 }.pack(&[0u8; 9]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for recoverable MPI failures.
+//!
+//! Programming errors (type-size mismatches, invalid ranks) panic, as they
+//! would abort in a real MPI implementation; environmental failures that a
+//! caller can meaningfully react to are reported as [`MpiError`].
+
+use cmpi_fabric::FabricError;
+
+/// Recoverable failures surfaced by the library.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MpiError {
+    /// The HCA channel was required (remote peer, or SHM/CMA impossible)
+    /// but the rank's container cannot access the device.
+    Fabric(FabricError),
+    /// A receive buffer was smaller than the matched message.
+    Truncated {
+        /// Matched message length in bytes.
+        msg_len: usize,
+        /// Provided buffer length in bytes.
+        buf_len: usize,
+    },
+    /// Tunable validation failed at job start.
+    BadTunables(String),
+    /// Placement validation failed at job start.
+    BadPlacement(String),
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpiError::Fabric(e) => write!(f, "fabric error: {e}"),
+            MpiError::Truncated { msg_len, buf_len } => {
+                write!(f, "message truncated: {msg_len} bytes into {buf_len}-byte buffer")
+            }
+            MpiError::BadTunables(s) => write!(f, "invalid tunables: {s}"),
+            MpiError::BadPlacement(s) => write!(f, "invalid placement: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+impl From<FabricError> for MpiError {
+    fn from(e: FabricError) -> Self {
+        MpiError::Fabric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MpiError::Truncated { msg_len: 100, buf_len: 10 };
+        assert!(e.to_string().contains("100"));
+        let e = MpiError::Fabric(FabricError::NotPrivileged);
+        assert!(e.to_string().contains("privileged"));
+    }
+}

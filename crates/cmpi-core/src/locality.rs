@@ -1,0 +1,253 @@
+//! Locality policies and the Container Locality Detector.
+//!
+//! The *policy* decides which peers the library treats as local; the
+//! kernel-facility gating in [`cmpi_shmem::visibility`] decides what is
+//! physically possible. The paper's insight is exactly the gap between the
+//! two: with the default **hostname policy**, co-resident containers have
+//! different hostnames and are treated as remote even though SHM/CMA would
+//! work; the **container detector** recovers the truth from the shared
+//! container list.
+
+use cmpi_cluster::{Channel, Cluster, Placement};
+use cmpi_shmem::visibility::visibility;
+use cmpi_shmem::{ContainerList, ShmRegistry, Visibility};
+
+/// How the library decides peer locality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LocalityPolicy {
+    /// Stock MVAPICH2 behaviour: peers are local iff their (UTS)
+    /// hostnames match. Defeated by per-container hostnames — the paper's
+    /// "Default" configuration.
+    Hostname,
+    /// The paper's design: co-residence discovered at `MPI_Init` through
+    /// the shared container list — the "Proposed"/"Opt" configuration.
+    ContainerDetector,
+    /// Force all traffic onto one channel regardless of size thresholds
+    /// (the Fig. 3(b)(c) channel microbenchmarks). Locality itself is
+    /// resolved via the container detector.
+    ForceChannel(Channel),
+}
+
+impl LocalityPolicy {
+    /// Short label used by the benchmark harness ("Def"/"Opt").
+    pub fn label(self) -> &'static str {
+        match self {
+            LocalityPolicy::Hostname => "Def",
+            LocalityPolicy::ContainerDetector => "Opt",
+            LocalityPolicy::ForceChannel(Channel::Shm) => "SHM",
+            LocalityPolicy::ForceChannel(Channel::Cma) => "CMA",
+            LocalityPolicy::ForceChannel(Channel::Hca) => "HCA",
+        }
+    }
+}
+
+/// Everything a rank knows about one peer after initialization.
+#[derive(Clone, Copy, Debug)]
+pub struct PeerInfo {
+    /// Does the active policy consider the peer local?
+    pub considered_local: bool,
+    /// What the kernel would permit (ground-truth namespace gating).
+    pub vis: Visibility,
+    /// Pinned to the same socket (affects copy costs).
+    pub same_socket: bool,
+}
+
+/// A rank's resolved locality knowledge.
+#[derive(Clone, Debug)]
+pub struct LocalityView {
+    rank: usize,
+    peers: Vec<PeerInfo>,
+    /// Ranks the policy considers local, ascending (includes self).
+    local_ranks: Vec<usize>,
+    /// Position of this rank within `local_ranks`.
+    local_ordering: usize,
+    /// Whether this rank runs inside a real container (per-call tax).
+    in_container: bool,
+}
+
+impl LocalityView {
+    /// Phase 1 of detection (before the job barrier): attach the host's
+    /// container list and publish this rank's membership byte.
+    ///
+    /// Runs unconditionally — the list is cheap and harmless under the
+    /// hostname policy, mirroring how MVAPICH2-Virt keeps the detector
+    /// always-on.
+    pub fn publish(
+        registry: &ShmRegistry,
+        cluster: &Cluster,
+        placement: &Placement,
+        rank: usize,
+    ) -> ContainerList {
+        let loc = placement.loc(rank);
+        let cont = cluster.container(loc.container);
+        let list = ContainerList::attach(registry, loc.host, cont.ipc_ns, placement.num_ranks());
+        list.publish(rank, cont.id);
+        list
+    }
+
+    /// Phase 2 (after the job barrier): scan the list and resolve every
+    /// peer under `policy`.
+    pub fn build(
+        policy: LocalityPolicy,
+        cluster: &Cluster,
+        placement: &Placement,
+        rank: usize,
+        list: &ContainerList,
+    ) -> LocalityView {
+        let n = placement.num_ranks();
+        let my_loc = placement.loc(rank);
+        let my_cont = cluster.container(my_loc.container);
+        let mut peers = Vec::with_capacity(n);
+        for peer in 0..n {
+            let p_loc = placement.loc(peer);
+            let p_cont = cluster.container(p_loc.container);
+            let vis = visibility(cluster, my_cont.id, p_cont.id);
+            let considered_local = match policy {
+                LocalityPolicy::Hostname => my_cont.hostname == p_cont.hostname,
+                LocalityPolicy::ContainerDetector | LocalityPolicy::ForceChannel(_) => {
+                    list.is_local(peer)
+                }
+            };
+            peers.push(PeerInfo {
+                considered_local,
+                vis,
+                same_socket: placement.same_socket(rank, peer),
+            });
+        }
+        let local_ranks: Vec<usize> =
+            (0..n).filter(|&p| peers[p].considered_local).collect();
+        let local_ordering =
+            local_ranks.iter().position(|&p| p == rank).expect("rank missing from its own locality set");
+        LocalityView {
+            rank,
+            peers,
+            local_ranks,
+            local_ordering,
+            in_container: !my_cont.native,
+        }
+    }
+
+    /// This rank's global rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Peer knowledge.
+    pub fn peer(&self, peer: usize) -> &PeerInfo {
+        &self.peers[peer]
+    }
+
+    /// Ranks considered local (includes self), ascending.
+    pub fn local_ranks(&self) -> &[usize] {
+        &self.local_ranks
+    }
+
+    /// Host-local process count under the active policy.
+    pub fn local_size(&self) -> usize {
+        self.local_ranks.len()
+    }
+
+    /// This rank's local ordering (paper: position in the container list).
+    pub fn local_ordering(&self) -> usize {
+        self.local_ordering
+    }
+
+    /// Whether per-call container overhead applies to this rank.
+    pub fn in_container(&self) -> bool {
+        self.in_container
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
+
+    /// Publish all ranks, then build one rank's view.
+    fn detect_all(
+        s: &DeploymentScenario,
+        policy: LocalityPolicy,
+    ) -> Vec<LocalityView> {
+        let reg = ShmRegistry::new();
+        let lists: Vec<ContainerList> = (0..s.num_ranks())
+            .map(|r| LocalityView::publish(&reg, &s.cluster, &s.placement, r))
+            .collect();
+        (0..s.num_ranks())
+            .map(|r| LocalityView::build(policy, &s.cluster, &s.placement, r, &lists[r]))
+            .collect()
+    }
+
+    #[test]
+    fn hostname_policy_misses_co_resident_containers() {
+        // 2 containers x 2 ranks on one host: the paper's failure mode.
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let views = detect_all(&s, LocalityPolicy::Hostname);
+        // Rank 0 sees only its container-mate as local...
+        assert_eq!(views[0].local_ranks(), &[0, 1]);
+        // ...even though SHM/CMA with ranks 2,3 would be possible.
+        assert!(views[0].peer(2).vis.shm);
+        assert!(views[0].peer(2).vis.cma);
+        assert!(!views[0].peer(2).considered_local);
+    }
+
+    #[test]
+    fn detector_recovers_full_co_residency() {
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let views = detect_all(&s, LocalityPolicy::ContainerDetector);
+        for v in &views {
+            assert_eq!(v.local_ranks(), &[0, 1, 2, 3]);
+        }
+        assert_eq!(views[2].local_ordering(), 2);
+    }
+
+    #[test]
+    fn native_sees_everyone_under_both_policies() {
+        let s = DeploymentScenario::native(1, 4);
+        for policy in [LocalityPolicy::Hostname, LocalityPolicy::ContainerDetector] {
+            let views = detect_all(&s, policy);
+            assert_eq!(views[0].local_ranks(), &[0, 1, 2, 3]);
+            assert!(!views[0].in_container());
+        }
+    }
+
+    #[test]
+    fn cross_host_ranks_are_never_local() {
+        let s = DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default());
+        let views = detect_all(&s, LocalityPolicy::ContainerDetector);
+        assert_eq!(views[0].local_ranks(), &[0, 1, 2, 3]);
+        assert_eq!(views[4].local_ranks(), &[4, 5, 6, 7]);
+        assert!(!views[0].peer(4).considered_local);
+        assert!(!views[0].peer(4).vis.co_resident);
+    }
+
+    #[test]
+    fn detector_degrades_gracefully_without_ipc_sharing() {
+        // Containers with private IPC namespaces publish to private lists:
+        // each container only discovers itself — correct, not optimal.
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::isolated());
+        let views = detect_all(&s, LocalityPolicy::ContainerDetector);
+        assert_eq!(views[0].local_ranks(), &[0, 1]);
+        assert_eq!(views[2].local_ranks(), &[2, 3]);
+        assert!(!views[0].peer(2).vis.shm);
+    }
+
+    #[test]
+    fn container_ranks_pay_the_tax_native_does_not() {
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let views = detect_all(&s, LocalityPolicy::ContainerDetector);
+        assert!(views[0].in_container());
+        let s = DeploymentScenario::native(1, 2);
+        let views = detect_all(&s, LocalityPolicy::ContainerDetector);
+        assert!(!views[0].in_container());
+    }
+
+    #[test]
+    fn socket_relation_is_recorded() {
+        let s = DeploymentScenario::pt2pt_pair(true, false, NamespaceSharing::default());
+        let views = detect_all(&s, LocalityPolicy::ContainerDetector);
+        assert!(!views[0].peer(1).same_socket);
+        let s = DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default());
+        let views = detect_all(&s, LocalityPolicy::ContainerDetector);
+        assert!(views[0].peer(1).same_socket);
+    }
+}

@@ -1,0 +1,402 @@
+//! The ADI3 matching engine: posted receives, unexpected messages, and
+//! eager-chunk reassembly.
+//!
+//! MPI matching semantics implemented here:
+//!
+//! * a message `(src, ctx, tag)` matches a posted receive whose source and
+//!   tag are equal or wildcarded, within the same communicator context;
+//! * among candidates, matching is FIFO in *arrival order*, which (because
+//!   each channel is FIFO per sender) equals send order — the
+//!   non-overtaking rule;
+//! * eager messages may arrive as multiple chunks (the SHM channel chunks
+//!   anything larger than one eager packet); the engine reassembles them
+//!   and tracks the virtual time at which the last chunk was consumed.
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+use cmpi_cluster::{Channel, SimTime};
+
+use crate::packet::ReqId;
+
+/// A fully arrived message (eager payload or rendezvous announcement).
+#[derive(Clone, Debug)]
+pub struct ArrivedMsg {
+    /// Sending rank.
+    pub src: usize,
+    /// Communicator context.
+    pub ctx: u32,
+    /// User tag.
+    pub tag: u32,
+    /// Sender sequence number.
+    pub seq: u64,
+    /// Payload or handshake.
+    pub body: ArrivedBody,
+    /// Channel the message travelled on.
+    pub channel: Channel,
+}
+
+/// Message body variants.
+#[derive(Clone, Debug)]
+pub enum ArrivedBody {
+    /// Assembled eager payload, consumable at `ready_at`.
+    Eager {
+        /// The payload.
+        data: Bytes,
+        /// Virtual time at which the receiver finished draining all
+        /// chunks from the channel.
+        ready_at: SimTime,
+    },
+    /// A rendezvous announcement; the payload is still at the sender.
+    Rts {
+        /// Announced size in bytes.
+        size: u64,
+        /// Sender request id to address the CTS to.
+        sreq: ReqId,
+        /// Virtual arrival time of the RTS itself.
+        available_at: SimTime,
+    },
+}
+
+/// A receive posted by the application, waiting for a message.
+#[derive(Clone, Copy, Debug)]
+pub struct PostedRecv {
+    /// Receiver request id.
+    pub rreq: ReqId,
+    /// Required source (`None` = `MPI_ANY_SOURCE`).
+    pub src: Option<usize>,
+    /// Communicator context.
+    pub ctx: u32,
+    /// Required tag (`None` = `MPI_ANY_TAG`).
+    pub tag: Option<u32>,
+    /// Virtual time the receive was posted — the reference point for the
+    /// expected/unexpected cost decision (purely virtual so real packet
+    /// processing order cannot change costs).
+    pub posted_at: SimTime,
+}
+
+impl PostedRecv {
+    fn matches(&self, src: usize, ctx: u32, tag: u32) -> bool {
+        self.ctx == ctx
+            && self.src.map(|s| s == src).unwrap_or(true)
+            && self.tag.map(|t| t == tag).unwrap_or(true)
+    }
+}
+
+#[derive(Debug)]
+struct Assembly {
+    ctx: u32,
+    tag: u32,
+    total: u64,
+    received: u64,
+    buf: Vec<u8>,
+    ready: SimTime,
+    channel: Channel,
+}
+
+/// Per-rank matching engine.
+#[derive(Debug, Default)]
+pub struct MatchingEngine {
+    assemblies: HashMap<(usize, u64), Assembly>,
+    unexpected: VecDeque<ArrivedMsg>,
+    posted: VecDeque<PostedRecv>,
+}
+
+impl MatchingEngine {
+    /// Create an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one eager chunk. `chunk_ready` is the virtual time at which
+    /// the receiver finished copying this chunk out of the channel.
+    /// Returns the assembled message once the last chunk lands.
+    #[allow(clippy::too_many_arguments)]
+    pub fn eager_chunk(
+        &mut self,
+        src: usize,
+        ctx: u32,
+        tag: u32,
+        seq: u64,
+        total: u64,
+        offset: u64,
+        data: Bytes,
+        chunk_ready: SimTime,
+        channel: Channel,
+    ) -> Option<ArrivedMsg> {
+        let a = self.assemblies.entry((src, seq)).or_insert_with(|| Assembly {
+            ctx,
+            tag,
+            total,
+            received: 0,
+            buf: vec![0u8; total as usize],
+            ready: SimTime::ZERO,
+            channel,
+        });
+        debug_assert_eq!(a.total, total, "chunk stream changed its mind about total size");
+        let off = offset as usize;
+        a.buf[off..off + data.len()].copy_from_slice(&data);
+        a.received += data.len() as u64;
+        a.ready = a.ready.max(chunk_ready);
+        assert!(a.received <= a.total, "chunk overflow for (src {src}, seq {seq})");
+        if a.received == a.total {
+            let a = self.assemblies.remove(&(src, seq)).expect("assembly vanished");
+            Some(ArrivedMsg {
+                src,
+                ctx: a.ctx,
+                tag: a.tag,
+                seq,
+                body: ArrivedBody::Eager { data: Bytes::from(a.buf), ready_at: a.ready },
+                channel: a.channel,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Ingest a rendezvous announcement (always a complete message).
+    #[allow(clippy::too_many_arguments)]
+    pub fn rts(
+        &mut self,
+        src: usize,
+        ctx: u32,
+        tag: u32,
+        seq: u64,
+        size: u64,
+        sreq: ReqId,
+        available_at: SimTime,
+        channel: Channel,
+    ) -> ArrivedMsg {
+        ArrivedMsg {
+            src,
+            ctx,
+            tag,
+            seq,
+            body: ArrivedBody::Rts { size, sreq, available_at },
+            channel,
+        }
+    }
+
+    /// Try to match an arrived message against the posted-receive queue
+    /// (FIFO in post order). On a hit the posted receive is consumed.
+    pub fn take_matching_posted(&mut self, msg: &ArrivedMsg) -> Option<PostedRecv> {
+        let pos = self.posted.iter().position(|p| p.matches(msg.src, msg.ctx, msg.tag))?;
+        self.posted.remove(pos)
+    }
+
+    /// Queue an arrived message no posted receive wanted.
+    pub fn push_unexpected(&mut self, msg: ArrivedMsg) {
+        self.unexpected.push_back(msg);
+    }
+
+    /// Post a receive. Returns the unexpected message it matches, if one
+    /// already arrived (FIFO in arrival order); otherwise the receive is
+    /// queued.
+    pub fn post_recv(&mut self, p: PostedRecv) -> Option<ArrivedMsg> {
+        let pos = self
+            .unexpected
+            .iter()
+            .position(|m| p.matches(m.src, m.ctx, m.tag));
+        match pos {
+            Some(i) => self.unexpected.remove(i),
+            None => {
+                self.posted.push_back(p);
+                None
+            }
+        }
+    }
+
+    /// Non-destructive probe of the unexpected queue.
+    pub fn peek_unexpected(
+        &self,
+        src: Option<usize>,
+        ctx: u32,
+        tag: Option<u32>,
+    ) -> Option<&ArrivedMsg> {
+        let probe = PostedRecv { rreq: 0, src, ctx, tag, posted_at: SimTime::ZERO };
+        self.unexpected.iter().find(|m| probe.matches(m.src, m.ctx, m.tag))
+    }
+
+    /// Remove a posted receive (used when a blocking receive completes via
+    /// a different path). Returns `true` if it was still queued.
+    pub fn cancel_posted(&mut self, rreq: ReqId) -> bool {
+        let pos = self.posted.iter().position(|p| p.rreq == rreq);
+        match pos {
+            Some(i) => {
+                self.posted.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of queued unexpected messages (diagnostics).
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.len()
+    }
+
+    /// Number of incomplete chunk assemblies (diagnostics).
+    pub fn pending_assemblies(&self) -> usize {
+        self.assemblies.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eager_msg(e: &mut MatchingEngine, src: usize, tag: u32, seq: u64, payload: &[u8]) -> Option<ArrivedMsg> {
+        e.eager_chunk(
+            src,
+            0,
+            tag,
+            seq,
+            payload.len() as u64,
+            0,
+            Bytes::copy_from_slice(payload),
+            SimTime::from_us(1),
+            Channel::Shm,
+        )
+    }
+
+    #[test]
+    fn single_chunk_completes_immediately() {
+        let mut e = MatchingEngine::new();
+        let m = eager_msg(&mut e, 1, 7, 0, b"abc").expect("complete");
+        assert_eq!(m.src, 1);
+        assert_eq!(m.tag, 7);
+        match m.body {
+            ArrivedBody::Eager { data, .. } => assert_eq!(&data[..], b"abc"),
+            _ => panic!("wrong body"),
+        }
+    }
+
+    #[test]
+    fn multi_chunk_reassembly_tracks_latest_ready_time() {
+        let mut e = MatchingEngine::new();
+        assert!(e
+            .eager_chunk(2, 0, 1, 5, 6, 0, Bytes::from_static(b"abc"), SimTime::from_us(10), Channel::Shm)
+            .is_none());
+        assert_eq!(e.pending_assemblies(), 1);
+        let m = e
+            .eager_chunk(2, 0, 1, 5, 6, 3, Bytes::from_static(b"def"), SimTime::from_us(30), Channel::Shm)
+            .expect("complete");
+        match m.body {
+            ArrivedBody::Eager { data, ready_at } => {
+                assert_eq!(&data[..], b"abcdef");
+                assert_eq!(ready_at, SimTime::from_us(30));
+            }
+            _ => panic!("wrong body"),
+        }
+        assert_eq!(e.pending_assemblies(), 0);
+    }
+
+    #[test]
+    fn interleaved_assemblies_from_different_sources() {
+        let mut e = MatchingEngine::new();
+        assert!(e
+            .eager_chunk(1, 0, 0, 0, 2, 0, Bytes::from_static(b"a"), SimTime::ZERO, Channel::Shm)
+            .is_none());
+        assert!(e
+            .eager_chunk(2, 0, 0, 0, 2, 0, Bytes::from_static(b"x"), SimTime::ZERO, Channel::Shm)
+            .is_none());
+        let m1 = e
+            .eager_chunk(1, 0, 0, 0, 2, 1, Bytes::from_static(b"b"), SimTime::ZERO, Channel::Shm)
+            .unwrap();
+        let m2 = e
+            .eager_chunk(2, 0, 0, 0, 2, 1, Bytes::from_static(b"y"), SimTime::ZERO, Channel::Shm)
+            .unwrap();
+        assert_eq!(m1.src, 1);
+        assert_eq!(m2.src, 2);
+    }
+
+    #[test]
+    fn posted_recv_matches_by_src_and_tag() {
+        let mut e = MatchingEngine::new();
+        assert!(e.post_recv(PostedRecv { rreq: 1, src: Some(3), ctx: 0, tag: Some(9), posted_at: SimTime::ZERO }).is_none());
+        let m = eager_msg(&mut e, 3, 9, 0, b"x").unwrap();
+        let p = e.take_matching_posted(&m).expect("match");
+        assert_eq!(p.rreq, 1);
+        // Consumed: a second identical message finds nothing.
+        let m2 = eager_msg(&mut e, 3, 9, 1, b"y").unwrap();
+        assert!(e.take_matching_posted(&m2).is_none());
+    }
+
+    #[test]
+    fn wrong_tag_or_src_does_not_match() {
+        let mut e = MatchingEngine::new();
+        e.post_recv(PostedRecv { rreq: 1, src: Some(3), ctx: 0, tag: Some(9), posted_at: SimTime::ZERO });
+        let wrong_tag = eager_msg(&mut e, 3, 8, 0, b"x").unwrap();
+        assert!(e.take_matching_posted(&wrong_tag).is_none());
+        let wrong_src = eager_msg(&mut e, 2, 9, 0, b"x").unwrap();
+        assert!(e.take_matching_posted(&wrong_src).is_none());
+        let wrong_ctx = ArrivedMsg { ctx: 5, ..eager_msg(&mut e, 3, 9, 1, b"x").unwrap() };
+        assert!(e.take_matching_posted(&wrong_ctx).is_none());
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let mut e = MatchingEngine::new();
+        e.post_recv(PostedRecv { rreq: 1, src: None, ctx: 0, tag: None, posted_at: SimTime::ZERO });
+        let m = eager_msg(&mut e, 5, 123, 0, b"x").unwrap();
+        assert_eq!(e.take_matching_posted(&m).unwrap().rreq, 1);
+    }
+
+    #[test]
+    fn unexpected_queue_is_fifo_per_match() {
+        let mut e = MatchingEngine::new();
+        let m1 = eager_msg(&mut e, 1, 7, 0, b"first").unwrap();
+        let m2 = eager_msg(&mut e, 1, 7, 1, b"second").unwrap();
+        e.push_unexpected(m1);
+        e.push_unexpected(m2);
+        let got = e.post_recv(PostedRecv { rreq: 9, src: Some(1), ctx: 0, tag: Some(7), posted_at: SimTime::ZERO }).unwrap();
+        assert_eq!(got.seq, 0, "must match in arrival order");
+        let got = e.post_recv(PostedRecv { rreq: 10, src: Some(1), ctx: 0, tag: Some(7), posted_at: SimTime::ZERO }).unwrap();
+        assert_eq!(got.seq, 1);
+    }
+
+    #[test]
+    fn posted_queue_is_fifo_per_match() {
+        let mut e = MatchingEngine::new();
+        e.post_recv(PostedRecv { rreq: 1, src: None, ctx: 0, tag: None, posted_at: SimTime::ZERO });
+        e.post_recv(PostedRecv { rreq: 2, src: None, ctx: 0, tag: None, posted_at: SimTime::ZERO });
+        let m = eager_msg(&mut e, 0, 0, 0, b"x").unwrap();
+        assert_eq!(e.take_matching_posted(&m).unwrap().rreq, 1);
+        let m = eager_msg(&mut e, 0, 0, 1, b"y").unwrap();
+        assert_eq!(e.take_matching_posted(&m).unwrap().rreq, 2);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut e = MatchingEngine::new();
+        let m = eager_msg(&mut e, 1, 7, 0, b"x").unwrap();
+        e.push_unexpected(m);
+        assert!(e.peek_unexpected(Some(1), 0, Some(7)).is_some());
+        assert!(e.peek_unexpected(Some(1), 0, Some(7)).is_some());
+        assert!(e.peek_unexpected(Some(2), 0, None).is_none());
+        assert_eq!(e.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn cancel_posted_removes_once() {
+        let mut e = MatchingEngine::new();
+        e.post_recv(PostedRecv { rreq: 4, src: None, ctx: 0, tag: None, posted_at: SimTime::ZERO });
+        assert!(e.cancel_posted(4));
+        assert!(!e.cancel_posted(4));
+    }
+
+    #[test]
+    fn rts_preserves_fields() {
+        let mut e = MatchingEngine::new();
+        let m = e.rts(2, 1, 3, 4, 1 << 20, 42, SimTime::from_us(5), Channel::Cma);
+        assert_eq!(m.src, 2);
+        match m.body {
+            ArrivedBody::Rts { size, sreq, available_at } => {
+                assert_eq!(size, 1 << 20);
+                assert_eq!(sreq, 42);
+                assert_eq!(available_at, SimTime::from_us(5));
+            }
+            _ => panic!("wrong body"),
+        }
+    }
+}

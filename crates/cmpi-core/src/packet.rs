@@ -1,0 +1,218 @@
+//! Channel-layer packets and their HCA wire encoding.
+//!
+//! Intra-host channels (SHM/CMA) deliver [`Packet`] values directly
+//! through the receiving rank's mailbox. The HCA channel moves bytes, so
+//! packets crossing it are framed with [`Packet::encode`] and re-assembled
+//! with [`Packet::decode`] — the immediate value carries the protocol
+//! discriminant exactly like MVAPICH2 uses IB immediate data.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use cmpi_cluster::{Channel, SimTime};
+
+/// Request identifier, unique within the issuing rank.
+pub type ReqId = u64;
+
+/// Protocol message kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// One chunk of an eager message. `offset..offset+len` of `total`
+    /// bytes; a single-chunk message has `offset == 0 && len == total`.
+    Eager {
+        /// Communicator context id.
+        ctx: u32,
+        /// User tag.
+        tag: u32,
+        /// Per-(sender→receiver) sequence number, identifies the message
+        /// across chunks.
+        seq: u64,
+        /// Total message length in bytes.
+        total: u64,
+        /// This chunk's offset.
+        offset: u64,
+    },
+    /// Rendezvous request-to-send: announces a large message.
+    Rts {
+        /// Communicator context id.
+        ctx: u32,
+        /// User tag.
+        tag: u32,
+        /// Per-pair sequence number.
+        seq: u64,
+        /// Announced message length.
+        size: u64,
+        /// Sender's request id (echoed in Cts/Fin).
+        sreq: ReqId,
+    },
+    /// Rendezvous clear-to-send: the receiver matched the Rts.
+    Cts {
+        /// Sender request being released.
+        sreq: ReqId,
+        /// Receiver request to address the data to.
+        rreq: ReqId,
+    },
+    /// The rendezvous payload.
+    RndvData {
+        /// Receiver request this payload satisfies.
+        rreq: ReqId,
+    },
+    /// Rendezvous completion notification back to the sender.
+    Fin {
+        /// Sender request now complete.
+        sreq: ReqId,
+    },
+}
+
+/// A channel-layer message.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Sending rank.
+    pub src: usize,
+    /// Channel the packet travelled on (for statistics and cost
+    /// attribution at the receiver).
+    pub channel: Channel,
+    /// Virtual time at which the packet is observable by the receiver.
+    pub available_at: SimTime,
+    /// Protocol discriminant and header fields.
+    pub kind: PacketKind,
+    /// Payload (empty for control packets).
+    pub data: Bytes,
+}
+
+const K_EAGER: u32 = 1;
+const K_RTS: u32 = 2;
+const K_CTS: u32 = 3;
+const K_RNDV: u32 = 4;
+const K_FIN: u32 = 5;
+
+impl Packet {
+    /// Frame the packet for the HCA channel: `(imm, wire bytes)`.
+    pub fn encode(&self) -> (u32, Bytes) {
+        let mut buf = BytesMut::with_capacity(48 + self.data.len());
+        let imm = match self.kind {
+            PacketKind::Eager { ctx, tag, seq, total, offset } => {
+                buf.put_u32_le(ctx);
+                buf.put_u32_le(tag);
+                buf.put_u64_le(seq);
+                buf.put_u64_le(total);
+                buf.put_u64_le(offset);
+                K_EAGER
+            }
+            PacketKind::Rts { ctx, tag, seq, size, sreq } => {
+                buf.put_u32_le(ctx);
+                buf.put_u32_le(tag);
+                buf.put_u64_le(seq);
+                buf.put_u64_le(size);
+                buf.put_u64_le(sreq);
+                K_RTS
+            }
+            PacketKind::Cts { sreq, rreq } => {
+                buf.put_u64_le(sreq);
+                buf.put_u64_le(rreq);
+                K_CTS
+            }
+            PacketKind::RndvData { rreq } => {
+                buf.put_u64_le(rreq);
+                K_RNDV
+            }
+            PacketKind::Fin { sreq } => {
+                buf.put_u64_le(sreq);
+                K_FIN
+            }
+        };
+        buf.extend_from_slice(&self.data);
+        (imm, buf.freeze())
+    }
+
+    /// Reconstruct a packet from its HCA framing.
+    pub fn decode(src: usize, imm: u32, wire: Bytes, available_at: SimTime) -> Packet {
+        fn u32_at(b: &[u8], o: usize) -> u32 {
+            u32::from_le_bytes(b[o..o + 4].try_into().unwrap())
+        }
+        fn u64_at(b: &[u8], o: usize) -> u64 {
+            u64::from_le_bytes(b[o..o + 8].try_into().unwrap())
+        }
+        let b = &wire[..];
+        let (kind, hdr) = match imm {
+            K_EAGER => (
+                PacketKind::Eager {
+                    ctx: u32_at(b, 0),
+                    tag: u32_at(b, 4),
+                    seq: u64_at(b, 8),
+                    total: u64_at(b, 16),
+                    offset: u64_at(b, 24),
+                },
+                32,
+            ),
+            K_RTS => (
+                PacketKind::Rts {
+                    ctx: u32_at(b, 0),
+                    tag: u32_at(b, 4),
+                    seq: u64_at(b, 8),
+                    size: u64_at(b, 16),
+                    sreq: u64_at(b, 24),
+                },
+                32,
+            ),
+            K_CTS => (PacketKind::Cts { sreq: u64_at(b, 0), rreq: u64_at(b, 8) }, 16),
+            K_RNDV => (PacketKind::RndvData { rreq: u64_at(b, 0) }, 8),
+            K_FIN => (PacketKind::Fin { sreq: u64_at(b, 0) }, 8),
+            other => panic!("corrupt HCA frame: unknown kind {other}"),
+        };
+        Packet { src, channel: Channel::Hca, available_at, kind, data: wire.slice(hdr..) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(kind: PacketKind, payload: &[u8]) {
+        let p = Packet {
+            src: 3,
+            channel: Channel::Hca,
+            available_at: SimTime::from_us(9),
+            kind,
+            data: Bytes::copy_from_slice(payload),
+        };
+        let (imm, wire) = p.encode();
+        let q = Packet::decode(3, imm, wire, SimTime::from_us(9));
+        assert_eq!(q.kind, p.kind);
+        assert_eq!(q.data, p.data);
+        assert_eq!(q.src, 3);
+        assert_eq!(q.available_at, p.available_at);
+    }
+
+    #[test]
+    fn eager_roundtrip() {
+        roundtrip(
+            PacketKind::Eager { ctx: 7, tag: 42, seq: 99, total: 5, offset: 0 },
+            b"hello",
+        );
+    }
+
+    #[test]
+    fn eager_chunk_roundtrip() {
+        roundtrip(
+            PacketKind::Eager { ctx: 1, tag: 2, seq: 3, total: 1 << 20, offset: 8192 },
+            &[0xabu8; 4096],
+        );
+    }
+
+    #[test]
+    fn rts_roundtrip() {
+        roundtrip(PacketKind::Rts { ctx: 1, tag: u32::MAX, seq: 7, size: 1 << 30, sreq: 55 }, b"");
+    }
+
+    #[test]
+    fn control_roundtrips() {
+        roundtrip(PacketKind::Cts { sreq: 1, rreq: 2 }, b"");
+        roundtrip(PacketKind::Fin { sreq: u64::MAX }, b"");
+        roundtrip(PacketKind::RndvData { rreq: 77 }, b"payload bytes");
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt HCA frame")]
+    fn unknown_kind_panics() {
+        Packet::decode(0, 200, Bytes::new(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,117 @@
+//! Persistent communication requests (`MPI_Send_init` / `MPI_Recv_init`
+//! / `MPI_Start`).
+//!
+//! Iterative codes (halo exchanges, pipelined solvers) set their
+//! communication pattern up once and re-fire it every iteration;
+//! persistent requests let the library skip per-call argument validation
+//! and route resolution. Here the route is resolved at init time and the
+//! per-start saving is modelled by skipping the request-setup cost.
+
+use bytes::Bytes;
+
+use crate::pt2pt::{Completion, Request, Status, CTX_WORLD};
+use crate::runtime::Mpi;
+use crate::stats::CallClass;
+
+/// A persistent send: pattern fixed at init, fired by [`Mpi::start`].
+#[derive(Debug)]
+pub struct PersistentSend {
+    dst: usize,
+    tag: u32,
+    data: Bytes,
+}
+
+/// A persistent receive: pattern fixed at init, fired by [`Mpi::start`].
+#[derive(Debug)]
+pub struct PersistentRecv {
+    src: Option<usize>,
+    tag: Option<u32>,
+}
+
+/// Either persistent operation (for [`Mpi::start_all`]).
+#[derive(Debug)]
+pub enum Persistent {
+    /// A send pattern.
+    Send(PersistentSend),
+    /// A receive pattern.
+    Recv(PersistentRecv),
+}
+
+impl Mpi {
+    /// Create a persistent send of `data` to `dst` (`MPI_Send_init`).
+    /// The payload is captured at init; use [`PersistentSend::update`]
+    /// to swap it between starts.
+    pub fn send_init(&mut self, data: Bytes, dst: usize, tag: u32) -> PersistentSend {
+        assert!(dst < self.size(), "send_init to invalid rank {dst}");
+        PersistentSend { dst, tag, data }
+    }
+
+    /// Create a persistent receive (`MPI_Recv_init`). `src`/`tag` accept
+    /// the [`crate::ANY_SOURCE`]/[`crate::ANY_TAG`] wildcards.
+    pub fn recv_init(&mut self, src: usize, tag: u32) -> PersistentRecv {
+        PersistentRecv {
+            src: (src != crate::ANY_SOURCE).then_some(src),
+            tag: (tag != crate::ANY_TAG).then_some(tag),
+        }
+    }
+
+    /// Fire one persistent operation (`MPI_Start`), returning the active
+    /// request to wait/test on.
+    pub fn start(&mut self, op: &Persistent) -> Request {
+        let t0 = self.enter();
+        let req = match op {
+            Persistent::Send(s) => {
+                let id = self.isend_inner(s.data.clone(), s.dst, s.tag, CTX_WORLD);
+                Request { id, is_send: true }
+            }
+            Persistent::Recv(r) => {
+                let id = self.irecv_inner(r.src, r.tag, CTX_WORLD);
+                Request { id, is_send: false }
+            }
+        };
+        self.exit(CallClass::Pt2pt, t0);
+        req
+    }
+
+    /// Fire a set of persistent operations (`MPI_Startall`).
+    pub fn start_all(&mut self, ops: &[Persistent]) -> Vec<Request> {
+        ops.iter().map(|op| self.start(op)).collect()
+    }
+
+    /// Convenience: fire a persistent exchange and wait for everything,
+    /// returning the receive completions in `ops` order.
+    pub fn exchange(&mut self, ops: &[Persistent]) -> Vec<Option<(Bytes, Status)>> {
+        let reqs = self.start_all(ops);
+        reqs.into_iter()
+            .map(|r| match self.wait(r) {
+                Completion::Send => None,
+                Completion::Recv(b, s) => Some((b, s)),
+            })
+            .collect()
+    }
+}
+
+impl PersistentSend {
+    /// Replace the payload for the next start (same destination and tag —
+    /// the "persistent pattern, fresh buffer" idiom).
+    pub fn update(&mut self, data: Bytes) {
+        self.data = data;
+    }
+
+    /// The destination rank.
+    pub fn dst(&self) -> usize {
+        self.dst
+    }
+
+    /// Wrap into [`Persistent`] for `start_all`.
+    pub fn into_op(self) -> Persistent {
+        Persistent::Send(self)
+    }
+}
+
+impl PersistentRecv {
+    /// Wrap into [`Persistent`] for `start_all`.
+    pub fn into_op(self) -> Persistent {
+        Persistent::Recv(self)
+    }
+}

@@ -1,0 +1,464 @@
+//! Two-sided point-to-point operations: send/recv, isend/irecv, wait and
+//! test, with the eager and rendezvous protocol engines.
+//!
+//! Protocol selection comes from the [`crate::channel::ChannelSelector`]:
+//!
+//! * **SHM eager** — payload chunked through the bounded pair queue
+//!   (`SMPI_LENGTH_QUEUE`), double copy, virtual-time backpressure;
+//! * **CMA rendezvous** — RTS/CTS handshake over the mailbox, then a
+//!   single receiver-side copy charged one syscall;
+//! * **HCA eager** — staging copy into registered buffers, one fabric
+//!   message, receiver-side copy out;
+//! * **HCA rendezvous** — RTS/CTS over the fabric, zero-copy RDMA payload.
+
+use bytes::Bytes;
+use cmpi_cluster::{Channel, SimTime};
+
+use crate::channel::Protocol;
+use crate::datatype::{from_bytes, to_bytes, MpiData};
+use crate::matching::{ArrivedBody, ArrivedMsg, PostedRecv};
+use crate::packet::{Packet, PacketKind, ReqId};
+use crate::runtime::{Mpi, RecvState, SendState};
+use crate::stats::CallClass;
+
+/// Wildcard source for receives (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: usize = usize::MAX;
+/// Wildcard tag for receives (`MPI_ANY_TAG`).
+pub const ANY_TAG: u32 = u32::MAX;
+
+/// Context id of the user communicator (`MPI_COMM_WORLD`).
+pub(crate) const CTX_WORLD: u32 = 0;
+/// Context id reserved for collective-internal traffic.
+pub(crate) const CTX_COLL: u32 = 1;
+
+/// Completion information of a receive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Status {
+    /// Actual source rank.
+    pub src: usize,
+    /// Actual tag.
+    pub tag: u32,
+    /// Message length in bytes.
+    pub len: usize,
+}
+
+/// A non-blocking operation handle.
+#[derive(Debug)]
+pub struct Request {
+    pub(crate) id: ReqId,
+    pub(crate) is_send: bool,
+}
+
+/// Outcome of completing a request.
+#[derive(Debug)]
+pub enum Completion {
+    /// A send finished.
+    Send,
+    /// A receive finished with its payload and status.
+    Recv(Bytes, Status),
+}
+
+impl Completion {
+    /// Unwrap a receive completion.
+    pub fn into_recv(self) -> (Bytes, Status) {
+        match self {
+            Completion::Recv(b, s) => (b, s),
+            Completion::Send => panic!("expected a receive completion"),
+        }
+    }
+}
+
+impl Mpi {
+    // ---- internal operations (no time-class attribution) -------------------
+
+    /// Start a send on communicator context `ctx`.
+    pub(crate) fn isend_inner(&mut self, data: Bytes, dst: usize, tag: u32, ctx: u32) -> ReqId {
+        assert!(dst < self.n, "send to invalid rank {dst}");
+        let seq = self.send_seq[dst];
+        self.send_seq[dst] += 1;
+        let id = self.fresh_req();
+        let len = data.len();
+        let cost = self.state.cost.clone();
+
+        if dst == self.rank {
+            // Self-message: one local copy, straight into the matching
+            // engine.
+            let ready = self.now + cost.copy_time(len as u64, false);
+            self.stats.record_op(Channel::Shm, len);
+            let msg = ArrivedMsg {
+                src: self.rank,
+                ctx,
+                tag,
+                seq,
+                body: ArrivedBody::Eager { data, ready_at: ready },
+                channel: Channel::Shm,
+            };
+            self.dispatch(msg);
+            self.sends.insert(id, SendState::Done(self.now + SimTime::from_ns(cost.request_ns)));
+            return id;
+        }
+
+        let peer = *self.view.peer(dst);
+        let route = self.selector.route(&peer, len);
+        let cross = self.cross_socket(dst);
+        match (route.channel, route.protocol) {
+            (Channel::Shm, Protocol::Eager) => {
+                let q = self.state.pair_queue(self.rank, dst);
+                let qcap = self.state.tunables.smpi_length_queue;
+                let chunk = self.state.tunables.smp_eager_size.max(1);
+                let total = len;
+                let mut off = 0usize;
+                loop {
+                    let clen = chunk.min(total - off);
+                    // Claim queue space; run progress while the receiver
+                    // drains so cross-pair traffic cannot deadlock.
+                    let stall = loop {
+                        if let Some(s) = q.try_acquire(clen) {
+                            break s;
+                        }
+                        self.progress();
+                        if q.try_acquire(clen).is_none() {
+                            self.sleep_if_idle();
+                        } else {
+                            // Raced a release between try and sleep; the
+                            // extra acquire already claimed the space.
+                            break SimTime::ZERO;
+                        }
+                    };
+                    self.now = self.now.max(stall)
+                        + SimTime::from_ns(cost.shm_post_ns)
+                        + cost.shm_copy_time(clen as u64, qcap as u64, cross);
+                    let available_at = self.now + SimTime::from_ns(cost.shm_wakeup_ns);
+                    self.state.cells[dst].push(Packet {
+                        src: self.rank,
+                        channel: Channel::Shm,
+                        available_at,
+                        kind: PacketKind::Eager {
+                            ctx,
+                            tag,
+                            seq,
+                            total: total as u64,
+                            offset: off as u64,
+                        },
+                        data: data.slice(off..off + clen),
+                    });
+                    self.stats.record_op(Channel::Shm, clen);
+                    off += clen;
+                    if off >= total {
+                        break;
+                    }
+                }
+                self.sends
+                    .insert(id, SendState::Done(self.now + SimTime::from_ns(cost.request_ns)));
+            }
+            (Channel::Cma, Protocol::Rendezvous) => {
+                self.now += SimTime::from_ns(cost.shm_post_ns);
+                self.send_control(
+                    dst,
+                    PacketKind::Rts { ctx, tag, seq, size: len as u64, sreq: id },
+                    Bytes::new(),
+                    Channel::Cma,
+                    self.now,
+                );
+                self.sends.insert(id, SendState::AwaitCts { data, dst, channel: Channel::Cma });
+            }
+            (Channel::Hca, Protocol::Eager) => {
+                // Stage into the pre-registered eager buffer.
+                self.now += cost.copy_time(len as u64, false);
+                let pkt = Packet {
+                    src: self.rank,
+                    channel: Channel::Hca,
+                    available_at: self.now,
+                    kind: PacketKind::Eager {
+                        ctx,
+                        tag,
+                        seq,
+                        total: len as u64,
+                        offset: 0,
+                    },
+                    data,
+                };
+                let (imm, wire) = pkt.encode();
+                let info = self
+                    .state
+                    .fabric
+                    .post_send(self.rank, dst, imm, wire, self.now)
+                    .expect("HCA eager send failed (is the container privileged?)");
+                self.now = info.local_done;
+                self.stats.record_op(Channel::Hca, len);
+                self.sends
+                    .insert(id, SendState::Done(self.now + SimTime::from_ns(cost.request_ns)));
+            }
+            (Channel::Hca, Protocol::Rendezvous) => {
+                self.now += SimTime::from_ns(cost.hca_rndv_setup_ns);
+                let rts = Packet {
+                    src: self.rank,
+                    channel: Channel::Hca,
+                    available_at: self.now,
+                    kind: PacketKind::Rts { ctx, tag, seq, size: len as u64, sreq: id },
+                    data: Bytes::new(),
+                };
+                let (imm, wire) = rts.encode();
+                let info = self
+                    .state
+                    .fabric
+                    .post_send(self.rank, dst, imm, wire, self.now)
+                    .expect("HCA rendezvous RTS failed (is the container privileged?)");
+                self.now = info.local_done;
+                self.sends.insert(id, SendState::AwaitCts { data, dst, channel: Channel::Hca });
+            }
+            (c, p) => unreachable!("selector produced impossible route {c:?}/{p:?}"),
+        }
+        id
+    }
+
+    /// Post a receive on context `ctx`. `None` = wildcard.
+    pub(crate) fn irecv_inner(&mut self, src: Option<usize>, tag: Option<u32>, ctx: u32) -> ReqId {
+        let id = self.fresh_req();
+        self.recvs.insert(id, RecvState::Posted);
+        let posted_at = self.now;
+        if let Some(msg) =
+            self.engine.post_recv(PostedRecv { rreq: id, src, ctx, tag, posted_at })
+        {
+            self.fulfill(id, msg, posted_at);
+        }
+        id
+    }
+
+    /// Block until send `id` completes; advances the clock to completion.
+    pub(crate) fn wait_send_inner(&mut self, id: ReqId) {
+        loop {
+            self.progress();
+            if let Some(SendState::Done(_)) = self.sends.get(&id) {
+                let Some(SendState::Done(t)) = self.sends.remove(&id) else { unreachable!() };
+                self.now = self.now.max(t);
+                return;
+            }
+            assert!(self.sends.contains_key(&id), "waiting on unknown send request {id}");
+            self.sleep_if_idle();
+        }
+    }
+
+    /// Block until receive `id` completes; returns payload and status.
+    pub(crate) fn wait_recv_inner(&mut self, id: ReqId) -> (Bytes, Status) {
+        loop {
+            self.progress();
+            if let Some(RecvState::Done { .. }) = self.recvs.get(&id) {
+                let Some(RecvState::Done { data, status, t }) = self.recvs.remove(&id) else {
+                    unreachable!()
+                };
+                self.now = self.now.max(t);
+                return (data, status);
+            }
+            assert!(self.recvs.contains_key(&id), "waiting on unknown recv request {id}");
+            self.sleep_if_idle();
+        }
+    }
+
+    /// One non-blocking completion check.
+    ///
+    /// A *failed* test charges no virtual time: the number of failed
+    /// polls a spinning loop performs depends on real thread scheduling,
+    /// so charging per poll would make virtual time nondeterministic.
+    /// Instead, a successful test charges one poll plus the causal jump
+    /// to the completion time — which is exactly the time a real spin
+    /// loop would have burned inside `MPI_Test`.
+    pub(crate) fn test_inner(&mut self, req: &Request) -> Option<Completion> {
+        self.progress();
+        if req.is_send {
+            if let Some(SendState::Done(_)) = self.sends.get(&req.id) {
+                let Some(SendState::Done(t)) = self.sends.remove(&req.id) else { unreachable!() };
+                self.now = self.now.max(t) + SimTime::from_ns(self.state.cost.poll_ns);
+                return Some(Completion::Send);
+            }
+        } else if let Some(RecvState::Done { .. }) = self.recvs.get(&req.id) {
+            let Some(RecvState::Done { data, status, t }) = self.recvs.remove(&req.id) else {
+                unreachable!()
+            };
+            self.now = self.now.max(t) + SimTime::from_ns(self.state.cost.poll_ns);
+            return Some(Completion::Recv(data, status));
+        }
+        None
+    }
+
+    fn src_opt(src: usize) -> Option<usize> {
+        if src == ANY_SOURCE {
+            None
+        } else {
+            Some(src)
+        }
+    }
+
+    fn tag_opt(tag: u32) -> Option<u32> {
+        if tag == ANY_TAG {
+            None
+        } else {
+            Some(tag)
+        }
+    }
+
+    // ---- public byte-level API ---------------------------------------------
+
+    /// Blocking send of raw bytes to `dst`.
+    pub fn send_bytes(&mut self, data: Bytes, dst: usize, tag: u32) {
+        let t0 = self.enter();
+        let id = self.isend_inner(data, dst, tag, CTX_WORLD);
+        self.wait_send_inner(id);
+        self.exit(CallClass::Pt2pt, t0);
+    }
+
+    /// Blocking receive of raw bytes. `src`/`tag` may be [`ANY_SOURCE`] /
+    /// [`ANY_TAG`].
+    pub fn recv_bytes(&mut self, src: usize, tag: u32) -> (Bytes, Status) {
+        let t0 = self.enter();
+        let id = self.irecv_inner(Self::src_opt(src), Self::tag_opt(tag), CTX_WORLD);
+        let out = self.wait_recv_inner(id);
+        self.exit(CallClass::Pt2pt, t0);
+        out
+    }
+
+    /// Non-blocking send of raw bytes.
+    pub fn isend_bytes(&mut self, data: Bytes, dst: usize, tag: u32) -> Request {
+        let t0 = self.enter();
+        let id = self.isend_inner(data, dst, tag, CTX_WORLD);
+        self.exit(CallClass::Pt2pt, t0);
+        Request { id, is_send: true }
+    }
+
+    /// Non-blocking receive of raw bytes.
+    pub fn irecv_bytes(&mut self, src: usize, tag: u32) -> Request {
+        let t0 = self.enter();
+        let id = self.irecv_inner(Self::src_opt(src), Self::tag_opt(tag), CTX_WORLD);
+        self.exit(CallClass::Pt2pt, t0);
+        Request { id, is_send: false }
+    }
+
+    /// Block until `req` completes.
+    pub fn wait(&mut self, req: Request) -> Completion {
+        let t0 = self.enter();
+        let out = if req.is_send {
+            self.wait_send_inner(req.id);
+            Completion::Send
+        } else {
+            let (data, status) = self.wait_recv_inner(req.id);
+            Completion::Recv(data, status)
+        };
+        self.exit(CallClass::Pt2pt, t0);
+        out
+    }
+
+    /// Block until all requests complete (in order).
+    pub fn waitall(&mut self, reqs: Vec<Request>) -> Vec<Completion> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
+    /// Check one request for completion without blocking (`MPI_Test`).
+    /// After `Some(..)` the request is finished and must not be waited on
+    /// again.
+    pub fn test(&mut self, req: &Request) -> Option<Completion> {
+        let t0 = self.enter();
+        let out = self.test_inner(req);
+        self.exit(CallClass::Poll, t0);
+        out
+    }
+
+    // ---- public typed API ----------------------------------------------------
+
+    /// Blocking typed send.
+    pub fn send<T: MpiData>(&mut self, buf: &[T], dst: usize, tag: u32) {
+        self.send_bytes(to_bytes(buf), dst, tag);
+    }
+
+    /// Blocking typed receive into `buf` (message may be shorter than the
+    /// buffer). Returns the status; `status.len / T::SIZE` elements were
+    /// written.
+    ///
+    /// # Panics
+    /// Panics if the message is longer than `buf` (MPI truncation abort)
+    /// or not a whole number of elements.
+    pub fn recv<T: MpiData>(&mut self, buf: &mut [T], src: usize, tag: u32) -> Status {
+        let (data, status) = self.recv_bytes(src, tag);
+        assert_eq!(status.len % T::SIZE, 0, "message is not a whole number of elements");
+        let elems = status.len / T::SIZE;
+        assert!(
+            elems <= buf.len(),
+            "message truncated: {} elements into a {}-element buffer",
+            elems,
+            buf.len()
+        );
+        from_bytes(&data, &mut buf[..elems]);
+        status
+    }
+
+    /// Non-blocking typed send.
+    pub fn isend<T: MpiData>(&mut self, buf: &[T], dst: usize, tag: u32) -> Request {
+        self.isend_bytes(to_bytes(buf), dst, tag)
+    }
+
+    /// Simultaneous send and receive (deadlock-free pairwise exchange).
+    pub fn sendrecv_bytes(
+        &mut self,
+        data: Bytes,
+        dst: usize,
+        stag: u32,
+        src: usize,
+        rtag: u32,
+    ) -> (Bytes, Status) {
+        let t0 = self.enter();
+        let sid = self.isend_inner(data, dst, stag, CTX_WORLD);
+        let rid = self.irecv_inner(Self::src_opt(src), Self::tag_opt(rtag), CTX_WORLD);
+        let out = self.wait_recv_inner(rid);
+        self.wait_send_inner(sid);
+        self.exit(CallClass::Pt2pt, t0);
+        out
+    }
+
+    /// Typed simultaneous send and receive.
+    pub fn sendrecv<T: MpiData>(
+        &mut self,
+        send: &[T],
+        dst: usize,
+        stag: u32,
+        recv: &mut [T],
+        src: usize,
+        rtag: u32,
+    ) -> Status {
+        let (data, status) = self.sendrecv_bytes(to_bytes(send), dst, stag, src, rtag);
+        assert_eq!(status.len % T::SIZE, 0, "message is not a whole number of elements");
+        let elems = status.len / T::SIZE;
+        assert!(elems <= recv.len(), "message truncated");
+        from_bytes(&data, &mut recv[..elems]);
+        status
+    }
+
+    /// Non-destructively check for a matching incoming message
+    /// (`MPI_Iprobe`). Runs the progress engine and charges one poll.
+    pub fn iprobe(&mut self, src: usize, tag: u32) -> Option<Status> {
+        let t0 = self.enter();
+        self.progress();
+        let out = self
+            .engine
+            .peek_unexpected(Self::src_opt(src), CTX_WORLD, Self::tag_opt(tag))
+            .map(|m| {
+                let len = match &m.body {
+                    ArrivedBody::Eager { data, .. } => data.len(),
+                    ArrivedBody::Rts { size, .. } => *size as usize,
+                };
+                Status { src: m.src, tag: m.tag, len }
+            });
+        if out.is_some() {
+            // Successful probes charge one poll (failed ones are free for
+            // the same determinism reason as `test`).
+            self.now += SimTime::from_ns(self.state.cost.poll_ns);
+        }
+        self.exit(CallClass::Poll, t0);
+        out
+    }
+
+    /// Park the calling thread until new traffic arrives (no virtual-time
+    /// charge). Lets `test`/`iprobe` spin loops avoid burning a real CPU:
+    /// `while mpi.test(&req).is_none() { mpi.idle_wait(); }`.
+    pub fn idle_wait(&self) {
+        self.sleep_if_idle();
+    }
+}

@@ -1,0 +1,681 @@
+//! The job runtime: rank threads, mailboxes, the progress engine, and
+//! virtual clocks.
+//!
+//! Every MPI rank is an OS thread with a private logical clock
+//! ([`Mpi::now`]). Packets carry availability timestamps; a receive
+//! completes at `max(receiver clock, availability) + receive costs`, so
+//! causality propagates between ranks exactly as wall-clock time would —
+//! but deterministically.
+//!
+//! ### Control packets and detached timelines
+//!
+//! RTS/CTS/FIN handshakes are processed whenever the owning rank runs its
+//! progress engine. Their forwarding timestamps are computed on a
+//! *detached timeline* (`max(clock, availability) + overhead`) without
+//! advancing the rank's own clock: a rendezvous in flight behaves like the
+//! hardware-offloaded transfer it models and does not slow down unrelated
+//! operations the rank is executing meanwhile.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+use bytes::Bytes;
+use cmpi_cluster::{
+    Channel, Cluster, CostModel, DeploymentScenario, Placement, SimTime, Tunables,
+};
+use cmpi_fabric::Fabric;
+use cmpi_shmem::{PairQueue, ShmRegistry};
+use parking_lot::{Condvar, Mutex};
+
+use crate::channel::ChannelSelector;
+use crate::error::MpiError;
+use crate::locality::{LocalityPolicy, LocalityView};
+use crate::matching::{ArrivedBody, ArrivedMsg, MatchingEngine};
+use crate::packet::{Packet, PacketKind, ReqId};
+use crate::pt2pt::Status;
+use crate::stats::{CallClass, CommStats, JobStats};
+use crate::trace::{JobTrace, RankTrace};
+
+/// A complete job description: where ranks run and how the library is
+/// configured.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// Cluster + placement.
+    pub scenario: DeploymentScenario,
+    /// Locality policy (the paper's Default vs Proposed switch).
+    pub policy: LocalityPolicy,
+    /// Protocol tunables.
+    pub tunables: Tunables,
+    /// Channel cost model.
+    pub cost: CostModel,
+    /// Record per-rank virtual timelines (see [`crate::trace`]).
+    pub tracing: bool,
+}
+
+impl JobSpec {
+    /// A job with the paper's "Proposed" defaults (container detector,
+    /// container-tuned tunables, calibrated cost model).
+    pub fn new(scenario: DeploymentScenario) -> Self {
+        JobSpec {
+            scenario,
+            policy: LocalityPolicy::ContainerDetector,
+            tunables: Tunables::default(),
+            cost: CostModel::default(),
+            tracing: false,
+        }
+    }
+
+    /// Override the locality policy.
+    pub fn with_policy(mut self, policy: LocalityPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Override the tunables.
+    pub fn with_tunables(mut self, tunables: Tunables) -> Self {
+        self.tunables = tunables;
+        self
+    }
+
+    /// Override the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Record per-rank virtual timelines, exportable as Chrome trace JSON
+    /// from [`JobResult::trace`].
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
+
+    /// Check the spec for consistency without running it.
+    pub fn validate(&self) -> Result<(), MpiError> {
+        self.tunables.validate().map_err(MpiError::BadTunables)?;
+        self.scenario.validate().map_err(MpiError::BadPlacement)?;
+        Ok(())
+    }
+
+    /// Launch the job: one thread per rank, each executing `f`, and
+    /// collect results, virtual times and statistics.
+    ///
+    /// # Panics
+    /// Panics if the spec fails [`JobSpec::validate`], or if any rank
+    /// panics (e.g. an MPI usage error).
+    pub fn run<R, F>(&self, f: F) -> JobResult<R>
+    where
+        R: Send,
+        F: Fn(&mut Mpi) -> R + Send + Sync,
+    {
+        self.validate().expect("invalid job spec");
+        let n = self.scenario.num_ranks();
+        let state = Arc::new(JobState::new(self));
+        // Attach HCA endpoints up front (privilege permitting).
+        for r in 0..n {
+            let loc = state.placement.loc(r);
+            let cont = state.cluster.container(loc.container);
+            let ok = state.fabric.attach(r, loc.host, cont.privileged).is_ok();
+            state.attached[r].store(ok, Ordering::Release);
+        }
+        let tracing = self.tracing;
+        let mut slots: Vec<Option<(R, SimTime, CommStats, Option<RankTrace>)>> =
+            (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for r in 0..n {
+                let state = Arc::clone(&state);
+                let f = &f;
+                handles.push(
+                    std::thread::Builder::new()
+                        .name(format!("mpi-rank-{r}"))
+                        .spawn_scoped(scope, move || {
+                            let mut mpi = Mpi::init(r, state);
+                            if tracing {
+                                mpi.trace = Some(RankTrace::default());
+                            }
+                            let out = f(&mut mpi);
+                            // Drain any protocol work peers still need from
+                            // us before tearing down.
+                            mpi.state.finalize_barrier.wait();
+                            (out, mpi.now, mpi.stats, mpi.trace)
+                        })
+                        .expect("failed to spawn rank thread"),
+                );
+            }
+            for (r, h) in handles.into_iter().enumerate() {
+                slots[r] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            }
+        });
+        let mut results = Vec::with_capacity(n);
+        let mut times = Vec::with_capacity(n);
+        let mut stats = Vec::with_capacity(n);
+        let mut traces = Vec::with_capacity(n);
+        for s in slots {
+            let (out, t, st, tr) = s.expect("rank produced no result");
+            results.push(out);
+            times.push(t);
+            stats.push(st);
+            traces.push(tr);
+        }
+        let elapsed = times.iter().copied().fold(SimTime::ZERO, SimTime::max);
+        let trace = traces[0]
+            .is_some()
+            .then(|| JobTrace { ranks: traces.into_iter().map(Option::unwrap).collect() });
+        JobResult { results, times, stats: JobStats::new(stats), elapsed, trace }
+    }
+}
+
+/// What a finished job returns.
+#[derive(Debug)]
+pub struct JobResult<R> {
+    /// Per-rank return values of the job closure, rank-ordered.
+    pub results: Vec<R>,
+    /// Per-rank final virtual clocks.
+    pub times: Vec<SimTime>,
+    /// Aggregated communication statistics.
+    pub stats: JobStats,
+    /// Job makespan: the latest rank clock.
+    pub elapsed: SimTime,
+    /// Recorded timelines when the spec enabled tracing.
+    pub trace: Option<JobTrace>,
+}
+
+struct CellInner {
+    q: VecDeque<Packet>,
+    poked: bool,
+}
+
+/// A rank's mailbox: intra-host packets are pushed here directly; fabric
+/// arrivals and eager-queue drains poke it so sleeping ranks wake up.
+pub(crate) struct RankCell {
+    inner: Mutex<CellInner>,
+    cv: Condvar,
+}
+
+impl RankCell {
+    fn new() -> Self {
+        RankCell { inner: Mutex::new(CellInner { q: VecDeque::new(), poked: false }), cv: Condvar::new() }
+    }
+
+    pub(crate) fn push(&self, pkt: Packet) {
+        let mut g = self.inner.lock();
+        g.q.push_back(pkt);
+        g.poked = true;
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn poke(&self) {
+        let mut g = self.inner.lock();
+        g.poked = true;
+        self.cv.notify_all();
+    }
+
+    fn pop(&self) -> Option<Packet> {
+        self.inner.lock().q.pop_front()
+    }
+
+    /// Sleep until something happens (a packet, or a poke from the fabric
+    /// or an eager-queue drain). The poked flag prevents lost wake-ups.
+    fn sleep_if_idle(&self) {
+        let mut g = self.inner.lock();
+        if g.q.is_empty() && !g.poked {
+            self.cv.wait(&mut g);
+        }
+        g.poked = false;
+    }
+}
+
+/// Shared, immutable-after-init job state.
+pub(crate) struct JobState {
+    pub(crate) cluster: Cluster,
+    pub(crate) placement: Placement,
+    pub(crate) policy: LocalityPolicy,
+    pub(crate) tunables: Tunables,
+    pub(crate) cost: CostModel,
+    pub(crate) registry: ShmRegistry,
+    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) attached: Vec<AtomicBool>,
+    pub(crate) cells: Vec<RankCell>,
+    queues: Mutex<HashMap<(usize, usize), Arc<PairQueue>>>,
+    pub(crate) windows: Mutex<HashMap<u32, Vec<Option<Arc<cmpi_fabric::MemoryRegion>>>>>,
+    init_barrier: Barrier,
+    finalize_barrier: Barrier,
+}
+
+impl JobState {
+    fn new(spec: &JobSpec) -> Self {
+        let n = spec.scenario.num_ranks();
+        JobState {
+            cluster: spec.scenario.cluster.clone(),
+            placement: spec.scenario.placement.clone(),
+            policy: spec.policy,
+            tunables: spec.tunables,
+            cost: spec.cost.clone(),
+            registry: ShmRegistry::new(),
+            fabric: Fabric::new(spec.cost.clone()),
+            attached: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            cells: (0..n).map(|_| RankCell::new()).collect(),
+            queues: Mutex::new(HashMap::new()),
+            windows: Mutex::new(HashMap::new()),
+            init_barrier: Barrier::new(n),
+            finalize_barrier: Barrier::new(n),
+        }
+    }
+
+    /// The SHM eager queue for the ordered pair `src → dst` (lazily
+    /// created with the configured `SMPI_LENGTH_QUEUE` capacity).
+    pub(crate) fn pair_queue(&self, src: usize, dst: usize) -> Arc<PairQueue> {
+        Arc::clone(
+            self.queues
+                .lock()
+                .entry((src, dst))
+                .or_insert_with(|| Arc::new(PairQueue::new(self.tunables.smpi_length_queue))),
+        )
+    }
+
+    /// Receiver-side queue drain: frees space and pokes the sender (which
+    /// may be blocked waiting for it).
+    pub(crate) fn release_queue(&self, src: usize, dst: usize, bytes: usize, t: SimTime) {
+        self.pair_queue(src, dst).release(bytes, t);
+        self.cells[src].poke();
+    }
+}
+
+/// Per-rank state of an in-flight send.
+#[derive(Debug)]
+pub(crate) enum SendState {
+    /// Rendezvous announced; payload parked until the CTS arrives.
+    AwaitCts {
+        /// Parked payload.
+        data: Bytes,
+        /// Destination rank.
+        dst: usize,
+        /// Channel the rendezvous runs on.
+        channel: Channel,
+    },
+    /// Payload dispatched; waiting for the receiver's FIN.
+    AwaitFin,
+    /// Complete as of the contained virtual time.
+    Done(SimTime),
+}
+
+/// Per-rank state of an in-flight receive.
+#[derive(Debug)]
+pub(crate) enum RecvState {
+    /// Posted, nothing matched yet.
+    Posted,
+    /// Matched an RTS and sent the CTS; waiting for the payload.
+    AwaitData {
+        /// Sender rank.
+        src: usize,
+        /// Matched tag.
+        tag: u32,
+        /// Sender's request id (echoed in the FIN).
+        sreq: ReqId,
+        /// Rendezvous channel.
+        channel: Channel,
+        /// Announced size.
+        size: usize,
+    },
+    /// Complete: payload and status available.
+    Done {
+        /// Received payload.
+        data: Bytes,
+        /// MPI status.
+        status: Status,
+        /// Completion time.
+        t: SimTime,
+    },
+}
+
+/// The per-rank MPI handle — the library's ADI3 surface.
+pub struct Mpi {
+    pub(crate) rank: usize,
+    pub(crate) n: usize,
+    pub(crate) now: SimTime,
+    pub(crate) state: Arc<JobState>,
+    pub(crate) selector: ChannelSelector,
+    pub(crate) view: LocalityView,
+    pub(crate) engine: MatchingEngine,
+    pub(crate) stats: CommStats,
+    pub(crate) next_req: ReqId,
+    pub(crate) sends: HashMap<ReqId, SendState>,
+    pub(crate) recvs: HashMap<ReqId, RecvState>,
+    pub(crate) send_seq: Vec<u64>,
+    pub(crate) win_counter: u32,
+    /// Next communicator context id this rank would propose (see
+    /// `Mpi::comm_split`).
+    pub(crate) next_ctx: u32,
+    /// Recorded timeline when tracing is enabled.
+    pub(crate) trace: Option<RankTrace>,
+    /// Virtual time until which this rank's receive-side copy engine is
+    /// busy, tracked *per sender*. Back-to-back transfers from one sender
+    /// (a bandwidth stream) serialize — the receiver cannot copy two of
+    /// its packets at once. The tracker is per sender rather than global
+    /// because packets from different senders can be *processed* in an
+    /// order that inverts their virtual timestamps (a future-stamped
+    /// packet drained early must not delay an earlier-stamped one from
+    /// someone else).
+    pub(crate) copy_busy: Vec<SimTime>,
+}
+
+impl Mpi {
+    fn init(rank: usize, state: Arc<JobState>) -> Mpi {
+        let n = state.placement.num_ranks();
+        // Phase 1: publish membership into the host's container list.
+        let list = LocalityView::publish(&state.registry, &state.cluster, &state.placement, rank);
+        // Wake-ups for fabric arrivals.
+        if state.attached[rank].load(Ordering::Acquire) {
+            let st = Arc::clone(&state);
+            state.fabric.set_notifier(rank, Arc::new(move || st.cells[rank].poke()));
+        }
+        // Paper: "once the membership update of all processes completes,
+        // the real communication can take place" — the job launch barrier.
+        state.init_barrier.wait();
+        // Phase 2: scan the list and resolve peers.
+        let view = LocalityView::build(state.policy, &state.cluster, &state.placement, rank, &list);
+        let selector = ChannelSelector::new(state.policy, state.tunables);
+        Mpi {
+            rank,
+            n,
+            now: SimTime::ZERO,
+            state,
+            selector,
+            view,
+            engine: MatchingEngine::new(),
+            stats: CommStats::default(),
+            next_req: 1,
+            sends: HashMap::new(),
+            recvs: HashMap::new(),
+            send_seq: vec![0; n],
+            win_counter: 0,
+            next_ctx: 16,
+            copy_busy: vec![SimTime::ZERO; n],
+            trace: None,
+        }
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// The rank's current virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The rank's resolved locality view (read-only).
+    pub fn locality(&self) -> &LocalityView {
+        &self.view
+    }
+
+    /// The active channel selector (policy + tunables).
+    pub fn selector(&self) -> &ChannelSelector {
+        &self.selector
+    }
+
+    /// A snapshot of this rank's statistics so far.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Charge `t` of computation (time spent outside MPI).
+    pub fn compute(&mut self, t: SimTime) {
+        let t0 = self.now;
+        self.now += t;
+        self.stats.add_time(CallClass::Compute, t);
+        if let Some(tr) = &mut self.trace {
+            tr.record(CallClass::Compute, "compute", t0, self.now);
+        }
+    }
+
+    /// Model computation proportional to `work_items` at `ns_per_item`.
+    pub fn compute_items(&mut self, work_items: u64, ns_per_item: u64) {
+        self.compute(SimTime::from_ns(work_items * ns_per_item));
+    }
+
+    // ---- internal plumbing --------------------------------------------------
+
+    pub(crate) fn fresh_req(&mut self) -> ReqId {
+        let id = self.next_req;
+        self.next_req += 1;
+        id
+    }
+
+    /// Per-call entry: charge the container tax, remember the start time.
+    pub(crate) fn enter(&mut self) -> SimTime {
+        let t0 = self.now;
+        self.now += self.state.cost.container_tax(self.view.in_container());
+        t0
+    }
+
+    /// Per-call exit: attribute elapsed virtual time to `class`.
+    pub(crate) fn exit(&mut self, class: CallClass, t0: SimTime) {
+        self.stats.add_time(class, self.now - t0);
+        if let Some(tr) = &mut self.trace {
+            tr.record(class, class.name(), t0, self.now);
+        }
+    }
+
+    pub(crate) fn cross_socket(&self, peer: usize) -> bool {
+        peer != self.rank && !self.view.peer(peer).same_socket
+    }
+
+    /// Drain the fabric endpoint and the mailbox, handling every packet.
+    pub(crate) fn progress(&mut self) {
+        if self.state.attached[self.rank].load(Ordering::Acquire) {
+            if let Ok(msgs) = self.state.fabric.poll_recv(self.rank) {
+                for m in msgs {
+                    let pkt = Packet::decode(m.src, m.imm, m.data, m.available_at);
+                    self.handle_packet(pkt);
+                }
+            }
+        }
+        while let Some(pkt) = self.state.cells[self.rank].pop() {
+            self.handle_packet(pkt);
+        }
+    }
+
+    /// Park until new packets or pokes arrive.
+    pub(crate) fn sleep_if_idle(&self) {
+        self.state.cells[self.rank].sleep_if_idle();
+    }
+
+    fn handle_packet(&mut self, pkt: Packet) {
+        match pkt.kind {
+            PacketKind::Eager { ctx, tag, seq, total, offset } => {
+                let cost = &self.state.cost;
+                let len = pkt.data.len();
+                // Drain-copy floor: availability and the per-sender copy
+                // chain only. The receiver's own clock is deliberately NOT
+                // a floor here — *when* the progress engine really drained
+                // the packet is thread-scheduling, and recv completions
+                // are floored at the receiver's clock in wait anyway.
+                let start = pkt.available_at.max(self.copy_busy[pkt.src]);
+                let chunk_ready = match pkt.channel {
+                    Channel::Shm => {
+                        let t = start
+                            + SimTime::from_ns(cost.shm_match_ns)
+                            + cost.shm_copy_time(
+                                len as u64,
+                                self.state.tunables.smpi_length_queue as u64,
+                                self.cross_socket(pkt.src),
+                            );
+                        if pkt.src != self.rank {
+                            self.state.release_queue(pkt.src, self.rank, len, t);
+                        }
+                        t
+                    }
+                    Channel::Hca => {
+                        start
+                            + cost.copy_time(len as u64, false)
+                            + SimTime::from_ns(cost.hca_completion_ns)
+                    }
+                    Channel::Cma => unreachable!("eager data never travels on CMA"),
+                };
+                self.copy_busy[pkt.src] = chunk_ready;
+                if let Some(msg) = self.engine.eager_chunk(
+                    pkt.src,
+                    ctx,
+                    tag,
+                    seq,
+                    total,
+                    offset,
+                    pkt.data,
+                    chunk_ready,
+                    pkt.channel,
+                ) {
+                    self.dispatch(msg);
+                }
+            }
+            PacketKind::Rts { ctx, tag, seq, size, sreq } => {
+                let msg =
+                    self.engine.rts(pkt.src, ctx, tag, seq, size, sreq, pkt.available_at, pkt.channel);
+                self.dispatch(msg);
+            }
+            PacketKind::Cts { sreq, rreq } => self.handle_cts(&pkt, sreq, rreq),
+            PacketKind::RndvData { rreq } => self.handle_rndv_data(pkt, rreq),
+            PacketKind::Fin { sreq } => {
+                self.sends.insert(sreq, SendState::Done(pkt.available_at));
+            }
+        }
+    }
+
+    /// Route an assembled message: fulfil a posted receive or queue it.
+    pub(crate) fn dispatch(&mut self, msg: ArrivedMsg) {
+        match self.engine.take_matching_posted(&msg) {
+            Some(p) => self.fulfill(p.rreq, msg, p.posted_at),
+            None => self.engine.push_unexpected(msg),
+        }
+    }
+
+    /// Complete a posted receive with an arrived message.
+    ///
+    /// `posted_at` is the virtual time the receive was posted: a message
+    /// that was already drained (`ready_at <= posted_at`) counts as
+    /// *unexpected* and pays one extra copy out of the temporary buffer.
+    /// The decision is purely virtual, so the real order in which the
+    /// progress engine happened to process packets cannot change costs.
+    pub(crate) fn fulfill(&mut self, rreq: ReqId, msg: ArrivedMsg, posted_at: SimTime) {
+        let cost = &self.state.cost;
+        match msg.body {
+            ArrivedBody::Eager { data, ready_at } => {
+                let mut t = if ready_at <= posted_at {
+                    posted_at.max(ready_at)
+                        + cost.copy_time(data.len() as u64, false)
+                } else {
+                    ready_at
+                };
+                t += SimTime::from_ns(cost.request_ns);
+                let status = Status { src: msg.src, tag: msg.tag, len: data.len() };
+                self.recvs.insert(rreq, RecvState::Done { data, status, t });
+            }
+            ArrivedBody::Rts { size, sreq, available_at } => {
+                // Send the clear-to-send on the announcing channel.
+                let t = self.now.max(available_at) + SimTime::from_ns(cost.request_ns);
+                self.send_control(
+                    msg.src,
+                    PacketKind::Cts { sreq, rreq },
+                    Bytes::new(),
+                    msg.channel,
+                    t,
+                );
+                self.recvs.insert(
+                    rreq,
+                    RecvState::AwaitData {
+                        src: msg.src,
+                        tag: msg.tag,
+                        sreq,
+                        channel: msg.channel,
+                        size: size as usize,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The sender's CTS handler: dispatch the parked payload.
+    fn handle_cts(&mut self, pkt: &Packet, sreq: ReqId, rreq: ReqId) {
+        let st = self.sends.remove(&sreq).expect("CTS for unknown send request");
+        let SendState::AwaitCts { data, dst, channel } = st else {
+            panic!("CTS for a send not awaiting one: {st:?}");
+        };
+        let t = self.now.max(pkt.available_at);
+        let len = data.len();
+        self.send_control(dst, PacketKind::RndvData { rreq }, data, channel, t);
+        self.stats.record_op(channel, len);
+        self.sends.insert(sreq, SendState::AwaitFin);
+    }
+
+    /// The receiver's payload handler: charge the transfer, complete the
+    /// receive, notify the sender.
+    fn handle_rndv_data(&mut self, pkt: Packet, rreq: ReqId) {
+        let st = self.recvs.remove(&rreq).expect("rendezvous data for unknown recv");
+        let RecvState::AwaitData { src, tag, sreq, channel, size } = st else {
+            panic!("rendezvous data for a recv not awaiting it: {st:?}");
+        };
+        debug_assert_eq!(size, pkt.data.len(), "rendezvous size mismatch");
+        let cost = &self.state.cost;
+        let t = match channel {
+            // CMA: the receiver performs the single-copy read, serialized
+            // on its copy engine.
+            Channel::Cma => {
+                let t = pkt.available_at.max(self.copy_busy[src])
+                    + cost.cma_time(size as u64, self.cross_socket(src));
+                self.copy_busy[src] = t;
+                t
+            }
+            // RDMA: zero copy, just completion handling.
+            Channel::Hca => {
+                self.now.max(pkt.available_at) + SimTime::from_ns(cost.hca_completion_ns)
+            }
+            Channel::Shm => unreachable!("rendezvous payload never travels on SHM"),
+        };
+        self.send_control(src, PacketKind::Fin { sreq }, Bytes::new(), channel, t);
+        let status = Status { src, tag, len: size };
+        self.recvs.insert(rreq, RecvState::Done { data: pkt.data, status, t });
+    }
+
+    /// Emit a protocol packet (control or rendezvous payload) on `channel`
+    /// at detached-timeline time `t`.
+    pub(crate) fn send_control(
+        &mut self,
+        dst: usize,
+        kind: PacketKind,
+        data: Bytes,
+        channel: Channel,
+        t: SimTime,
+    ) {
+        let cost = &self.state.cost;
+        match channel {
+            Channel::Shm | Channel::Cma => {
+                let available_at = t
+                    + SimTime::from_ns(cost.shm_post_ns)
+                    + SimTime::from_ns(cost.shm_wakeup_ns);
+                self.state.cells[dst].push(Packet {
+                    src: self.rank,
+                    channel,
+                    available_at,
+                    kind,
+                    data,
+                });
+            }
+            Channel::Hca => {
+                let pkt = Packet { src: self.rank, channel, available_at: t, kind, data };
+                let (imm, wire) = pkt.encode();
+                self.state
+                    .fabric
+                    .post_send(self.rank, dst, imm, wire, t)
+                    .expect("HCA control send failed");
+            }
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Collective-operation integration tests: correctness against sequential
+//! reference computations, plus the locality effects of Section V-C.
+
+use bytes::Bytes;
+use cmpi_cluster::{Channel, DeploymentScenario, NamespaceSharing};
+use cmpi_core::{JobSpec, LocalityPolicy, ReduceOp};
+
+/// 8 ranks in 2 containers on one host.
+fn spec8(policy: LocalityPolicy) -> JobSpec {
+    JobSpec::new(DeploymentScenario::containers(1, 2, 4, NamespaceSharing::default()))
+        .with_policy(policy)
+}
+
+/// 12 ranks (non-power-of-two) across 3 containers.
+fn spec12() -> JobSpec {
+    JobSpec::new(DeploymentScenario::containers(1, 3, 4, NamespaceSharing::default()))
+}
+
+#[test]
+fn barrier_synchronizes_clocks() {
+    let r = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
+        // Stagger the ranks, then barrier: everyone must leave at a time
+        // >= the slowest rank's entry.
+        mpi.compute(cmpi_cluster::SimTime::from_us(10 * (mpi.rank() as u64 + 1)));
+        mpi.barrier();
+        mpi.now()
+    });
+    let slowest_entry = cmpi_cluster::SimTime::from_us(80);
+    for (rk, t) in r.results.iter().enumerate() {
+        assert!(*t >= slowest_entry, "rank {rk} left the barrier at {t}");
+    }
+}
+
+#[test]
+fn bcast_delivers_from_every_root() {
+    for root in [0usize, 3, 7] {
+        let r = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
+            let mut buf = if mpi.rank() == root {
+                vec![42u64, root as u64, 77]
+            } else {
+                vec![0u64; 3]
+            };
+            mpi.bcast(&mut buf, root);
+            buf
+        });
+        for (rk, v) in r.results.iter().enumerate() {
+            assert_eq!(v, &[42u64, root as u64, 77], "rank {rk}, root {root}");
+        }
+    }
+}
+
+#[test]
+fn reduce_matches_sequential_reference() {
+    for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::Prod] {
+        let r = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
+            let mine: Vec<i64> = (0..5).map(|i| (mpi.rank() as i64 + 2) * (i + 1)).collect();
+            mpi.reduce(&mine, op, 2)
+        });
+        // Sequential reference.
+        let inputs: Vec<Vec<i64>> =
+            (0..8).map(|r| (0..5).map(|i| (r as i64 + 2) * (i + 1)).collect()).collect();
+        let mut expect = inputs[0].clone();
+        for src in &inputs[1..] {
+            for (a, &b) in expect.iter_mut().zip(src) {
+                *a = match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Max => (*a).max(b),
+                    ReduceOp::Min => (*a).min(b),
+                    ReduceOp::Prod => a.wrapping_mul(b),
+                    _ => unreachable!(),
+                };
+            }
+        }
+        for (rk, res) in r.results.iter().enumerate() {
+            if rk == 2 {
+                assert_eq!(res.as_ref().unwrap(), &expect, "op {op:?}");
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_power_of_two_and_odd_sizes() {
+    for spec in [spec8(LocalityPolicy::ContainerDetector), spec12()] {
+        let n = spec.scenario.num_ranks() as u64;
+        let r = spec.run(|mpi| {
+            let mine = vec![mpi.rank() as u64, 1, mpi.rank() as u64 * 2];
+            mpi.allreduce(&mine, ReduceOp::Sum)
+        });
+        let sum: u64 = (0..n).sum();
+        for v in &r.results {
+            assert_eq!(v, &[sum, n, sum * 2]);
+        }
+    }
+}
+
+#[test]
+fn allreduce_floats() {
+    let r = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
+        let mine = vec![0.5f64 * mpi.rank() as f64];
+        mpi.allreduce(&mine, ReduceOp::Sum)[0]
+    });
+    let expect: f64 = (0..8).map(|r| 0.5 * r as f64).sum();
+    for v in &r.results {
+        assert!((v - expect).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn gather_concatenates_in_rank_order() {
+    let r = spec12().run(|mpi| {
+        let mine = [mpi.rank() as u32 * 10, mpi.rank() as u32 * 10 + 1];
+        mpi.gather(&mine, 5)
+    });
+    let expect: Vec<u32> = (0..12).flat_map(|r| [r * 10, r * 10 + 1]).collect();
+    assert_eq!(r.results[5].as_ref().unwrap(), &expect);
+    assert!(r.results[0].is_none());
+}
+
+#[test]
+fn scatter_distributes_blocks() {
+    for root in [0usize, 4, 11] {
+        let r = spec12().run(|mpi| {
+            let data: Option<Vec<u16>> = (mpi.rank() == root)
+                .then(|| (0..36).map(|i| i as u16).collect());
+            mpi.scatter(data.as_deref(), 3, root)
+        });
+        for (rk, block) in r.results.iter().enumerate() {
+            let base = rk as u16 * 3;
+            assert_eq!(block, &[base, base + 1, base + 2], "rank {rk} root {root}");
+        }
+    }
+}
+
+#[test]
+fn allgather_matches_gather_everywhere() {
+    let r = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
+        let mine = [mpi.rank() as u64; 4];
+        mpi.allgather(&mine)
+    });
+    let expect: Vec<u64> = (0..8u64).flat_map(|r| [r; 4]).collect();
+    for v in &r.results {
+        assert_eq!(v, &expect);
+    }
+}
+
+#[test]
+fn alltoall_transposes() {
+    let r = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
+        let n = mpi.size();
+        // Element for destination d: rank * 100 + d.
+        let data: Vec<u32> = (0..n).map(|d| (mpi.rank() * 100 + d) as u32).collect();
+        mpi.alltoall(&data, 1)
+    });
+    for (rk, v) in r.results.iter().enumerate() {
+        let expect: Vec<u32> = (0..8).map(|s| (s * 100 + rk) as u32).collect();
+        assert_eq!(v, &expect, "rank {rk}");
+    }
+}
+
+#[test]
+fn alltoallv_variable_blocks() {
+    let r = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
+        let n = mpi.size();
+        // Send `d+1` bytes of value `rank` to destination d.
+        let blocks: Vec<Bytes> =
+            (0..n).map(|d| Bytes::from(vec![mpi.rank() as u8; d + 1])).collect();
+        let got = mpi.alltoallv_bytes(blocks);
+        got.iter()
+            .enumerate()
+            .all(|(s, b)| b.len() == mpi.rank() + 1 && b.iter().all(|&x| x == s as u8))
+    });
+    assert!(r.results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn collectives_use_local_channels_under_detector() {
+    let opt = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
+        let mine = vec![1u64; 512];
+        mpi.allreduce(&mine, ReduceOp::Sum);
+        mpi.alltoall(&vec![0u8; 8 * 64], 64);
+    });
+    // Single host: everything must stay off the HCA.
+    assert_eq!(opt.stats.channel_ops(Channel::Hca), 0);
+    assert!(opt.stats.channel_ops(Channel::Shm) > 0);
+
+    let def = spec8(LocalityPolicy::Hostname).run(|mpi| {
+        let mine = vec![1u64; 512];
+        mpi.allreduce(&mine, ReduceOp::Sum);
+        mpi.alltoall(&vec![0u8; 8 * 64], 64);
+    });
+    // Cross-container rounds go through the loopback.
+    assert!(def.stats.channel_ops(Channel::Hca) > 0);
+}
+
+#[test]
+fn detector_speeds_up_collectives_on_co_resident_containers() {
+    let run = |policy| {
+        spec8(policy)
+            .run(|mpi| {
+                for _ in 0..5 {
+                    let mine = vec![mpi.rank() as u64; 1024];
+                    mpi.allreduce(&mine, ReduceOp::Sum);
+                }
+            })
+            .elapsed
+    };
+    let def = run(LocalityPolicy::Hostname);
+    let opt = run(LocalityPolicy::ContainerDetector);
+    assert!(opt < def, "opt {opt} must beat def {def}");
+}
+
+#[test]
+fn smp_collectives_match_flat_results() {
+    let spec = JobSpec::new(DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default()));
+    let r = spec.run(|mpi| {
+        let mine = vec![mpi.rank() as u64 + 1; 8];
+        let flat = mpi.allreduce(&mine, ReduceOp::Sum);
+        let smp = mpi.allreduce_smp(&mine, ReduceOp::Sum);
+        assert_eq!(flat, smp);
+
+        let mut buf = if mpi.rank() == 3 { vec![11u32, 22] } else { vec![0u32; 2] };
+        mpi.bcast_smp(&mut buf, 3);
+        (flat[0], buf)
+    });
+    let total: u64 = (1..=8).sum();
+    for (flat0, buf) in &r.results {
+        assert_eq!(*flat0, total);
+        assert_eq!(buf, &[11, 22]);
+    }
+}
+
+#[test]
+fn policy_groups_partition_ranks() {
+    let spec = JobSpec::new(DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default()));
+    let r = spec.run(|mpi| mpi.policy_groups());
+    // Detector: one group per host.
+    assert_eq!(r.results[0], vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+    let spec = spec.with_policy(LocalityPolicy::Hostname);
+    let r = spec.run(|mpi| mpi.policy_groups());
+    // Hostname: one group per container.
+    assert_eq!(r.results[0], vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
+}
+
+#[test]
+fn back_to_back_collectives_do_not_cross_match() {
+    let r = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
+        let mut ok = true;
+        for round in 0..10u64 {
+            let v = mpi.allreduce(&[round + mpi.rank() as u64], ReduceOp::Max);
+            ok &= v[0] == round + 7;
+            let mut b = if mpi.rank() == 0 { vec![round] } else { vec![0u64] };
+            mpi.bcast(&mut b, 0);
+            ok &= b[0] == round;
+        }
+        ok
+    });
+    assert!(r.results.iter().all(|&ok| ok));
+}

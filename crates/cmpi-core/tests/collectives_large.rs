@@ -1,0 +1,101 @@
+//! Large-message collective algorithms: correctness vs the default
+//! algorithms, and the bandwidth advantage that justifies the switch.
+
+use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
+use cmpi_core::{JobSpec, ReduceOp};
+
+fn spec(n: u32) -> JobSpec {
+    JobSpec::new(DeploymentScenario::containers(1, 2, n / 2, NamespaceSharing::default()))
+}
+
+#[test]
+fn rabenseifner_matches_recursive_doubling() {
+    for n in [2u32, 4, 8] {
+        for len in [1usize, 7, 64, 1000, 4096] {
+            let r = spec(n).run(move |mpi| {
+                let mine: Vec<u64> =
+                    (0..len).map(|i| (mpi.rank() as u64 + 1) * (i as u64 + 1)).collect();
+                let a = mpi.allreduce(&mine, ReduceOp::Sum);
+                let b = mpi.allreduce_rabenseifner(&mine, ReduceOp::Sum);
+                a == b
+            });
+            assert!(r.results.iter().all(|&ok| ok), "n {n} len {len}");
+        }
+    }
+}
+
+#[test]
+fn rabenseifner_with_min_and_floats() {
+    let r = spec(8).run(|mpi| {
+        let mine: Vec<f64> = (0..500).map(|i| (mpi.rank() * 7 + i) as f64 * 0.25).collect();
+        let a = mpi.allreduce(&mine, ReduceOp::Min);
+        let b = mpi.allreduce_rabenseifner(&mine, ReduceOp::Min);
+        a == b
+    });
+    assert!(r.results.iter().all(|&ok| ok));
+}
+
+#[test]
+fn scatter_allgather_bcast_matches_binomial() {
+    for n in [2u32, 4, 6, 8] {
+        for len in [1usize, 10, 257, 5000] {
+            let r = spec(n).run(move |mpi| {
+                let root = (mpi.size() - 1).min(2);
+                let reference: Vec<u32> = (0..len).map(|i| i as u32 * 3 + 1).collect();
+                let mut a = if mpi.rank() == root { reference.clone() } else { vec![0; len] };
+                mpi.bcast_scatter_allgather(&mut a, root);
+                a == reference
+            });
+            assert!(r.results.iter().all(|&ok| ok), "n {n} len {len}");
+        }
+    }
+}
+
+#[test]
+fn tuned_variants_dispatch_by_size() {
+    // Behavioural check: results identical either way, and the large
+    // algorithm wins virtual time for big vectors on containers.
+    let time_with = |use_tuned: bool| {
+        spec(8)
+            .run(move |mpi| {
+                let mine = vec![mpi.rank() as u64; 64 * 1024 / 8]; // 64 KiB
+                let t0 = mpi.now();
+                for _ in 0..3 {
+                    if use_tuned {
+                        mpi.allreduce_tuned(&mine, ReduceOp::Sum);
+                    } else {
+                        mpi.allreduce(&mine, ReduceOp::Sum);
+                    }
+                }
+                mpi.now() - t0
+            })
+            .elapsed
+    };
+    let tuned = time_with(true);
+    let flat = time_with(false);
+    assert!(
+        tuned < flat,
+        "Rabenseifner ({tuned}) must beat recursive doubling ({flat}) at 64 KiB"
+    );
+}
+
+#[test]
+fn tuned_bcast_faster_for_large_messages() {
+    let time_with = |use_tuned: bool| {
+        spec(8)
+            .run(move |mpi| {
+                let mut buf = vec![7u8; 256 * 1024];
+                let t0 = mpi.now();
+                if use_tuned {
+                    mpi.bcast_tuned(&mut buf, 0);
+                } else {
+                    mpi.bcast(&mut buf, 0);
+                }
+                mpi.now() - t0
+            })
+            .elapsed
+    };
+    let tuned = time_with(true);
+    let flat = time_with(false);
+    assert!(tuned < flat, "scatter-allgather ({tuned}) must beat binomial ({flat}) at 256 KiB");
+}

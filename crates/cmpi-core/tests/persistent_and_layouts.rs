@@ -1,0 +1,119 @@
+//! Persistent requests and derived-layout communication, end to end.
+
+use bytes::Bytes;
+use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
+use cmpi_core::{Completion, JobSpec, Layout, Persistent};
+
+fn pair() -> JobSpec {
+    JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+}
+
+#[test]
+fn persistent_exchange_fires_repeatedly() {
+    let r = pair().run(|mpi| {
+        if mpi.rank() == 0 {
+            let mut ps = mpi.send_init(Bytes::new(), 1, 5);
+            let mut sums = Vec::new();
+            for round in 0..10u8 {
+                ps.update(Bytes::from(vec![round; 16]));
+                let op = Persistent::Send(mpi.send_init(Bytes::from(vec![round; 16]), 1, 5));
+                let req = mpi.start(&op);
+                mpi.wait(req);
+                sums.push(round as u64);
+                let _ = &ps;
+            }
+            sums
+        } else {
+            let pr = mpi.recv_init(0, 5).into_op();
+            let mut sums = Vec::new();
+            for _ in 0..10 {
+                let req = mpi.start(&pr);
+                let Completion::Recv(data, st) = mpi.wait(req) else { panic!() };
+                assert_eq!(st.len, 16);
+                sums.push(data[0] as u64);
+            }
+            sums
+        }
+    });
+    assert_eq!(r.results[0], r.results[1]);
+    assert_eq!(r.results[1], (0..10).collect::<Vec<u64>>());
+}
+
+#[test]
+fn startall_halo_pattern() {
+    // A 4-rank ring halo exchange set up once, fired 5 times.
+    let spec = JobSpec::new(DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default()));
+    let r = spec.run(|mpi| {
+        let n = mpi.size();
+        let right = (mpi.rank() + 1) % n;
+        let left = (mpi.rank() + n - 1) % n;
+        let ops = vec![
+            mpi.send_init(Bytes::from(vec![mpi.rank() as u8; 8]), right, 1).into_op(),
+            mpi.recv_init(left, 1).into_op(),
+        ];
+        let mut got = Vec::new();
+        for _ in 0..5 {
+            let results = mpi.exchange(&ops);
+            assert!(results[0].is_none(), "send slot");
+            let (data, st) = results[1].as_ref().expect("recv slot");
+            assert_eq!(st.src, left);
+            got.push(data[0]);
+        }
+        got
+    });
+    for rank in 0..4 {
+        let left = (rank + 3) % 4;
+        assert_eq!(r.results[rank], vec![left as u8; 5]);
+    }
+}
+
+#[test]
+fn column_exchange_with_vector_layout() {
+    // Rank 0 sends column 2 of a 4x5 matrix into column 0 of rank 1's.
+    let r = pair().run(|mpi| {
+        let rows = 4usize;
+        let cols = 5usize;
+        if mpi.rank() == 0 {
+            let m: Vec<u32> = (0..(rows * cols) as u32).collect();
+            let col2 = Layout::Vector { offset: 2, count: rows, blocklen: 1, stride: cols };
+            mpi.send_layout(&m, &col2, 1, 9);
+            Vec::new()
+        } else {
+            let mut m = vec![999u32; rows * cols];
+            let col0 = Layout::Vector { offset: 0, count: rows, blocklen: 1, stride: cols };
+            let st = mpi.recv_layout(&mut m, &col0, 0, 9);
+            assert_eq!(st.len, rows * 4);
+            m
+        }
+    });
+    let m = &r.results[1];
+    // Column 0 received 2, 7, 12, 17; everything else untouched.
+    assert_eq!(m[0], 2);
+    assert_eq!(m[5], 7);
+    assert_eq!(m[10], 12);
+    assert_eq!(m[15], 17);
+    assert_eq!(m[1], 999);
+}
+
+#[test]
+fn indexed_layout_roundtrip_over_the_wire() {
+    let r = pair().run(|mpi| {
+        let layout = Layout::Indexed(vec![(0, 2), (6, 1), (3, 2)]);
+        if mpi.rank() == 0 {
+            let buf: Vec<i64> = (100..110).collect();
+            mpi.send_layout(&buf, &layout, 1, 1);
+            Vec::new()
+        } else {
+            let mut buf = vec![0i64; 10];
+            mpi.recv_layout(&mut buf, &layout, 0, 1);
+            buf
+        }
+    });
+    let b = &r.results[1];
+    assert_eq!(b[0], 100);
+    assert_eq!(b[1], 101);
+    assert_eq!(b[6], 106);
+    assert_eq!(b[3], 103);
+    assert_eq!(b[4], 104);
+    assert_eq!(b[2], 0);
+}

@@ -1,0 +1,171 @@
+//! Property-based tests on the library's core invariants.
+
+use bytes::Bytes;
+use cmpi_cluster::{DeploymentScenario, NamespaceSharing, SimTime, Tunables};
+use cmpi_core::{JobSpec, LocalityPolicy, ReduceOp};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any payload survives any route: arbitrary bytes, arbitrary size up
+    /// to several protocol switch points, both policies.
+    #[test]
+    fn payload_integrity(
+        payload in proptest::collection::vec(any::<u8>(), 0..40_000),
+        hostname_policy in any::<bool>(),
+        same_socket in any::<bool>(),
+    ) {
+        let policy = if hostname_policy {
+            LocalityPolicy::Hostname
+        } else {
+            LocalityPolicy::ContainerDetector
+        };
+        let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(
+            true,
+            same_socket,
+            NamespaceSharing::default(),
+        ))
+        .with_policy(policy);
+        let expected = payload.clone();
+        let r = spec.run(move |mpi| {
+            if mpi.rank() == 0 {
+                mpi.send_bytes(Bytes::from(payload.clone()), 1, 3);
+                Vec::new()
+            } else {
+                let (m, st) = mpi.recv_bytes(0, 3);
+                assert_eq!(st.len, m.len());
+                m.to_vec()
+            }
+        });
+        prop_assert_eq!(&r.results[1], &expected);
+    }
+
+    /// Allreduce equals the sequential fold for arbitrary inputs, group
+    /// sizes and operators.
+    #[test]
+    fn allreduce_matches_reference(
+        per_rank in proptest::collection::vec(
+            proptest::collection::vec(any::<i64>(), 4),
+            2..9,
+        ),
+        op_idx in 0usize..4,
+    ) {
+        let op = [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min, ReduceOp::BOr][op_idx];
+        let n = per_rank.len() as u32;
+        let spec = JobSpec::new(DeploymentScenario::containers(
+            1, 1, n, NamespaceSharing::default(),
+        ));
+        let inputs = per_rank.clone();
+        let r = spec.run(move |mpi| {
+            let mine = inputs[mpi.rank()].clone();
+            mpi.allreduce(&mine, op)
+        });
+        let mut expect = per_rank[0].clone();
+        for src in &per_rank[1..] {
+            for (a, &b) in expect.iter_mut().zip(src) {
+                *a = match op {
+                    ReduceOp::Sum => a.wrapping_add(b),
+                    ReduceOp::Max => (*a).max(b),
+                    ReduceOp::Min => (*a).min(b),
+                    ReduceOp::BOr => *a | b,
+                    _ => unreachable!(),
+                };
+            }
+        }
+        for v in &r.results {
+            prop_assert_eq!(v, &expect);
+        }
+    }
+
+    /// The locality detector recovers exactly the ground-truth
+    /// co-residency for arbitrary deployments.
+    #[test]
+    fn detector_equals_ground_truth(
+        hosts in 1u32..4,
+        containers_per_host in 1u32..4,
+        ranks_per_container in 1u32..3,
+    ) {
+        let s = DeploymentScenario::containers(
+            hosts,
+            containers_per_host,
+            ranks_per_container,
+            NamespaceSharing::default(),
+        );
+        let spec = JobSpec::new(s);
+        let r = spec.run(|mpi| mpi.locality().local_ranks().to_vec());
+        for rank in 0..spec.scenario.num_ranks() {
+            let truth = spec.scenario.placement.co_resident_ranks(rank);
+            prop_assert_eq!(&r.results[rank], &truth, "rank {}", rank);
+        }
+    }
+
+    /// Virtual clocks never run backwards and the job makespan dominates
+    /// every per-rank time, for random message patterns.
+    #[test]
+    fn clock_monotonicity(
+        seed in any::<u64>(),
+        msgs in 1usize..12,
+    ) {
+        let spec = JobSpec::new(DeploymentScenario::containers(
+            1, 2, 2, NamespaceSharing::default(),
+        ));
+        let r = spec.run(move |mpi| {
+            let n = mpi.size();
+            let mut ok = true;
+            let mut last = mpi.now();
+            // Deterministic pseudo-random ring chatter: send to the right
+            // partner, receive from the matching left partner (a
+            // mismatched sendrecv ring would deadlock, as MPI's would).
+            let mut x = seed | 1;
+            for i in 0..msgs {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let len = (x % 20_000) as usize;
+                let off = 1 + (i % (n - 1));
+                let dst = (mpi.rank() + off) % n;
+                let src = (mpi.rank() + n - off) % n;
+                mpi.sendrecv_bytes(Bytes::from(vec![0u8; len]), dst, i as u32, src, i as u32);
+                ok &= mpi.now() >= last;
+                last = mpi.now();
+            }
+            ok
+        });
+        prop_assert!(r.results.iter().all(|&b| b));
+        for t in &r.times {
+            prop_assert!(*t <= r.elapsed);
+        }
+    }
+
+    /// Tunables validation accepts exactly the queue >= eager invariant.
+    #[test]
+    fn tunables_validation(eager in 1usize..1_000_000, queue in 1usize..1_000_000) {
+        let t = Tunables::default()
+            .with_smp_eager_size(eager)
+            .with_smpi_length_queue(queue);
+        prop_assert_eq!(t.validate().is_ok(), queue >= eager);
+    }
+}
+
+/// Non-proptest sanity: the pseudo-random chatter above is deterministic
+/// across two identical runs (virtual times equal).
+#[test]
+fn identical_jobs_produce_identical_times() {
+    let run = || {
+        JobSpec::new(DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default()))
+            .run(|mpi| {
+                let n = mpi.size();
+                for i in 0..8u32 {
+                    let right = (mpi.rank() + 1) % n;
+                    let left = (mpi.rank() + n - 1) % n;
+                    mpi.sendrecv_bytes(Bytes::from(vec![0u8; 4096]), right, i, left, i);
+                }
+                mpi.barrier();
+                mpi.now()
+            })
+            .results
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "virtual times must be reproducible");
+    assert!(a[0] > SimTime::ZERO);
+}

@@ -1,0 +1,93 @@
+//! Registered memory regions — the RDMA target buffers.
+//!
+//! An MPI one-sided window over the HCA channel registers its memory with
+//! the adapter and shares the resulting rkey with peers; `rdma_read` /
+//! `rdma_write` then address `(rkey, offset)` with no involvement of the
+//! target process. We model an MR as a byte buffer behind a lock (the
+//! simulation's DMA engine), addressed by a cluster-unique [`RKey`].
+
+use parking_lot::Mutex;
+
+/// Remote key identifying a registered memory region, unique per fabric.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RKey(pub u64);
+
+/// A registered memory region.
+pub struct MemoryRegion {
+    rkey: RKey,
+    owner: usize,
+    data: Mutex<Vec<u8>>,
+}
+
+impl MemoryRegion {
+    pub(crate) fn new(rkey: RKey, owner: usize, len: usize) -> Self {
+        MemoryRegion { rkey, owner, data: Mutex::new(vec![0u8; len]) }
+    }
+
+    /// The region's remote key.
+    pub fn rkey(&self) -> RKey {
+        self.rkey
+    }
+
+    /// Rank that registered the region.
+    pub fn owner(&self) -> usize {
+        self.owner
+    }
+
+    /// Region length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.lock().len()
+    }
+
+    /// `true` for an empty region.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// DMA write (used by `rdma_write` and by the owner's local stores).
+    pub fn write(&self, offset: usize, bytes: &[u8]) {
+        let mut d = self.data.lock();
+        assert!(offset + bytes.len() <= d.len(), "MR write past end");
+        d[offset..offset + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// DMA read (used by `rdma_read` and by the owner's local loads).
+    pub fn read(&self, offset: usize, len: usize) -> Vec<u8> {
+        let d = self.data.lock();
+        assert!(offset + len <= d.len(), "MR read past end");
+        d[offset..offset + len].to_vec()
+    }
+}
+
+impl std::fmt::Debug for MemoryRegion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MemoryRegion(rkey {:?}, owner {}, {} bytes)", self.rkey, self.owner, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mr = MemoryRegion::new(RKey(1), 0, 32);
+        mr.write(4, &[1, 2, 3]);
+        assert_eq!(mr.read(4, 3), vec![1, 2, 3]);
+        assert_eq!(mr.read(0, 4), vec![0, 0, 0, 0]);
+        assert_eq!(mr.len(), 32);
+        assert_eq!(mr.owner(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn out_of_bounds_write_panics() {
+        MemoryRegion::new(RKey(1), 0, 8).write(6, &[0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn out_of_bounds_read_panics() {
+        MemoryRegion::new(RKey(1), 0, 8).read(6, 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Command-line front end for the micro-benchmark suite.
+//!
+//! ```text
+//! osu <bench> [--scenario intra|inter|2hosts|native-intra|native-inter]
+//!             [--policy def|opt|shm|cma|hca] [--max-size N] [--iters N]
+//! ```
+//!
+//! Benches: latency, bw, bibw, put-lat, put-bw, get-lat, get-bw,
+//! bcast, allreduce, allgather, alltoall, barrier, reduce, gather, scatter,
+//! reduce-scatter, scan.
+
+use cmpi_cluster::{Channel, DeploymentScenario, NamespaceSharing};
+use cmpi_core::{JobSpec, LocalityPolicy};
+use cmpi_osu::collective::{self, CollOp};
+use cmpi_osu::{onesided, power_of_two_sizes, pt2pt, SizePoint};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: osu <latency|bw|bibw|put-lat|put-bw|get-lat|get-bw|bcast|allreduce|allgather|alltoall>\n\
+         \x20        [--scenario intra|inter|2hosts|native-intra|native-inter|coll]\n\
+         \x20        [--policy def|opt|shm|cma|hca] [--max-size N] [--iters N]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let bench = args[0].clone();
+    let mut scenario = "intra".to_string();
+    let mut policy = "opt".to_string();
+    let mut max_size = 1 << 20;
+    let mut iters = 20usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => {
+                scenario = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--policy" => {
+                policy = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--max-size" => {
+                max_size = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--iters" => {
+                iters = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+
+    let sharing = NamespaceSharing::default();
+    let dep = match scenario.as_str() {
+        "intra" => DeploymentScenario::pt2pt_pair(true, true, sharing),
+        "inter" => DeploymentScenario::pt2pt_pair(true, false, sharing),
+        "2hosts" => DeploymentScenario::pt2pt_two_hosts(true, sharing),
+        "native-intra" => DeploymentScenario::pt2pt_pair(false, true, sharing),
+        "native-inter" => DeploymentScenario::pt2pt_pair(false, false, sharing),
+        // The paper's collective deployment, scaled to 4 hosts for speed.
+        "coll" => DeploymentScenario::collective_256(4),
+        _ => usage(),
+    };
+    let pol = match policy.as_str() {
+        "def" => LocalityPolicy::Hostname,
+        "opt" => LocalityPolicy::ContainerDetector,
+        "shm" => LocalityPolicy::ForceChannel(Channel::Shm),
+        "cma" => LocalityPolicy::ForceChannel(Channel::Cma),
+        "hca" => LocalityPolicy::ForceChannel(Channel::Hca),
+        _ => usage(),
+    };
+    let spec = JobSpec::new(dep).with_policy(pol);
+    let sizes = power_of_two_sizes(max_size);
+
+    let (unit, points): (&str, Vec<SizePoint>) = match bench.as_str() {
+        "latency" => ("us", pt2pt::latency(&spec, &sizes, iters)),
+        "bw" => ("MB/s", pt2pt::bandwidth(&spec, &sizes, pt2pt::BW_WINDOW, iters.min(8))),
+        "bibw" => ("MB/s", pt2pt::bibandwidth(&spec, &sizes, pt2pt::BW_WINDOW, iters.min(8))),
+        "put-lat" => ("us", onesided::put_latency(&spec, &sizes, iters)),
+        "put-bw" => ("MB/s", onesided::put_bandwidth(&spec, &sizes, 64, iters.min(8))),
+        "get-lat" => ("us", onesided::get_latency(&spec, &sizes, iters)),
+        "get-bw" => ("MB/s", onesided::get_bandwidth(&spec, &sizes, 64, iters.min(8))),
+        "bcast" => ("us", collective::latency(&spec, CollOp::Bcast, &sizes, iters.min(5))),
+        "allreduce" => ("us", collective::latency(&spec, CollOp::Allreduce, &sizes, iters.min(5))),
+        "allgather" => ("us", collective::latency(&spec, CollOp::Allgather, &sizes, iters.min(5))),
+        "alltoall" => ("us", collective::latency(&spec, CollOp::Alltoall, &sizes, iters.min(5))),
+        "barrier" => ("us", collective::latency(&spec, CollOp::Barrier, &[8], iters.min(5))),
+        "reduce" => ("us", collective::latency(&spec, CollOp::Reduce, &sizes, iters.min(5))),
+        "gather" => ("us", collective::latency(&spec, CollOp::Gather, &sizes, iters.min(5))),
+        "scatter" => ("us", collective::latency(&spec, CollOp::Scatter, &sizes, iters.min(5))),
+        "reduce-scatter" => ("us", collective::latency(&spec, CollOp::ReduceScatter, &sizes, iters.min(5))),
+        "scan" => ("us", collective::latency(&spec, CollOp::Scan, &sizes, iters.min(5))),
+        _ => usage(),
+    };
+
+    println!("# osu {bench} scenario={scenario} policy={policy}");
+    println!("{:>10}  {:>14}", "size", unit);
+    for p in points {
+        println!("{:>10}  {:>14.2}", p.size, p.value);
+    }
+}

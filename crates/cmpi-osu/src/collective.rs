@@ -1,0 +1,199 @@
+//! Collective benchmarks (`osu_bcast`, `osu_allreduce`, `osu_allgather`,
+//! `osu_alltoall`) — Fig. 10.
+
+use cmpi_cluster::SimTime;
+use cmpi_core::{JobSpec, ReduceOp};
+
+use crate::common::{us_per_op, SizePoint};
+
+/// Which collective a benchmark drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollOp {
+    /// `MPI_Bcast` from rank 0.
+    Bcast,
+    /// `MPI_Allreduce` (sum).
+    Allreduce,
+    /// `MPI_Allgather`.
+    Allgather,
+    /// `MPI_Alltoall`.
+    Alltoall,
+    /// Two-level broadcast (ablation).
+    BcastSmp,
+    /// Two-level allreduce (ablation).
+    AllreduceSmp,
+    /// `MPI_Barrier` (size column is ignored).
+    Barrier,
+    /// `MPI_Reduce` to rank 0.
+    Reduce,
+    /// `MPI_Gather` to rank 0.
+    Gather,
+    /// `MPI_Scatter` from rank 0.
+    Scatter,
+    /// `MPI_Reduce_scatter_block`.
+    ReduceScatter,
+    /// `MPI_Scan` (inclusive prefix sum).
+    Scan,
+    /// Allreduce with size-based algorithm selection (Rabenseifner for
+    /// large vectors).
+    AllreduceTuned,
+    /// Broadcast with size-based algorithm selection (scatter-allgather
+    /// for large vectors).
+    BcastTuned,
+}
+
+impl CollOp {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CollOp::Bcast => "bcast",
+            CollOp::Allreduce => "allreduce",
+            CollOp::Allgather => "allgather",
+            CollOp::Alltoall => "alltoall",
+            CollOp::BcastSmp => "bcast-smp",
+            CollOp::AllreduceSmp => "allreduce-smp",
+            CollOp::Barrier => "barrier",
+            CollOp::Reduce => "reduce",
+            CollOp::Gather => "gather",
+            CollOp::Scatter => "scatter",
+            CollOp::ReduceScatter => "reduce-scatter",
+            CollOp::Scan => "scan",
+            CollOp::AllreduceTuned => "allreduce-tuned",
+            CollOp::BcastTuned => "bcast-tuned",
+        }
+    }
+}
+
+/// OSU collective latency: average per-rank time per operation, µs.
+///
+/// `size` is the per-rank message size in bytes (matching OSU semantics:
+/// for allgather/alltoall it is the contribution per rank).
+pub fn latency(spec: &JobSpec, op: CollOp, sizes: &[usize], iters: usize) -> Vec<SizePoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let r = spec.run(move |mpi| {
+                let n = mpi.size();
+                let elems = (size / 8).max(1);
+                let mine = vec![mpi.rank() as u64; elems];
+                // Warm up once (builds queues/windows).
+                run_op(mpi, op, &mine, elems, n);
+                mpi.barrier();
+                let t0 = mpi.now();
+                for _ in 0..iters {
+                    run_op(mpi, op, &mine, elems, n);
+                }
+                mpi.now() - t0
+            });
+            let avg_ns: f64 = r.results.iter().map(|t| t.as_ns() as f64).sum::<f64>()
+                / r.results.len() as f64;
+            SizePoint::new(size, us_per_op(SimTime::from_ns(avg_ns as u64), iters as u64))
+        })
+        .collect()
+}
+
+fn run_op(mpi: &mut cmpi_core::Mpi, op: CollOp, mine: &[u64], elems: usize, n: usize) {
+    match op {
+        CollOp::Bcast => {
+            let mut buf = mine.to_vec();
+            mpi.bcast(&mut buf, 0);
+        }
+        CollOp::Allreduce => {
+            mpi.allreduce(mine, ReduceOp::Sum);
+        }
+        CollOp::Allgather => {
+            mpi.allgather(mine);
+        }
+        CollOp::Alltoall => {
+            let data = vec![0u64; elems * n];
+            mpi.alltoall(&data, elems);
+        }
+        CollOp::BcastSmp => {
+            let mut buf = mine.to_vec();
+            mpi.bcast_smp(&mut buf, 0);
+        }
+        CollOp::AllreduceSmp => {
+            mpi.allreduce_smp(mine, ReduceOp::Sum);
+        }
+        CollOp::Barrier => {
+            mpi.barrier();
+        }
+        CollOp::Reduce => {
+            mpi.reduce(mine, ReduceOp::Sum, 0);
+        }
+        CollOp::Gather => {
+            mpi.gather(mine, 0);
+        }
+        CollOp::Scatter => {
+            let data: Option<Vec<u64>> =
+                (mpi.rank() == 0).then(|| vec![0u64; elems * n]);
+            mpi.scatter(data.as_deref(), elems, 0);
+        }
+        CollOp::ReduceScatter => {
+            let data = vec![1u64; elems * n];
+            mpi.reduce_scatter_block(&data, elems, ReduceOp::Sum);
+        }
+        CollOp::Scan => {
+            mpi.scan(mine, ReduceOp::Sum);
+        }
+        CollOp::AllreduceTuned => {
+            mpi.allreduce_tuned(mine, ReduceOp::Sum);
+        }
+        CollOp::BcastTuned => {
+            let mut buf = mine.to_vec();
+            mpi.bcast_tuned(&mut buf, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
+    use cmpi_core::LocalityPolicy;
+
+    /// 16 ranks: 4 containers x 4 ranks on one host (scaled-down V-C
+    /// deployment).
+    fn spec(policy: LocalityPolicy) -> JobSpec {
+        JobSpec::new(DeploymentScenario::containers(1, 4, 4, NamespaceSharing::default()))
+            .with_policy(policy)
+    }
+
+    #[test]
+    fn collectives_opt_beats_default() {
+        for op in [CollOp::Bcast, CollOp::Allreduce, CollOp::Allgather, CollOp::Alltoall] {
+            let o = latency(&spec(LocalityPolicy::ContainerDetector), op, &[1024], 3)[0].value;
+            let d = latency(&spec(LocalityPolicy::Hostname), op, &[1024], 3)[0].value;
+            assert!(d > o, "{}: def {d}us opt {o}us", op.name());
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_size() {
+        let pts = latency(&spec(LocalityPolicy::ContainerDetector), CollOp::Allreduce, &[64, 16384], 3);
+        assert!(pts[0].value < pts[1].value);
+    }
+
+    #[test]
+    fn extended_ops_run_and_scale() {
+        let s = spec(LocalityPolicy::ContainerDetector);
+        for op in [
+            CollOp::Barrier,
+            CollOp::Reduce,
+            CollOp::Gather,
+            CollOp::Scatter,
+            CollOp::ReduceScatter,
+            CollOp::Scan,
+        ] {
+            let pts = latency(&s, op, &[256], 2);
+            assert!(pts[0].value > 0.0, "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn smp_variants_run() {
+        for op in [CollOp::BcastSmp, CollOp::AllreduceSmp] {
+            let pts = latency(&spec(LocalityPolicy::ContainerDetector), op, &[256], 2);
+            assert!(pts[0].value > 0.0);
+        }
+    }
+}

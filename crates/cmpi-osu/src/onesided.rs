@@ -1,0 +1,159 @@
+//! One-sided benchmarks (`osu_put_lat`, `osu_put_bw`, `osu_get_lat`,
+//! `osu_get_bw`) — Fig. 9.
+
+use cmpi_cluster::SimTime;
+use cmpi_core::JobSpec;
+
+use crate::common::{mb_per_s, us_per_op, SizePoint};
+
+/// `osu_put_lat`: put + flush round, µs per operation.
+pub fn put_latency(spec: &JobSpec, sizes: &[usize], iters: usize) -> Vec<SizePoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let r = spec.run(move |mpi| {
+                let mut win = mpi.win_allocate(size.max(8));
+                mpi.fence(&mut win);
+                let data = vec![0u8; size];
+                let out = if mpi.rank() == 0 {
+                    let t0 = mpi.now();
+                    for _ in 0..iters {
+                        mpi.put(&mut win, 1, 0, &data);
+                        mpi.flush(&mut win, 1);
+                    }
+                    mpi.now() - t0
+                } else {
+                    SimTime::ZERO
+                };
+                mpi.fence(&mut win);
+                out
+            });
+            SizePoint::new(size, us_per_op(r.results[0], iters as u64))
+        })
+        .collect()
+}
+
+/// `osu_put_bw`: windowed puts with one flush per window; MB/s.
+pub fn put_bandwidth(spec: &JobSpec, sizes: &[usize], window: usize, iters: usize) -> Vec<SizePoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let r = spec.run(move |mpi| {
+                let mut win = mpi.win_allocate(size.max(8) * window);
+                mpi.fence(&mut win);
+                let data = vec![0u8; size];
+                let out = if mpi.rank() == 0 {
+                    let t0 = mpi.now();
+                    for _ in 0..iters {
+                        for w in 0..window {
+                            mpi.put(&mut win, 1, w * size, &data);
+                        }
+                        mpi.flush(&mut win, 1);
+                    }
+                    mpi.now() - t0
+                } else {
+                    SimTime::ZERO
+                };
+                mpi.fence(&mut win);
+                out
+            });
+            let bytes = (size * window * iters) as u64;
+            SizePoint::new(size, mb_per_s(bytes, r.results[0]))
+        })
+        .collect()
+}
+
+/// `osu_get_lat`: get (synchronous) per iteration, µs.
+pub fn get_latency(spec: &JobSpec, sizes: &[usize], iters: usize) -> Vec<SizePoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let r = spec.run(move |mpi| {
+                let mut win = mpi.win_allocate(size.max(8));
+                mpi.fence(&mut win);
+                let out = if mpi.rank() == 0 {
+                    let mut buf = vec![0u8; size];
+                    let t0 = mpi.now();
+                    for _ in 0..iters {
+                        mpi.get(&mut win, 1, 0, &mut buf);
+                    }
+                    mpi.now() - t0
+                } else {
+                    SimTime::ZERO
+                };
+                mpi.fence(&mut win);
+                out
+            });
+            SizePoint::new(size, us_per_op(r.results[0], iters as u64))
+        })
+        .collect()
+}
+
+/// `osu_get_bw`: windowed gets; MB/s.
+pub fn get_bandwidth(spec: &JobSpec, sizes: &[usize], window: usize, iters: usize) -> Vec<SizePoint> {
+    sizes
+        .iter()
+        .map(|&size| {
+            let r = spec.run(move |mpi| {
+                let mut win = mpi.win_allocate(size.max(8) * window);
+                mpi.fence(&mut win);
+                let out = if mpi.rank() == 0 {
+                    let mut buf = vec![0u8; size];
+                    let t0 = mpi.now();
+                    for _ in 0..iters {
+                        for w in 0..window {
+                            mpi.get(&mut win, 1, w * size, &mut buf);
+                        }
+                    }
+                    mpi.now() - t0
+                } else {
+                    SimTime::ZERO
+                };
+                mpi.fence(&mut win);
+                out
+            });
+            let bytes = (size * window * iters) as u64;
+            SizePoint::new(size, mb_per_s(bytes, r.results[0]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
+    use cmpi_core::LocalityPolicy;
+
+    fn opt_pair() -> JobSpec {
+        JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+    }
+
+    fn def_pair() -> JobSpec {
+        opt_pair().with_policy(LocalityPolicy::Hostname)
+    }
+
+    #[test]
+    fn put_latency_opt_beats_default() {
+        let o = put_latency(&opt_pair(), &[8], 10)[0].value;
+        let d = put_latency(&def_pair(), &[8], 10)[0].value;
+        assert!(d > 3.0 * o, "def {d}us opt {o}us");
+    }
+
+    #[test]
+    fn small_put_bandwidth_gap_is_order_of_magnitude() {
+        // Paper Fig. 9: 4-byte put-bw 15.73 vs 147.99 Mbps (~9x).
+        let o = put_bandwidth(&opt_pair(), &[4], 64, 4)[0].value;
+        let d = put_bandwidth(&def_pair(), &[4], 64, 4)[0].value;
+        let ratio = o / d;
+        assert!(ratio > 5.0, "opt/def put-bw ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn get_metrics_behave() {
+        let lat = get_latency(&opt_pair(), &[8, 65536], 8);
+        assert!(lat[0].value < lat[1].value);
+        let o = get_bandwidth(&opt_pair(), &[65536], 16, 2)[0].value;
+        let d = get_bandwidth(&def_pair(), &[65536], 16, 2)[0].value;
+        assert!(o > d, "opt {o} def {d}");
+    }
+}

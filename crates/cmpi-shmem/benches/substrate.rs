@@ -1,0 +1,81 @@
+//! Real-time micro-benchmarks of the shared-memory substrate: these
+//! measure the *actual* cost of the paper's data structures (not virtual
+//! time), substantiating the Section IV-B scalability claims — e.g. that
+//! scanning a million-rank container list is cheap and that publication
+//! is lock-free.
+
+use cmpi_cluster::{ContainerId, HostId, NamespaceId, SimTime};
+use cmpi_shmem::{ContainerList, PairQueue, ShmRegistry};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_container_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("container_list");
+    for &ranks in &[1_000usize, 100_000, 1_000_000] {
+        let reg = ShmRegistry::new();
+        let list = ContainerList::attach(&reg, HostId(0), NamespaceId(0), ranks);
+        // Publish 1/16th of the ranks (a 16-per-host layout).
+        for r in (0..ranks).step_by(16) {
+            list.publish(r, ContainerId((r % 4) as u32));
+        }
+        g.bench_with_input(BenchmarkId::new("publish", ranks), &ranks, |b, _| {
+            b.iter(|| list.publish(std::hint::black_box(ranks / 2), ContainerId(1)))
+        });
+        g.bench_with_input(BenchmarkId::new("scan_local_ranks", ranks), &ranks, |b, _| {
+            b.iter(|| std::hint::black_box(list.local_size()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_pair_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pair_queue");
+    g.bench_function("acquire_release_8k", |b| {
+        let q = PairQueue::new(128 * 1024);
+        let mut t = 0u64;
+        b.iter(|| {
+            let stall = q.try_acquire(8192).expect("space");
+            t += 100;
+            q.release(8192, SimTime::from_ns(t));
+            std::hint::black_box(stall)
+        })
+    });
+    g.bench_function("backpressured_window", |b| {
+        b.iter(|| {
+            let q = PairQueue::new(64 * 1024);
+            let mut t = 0u64;
+            for i in 0..32 {
+                while q.try_acquire(8192).is_none() {
+                    t += 50;
+                    q.release(8192, SimTime::from_ns(t));
+                }
+                std::hint::black_box(i);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_segments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segments");
+    let reg = ShmRegistry::new();
+    let seg = reg.open_or_create(HostId(0), NamespaceId(0), "bench", 1 << 20);
+    let data = vec![0xA5u8; 64 * 1024];
+    g.bench_function("write_64k", |b| {
+        b.iter(|| seg.write(0, std::hint::black_box(&data)))
+    });
+    let mut out = vec![0u8; 64 * 1024];
+    g.bench_function("read_64k", |b| {
+        b.iter(|| {
+            seg.read(0, &mut out);
+            std::hint::black_box(out[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_container_list, bench_pair_queue, bench_segments
+}
+criterion_main!(benches);

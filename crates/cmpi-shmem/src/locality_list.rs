@@ -1,0 +1,204 @@
+//! The container list — the heart of the paper's Container Locality
+//! Detector (Section IV-B, Fig. 6).
+//!
+//! A segment named `"locality"` with **one byte per global MPI rank** is
+//! created in host-wide shared memory (the simulation's `/dev/shm/locality`).
+//! During initialization every rank writes its *membership byte* at the
+//! index of its own global rank. Because each rank owns exactly one byte
+//! and a byte is the smallest lock-free unit of memory access, all
+//! co-resident ranks can publish concurrently with no lock/unlock
+//! overhead.
+//!
+//! After the job-wide startup barrier, each rank scans the list: every
+//! non-zero position identifies a co-resident rank, the count of non-zero
+//! positions is the host-local process count, and the positions themselves
+//! provide a canonical local ordering. A one-million-rank job needs only
+//! 1 MB per host, so the structure scales.
+
+use std::sync::Arc;
+
+use cmpi_cluster::{ContainerId, HostId, NamespaceId};
+
+use crate::segment::{Segment, ShmRegistry};
+
+/// A rank's handle onto its host's container list.
+#[derive(Clone)]
+pub struct ContainerList {
+    seg: Arc<Segment>,
+}
+
+/// The name under which the list lives in each host's shared memory.
+pub const LOCALITY_SEGMENT: &str = "locality";
+
+impl ContainerList {
+    /// Attach to (creating if necessary) the container list for a job with
+    /// `num_ranks` total ranks, in the given host/IPC-namespace scope.
+    ///
+    /// Ranks that share the scope get the same underlying list; ranks in
+    /// private IPC namespaces get their own (and will consequently see
+    /// only themselves — exactly how the real design degrades when
+    /// `--ipc=host` is missing).
+    pub fn attach(
+        registry: &ShmRegistry,
+        host: HostId,
+        ipc_ns: NamespaceId,
+        num_ranks: usize,
+    ) -> Self {
+        ContainerList { seg: registry.open_or_create(host, ipc_ns, LOCALITY_SEGMENT, num_ranks) }
+    }
+
+    /// Encode a container's membership byte. Must be non-zero — zero
+    /// means "no co-resident rank at this position".
+    pub fn membership_byte(container: ContainerId) -> u8 {
+        (container.0 % 254) as u8 + 1
+    }
+
+    /// Publish this rank's membership (lock-free single-byte store).
+    pub fn publish(&self, global_rank: usize, container: ContainerId) {
+        self.seg.store(global_rank, Self::membership_byte(container));
+    }
+
+    /// The number of ranks the list covers.
+    pub fn num_ranks(&self) -> usize {
+        self.seg.len()
+    }
+
+    /// Scan the list: global ranks that have published here (i.e. are
+    /// co-resident and IPC-visible), in ascending global-rank order.
+    pub fn local_ranks(&self) -> Vec<usize> {
+        (0..self.seg.len()).filter(|&i| self.seg.load(i) != 0).collect()
+    }
+
+    /// Host-local process count (paper: "acquired by checking and counting
+    /// whether the membership information has been written").
+    pub fn local_size(&self) -> usize {
+        (0..self.seg.len()).filter(|&i| self.seg.load(i) != 0).count()
+    }
+
+    /// The local ordering of `global_rank` among co-resident ranks
+    /// (position in the ascending scan), or `None` if it never published.
+    pub fn local_ordering(&self, global_rank: usize) -> Option<usize> {
+        if self.seg.load(global_rank) == 0 {
+            return None;
+        }
+        Some((0..global_rank).filter(|&i| self.seg.load(i) != 0).count())
+    }
+
+    /// The raw membership byte for a rank (0 = absent).
+    pub fn membership_of(&self, global_rank: usize) -> u8 {
+        self.seg.load(global_rank)
+    }
+
+    /// `true` when `peer` published on the same list — the co-residence
+    /// test the channel selector uses.
+    pub fn is_local(&self, peer: usize) -> bool {
+        self.seg.load(peer) != 0
+    }
+}
+
+impl std::fmt::Debug for ContainerList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContainerList({} ranks, {} local)", self.num_ranks(), self.local_size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn registry() -> ShmRegistry {
+        ShmRegistry::new()
+    }
+
+    #[test]
+    fn paper_figure6_scenario() {
+        // 8-rank job; containers A (ranks 0,1), B (rank 4), C (rank 5) on
+        // host1; ranks 2,3,6,7 on host2.
+        let reg = registry();
+        let host1 = ContainerList::attach(&reg, HostId(1), NamespaceId(10), 8);
+        let host2 = ContainerList::attach(&reg, HostId(2), NamespaceId(20), 8);
+        host1.publish(0, ContainerId(0));
+        host1.publish(1, ContainerId(0));
+        host1.publish(4, ContainerId(1));
+        host1.publish(5, ContainerId(2));
+        host2.publish(2, ContainerId(3));
+        host2.publish(3, ContainerId(3));
+        host2.publish(6, ContainerId(4));
+        host2.publish(7, ContainerId(4));
+
+        assert_eq!(host1.local_ranks(), vec![0, 1, 4, 5]);
+        assert_eq!(host2.local_ranks(), vec![2, 3, 6, 7]);
+        assert_eq!(host1.local_size(), 4);
+        // Local ordering is position in the list scan.
+        assert_eq!(host1.local_ordering(0), Some(0));
+        assert_eq!(host1.local_ordering(1), Some(1));
+        assert_eq!(host1.local_ordering(4), Some(2));
+        assert_eq!(host1.local_ordering(5), Some(3));
+        assert_eq!(host1.local_ordering(2), None);
+        // Cross-host ranks are not local.
+        assert!(!host1.is_local(2));
+        assert!(host1.is_local(4));
+    }
+
+    #[test]
+    fn ranks_in_private_ipc_namespace_see_only_themselves() {
+        let reg = registry();
+        let shared = ContainerList::attach(&reg, HostId(0), NamespaceId(1), 4);
+        let private = ContainerList::attach(&reg, HostId(0), NamespaceId(2), 4);
+        shared.publish(0, ContainerId(0));
+        shared.publish(1, ContainerId(1));
+        private.publish(2, ContainerId(2));
+        assert_eq!(shared.local_ranks(), vec![0, 1]);
+        assert_eq!(private.local_ranks(), vec![2]);
+    }
+
+    #[test]
+    fn membership_byte_is_never_zero() {
+        for c in 0..1000u32 {
+            assert_ne!(ContainerList::membership_byte(ContainerId(c)), 0);
+        }
+    }
+
+    #[test]
+    fn membership_byte_identifies_container() {
+        let reg = registry();
+        let l = ContainerList::attach(&reg, HostId(0), NamespaceId(0), 4);
+        l.publish(0, ContainerId(7));
+        l.publish(1, ContainerId(7));
+        l.publish(2, ContainerId(9));
+        assert_eq!(l.membership_of(0), l.membership_of(1));
+        assert_ne!(l.membership_of(0), l.membership_of(2));
+        assert_eq!(l.membership_of(3), 0);
+    }
+
+    #[test]
+    fn concurrent_lock_free_publication() {
+        // All ranks of a large single-host job publish simultaneously —
+        // the design's lock-freedom claim.
+        let reg = registry();
+        let n = 128;
+        let list = ContainerList::attach(&reg, HostId(0), NamespaceId(0), n);
+        thread::scope(|s| {
+            for r in 0..n {
+                let list = list.clone();
+                s.spawn(move || list.publish(r, ContainerId((r % 4) as u32)));
+            }
+        });
+        assert_eq!(list.local_size(), n);
+        assert_eq!(list.local_ranks(), (0..n).collect::<Vec<_>>());
+        for r in 0..n {
+            assert_eq!(list.local_ordering(r), Some(r));
+        }
+    }
+
+    #[test]
+    fn million_rank_list_is_one_megabyte() {
+        // The scalability argument from Section IV-B.
+        let reg = registry();
+        let list = ContainerList::attach(&reg, HostId(0), NamespaceId(0), 1_000_000);
+        assert_eq!(list.num_ranks(), 1_000_000);
+        list.publish(999_999, ContainerId(3));
+        assert_eq!(list.local_ranks(), vec![999_999]);
+    }
+}

@@ -1,0 +1,270 @@
+//! Bounded eager queues with virtual-time backpressure.
+//!
+//! MVAPICH2 places a shared buffer of `SMPI_LENGTH_QUEUE` bytes between
+//! every pair of co-resident processes; eager messages are copied through
+//! it. When the sender outruns the receiver the queue fills and the sender
+//! blocks — this is precisely the effect the Fig. 7(b) parameter sweep
+//! measures.
+//!
+//! In the simulation the *payload* travels through the runtime's packet
+//! queues (real memory), while [`PairQueue`] accounts for the bounded
+//! buffer: a sender must `acquire` space before publishing an eager packet
+//! and learns the **virtual time at which enough space existed**; the
+//! receiver `release`s space at its own virtual consumption time. Real
+//! thread blocking and logical-clock stalling therefore stay consistent.
+
+use std::collections::VecDeque;
+
+use cmpi_cluster::SimTime;
+use parking_lot::{Condvar, Mutex};
+
+#[derive(Debug)]
+struct QueueState {
+    /// Total bytes ever acquired by the sender.
+    acquired: u64,
+    /// Total bytes ever released by the receiver.
+    released: u64,
+    /// Release history: (cumulative released bytes, virtual time of that
+    /// release), monotone in both components. Pruned as acquires advance.
+    history: VecDeque<(u64, SimTime)>,
+    /// Set when the receiver side is torn down; pending acquires fail.
+    closed: bool,
+}
+
+/// One sender→receiver bounded eager queue (a pair of ranks has one per
+/// direction).
+pub struct PairQueue {
+    capacity: u64,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+impl PairQueue {
+    /// Create a queue of `capacity` bytes (the `SMPI_LENGTH_QUEUE` value).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "eager queue capacity must be positive");
+        PairQueue {
+            capacity: capacity as u64,
+            state: Mutex::new(QueueState {
+                acquired: 0,
+                released: 0,
+                history: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Queue capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Bytes currently in flight (acquired but not yet released).
+    pub fn in_flight(&self) -> usize {
+        let s = self.state.lock();
+        (s.acquired - s.released) as usize
+    }
+
+    /// Sender side: claim `bytes` of queue space for one eager packet.
+    ///
+    /// Blocks the calling thread until the space exists, then returns the
+    /// **virtual timestamp at which the space became available** — the
+    /// sender must advance its logical clock to at least this value before
+    /// charging its copy-in cost. Returns [`SimTime::ZERO`] when the queue
+    /// never had to wait (space was free from the start).
+    ///
+    /// # Panics
+    /// Panics if `bytes` exceeds the queue capacity (callers must enforce
+    /// `SMP_EAGER_SIZE <= SMPI_LENGTH_QUEUE`, see `Tunables::validate`).
+    ///
+    /// Returns `Err(())` if the queue was closed while waiting.
+    pub fn acquire(&self, bytes: usize) -> Result<SimTime, ()> {
+        let bytes = bytes as u64;
+        assert!(
+            bytes <= self.capacity,
+            "eager packet of {bytes} bytes exceeds queue capacity {}",
+            self.capacity
+        );
+        let mut s = self.state.lock();
+        // We may proceed once `released >= required`.
+        let required = (s.acquired + bytes).saturating_sub(self.capacity);
+        while s.released < required {
+            if s.closed {
+                return Err(());
+            }
+            self.cv.wait(&mut s);
+        }
+        if s.closed {
+            return Err(());
+        }
+        // The stall bound is the virtual time of the earliest release event
+        // that satisfied `required`. Prune events below the requirement —
+        // later acquires only ever need more.
+        let mut stall = SimTime::ZERO;
+        if required > 0 {
+            while let Some(&(cum, t)) = s.history.front() {
+                stall = t;
+                if cum >= required {
+                    break;
+                }
+                s.history.pop_front();
+            }
+            debug_assert!(
+                s.history.front().map(|&(c, _)| c >= required).unwrap_or(false),
+                "release history lost the satisfying event"
+            );
+        }
+        s.acquired += bytes;
+        Ok(stall)
+    }
+
+    /// Non-blocking variant of [`PairQueue::acquire`]: returns `None` when
+    /// the space is not available yet, so the caller can run its progress
+    /// engine (avoiding the cross-pair deadlock a blocking wait could
+    /// cause) and retry.
+    pub fn try_acquire(&self, bytes: usize) -> Option<SimTime> {
+        let bytes = bytes as u64;
+        assert!(
+            bytes <= self.capacity,
+            "eager packet of {bytes} bytes exceeds queue capacity {}",
+            self.capacity
+        );
+        let mut s = self.state.lock();
+        let required = (s.acquired + bytes).saturating_sub(self.capacity);
+        if s.released < required {
+            return None;
+        }
+        let mut stall = SimTime::ZERO;
+        if required > 0 {
+            while let Some(&(cum, t)) = s.history.front() {
+                stall = t;
+                if cum >= required {
+                    break;
+                }
+                s.history.pop_front();
+            }
+        }
+        s.acquired += bytes;
+        Some(stall)
+    }
+
+    /// Receiver side: free `bytes` of queue space at virtual time `now`
+    /// (the moment the receiver finished copying the packet out).
+    pub fn release(&self, bytes: usize, now: SimTime) {
+        let mut s = self.state.lock();
+        s.released += bytes as u64;
+        // Virtual release times are monotone because a receiver's clock is;
+        // clamp defensively so a violated assumption cannot corrupt the
+        // history's monotonicity.
+        let t = s.history.back().map(|&(_, t)| t.max(now)).unwrap_or(now);
+        let cum = s.released;
+        s.history.push_back((cum, t));
+        self.cv.notify_all();
+    }
+
+    /// Tear the queue down; blocked senders observe `Err`.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for PairQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PairQueue(cap {}, in flight {})", self.capacity, self.in_flight())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn no_stall_when_space_is_free() {
+        let q = PairQueue::new(1024);
+        assert_eq!(q.acquire(512).unwrap(), SimTime::ZERO);
+        assert_eq!(q.acquire(512).unwrap(), SimTime::ZERO);
+        assert_eq!(q.in_flight(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds queue capacity")]
+    fn oversized_packet_panics() {
+        PairQueue::new(64).acquire(65).ok();
+    }
+
+    #[test]
+    fn sender_observes_receiver_drain_time() {
+        let q = Arc::new(PairQueue::new(1000));
+        assert_eq!(q.acquire(1000).unwrap(), SimTime::ZERO);
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.acquire(600).unwrap());
+        // Free 500 bytes at t=10us: still not enough for 600.
+        q.release(500, SimTime::from_us(10));
+        // Free 500 more at t=25us: now 600 fit; stall bound must be 25us.
+        q.release(500, SimTime::from_us(25));
+        assert_eq!(h.join().unwrap(), SimTime::from_us(25));
+    }
+
+    #[test]
+    fn stall_uses_earliest_sufficient_release() {
+        let q = PairQueue::new(1000);
+        q.acquire(1000).unwrap();
+        q.release(700, SimTime::from_us(5));
+        q.release(300, SimTime::from_us(9));
+        // 600 bytes already fit after the first release: stall = 5us.
+        assert_eq!(q.acquire(600).unwrap(), SimTime::from_us(5));
+        // Next 400 bytes needed the second release too: stall = 9us.
+        assert_eq!(q.acquire(400).unwrap(), SimTime::from_us(9));
+    }
+
+    #[test]
+    fn close_unblocks_waiting_sender() {
+        let q = Arc::new(PairQueue::new(100));
+        q.acquire(100).unwrap();
+        let q2 = Arc::clone(&q);
+        let h = thread::spawn(move || q2.acquire(1));
+        q.close();
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn release_clamps_nonmonotone_times() {
+        let q = PairQueue::new(100);
+        q.acquire(100).unwrap();
+        q.release(50, SimTime::from_us(20));
+        q.release(50, SimTime::from_us(10)); // out of order: clamped to 20
+        assert_eq!(q.acquire(100).unwrap(), SimTime::from_us(20));
+    }
+
+    #[test]
+    fn pipelined_window_accounting() {
+        // A window of 8 sends of 32 bytes through a 64-byte queue: sender
+        // can hold 2 packets in flight; stalls follow the receiver's
+        // consumption times.
+        let q = PairQueue::new(64);
+        let mut stalls = Vec::new();
+        let mut recv_t = SimTime::ZERO;
+        let mut pending = 0usize;
+        for i in 0..8 {
+            if pending == 2 {
+                // Receiver consumes the oldest packet 3us after the last.
+                recv_t += SimTime::from_us(3);
+                q.release(32, recv_t);
+                pending -= 1;
+            }
+            stalls.push(q.acquire(32).unwrap());
+            pending += 1;
+            let _ = i;
+        }
+        assert_eq!(stalls[0], SimTime::ZERO);
+        assert_eq!(stalls[1], SimTime::ZERO);
+        // From the third send on, each acquire waits for a drain event.
+        for (k, s) in stalls.iter().enumerate().skip(2) {
+            assert_eq!(*s, SimTime::from_us(3 * (k as u64 - 1)), "send {k}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Kernel-facility gating: which IPC mechanisms a pair of execution
+//! environments may legally use.
+//!
+//! These predicates encode the *necessary conditions* from Section II/IV:
+//! SHM needs a common IPC namespace on a common host, CMA needs a common
+//! PID namespace on a common host. They are deliberately independent of
+//! any locality *policy* — a policy decides what the MPI library tries,
+//! the kernel (this module) decides what is possible.
+
+use cmpi_cluster::{Cluster, ContainerId};
+
+/// The full visibility relation between two execution environments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Visibility {
+    /// Same physical host.
+    pub co_resident: bool,
+    /// Same container (trivially shares everything).
+    pub same_container: bool,
+    /// May map common shared-memory segments.
+    pub shm: bool,
+    /// May perform CMA reads/writes on each other.
+    pub cma: bool,
+}
+
+/// Compute the visibility relation between two containers.
+pub fn visibility(cluster: &Cluster, a: ContainerId, b: ContainerId) -> Visibility {
+    let ca = cluster.container(a);
+    let cb = cluster.container(b);
+    let same_container = a == b;
+    Visibility {
+        co_resident: ca.co_resident_with(cb),
+        same_container,
+        // Within one container SHM/CMA are always possible (one namespace
+        // set); across containers the namespaces must match.
+        shm: same_container || ca.shares_ipc_with(cb),
+        cma: same_container || ca.shares_pid_with(cb),
+    }
+}
+
+/// `true` when the pair may use the shared-memory channel.
+pub fn can_shm(cluster: &Cluster, a: ContainerId, b: ContainerId) -> bool {
+    visibility(cluster, a, b).shm
+}
+
+/// `true` when the pair may use the CMA channel.
+pub fn can_cma(cluster: &Cluster, a: ContainerId, b: ContainerId) -> bool {
+    visibility(cluster, a, b).cma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_container_always_visible() {
+        let mut c = Cluster::new();
+        let h = c.add_host(2, 4);
+        // Even a fully isolated container is visible to itself.
+        let a = c.add_container(h, false, false, true);
+        let v = visibility(&c, a, a);
+        assert!(v.same_container && v.shm && v.cma && v.co_resident);
+    }
+
+    #[test]
+    fn sharing_flags_gate_independently() {
+        let mut c = Cluster::new();
+        let h = c.add_host(2, 4);
+        let base = c.add_container(h, true, true, true);
+        let ipc_only = c.add_container(h, true, false, true);
+        let pid_only = c.add_container(h, false, true, true);
+        let v = visibility(&c, base, ipc_only);
+        assert!(v.shm && !v.cma);
+        let v = visibility(&c, base, pid_only);
+        assert!(!v.shm && v.cma);
+    }
+
+    #[test]
+    fn cross_host_nothing_is_visible() {
+        let mut c = Cluster::new();
+        let h0 = c.add_host(2, 4);
+        let h1 = c.add_host(2, 4);
+        let a = c.add_container(h0, true, true, true);
+        let b = c.add_container(h1, true, true, true);
+        let v = visibility(&c, a, b);
+        assert!(!v.co_resident && !v.shm && !v.cma);
+    }
+
+    #[test]
+    fn native_envs_on_same_host_share_everything() {
+        let mut c = Cluster::new();
+        let h = c.add_host(2, 4);
+        let a = c.add_native_env(h);
+        let b = c.add_native_env(h);
+        let v = visibility(&c, a, b);
+        assert!(v.shm && v.cma && v.co_resident && !v.same_container);
+    }
+
+    #[test]
+    fn visibility_is_symmetric() {
+        let mut c = Cluster::new();
+        let h = c.add_host(2, 4);
+        let a = c.add_container(h, true, false, true);
+        let b = c.add_container(h, false, true, true);
+        assert_eq!(visibility(&c, a, b), visibility(&c, b, a));
+        assert_eq!(can_shm(&c, a, b), can_shm(&c, b, a));
+        assert_eq!(can_cma(&c, a, b), can_cma(&c, b, a));
+    }
+}

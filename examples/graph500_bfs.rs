@@ -1,0 +1,45 @@
+//! Graph 500 BFS across the paper's deployment scenarios (Fig. 1 /
+//! Fig. 11 in miniature).
+//!
+//! ```text
+//! cargo run --release --example graph500_bfs
+//! ```
+
+use container_mpi::apps::graph500::{self, Graph500Config};
+use container_mpi::prelude::*;
+
+fn main() {
+    let cfg = Graph500Config { scale: 12, edgefactor: 16, num_roots: 3, ..Default::default() };
+    println!(
+        "Graph500: scale {} ({} vertices, {} edges), 16 ranks on 1 host\n",
+        cfg.scale,
+        cfg.num_vertices(),
+        cfg.num_edges()
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>10}",
+        "scenario", "default (ms)", "proposed (ms)", "validated"
+    );
+    for (name, cph) in [("Native", 0u32), ("1-Container", 1), ("2-Containers", 2), ("4-Containers", 4)]
+    {
+        let def = graph500::run(
+            &JobSpec::new(DeploymentScenario::fig1(cph)).with_policy(LocalityPolicy::Hostname),
+            cfg,
+        );
+        let opt = graph500::run(
+            &JobSpec::new(DeploymentScenario::fig1(cph))
+                .with_policy(LocalityPolicy::ContainerDetector),
+            cfg,
+        );
+        println!(
+            "{name:<14} {:>14.3} {:>14.3} {:>10}",
+            def.mean_bfs_time().as_ms_f64(),
+            opt.mean_bfs_time().as_ms_f64(),
+            def.validated && opt.validated,
+        );
+    }
+    println!();
+    println!("Default: BFS time grows with the container count (the Fig. 1");
+    println!("bottleneck). Proposed: the curve is flat — co-resident");
+    println!("containers communicate over SHM/CMA as if they were one.");
+}

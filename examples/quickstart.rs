@@ -1,0 +1,52 @@
+//! Quickstart: a 4-rank job in two containers on one host.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use container_mpi::prelude::*;
+
+fn main() {
+    // Two containers on one host, two ranks each, namespaces shared with
+    // the host (the paper's deployment).
+    let scenario = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+    let spec = JobSpec::new(scenario); // locality-aware defaults
+
+    let result = spec.run(|mpi| {
+        let rank = mpi.rank();
+        let n = mpi.size();
+
+        // Point-to-point ring: pass a token around.
+        let next = (rank + 1) % n;
+        let prev = (rank + n - 1) % n;
+        let mut token = [0u64];
+        if rank == 0 {
+            mpi.send(&[42u64], next, 0);
+            mpi.recv(&mut token, prev, 0);
+        } else {
+            mpi.recv(&mut token, prev, 0);
+            token[0] += 1;
+            mpi.send(&token, next, 0);
+        }
+
+        // A collective: global sum of ranks.
+        let sum = mpi.allreduce(&[rank as u64], ReduceOp::Sum)[0];
+
+        // Model a compute phase (virtual time).
+        mpi.compute(SimTime::from_us(50));
+
+        (token[0], sum, mpi.now())
+    });
+
+    println!("rank results (token, allreduce-sum, virtual clock):");
+    for (rank, (token, sum, clock)) in result.results.iter().enumerate() {
+        println!("  rank {rank}: token={token} sum={sum} clock={clock}");
+    }
+    println!("job makespan: {}", result.elapsed);
+    println!(
+        "channel ops: SHM={} CMA={} HCA={}",
+        result.stats.channel_ops(Channel::Shm),
+        result.stats.channel_ops(Channel::Cma),
+        result.stats.channel_ops(Channel::Hca),
+    );
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration: full jobs exercising cluster + shmem +
+//! fabric + MPI + applications together.
+
+use container_mpi::apps::graph500::{self, Graph500Config};
+use container_mpi::apps::npb::{self, Kernel, NpbClass};
+use container_mpi::prelude::*;
+
+#[test]
+fn the_paper_pipeline_end_to_end() {
+    // The whole story in one test: a containerized deployment where the
+    // default library routes through the HCA loopback and the proposed
+    // library recovers near-native behaviour — with identical results.
+    let cfg = Graph500Config { scale: 10, edgefactor: 8, num_roots: 2, ..Default::default() };
+    let deployment = || DeploymentScenario::fig1(4);
+
+    let def = graph500::run(
+        &JobSpec::new(deployment()).with_policy(LocalityPolicy::Hostname),
+        cfg,
+    );
+    let opt = graph500::run(
+        &JobSpec::new(deployment()).with_policy(LocalityPolicy::ContainerDetector),
+        cfg,
+    );
+    let native = graph500::run(&JobSpec::new(DeploymentScenario::fig1(0)), cfg);
+
+    assert!(def.validated && opt.validated && native.validated);
+    assert_eq!(def.traversed_edges, opt.traversed_edges);
+    assert_eq!(def.traversed_edges, native.traversed_edges);
+    // Performance ordering: proposed ~ native << default.
+    assert!(opt.mean_bfs_time() < def.mean_bfs_time());
+    let gap = (opt.mean_bfs_time().as_ns() as f64 - native.mean_bfs_time().as_ns() as f64)
+        / native.mean_bfs_time().as_ns() as f64;
+    assert!(gap < 0.40, "proposed vs native gap {gap:.2} (toy-scale bound)");
+}
+
+#[test]
+fn mixed_workload_single_job() {
+    // One job that uses every part of the public API surface.
+    let scenario = DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default());
+    let r = JobSpec::new(scenario).run(|mpi| {
+        let n = mpi.size();
+        let rank = mpi.rank();
+        // pt2pt ring
+        let next = (rank + 1) % n;
+        let prev = (rank + n - 1) % n;
+        let mut buf = [0u64];
+        mpi.sendrecv(&[rank as u64], next, 1, &mut buf, prev, 1);
+        assert_eq!(buf[0], prev as u64);
+        // collectives
+        let sum = mpi.allreduce(&[1u64], ReduceOp::Sum)[0];
+        assert_eq!(sum, n as u64);
+        let gathered = mpi.allgather(&[rank as u32]);
+        assert_eq!(gathered, (0..n as u32).collect::<Vec<_>>());
+        // one-sided
+        let mut win = mpi.win_allocate(8);
+        mpi.fence(&mut win);
+        mpi.put(&mut win, next, 0, &[rank as u64]);
+        mpi.fence(&mut win);
+        let mut got = [0u64];
+        mpi.win_read_local(&win, 0, &mut got);
+        assert_eq!(got[0], prev as u64);
+        // compute + stats
+        mpi.compute(SimTime::from_us(5));
+        mpi.stats().time(CallClass::Compute).as_ns()
+    });
+    assert!(r.results.iter().all(|&c| c == 5_000));
+    assert!(r.stats.channel_ops(Channel::Hca) > 0, "cross-host traffic must use the fabric");
+    assert!(r.stats.channel_ops(Channel::Shm) > 0, "intra-host traffic must use shared memory");
+}
+
+#[test]
+fn npb_kernels_verify_on_multi_host_containers() {
+    let scenario = || DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default());
+    for k in [Kernel::Cg, Kernel::Ft, Kernel::Is, Kernel::Lu] {
+        let r = npb::run(&JobSpec::new(scenario()), k, NpbClass::S);
+        assert!(r.verified, "{} failed", k.name());
+    }
+}
+
+#[test]
+fn locality_view_matches_scenario_ground_truth() {
+    let scenario = DeploymentScenario::containers(2, 3, 2, NamespaceSharing::default());
+    let spec = JobSpec::new(scenario);
+    let r = spec.run(|mpi| {
+        (
+            mpi.locality().local_ranks().to_vec(),
+            mpi.locality().local_ordering(),
+            mpi.locality().in_container(),
+        )
+    });
+    for rank in 0..spec.scenario.num_ranks() {
+        let truth = spec.scenario.placement.co_resident_ranks(rank);
+        let (locals, ordering, in_cont) = &r.results[rank];
+        assert_eq!(locals, &truth, "rank {rank}");
+        assert_eq!(*ordering, truth.iter().position(|&x| x == rank).unwrap());
+        assert!(in_cont);
+    }
+}
+
+#[test]
+fn tunables_flow_through_to_routing() {
+    // Dropping SMP_EAGER_SIZE to 512 pushes a 1 KiB message onto CMA.
+    let scenario = || DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default());
+    let small_eager = JobSpec::new(scenario()).with_tunables(
+        Tunables::default().with_smp_eager_size(512).with_smpi_length_queue(64 * 1024),
+    );
+    let r = small_eager.run(|mpi| {
+        if mpi.rank() == 0 {
+            mpi.send(&[0u8; 1024], 1, 0);
+        } else {
+            let mut b = [0u8; 1024];
+            mpi.recv(&mut b, 0, 0);
+        }
+    });
+    assert_eq!(r.stats.channel_ops(Channel::Cma), 1);
+    assert_eq!(r.stats.channel_ops(Channel::Shm), 0);
+}
