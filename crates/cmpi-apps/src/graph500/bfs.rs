@@ -156,7 +156,11 @@ pub fn run_rank(mpi: &mut Mpi, cfg: &Graph500Config) -> RankOutcome {
             validated &= validate::validate(mpi, cfg, &graph, root, &parent);
         }
     }
-    RankOutcome { bfs_times, traversed_edges: traversed, validated }
+    RankOutcome {
+        bfs_times,
+        traversed_edges: traversed,
+        validated,
+    }
 }
 
 /// Level-synchronous BFS from `root`. Returns the local parent array and
@@ -202,13 +206,13 @@ pub fn bfs(mpi: &mut Mpi, cfg: &Graph500Config, g: &LocalGraph, root: u64) -> (V
             }
         }
         // Flush remainders and fence each peer with an end marker.
-        for o in 0..p {
+        for (o, pending) in out.iter_mut().enumerate() {
             if o == rank {
                 continue;
             }
-            if !out[o].is_empty() {
-                let batch = encode_pairs(&out[o]);
-                out[o].clear();
+            if !pending.is_empty() {
+                let batch = encode_pairs(pending);
+                pending.clear();
                 send_reqs.push(mpi.isend_bytes(batch, o, TAG_DATA));
             }
             send_reqs.push(mpi.isend_bytes(Bytes::new(), o, TAG_END));

@@ -138,7 +138,10 @@ mod tests {
         }
         let avg = 2.0 * m as f64 / n as f64;
         let max = *deg.iter().max().unwrap() as f64;
-        assert!(max > 5.0 * avg, "max degree {max} vs avg {avg} — not skewed enough");
+        assert!(
+            max > 5.0 * avg,
+            "max degree {max} vs avg {avg} — not skewed enough"
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@ pub mod generator;
 pub mod validate;
 
 use cmpi_cluster::SimTime;
-use cmpi_core::{JobResult, JobSpec};
+use cmpi_core::{JobResult, JobSpec, JobStats};
 
 /// Benchmark configuration.
 #[derive(Clone, Copy, Debug)]
@@ -69,6 +69,8 @@ pub struct Graph500Result {
     pub validated: bool,
     /// Edges traversed per search.
     pub traversed_edges: Vec<u64>,
+    /// Job-wide communication/recovery statistics.
+    pub stats: JobStats,
 }
 
 impl Graph500Result {
@@ -92,12 +94,16 @@ fn summarize(cfg: Graph500Config, res: JobResult<bfs::RankOutcome>) -> Graph500R
     let roots = cfg.num_roots;
     let mut bfs_times = Vec::with_capacity(roots);
     let mut traversed = vec![0u64; roots];
-    for i in 0..roots {
+    for (i, tr) in traversed.iter_mut().enumerate() {
         // The reference harness reports the slowest rank per search.
-        let t = res.results.iter().map(|o| o.bfs_times[i]).fold(SimTime::ZERO, SimTime::max);
+        let t = res
+            .results
+            .iter()
+            .map(|o| o.bfs_times[i])
+            .fold(SimTime::ZERO, SimTime::max);
         bfs_times.push(t);
         for o in &res.results {
-            traversed[i] += o.traversed_edges[i];
+            *tr += o.traversed_edges[i];
         }
     }
     let validated = res.results.iter().all(|o| o.validated);
@@ -110,8 +116,18 @@ fn summarize(cfg: Graph500Config, res: JobResult<bfs::RankOutcome>) -> Graph500R
             counted += 1;
         }
     }
-    let mean_teps = if counted > 0 { counted as f64 / inv_sum } else { 0.0 };
-    Graph500Result { bfs_times, mean_teps, validated, traversed_edges: traversed }
+    let mean_teps = if counted > 0 {
+        counted as f64 / inv_sum
+    } else {
+        0.0
+    };
+    Graph500Result {
+        bfs_times,
+        mean_teps,
+        validated,
+        traversed_edges: traversed,
+        stats: res.stats,
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +137,12 @@ mod tests {
     use cmpi_core::LocalityPolicy;
 
     fn tiny() -> Graph500Config {
-        Graph500Config { scale: 9, edgefactor: 8, num_roots: 2, ..Default::default() }
+        Graph500Config {
+            scale: 9,
+            edgefactor: 8,
+            num_roots: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -145,7 +166,10 @@ mod tests {
             &JobSpec::new(base.clone()).with_policy(LocalityPolicy::ContainerDetector),
             tiny(),
         );
-        let def = run(&JobSpec::new(base).with_policy(LocalityPolicy::Hostname), tiny());
+        let def = run(
+            &JobSpec::new(base).with_policy(LocalityPolicy::Hostname),
+            tiny(),
+        );
         assert!(opt.validated && def.validated);
         assert_eq!(opt.traversed_edges, def.traversed_edges);
         // And the paper's headline: the detector is faster.
@@ -157,10 +181,18 @@ mod tests {
         // Fig. 1: with the default library, more containers per host =
         // slower BFS; native and 1-container are equivalent.
         let time = |cph: u32| {
-            let spec = JobSpec::new(DeploymentScenario::fig1(cph))
-                .with_policy(LocalityPolicy::Hostname);
-            run(&spec, Graph500Config { scale: 10, edgefactor: 8, num_roots: 5, ..Default::default() })
-                .mean_bfs_time()
+            let spec =
+                JobSpec::new(DeploymentScenario::fig1(cph)).with_policy(LocalityPolicy::Hostname);
+            run(
+                &spec,
+                Graph500Config {
+                    scale: 10,
+                    edgefactor: 8,
+                    num_roots: 5,
+                    ..Default::default()
+                },
+            )
+            .mean_bfs_time()
         };
         let native = time(0);
         let one = time(1);
@@ -177,8 +209,7 @@ mod tests {
         // The degradation ordering is the claim; thresholds sit below the
         // typical factors (2-cont ~1.2-1.5x, 4-cont ~1.5-2.5x at this
         // scale) to stay clear of ANY_SOURCE jitter.
-        let (one_f, two_f, four_f) =
-            (one.as_ns() as f64, two.as_ns() as f64, four.as_ns() as f64);
+        let (one_f, two_f, four_f) = (one.as_ns() as f64, two.as_ns() as f64, four.as_ns() as f64);
         assert!(two_f > 1.08 * one_f, "2 containers {two} vs {one}");
         assert!(four_f > 1.25 * one_f, "4 containers {four} vs 1 {one}");
         assert!(four_f > two_f * 0.95, "4 containers {four} vs 2 {two}");
@@ -194,8 +225,16 @@ mod tests {
         // reproduces at scale 16).
         let time = |cph: u32| {
             let spec = JobSpec::new(DeploymentScenario::fig1(cph));
-            run(&spec, Graph500Config { scale: 10, edgefactor: 8, num_roots: 3, ..Default::default() })
-                .mean_bfs_time()
+            run(
+                &spec,
+                Graph500Config {
+                    scale: 10,
+                    edgefactor: 8,
+                    num_roots: 3,
+                    ..Default::default()
+                },
+            )
+            .mean_bfs_time()
         };
         let native = time(0).as_ns() as f64;
         let one = time(1).as_ns() as f64;
@@ -206,6 +245,9 @@ mod tests {
                 "{cph} containers: {t}ns vs 1-container {one}ns — curve must be flat"
             );
         }
-        assert!((one - native) / native < 0.35, "1-container {one} vs native {native}");
+        assert!(
+            (one - native) / native < 0.35,
+            "1-container {one} vs native {native}"
+        );
     }
 }

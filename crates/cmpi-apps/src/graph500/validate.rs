@@ -121,7 +121,11 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> Graph500Config {
-        Graph500Config { scale: 6, edgefactor: 8, ..Default::default() }
+        Graph500Config {
+            scale: 6,
+            edgefactor: 8,
+            ..Default::default()
+        }
     }
 
     /// Sequential reference BFS over the regenerated edge list.

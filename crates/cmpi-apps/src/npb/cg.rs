@@ -5,8 +5,8 @@
 //! signature. Verification: the solver must actually converge (residual
 //! drop) and every rank must agree on the final zeta estimate bit-for-bit.
 
-use cmpi_core::{Mpi, ReduceOp};
 use cmpi_cluster::SimTime;
+use cmpi_core::{Mpi, ReduceOp};
 
 use super::NpbClass;
 use crate::graph500::generator::splitmix64;
@@ -20,9 +20,24 @@ struct Params {
 
 fn params(class: NpbClass) -> Params {
     match class {
-        NpbClass::S => Params { n: 512, nnz_per_row: 8, cg_iters: 12, outer_iters: 2 },
-        NpbClass::W => Params { n: 2048, nnz_per_row: 10, cg_iters: 15, outer_iters: 3 },
-        NpbClass::A => Params { n: 8192, nnz_per_row: 12, cg_iters: 15, outer_iters: 4 },
+        NpbClass::S => Params {
+            n: 512,
+            nnz_per_row: 8,
+            cg_iters: 12,
+            outer_iters: 2,
+        },
+        NpbClass::W => Params {
+            n: 2048,
+            nnz_per_row: 10,
+            cg_iters: 15,
+            outer_iters: 3,
+        },
+        NpbClass::A => Params {
+            n: 8192,
+            nnz_per_row: 12,
+            cg_iters: 15,
+            outer_iters: 4,
+        },
     }
 }
 

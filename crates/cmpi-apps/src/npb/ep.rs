@@ -42,7 +42,7 @@ pub fn run(mpi: &mut Mpi, class: NpbClass) -> (bool, SimTime) {
     let mut counts = [0u64; 10];
     let mut accepted = 0u64;
     for i in lo..hi {
-        let a = unit(splitmix64(0xE9 ^ i * 2)) * 2.0 - 1.0;
+        let a = unit(splitmix64(0xE9 ^ (i * 2))) * 2.0 - 1.0;
         let b = unit(splitmix64(0xE9 ^ (i * 2 + 1))) * 2.0 - 1.0;
         let t = a * a + b * b;
         if t <= 1.0 && t > 0.0 {

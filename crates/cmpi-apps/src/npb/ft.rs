@@ -141,7 +141,10 @@ pub fn run(mpi: &mut Mpi, class: NpbClass) -> (bool, SimTime) {
     let min_dim = p.next_power_of_two();
     n1 = n1.max(min_dim);
     n2 = n2.max(min_dim);
-    assert!(n1 % p == 0 && n2 % p == 0, "FT grid must divide the rank count");
+    assert!(
+        n1 % p == 0 && n2 % p == 0,
+        "FT grid must divide the rank count"
+    );
     let rows_per = n1 / p;
     let rank = mpi.rank();
 
@@ -168,9 +171,16 @@ pub fn run(mpi: &mut Mpi, class: NpbClass) -> (bool, SimTime) {
             let width = if pass == 0 { n2 } else { n1 };
             let rows = re.len() / width;
             for r in 0..rows {
-                fft(&mut re[r * width..(r + 1) * width], &mut im[r * width..(r + 1) * width], false);
+                fft(
+                    &mut re[r * width..(r + 1) * width],
+                    &mut im[r * width..(r + 1) * width],
+                    false,
+                );
             }
-            mpi.compute_items((rows * width * width.trailing_zeros() as usize) as u64, NS_PER_BUTTERFLY);
+            mpi.compute_items(
+                (rows * width * width.trailing_zeros() as usize) as u64,
+                NS_PER_BUTTERFLY,
+            );
             let rp = if pass == 0 { rows_per } else { n2 / p };
             let w = if pass == 0 { n2 } else { n1 };
             let (tre, tim) = transpose(mpi, &re, &im, w, rp);
@@ -182,9 +192,16 @@ pub fn run(mpi: &mut Mpi, class: NpbClass) -> (bool, SimTime) {
             let width = if pass == 0 { n2 } else { n1 };
             let rows = re.len() / width;
             for r in 0..rows {
-                fft(&mut re[r * width..(r + 1) * width], &mut im[r * width..(r + 1) * width], true);
+                fft(
+                    &mut re[r * width..(r + 1) * width],
+                    &mut im[r * width..(r + 1) * width],
+                    true,
+                );
             }
-            mpi.compute_items((rows * width * width.trailing_zeros() as usize) as u64, NS_PER_BUTTERFLY);
+            mpi.compute_items(
+                (rows * width * width.trailing_zeros() as usize) as u64,
+                NS_PER_BUTTERFLY,
+            );
             let rp = if pass == 0 { rows_per } else { n2 / p };
             let w = if pass == 0 { n2 } else { n1 };
             let (tre, tim) = transpose(mpi, &re, &im, w, rp);

@@ -35,7 +35,9 @@ fn encode_keys(keys: &[u32]) -> Bytes {
 
 fn decode_keys(data: &[u8]) -> Vec<u32> {
     assert_eq!(data.len() % 4, 0, "corrupt key batch");
-    data.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect()
+    data.chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect()
 }
 
 /// Run IS; returns (verified, timed-section span).
@@ -94,7 +96,11 @@ pub fn run(mpi: &mut Mpi, class: NpbClass) -> (bool, SimTime) {
     verified &= total == (per_rank * p) as u64;
     // (c) Keys are within my bucket range.
     let lo = rank as u32 * bucket_width;
-    let hi = if rank == p - 1 { max_key } else { (rank as u32 + 1) * bucket_width };
+    let hi = if rank == p - 1 {
+        max_key
+    } else {
+        (rank as u32 + 1) * bucket_width
+    };
     verified &= mine.iter().all(|&k| k >= lo && k < hi);
     // (d) Cross-rank order: my max <= right neighbour's min.
     if p > 1 {

@@ -62,7 +62,10 @@ pub fn run(mpi: &mut Mpi, class: NpbClass) -> (bool, SimTime) {
 
 /// Global squared deviation from the global mean (the smoothing residual).
 fn deviation(mpi: &mut Mpi, field: &[f64]) -> f64 {
-    let sums = mpi.allreduce(&[field.iter().sum::<f64>(), field.len() as f64], ReduceOp::Sum);
+    let sums = mpi.allreduce(
+        &[field.iter().sum::<f64>(), field.len() as f64],
+        ReduceOp::Sum,
+    );
     let mean = sums[0] / sums[1];
     let dev: f64 = field.iter().map(|x| (x - mean) * (x - mean)).sum();
     mpi.allreduce(&[dev], ReduceOp::Sum)[0]
@@ -73,7 +76,11 @@ fn deviation(mpi: &mut Mpi, field: &[f64]) -> f64 {
 fn v_cycle(mpi: &mut Mpi, field: &mut Vec<f64>, n0: usize, planes: usize, rank: usize, p: usize) {
     // Build the level hierarchy by in-plane coarsening (z-extent and the
     // decomposition stay fixed, like NPB MG's per-process z-pencils).
-    let mut levels: Vec<Level> = vec![Level { n: n0, planes, field: std::mem::take(field) }];
+    let mut levels: Vec<Level> = vec![Level {
+        n: n0,
+        planes,
+        field: std::mem::take(field),
+    }];
     while levels.last().unwrap().n > 4 {
         let last = levels.last().unwrap();
         let nc = last.n / 2;
@@ -81,15 +88,22 @@ fn v_cycle(mpi: &mut Mpi, field: &mut Vec<f64>, n0: usize, planes: usize, rank: 
         for z in 0..last.planes {
             for i in 0..nc {
                 for j in 0..nc {
-                    let f = |ii: usize, jj: usize| last.field[z * last.n * last.n + ii * last.n + jj];
+                    let f =
+                        |ii: usize, jj: usize| last.field[z * last.n * last.n + ii * last.n + jj];
                     coarse[z * nc * nc + i * nc + j] = 0.25
-                        * (f(2 * i, 2 * j) + f(2 * i + 1, 2 * j) + f(2 * i, 2 * j + 1)
+                        * (f(2 * i, 2 * j)
+                            + f(2 * i + 1, 2 * j)
+                            + f(2 * i, 2 * j + 1)
                             + f(2 * i + 1, 2 * j + 1));
                 }
             }
         }
         mpi.compute_items((last.planes * nc * nc) as u64, 4);
-        levels.push(Level { n: nc, planes: last.planes, field: coarse });
+        levels.push(Level {
+            n: nc,
+            planes: last.planes,
+            field: coarse,
+        });
     }
     // Smooth down the hierarchy (restriction already applied), then back
     // up with prolongation + post-smoothing.
@@ -107,7 +121,8 @@ fn v_cycle(mpi: &mut Mpi, field: &mut Vec<f64>, n0: usize, planes: usize, rank: 
         for z in 0..fine.planes {
             for i in 0..nf {
                 for j in 0..nf {
-                    let c = coarse.field[z * nc * nc + (i / 2).min(nc - 1) * nc + (j / 2).min(nc - 1)];
+                    let c =
+                        coarse.field[z * nc * nc + (i / 2).min(nc - 1) * nc + (j / 2).min(nc - 1)];
                     let x = &mut fine.field[z * nf * nf + i * nf + j];
                     *x = 0.5 * (*x + c);
                 }
@@ -150,7 +165,11 @@ fn smooth(mpi: &mut Mpi, lvl: &mut Level, rank: usize, p: usize) {
     // Jacobi-ish smoothing with the halos as z-neighbours.
     let old = lvl.field.clone();
     for z in 0..lvl.planes {
-        let below: &[f64] = if z == 0 { &halo_down } else { &old[(z - 1) * plane..z * plane] };
+        let below: &[f64] = if z == 0 {
+            &halo_down
+        } else {
+            &old[(z - 1) * plane..z * plane]
+        };
         let above: &[f64] = if z + 1 == lvl.planes {
             &halo_up
         } else {
@@ -161,9 +180,17 @@ fn smooth(mpi: &mut Mpi, lvl: &mut Level, rank: usize, p: usize) {
                 let idx = i * n + j;
                 let c = old[z * plane + idx];
                 let w = if j > 0 { old[z * plane + idx - 1] } else { c };
-                let e = if j + 1 < n { old[z * plane + idx + 1] } else { c };
+                let e = if j + 1 < n {
+                    old[z * plane + idx + 1]
+                } else {
+                    c
+                };
                 let no = if i > 0 { old[z * plane + idx - n] } else { c };
-                let s = if i + 1 < n { old[z * plane + idx + n] } else { c };
+                let s = if i + 1 < n {
+                    old[z * plane + idx + n]
+                } else {
+                    c
+                };
                 lvl.field[z * plane + idx] =
                     (2.0 * c + w + e + no + s + below[idx] + above[idx]) / 8.0;
             }

@@ -23,7 +23,7 @@ pub mod lu;
 pub mod mg;
 
 use cmpi_cluster::SimTime;
-use cmpi_core::JobSpec;
+use cmpi_core::{JobSpec, JobStats};
 
 /// Problem-size class (reduced re-interpretations of the NPB classes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -78,7 +78,7 @@ impl Kernel {
 }
 
 /// Outcome of one kernel run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct KernelResult {
     /// Which kernel ran.
     pub kernel: Kernel,
@@ -88,6 +88,8 @@ pub struct KernelResult {
     pub verified: bool,
     /// Timed-section virtual time (max across ranks).
     pub elapsed: SimTime,
+    /// Job-wide communication/recovery statistics.
+    pub stats: JobStats,
 }
 
 /// Run one kernel on a job spec.
@@ -101,8 +103,18 @@ pub fn run(spec: &JobSpec, kernel: Kernel, class: NpbClass) -> KernelResult {
         Kernel::Lu => lu::run(mpi, class),
     });
     let verified = r.results.iter().all(|(ok, _)| *ok);
-    let elapsed = r.results.iter().map(|(_, t)| *t).fold(SimTime::ZERO, SimTime::max);
-    KernelResult { kernel, class, verified, elapsed }
+    let elapsed = r
+        .results
+        .iter()
+        .map(|(_, t)| *t)
+        .fold(SimTime::ZERO, SimTime::max);
+    KernelResult {
+        kernel,
+        class,
+        verified,
+        elapsed,
+        stats: r.stats,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +124,12 @@ mod tests {
     use cmpi_core::LocalityPolicy;
 
     fn spec() -> JobSpec {
-        JobSpec::new(DeploymentScenario::containers(1, 2, 4, NamespaceSharing::default()))
+        JobSpec::new(DeploymentScenario::containers(
+            1,
+            2,
+            4,
+            NamespaceSharing::default(),
+        ))
     }
 
     #[test]
@@ -128,8 +145,16 @@ mod tests {
     fn kernels_faster_with_locality_detector() {
         // Fig. 12 shape: Opt < Def for communication-heavy kernels.
         for k in [Kernel::Cg, Kernel::Ft, Kernel::Is] {
-            let opt = run(&spec().with_policy(LocalityPolicy::ContainerDetector), k, NpbClass::S);
-            let def = run(&spec().with_policy(LocalityPolicy::Hostname), k, NpbClass::S);
+            let opt = run(
+                &spec().with_policy(LocalityPolicy::ContainerDetector),
+                k,
+                NpbClass::S,
+            );
+            let def = run(
+                &spec().with_policy(LocalityPolicy::Hostname),
+                k,
+                NpbClass::S,
+            );
             assert!(opt.verified && def.verified);
             assert!(
                 opt.elapsed < def.elapsed,
@@ -145,8 +170,16 @@ mod tests {
     fn ep_is_insensitive_to_policy() {
         // EP barely communicates: Def and Opt must be within a few
         // percent (paper shows EP as the flat bar in Fig. 12).
-        let opt = run(&spec().with_policy(LocalityPolicy::ContainerDetector), Kernel::Ep, NpbClass::S);
-        let def = run(&spec().with_policy(LocalityPolicy::Hostname), Kernel::Ep, NpbClass::S);
+        let opt = run(
+            &spec().with_policy(LocalityPolicy::ContainerDetector),
+            Kernel::Ep,
+            NpbClass::S,
+        );
+        let def = run(
+            &spec().with_policy(LocalityPolicy::Hostname),
+            Kernel::Ep,
+            NpbClass::S,
+        );
         let gap = (def.elapsed.as_ns() as f64 - opt.elapsed.as_ns() as f64).abs()
             / opt.elapsed.as_ns() as f64;
         assert!(gap < 0.05, "EP gap {gap:.3}");

@@ -3,18 +3,33 @@
 //! themselves are printed once per run (see the `figures` binary for the
 //! full tables).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cmpi_bench::{experiments as ex, Effort};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn effort() -> Effort {
-    Effort { graph_scale: 9, roots: 1, hosts_div: 8, max_size: 16 * 1024, iters: 3, npb_class: cmpi_apps::npb::NpbClass::S }
+    Effort {
+        graph_scale: 9,
+        roots: 1,
+        hosts_div: 8,
+        max_size: 16 * 1024,
+        iters: 3,
+        npb_class: cmpi_apps::npb::NpbClass::S,
+    }
 }
 
 fn bench(c: &mut Criterion) {
     let e = effort();
     let mut g = c.benchmark_group("fig03_channels");
     g.sample_size(10);
-    g.bench_function("fig03_channels", |b| b.iter(|| std::hint::black_box({ let a = ex::fig03a(&e); let bc = ex::fig03bc(&e); (a, bc) })));
+    g.bench_function("fig03_channels", |b| {
+        b.iter(|| {
+            std::hint::black_box({
+                let a = ex::fig03a(&e);
+                let bc = ex::fig03bc(&e);
+                (a, bc)
+            })
+        })
+    });
     g.finish();
 }
 

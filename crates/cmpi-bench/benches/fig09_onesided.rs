@@ -3,18 +3,27 @@
 //! themselves are printed once per run (see the `figures` binary for the
 //! full tables).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cmpi_bench::{experiments as ex, Effort};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn effort() -> Effort {
-    Effort { graph_scale: 9, roots: 1, hosts_div: 8, max_size: 16 * 1024, iters: 3, npb_class: cmpi_apps::npb::NpbClass::S }
+    Effort {
+        graph_scale: 9,
+        roots: 1,
+        hosts_div: 8,
+        max_size: 16 * 1024,
+        iters: 3,
+        npb_class: cmpi_apps::npb::NpbClass::S,
+    }
 }
 
 fn bench(c: &mut Criterion) {
     let e = effort();
     let mut g = c.benchmark_group("fig09_onesided");
     g.sample_size(10);
-    g.bench_function("fig09_onesided", |b| b.iter(|| std::hint::black_box(ex::fig09(&e))));
+    g.bench_function("fig09_onesided", |b| {
+        b.iter(|| std::hint::black_box(ex::fig09(&e)))
+    });
     g.finish();
 }
 

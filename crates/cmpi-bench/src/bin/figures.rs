@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [--fig 1|3a|3bc|7a|7b|7c|8|9|10|11|12] [--table 1]
-//!         [--ablations] [--all] [--full] [--csv DIR]
+//!         [--ablation faults|namespaces|collectives] [--ablations]
+//!         [--all] [--full] [--csv DIR]
 //! ```
 //!
 //! Without `--full` the CI-sized effort is used (seconds per figure);
@@ -15,8 +16,9 @@ use cmpi_bench::{experiments as ex, Effort, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--fig <id>]... [--table 1] [--ablations] [--all] [--full] [--csv DIR]\n\
-         \x20  figure ids: 1 3a 3bc 7a 7b 7c 8 9 10 11 12"
+        "usage: figures [--fig <id>]... [--table 1] [--ablation <name>]... [--ablations] [--all] [--full] [--csv DIR]\n\
+         \x20  figure ids: 1 3a 3bc 7a 7b 7c 8 9 10 11 12\n\
+         \x20  ablation names: faults namespaces collectives"
     );
     std::process::exit(2)
 }
@@ -26,6 +28,7 @@ fn main() {
     let mut figs: Vec<String> = Vec::new();
     let mut tables: Vec<String> = Vec::new();
     let mut ablations = false;
+    let mut ablation_names: Vec<String> = Vec::new();
     let mut all = false;
     let mut full = false;
     let mut csv_dir: Option<String> = None;
@@ -38,6 +41,10 @@ fn main() {
             }
             "--table" => {
                 tables.push(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--ablation" => {
+                ablation_names.push(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             "--ablations" => {
@@ -59,10 +66,20 @@ fn main() {
             _ => usage(),
         }
     }
-    if figs.is_empty() && tables.is_empty() && !ablations && !all {
+    for a in &ablation_names {
+        if !matches!(a.as_str(), "faults" | "namespaces" | "collectives") {
+            eprintln!("unknown ablation: {a}");
+            usage();
+        }
+    }
+    if figs.is_empty() && tables.is_empty() && !ablations && ablation_names.is_empty() && !all {
         all = true;
     }
-    let e = if full { Effort::full() } else { Effort::quick() };
+    let e = if full {
+        Effort::full()
+    } else {
+        Effort::quick()
+    };
     eprintln!(
         "# effort: graph scale {}, {} ranks on the cluster deployment{}",
         e.graph_scale,
@@ -110,9 +127,17 @@ fn main() {
     if want("12", &figs) {
         out.push(ex::fig12(&e));
     }
-    if ablations || all {
+    let want_ablation = |name: &str| ablations || all || ablation_names.iter().any(|a| a == name);
+    if want_ablation("namespaces") {
         out.push(ex::ablation_namespaces(&e));
+    }
+    if want_ablation("collectives") {
         out.push(ex::ablation_smp_collectives(&e));
+    }
+    if want_ablation("faults") {
+        out.push(ex::ablation_faults(&e));
+    }
+    if ablations || all {
         out.push(ex::ext_pgas(&e));
     }
 

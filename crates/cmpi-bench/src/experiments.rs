@@ -2,7 +2,10 @@
 
 use cmpi_apps::graph500::{self, Graph500Config};
 use cmpi_apps::npb::{self, Kernel, NpbClass};
-use cmpi_cluster::{Channel, DeploymentScenario, NamespaceSharing, SimTime, Tunables};
+use cmpi_cluster::{
+    Channel, ContainerId, DeploymentScenario, FaultPlan, HostId, NamespaceSharing, SimTime,
+    Tunables,
+};
 use cmpi_core::{CallClass, JobSpec, LocalityPolicy};
 use cmpi_osu::collective::{self, CollOp};
 use cmpi_osu::{onesided, power_of_two_sizes, pt2pt};
@@ -73,7 +76,12 @@ fn f2(x: f64) -> String {
 
 /// The four Fig. 1 deployment scenarios (16 ranks, one host).
 fn fig1_scenarios() -> Vec<(&'static str, u32)> {
-    vec![("Native", 0), ("1-Container", 1), ("2-Containers", 2), ("4-Containers", 4)]
+    vec![
+        ("Native", 0),
+        ("1-Container", 1),
+        ("2-Containers", 2),
+        ("4-Containers", 4),
+    ]
 }
 
 /// Fig. 1: Graph500 BFS time under the *default* library.
@@ -95,7 +103,14 @@ pub fn fig01(e: &Effort) -> Table {
 pub fn fig03a(e: &Effort) -> Table {
     let mut t = Table::new(
         "Fig. 3(a) — BFS time breakdown, default library",
-        &["scenario", "comm_pct", "compute_ms", "pt2pt_ms", "poll_ms", "collective_ms"],
+        &[
+            "scenario",
+            "comm_pct",
+            "compute_ms",
+            "pt2pt_ms",
+            "poll_ms",
+            "collective_ms",
+        ],
     );
     for (name, cph) in fig1_scenarios() {
         let spec =
@@ -129,8 +144,12 @@ pub fn fig03bc(e: &Effort) -> (Table, Table) {
         &["size", "SHM", "CMA", "HCA"],
     );
     let spec = |c| {
-        JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
-            .with_policy(LocalityPolicy::ForceChannel(c))
+        JobSpec::new(DeploymentScenario::pt2pt_pair(
+            true,
+            true,
+            NamespaceSharing::default(),
+        ))
+        .with_policy(LocalityPolicy::ForceChannel(c))
     };
     let curves: Vec<(Vec<_>, Vec<_>)> = [Channel::Shm, Channel::Cma, Channel::Hca]
         .into_iter()
@@ -162,7 +181,13 @@ pub fn fig03bc(e: &Effort) -> (Table, Table) {
 pub fn table1(e: &Effort) -> Table {
     let mut t = Table::new(
         "Table I — transfer operations per channel (Graph500 BFS, default library)",
-        &["channel", "Native", "1-Container", "2-Containers", "4-Containers"],
+        &[
+            "channel",
+            "Native",
+            "1-Container",
+            "2-Containers",
+            "4-Containers",
+        ],
     );
     let mut cols: Vec<Vec<u64>> = Vec::new();
     for (_, cph) in fig1_scenarios() {
@@ -193,20 +218,26 @@ pub fn table1(e: &Effort) -> Table {
 /// Fig. 7(a): `SMP_EAGER_SIZE` bandwidth sweep (co-resident pair).
 pub fn fig07a(_e: &Effort) -> Table {
     let settings = [2 * 1024, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024];
-    let sizes: Vec<usize> = power_of_two_sizes(64 * 1024).into_iter().filter(|&s| s >= 512).collect();
+    let sizes: Vec<usize> = power_of_two_sizes(64 * 1024)
+        .into_iter()
+        .filter(|&s| s >= 512)
+        .collect();
     let mut t = Table::new(
         "Fig. 7(a) — SMP_EAGER_SIZE sweep: bandwidth (MB/s)",
         &["size", "2K", "4K", "8K", "16K", "32K"],
     );
     let mut curves = Vec::new();
     for &eager in &settings {
-        let spec =
-            JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
-                .with_tunables(
-                    Tunables::default()
-                        .with_smp_eager_size(eager)
-                        .with_smpi_length_queue((eager * 16).max(128 * 1024)),
-                );
+        let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(
+            true,
+            true,
+            NamespaceSharing::default(),
+        ))
+        .with_tunables(
+            Tunables::default()
+                .with_smp_eager_size(eager)
+                .with_smpi_length_queue((eager * 16).max(128 * 1024)),
+        );
         curves.push(pt2pt::bandwidth(&spec, &sizes, 32, 3));
     }
     for (i, &size) in sizes.iter().enumerate() {
@@ -233,11 +264,16 @@ pub fn fig07b(e: &Effort) -> Table {
     );
     let mut curves = Vec::new();
     for &(q, _) in &settings {
-        let spec =
-            JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
-                .with_tunables(
-                    Tunables::default().with_smp_eager_size(8 * 1024.min(q)).with_smpi_length_queue(q),
-                );
+        let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(
+            true,
+            true,
+            NamespaceSharing::default(),
+        ))
+        .with_tunables(
+            Tunables::default()
+                .with_smp_eager_size(8 * 1024.min(q))
+                .with_smpi_length_queue(q),
+        );
         curves.push(pt2pt::bandwidth(&spec, &sizes, 64, e.iters.min(4)));
     }
     for (i, &size) in sizes.iter().enumerate() {
@@ -250,17 +286,31 @@ pub fn fig07b(e: &Effort) -> Table {
 
 /// Fig. 7(c): `MV2_IBA_EAGER_THRESHOLD` latency sweep between hosts.
 pub fn fig07c(e: &Effort) -> Table {
-    let settings: [(usize, &str); 4] =
-        [(13 * 1024, "13K"), (15 * 1024, "15K"), (17 * 1024, "17K"), (19 * 1024, "19K")];
-    let sizes = [13 * 1024usize, 14 * 1024, 16 * 1024, 17 * 1024, 18 * 1024, 19 * 1024];
+    let settings: [(usize, &str); 4] = [
+        (13 * 1024, "13K"),
+        (15 * 1024, "15K"),
+        (17 * 1024, "17K"),
+        (19 * 1024, "19K"),
+    ];
+    let sizes = [
+        13 * 1024usize,
+        14 * 1024,
+        16 * 1024,
+        17 * 1024,
+        18 * 1024,
+        19 * 1024,
+    ];
     let mut t = Table::new(
         "Fig. 7(c) — MV2_IBA_EAGER_THRESHOLD sweep: latency (us), two hosts",
         &["size", "13K", "15K", "17K", "19K"],
     );
     let mut curves = Vec::new();
     for &(thr, _) in &settings {
-        let spec = JobSpec::new(DeploymentScenario::pt2pt_two_hosts(true, NamespaceSharing::default()))
-            .with_tunables(Tunables::default().with_iba_eager_threshold(thr));
+        let spec = JobSpec::new(DeploymentScenario::pt2pt_two_hosts(
+            true,
+            NamespaceSharing::default(),
+        ))
+        .with_tunables(Tunables::default().with_iba_eager_threshold(thr));
         curves.push(pt2pt::latency(&spec, &sizes, e.iters));
     }
     for (i, &size) in sizes.iter().enumerate() {
@@ -272,9 +322,7 @@ pub fn fig07c(e: &Effort) -> Table {
 }
 
 /// The Fig. 8/9 configuration set.
-fn pt2pt_configs(
-    same_socket: bool,
-) -> Vec<(&'static str, JobSpec)> {
+fn pt2pt_configs(same_socket: bool) -> Vec<(&'static str, JobSpec)> {
     let sharing = NamespaceSharing::default();
     vec![
         (
@@ -298,10 +346,17 @@ fn pt2pt_configs(
 pub fn fig08(e: &Effort) -> Vec<Table> {
     let sizes = power_of_two_sizes(e.max_size);
     let mut out = Vec::new();
-    for (metric, which) in [("latency (us)", 0), ("bandwidth (MB/s)", 1), ("bi-bandwidth (MB/s)", 2)]
-    {
+    for (metric, which) in [
+        ("latency (us)", 0),
+        ("bandwidth (MB/s)", 1),
+        ("bi-bandwidth (MB/s)", 2),
+    ] {
         for same_socket in [true, false] {
-            let sock = if same_socket { "intra-socket" } else { "inter-socket" };
+            let sock = if same_socket {
+                "intra-socket"
+            } else {
+                "inter-socket"
+            };
             let mut t = Table::new(
                 format!("Fig. 8 — two-sided {metric}, {sock}"),
                 &["size", "Cont-Def", "Cont-Opt", "Native"],
@@ -346,8 +401,10 @@ pub fn fig09(e: &Effort) -> Vec<Table> {
             format!("Fig. 9 — one-sided {name}, intra-socket"),
             &["size", "Cont-Def", "Cont-Opt", "Native"],
         );
-        let curves: Vec<Vec<_>> =
-            pt2pt_configs(true).iter().map(|(_, spec)| f(spec, &sizes, e.iters)).collect();
+        let curves: Vec<Vec<_>> = pt2pt_configs(true)
+            .iter()
+            .map(|(_, spec)| f(spec, &sizes, e.iters))
+            .collect();
         for (i, &size) in sizes.iter().enumerate() {
             t.row(vec![
                 size.to_string(),
@@ -389,7 +446,12 @@ pub fn fig10(e: &Effort) -> Vec<Table> {
         .filter(|&s| s >= 64)
         .collect();
     let mut out = Vec::new();
-    for op in [CollOp::Bcast, CollOp::Allreduce, CollOp::Allgather, CollOp::Alltoall] {
+    for op in [
+        CollOp::Bcast,
+        CollOp::Allreduce,
+        CollOp::Allgather,
+        CollOp::Alltoall,
+    ] {
         let mut t = Table::new(
             format!(
                 "Fig. 10 — {} latency (us), {} ranks",
@@ -453,7 +515,14 @@ pub fn fig12(e: &Effort) -> Table {
             "Fig. 12 — applications, {} ranks: Default vs Proposed vs Native",
             DeploymentScenario::collective_256(e.hosts_div).num_ranks()
         ),
-        &["app", "default_ms", "proposed_ms", "native_ms", "opt_gain_pct", "opt_vs_native_pct"],
+        &[
+            "app",
+            "default_ms",
+            "proposed_ms",
+            "native_ms",
+            "opt_gain_pct",
+            "opt_vs_native_pct",
+        ],
     );
     let configs = cluster_configs(e);
     // Graph500 row.
@@ -483,7 +552,14 @@ fn push_app_row(t: &mut Table, name: &str, times: &[SimTime]) {
     let (def, opt, nat) = (times[0], times[1], times[2]);
     let gain = (def.as_ns() as f64 - opt.as_ns() as f64) / def.as_ns() as f64 * 100.0;
     let overhead = (opt.as_ns() as f64 - nat.as_ns() as f64) / nat.as_ns() as f64 * 100.0;
-    t.row(vec![name.into(), ms(def), ms(opt), ms(nat), f2(gain), f2(overhead)]);
+    t.row(vec![
+        name.into(),
+        ms(def),
+        ms(opt),
+        ms(nat),
+        f2(gain),
+        f2(overhead),
+    ]);
 }
 
 /// Ablation: what each namespace-sharing flag buys (latency of a 1 KiB
@@ -495,14 +571,135 @@ pub fn ablation_namespaces(e: &Effort) -> Table {
     );
     let cases: [(&str, NamespaceSharing); 4] = [
         ("ipc+pid (paper)", NamespaceSharing::default()),
-        ("ipc only", NamespaceSharing { ipc: true, pid: false, privileged: true }),
-        ("pid only", NamespaceSharing { ipc: false, pid: true, privileged: true }),
+        (
+            "ipc only",
+            NamespaceSharing {
+                ipc: true,
+                pid: false,
+                privileged: true,
+            },
+        ),
+        (
+            "pid only",
+            NamespaceSharing {
+                ipc: false,
+                pid: true,
+                privileged: true,
+            },
+        ),
         ("isolated", NamespaceSharing::isolated()),
     ];
     for (name, sharing) in cases {
         let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, sharing));
         let pts = pt2pt::latency(&spec, &[1024, 64 * 1024], e.iters);
         t.row(vec![name.into(), f2(pts[0].value), f2(pts[1].value)]);
+    }
+    t
+}
+
+/// Ablation: BFS under every injectable fault class. The first two rows
+/// are the paper's fault-free Def/Opt baselines; every following row is
+/// the Opt library running degraded under one fault, showing where the
+/// traffic went (per-channel op counts), how many peers were downgraded
+/// to the HCA, and how much recovery work (re-inits, repairs, retries)
+/// the run absorbed — with the BFS answers always identical.
+pub fn ablation_faults(e: &Effort) -> Table {
+    let mut t = Table::new(
+        "Ablation — fault injection: Graph 500 BFS, 8 ranks in 4 containers on 2 hosts",
+        &[
+            "config",
+            "bfs_ms",
+            "shm",
+            "cma",
+            "hca",
+            "downgrades",
+            "retries",
+            "recoveries",
+        ],
+    );
+    let scenario = || DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default());
+    let cases: Vec<(&str, LocalityPolicy, FaultPlan)> = vec![
+        (
+            "Def (no faults)",
+            LocalityPolicy::Hostname,
+            FaultPlan::none(),
+        ),
+        (
+            "Opt (no faults)",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none(),
+        ),
+        (
+            "stale list",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none().with_stale_list(HostId(0)),
+        ),
+        (
+            "corrupt list",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none().with_corrupt_list(HostId(0)),
+        ),
+        (
+            "omitted publish",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none().with_omitted_publish(1),
+        ),
+        (
+            "torn publish",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none().with_torn_publish(2),
+        ),
+        (
+            "duplicate publish",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none().with_duplicate_publish(0, 3),
+        ),
+        (
+            "revoked ipc ns",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none().with_revoked_ipc(ContainerId(1)),
+        ),
+        (
+            "revoked pid ns",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none().with_revoked_pid(ContainerId(1)),
+        ),
+        (
+            "qp attach faults",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none().with_qp_attach_failures(1, 3),
+        ),
+        (
+            "transient send faults",
+            LocalityPolicy::ContainerDetector,
+            FaultPlan::none().with_send_faults(7, 2),
+        ),
+    ];
+    let mut reference: Option<Vec<u64>> = None;
+    for (name, policy, plan) in cases {
+        let spec = JobSpec::new(scenario())
+            .with_policy(policy)
+            .with_faults(plan);
+        let r = graph500::run(&spec, e.graph_cfg());
+        assert!(r.validated, "{name}: BFS failed validation");
+        match &reference {
+            None => reference = Some(r.traversed_edges.clone()),
+            Some(expect) => assert_eq!(
+                &r.traversed_edges, expect,
+                "{name}: degraded run changed the BFS answer"
+            ),
+        }
+        let rec = r.stats.recovery();
+        t.row(vec![
+            name.into(),
+            ms(r.mean_bfs_time()),
+            r.stats.channel_ops(Channel::Shm).to_string(),
+            r.stats.channel_ops(Channel::Cma).to_string(),
+            r.stats.channel_ops(Channel::Hca).to_string(),
+            rec.hca_downgrades.to_string(),
+            (rec.init_retries + rec.attach_retries + rec.send_retries).to_string(),
+            (rec.list_recoveries + rec.publish_conflicts).to_string(),
+        ]);
     }
     t
 }
@@ -545,7 +742,15 @@ pub fn ext_pgas(e: &Effort) -> Table {
 pub fn ablation_smp_collectives(e: &Effort) -> Table {
     let mut t = Table::new(
         "Ablation — collective algorithms (us), locality-aware library",
-        &["size", "bcast", "bcast-smp", "bcast-tuned", "allreduce", "allreduce-smp", "allreduce-tuned"],
+        &[
+            "size",
+            "bcast",
+            "bcast-smp",
+            "bcast-tuned",
+            "allreduce",
+            "allreduce-smp",
+            "allreduce-tuned",
+        ],
     );
     let spec = JobSpec::new(DeploymentScenario::collective_256(e.hosts_div));
     let sizes = [256usize, 4096, 65536, 262144];

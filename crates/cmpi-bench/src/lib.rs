@@ -19,6 +19,7 @@
 //! | [`fig11`] | Fig. 11 — Graph500 with the proposed library |
 //! | [`fig12`] | Fig. 12 — Graph500 + NPB application sweep |
 //! | [`ablation_namespaces`] | extension — namespace-sharing ablation |
+//! | [`ablation_faults`] | extension — fault-injection / degraded-mode ablation |
 //! | [`ablation_smp_collectives`] | extension — two-level collectives |
 //! | [`ext_pgas`] | extension — PGAS GUPS (paper Section VII future work) |
 

@@ -43,7 +43,11 @@ impl Table {
 
     /// Look up a cell by row index and header name (for assertions).
     pub fn cell(&self, row: usize, header: &str) -> &str {
-        let c = self.headers.iter().position(|h| h == header).expect("unknown column");
+        let c = self
+            .headers
+            .iter()
+            .position(|h| h == header)
+            .expect("unknown column");
         &self.rows[row][c]
     }
 
@@ -83,12 +87,12 @@ mod tests {
     #[test]
     fn build_render_and_query() {
         let mut t = Table::new("Demo", &["size", "value"]);
-        t.row(vec!["1024".into(), "3.14".into()]);
-        t.row(vec!["2048".into(), "6.28".into()]);
+        t.row(vec!["1024".into(), "2.50".into()]);
+        t.row(vec!["2048".into(), "5.00".into()]);
         assert_eq!(t.cell(1, "size"), "2048");
-        assert!((t.cell_f64(0, "value") - 3.14).abs() < 1e-12);
+        assert!((t.cell_f64(0, "value") - 2.5).abs() < 1e-12);
         let s = t.to_string();
-        assert!(s.contains("Demo") && s.contains("3.14"));
+        assert!(s.contains("Demo") && s.contains("2.50"));
         let csv = t.to_csv();
         assert!(csv.starts_with("size,value\n"));
     }

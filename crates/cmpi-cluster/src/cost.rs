@@ -20,7 +20,9 @@
 use crate::time::SimTime;
 
 /// The three MVAPICH2 communication channels the paper analyses.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub enum Channel {
     /// User-space shared-memory channel (double copy through a bounded
     /// eager queue). Requires a common IPC namespace.
@@ -226,14 +228,22 @@ impl CostModel {
     pub fn hca_wire_time(&self, bytes: u64, same_host: bool) -> SimTime {
         Self::xfer(
             bytes,
-            if same_host { self.hca_loopback_bw } else { self.hca_link_bw },
+            if same_host {
+                self.hca_loopback_bw
+            } else {
+                self.hca_link_bw
+            },
         )
     }
 
     /// Per-call container tax (zero when `in_container` is false).
     #[inline]
     pub fn container_tax(&self, in_container: bool) -> SimTime {
-        SimTime::from_ns(if in_container { self.container_overhead_ns } else { 0 })
+        SimTime::from_ns(if in_container {
+            self.container_overhead_ns
+        } else {
+            0
+        })
     }
 }
 

@@ -1,0 +1,353 @@
+//! Fault-injection plans — the substrate behind the chaos suite.
+//!
+//! A [`FaultPlan`] describes, *declaratively and deterministically*, which
+//! partial failures a job must survive. It is configured per
+//! [`DeploymentScenario`](crate::DeploymentScenario) and threaded through
+//! the shared-memory layer (stale / corrupt / torn container-list
+//! segments), the locality detector (omitted publishes, revoked
+//! namespaces) and the fabric (QP-creation failures, transient send
+//! completion errors). The layers *consume* the plan; this module only
+//! answers pure queries, so the same plan always injects the same faults
+//! — the chaos tests assert bit-identical results across runs.
+//!
+//! The fault classes model the container-cloud failure modes reported for
+//! Docker HPC deployments (crashed jobs leaving `/dev/shm` litter,
+//! per-container namespace isolation, device unavailability) that the
+//! paper's locality protocol implicitly assumes away.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::scenario::DeploymentScenario;
+use crate::topology::{Container, ContainerId, HostId, NamespaceId};
+
+/// Offset added to a container id to mint the private namespace a revoked
+/// container is deemed to have been restarted into. High enough to never
+/// collide with [`Cluster::fresh_namespace`](crate::Cluster) allocations.
+const REVOKED_NS_BASE: u32 = 0x8000_0000;
+
+/// The stale generation number a leftover segment carries. Any value
+/// different from the running job's generation works; a recognizable
+/// constant makes failures readable.
+pub const STALE_GENERATION: u64 = 0xdead;
+
+/// A deterministic, declarative fault-injection plan.
+///
+/// All sets are keyed by stable identifiers (host ids, container ids,
+/// global ranks), never by wall-clock or thread arrival order, so two
+/// runs of the same plan inject exactly the same faults.
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlan {
+    /// Seed that derived this plan (recorded for reporting; sampling
+    /// happened in [`FaultPlan::sampled`]).
+    pub seed: u64,
+    /// Hosts whose container-list segment is a leftover from a previous
+    /// job: valid checksum, wrong generation. Recovery: re-initialize.
+    pub stale_list_hosts: BTreeSet<u32>,
+    /// Hosts whose container-list segment is corrupt (bad checksum /
+    /// garbage bytes). Recovery: re-initialize.
+    pub corrupt_list_hosts: BTreeSet<u32>,
+    /// Global ranks that never publish their membership byte before the
+    /// init barrier (modeling a rank wedged in container startup).
+    /// Recovery: peers retry with backoff, then downgrade the silent rank
+    /// to the HCA channel.
+    pub omit_publish_ranks: BTreeSet<usize>,
+    /// Global ranks whose membership byte is torn: a value from the valid
+    /// range but the *wrong* container's byte. Recovery: scan cross-checks
+    /// against placement ground truth and downgrades.
+    pub torn_publish_ranks: BTreeSet<usize>,
+    /// Duplicate publishes: rank → slot of a *different* rank it also
+    /// claims (two ranks claiming one slot). Surfaces as `CorruptList`
+    /// from the CAS publish; the rightful owner re-asserts its byte.
+    pub duplicate_publish: BTreeMap<usize, usize>,
+    /// Containers whose IPC-namespace sharing was revoked after placement
+    /// (restarted without `--ipc=host`): SHM impossible, co-residency
+    /// still real.
+    pub revoked_ipc_containers: BTreeSet<u32>,
+    /// Containers whose PID-namespace sharing was revoked (restarted
+    /// without `--pid=host`): CMA impossible.
+    pub revoked_pid_containers: BTreeSet<u32>,
+    /// Ranks whose first `n` fabric attach (QP creation) attempts fail
+    /// transiently. Recovery: bounded retry with virtual-time backoff.
+    pub qp_attach_failures: BTreeMap<usize, u32>,
+    /// Every `period`-th fabric send posted by a rank completes in error
+    /// (0 = never). Recovery: bounded retry with virtual-time backoff.
+    pub send_fault_period: u64,
+    /// How many consecutive completion errors each faulted send suffers
+    /// before succeeding; must stay below the transport retry budget for
+    /// the job to survive.
+    pub send_fault_repeats: u32,
+}
+
+/// splitmix64 — the repo-standard deterministic hash for derived seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic per-(seed, domain, key) coin.
+fn coin(seed: u64, domain: u64, key: u64, p_percent: u64) -> bool {
+    splitmix64(seed ^ domain.wrapping_mul(0xa076_1d64_78bd_642f) ^ key) % 100 < p_percent
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults. Equivalent to not configuring one.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        *self
+            == FaultPlan {
+                seed: self.seed,
+                ..FaultPlan::default()
+            }
+    }
+
+    /// Sample a mixed plan from `seed` for `scenario`: each fault class
+    /// fires with moderate probability over the scenario's hosts, ranks
+    /// and containers. Used by the chaos suite's "everything at once"
+    /// runs; identical `(seed, scenario)` always yields identical plans.
+    pub fn sampled(seed: u64, scenario: &DeploymentScenario) -> Self {
+        let mut plan = FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        };
+        let ranks = scenario.num_ranks();
+        for h in 0..scenario.cluster.num_hosts() as u64 {
+            if coin(seed, 1, h, 25) {
+                plan.stale_list_hosts.insert(h as u32);
+            } else if coin(seed, 2, h, 25) {
+                plan.corrupt_list_hosts.insert(h as u32);
+            }
+        }
+        for r in 0..ranks as u64 {
+            // Keep publish faults sparse: at most one rank in ~8 stays
+            // silent so the degraded view still finds locality to use.
+            if coin(seed, 3, r, 12) {
+                plan.omit_publish_ranks.insert(r as usize);
+            } else if coin(seed, 4, r, 12) {
+                plan.torn_publish_ranks.insert(r as usize);
+            }
+        }
+        for c in &scenario.cluster.containers {
+            if c.native {
+                continue;
+            }
+            if coin(seed, 5, c.id.0 as u64, 15) {
+                plan.revoked_ipc_containers.insert(c.id.0);
+            }
+            if coin(seed, 6, c.id.0 as u64, 15) {
+                plan.revoked_pid_containers.insert(c.id.0);
+            }
+        }
+        for r in 0..ranks as u64 {
+            if coin(seed, 7, r, 20) {
+                plan.qp_attach_failures
+                    .insert(r as usize, 1 + (splitmix64(seed ^ r) % 2) as u32);
+            }
+        }
+        if coin(seed, 8, 0, 50) {
+            plan.send_fault_period = 16 + splitmix64(seed ^ 0x5e17) % 48;
+            plan.send_fault_repeats = 1 + (splitmix64(seed ^ 0x9ad) % 2) as u32;
+        }
+        plan
+    }
+
+    // ---- builders ------------------------------------------------------
+
+    /// Leave a stale (previous-generation) container list on `host`.
+    pub fn with_stale_list(mut self, host: HostId) -> Self {
+        self.stale_list_hosts.insert(host.0);
+        self
+    }
+
+    /// Leave a corrupt (bad checksum) container list on `host`.
+    pub fn with_corrupt_list(mut self, host: HostId) -> Self {
+        self.corrupt_list_hosts.insert(host.0);
+        self
+    }
+
+    /// Make `rank` never publish its membership byte.
+    pub fn with_omitted_publish(mut self, rank: usize) -> Self {
+        self.omit_publish_ranks.insert(rank);
+        self
+    }
+
+    /// Make `rank` publish a torn (wrong-container) membership byte.
+    pub fn with_torn_publish(mut self, rank: usize) -> Self {
+        self.torn_publish_ranks.insert(rank);
+        self
+    }
+
+    /// Make `rank` also claim `victim_rank`'s slot (double publish).
+    pub fn with_duplicate_publish(mut self, rank: usize, victim_rank: usize) -> Self {
+        self.duplicate_publish.insert(rank, victim_rank);
+        self
+    }
+
+    /// Revoke IPC-namespace sharing for `container`.
+    pub fn with_revoked_ipc(mut self, container: ContainerId) -> Self {
+        self.revoked_ipc_containers.insert(container.0);
+        self
+    }
+
+    /// Revoke PID-namespace sharing for `container`.
+    pub fn with_revoked_pid(mut self, container: ContainerId) -> Self {
+        self.revoked_pid_containers.insert(container.0);
+        self
+    }
+
+    /// Fail `rank`'s first `attempts` QP-creation attempts.
+    pub fn with_qp_attach_failures(mut self, rank: usize, attempts: u32) -> Self {
+        self.qp_attach_failures.insert(rank, attempts);
+        self
+    }
+
+    /// Fail every `period`-th posted send with `repeats` consecutive
+    /// completion errors before it goes through.
+    pub fn with_send_faults(mut self, period: u64, repeats: u32) -> Self {
+        self.send_fault_period = period;
+        self.send_fault_repeats = repeats;
+        self
+    }
+
+    // ---- queries -------------------------------------------------------
+
+    /// Does `host` start with a stale leftover container list?
+    pub fn list_is_stale(&self, host: HostId) -> bool {
+        self.stale_list_hosts.contains(&host.0)
+    }
+
+    /// Does `host` start with a corrupt container list?
+    pub fn list_is_corrupt(&self, host: HostId) -> bool {
+        self.corrupt_list_hosts.contains(&host.0)
+    }
+
+    /// Does `rank` stay silent instead of publishing?
+    pub fn publish_omitted(&self, rank: usize) -> bool {
+        self.omit_publish_ranks.contains(&rank)
+    }
+
+    /// Does `rank` publish a torn byte?
+    pub fn publish_torn(&self, rank: usize) -> bool {
+        self.torn_publish_ranks.contains(&rank)
+    }
+
+    /// The slot `rank` wrongly claims in addition to its own, if any.
+    pub fn duplicate_claim_of(&self, rank: usize) -> Option<usize> {
+        self.duplicate_publish.get(&rank).copied()
+    }
+
+    /// Is `container`'s IPC sharing revoked?
+    pub fn ipc_revoked(&self, container: ContainerId) -> bool {
+        self.revoked_ipc_containers.contains(&container.0)
+    }
+
+    /// Is `container`'s PID sharing revoked?
+    pub fn pid_revoked(&self, container: ContainerId) -> bool {
+        self.revoked_pid_containers.contains(&container.0)
+    }
+
+    /// How many of `rank`'s leading attach attempts fail.
+    pub fn attach_failures(&self, rank: usize) -> u32 {
+        self.qp_attach_failures.get(&rank).copied().unwrap_or(0)
+    }
+
+    /// Whether the `op_index`-th send posted by a rank completes in error
+    /// on its `attempt`-th try (attempts count from 0).
+    pub fn send_fails(&self, op_index: u64, attempt: u32) -> bool {
+        self.send_fault_period != 0
+            && op_index % self.send_fault_period == self.send_fault_period - 1
+            && attempt < self.send_fault_repeats
+    }
+
+    /// The IPC namespace `container` effectively lives in once the plan's
+    /// revocations apply: its placed namespace normally, or a fresh
+    /// private one if revoked.
+    pub fn effective_ipc_ns(&self, container: &Container) -> NamespaceId {
+        if self.ipc_revoked(container.id) {
+            NamespaceId(REVOKED_NS_BASE + container.id.0)
+        } else {
+            container.ipc_ns
+        }
+    }
+
+    /// The PID namespace `container` effectively lives in (see
+    /// [`FaultPlan::effective_ipc_ns`]).
+    pub fn effective_pid_ns(&self, container: &Container) -> NamespaceId {
+        if self.pid_revoked(container.id) {
+            NamespaceId(REVOKED_NS_BASE + container.id.0)
+        } else {
+            container.pid_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::NamespaceSharing;
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default());
+        let a = FaultPlan::sampled(42, &s);
+        let b = FaultPlan::sampled(42, &s);
+        assert_eq!(a, b);
+        let c = FaultPlan::sampled(43, &s);
+        assert_ne!(a, c, "different seeds should (generically) differ");
+    }
+
+    #[test]
+    fn builders_round_trip_through_queries() {
+        let p = FaultPlan::none()
+            .with_stale_list(HostId(0))
+            .with_corrupt_list(HostId(1))
+            .with_omitted_publish(3)
+            .with_torn_publish(4)
+            .with_duplicate_publish(5, 6)
+            .with_revoked_ipc(ContainerId(1))
+            .with_revoked_pid(ContainerId(2))
+            .with_qp_attach_failures(0, 2)
+            .with_send_faults(8, 1);
+        assert!(p.list_is_stale(HostId(0)) && !p.list_is_stale(HostId(1)));
+        assert!(p.list_is_corrupt(HostId(1)) && !p.list_is_corrupt(HostId(0)));
+        assert!(p.publish_omitted(3) && !p.publish_omitted(4));
+        assert!(p.publish_torn(4) && !p.publish_torn(3));
+        assert_eq!(p.duplicate_claim_of(5), Some(6));
+        assert_eq!(p.duplicate_claim_of(6), None);
+        assert!(p.ipc_revoked(ContainerId(1)) && !p.ipc_revoked(ContainerId(2)));
+        assert!(p.pid_revoked(ContainerId(2)) && !p.pid_revoked(ContainerId(1)));
+        assert_eq!(p.attach_failures(0), 2);
+        assert_eq!(p.attach_failures(1), 0);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn send_fault_schedule_is_periodic_and_bounded() {
+        let p = FaultPlan::none().with_send_faults(4, 2);
+        // Ops 3, 7, 11, ... fail on attempts 0 and 1, succeed from 2.
+        assert!(p.send_fails(3, 0) && p.send_fails(3, 1) && !p.send_fails(3, 2));
+        assert!(!p.send_fails(0, 0) && !p.send_fails(2, 0) && p.send_fails(7, 0));
+        assert!(!FaultPlan::none().send_fails(3, 0), "period 0 = never");
+    }
+
+    #[test]
+    fn revoked_namespaces_are_private_and_stable() {
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let a = s.cluster.container(ContainerId(0)).clone();
+        let b = s.cluster.container(ContainerId(1)).clone();
+        let p = FaultPlan::none().with_revoked_ipc(ContainerId(1));
+        assert_eq!(p.effective_ipc_ns(&a), a.ipc_ns);
+        assert_ne!(p.effective_ipc_ns(&b), b.ipc_ns);
+        assert_ne!(p.effective_ipc_ns(&b), p.effective_ipc_ns(&a));
+        // Stable across calls (the downgrade decision must not flap).
+        assert_eq!(p.effective_ipc_ns(&b), p.effective_ipc_ns(&b));
+        // PID untouched by an IPC revocation.
+        assert_eq!(p.effective_pid_ns(&b), b.pid_ns);
+    }
+}

@@ -22,6 +22,7 @@
 //! model ([`CostModel`]).
 
 pub mod cost;
+pub mod faults;
 pub mod placement;
 pub mod scenario;
 pub mod time;
@@ -29,10 +30,9 @@ pub mod topology;
 pub mod tunables;
 
 pub use cost::{Channel, CostModel};
+pub use faults::FaultPlan;
 pub use placement::{Placement, RankLoc};
 pub use scenario::{DeploymentScenario, NamespaceSharing};
 pub use time::SimTime;
-pub use topology::{
-    Cluster, Container, ContainerId, CoreId, Host, HostId, NamespaceId, SocketId,
-};
+pub use topology::{Cluster, Container, ContainerId, CoreId, Host, HostId, NamespaceId, SocketId};
 pub use tunables::Tunables;

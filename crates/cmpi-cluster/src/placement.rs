@@ -49,7 +49,9 @@ impl Placement {
     /// locality detector must recover at runtime.
     pub fn co_resident_ranks(&self, rank: usize) -> Vec<usize> {
         let host = self.locs[rank].host;
-        (0..self.locs.len()).filter(|&r| self.locs[r].host == host).collect()
+        (0..self.locs.len())
+            .filter(|&r| self.locs[r].host == host)
+            .collect()
     }
 
     /// `true` when the two ranks are in the *same container*.
@@ -95,7 +97,10 @@ impl Placement {
             }
             let host = cluster.host(loc.host);
             if loc.container.0 as usize >= cluster.containers.len() {
-                return Err(format!("rank {rank}: container {} out of range", loc.container));
+                return Err(format!(
+                    "rank {rank}: container {} out of range",
+                    loc.container
+                ));
             }
             let cont = cluster.container(loc.container);
             if cont.host != loc.host {
@@ -112,7 +117,10 @@ impl Placement {
             }
             let key = (loc.host, loc.core);
             if used.contains(&key) {
-                return Err(format!("rank {rank}: core {:?} on {} double-booked", loc.core, loc.host));
+                return Err(format!(
+                    "rank {rank}: core {:?} on {} double-booked",
+                    loc.core, loc.host
+                ));
             }
             used.push(key);
         }

@@ -27,14 +27,22 @@ pub struct NamespaceSharing {
 
 impl Default for NamespaceSharing {
     fn default() -> Self {
-        NamespaceSharing { ipc: true, pid: true, privileged: true }
+        NamespaceSharing {
+            ipc: true,
+            pid: true,
+            privileged: true,
+        }
     }
 }
 
 impl NamespaceSharing {
     /// Fully isolated containers (no host namespace sharing).
     pub fn isolated() -> Self {
-        NamespaceSharing { ipc: false, pid: false, privileged: true }
+        NamespaceSharing {
+            ipc: false,
+            pid: false,
+            privileged: true,
+        }
     }
 }
 
@@ -88,8 +96,7 @@ impl DeploymentScenario {
         for _ in 0..hosts {
             let h = cluster.add_host(TESTBED_SOCKETS, TESTBED_CORES_PER_SOCKET);
             for ci in 0..containers_per_host {
-                let cont =
-                    cluster.add_container(h, sharing.ipc, sharing.pid, sharing.privileged);
+                let cont = cluster.add_container(h, sharing.ipc, sharing.pid, sharing.privileged);
                 place_block(
                     &cluster,
                     h,
@@ -105,7 +112,11 @@ impl DeploymentScenario {
         } else {
             format!("{containers_per_host}-Containers")
         };
-        DeploymentScenario { name, cluster, placement: Placement::new(locs) }
+        DeploymentScenario {
+            name,
+            cluster,
+            placement: Placement::new(locs),
+        }
     }
 
     /// Two-rank point-to-point scenario on a single host (Section V-B):
@@ -137,9 +148,17 @@ impl DeploymentScenario {
         let name = format!(
             "{}-{}",
             if containerized { "Cont" } else { "Native" },
-            if same_socket { "intra-socket" } else { "inter-socket" }
+            if same_socket {
+                "intra-socket"
+            } else {
+                "inter-socket"
+            }
         );
-        DeploymentScenario { name, cluster, placement: Placement::new(locs) }
+        DeploymentScenario {
+            name,
+            cluster,
+            placement: Placement::new(locs),
+        }
     }
 
     /// Two-rank scenario across two hosts (for HCA threshold tuning,
@@ -163,7 +182,12 @@ impl DeploymentScenario {
             });
         }
         DeploymentScenario {
-            name: if containerized { "Cont-2hosts" } else { "Native-2hosts" }.to_string(),
+            name: if containerized {
+                "Cont-2hosts"
+            } else {
+                "Native-2hosts"
+            }
+            .to_string(),
             cluster,
             placement: Placement::new(locs),
         }
@@ -231,7 +255,12 @@ fn place_block(
     );
     for i in 0..n {
         let core = CoreId(first_core + i);
-        locs.push(RankLoc { host: h, container: cont, socket: host.socket_of_core(core), core });
+        locs.push(RankLoc {
+            host: h,
+            container: cont,
+            socket: host.socket_of_core(core),
+            core,
+        });
     }
 }
 

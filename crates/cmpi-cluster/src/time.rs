@@ -16,7 +16,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// start) and as a duration; the arithmetic provided covers both uses.
 /// Using integer nanoseconds keeps every computation exactly reproducible
 /// across platforms — no floating-point accumulation drift.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct SimTime(pub u64);
 
 impl SimTime {

@@ -12,15 +12,21 @@
 use std::fmt;
 
 /// Identifier of a physical host in the cluster.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct HostId(pub u32);
 
 /// Identifier of a CPU socket within a host.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct SocketId(pub u32);
 
 /// Identifier of a core within a host (global across the host's sockets).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct CoreId(pub u32);
 
 /// Identifier of a container, unique across the whole cluster.
@@ -28,14 +34,18 @@ pub struct CoreId(pub u32);
 /// The pseudo-container representing "processes running directly on the
 /// host" (the native scenario) is an ordinary `ContainerId` whose namespaces
 /// are the host namespaces.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct ContainerId(pub u32);
 
 /// Identifier of a Linux namespace instance (IPC or PID), unique across the
 /// cluster. Two execution environments can use a kernel facility together
 /// exactly when they hold the *same* `NamespaceId` for the corresponding
 /// namespace type.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, serde::Serialize, serde::Deserialize,
+)]
 pub struct NamespaceId(pub u32);
 
 impl fmt::Display for HostId {
@@ -183,8 +193,16 @@ impl Cluster {
             let h = &self.hosts[host.0 as usize];
             (h.host_ipc_ns, h.host_pid_ns)
         };
-        let ipc_ns = if share_ipc { host_ipc } else { self.fresh_namespace() };
-        let pid_ns = if share_pid { host_pid } else { self.fresh_namespace() };
+        let ipc_ns = if share_ipc {
+            host_ipc
+        } else {
+            self.fresh_namespace()
+        };
+        let pid_ns = if share_pid {
+            host_pid
+        } else {
+            self.fresh_namespace()
+        };
         // Docker generates a unique (container-id derived) hostname.
         let hostname = format!("ctr-{:08x}", 0x9e3779b9u32.wrapping_mul(id.0 + 1));
         self.containers.push(Container {

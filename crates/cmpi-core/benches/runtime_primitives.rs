@@ -33,9 +33,12 @@ fn bench_pingpong(c: &mut Criterion) {
         ("def", LocalityPolicy::Hostname),
     ] {
         g.bench_function(name, |b| {
-            let spec =
-                JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
-                    .with_policy(policy);
+            let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(
+                true,
+                true,
+                NamespaceSharing::default(),
+            ))
+            .with_policy(policy);
             b.iter(|| {
                 spec.run(|mpi| {
                     let payload = Bytes::from(vec![0u8; 1024]);
@@ -60,7 +63,12 @@ fn bench_pingpong(c: &mut Criterion) {
 fn bench_allreduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("allreduce_16r_20x");
     g.sample_size(10);
-    let spec = JobSpec::new(DeploymentScenario::containers(1, 4, 4, NamespaceSharing::default()));
+    let spec = JobSpec::new(DeploymentScenario::containers(
+        1,
+        4,
+        4,
+        NamespaceSharing::default(),
+    ));
     g.bench_function("sum_1k_u64", |b| {
         b.iter(|| {
             spec.run(|mpi| {

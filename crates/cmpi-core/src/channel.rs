@@ -75,14 +75,20 @@ impl ChannelSelector {
                     peer.vis.shm,
                     "forced SHM channel but peers do not share an IPC namespace"
                 );
-                Route { channel: Channel::Shm, protocol: Protocol::Eager }
+                Route {
+                    channel: Channel::Shm,
+                    protocol: Protocol::Eager,
+                }
             }
             Channel::Cma => {
                 assert!(
                     peer.vis.cma,
                     "forced CMA channel but peers do not share a PID namespace"
                 );
-                Route { channel: Channel::Cma, protocol: Protocol::Rendezvous }
+                Route {
+                    channel: Channel::Cma,
+                    protocol: Protocol::Rendezvous,
+                }
             }
             Channel::Hca => self.hca_route(size),
         }
@@ -92,14 +98,23 @@ impl ChannelSelector {
         if size <= self.tunables.smp_eager_size && peer.vis.shm {
             // Small message: double copy through the eager queue beats the
             // CMA syscall.
-            Route { channel: Channel::Shm, protocol: Protocol::Eager }
+            Route {
+                channel: Channel::Shm,
+                protocol: Protocol::Eager,
+            }
         } else if peer.vis.cma {
             // Large message: single-copy CMA rendezvous.
-            Route { channel: Channel::Cma, protocol: Protocol::Rendezvous }
+            Route {
+                channel: Channel::Cma,
+                protocol: Protocol::Rendezvous,
+            }
         } else if peer.vis.shm {
             // CMA unavailable (no shared PID namespace): chunk the large
             // message through the SHM queue.
-            Route { channel: Channel::Shm, protocol: Protocol::Eager }
+            Route {
+                channel: Channel::Shm,
+                protocol: Protocol::Eager,
+            }
         } else {
             // Considered local but no intra-host facility is usable — fall
             // back to the network.
@@ -127,8 +142,14 @@ mod tests {
     fn peer(local: bool, shm: bool, cma: bool) -> PeerInfo {
         PeerInfo {
             considered_local: local,
-            vis: Visibility { co_resident: shm || cma, same_container: false, shm, cma },
+            vis: Visibility {
+                co_resident: shm || cma,
+                same_container: false,
+                shm,
+                cma,
+            },
             same_socket: true,
+            downgraded: None,
         }
     }
 
@@ -139,19 +160,37 @@ mod tests {
     #[test]
     fn local_small_goes_shm_eager() {
         let r = opt().route(&peer(true, true, true), 8 * 1024);
-        assert_eq!(r, Route { channel: Channel::Shm, protocol: Protocol::Eager });
+        assert_eq!(
+            r,
+            Route {
+                channel: Channel::Shm,
+                protocol: Protocol::Eager
+            }
+        );
     }
 
     #[test]
     fn local_large_goes_cma_rendezvous() {
         let r = opt().route(&peer(true, true, true), 8 * 1024 + 1);
-        assert_eq!(r, Route { channel: Channel::Cma, protocol: Protocol::Rendezvous });
+        assert_eq!(
+            r,
+            Route {
+                channel: Channel::Cma,
+                protocol: Protocol::Rendezvous
+            }
+        );
     }
 
     #[test]
     fn local_large_without_pid_sharing_chunks_through_shm() {
         let r = opt().route(&peer(true, true, false), 1 << 20);
-        assert_eq!(r, Route { channel: Channel::Shm, protocol: Protocol::Eager });
+        assert_eq!(
+            r,
+            Route {
+                channel: Channel::Shm,
+                protocol: Protocol::Eager
+            }
+        );
     }
 
     #[test]
@@ -165,11 +204,17 @@ mod tests {
         let s = opt();
         assert_eq!(
             s.route(&peer(false, false, false), 17 * 1024),
-            Route { channel: Channel::Hca, protocol: Protocol::Eager }
+            Route {
+                channel: Channel::Hca,
+                protocol: Protocol::Eager
+            }
         );
         assert_eq!(
             s.route(&peer(false, false, false), 17 * 1024 + 1),
-            Route { channel: Channel::Hca, protocol: Protocol::Rendezvous }
+            Route {
+                channel: Channel::Hca,
+                protocol: Protocol::Rendezvous
+            }
         );
     }
 
@@ -188,7 +233,10 @@ mod tests {
             LocalityPolicy::ForceChannel(Channel::Shm),
             Tunables::default(),
         );
-        assert_eq!(shm.route(&peer(true, true, true), 1 << 20).channel, Channel::Shm);
+        assert_eq!(
+            shm.route(&peer(true, true, true), 1 << 20).channel,
+            Channel::Shm
+        );
         let cma = ChannelSelector::new(
             LocalityPolicy::ForceChannel(Channel::Cma),
             Tunables::default(),
@@ -215,7 +263,9 @@ mod tests {
     fn custom_eager_threshold_moves_the_switch_point() {
         let s = ChannelSelector::new(
             LocalityPolicy::ContainerDetector,
-            Tunables::default().with_smp_eager_size(1024).with_smpi_length_queue(8192),
+            Tunables::default()
+                .with_smp_eager_size(1024)
+                .with_smpi_length_queue(8192),
         );
         assert_eq!(s.route(&peer(true, true, true), 1024).channel, Channel::Shm);
         assert_eq!(s.route(&peer(true, true, true), 1025).channel, Channel::Cma);

@@ -15,7 +15,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, Reducible, ReduceOp};
+use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, ReduceOp, Reducible};
 use crate::pt2pt::CTX_COLL;
 use crate::runtime::Mpi;
 use crate::stats::CallClass;
@@ -98,7 +98,10 @@ impl Mpi {
         if n <= 1 {
             return;
         }
-        let me = list.iter().position(|&r| r == self.rank).expect("rank not in barrier group");
+        let me = list
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank not in barrier group");
         let mut k = 0u32;
         let mut dist = 1usize;
         while dist < n {
@@ -132,14 +135,17 @@ impl Mpi {
         ctx: u32,
     ) -> Bytes {
         let n = list.len();
-        let me = list.iter().position(|&r| r == self.rank).expect("rank not in bcast group");
+        let me = list
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank not in bcast group");
         let relative = (me + n - root_pos) % n;
         let mut payload = data.unwrap_or_default();
         // Receive phase.
         let mut mask = 1usize;
         while mask < n {
             if relative & mask != 0 {
-                let src_pos = (relative ^ mask + 0) % n; // relative - mask
+                let src_pos = (relative ^ mask) % n; // relative - mask
                 let src = list[(src_pos + root_pos) % n];
                 payload = self.coll_recv(src, tag(op_id, 0), ctx);
                 break;
@@ -182,7 +188,10 @@ impl Mpi {
         ctx: u32,
     ) -> Vec<T> {
         let n = list.len();
-        let me = list.iter().position(|&r| r == self.rank).expect("rank not in reduce group");
+        let me = list
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank not in reduce group");
         let relative = (me + n - root_pos) % n;
         let mut acc = data.to_vec();
         let mut mask = 1usize;
@@ -234,13 +243,20 @@ impl Mpi {
         }
         if !n.is_power_of_two() {
             let red = self.reduce_inner_ctx(data, rop, list, 0, op_id, ctx);
-            let seed = if self.rank == list[0] { Some(to_bytes(&red)) } else { None };
+            let seed = if self.rank == list[0] {
+                Some(to_bytes(&red))
+            } else {
+                None
+            };
             let bytes = self.bcast_inner_ctx(seed, list, 0, op_id + 1, ctx);
             let mut out = vec![data[0]; data.len()];
             from_bytes(&bytes, &mut out);
             return out;
         }
-        let me = list.iter().position(|&r| r == self.rank).expect("rank not in allreduce group");
+        let me = list
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank not in allreduce group");
         let mut acc = data.to_vec();
         let mut mask = 1usize;
         let mut round = 0u32;
@@ -278,7 +294,10 @@ impl Mpi {
         ctx: u32,
     ) -> Vec<(usize, Bytes)> {
         let n = list.len();
-        let me = list.iter().position(|&r| r == self.rank).expect("rank not in gather group");
+        let me = list
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank not in gather group");
         let relative = (me + n - root_pos) % n;
         let mut parts: Vec<(usize, Bytes)> = vec![(self.rank, mine)];
         let mut mask = 1usize;
@@ -316,7 +335,11 @@ impl Mpi {
     pub fn bcast<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
         let t0 = self.enter();
         let list: Vec<usize> = (0..self.n).collect();
-        let seed = if self.rank == root { Some(to_bytes(buf)) } else { None };
+        let seed = if self.rank == root {
+            Some(to_bytes(buf))
+        } else {
+            None
+        };
         let out = self.bcast_inner(seed, &list, root, op::BCAST);
         if self.rank != root {
             from_bytes(&out, buf);
@@ -326,7 +349,12 @@ impl Mpi {
 
     /// Reduce elementwise to `root` (`MPI_Reduce`). Returns `Some(result)`
     /// at the root, `None` elsewhere.
-    pub fn reduce<T: Reducible>(&mut self, data: &[T], rop: ReduceOp, root: usize) -> Option<Vec<T>> {
+    pub fn reduce<T: Reducible>(
+        &mut self,
+        data: &[T],
+        rop: ReduceOp,
+        root: usize,
+    ) -> Option<Vec<T>> {
         let t0 = self.enter();
         let list: Vec<usize> = (0..self.n).collect();
         let acc = self.reduce_inner(data, rop, &list, root, op::REDUCE);
@@ -374,7 +402,11 @@ impl Mpi {
         let mut held: Vec<(usize, Bytes)> = Vec::new();
         if self.rank == root {
             let data = data.expect("scatter root must supply data");
-            assert_eq!(data.len(), block * n, "scatter data must be n * block elements");
+            assert_eq!(
+                data.len(),
+                block * n,
+                "scatter data must be n * block elements"
+            );
             for rel in 0..n {
                 let abs = (rel + root) % n;
                 let b = to_bytes(&data[abs * block..(abs + 1) * block]);
@@ -415,13 +447,20 @@ impl Mpi {
         // `mask` is now above my subtree span; walk down.
         let mut m = mask >> 1;
         // For the root, span the whole tree.
-        let mut m_cur = if relative == 0 { n.next_power_of_two() >> 1 } else { m };
+        let mut m_cur = if relative == 0 {
+            n.next_power_of_two() >> 1
+        } else {
+            m
+        };
         while m_cur > 0 {
             if relative + m_cur < n {
                 let lo = relative + m_cur;
                 let hi = (relative + 2 * m_cur).min(n);
-                let parts: Vec<(usize, Bytes)> =
-                    held.iter().filter(|(rel, _)| *rel >= lo && *rel < hi).cloned().collect();
+                let parts: Vec<(usize, Bytes)> = held
+                    .iter()
+                    .filter(|(rel, _)| *rel >= lo && *rel < hi)
+                    .cloned()
+                    .collect();
                 held.retain(|(rel, _)| *rel < lo || *rel >= hi);
                 let dst = list_abs(lo, root, n);
                 self.coll_send(bundle(&parts), dst, tag(op::SCATTER, 0), CTX_COLL);
@@ -452,8 +491,13 @@ impl Mpi {
                 let send_block = (self.rank + n - step) % n;
                 let recv_block = (self.rank + n - step - 1) % n;
                 let payload = to_bytes(&all[send_block * block..(send_block + 1) * block]);
-                let got =
-                    self.coll_sendrecv(payload, right, left, tag(op::ALLGATHER, step as u32), CTX_COLL);
+                let got = self.coll_sendrecv(
+                    payload,
+                    right,
+                    left,
+                    tag(op::ALLGATHER, step as u32),
+                    CTX_COLL,
+                );
                 from_bytes(&got, &mut all[recv_block * block..(recv_block + 1) * block]);
             }
         }
@@ -467,7 +511,11 @@ impl Mpi {
     pub fn alltoall<T: MpiData>(&mut self, data: &[T], block: usize) -> Vec<T> {
         let t0 = self.enter();
         let n = self.n;
-        assert_eq!(data.len(), block * n, "alltoall data must be n * block elements");
+        assert_eq!(
+            data.len(),
+            block * n,
+            "alltoall data must be n * block elements"
+        );
         let mut out = vec![data[0]; block * n];
         out[self.rank * block..(self.rank + 1) * block]
             .copy_from_slice(&data[self.rank * block..(self.rank + 1) * block]);
@@ -475,7 +523,8 @@ impl Mpi {
             let dst = (self.rank + step) % n;
             let src = (self.rank + n - step) % n;
             let payload = to_bytes(&data[dst * block..(dst + 1) * block]);
-            let got = self.coll_sendrecv(payload, dst, src, tag(op::ALLTOALL, step as u32), CTX_COLL);
+            let got =
+                self.coll_sendrecv(payload, dst, src, tag(op::ALLTOALL, step as u32), CTX_COLL);
             from_bytes(&got, &mut out[src * block..(src + 1) * block]);
         }
         self.exit(CallClass::Collective, t0);
@@ -496,7 +545,10 @@ impl Mpi {
             let dst = (self.rank + step) % n;
             let src = (self.rank + n - step) % n;
             sends.push(self.isend_inner(blocks[dst].clone(), dst, tag(op::ALLTOALLV, 0), CTX_COLL));
-            recvs.push((src, self.irecv_inner(Some(src), Some(tag(op::ALLTOALLV, 0)), CTX_COLL)));
+            recvs.push((
+                src,
+                self.irecv_inner(Some(src), Some(tag(op::ALLTOALLV, 0)), CTX_COLL),
+            ));
         }
         for (src, rid) in recvs {
             out[src] = self.wait_recv_inner(rid).0;
@@ -548,16 +600,27 @@ impl Mpi {
     pub fn bcast_smp<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
         let t0 = self.enter();
         let groups = self.policy_groups();
-        let my_group =
-            groups.iter().find(|g| g.contains(&self.rank)).expect("rank in no group").clone();
+        let my_group = groups
+            .iter()
+            .find(|g| g.contains(&self.rank))
+            .expect("rank in no group")
+            .clone();
         // Leaders: the root represents its own group; other groups use
         // their smallest rank.
         let leaders: Vec<usize> = groups
             .iter()
             .map(|g| if g.contains(&root) { root } else { g[0] })
             .collect();
-        let my_leader = if my_group.contains(&root) { root } else { my_group[0] };
-        let mut payload = if self.rank == root { Some(to_bytes(buf)) } else { None };
+        let my_leader = if my_group.contains(&root) {
+            root
+        } else {
+            my_group[0]
+        };
+        let mut payload = if self.rank == root {
+            Some(to_bytes(buf))
+        } else {
+            None
+        };
         if self.rank == my_leader && leaders.len() > 1 {
             let root_pos = leaders.iter().position(|&l| l == root).unwrap();
             let out = self.bcast_inner(payload.take(), &leaders, root_pos, op::SMP_PHASE0);
@@ -579,8 +642,11 @@ impl Mpi {
     pub fn allreduce_smp<T: Reducible>(&mut self, data: &[T], rop: ReduceOp) -> Vec<T> {
         let t0 = self.enter();
         let groups = self.policy_groups();
-        let my_group =
-            groups.iter().find(|g| g.contains(&self.rank)).expect("rank in no group").clone();
+        let my_group = groups
+            .iter()
+            .find(|g| g.contains(&self.rank))
+            .expect("rank in no group")
+            .clone();
         let leaders: Vec<usize> = groups.iter().map(|g| g[0]).collect();
         let mut acc = if my_group.len() > 1 {
             self.reduce_inner(data, rop, &my_group, 0, op::SMP_PHASE0)
@@ -591,7 +657,11 @@ impl Mpi {
             acc = self.allreduce_inner(&acc, rop, &leaders, op::SMP_PHASE1);
         }
         if my_group.len() > 1 {
-            let seed = if self.rank == my_group[0] { Some(to_bytes(&acc)) } else { None };
+            let seed = if self.rank == my_group[0] {
+                Some(to_bytes(&acc))
+            } else {
+                None
+            };
             let out = self.bcast_inner(seed, &my_group, 0, op::SMP_PHASE2);
             from_bytes(&out, &mut acc);
         }

@@ -8,7 +8,7 @@
 
 use bytes::Bytes;
 
-use crate::datatype::{from_bytes, reduce_into, to_bytes, Reducible, ReduceOp};
+use crate::datatype::{from_bytes, reduce_into, to_bytes, ReduceOp, Reducible};
 use crate::pt2pt::CTX_COLL;
 use crate::runtime::Mpi;
 use crate::stats::CallClass;
@@ -50,11 +50,8 @@ impl Mpi {
                 ));
             }
             if rank >= mask {
-                let rid = self.irecv_inner(
-                    Some(rank - mask),
-                    Some(tag(xop::SCAN, round)),
-                    CTX_COLL,
-                );
+                let rid =
+                    self.irecv_inner(Some(rank - mask), Some(tag(xop::SCAN, round)), CTX_COLL);
                 let bytes = self.wait_recv_inner(rid).0;
                 let mut lower = vec![data[0]; data.len()];
                 from_bytes(&bytes, &mut lower);
@@ -99,11 +96,8 @@ impl Mpi {
                 ));
             }
             if rank >= mask {
-                let rid = self.irecv_inner(
-                    Some(rank - mask),
-                    Some(tag(xop::EXSCAN, round)),
-                    CTX_COLL,
-                );
+                let rid =
+                    self.irecv_inner(Some(rank - mask), Some(tag(xop::EXSCAN, round)), CTX_COLL);
                 let bytes = self.wait_recv_inner(rid).0;
                 let mut lower = vec![data[0]; data.len()];
                 from_bytes(&bytes, &mut lower);
@@ -141,7 +135,11 @@ impl Mpi {
     ) -> Vec<T> {
         let t0 = self.enter();
         let n = self.n;
-        assert_eq!(data.len(), block * n, "reduce_scatter data must be size * block elements");
+        assert_eq!(
+            data.len(),
+            block * n,
+            "reduce_scatter data must be size * block elements"
+        );
         let list: Vec<usize> = (0..n).collect();
         // Stage 1: binomial reduce to rank 0.
         let reduced = self.reduce_inner_ctx(data, rop, &list, 0, xop::RSCAT, CTX_COLL);
@@ -180,7 +178,12 @@ impl Mpi {
             all[root] = data;
             let reqs: Vec<(usize, u64)> = (0..n)
                 .filter(|&r| r != root)
-                .map(|r| (r, self.irecv_inner(Some(r), Some(tag(xop::GATHERV, 0)), CTX_COLL)))
+                .map(|r| {
+                    (
+                        r,
+                        self.irecv_inner(Some(r), Some(tag(xop::GATHERV, 0)), CTX_COLL),
+                    )
+                })
                 .collect();
             for (r, rid) in reqs {
                 all[r] = self.wait_recv_inner(rid).0;
@@ -235,7 +238,12 @@ impl Mpi {
             let mut all: Vec<Bytes> = vec![Bytes::new(); n];
             all[0] = data;
             let reqs: Vec<(usize, u64)> = (1..n)
-                .map(|r| (r, self.irecv_inner(Some(r), Some(tag(xop::ALLGATHERV, 9)), CTX_COLL)))
+                .map(|r| {
+                    (
+                        r,
+                        self.irecv_inner(Some(r), Some(tag(xop::ALLGATHERV, 9)), CTX_COLL),
+                    )
+                })
                 .collect();
             for (r, rid) in reqs {
                 all[r] = self.wait_recv_inner(rid).0;

@@ -15,7 +15,7 @@
 //! Both fall back to the latency-optimal algorithms for small messages or
 //! non-power-of-two groups (like MVAPICH2's tuning tables).
 
-use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, Reducible, ReduceOp};
+use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, ReduceOp, Reducible};
 use crate::pt2pt::CTX_COLL;
 use crate::runtime::Mpi;
 use crate::stats::CallClass;
@@ -51,7 +51,10 @@ impl Mpi {
     pub fn allreduce_rabenseifner<T: Reducible>(&mut self, data: &[T], rop: ReduceOp) -> Vec<T> {
         let t0 = self.enter();
         let n = self.n;
-        assert!(n.is_power_of_two(), "Rabenseifner requires a power-of-two group");
+        assert!(
+            n.is_power_of_two(),
+            "Rabenseifner requires a power-of-two group"
+        );
         let rank = self.rank;
         // Pad so the vector splits into n equal chunks. Padded positions
         // only ever combine with other ranks' padding and are dropped at
@@ -77,8 +80,7 @@ impl Mpi {
             };
             let payload = to_bytes(&vec[send_lo * chunk..send_hi * chunk]);
             let sid = self.isend_inner(payload, partner, tag(lop::RABEN, round), CTX_COLL);
-            let rid =
-                self.irecv_inner(Some(partner), Some(tag(lop::RABEN, round)), CTX_COLL);
+            let rid = self.irecv_inner(Some(partner), Some(tag(lop::RABEN, round)), CTX_COLL);
             let bytes = self.wait_recv_inner(rid).0;
             self.wait_send_inner(sid);
             let mut incoming = vec![data[0]; (keep_hi - keep_lo) * chunk];
@@ -103,8 +105,7 @@ impl Mpi {
             let partner_lo = my_lo ^ region;
             let payload = to_bytes(&vec[my_lo * chunk..(my_lo + region) * chunk]);
             let sid = self.isend_inner(payload, partner, tag(lop::RABEN, round), CTX_COLL);
-            let rid =
-                self.irecv_inner(Some(partner), Some(tag(lop::RABEN, round)), CTX_COLL);
+            let rid = self.irecv_inner(Some(partner), Some(tag(lop::RABEN, round)), CTX_COLL);
             let bytes = self.wait_recv_inner(rid).0;
             self.wait_send_inner(sid);
             let mut incoming = vec![data[0]; region * chunk];
@@ -167,8 +168,12 @@ impl Mpi {
                 let send_block = (my_block_idx + n - step) % n;
                 let recv_block = (my_block_idx + n - step - 1) % n;
                 let payload = to_bytes(&padded[send_block * chunk..(send_block + 1) * chunk]);
-                let sid =
-                    self.isend_inner(payload, right, tag(lop::SA_BCAST, 1 + step as u32), CTX_COLL);
+                let sid = self.isend_inner(
+                    payload,
+                    right,
+                    tag(lop::SA_BCAST, 1 + step as u32),
+                    CTX_COLL,
+                );
                 let rid = self.irecv_inner(
                     Some(left),
                     Some(tag(lop::SA_BCAST, 1 + step as u32)),
@@ -176,7 +181,10 @@ impl Mpi {
                 );
                 let bytes = self.wait_recv_inner(rid).0;
                 self.wait_send_inner(sid);
-                from_bytes(&bytes, &mut padded[recv_block * chunk..(recv_block + 1) * chunk]);
+                from_bytes(
+                    &bytes,
+                    &mut padded[recv_block * chunk..(recv_block + 1) * chunk],
+                );
             }
         }
         buf.copy_from_slice(&padded[..buf.len()]);

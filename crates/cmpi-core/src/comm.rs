@@ -6,7 +6,7 @@
 //! traffic is isolated by the communicator's context id so concurrent
 //! collectives on disjoint communicators can never cross-match.
 
-use crate::datatype::{from_bytes, to_bytes, MpiData, Reducible, ReduceOp};
+use crate::datatype::{from_bytes, to_bytes, MpiData, ReduceOp, Reducible};
 use crate::pt2pt::CTX_COLL;
 use crate::runtime::Mpi;
 use crate::stats::CallClass;
@@ -60,7 +60,10 @@ mod cop {
 impl Mpi {
     /// The communicator containing every rank (≈ `MPI_COMM_WORLD`).
     pub fn comm_world(&self) -> Comm {
-        Comm { ctx: CTX_COLL, ranks: (0..self.n).collect() }
+        Comm {
+            ctx: CTX_COLL,
+            ranks: (0..self.n).collect(),
+        }
     }
 
     /// Collectively split `parent` into sub-communicators by `color`;
@@ -104,14 +107,16 @@ impl Mpi {
         ctx: u32,
     ) -> Vec<T> {
         let n = list.len();
-        let me = list.iter().position(|&r| r == self.rank).expect("rank not in group");
+        let me = list
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank not in group");
         let block = data.len();
         let mut all = vec![data[0]; block * n];
         all[me * block..(me + 1) * block].copy_from_slice(data);
         // Gather to position-0 rank then broadcast: simple and correct
         // for modest group sizes.
-        let parts =
-            self.gather_inner_ctx(to_bytes(data), list, 0, op_id, ctx);
+        let parts = self.gather_inner_ctx(to_bytes(data), list, 0, op_id, ctx);
         if self.rank == list[0] {
             for (world_rank, bytes) in parts {
                 let pos = list.iter().position(|&r| r == world_rank).unwrap();
@@ -157,7 +162,12 @@ impl Mpi {
     }
 
     /// Allreduce over a communicator.
-    pub fn allreduce_comm<T: Reducible>(&mut self, comm: &Comm, data: &[T], rop: ReduceOp) -> Vec<T> {
+    pub fn allreduce_comm<T: Reducible>(
+        &mut self,
+        comm: &Comm,
+        data: &[T],
+        rop: ReduceOp,
+    ) -> Vec<T> {
         let t0 = self.enter();
         let out = self.allreduce_inner_ctx(data, rop, comm.ranks(), cop::ALLREDUCE, comm.ctx());
         self.exit(CallClass::Collective, t0);

@@ -45,7 +45,9 @@ impl Layout {
     pub fn len(&self) -> usize {
         match self {
             Layout::Contiguous { count, .. } => *count,
-            Layout::Vector { count, blocklen, .. } => count * blocklen,
+            Layout::Vector {
+                count, blocklen, ..
+            } => count * blocklen,
             Layout::Indexed(blocks) => blocks.iter().map(|&(_, l)| l).sum(),
         }
     }
@@ -60,16 +62,19 @@ impl Layout {
     pub fn extent(&self) -> usize {
         match self {
             Layout::Contiguous { offset, count } => offset + count,
-            Layout::Vector { offset, count, blocklen, stride } => {
+            Layout::Vector {
+                offset,
+                count,
+                blocklen,
+                stride,
+            } => {
                 if *count == 0 {
                     *offset
                 } else {
                     offset + (count - 1) * stride + blocklen
                 }
             }
-            Layout::Indexed(blocks) => {
-                blocks.iter().map(|&(d, l)| d + l).max().unwrap_or(0)
-            }
+            Layout::Indexed(blocks) => blocks.iter().map(|&(d, l)| d + l).max().unwrap_or(0),
         }
     }
 
@@ -99,7 +104,12 @@ impl Layout {
                     f(*offset, *count)
                 }
             }
-            Layout::Vector { offset, count, blocklen, stride } => {
+            Layout::Vector {
+                offset,
+                count,
+                blocklen,
+                stride,
+            } => {
                 for i in 0..*count {
                     if *blocklen > 0 {
                         f(offset + i * stride, *blocklen);
@@ -135,7 +145,11 @@ impl Mpi {
         tag: u32,
     ) -> Status {
         let (bytes, status) = self.recv_bytes(src, tag);
-        assert_eq!(status.len, layout.len() * T::SIZE, "layout/message size mismatch");
+        assert_eq!(
+            status.len,
+            layout.len() * T::SIZE,
+            "layout/message size mismatch"
+        );
         let mut packed = vec![buf.first().copied().expect("empty receive buffer"); layout.len()];
         from_bytes(&bytes, &mut packed);
         layout.unpack(&packed, buf);
@@ -150,7 +164,10 @@ mod tests {
     #[test]
     fn contiguous_pack_roundtrip() {
         let buf: Vec<u32> = (0..10).collect();
-        let l = Layout::Contiguous { offset: 3, count: 4 };
+        let l = Layout::Contiguous {
+            offset: 3,
+            count: 4,
+        };
         assert_eq!(l.pack(&buf), vec![3, 4, 5, 6]);
         assert_eq!(l.len(), 4);
         assert_eq!(l.extent(), 7);
@@ -164,7 +181,12 @@ mod tests {
     fn vector_selects_a_matrix_column() {
         // 4x5 row-major matrix; column 2 = stride 5, blocklen 1.
         let m: Vec<u32> = (0..20).collect();
-        let col = Layout::Vector { offset: 2, count: 4, blocklen: 1, stride: 5 };
+        let col = Layout::Vector {
+            offset: 2,
+            count: 4,
+            blocklen: 1,
+            stride: 5,
+        };
         assert_eq!(col.pack(&m), vec![2, 7, 12, 17]);
         assert_eq!(col.extent(), 18);
         let mut m2 = m.clone();
@@ -177,7 +199,12 @@ mod tests {
     #[test]
     fn vector_with_blocks() {
         let buf: Vec<u8> = (0..12).collect();
-        let l = Layout::Vector { offset: 0, count: 3, blocklen: 2, stride: 4 };
+        let l = Layout::Vector {
+            offset: 0,
+            count: 3,
+            blocklen: 2,
+            stride: 4,
+        };
         assert_eq!(l.pack(&buf), vec![0, 1, 4, 5, 8, 9]);
         assert_eq!(l.len(), 6);
     }
@@ -194,7 +221,12 @@ mod tests {
     #[test]
     fn empty_layouts_are_harmless() {
         let buf = [1u8, 2, 3];
-        assert!(Layout::Contiguous { offset: 1, count: 0 }.pack(&buf).is_empty());
+        assert!(Layout::Contiguous {
+            offset: 1,
+            count: 0
+        }
+        .pack(&buf)
+        .is_empty());
         assert!(Layout::Indexed(vec![]).is_empty());
         assert_eq!(Layout::Indexed(vec![]).extent(), 0);
     }
@@ -202,6 +234,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "past the buffer")]
     fn overreach_is_rejected() {
-        Layout::Vector { offset: 0, count: 3, blocklen: 2, stride: 4 }.pack(&[0u8; 9]);
+        Layout::Vector {
+            offset: 0,
+            count: 3,
+            blocklen: 2,
+            stride: 4,
+        }
+        .pack(&[0u8; 9]);
     }
 }

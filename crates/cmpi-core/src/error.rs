@@ -23,6 +23,39 @@ pub enum MpiError {
     BadTunables(String),
     /// Placement validation failed at job start.
     BadPlacement(String),
+    /// A structurally valid container-list segment from a *different* job
+    /// generation was found at init and re-initialized.
+    StaleSegment {
+        /// Host whose `/dev/shm/locality` carried the leftover.
+        host: u32,
+        /// The stale generation stamp found in the header.
+        generation: u64,
+    },
+    /// A container-list segment failed header validation (bad magic or
+    /// checksum) and was re-initialized.
+    CorruptList {
+        /// Host whose `/dev/shm/locality` was corrupt.
+        host: u32,
+    },
+    /// A peer expected to be co-resident never published its membership
+    /// byte before the bounded init retries ran out.
+    PeerUnpublished {
+        /// The silent peer's global rank.
+        peer: usize,
+    },
+    /// A peer was downgraded from intra-host channels (SHM/CMA) to the
+    /// HCA after the locality cross-check rejected it.
+    ChannelDowngraded {
+        /// The downgraded peer's global rank.
+        peer: usize,
+    },
+    /// A bounded retry loop exhausted its attempts without recovering.
+    RetriesExhausted {
+        /// What was being retried (e.g. `"HCA send"`).
+        what: &'static str,
+        /// How many attempts were made.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for MpiError {
@@ -30,10 +63,39 @@ impl std::fmt::Display for MpiError {
         match self {
             MpiError::Fabric(e) => write!(f, "fabric error: {e}"),
             MpiError::Truncated { msg_len, buf_len } => {
-                write!(f, "message truncated: {msg_len} bytes into {buf_len}-byte buffer")
+                write!(
+                    f,
+                    "message truncated: {msg_len} bytes into {buf_len}-byte buffer"
+                )
             }
             MpiError::BadTunables(s) => write!(f, "invalid tunables: {s}"),
             MpiError::BadPlacement(s) => write!(f, "invalid placement: {s}"),
+            MpiError::StaleSegment { host, generation } => write!(
+                f,
+                "stale container list on host {host}: generation {generation:#x} \
+                 from a previous job, segment re-initialized"
+            ),
+            MpiError::CorruptList { host } => {
+                write!(
+                    f,
+                    "corrupt container list on host {host}: segment re-initialized"
+                )
+            }
+            MpiError::PeerUnpublished { peer } => {
+                write!(
+                    f,
+                    "co-resident peer {peer} never published its membership byte"
+                )
+            }
+            MpiError::ChannelDowngraded { peer } => {
+                write!(
+                    f,
+                    "peer {peer} downgraded from intra-host channels to the HCA"
+                )
+            }
+            MpiError::RetriesExhausted { what, attempts } => {
+                write!(f, "{what}: retries exhausted after {attempts} attempts")
+            }
         }
     }
 }
@@ -52,9 +114,56 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MpiError::Truncated { msg_len: 100, buf_len: 10 };
+        let e = MpiError::Truncated {
+            msg_len: 100,
+            buf_len: 10,
+        };
         assert!(e.to_string().contains("100"));
         let e = MpiError::Fabric(FabricError::NotPrivileged);
         assert!(e.to_string().contains("privileged"));
+    }
+
+    /// Every variant renders a non-empty, variant-identifying message.
+    /// The match is deliberately exhaustive (no wildcard arm): adding a
+    /// variant without extending this list fails to compile.
+    #[test]
+    fn display_covers_every_variant() {
+        let all: &[MpiError] = &[
+            MpiError::Fabric(FabricError::NotPrivileged),
+            MpiError::Truncated {
+                msg_len: 9,
+                buf_len: 4,
+            },
+            MpiError::BadTunables("queue too small".into()),
+            MpiError::BadPlacement("rank off host".into()),
+            MpiError::StaleSegment {
+                host: 3,
+                generation: 0xdead,
+            },
+            MpiError::CorruptList { host: 7 },
+            MpiError::PeerUnpublished { peer: 11 },
+            MpiError::ChannelDowngraded { peer: 5 },
+            MpiError::RetriesExhausted {
+                what: "HCA send",
+                attempts: 8,
+            },
+        ];
+        for e in all {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            match e {
+                MpiError::Fabric(_) => assert!(s.contains("fabric")),
+                MpiError::Truncated { .. } => assert!(s.contains("truncated")),
+                MpiError::BadTunables(_) => assert!(s.contains("tunables")),
+                MpiError::BadPlacement(_) => assert!(s.contains("placement")),
+                MpiError::StaleSegment { .. } => {
+                    assert!(s.contains("stale") && s.contains("0xdead"))
+                }
+                MpiError::CorruptList { .. } => assert!(s.contains("corrupt")),
+                MpiError::PeerUnpublished { .. } => assert!(s.contains("never published")),
+                MpiError::ChannelDowngraded { .. } => assert!(s.contains("downgraded")),
+                MpiError::RetriesExhausted { .. } => assert!(s.contains("exhausted")),
+            }
+        }
     }
 }

@@ -69,11 +69,11 @@ pub use channel::{ChannelSelector, Protocol, Route};
 pub use comm::Comm;
 pub use datatype::{MpiData, ReduceOp};
 pub use datatype_derived::Layout;
-pub use persistent::{Persistent, PersistentRecv, PersistentSend};
 pub use error::MpiError;
-pub use locality::{LocalityPolicy, LocalityView};
+pub use locality::{DowngradeReason, LocalityPolicy, LocalityView, PublishReport};
 pub use onesided::Window;
+pub use persistent::{Persistent, PersistentRecv, PersistentSend};
 pub use pt2pt::{Completion, Request, Status, ANY_SOURCE, ANY_TAG};
 pub use runtime::{JobResult, JobSpec, Mpi};
-pub use stats::{CallClass, ChannelCounter, CommStats, JobStats};
+pub use stats::{CallClass, ChannelCounter, CommStats, JobStats, RecoveryStats};
 pub use trace::{JobTrace, RankTrace, TraceEvent};

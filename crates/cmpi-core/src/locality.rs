@@ -8,8 +8,9 @@
 //! work; the **container detector** recovers the truth from the shared
 //! container list.
 
-use cmpi_cluster::{Channel, Cluster, Placement};
-use cmpi_shmem::visibility::visibility;
+use cmpi_cluster::{Channel, Cluster, FaultPlan, Placement};
+use cmpi_shmem::locality_list::{AttachOutcome, PublishError, JOB_GENERATION};
+use cmpi_shmem::visibility::{effective_visibility, visibility};
 use cmpi_shmem::{ContainerList, ShmRegistry, Visibility};
 
 /// How the library decides peer locality.
@@ -41,6 +42,22 @@ impl LocalityPolicy {
     }
 }
 
+/// Why the detector refused intra-host channels for a peer that the
+/// placement says should have been reachable through them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DowngradeReason {
+    /// The peer never published its membership byte (wedged in container
+    /// startup) although the segment was reachable.
+    Unpublished,
+    /// The peer's slot holds a byte that does not match its container —
+    /// a torn or conflicting write survived.
+    CorruptByte,
+    /// Kernel namespace ground truth contradicts the placement: the
+    /// peer's container lost its shared IPC/PID namespaces (restarted
+    /// without `--ipc=host`/`--pid=host`).
+    GatingMismatch,
+}
+
 /// Everything a rank knows about one peer after initialization.
 #[derive(Clone, Copy, Debug)]
 pub struct PeerInfo {
@@ -50,6 +67,16 @@ pub struct PeerInfo {
     pub vis: Visibility,
     /// Pinned to the same socket (affects copy costs).
     pub same_socket: bool,
+    /// Set when the placement expected intra-host reachability but the
+    /// detector's cross-check forced the peer onto the HCA.
+    pub downgraded: Option<DowngradeReason>,
+}
+
+/// What phase-1 publication observed and repaired.
+#[derive(Clone, Copy, Debug)]
+pub struct PublishReport {
+    /// What the header validation found on attach.
+    pub outcome: AttachOutcome,
 }
 
 /// A rank's resolved locality knowledge.
@@ -78,11 +105,88 @@ impl LocalityView {
         placement: &Placement,
         rank: usize,
     ) -> ContainerList {
+        Self::publish_with(registry, cluster, placement, rank, &FaultPlan::none()).0
+    }
+
+    /// Fault-aware phase 1: attach (validating and recovering the segment
+    /// header), then publish — or, per `plan`, stay silent, tear the
+    /// byte, or additionally claim another rank's slot.
+    ///
+    /// The list is attached in the container's *effective* IPC namespace:
+    /// a container whose `--ipc=host` sharing was revoked lands on a
+    /// private segment and consequently discovers only itself.
+    pub fn publish_with(
+        registry: &ShmRegistry,
+        cluster: &Cluster,
+        placement: &Placement,
+        rank: usize,
+        plan: &FaultPlan,
+    ) -> (ContainerList, PublishReport) {
         let loc = placement.loc(rank);
         let cont = cluster.container(loc.container);
-        let list = ContainerList::attach(registry, loc.host, cont.ipc_ns, placement.num_ranks());
-        list.publish(rank, cont.id);
-        list
+        let (list, outcome) = ContainerList::attach_with(
+            registry,
+            loc.host,
+            plan.effective_ipc_ns(cont),
+            placement.num_ranks(),
+            JOB_GENERATION,
+        );
+        let my_byte = ContainerList::membership_byte(cont.id);
+        if plan.publish_omitted(rank) {
+            // Wedged in container startup: the byte never appears.
+        } else if plan.publish_torn(rank) {
+            // A torn write: a plausible value from the valid range but the
+            // wrong container's byte. 255-b stays in [1,254] and never
+            // equals b.
+            list.force_publish(rank, 255 - my_byte);
+        } else {
+            match list.publish(rank, cont.id) {
+                Ok(()) => {}
+                // A duplicate claim beat us to our own slot; the
+                // post-barrier repair pass re-asserts it.
+                Err(PublishError::Conflict { .. }) => {}
+                Err(e @ PublishError::OutOfBounds { .. }) => {
+                    panic!("container-list publish: {e}")
+                }
+            }
+        }
+        if let Some(victim) = plan.duplicate_claim_of(rank) {
+            if victim != rank && victim < list.num_ranks() {
+                // Unconditional store so the final pre-barrier state does
+                // not depend on thread arrival order: whichever of the
+                // victim's CAS and this store runs last, the slot holds
+                // the attacker's byte at the barrier.
+                list.force_publish(victim, my_byte);
+            }
+        }
+        (list, PublishReport { outcome })
+    }
+
+    /// Post-barrier repair pass: re-assert this rank's own membership
+    /// byte if a conflicting (duplicate) claim overwrote it. Returns the
+    /// number of conflicts repaired (0 or 1). Must run between two
+    /// job-wide barriers so every rank's phase-1 writes are visible and
+    /// no rank scans before repairs land.
+    pub fn repair_own_slot(
+        list: &ContainerList,
+        cluster: &Cluster,
+        placement: &Placement,
+        rank: usize,
+        plan: &FaultPlan,
+    ) -> u64 {
+        if plan.publish_omitted(rank) || plan.publish_torn(rank) {
+            // A silent rank wrote nothing to repair; a torn writer does
+            // not know its byte is wrong.
+            return 0;
+        }
+        let cont = cluster.container(placement.loc(rank).container);
+        let my_byte = ContainerList::membership_byte(cont.id);
+        if list.membership_of(rank) != my_byte {
+            list.force_publish(rank, my_byte);
+            1
+        } else {
+            0
+        }
     }
 
     /// Phase 2 (after the job barrier): scan the list and resolve every
@@ -94,6 +198,25 @@ impl LocalityView {
         rank: usize,
         list: &ContainerList,
     ) -> LocalityView {
+        Self::build_with(policy, cluster, placement, rank, list, &FaultPlan::none())
+    }
+
+    /// Fault-aware phase 2: scan the list, *cross-check* each published
+    /// byte against placement ground truth and the kernel's effective
+    /// namespace gating, and downgrade peers that fail the check to the
+    /// HCA channel instead of aborting.
+    ///
+    /// Each peer's [`PeerInfo::vis`] is the *effective* visibility (after
+    /// the plan's namespace revocations), so the channel selector can
+    /// never pick SHM/CMA where the kernel would refuse them.
+    pub fn build_with(
+        policy: LocalityPolicy,
+        cluster: &Cluster,
+        placement: &Placement,
+        rank: usize,
+        list: &ContainerList,
+        plan: &FaultPlan,
+    ) -> LocalityView {
         let n = placement.num_ranks();
         let my_loc = placement.loc(rank);
         let my_cont = cluster.container(my_loc.container);
@@ -101,29 +224,72 @@ impl LocalityView {
         for peer in 0..n {
             let p_loc = placement.loc(peer);
             let p_cont = cluster.container(p_loc.container);
-            let vis = visibility(cluster, my_cont.id, p_cont.id);
-            let considered_local = match policy {
-                LocalityPolicy::Hostname => my_cont.hostname == p_cont.hostname,
+            // Placement intent vs kernel ground truth.
+            let base = visibility(cluster, my_cont.id, p_cont.id);
+            let vis = effective_visibility(cluster, plan, my_cont.id, p_cont.id);
+            let (considered_local, downgraded) = match policy {
+                LocalityPolicy::Hostname => (my_cont.hostname == p_cont.hostname, None),
                 LocalityPolicy::ContainerDetector | LocalityPolicy::ForceChannel(_) => {
-                    list.is_local(peer)
+                    Self::cross_check(rank, peer, p_cont.id, list, base, vis)
                 }
             };
             peers.push(PeerInfo {
                 considered_local,
                 vis,
                 same_socket: placement.same_socket(rank, peer),
+                downgraded,
             });
         }
-        let local_ranks: Vec<usize> =
-            (0..n).filter(|&p| peers[p].considered_local).collect();
-        let local_ordering =
-            local_ranks.iter().position(|&p| p == rank).expect("rank missing from its own locality set");
+        let local_ranks: Vec<usize> = (0..n).filter(|&p| peers[p].considered_local).collect();
+        let local_ordering = local_ranks
+            .iter()
+            .position(|&p| p == rank)
+            .expect("rank missing from its own locality set");
         LocalityView {
             rank,
             peers,
             local_ranks,
             local_ordering,
             in_container: !my_cont.native,
+        }
+    }
+
+    /// The detector's per-peer cross-check: a peer is local only when its
+    /// published byte exists, matches its container, and the kernel still
+    /// permits at least one intra-host facility. Anything else that the
+    /// placement *expected* to be local is a downgrade, not an abort.
+    fn cross_check(
+        rank: usize,
+        peer: usize,
+        peer_cont: cmpi_cluster::ContainerId,
+        list: &ContainerList,
+        base: Visibility,
+        vis: Visibility,
+    ) -> (bool, Option<DowngradeReason>) {
+        if peer == rank {
+            return (true, None);
+        }
+        let actual = list.membership_of(peer);
+        let expected = ContainerList::membership_byte(peer_cont);
+        if actual == 0 {
+            // Never published on our segment.
+            if !base.shm {
+                // Cross-host or never-shared: absence is normal.
+                (false, None)
+            } else if !vis.shm {
+                // Placement said shared, the kernel says otherwise: the
+                // peer's namespaces were revoked and it publishes to a
+                // private segment.
+                (false, Some(DowngradeReason::GatingMismatch))
+            } else {
+                (false, Some(DowngradeReason::Unpublished))
+            }
+        } else if actual != expected {
+            (false, Some(DowngradeReason::CorruptByte))
+        } else if !vis.shm && !vis.cma {
+            (false, Some(DowngradeReason::GatingMismatch))
+        } else {
+            (true, None)
         }
     }
 
@@ -156,6 +322,32 @@ impl LocalityView {
     pub fn in_container(&self) -> bool {
         self.in_container
     }
+
+    /// Peers this rank downgraded to the HCA, with the reason.
+    pub fn downgraded_peers(&self) -> impl Iterator<Item = (usize, DowngradeReason)> + '_ {
+        self.peers
+            .iter()
+            .enumerate()
+            .filter_map(|(p, info)| info.downgraded.map(|r| (p, r)))
+    }
+
+    /// Number of peers downgraded to the HCA.
+    pub fn num_downgraded(&self) -> u64 {
+        self.peers.iter().filter(|p| p.downgraded.is_some()).count() as u64
+    }
+
+    /// The downgrades as reportable [`MpiError`] diagnostics.
+    pub fn degradation_errors(&self) -> Vec<crate::error::MpiError> {
+        use crate::error::MpiError;
+        self.downgraded_peers()
+            .map(|(peer, reason)| match reason {
+                DowngradeReason::Unpublished => MpiError::PeerUnpublished { peer },
+                DowngradeReason::CorruptByte | DowngradeReason::GatingMismatch => {
+                    MpiError::ChannelDowngraded { peer }
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -164,10 +356,7 @@ mod tests {
     use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
 
     /// Publish all ranks, then build one rank's view.
-    fn detect_all(
-        s: &DeploymentScenario,
-        policy: LocalityPolicy,
-    ) -> Vec<LocalityView> {
+    fn detect_all(s: &DeploymentScenario, policy: LocalityPolicy) -> Vec<LocalityView> {
         let reg = ShmRegistry::new();
         let lists: Vec<ContainerList> = (0..s.num_ranks())
             .map(|r| LocalityView::publish(&reg, &s.cluster, &s.placement, r))
@@ -239,6 +428,135 @@ mod tests {
         let s = DeploymentScenario::native(1, 2);
         let views = detect_all(&s, LocalityPolicy::ContainerDetector);
         assert!(!views[0].in_container());
+    }
+
+    /// Publish all ranks under a fault plan (with the repair pass), then
+    /// build every rank's degraded view.
+    fn detect_all_with(
+        s: &DeploymentScenario,
+        policy: LocalityPolicy,
+        plan: &FaultPlan,
+    ) -> Vec<LocalityView> {
+        let reg = ShmRegistry::new();
+        let lists: Vec<ContainerList> = (0..s.num_ranks())
+            .map(|r| LocalityView::publish_with(&reg, &s.cluster, &s.placement, r, plan).0)
+            .collect();
+        for (r, list) in lists.iter().enumerate() {
+            LocalityView::repair_own_slot(list, &s.cluster, &s.placement, r, plan);
+        }
+        (0..s.num_ranks())
+            .map(|r| LocalityView::build_with(policy, &s.cluster, &s.placement, r, &lists[r], plan))
+            .collect()
+    }
+
+    #[test]
+    fn omitted_publish_downgrades_only_the_silent_rank() {
+        // 1 host x 2 containers x 2 ranks; rank 1 never publishes.
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let plan = FaultPlan::none().with_omitted_publish(1);
+        let views = detect_all_with(&s, LocalityPolicy::ContainerDetector, &plan);
+        for (r, v) in views.iter().enumerate() {
+            if r == 1 {
+                // The silent rank itself sees everyone (their bytes are
+                // all present) — views are deliberately asymmetric.
+                assert_eq!(v.local_ranks(), &[0, 1, 2, 3]);
+                assert_eq!(v.num_downgraded(), 0);
+            } else {
+                assert_eq!(v.local_ranks(), &[0, 2, 3]);
+                assert_eq!(v.num_downgraded(), 1);
+                assert_eq!(v.peer(1).downgraded, Some(DowngradeReason::Unpublished));
+                assert!(!v.peer(1).considered_local);
+            }
+        }
+    }
+
+    #[test]
+    fn torn_byte_downgrades_with_corrupt_reason() {
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let plan = FaultPlan::none().with_torn_publish(2);
+        let views = detect_all_with(&s, LocalityPolicy::ContainerDetector, &plan);
+        assert_eq!(
+            views[0].peer(2).downgraded,
+            Some(DowngradeReason::CorruptByte)
+        );
+        assert!(!views[0].peer(2).considered_local);
+        // The torn rank's view of everyone else is intact.
+        assert_eq!(views[2].num_downgraded(), 0);
+        let errs = views[0].degradation_errors();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, crate::MpiError::ChannelDowngraded { peer: 2 })));
+    }
+
+    #[test]
+    fn duplicate_claim_is_repaired_and_views_converge() {
+        // Rank 3 also claims rank 0's slot; after the repair pass every
+        // view must be identical to the fault-free one.
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let plan = FaultPlan::none().with_duplicate_publish(3, 0);
+        let views = detect_all_with(&s, LocalityPolicy::ContainerDetector, &plan);
+        for v in &views {
+            assert_eq!(v.local_ranks(), &[0, 1, 2, 3]);
+            assert_eq!(v.num_downgraded(), 0);
+        }
+    }
+
+    #[test]
+    fn revoked_ipc_container_is_downgraded_not_aborted() {
+        // Container 1 (ranks 2,3) lost --ipc=host and --pid=host: it
+        // publishes to a private segment; ranks 0,1 downgrade 2,3 with
+        // GatingMismatch and vice versa.
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let plan = FaultPlan::none()
+            .with_revoked_ipc(cmpi_cluster::ContainerId(1))
+            .with_revoked_pid(cmpi_cluster::ContainerId(1));
+        let views = detect_all_with(&s, LocalityPolicy::ContainerDetector, &plan);
+        assert_eq!(views[0].local_ranks(), &[0, 1]);
+        assert_eq!(
+            views[0].peer(2).downgraded,
+            Some(DowngradeReason::GatingMismatch)
+        );
+        assert!(!views[0].peer(2).vis.shm && !views[0].peer(2).vis.cma);
+        // The revoked container still sees itself.
+        assert_eq!(views[2].local_ranks(), &[2, 3]);
+        // Its container-mates remain fully local (same namespaces).
+        assert!(views[2].peer(3).considered_local);
+        assert_eq!(
+            views[2].peer(0).downgraded,
+            Some(DowngradeReason::GatingMismatch)
+        );
+    }
+
+    #[test]
+    fn revoked_pid_only_keeps_shm_but_blocks_cma() {
+        // PID revocation alone: the peer still publishes on the shared
+        // IPC segment, stays local, but CMA is gated off.
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let plan = FaultPlan::none().with_revoked_pid(cmpi_cluster::ContainerId(1));
+        let views = detect_all_with(&s, LocalityPolicy::ContainerDetector, &plan);
+        let p = views[0].peer(2);
+        assert!(p.considered_local && p.downgraded.is_none());
+        assert!(p.vis.shm && !p.vis.cma);
+    }
+
+    #[test]
+    fn stale_segment_is_recovered_during_publish() {
+        let s = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+        let reg = ShmRegistry::new();
+        let cont = s.cluster.container(s.placement.loc(0).container);
+        ContainerList::seed_stale(
+            &reg,
+            s.placement.loc(0).host,
+            cont.ipc_ns,
+            s.num_ranks(),
+            cmpi_cluster::faults::STALE_GENERATION,
+        );
+        let plan = FaultPlan::none();
+        let (_, report) = LocalityView::publish_with(&reg, &s.cluster, &s.placement, 0, &plan);
+        assert_eq!(report.outcome, AttachOutcome::RecoveredStale);
+        // Later attachers see a valid header.
+        let (_, report) = LocalityView::publish_with(&reg, &s.cluster, &s.placement, 1, &plan);
+        assert_eq!(report.outcome, AttachOutcome::Valid);
     }
 
     #[test]

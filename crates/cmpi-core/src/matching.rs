@@ -124,29 +124,44 @@ impl MatchingEngine {
         chunk_ready: SimTime,
         channel: Channel,
     ) -> Option<ArrivedMsg> {
-        let a = self.assemblies.entry((src, seq)).or_insert_with(|| Assembly {
-            ctx,
-            tag,
-            total,
-            received: 0,
-            buf: vec![0u8; total as usize],
-            ready: SimTime::ZERO,
-            channel,
-        });
-        debug_assert_eq!(a.total, total, "chunk stream changed its mind about total size");
+        let a = self
+            .assemblies
+            .entry((src, seq))
+            .or_insert_with(|| Assembly {
+                ctx,
+                tag,
+                total,
+                received: 0,
+                buf: vec![0u8; total as usize],
+                ready: SimTime::ZERO,
+                channel,
+            });
+        debug_assert_eq!(
+            a.total, total,
+            "chunk stream changed its mind about total size"
+        );
         let off = offset as usize;
         a.buf[off..off + data.len()].copy_from_slice(&data);
         a.received += data.len() as u64;
         a.ready = a.ready.max(chunk_ready);
-        assert!(a.received <= a.total, "chunk overflow for (src {src}, seq {seq})");
+        assert!(
+            a.received <= a.total,
+            "chunk overflow for (src {src}, seq {seq})"
+        );
         if a.received == a.total {
-            let a = self.assemblies.remove(&(src, seq)).expect("assembly vanished");
+            let a = self
+                .assemblies
+                .remove(&(src, seq))
+                .expect("assembly vanished");
             Some(ArrivedMsg {
                 src,
                 ctx: a.ctx,
                 tag: a.tag,
                 seq,
-                body: ArrivedBody::Eager { data: Bytes::from(a.buf), ready_at: a.ready },
+                body: ArrivedBody::Eager {
+                    data: Bytes::from(a.buf),
+                    ready_at: a.ready,
+                },
                 channel: a.channel,
             })
         } else {
@@ -172,7 +187,11 @@ impl MatchingEngine {
             ctx,
             tag,
             seq,
-            body: ArrivedBody::Rts { size, sreq, available_at },
+            body: ArrivedBody::Rts {
+                size,
+                sreq,
+                available_at,
+            },
             channel,
         }
     }
@@ -180,7 +199,10 @@ impl MatchingEngine {
     /// Try to match an arrived message against the posted-receive queue
     /// (FIFO in post order). On a hit the posted receive is consumed.
     pub fn take_matching_posted(&mut self, msg: &ArrivedMsg) -> Option<PostedRecv> {
-        let pos = self.posted.iter().position(|p| p.matches(msg.src, msg.ctx, msg.tag))?;
+        let pos = self
+            .posted
+            .iter()
+            .position(|p| p.matches(msg.src, msg.ctx, msg.tag))?;
         self.posted.remove(pos)
     }
 
@@ -213,8 +235,16 @@ impl MatchingEngine {
         ctx: u32,
         tag: Option<u32>,
     ) -> Option<&ArrivedMsg> {
-        let probe = PostedRecv { rreq: 0, src, ctx, tag, posted_at: SimTime::ZERO };
-        self.unexpected.iter().find(|m| probe.matches(m.src, m.ctx, m.tag))
+        let probe = PostedRecv {
+            rreq: 0,
+            src,
+            ctx,
+            tag,
+            posted_at: SimTime::ZERO,
+        };
+        self.unexpected
+            .iter()
+            .find(|m| probe.matches(m.src, m.ctx, m.tag))
     }
 
     /// Remove a posted receive (used when a blocking receive completes via
@@ -245,7 +275,13 @@ impl MatchingEngine {
 mod tests {
     use super::*;
 
-    fn eager_msg(e: &mut MatchingEngine, src: usize, tag: u32, seq: u64, payload: &[u8]) -> Option<ArrivedMsg> {
+    fn eager_msg(
+        e: &mut MatchingEngine,
+        src: usize,
+        tag: u32,
+        seq: u64,
+        payload: &[u8],
+    ) -> Option<ArrivedMsg> {
         e.eager_chunk(
             src,
             0,
@@ -275,11 +311,31 @@ mod tests {
     fn multi_chunk_reassembly_tracks_latest_ready_time() {
         let mut e = MatchingEngine::new();
         assert!(e
-            .eager_chunk(2, 0, 1, 5, 6, 0, Bytes::from_static(b"abc"), SimTime::from_us(10), Channel::Shm)
+            .eager_chunk(
+                2,
+                0,
+                1,
+                5,
+                6,
+                0,
+                Bytes::from_static(b"abc"),
+                SimTime::from_us(10),
+                Channel::Shm
+            )
             .is_none());
         assert_eq!(e.pending_assemblies(), 1);
         let m = e
-            .eager_chunk(2, 0, 1, 5, 6, 3, Bytes::from_static(b"def"), SimTime::from_us(30), Channel::Shm)
+            .eager_chunk(
+                2,
+                0,
+                1,
+                5,
+                6,
+                3,
+                Bytes::from_static(b"def"),
+                SimTime::from_us(30),
+                Channel::Shm,
+            )
             .expect("complete");
         match m.body {
             ArrivedBody::Eager { data, ready_at } => {
@@ -295,16 +351,56 @@ mod tests {
     fn interleaved_assemblies_from_different_sources() {
         let mut e = MatchingEngine::new();
         assert!(e
-            .eager_chunk(1, 0, 0, 0, 2, 0, Bytes::from_static(b"a"), SimTime::ZERO, Channel::Shm)
+            .eager_chunk(
+                1,
+                0,
+                0,
+                0,
+                2,
+                0,
+                Bytes::from_static(b"a"),
+                SimTime::ZERO,
+                Channel::Shm
+            )
             .is_none());
         assert!(e
-            .eager_chunk(2, 0, 0, 0, 2, 0, Bytes::from_static(b"x"), SimTime::ZERO, Channel::Shm)
+            .eager_chunk(
+                2,
+                0,
+                0,
+                0,
+                2,
+                0,
+                Bytes::from_static(b"x"),
+                SimTime::ZERO,
+                Channel::Shm
+            )
             .is_none());
         let m1 = e
-            .eager_chunk(1, 0, 0, 0, 2, 1, Bytes::from_static(b"b"), SimTime::ZERO, Channel::Shm)
+            .eager_chunk(
+                1,
+                0,
+                0,
+                0,
+                2,
+                1,
+                Bytes::from_static(b"b"),
+                SimTime::ZERO,
+                Channel::Shm,
+            )
             .unwrap();
         let m2 = e
-            .eager_chunk(2, 0, 0, 0, 2, 1, Bytes::from_static(b"y"), SimTime::ZERO, Channel::Shm)
+            .eager_chunk(
+                2,
+                0,
+                0,
+                0,
+                2,
+                1,
+                Bytes::from_static(b"y"),
+                SimTime::ZERO,
+                Channel::Shm,
+            )
             .unwrap();
         assert_eq!(m1.src, 1);
         assert_eq!(m2.src, 2);
@@ -313,7 +409,15 @@ mod tests {
     #[test]
     fn posted_recv_matches_by_src_and_tag() {
         let mut e = MatchingEngine::new();
-        assert!(e.post_recv(PostedRecv { rreq: 1, src: Some(3), ctx: 0, tag: Some(9), posted_at: SimTime::ZERO }).is_none());
+        assert!(e
+            .post_recv(PostedRecv {
+                rreq: 1,
+                src: Some(3),
+                ctx: 0,
+                tag: Some(9),
+                posted_at: SimTime::ZERO
+            })
+            .is_none());
         let m = eager_msg(&mut e, 3, 9, 0, b"x").unwrap();
         let p = e.take_matching_posted(&m).expect("match");
         assert_eq!(p.rreq, 1);
@@ -325,19 +429,34 @@ mod tests {
     #[test]
     fn wrong_tag_or_src_does_not_match() {
         let mut e = MatchingEngine::new();
-        e.post_recv(PostedRecv { rreq: 1, src: Some(3), ctx: 0, tag: Some(9), posted_at: SimTime::ZERO });
+        e.post_recv(PostedRecv {
+            rreq: 1,
+            src: Some(3),
+            ctx: 0,
+            tag: Some(9),
+            posted_at: SimTime::ZERO,
+        });
         let wrong_tag = eager_msg(&mut e, 3, 8, 0, b"x").unwrap();
         assert!(e.take_matching_posted(&wrong_tag).is_none());
         let wrong_src = eager_msg(&mut e, 2, 9, 0, b"x").unwrap();
         assert!(e.take_matching_posted(&wrong_src).is_none());
-        let wrong_ctx = ArrivedMsg { ctx: 5, ..eager_msg(&mut e, 3, 9, 1, b"x").unwrap() };
+        let wrong_ctx = ArrivedMsg {
+            ctx: 5,
+            ..eager_msg(&mut e, 3, 9, 1, b"x").unwrap()
+        };
         assert!(e.take_matching_posted(&wrong_ctx).is_none());
     }
 
     #[test]
     fn wildcards_match_anything() {
         let mut e = MatchingEngine::new();
-        e.post_recv(PostedRecv { rreq: 1, src: None, ctx: 0, tag: None, posted_at: SimTime::ZERO });
+        e.post_recv(PostedRecv {
+            rreq: 1,
+            src: None,
+            ctx: 0,
+            tag: None,
+            posted_at: SimTime::ZERO,
+        });
         let m = eager_msg(&mut e, 5, 123, 0, b"x").unwrap();
         assert_eq!(e.take_matching_posted(&m).unwrap().rreq, 1);
     }
@@ -349,17 +468,45 @@ mod tests {
         let m2 = eager_msg(&mut e, 1, 7, 1, b"second").unwrap();
         e.push_unexpected(m1);
         e.push_unexpected(m2);
-        let got = e.post_recv(PostedRecv { rreq: 9, src: Some(1), ctx: 0, tag: Some(7), posted_at: SimTime::ZERO }).unwrap();
+        let got = e
+            .post_recv(PostedRecv {
+                rreq: 9,
+                src: Some(1),
+                ctx: 0,
+                tag: Some(7),
+                posted_at: SimTime::ZERO,
+            })
+            .unwrap();
         assert_eq!(got.seq, 0, "must match in arrival order");
-        let got = e.post_recv(PostedRecv { rreq: 10, src: Some(1), ctx: 0, tag: Some(7), posted_at: SimTime::ZERO }).unwrap();
+        let got = e
+            .post_recv(PostedRecv {
+                rreq: 10,
+                src: Some(1),
+                ctx: 0,
+                tag: Some(7),
+                posted_at: SimTime::ZERO,
+            })
+            .unwrap();
         assert_eq!(got.seq, 1);
     }
 
     #[test]
     fn posted_queue_is_fifo_per_match() {
         let mut e = MatchingEngine::new();
-        e.post_recv(PostedRecv { rreq: 1, src: None, ctx: 0, tag: None, posted_at: SimTime::ZERO });
-        e.post_recv(PostedRecv { rreq: 2, src: None, ctx: 0, tag: None, posted_at: SimTime::ZERO });
+        e.post_recv(PostedRecv {
+            rreq: 1,
+            src: None,
+            ctx: 0,
+            tag: None,
+            posted_at: SimTime::ZERO,
+        });
+        e.post_recv(PostedRecv {
+            rreq: 2,
+            src: None,
+            ctx: 0,
+            tag: None,
+            posted_at: SimTime::ZERO,
+        });
         let m = eager_msg(&mut e, 0, 0, 0, b"x").unwrap();
         assert_eq!(e.take_matching_posted(&m).unwrap().rreq, 1);
         let m = eager_msg(&mut e, 0, 0, 1, b"y").unwrap();
@@ -380,7 +527,13 @@ mod tests {
     #[test]
     fn cancel_posted_removes_once() {
         let mut e = MatchingEngine::new();
-        e.post_recv(PostedRecv { rreq: 4, src: None, ctx: 0, tag: None, posted_at: SimTime::ZERO });
+        e.post_recv(PostedRecv {
+            rreq: 4,
+            src: None,
+            ctx: 0,
+            tag: None,
+            posted_at: SimTime::ZERO,
+        });
         assert!(e.cancel_posted(4));
         assert!(!e.cancel_posted(4));
     }
@@ -391,7 +544,11 @@ mod tests {
         let m = e.rts(2, 1, 3, 4, 1 << 20, 42, SimTime::from_us(5), Channel::Cma);
         assert_eq!(m.src, 2);
         match m.body {
-            ArrivedBody::Rts { size, sreq, available_at } => {
+            ArrivedBody::Rts {
+                size,
+                sreq,
+                available_at,
+            } => {
                 assert_eq!(size, 1 << 20);
                 assert_eq!(sreq, 42);
                 assert_eq!(available_at, SimTime::from_us(5));

@@ -21,7 +21,7 @@ use std::sync::Arc;
 use cmpi_cluster::{Channel, SimTime};
 use cmpi_fabric::MemoryRegion;
 
-use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, Reducible, ReduceOp};
+use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, ReduceOp, Reducible};
 use crate::locality::LocalityPolicy;
 use crate::runtime::Mpi;
 use crate::stats::CallClass;
@@ -78,11 +78,21 @@ impl Mpi {
             let wins = self.state.windows.lock();
             wins[&id]
                 .iter()
-                .map(|o| Arc::clone(o.as_ref().expect("peer window region missing after barrier")))
+                .map(|o| {
+                    Arc::clone(
+                        o.as_ref()
+                            .expect("peer window region missing after barrier"),
+                    )
+                })
                 .collect()
         };
         self.exit(CallClass::OneSided, t0);
-        Window { id, len, regions, pending: vec![SimTime::ZERO; self.n] }
+        Window {
+            id,
+            len,
+            regions,
+            pending: vec![SimTime::ZERO; self.n],
+        }
     }
 
     /// Which channel a one-sided access to `target` takes under the
@@ -122,16 +132,22 @@ impl Mpi {
         match channel {
             Channel::Shm => {
                 // Direct store into the shared window.
-                let chunks = blen.div_ceil(self.state.tunables.smp_eager_size.max(1)).max(1);
+                let chunks = blen
+                    .div_ceil(self.state.tunables.smp_eager_size.max(1))
+                    .max(1);
                 self.now += SimTime::from_ns(cost.onesided_local_op_ns)
                     + SimTime::from_ns(cost.shm_post_ns * chunks as u64)
-                    + cost.shm_copy_time(blen as u64, self.state.tunables.smpi_length_queue as u64, cross);
+                    + cost.shm_copy_time(
+                        blen as u64,
+                        self.state.tunables.smpi_length_queue as u64,
+                        cross,
+                    );
                 win.regions[target].write(offset, &bytes);
                 win.pending[target] = win.pending[target].max(self.now);
             }
             Channel::Cma => {
-                self.now += SimTime::from_ns(cost.onesided_local_op_ns)
-                    + cost.cma_time(blen as u64, cross);
+                self.now +=
+                    SimTime::from_ns(cost.onesided_local_op_ns) + cost.cma_time(blen as u64, cross);
                 win.regions[target].write(offset, &bytes);
                 win.pending[target] = win.pending[target].max(self.now);
             }
@@ -148,8 +164,7 @@ impl Mpi {
                     // the origin's clock tracks the full loopback/wire
                     // latency, which is what bounds the paper's 4-byte put
                     // rate to ~0.5 Mops/s on the Default configuration.
-                    self.now = self.now.max(comp.completed_at)
-                        + cost.copy_time(blen as u64, false);
+                    self.now = self.now.max(comp.completed_at) + cost.copy_time(blen as u64, false);
                 } else {
                     // Large puts are true RDMA writes: asynchronous after
                     // the post; completion is observed at flush/fence.
@@ -164,7 +179,13 @@ impl Mpi {
 
     /// Load `out.len()` elements from `target`'s window at byte offset
     /// `offset` (`MPI_Get` + flush: the data is returned synchronously).
-    pub fn get<T: MpiData>(&mut self, win: &mut Window, target: usize, offset: usize, out: &mut [T]) {
+    pub fn get<T: MpiData>(
+        &mut self,
+        win: &mut Window,
+        target: usize,
+        offset: usize,
+        out: &mut [T],
+    ) {
         let t0 = self.enter();
         let blen = out.len() * T::SIZE;
         let cost = self.state.cost.clone();
@@ -172,15 +193,21 @@ impl Mpi {
         let cross = self.cross_socket(target);
         let bytes = match channel {
             Channel::Shm => {
-                let chunks = blen.div_ceil(self.state.tunables.smp_eager_size.max(1)).max(1);
+                let chunks = blen
+                    .div_ceil(self.state.tunables.smp_eager_size.max(1))
+                    .max(1);
                 self.now += SimTime::from_ns(cost.onesided_local_op_ns)
                     + SimTime::from_ns(cost.shm_post_ns * chunks as u64)
-                    + cost.shm_copy_time(blen as u64, self.state.tunables.smpi_length_queue as u64, cross);
+                    + cost.shm_copy_time(
+                        blen as u64,
+                        self.state.tunables.smpi_length_queue as u64,
+                        cross,
+                    );
                 win.regions[target].read(offset, blen)
             }
             Channel::Cma => {
-                self.now += SimTime::from_ns(cost.onesided_local_op_ns)
-                    + cost.cma_time(blen as u64, cross);
+                self.now +=
+                    SimTime::from_ns(cost.onesided_local_op_ns) + cost.cma_time(blen as u64, cross);
                 win.regions[target].read(offset, blen)
             }
             Channel::Hca => {

@@ -89,7 +89,13 @@ impl Packet {
     pub fn encode(&self) -> (u32, Bytes) {
         let mut buf = BytesMut::with_capacity(48 + self.data.len());
         let imm = match self.kind {
-            PacketKind::Eager { ctx, tag, seq, total, offset } => {
+            PacketKind::Eager {
+                ctx,
+                tag,
+                seq,
+                total,
+                offset,
+            } => {
                 buf.put_u32_le(ctx);
                 buf.put_u32_le(tag);
                 buf.put_u64_le(seq);
@@ -97,7 +103,13 @@ impl Packet {
                 buf.put_u64_le(offset);
                 K_EAGER
             }
-            PacketKind::Rts { ctx, tag, seq, size, sreq } => {
+            PacketKind::Rts {
+                ctx,
+                tag,
+                seq,
+                size,
+                sreq,
+            } => {
                 buf.put_u32_le(ctx);
                 buf.put_u32_le(tag);
                 buf.put_u64_le(seq);
@@ -153,12 +165,24 @@ impl Packet {
                 },
                 32,
             ),
-            K_CTS => (PacketKind::Cts { sreq: u64_at(b, 0), rreq: u64_at(b, 8) }, 16),
+            K_CTS => (
+                PacketKind::Cts {
+                    sreq: u64_at(b, 0),
+                    rreq: u64_at(b, 8),
+                },
+                16,
+            ),
             K_RNDV => (PacketKind::RndvData { rreq: u64_at(b, 0) }, 8),
             K_FIN => (PacketKind::Fin { sreq: u64_at(b, 0) }, 8),
             other => panic!("corrupt HCA frame: unknown kind {other}"),
         };
-        Packet { src, channel: Channel::Hca, available_at, kind, data: wire.slice(hdr..) }
+        Packet {
+            src,
+            channel: Channel::Hca,
+            available_at,
+            kind,
+            data: wire.slice(hdr..),
+        }
     }
 }
 
@@ -185,7 +209,13 @@ mod tests {
     #[test]
     fn eager_roundtrip() {
         roundtrip(
-            PacketKind::Eager { ctx: 7, tag: 42, seq: 99, total: 5, offset: 0 },
+            PacketKind::Eager {
+                ctx: 7,
+                tag: 42,
+                seq: 99,
+                total: 5,
+                offset: 0,
+            },
             b"hello",
         );
     }
@@ -193,14 +223,29 @@ mod tests {
     #[test]
     fn eager_chunk_roundtrip() {
         roundtrip(
-            PacketKind::Eager { ctx: 1, tag: 2, seq: 3, total: 1 << 20, offset: 8192 },
+            PacketKind::Eager {
+                ctx: 1,
+                tag: 2,
+                seq: 3,
+                total: 1 << 20,
+                offset: 8192,
+            },
             &[0xabu8; 4096],
         );
     }
 
     #[test]
     fn rts_roundtrip() {
-        roundtrip(PacketKind::Rts { ctx: 1, tag: u32::MAX, seq: 7, size: 1 << 30, sreq: 55 }, b"");
+        roundtrip(
+            PacketKind::Rts {
+                ctx: 1,
+                tag: u32::MAX,
+                seq: 7,
+                size: 1 << 30,
+                sreq: 55,
+            },
+            b"",
+        );
     }
 
     #[test]

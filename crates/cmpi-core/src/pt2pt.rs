@@ -90,11 +90,17 @@ impl Mpi {
                 ctx,
                 tag,
                 seq,
-                body: ArrivedBody::Eager { data, ready_at: ready },
+                body: ArrivedBody::Eager {
+                    data,
+                    ready_at: ready,
+                },
                 channel: Channel::Shm,
             };
             self.dispatch(msg);
-            self.sends.insert(id, SendState::Done(self.now + SimTime::from_ns(cost.request_ns)));
+            self.sends.insert(
+                id,
+                SendState::Done(self.now + SimTime::from_ns(cost.request_ns)),
+            );
             return id;
         }
 
@@ -148,19 +154,34 @@ impl Mpi {
                         break;
                     }
                 }
-                self.sends
-                    .insert(id, SendState::Done(self.now + SimTime::from_ns(cost.request_ns)));
+                self.sends.insert(
+                    id,
+                    SendState::Done(self.now + SimTime::from_ns(cost.request_ns)),
+                );
             }
             (Channel::Cma, Protocol::Rendezvous) => {
                 self.now += SimTime::from_ns(cost.shm_post_ns);
                 self.send_control(
                     dst,
-                    PacketKind::Rts { ctx, tag, seq, size: len as u64, sreq: id },
+                    PacketKind::Rts {
+                        ctx,
+                        tag,
+                        seq,
+                        size: len as u64,
+                        sreq: id,
+                    },
                     Bytes::new(),
                     Channel::Cma,
                     self.now,
                 );
-                self.sends.insert(id, SendState::AwaitCts { data, dst, channel: Channel::Cma });
+                self.sends.insert(
+                    id,
+                    SendState::AwaitCts {
+                        data,
+                        dst,
+                        channel: Channel::Cma,
+                    },
+                );
             }
             (Channel::Hca, Protocol::Eager) => {
                 // Stage into the pre-registered eager buffer.
@@ -179,15 +200,13 @@ impl Mpi {
                     data,
                 };
                 let (imm, wire) = pkt.encode();
-                let info = self
-                    .state
-                    .fabric
-                    .post_send(self.rank, dst, imm, wire, self.now)
-                    .expect("HCA eager send failed (is the container privileged?)");
+                let info = self.hca_post_with_retry(dst, imm, wire, self.now, "HCA eager send");
                 self.now = info.local_done;
                 self.stats.record_op(Channel::Hca, len);
-                self.sends
-                    .insert(id, SendState::Done(self.now + SimTime::from_ns(cost.request_ns)));
+                self.sends.insert(
+                    id,
+                    SendState::Done(self.now + SimTime::from_ns(cost.request_ns)),
+                );
             }
             (Channel::Hca, Protocol::Rendezvous) => {
                 self.now += SimTime::from_ns(cost.hca_rndv_setup_ns);
@@ -195,17 +214,26 @@ impl Mpi {
                     src: self.rank,
                     channel: Channel::Hca,
                     available_at: self.now,
-                    kind: PacketKind::Rts { ctx, tag, seq, size: len as u64, sreq: id },
+                    kind: PacketKind::Rts {
+                        ctx,
+                        tag,
+                        seq,
+                        size: len as u64,
+                        sreq: id,
+                    },
                     data: Bytes::new(),
                 };
                 let (imm, wire) = rts.encode();
-                let info = self
-                    .state
-                    .fabric
-                    .post_send(self.rank, dst, imm, wire, self.now)
-                    .expect("HCA rendezvous RTS failed (is the container privileged?)");
+                let info = self.hca_post_with_retry(dst, imm, wire, self.now, "HCA rendezvous RTS");
                 self.now = info.local_done;
-                self.sends.insert(id, SendState::AwaitCts { data, dst, channel: Channel::Hca });
+                self.sends.insert(
+                    id,
+                    SendState::AwaitCts {
+                        data,
+                        dst,
+                        channel: Channel::Hca,
+                    },
+                );
             }
             (c, p) => unreachable!("selector produced impossible route {c:?}/{p:?}"),
         }
@@ -217,9 +245,13 @@ impl Mpi {
         let id = self.fresh_req();
         self.recvs.insert(id, RecvState::Posted);
         let posted_at = self.now;
-        if let Some(msg) =
-            self.engine.post_recv(PostedRecv { rreq: id, src, ctx, tag, posted_at })
-        {
+        if let Some(msg) = self.engine.post_recv(PostedRecv {
+            rreq: id,
+            src,
+            ctx,
+            tag,
+            posted_at,
+        }) {
             self.fulfill(id, msg, posted_at);
         }
         id
@@ -230,11 +262,16 @@ impl Mpi {
         loop {
             self.progress();
             if let Some(SendState::Done(_)) = self.sends.get(&id) {
-                let Some(SendState::Done(t)) = self.sends.remove(&id) else { unreachable!() };
+                let Some(SendState::Done(t)) = self.sends.remove(&id) else {
+                    unreachable!()
+                };
                 self.now = self.now.max(t);
                 return;
             }
-            assert!(self.sends.contains_key(&id), "waiting on unknown send request {id}");
+            assert!(
+                self.sends.contains_key(&id),
+                "waiting on unknown send request {id}"
+            );
             self.sleep_if_idle();
         }
     }
@@ -250,7 +287,10 @@ impl Mpi {
                 self.now = self.now.max(t);
                 return (data, status);
             }
-            assert!(self.recvs.contains_key(&id), "waiting on unknown recv request {id}");
+            assert!(
+                self.recvs.contains_key(&id),
+                "waiting on unknown recv request {id}"
+            );
             self.sleep_if_idle();
         }
     }
@@ -267,7 +307,9 @@ impl Mpi {
         self.progress();
         if req.is_send {
             if let Some(SendState::Done(_)) = self.sends.get(&req.id) {
-                let Some(SendState::Done(t)) = self.sends.remove(&req.id) else { unreachable!() };
+                let Some(SendState::Done(t)) = self.sends.remove(&req.id) else {
+                    unreachable!()
+                };
                 self.now = self.now.max(t) + SimTime::from_ns(self.state.cost.poll_ns);
                 return Some(Completion::Send);
             }
@@ -378,7 +420,11 @@ impl Mpi {
     /// or not a whole number of elements.
     pub fn recv<T: MpiData>(&mut self, buf: &mut [T], src: usize, tag: u32) -> Status {
         let (data, status) = self.recv_bytes(src, tag);
-        assert_eq!(status.len % T::SIZE, 0, "message is not a whole number of elements");
+        assert_eq!(
+            status.len % T::SIZE,
+            0,
+            "message is not a whole number of elements"
+        );
         let elems = status.len / T::SIZE;
         assert!(
             elems <= buf.len(),
@@ -424,7 +470,11 @@ impl Mpi {
         rtag: u32,
     ) -> Status {
         let (data, status) = self.sendrecv_bytes(to_bytes(send), dst, stag, src, rtag);
-        assert_eq!(status.len % T::SIZE, 0, "message is not a whole number of elements");
+        assert_eq!(
+            status.len % T::SIZE,
+            0,
+            "message is not a whole number of elements"
+        );
         let elems = status.len / T::SIZE;
         assert!(elems <= recv.len(), "message truncated");
         from_bytes(&data, &mut recv[..elems]);
@@ -444,7 +494,11 @@ impl Mpi {
                     ArrivedBody::Eager { data, .. } => data.len(),
                     ArrivedBody::Rts { size, .. } => *size as usize,
                 };
-                Status { src: m.src, tag: m.tag, len }
+                Status {
+                    src: m.src,
+                    tag: m.tag,
+                    len,
+                }
             });
         if out.is_some() {
             // Successful probes charge one poll (failed ones are free for

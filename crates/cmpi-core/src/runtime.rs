@@ -21,11 +21,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 
 use bytes::Bytes;
+use cmpi_cluster::faults::STALE_GENERATION;
 use cmpi_cluster::{
-    Channel, Cluster, CostModel, DeploymentScenario, Placement, SimTime, Tunables,
+    Channel, Cluster, CostModel, DeploymentScenario, FaultPlan, Placement, SimTime, Tunables,
 };
-use cmpi_fabric::Fabric;
-use cmpi_shmem::{PairQueue, ShmRegistry};
+use cmpi_fabric::{Fabric, FabricError, SendInfo};
+use cmpi_shmem::visibility::visibility;
+use cmpi_shmem::{AttachOutcome, ContainerList, PairQueue, ShmRegistry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::channel::ChannelSelector;
@@ -34,8 +36,20 @@ use crate::locality::{LocalityPolicy, LocalityView};
 use crate::matching::{ArrivedBody, ArrivedMsg, MatchingEngine};
 use crate::packet::{Packet, PacketKind, ReqId};
 use crate::pt2pt::Status;
-use crate::stats::{CallClass, CommStats, JobStats};
+use crate::stats::{CallClass, CommStats, JobStats, RecoveryStats};
 use crate::trace::{JobTrace, RankTrace};
+
+/// Bound on fabric attach (QP creation) attempts per rank.
+const MAX_ATTACH_ATTEMPTS: u32 = 5;
+
+/// What one finished rank thread leaves behind for the job to collect.
+type RankSlot<R> = Option<(R, SimTime, CommStats, Option<RankTrace>)>;
+
+/// Bound on reposts of a send whose completion erred transiently.
+const MAX_SEND_ATTEMPTS: u32 = 8;
+
+/// Bound on post-barrier container-list rescans for silent peers.
+const MAX_INIT_RETRIES: u32 = 3;
 
 /// A complete job description: where ranks run and how the library is
 /// configured.
@@ -51,6 +65,9 @@ pub struct JobSpec {
     pub cost: CostModel,
     /// Record per-rank virtual timelines (see [`crate::trace`]).
     pub tracing: bool,
+    /// Fault-injection plan (empty by default). See
+    /// [`cmpi_cluster::FaultPlan`].
+    pub faults: FaultPlan,
 }
 
 impl JobSpec {
@@ -63,7 +80,15 @@ impl JobSpec {
             tunables: Tunables::default(),
             cost: CostModel::default(),
             tracing: false,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Inject the faults described by `plan` into this job's shared
+    /// memory, locality detection and fabric layers.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
     }
 
     /// Override the locality policy.
@@ -112,16 +137,47 @@ impl JobSpec {
         self.validate().expect("invalid job spec");
         let n = self.scenario.num_ranks();
         let state = Arc::new(JobState::new(self));
-        // Attach HCA endpoints up front (privilege permitting).
+        // Plant leftover container-list segments (fault injection) before
+        // any rank attaches: the litter a previous job left in /dev/shm.
+        if !state.faults.is_empty() {
+            let mut seeded = std::collections::BTreeSet::new();
+            for r in 0..n {
+                let loc = state.placement.loc(r);
+                let cont = state.cluster.container(loc.container);
+                let ns = state.faults.effective_ipc_ns(cont);
+                if !seeded.insert((loc.host, ns)) {
+                    continue;
+                }
+                if state.faults.list_is_stale(loc.host) {
+                    ContainerList::seed_stale(&state.registry, loc.host, ns, n, STALE_GENERATION);
+                } else if state.faults.list_is_corrupt(loc.host) {
+                    ContainerList::seed_corrupt(&state.registry, loc.host, ns, n);
+                }
+            }
+        }
+        // Attach HCA endpoints up front (privilege permitting), absorbing
+        // transient QP-creation failures with a bounded retry.
         for r in 0..n {
             let loc = state.placement.loc(r);
             let cont = state.cluster.container(loc.container);
-            let ok = state.fabric.attach(r, loc.host, cont.privileged).is_ok();
+            let mut ok = false;
+            for _ in 0..MAX_ATTACH_ATTEMPTS {
+                match state.fabric.attach(r, loc.host, cont.privileged) {
+                    Ok(()) => {
+                        ok = true;
+                        break;
+                    }
+                    Err(FabricError::QpCreationFailed(_)) => {
+                        state.attach_retries[r].fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Permanent (unprivileged container): no endpoint.
+                    Err(_) => break,
+                }
+            }
             state.attached[r].store(ok, Ordering::Release);
         }
         let tracing = self.tracing;
-        let mut slots: Vec<Option<(R, SimTime, CommStats, Option<RankTrace>)>> =
-            (0..n).map(|_| None).collect();
+        let mut slots: Vec<RankSlot<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
             for r in 0..n {
@@ -160,10 +216,16 @@ impl JobSpec {
             traces.push(tr);
         }
         let elapsed = times.iter().copied().fold(SimTime::ZERO, SimTime::max);
-        let trace = traces[0]
-            .is_some()
-            .then(|| JobTrace { ranks: traces.into_iter().map(Option::unwrap).collect() });
-        JobResult { results, times, stats: JobStats::new(stats), elapsed, trace }
+        let trace = traces[0].is_some().then(|| JobTrace {
+            ranks: traces.into_iter().map(Option::unwrap).collect(),
+        });
+        JobResult {
+            results,
+            times,
+            stats: JobStats::new(stats),
+            elapsed,
+            trace,
+        }
     }
 }
 
@@ -196,7 +258,13 @@ pub(crate) struct RankCell {
 
 impl RankCell {
     fn new() -> Self {
-        RankCell { inner: Mutex::new(CellInner { q: VecDeque::new(), poked: false }), cv: Condvar::new() }
+        RankCell {
+            inner: Mutex::new(CellInner {
+                q: VecDeque::new(),
+                poked: false,
+            }),
+            cv: Condvar::new(),
+        }
     }
 
     pub(crate) fn push(&self, pkt: Packet) {
@@ -236,11 +304,18 @@ pub(crate) struct JobState {
     pub(crate) cost: CostModel,
     pub(crate) registry: ShmRegistry,
     pub(crate) fabric: Arc<Fabric>,
+    pub(crate) faults: FaultPlan,
     pub(crate) attached: Vec<AtomicBool>,
+    /// Transient QP-creation failures absorbed per rank during attach.
+    attach_retries: Vec<std::sync::atomic::AtomicU32>,
     pub(crate) cells: Vec<RankCell>,
     queues: Mutex<HashMap<(usize, usize), Arc<PairQueue>>>,
     pub(crate) windows: Mutex<HashMap<u32, Vec<Option<Arc<cmpi_fabric::MemoryRegion>>>>>,
     init_barrier: Barrier,
+    /// Separates the post-init repair pass (conflicting-claim
+    /// re-assertion) from the locality scan, so every rank scans a
+    /// settled list.
+    repair_barrier: Barrier,
     finalize_barrier: Barrier,
 }
 
@@ -254,12 +329,17 @@ impl JobState {
             tunables: spec.tunables,
             cost: spec.cost.clone(),
             registry: ShmRegistry::new(),
-            fabric: Fabric::new(spec.cost.clone()),
+            fabric: Fabric::with_faults(spec.cost.clone(), spec.faults.clone()),
+            faults: spec.faults.clone(),
             attached: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            attach_retries: (0..n)
+                .map(|_| std::sync::atomic::AtomicU32::new(0))
+                .collect(),
             cells: (0..n).map(|_| RankCell::new()).collect(),
             queues: Mutex::new(HashMap::new()),
             windows: Mutex::new(HashMap::new()),
             init_barrier: Barrier::new(n),
+            repair_barrier: Barrier::new(n),
             finalize_barrier: Barrier::new(n),
         }
     }
@@ -364,28 +444,93 @@ pub struct Mpi {
 impl Mpi {
     fn init(rank: usize, state: Arc<JobState>) -> Mpi {
         let n = state.placement.num_ranks();
-        // Phase 1: publish membership into the host's container list.
-        let list = LocalityView::publish(&state.registry, &state.cluster, &state.placement, rank);
+        let plan = state.faults.clone();
+        let mut recovery = RecoveryStats::default();
+        // Phase 1: publish membership into the host's container list,
+        // validating (and if needed recovering) the segment header.
+        let (list, report) = LocalityView::publish_with(
+            &state.registry,
+            &state.cluster,
+            &state.placement,
+            rank,
+            &plan,
+        );
+        if matches!(
+            report.outcome,
+            AttachOutcome::RecoveredStale | AttachOutcome::RecoveredCorrupt
+        ) {
+            recovery.list_recoveries = 1;
+        }
+        recovery.attach_retries = state.attach_retries[rank].load(Ordering::Relaxed) as u64;
         // Wake-ups for fabric arrivals.
         if state.attached[rank].load(Ordering::Acquire) {
             let st = Arc::clone(&state);
-            state.fabric.set_notifier(rank, Arc::new(move || st.cells[rank].poke()));
+            state
+                .fabric
+                .set_notifier(rank, Arc::new(move || st.cells[rank].poke()));
         }
         // Paper: "once the membership update of all processes completes,
         // the real communication can take place" — the job launch barrier.
         state.init_barrier.wait();
-        // Phase 2: scan the list and resolve peers.
-        let view = LocalityView::build(state.policy, &state.cluster, &state.placement, rank, &list);
+        // Repair pass (fault runs only, so the healthy init path keeps
+        // its exact barrier structure): re-assert this rank's byte if a
+        // conflicting claim overwrote it; a second barrier keeps scans
+        // off the unsettled list. The plan is job-wide, so every rank
+        // takes the same branch and the barrier count matches.
+        if !plan.is_empty() {
+            recovery.publish_conflicts =
+                LocalityView::repair_own_slot(&list, &state.cluster, &state.placement, rank, &plan);
+            state.repair_barrier.wait();
+        }
+        // Each absorbed attach failure cost one backed-off QP-creation
+        // round trip of virtual time.
+        let mut now = SimTime::ZERO;
+        for k in 0..recovery.attach_retries {
+            now += SimTime::from_ns(state.cost.hca_post_ns << k.min(8));
+        }
+        // Bounded rescan for expected-but-silent co-resident publishers:
+        // a wedged peer gets a grace period before being written off.
+        // Silent bytes never appear after the barrier in this model, so
+        // the retry count is a pure function of the plan.
+        if !plan.is_empty() && !matches!(state.policy, LocalityPolicy::Hostname) {
+            let my_cont = state.cluster.container(state.placement.loc(rank).container);
+            let expected: Vec<usize> = (0..n)
+                .filter(|&p| {
+                    p != rank && {
+                        let p_cont = state.cluster.container(state.placement.loc(p).container);
+                        visibility(&state.cluster, my_cont.id, p_cont.id).shm
+                    }
+                })
+                .collect();
+            while recovery.init_retries < MAX_INIT_RETRIES as u64
+                && expected.iter().any(|&p| list.membership_of(p) == 0)
+            {
+                now += SimTime::from_us(50 << recovery.init_retries);
+                recovery.init_retries += 1;
+            }
+        }
+        // Phase 2: scan the list, cross-check against namespace ground
+        // truth, and resolve peers — downgrading instead of aborting.
+        let view = LocalityView::build_with(
+            state.policy,
+            &state.cluster,
+            &state.placement,
+            rank,
+            &list,
+            &plan,
+        );
+        recovery.hca_downgrades = view.num_downgraded();
         let selector = ChannelSelector::new(state.policy, state.tunables);
+        let stats = CommStats::with_recovery(recovery);
         Mpi {
             rank,
             n,
-            now: SimTime::ZERO,
+            now,
             state,
             selector,
             view,
             engine: MatchingEngine::new(),
-            stats: CommStats::default(),
+            stats,
             next_req: 1,
             sends: HashMap::new(),
             recvs: HashMap::new(),
@@ -491,7 +636,13 @@ impl Mpi {
 
     fn handle_packet(&mut self, pkt: Packet) {
         match pkt.kind {
-            PacketKind::Eager { ctx, tag, seq, total, offset } => {
+            PacketKind::Eager {
+                ctx,
+                tag,
+                seq,
+                total,
+                offset,
+            } => {
                 let cost = &self.state.cost;
                 let len = pkt.data.len();
                 // Drain-copy floor: availability and the per-sender copy
@@ -536,9 +687,23 @@ impl Mpi {
                     self.dispatch(msg);
                 }
             }
-            PacketKind::Rts { ctx, tag, seq, size, sreq } => {
-                let msg =
-                    self.engine.rts(pkt.src, ctx, tag, seq, size, sreq, pkt.available_at, pkt.channel);
+            PacketKind::Rts {
+                ctx,
+                tag,
+                seq,
+                size,
+                sreq,
+            } => {
+                let msg = self.engine.rts(
+                    pkt.src,
+                    ctx,
+                    tag,
+                    seq,
+                    size,
+                    sreq,
+                    pkt.available_at,
+                    pkt.channel,
+                );
                 self.dispatch(msg);
             }
             PacketKind::Cts { sreq, rreq } => self.handle_cts(&pkt, sreq, rreq),
@@ -569,16 +734,23 @@ impl Mpi {
         match msg.body {
             ArrivedBody::Eager { data, ready_at } => {
                 let mut t = if ready_at <= posted_at {
-                    posted_at.max(ready_at)
-                        + cost.copy_time(data.len() as u64, false)
+                    posted_at.max(ready_at) + cost.copy_time(data.len() as u64, false)
                 } else {
                     ready_at
                 };
                 t += SimTime::from_ns(cost.request_ns);
-                let status = Status { src: msg.src, tag: msg.tag, len: data.len() };
+                let status = Status {
+                    src: msg.src,
+                    tag: msg.tag,
+                    len: data.len(),
+                };
                 self.recvs.insert(rreq, RecvState::Done { data, status, t });
             }
-            ArrivedBody::Rts { size, sreq, available_at } => {
+            ArrivedBody::Rts {
+                size,
+                sreq,
+                available_at,
+            } => {
                 // Send the clear-to-send on the announcing channel.
                 let t = self.now.max(available_at) + SimTime::from_ns(cost.request_ns);
                 self.send_control(
@@ -604,7 +776,10 @@ impl Mpi {
 
     /// The sender's CTS handler: dispatch the parked payload.
     fn handle_cts(&mut self, pkt: &Packet, sreq: ReqId, rreq: ReqId) {
-        let st = self.sends.remove(&sreq).expect("CTS for unknown send request");
+        let st = self
+            .sends
+            .remove(&sreq)
+            .expect("CTS for unknown send request");
         let SendState::AwaitCts { data, dst, channel } = st else {
             panic!("CTS for a send not awaiting one: {st:?}");
         };
@@ -618,8 +793,18 @@ impl Mpi {
     /// The receiver's payload handler: charge the transfer, complete the
     /// receive, notify the sender.
     fn handle_rndv_data(&mut self, pkt: Packet, rreq: ReqId) {
-        let st = self.recvs.remove(&rreq).expect("rendezvous data for unknown recv");
-        let RecvState::AwaitData { src, tag, sreq, channel, size } = st else {
+        let st = self
+            .recvs
+            .remove(&rreq)
+            .expect("rendezvous data for unknown recv");
+        let RecvState::AwaitData {
+            src,
+            tag,
+            sreq,
+            channel,
+            size,
+        } = st
+        else {
             panic!("rendezvous data for a recv not awaiting it: {st:?}");
         };
         debug_assert_eq!(size, pkt.data.len(), "rendezvous size mismatch");
@@ -640,8 +825,19 @@ impl Mpi {
             Channel::Shm => unreachable!("rendezvous payload never travels on SHM"),
         };
         self.send_control(src, PacketKind::Fin { sreq }, Bytes::new(), channel, t);
-        let status = Status { src, tag, len: size };
-        self.recvs.insert(rreq, RecvState::Done { data: pkt.data, status, t });
+        let status = Status {
+            src,
+            tag,
+            len: size,
+        };
+        self.recvs.insert(
+            rreq,
+            RecvState::Done {
+                data: pkt.data,
+                status,
+                t,
+            },
+        );
     }
 
     /// Emit a protocol packet (control or rendezvous payload) on `channel`
@@ -657,9 +853,8 @@ impl Mpi {
         let cost = &self.state.cost;
         match channel {
             Channel::Shm | Channel::Cma => {
-                let available_at = t
-                    + SimTime::from_ns(cost.shm_post_ns)
-                    + SimTime::from_ns(cost.shm_wakeup_ns);
+                let available_at =
+                    t + SimTime::from_ns(cost.shm_post_ns) + SimTime::from_ns(cost.shm_wakeup_ns);
                 self.state.cells[dst].push(Packet {
                     src: self.rank,
                     channel,
@@ -669,13 +864,54 @@ impl Mpi {
                 });
             }
             Channel::Hca => {
-                let pkt = Packet { src: self.rank, channel, available_at: t, kind, data };
+                let pkt = Packet {
+                    src: self.rank,
+                    channel,
+                    available_at: t,
+                    kind,
+                    data,
+                };
                 let (imm, wire) = pkt.encode();
-                self.state
-                    .fabric
-                    .post_send(self.rank, dst, imm, wire, t)
-                    .expect("HCA control send failed");
+                self.hca_post_with_retry(dst, imm, wire, t, "HCA control send");
             }
         }
+    }
+
+    /// Post a fabric send, absorbing transient completion errors with a
+    /// bounded, exponentially backed-off repost. Each failed attempt
+    /// pushes the (virtual) post time out by one more doorbell interval.
+    ///
+    /// # Panics
+    /// Panics on permanent fabric errors (unattached endpoint — the
+    /// container was not privileged) and when the retry budget runs out.
+    pub(crate) fn hca_post_with_retry(
+        &mut self,
+        dst: usize,
+        imm: u32,
+        wire: Bytes,
+        mut t: SimTime,
+        what: &'static str,
+    ) -> SendInfo {
+        for attempt in 0..MAX_SEND_ATTEMPTS {
+            match self
+                .state
+                .fabric
+                .post_send(self.rank, dst, imm, wire.clone(), t)
+            {
+                Ok(info) => return info,
+                Err(FabricError::TransientCompletion { .. }) => {
+                    self.stats.recovery.send_retries += 1;
+                    t += SimTime::from_ns(self.state.cost.hca_post_ns << attempt.min(8));
+                }
+                Err(e) => panic!("{what} failed: {e} (is the container privileged?)"),
+            }
+        }
+        panic!(
+            "{}",
+            MpiError::RetriesExhausted {
+                what,
+                attempts: MAX_SEND_ATTEMPTS
+            }
+        );
     }
 }

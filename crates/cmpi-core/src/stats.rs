@@ -66,11 +66,50 @@ impl CallClass {
     }
 }
 
+/// Degraded-mode recovery counters: how often the library had to repair
+/// or route around an injected (or real) partial failure. All zero on a
+/// healthy run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Stale or corrupt container-list segments re-initialized at attach.
+    pub list_recoveries: u64,
+    /// Conflicting claims on this rank's membership slot that the rank
+    /// repaired by re-asserting its byte.
+    pub publish_conflicts: u64,
+    /// Post-barrier container-list rescans waiting for silent peers.
+    pub init_retries: u64,
+    /// Transient QP-creation failures absorbed by the attach retry loop.
+    pub attach_retries: u64,
+    /// Transient send-completion errors absorbed by reposting.
+    pub send_retries: u64,
+    /// Peers downgraded from intra-host channels (SHM/CMA) to the HCA.
+    pub hca_downgrades: u64,
+}
+
+impl RecoveryStats {
+    /// Fieldwise sum.
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.list_recoveries += other.list_recoveries;
+        self.publish_conflicts += other.publish_conflicts;
+        self.init_retries += other.init_retries;
+        self.attach_retries += other.attach_retries;
+        self.send_retries += other.send_retries;
+        self.hca_downgrades += other.hca_downgrades;
+    }
+
+    /// `true` when any recovery action was taken.
+    pub fn any(&self) -> bool {
+        *self != RecoveryStats::default()
+    }
+}
+
 /// One rank's statistics.
 #[derive(Clone, Debug, Default)]
 pub struct CommStats {
     channels: [ChannelCounter; 3],
     times: [SimTime; 5],
+    /// Degraded-mode recovery counters.
+    pub recovery: RecoveryStats,
 }
 
 fn channel_index(c: Channel) -> usize {
@@ -82,6 +121,14 @@ fn channel_index(c: Channel) -> usize {
 }
 
 impl CommStats {
+    /// A fresh stats block pre-seeded with init-time recovery counters.
+    pub fn with_recovery(recovery: RecoveryStats) -> Self {
+        CommStats {
+            recovery,
+            ..CommStats::default()
+        }
+    }
+
     /// Record one data-bearing transfer.
     pub fn record_op(&mut self, channel: Channel, bytes: usize) {
         let c = &mut self.channels[channel_index(channel)];
@@ -122,6 +169,7 @@ impl CommStats {
         for i in 0..5 {
             self.times[i] += other.times[i];
         }
+        self.recovery.merge(&other.recovery);
     }
 }
 
@@ -154,6 +202,11 @@ impl JobStats {
         self.total.channel(c).bytes
     }
 
+    /// Job-wide recovery counters (sum over ranks).
+    pub fn recovery(&self) -> RecoveryStats {
+        self.total.recovery
+    }
+
     /// Fraction of total time spent communicating, averaged over ranks
     /// (the Fig. 3(a) proportion).
     pub fn comm_fraction(&self) -> f64 {
@@ -175,7 +228,11 @@ impl JobStats {
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "--- communication profile ({} ranks) ---", self.per_rank.len());
+        let _ = writeln!(
+            out,
+            "--- communication profile ({} ranks) ---",
+            self.per_rank.len()
+        );
         let comm = self.total.comm_time();
         let compute = self.total.time(CallClass::Compute);
         let _ = writeln!(
@@ -187,7 +244,12 @@ impl JobStats {
         );
         let _ = writeln!(out, "{:<12} {:>14}", "class", "time");
         for c in CallClass::ALL {
-            let _ = writeln!(out, "{:<12} {:>14}", c.name(), format!("{}", self.total.time(c)));
+            let _ = writeln!(
+                out,
+                "{:<12} {:>14}",
+                c.name(),
+                format!("{}", self.total.time(c))
+            );
         }
         let _ = writeln!(out, "{:<8} {:>12} {:>16}", "channel", "transfers", "bytes");
         for ch in Channel::ALL {
@@ -199,9 +261,27 @@ impl JobStats {
                 self.channel_bytes(ch)
             );
         }
+        let rec = self.recovery();
+        if rec.any() {
+            let _ = writeln!(
+                out,
+                "recovery: {} list re-inits, {} publish conflicts, {} init retries, \
+                 {} attach retries, {} send retries, {} HCA downgrades",
+                rec.list_recoveries,
+                rec.publish_conflicts,
+                rec.init_retries,
+                rec.attach_retries,
+                rec.send_retries,
+                rec.hca_downgrades
+            );
+        }
         // Top ranks by communication time.
-        let mut by_comm: Vec<(usize, SimTime)> =
-            self.per_rank.iter().enumerate().map(|(r, s)| (r, s.comm_time())).collect();
+        let mut by_comm: Vec<(usize, SimTime)> = self
+            .per_rank
+            .iter()
+            .enumerate()
+            .map(|(r, s)| (r, s.comm_time()))
+            .collect();
         by_comm.sort_by_key(|&(_, t)| std::cmp::Reverse(t));
         let _ = writeln!(out, "top ranks by comm time:");
         for (r, t) in by_comm.iter().take(5) {
@@ -236,9 +316,15 @@ mod tests {
         s.record_op(Channel::Shm, 100);
         s.record_op(Channel::Shm, 50);
         s.record_op(Channel::Hca, 10);
-        assert_eq!(s.channel(Channel::Shm), ChannelCounter { ops: 2, bytes: 150 });
+        assert_eq!(
+            s.channel(Channel::Shm),
+            ChannelCounter { ops: 2, bytes: 150 }
+        );
         assert_eq!(s.channel(Channel::Cma), ChannelCounter::default());
-        assert_eq!(s.channel(Channel::Hca), ChannelCounter { ops: 1, bytes: 10 });
+        assert_eq!(
+            s.channel(Channel::Hca),
+            ChannelCounter { ops: 1, bytes: 10 }
+        );
     }
 
     #[test]
@@ -260,7 +346,10 @@ mod tests {
         b.record_op(Channel::Cma, 3);
         b.add_time(CallClass::Collective, SimTime::from_us(2));
         a.merge(&b);
-        assert_eq!(a.channel(Channel::Cma), ChannelCounter { ops: 2, bytes: 10 });
+        assert_eq!(
+            a.channel(Channel::Cma),
+            ChannelCounter { ops: 2, bytes: 10 }
+        );
         assert_eq!(a.time(CallClass::Collective), SimTime::from_us(3));
     }
 
@@ -278,11 +367,36 @@ mod tests {
         assert_eq!(js.channel_bytes(Channel::Hca), 5);
         // comm = 77us, compute = 23us -> 77%: the paper's "BFS is
         // communication-bound" shape.
-        assert!((js.comm_fraction() - 0.77).abs() < 1e-6, "{}", js.comm_fraction());
+        assert!(
+            (js.comm_fraction() - 0.77).abs() < 1e-6,
+            "{}",
+            js.comm_fraction()
+        );
     }
 
     #[test]
     fn empty_job_has_zero_fraction() {
         assert_eq!(JobStats::new(vec![]).comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn recovery_counters_merge_and_surface_in_report() {
+        let mut a = CommStats::default();
+        a.recovery.hca_downgrades = 2;
+        a.recovery.send_retries = 1;
+        let mut b = CommStats::default();
+        b.recovery.hca_downgrades = 3;
+        b.recovery.list_recoveries = 1;
+        let js = JobStats::new(vec![a, b]);
+        let rec = js.recovery();
+        assert_eq!(rec.hca_downgrades, 5);
+        assert_eq!(rec.send_retries, 1);
+        assert_eq!(rec.list_recoveries, 1);
+        assert!(rec.any());
+        assert!(js.report().contains("5 HCA downgrades"));
+        // A healthy job reports no recovery line at all.
+        assert!(!JobStats::new(vec![CommStats::default()])
+            .report()
+            .contains("recovery:"));
     }
 }

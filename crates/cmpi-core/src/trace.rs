@@ -37,7 +37,12 @@ impl RankTrace {
     /// events render poorly and carry no information).
     pub fn record(&mut self, class: CallClass, name: &'static str, start: SimTime, end: SimTime) {
         if end > start {
-            self.events.push(TraceEvent { class, name, start, end });
+            self.events.push(TraceEvent {
+                class,
+                name,
+                start,
+                end,
+            });
         }
     }
 
@@ -115,8 +120,15 @@ mod tests {
 
     #[test]
     fn record_and_export() {
-        let mut jt = JobTrace { ranks: vec![RankTrace::default(), RankTrace::default()] };
-        jt.ranks[0].record(CallClass::Pt2pt, "send", SimTime::from_us(1), SimTime::from_us(3));
+        let mut jt = JobTrace {
+            ranks: vec![RankTrace::default(), RankTrace::default()],
+        };
+        jt.ranks[0].record(
+            CallClass::Pt2pt,
+            "send",
+            SimTime::from_us(1),
+            SimTime::from_us(3),
+        );
         jt.ranks[1].record(
             CallClass::Collective,
             "allreduce",
@@ -132,22 +144,42 @@ mod tests {
         // two events.
         assert!(json.trim_start().starts_with('['));
         assert!(json.trim_end().ends_with(']'));
-        assert_eq!(json.matches("},").count() + json.matches("},\n").count() / 2, 1);
+        assert_eq!(
+            json.matches("},").count() + json.matches("},\n").count() / 2,
+            1
+        );
     }
 
     #[test]
     fn zero_length_events_are_dropped() {
         let mut rt = RankTrace::default();
-        rt.record(CallClass::Poll, "test", SimTime::from_us(5), SimTime::from_us(5));
+        rt.record(
+            CallClass::Poll,
+            "test",
+            SimTime::from_us(5),
+            SimTime::from_us(5),
+        );
         assert!(rt.events().is_empty());
     }
 
     #[test]
     fn class_totals_sum_by_class() {
-        let mut jt = JobTrace { ranks: vec![RankTrace::default()] };
+        let mut jt = JobTrace {
+            ranks: vec![RankTrace::default()],
+        };
         jt.ranks[0].record(CallClass::Pt2pt, "send", SimTime::ZERO, SimTime::from_us(2));
-        jt.ranks[0].record(CallClass::Pt2pt, "recv", SimTime::from_us(3), SimTime::from_us(4));
-        jt.ranks[0].record(CallClass::Compute, "compute", SimTime::from_us(4), SimTime::from_us(9));
+        jt.ranks[0].record(
+            CallClass::Pt2pt,
+            "recv",
+            SimTime::from_us(3),
+            SimTime::from_us(4),
+        );
+        jt.ranks[0].record(
+            CallClass::Compute,
+            "compute",
+            SimTime::from_us(4),
+            SimTime::from_us(9),
+        );
         let totals = jt.class_totals(0);
         let get = |c: CallClass| totals.iter().find(|(x, _)| *x == c).unwrap().1;
         assert_eq!(get(CallClass::Pt2pt), SimTime::from_us(3));

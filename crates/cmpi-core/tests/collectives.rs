@@ -7,13 +7,23 @@ use cmpi_core::{JobSpec, LocalityPolicy, ReduceOp};
 
 /// 8 ranks in 2 containers on one host.
 fn spec8(policy: LocalityPolicy) -> JobSpec {
-    JobSpec::new(DeploymentScenario::containers(1, 2, 4, NamespaceSharing::default()))
-        .with_policy(policy)
+    JobSpec::new(DeploymentScenario::containers(
+        1,
+        2,
+        4,
+        NamespaceSharing::default(),
+    ))
+    .with_policy(policy)
 }
 
 /// 12 ranks (non-power-of-two) across 3 containers.
 fn spec12() -> JobSpec {
-    JobSpec::new(DeploymentScenario::containers(1, 3, 4, NamespaceSharing::default()))
+    JobSpec::new(DeploymentScenario::containers(
+        1,
+        3,
+        4,
+        NamespaceSharing::default(),
+    ))
 }
 
 #[test]
@@ -57,8 +67,9 @@ fn reduce_matches_sequential_reference() {
             mpi.reduce(&mine, op, 2)
         });
         // Sequential reference.
-        let inputs: Vec<Vec<i64>> =
-            (0..8).map(|r| (0..5).map(|i| (r as i64 + 2) * (i + 1)).collect()).collect();
+        let inputs: Vec<Vec<i64>> = (0..8)
+            .map(|r| (0..5).map(|i| (r as i64 + 2) * (i + 1)).collect())
+            .collect();
         let mut expect = inputs[0].clone();
         for src in &inputs[1..] {
             for (a, &b) in expect.iter_mut().zip(src) {
@@ -123,8 +134,8 @@ fn gather_concatenates_in_rank_order() {
 fn scatter_distributes_blocks() {
     for root in [0usize, 4, 11] {
         let r = spec12().run(|mpi| {
-            let data: Option<Vec<u16>> = (mpi.rank() == root)
-                .then(|| (0..36).map(|i| i as u16).collect());
+            let data: Option<Vec<u16>> =
+                (mpi.rank() == root).then(|| (0..36).map(|i| i as u16).collect());
             mpi.scatter(data.as_deref(), 3, root)
         });
         for (rk, block) in r.results.iter().enumerate() {
@@ -165,8 +176,9 @@ fn alltoallv_variable_blocks() {
     let r = spec8(LocalityPolicy::ContainerDetector).run(|mpi| {
         let n = mpi.size();
         // Send `d+1` bytes of value `rank` to destination d.
-        let blocks: Vec<Bytes> =
-            (0..n).map(|d| Bytes::from(vec![mpi.rank() as u8; d + 1])).collect();
+        let blocks: Vec<Bytes> = (0..n)
+            .map(|d| Bytes::from(vec![mpi.rank() as u8; d + 1]))
+            .collect();
         let got = mpi.alltoallv_bytes(blocks);
         got.iter()
             .enumerate()
@@ -214,14 +226,23 @@ fn detector_speeds_up_collectives_on_co_resident_containers() {
 
 #[test]
 fn smp_collectives_match_flat_results() {
-    let spec = JobSpec::new(DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default()));
+    let spec = JobSpec::new(DeploymentScenario::containers(
+        2,
+        2,
+        2,
+        NamespaceSharing::default(),
+    ));
     let r = spec.run(|mpi| {
         let mine = vec![mpi.rank() as u64 + 1; 8];
         let flat = mpi.allreduce(&mine, ReduceOp::Sum);
         let smp = mpi.allreduce_smp(&mine, ReduceOp::Sum);
         assert_eq!(flat, smp);
 
-        let mut buf = if mpi.rank() == 3 { vec![11u32, 22] } else { vec![0u32; 2] };
+        let mut buf = if mpi.rank() == 3 {
+            vec![11u32, 22]
+        } else {
+            vec![0u32; 2]
+        };
         mpi.bcast_smp(&mut buf, 3);
         (flat[0], buf)
     });
@@ -234,14 +255,22 @@ fn smp_collectives_match_flat_results() {
 
 #[test]
 fn policy_groups_partition_ranks() {
-    let spec = JobSpec::new(DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default()));
+    let spec = JobSpec::new(DeploymentScenario::containers(
+        2,
+        2,
+        2,
+        NamespaceSharing::default(),
+    ));
     let r = spec.run(|mpi| mpi.policy_groups());
     // Detector: one group per host.
     assert_eq!(r.results[0], vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
     let spec = spec.with_policy(LocalityPolicy::Hostname);
     let r = spec.run(|mpi| mpi.policy_groups());
     // Hostname: one group per container.
-    assert_eq!(r.results[0], vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]);
+    assert_eq!(
+        r.results[0],
+        vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![6, 7]]
+    );
 }
 
 #[test]
@@ -251,7 +280,11 @@ fn back_to_back_collectives_do_not_cross_match() {
         for round in 0..10u64 {
             let v = mpi.allreduce(&[round + mpi.rank() as u64], ReduceOp::Max);
             ok &= v[0] == round + 7;
-            let mut b = if mpi.rank() == 0 { vec![round] } else { vec![0u64] };
+            let mut b = if mpi.rank() == 0 {
+                vec![round]
+            } else {
+                vec![0u64]
+            };
             mpi.bcast(&mut b, 0);
             ok &= b[0] == round;
         }

@@ -6,7 +6,12 @@ use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
 use cmpi_core::{JobSpec, ReduceOp};
 
 fn spec(n: u32) -> JobSpec {
-    JobSpec::new(DeploymentScenario::containers(1, 1, n, NamespaceSharing::default()))
+    JobSpec::new(DeploymentScenario::containers(
+        1,
+        1,
+        n,
+        NamespaceSharing::default(),
+    ))
 }
 
 #[test]
@@ -18,7 +23,11 @@ fn scan_matches_prefix_sums() {
         });
         for rank in 0..n as usize {
             let prefix: u64 = (0..=rank).map(|r| r as u64 + 1).sum();
-            assert_eq!(r.results[rank], vec![prefix, prefix * 10], "n {n} rank {rank}");
+            assert_eq!(
+                r.results[rank],
+                vec![prefix, prefix * 10],
+                "n {n} rank {rank}"
+            );
         }
     }
 }
@@ -42,7 +51,11 @@ fn exscan_matches_exclusive_prefix() {
     assert!(r.results[0].is_none(), "rank 0 exscan is undefined");
     for rank in 1..8usize {
         let prefix: u64 = (0..rank).map(|r| r as u64 + 1).sum();
-        assert_eq!(r.results[rank].as_ref().unwrap(), &vec![prefix], "rank {rank}");
+        assert_eq!(
+            r.results[rank].as_ref().unwrap(),
+            &vec![prefix],
+            "rank {rank}"
+        );
     }
 }
 
@@ -52,8 +65,9 @@ fn reduce_scatter_block_distributes_the_reduction() {
         let r = spec(n).run(|mpi| {
             let nn = mpi.size();
             // data[d] = rank + d so the reduction is easy to predict.
-            let data: Vec<u64> =
-                (0..nn * 2).map(|i| mpi.rank() as u64 * 100 + i as u64).collect();
+            let data: Vec<u64> = (0..nn * 2)
+                .map(|i| mpi.rank() as u64 * 100 + i as u64)
+                .collect();
             mpi.reduce_scatter_block(&data, 2, ReduceOp::Sum)
         });
         let ranks_sum: u64 = (0..n as u64).map(|r| r * 100).sum();
@@ -98,10 +112,15 @@ fn allgatherv_delivers_everywhere() {
 fn scans_are_float_stable_across_policies() {
     use cmpi_core::LocalityPolicy;
     let run = |policy| {
-        JobSpec::new(DeploymentScenario::containers(1, 2, 4, NamespaceSharing::default()))
-            .with_policy(policy)
-            .run(|mpi| mpi.scan(&[0.5f64 * (mpi.rank() as f64 + 1.0)], ReduceOp::Sum)[0])
-            .results
+        JobSpec::new(DeploymentScenario::containers(
+            1,
+            2,
+            4,
+            NamespaceSharing::default(),
+        ))
+        .with_policy(policy)
+        .run(|mpi| mpi.scan(&[0.5f64 * (mpi.rank() as f64 + 1.0)], ReduceOp::Sum)[0])
+        .results
     };
     let a = run(LocalityPolicy::ContainerDetector);
     let b = run(LocalityPolicy::Hostname);

@@ -5,7 +5,12 @@ use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
 use cmpi_core::{JobSpec, ReduceOp};
 
 fn spec(n: u32) -> JobSpec {
-    JobSpec::new(DeploymentScenario::containers(1, 2, n / 2, NamespaceSharing::default()))
+    JobSpec::new(DeploymentScenario::containers(
+        1,
+        2,
+        n / 2,
+        NamespaceSharing::default(),
+    ))
 }
 
 #[test]
@@ -13,8 +18,9 @@ fn rabenseifner_matches_recursive_doubling() {
     for n in [2u32, 4, 8] {
         for len in [1usize, 7, 64, 1000, 4096] {
             let r = spec(n).run(move |mpi| {
-                let mine: Vec<u64> =
-                    (0..len).map(|i| (mpi.rank() as u64 + 1) * (i as u64 + 1)).collect();
+                let mine: Vec<u64> = (0..len)
+                    .map(|i| (mpi.rank() as u64 + 1) * (i as u64 + 1))
+                    .collect();
                 let a = mpi.allreduce(&mine, ReduceOp::Sum);
                 let b = mpi.allreduce_rabenseifner(&mine, ReduceOp::Sum);
                 a == b
@@ -27,7 +33,9 @@ fn rabenseifner_matches_recursive_doubling() {
 #[test]
 fn rabenseifner_with_min_and_floats() {
     let r = spec(8).run(|mpi| {
-        let mine: Vec<f64> = (0..500).map(|i| (mpi.rank() * 7 + i) as f64 * 0.25).collect();
+        let mine: Vec<f64> = (0..500)
+            .map(|i| (mpi.rank() * 7 + i) as f64 * 0.25)
+            .collect();
         let a = mpi.allreduce(&mine, ReduceOp::Min);
         let b = mpi.allreduce_rabenseifner(&mine, ReduceOp::Min);
         a == b
@@ -42,7 +50,11 @@ fn scatter_allgather_bcast_matches_binomial() {
             let r = spec(n).run(move |mpi| {
                 let root = (mpi.size() - 1).min(2);
                 let reference: Vec<u32> = (0..len).map(|i| i as u32 * 3 + 1).collect();
-                let mut a = if mpi.rank() == root { reference.clone() } else { vec![0; len] };
+                let mut a = if mpi.rank() == root {
+                    reference.clone()
+                } else {
+                    vec![0; len]
+                };
                 mpi.bcast_scatter_allgather(&mut a, root);
                 a == reference
             });
@@ -97,5 +109,8 @@ fn tuned_bcast_faster_for_large_messages() {
     };
     let tuned = time_with(true);
     let flat = time_with(false);
-    assert!(tuned < flat, "scatter-allgather ({tuned}) must beat binomial ({flat}) at 256 KiB");
+    assert!(
+        tuned < flat,
+        "scatter-allgather ({tuned}) must beat binomial ({flat}) at 256 KiB"
+    );
 }

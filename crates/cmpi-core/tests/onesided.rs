@@ -5,8 +5,12 @@ use cmpi_cluster::{Channel, DeploymentScenario, NamespaceSharing, SimTime};
 use cmpi_core::{JobSpec, LocalityPolicy};
 
 fn pair(policy: LocalityPolicy) -> JobSpec {
-    JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
-        .with_policy(policy)
+    JobSpec::new(DeploymentScenario::pt2pt_pair(
+        true,
+        true,
+        NamespaceSharing::default(),
+    ))
+    .with_policy(policy)
 }
 
 #[test]
@@ -112,7 +116,10 @@ fn small_put_rate_gap_matches_paper_shape() {
     let def = measure(LocalityPolicy::Hostname);
     let opt = measure(LocalityPolicy::ContainerDetector);
     let ratio = def.as_ns() as f64 / opt.as_ns() as f64;
-    assert!(ratio > 5.0, "def {def} / opt {opt} = {ratio:.1}, paper shows ~9x");
+    assert!(
+        ratio > 5.0,
+        "def {def} / opt {opt} = {ratio:.1}, paper shows ~9x"
+    );
 }
 
 #[test]
@@ -122,7 +129,7 @@ fn flush_orders_completion_fence_synchronizes() {
         mpi.fence(&mut win);
         if mpi.rank() == 0 {
             let before = mpi.now();
-            mpi.put(&mut win, 1, 0, &vec![3u8; 100 * 1024 % 128 + 28]);
+            mpi.put(&mut win, 1, 0, &[3u8; 28]);
             // Put returns immediately-ish; flush waits for completion.
             mpi.flush(&mut win, 1);
             assert!(mpi.now() > before);
@@ -161,7 +168,10 @@ fn rdma_put_is_asynchronous_until_flush() {
     let (post, total) = r.results[0];
     assert!(post < SimTime::from_us(2), "put post cost {post}");
     // 1 MiB through 3 GB/s loopback: hundreds of microseconds.
-    assert!(total > SimTime::from_us(100), "flush-completed total {total}");
+    assert!(
+        total > SimTime::from_us(100),
+        "flush-completed total {total}"
+    );
 }
 
 #[test]
@@ -191,25 +201,29 @@ fn multiple_windows_are_independent() {
 #[test]
 fn intersocket_onesided_pays_more() {
     let run = |same_socket| {
-        JobSpec::new(DeploymentScenario::pt2pt_pair(true, same_socket, NamespaceSharing::default()))
-            .run(|mpi| {
-                let mut win = mpi.win_allocate(8192);
-                mpi.fence(&mut win);
-                if mpi.rank() == 0 {
-                    let t0 = mpi.now();
-                    for _ in 0..16 {
-                        mpi.put(&mut win, 1, 0, &vec![0u8; 8192]);
-                    }
-                    mpi.flush(&mut win, 1);
-                    let dt = mpi.now() - t0;
-                    mpi.fence(&mut win);
-                    dt
-                } else {
-                    mpi.fence(&mut win);
-                    SimTime::ZERO
+        JobSpec::new(DeploymentScenario::pt2pt_pair(
+            true,
+            same_socket,
+            NamespaceSharing::default(),
+        ))
+        .run(|mpi| {
+            let mut win = mpi.win_allocate(8192);
+            mpi.fence(&mut win);
+            if mpi.rank() == 0 {
+                let t0 = mpi.now();
+                for _ in 0..16 {
+                    mpi.put(&mut win, 1, 0, &vec![0u8; 8192]);
                 }
-            })
-            .results[0]
+                mpi.flush(&mut win, 1);
+                let dt = mpi.now() - t0;
+                mpi.fence(&mut win);
+                dt
+            } else {
+                mpi.fence(&mut win);
+                SimTime::ZERO
+            }
+        })
+        .results[0]
     };
     assert!(run(false) > run(true));
 }

@@ -5,7 +5,11 @@ use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
 use cmpi_core::{Completion, JobSpec, Layout, Persistent};
 
 fn pair() -> JobSpec {
-    JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+    JobSpec::new(DeploymentScenario::pt2pt_pair(
+        true,
+        true,
+        NamespaceSharing::default(),
+    ))
 }
 
 #[test]
@@ -28,7 +32,9 @@ fn persistent_exchange_fires_repeatedly() {
             let mut sums = Vec::new();
             for _ in 0..10 {
                 let req = mpi.start(&pr);
-                let Completion::Recv(data, st) = mpi.wait(req) else { panic!() };
+                let Completion::Recv(data, st) = mpi.wait(req) else {
+                    panic!()
+                };
                 assert_eq!(st.len, 16);
                 sums.push(data[0] as u64);
             }
@@ -42,13 +48,19 @@ fn persistent_exchange_fires_repeatedly() {
 #[test]
 fn startall_halo_pattern() {
     // A 4-rank ring halo exchange set up once, fired 5 times.
-    let spec = JobSpec::new(DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default()));
+    let spec = JobSpec::new(DeploymentScenario::containers(
+        1,
+        2,
+        2,
+        NamespaceSharing::default(),
+    ));
     let r = spec.run(|mpi| {
         let n = mpi.size();
         let right = (mpi.rank() + 1) % n;
         let left = (mpi.rank() + n - 1) % n;
         let ops = vec![
-            mpi.send_init(Bytes::from(vec![mpi.rank() as u8; 8]), right, 1).into_op(),
+            mpi.send_init(Bytes::from(vec![mpi.rank() as u8; 8]), right, 1)
+                .into_op(),
             mpi.recv_init(left, 1).into_op(),
         ];
         let mut got = Vec::new();
@@ -75,12 +87,22 @@ fn column_exchange_with_vector_layout() {
         let cols = 5usize;
         if mpi.rank() == 0 {
             let m: Vec<u32> = (0..(rows * cols) as u32).collect();
-            let col2 = Layout::Vector { offset: 2, count: rows, blocklen: 1, stride: cols };
+            let col2 = Layout::Vector {
+                offset: 2,
+                count: rows,
+                blocklen: 1,
+                stride: cols,
+            };
             mpi.send_layout(&m, &col2, 1, 9);
             Vec::new()
         } else {
             let mut m = vec![999u32; rows * cols];
-            let col0 = Layout::Vector { offset: 0, count: rows, blocklen: 1, stride: cols };
+            let col0 = Layout::Vector {
+                offset: 0,
+                count: rows,
+                blocklen: 1,
+                stride: cols,
+            };
             let st = mpi.recv_layout(&mut m, &col0, 0, 9);
             assert_eq!(st.len, rows * 4);
             m

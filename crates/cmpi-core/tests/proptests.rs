@@ -1,8 +1,11 @@
 //! Property-based tests on the library's core invariants.
 
 use bytes::Bytes;
-use cmpi_cluster::{DeploymentScenario, NamespaceSharing, SimTime, Tunables};
+use cmpi_cluster::{
+    ContainerId, DeploymentScenario, FaultPlan, NamespaceSharing, SimTime, Tunables,
+};
 use cmpi_core::{JobSpec, LocalityPolicy, ReduceOp};
+use cmpi_shmem::effective_visibility;
 use proptest::prelude::*;
 
 proptest! {
@@ -136,6 +139,80 @@ proptest! {
         }
     }
 
+    /// Under arbitrary deployments with arbitrary subsets of namespace
+    /// revocations, the degraded locality view (a) never reports kernel
+    /// visibility the revocations forbid, (b) only considers a peer
+    /// local when at least one intra-host mechanism is actually
+    /// permitted, and (c) still round-trips payloads intact.
+    #[test]
+    fn degraded_view_respects_kernel_gating(
+        hosts in 1u32..3,
+        containers_per_host in 1u32..4,
+        ranks_per_container in 1u32..3,
+        ipc_mask in any::<u8>(),
+        pid_mask in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 1..8_000),
+    ) {
+        let scenario = DeploymentScenario::containers(
+            hosts,
+            containers_per_host,
+            ranks_per_container,
+            NamespaceSharing::default(),
+        );
+        let mut plan = FaultPlan::none();
+        for c in 0..(hosts * containers_per_host) {
+            if ipc_mask & (1 << (c % 8)) != 0 {
+                plan = plan.with_revoked_ipc(ContainerId(c));
+            }
+            if pid_mask & (1 << (c % 8)) != 0 {
+                plan = plan.with_revoked_pid(ContainerId(c));
+            }
+        }
+        let spec = JobSpec::new(scenario).with_faults(plan.clone());
+        let expected = payload.clone();
+        let r = spec.run(move |mpi| {
+            let n = mpi.size();
+            let flags: Vec<(bool, bool, bool)> = (0..n)
+                .map(|p| {
+                    let info = mpi.locality().peer(p);
+                    (info.considered_local, info.vis.shm, info.vis.cma)
+                })
+                .collect();
+            // Ring exchange: every pair class (intact, downgraded,
+            // cross-host) still delivers bytes verbatim.
+            let echoed = if n > 1 {
+                let dst = (mpi.rank() + 1) % n;
+                let src = (mpi.rank() + n - 1) % n;
+                mpi.sendrecv_bytes(Bytes::from(payload.clone()), dst, 0, src, 0).0.to_vec()
+            } else {
+                payload.clone()
+            };
+            (flags, echoed)
+        });
+        for rank in 0..spec.scenario.num_ranks() {
+            let my_cont = spec.scenario.placement.loc(rank).container;
+            let (flags, echoed) = &r.results[rank];
+            prop_assert_eq!(echoed, &expected, "payload corrupted at rank {}", rank);
+            for (peer, &(local, shm, cma)) in flags.iter().enumerate() {
+                let peer_cont = spec.scenario.placement.loc(peer).container;
+                let truth = effective_visibility(
+                    &spec.scenario.cluster, &plan, my_cont, peer_cont,
+                );
+                // (a) The view never claims more than the kernel permits.
+                prop_assert!(!shm || truth.shm, "rank {} peer {}: shm over-claim", rank, peer);
+                prop_assert!(!cma || truth.cma, "rank {} peer {}: cma over-claim", rank, peer);
+                // (b) A peer the selector may route locally must have a
+                // permitted local mechanism (SHM or CMA).
+                if local && peer != rank {
+                    prop_assert!(
+                        truth.shm || truth.cma,
+                        "rank {} peer {}: local without any permitted channel", rank, peer
+                    );
+                }
+            }
+        }
+    }
+
     /// Tunables validation accepts exactly the queue >= eager invariant.
     #[test]
     fn tunables_validation(eager in 1usize..1_000_000, queue in 1usize..1_000_000) {
@@ -151,18 +228,23 @@ proptest! {
 #[test]
 fn identical_jobs_produce_identical_times() {
     let run = || {
-        JobSpec::new(DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default()))
-            .run(|mpi| {
-                let n = mpi.size();
-                for i in 0..8u32 {
-                    let right = (mpi.rank() + 1) % n;
-                    let left = (mpi.rank() + n - 1) % n;
-                    mpi.sendrecv_bytes(Bytes::from(vec![0u8; 4096]), right, i, left, i);
-                }
-                mpi.barrier();
-                mpi.now()
-            })
-            .results
+        JobSpec::new(DeploymentScenario::containers(
+            1,
+            2,
+            2,
+            NamespaceSharing::default(),
+        ))
+        .run(|mpi| {
+            let n = mpi.size();
+            for i in 0..8u32 {
+                let right = (mpi.rank() + 1) % n;
+                let left = (mpi.rank() + n - 1) % n;
+                mpi.sendrecv_bytes(Bytes::from(vec![0u8; 4096]), right, i, left, i);
+            }
+            mpi.barrier();
+            mpi.now()
+        })
+        .results
     };
     let a = run();
     let b = run();

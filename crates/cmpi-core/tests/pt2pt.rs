@@ -6,8 +6,12 @@ use cmpi_cluster::{Channel, DeploymentScenario, NamespaceSharing, SimTime};
 use cmpi_core::{Completion, JobSpec, LocalityPolicy, ANY_SOURCE, ANY_TAG};
 
 fn pair(policy: LocalityPolicy) -> JobSpec {
-    JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
-        .with_policy(policy)
+    JobSpec::new(DeploymentScenario::pt2pt_pair(
+        true,
+        true,
+        NamespaceSharing::default(),
+    ))
+    .with_policy(policy)
 }
 
 /// Ping-pong a message of `len` bytes and return rank 0's elapsed time.
@@ -37,7 +41,16 @@ fn pingpong(spec: &JobSpec, len: usize, iters: usize) -> SimTime {
 #[test]
 fn payload_roundtrips_on_every_route() {
     // Sizes straddling SMP_EAGER_SIZE (8K) and MV2_IBA_EAGER_THRESHOLD (17K).
-    let sizes = [0usize, 1, 7, 1024, 8 * 1024, 8 * 1024 + 1, 17 * 1024 + 1, 256 * 1024];
+    let sizes = [
+        0usize,
+        1,
+        7,
+        1024,
+        8 * 1024,
+        8 * 1024 + 1,
+        17 * 1024 + 1,
+        256 * 1024,
+    ];
     for policy in [LocalityPolicy::Hostname, LocalityPolicy::ContainerDetector] {
         for &len in &sizes {
             let spec = pair(policy);
@@ -101,7 +114,11 @@ fn paper_1kib_latency_relationships() {
     let def = pingpong(&pair(LocalityPolicy::Hostname), 1024, 20);
     let opt = pingpong(&pair(LocalityPolicy::ContainerDetector), 1024, 20);
     let native = pingpong(
-        &JobSpec::new(DeploymentScenario::pt2pt_pair(false, true, NamespaceSharing::default())),
+        &JobSpec::new(DeploymentScenario::pt2pt_pair(
+            false,
+            true,
+            NamespaceSharing::default(),
+        )),
         1024,
         20,
     );
@@ -109,21 +126,38 @@ fn paper_1kib_latency_relationships() {
     assert!(def.as_ns() > 3 * opt.as_ns(), "def {def} vs opt {opt}");
     assert!(opt > native, "opt {opt} vs native {native}");
     let overhead = (opt.as_ns() - native.as_ns()) as f64 / native.as_ns() as f64;
-    assert!(overhead < 0.10, "container overhead {overhead:.3} vs paper ~7%");
+    assert!(
+        overhead < 0.10,
+        "container overhead {overhead:.3} vs paper ~7%"
+    );
     // Magnitudes: within a factor ~1.5 of the paper's absolute numbers.
-    assert!((300..800).contains(&opt.as_ns()), "opt 1KiB latency = {opt}");
-    assert!((1_500..3_500).contains(&def.as_ns()), "def 1KiB latency = {def}");
+    assert!(
+        (300..800).contains(&opt.as_ns()),
+        "opt 1KiB latency = {opt}"
+    );
+    assert!(
+        (1_500..3_500).contains(&def.as_ns()),
+        "def 1KiB latency = {def}"
+    );
 }
 
 #[test]
 fn inter_socket_costs_more_than_intra() {
     let intra = pingpong(
-        &JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default())),
+        &JobSpec::new(DeploymentScenario::pt2pt_pair(
+            true,
+            true,
+            NamespaceSharing::default(),
+        )),
         8 * 1024,
         10,
     );
     let inter = pingpong(
-        &JobSpec::new(DeploymentScenario::pt2pt_pair(true, false, NamespaceSharing::default())),
+        &JobSpec::new(DeploymentScenario::pt2pt_pair(
+            true,
+            false,
+            NamespaceSharing::default(),
+        )),
         8 * 1024,
         10,
     );
@@ -132,8 +166,12 @@ fn inter_socket_costs_more_than_intra() {
 
 #[test]
 fn isolated_namespaces_fall_back_to_hca_but_stay_correct() {
-    let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::isolated()))
-        .with_policy(LocalityPolicy::ContainerDetector);
+    let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(
+        true,
+        true,
+        NamespaceSharing::isolated(),
+    ))
+    .with_policy(LocalityPolicy::ContainerDetector);
     let r = spec.run(|mpi| {
         if mpi.rank() == 0 {
             mpi.send_bytes(Bytes::from(vec![1u8; 4096]), 1, 0);
@@ -197,7 +235,12 @@ fn mixed_eager_and_rendezvous_preserve_order() {
 
 #[test]
 fn any_source_and_any_tag_receive() {
-    let spec = JobSpec::new(DeploymentScenario::containers(1, 4, 1, NamespaceSharing::default()));
+    let spec = JobSpec::new(DeploymentScenario::containers(
+        1,
+        4,
+        1,
+        NamespaceSharing::default(),
+    ));
     let r = spec.run(|mpi| {
         if mpi.rank() == 0 {
             let mut sum = 0u64;
@@ -208,7 +251,11 @@ fn any_source_and_any_tag_receive() {
             }
             sum
         } else {
-            mpi.send_bytes(Bytes::from(vec![mpi.rank() as u8]), 0, 10 + mpi.rank() as u32);
+            mpi.send_bytes(
+                Bytes::from(vec![mpi.rank() as u8]),
+                0,
+                10 + mpi.rank() as u32,
+            );
             0
         }
     });
@@ -222,7 +269,9 @@ fn self_send_works_for_all_sizes() {
     let r = spec.run(|mpi| {
         let req = mpi.irecv_bytes(0, 3);
         mpi.send_bytes(Bytes::from(vec![7u8; 50_000]), 0, 3);
-        let Completion::Recv(data, st) = mpi.wait(req) else { panic!() };
+        let Completion::Recv(data, st) = mpi.wait(req) else {
+            panic!()
+        };
         assert_eq!(st.src, 0);
         data.len()
     });
@@ -250,7 +299,10 @@ fn test_polls_until_completion() {
             polls
         }
     });
-    assert!(r.results[1] > 0, "receiver should have polled while the sender computed");
+    assert!(
+        r.results[1] > 0,
+        "receiver should have polled while the sender computed"
+    );
     // The receiver's clock must have advanced past the sender's compute.
     assert!(r.times[1] >= SimTime::from_us(50));
 }
@@ -296,7 +348,11 @@ fn forced_channel_microbenchmark_routes() {
         assert!(r.stats.channel_ops(expect) > 0, "forced {channel}");
         for other in Channel::ALL {
             if other != expect {
-                assert_eq!(r.stats.channel_ops(other), 0, "forced {channel} leaked to {other}");
+                assert_eq!(
+                    r.stats.channel_ops(other),
+                    0,
+                    "forced {channel} leaked to {other}"
+                );
             }
         }
     }
@@ -323,7 +379,10 @@ fn channel_crossover_cma_beats_shm_large() {
 
 #[test]
 fn remote_pair_uses_wire_not_loopback() {
-    let spec = JobSpec::new(DeploymentScenario::pt2pt_two_hosts(true, NamespaceSharing::default()));
+    let spec = JobSpec::new(DeploymentScenario::pt2pt_two_hosts(
+        true,
+        NamespaceSharing::default(),
+    ));
     let remote = pingpong(&spec, 4096, 10);
     let local_def = pingpong(&pair(LocalityPolicy::Hostname), 4096, 10);
     // Loopback HCA latency exceeds switch latency in the model, so the
@@ -370,7 +429,12 @@ fn unexpected_messages_cost_an_extra_copy() {
 
 #[test]
 fn clocks_are_monotone_and_elapsed_is_max() {
-    let spec = JobSpec::new(DeploymentScenario::containers(1, 4, 2, NamespaceSharing::default()));
+    let spec = JobSpec::new(DeploymentScenario::containers(
+        1,
+        4,
+        2,
+        NamespaceSharing::default(),
+    ));
     let r = spec.run(|mpi| {
         let n = mpi.size();
         let mut clocks = vec![mpi.now()];
@@ -383,5 +447,8 @@ fn clocks_are_monotone_and_elapsed_is_max() {
         clocks.windows(2).all(|w| w[0] <= w[1])
     });
     assert!(r.results.iter().all(|&ok| ok));
-    assert_eq!(r.elapsed, r.times.iter().copied().fold(SimTime::ZERO, SimTime::max));
+    assert_eq!(
+        r.elapsed,
+        r.times.iter().copied().fold(SimTime::ZERO, SimTime::max)
+    );
 }

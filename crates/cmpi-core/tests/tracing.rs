@@ -4,7 +4,11 @@ use cmpi_cluster::{DeploymentScenario, NamespaceSharing, SimTime};
 use cmpi_core::{CallClass, JobSpec, ReduceOp};
 
 fn pair() -> JobSpec {
-    JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+    JobSpec::new(DeploymentScenario::pt2pt_pair(
+        true,
+        true,
+        NamespaceSharing::default(),
+    ))
 }
 
 #[test]
@@ -39,7 +43,10 @@ fn tracing_records_the_timeline() {
     let json = trace.to_chrome_json();
     assert_eq!(json.matches("\"ph\":\"X\"").count(), trace.len());
     // Trace intervals must reconcile with the stats accounting.
-    assert_eq!(get(CallClass::Compute), r.stats.per_rank[0].time(CallClass::Compute));
+    assert_eq!(
+        get(CallClass::Compute),
+        r.stats.per_rank[0].time(CallClass::Compute)
+    );
 }
 
 #[test]

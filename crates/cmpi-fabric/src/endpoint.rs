@@ -4,7 +4,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use cmpi_cluster::{CostModel, HostId, SimTime};
+use cmpi_cluster::{CostModel, FaultPlan, HostId, SimTime};
 use parking_lot::Mutex;
 
 use crate::mr::{MemoryRegion, RKey};
@@ -19,6 +19,18 @@ pub enum FabricError {
     NotAttached(usize),
     /// Unknown remote key.
     BadRKey,
+    /// Queue-pair creation failed transiently during attach (injected:
+    /// resource exhaustion on the adapter). Retrying the attach succeeds
+    /// once the rank's failure budget is spent.
+    QpCreationFailed(usize),
+    /// A posted send completed in error (injected: transient CQE error).
+    /// The payload was *not* delivered; the caller may repost.
+    TransientCompletion {
+        /// Sending rank.
+        src: usize,
+        /// Intended receiver.
+        dst: usize,
+    },
 }
 
 impl std::fmt::Display for FabricError {
@@ -29,6 +41,12 @@ impl std::fmt::Display for FabricError {
             }
             FabricError::NotAttached(r) => write!(f, "rank {r} has no fabric endpoint"),
             FabricError::BadRKey => write!(f, "invalid remote key"),
+            FabricError::QpCreationFailed(r) => {
+                write!(f, "transient QP creation failure for rank {r}")
+            }
+            FabricError::TransientCompletion { src, dst } => {
+                write!(f, "send {src}->{dst} completed in error (transient)")
+            }
         }
     }
 }
@@ -80,11 +98,20 @@ pub struct EndpointStats {
     pub rdma_bytes: u64,
 }
 
+/// Fault-injection bookkeeping for one sender: which send operation is
+/// next and how many times its posting has already failed.
+#[derive(Default)]
+struct SendProgress {
+    op_index: u64,
+    attempts: u32,
+}
+
 struct Endpoint {
     host: HostId,
     incoming: Mutex<Vec<FabricMsg>>,
     notifier: Mutex<Option<Arc<dyn Fn() + Send + Sync>>>,
     stats: Mutex<EndpointStats>,
+    send_progress: Mutex<SendProgress>,
 }
 
 impl Endpoint {
@@ -110,10 +137,13 @@ impl Endpoint {
 /// real arbiter has), not by thread scheduling.
 pub struct Fabric {
     cost: CostModel,
+    faults: FaultPlan,
     endpoints: Mutex<HashMap<usize, Arc<Endpoint>>>,
     mrs: Mutex<HashMap<RKey, Arc<MemoryRegion>>>,
     next_rkey: Mutex<u64>,
     links: Mutex<HashMap<LinkKey, LinkSchedule>>,
+    /// Remaining injected attach failures per rank (consumed by retries).
+    attach_budget: Mutex<HashMap<usize, u32>>,
 }
 
 /// One contended adapter path.
@@ -163,14 +193,23 @@ impl LinkSchedule {
 }
 
 impl Fabric {
-    /// Build a fabric with the given cost model.
+    /// Build a fault-free fabric with the given cost model.
     pub fn new(cost: CostModel) -> Arc<Self> {
+        Self::with_faults(cost, FaultPlan::none())
+    }
+
+    /// Build a fabric whose attach/send paths inject the transient faults
+    /// described by `plan`. Injection is a pure function of the plan and
+    /// per-endpoint operation counters, so runs are deterministic.
+    pub fn with_faults(cost: CostModel, plan: FaultPlan) -> Arc<Self> {
         Arc::new(Fabric {
             cost,
+            faults: plan,
             endpoints: Mutex::new(HashMap::new()),
             mrs: Mutex::new(HashMap::new()),
             next_rkey: Mutex::new(1),
             links: Mutex::new(HashMap::new()),
+            attach_budget: Mutex::new(HashMap::new()),
         })
     }
 
@@ -180,10 +219,22 @@ impl Fabric {
     }
 
     /// Attach rank `rank` running on `host`. Fails unless the rank's
-    /// container can see the HCA (`privileged`).
+    /// container can see the HCA (`privileged`). With an active fault
+    /// plan, the first `attach_failures(rank)` calls fail with
+    /// [`FabricError::QpCreationFailed`]; subsequent retries succeed.
     pub fn attach(&self, rank: usize, host: HostId, privileged: bool) -> Result<(), FabricError> {
         if !privileged {
             return Err(FabricError::NotPrivileged);
+        }
+        {
+            let mut budget = self.attach_budget.lock();
+            let left = budget
+                .entry(rank)
+                .or_insert_with(|| self.faults.attach_failures(rank));
+            if *left > 0 {
+                *left -= 1;
+                return Err(FabricError::QpCreationFailed(rank));
+            }
         }
         self.endpoints.lock().insert(
             rank,
@@ -192,6 +243,7 @@ impl Fabric {
                 incoming: Mutex::new(Vec::new()),
                 notifier: Mutex::new(None),
                 stats: Mutex::new(EndpointStats::default()),
+                send_progress: Mutex::new(SendProgress::default()),
             }),
         );
         Ok(())
@@ -206,7 +258,11 @@ impl Fabric {
     }
 
     fn ep(&self, rank: usize) -> Result<Arc<Endpoint>, FabricError> {
-        self.endpoints.lock().get(&rank).cloned().ok_or(FabricError::NotAttached(rank))
+        self.endpoints
+            .lock()
+            .get(&rank)
+            .cloned()
+            .ok_or(FabricError::NotAttached(rank))
     }
 
     /// Schedule `bytes` from `src_rank` to `dst_rank`, no earlier than
@@ -227,15 +283,21 @@ impl Fabric {
         let mut links = self.links.lock();
         if same_host {
             // Loopback: both directions contend for the one adapter.
-            let start =
-                links.entry(LinkKey::Loopback(src.host)).or_default().reserve(ready, wire);
+            let start = links
+                .entry(LinkKey::Loopback(src.host))
+                .or_default()
+                .reserve(ready, wire);
             start + wire + latency
         } else {
-            let start =
-                links.entry(LinkKey::Egress(src_rank)).or_default().reserve(ready, wire);
+            let start = links
+                .entry(LinkKey::Egress(src_rank))
+                .or_default()
+                .reserve(ready, wire);
             let arrive = start + latency;
-            let start2 =
-                links.entry(LinkKey::Ingress(dst_rank)).or_default().reserve(arrive, wire);
+            let start2 = links
+                .entry(LinkKey::Ingress(dst_rank))
+                .or_default()
+                .reserve(arrive, wire);
             start2 + wire
         }
     }
@@ -257,6 +319,17 @@ impl Fabric {
     ) -> Result<SendInfo, FabricError> {
         let s = self.ep(src)?;
         let d = self.ep(dst)?;
+        {
+            let mut prog = s.send_progress.lock();
+            if self.faults.send_fails(prog.op_index, prog.attempts) {
+                // Completed-in-error CQE: count the failed attempt, keep
+                // the op index so the repost targets the same operation.
+                prog.attempts += 1;
+                return Err(FabricError::TransientCompletion { src, dst });
+            }
+            prog.op_index += 1;
+            prog.attempts = 0;
+        }
         let local_done = now + SimTime::from_ns(self.cost.hca_post_ns);
         let delivered_at = self.schedule(&s, &d, src, dst, data.len() as u64, local_done);
         {
@@ -264,9 +337,17 @@ impl Fabric {
             st.sends += 1;
             st.send_bytes += data.len() as u64;
         }
-        d.incoming.lock().push(FabricMsg { src, imm, data, available_at: delivered_at });
+        d.incoming.lock().push(FabricMsg {
+            src,
+            imm,
+            data,
+            available_at: delivered_at,
+        });
         d.notify();
-        Ok(SendInfo { local_done, delivered_at })
+        Ok(SendInfo {
+            local_done,
+            delivered_at,
+        })
     }
 
     /// Drain `rank`'s receive queue (ordered by arrival).
@@ -287,7 +368,11 @@ impl Fabric {
 
     /// Look up a registered region by rkey.
     pub fn mr(&self, rkey: RKey) -> Result<Arc<MemoryRegion>, FabricError> {
-        self.mrs.lock().get(&rkey).cloned().ok_or(FabricError::BadRKey)
+        self.mrs
+            .lock()
+            .get(&rkey)
+            .cloned()
+            .ok_or(FabricError::BadRKey)
     }
 
     /// One-sided RDMA write: place `data` into `(rkey, offset)` with no
@@ -314,7 +399,10 @@ impl Fabric {
         let mut st = s.stats.lock();
         st.rdma_ops += 1;
         st.rdma_bytes += data.len() as u64;
-        Ok(RdmaCompletion { completed_at, data_at })
+        Ok(RdmaCompletion {
+            completed_at,
+            data_at,
+        })
     }
 
     /// One-sided RDMA read: fetch `len` bytes from `(rkey, offset)` with no
@@ -341,7 +429,13 @@ impl Fabric {
         let mut st = s.stats.lock();
         st.rdma_ops += 1;
         st.rdma_bytes += len as u64;
-        Ok((data, RdmaCompletion { completed_at, data_at }))
+        Ok((
+            data,
+            RdmaCompletion {
+                completed_at,
+                data_at,
+            },
+        ))
     }
 
     /// Per-rank counters.
@@ -366,14 +460,18 @@ mod tests {
     #[test]
     fn unprivileged_container_cannot_attach() {
         let f = Fabric::new(CostModel::default());
-        assert_eq!(f.attach(0, HostId(0), false), Err(FabricError::NotPrivileged));
+        assert_eq!(
+            f.attach(0, HostId(0), false),
+            Err(FabricError::NotPrivileged)
+        );
     }
 
     #[test]
     fn send_delivers_payload_with_timestamps() {
         let f = fabric_two_hosts();
-        let info =
-            f.post_send(0, 2, 7, Bytes::from_static(b"hello"), SimTime::from_us(1)).unwrap();
+        let info = f
+            .post_send(0, 2, 7, Bytes::from_static(b"hello"), SimTime::from_us(1))
+            .unwrap();
         assert!(info.local_done > SimTime::from_us(1));
         assert!(info.delivered_at > info.local_done);
         let msgs = f.poll_recv(2).unwrap();
@@ -402,9 +500,12 @@ mod tests {
         let f = fabric_two_hosts();
         let hits = Arc::new(AtomicUsize::new(0));
         let h2 = Arc::clone(&hits);
-        f.set_notifier(1, Arc::new(move || {
-            h2.fetch_add(1, Ordering::SeqCst);
-        }));
+        f.set_notifier(
+            1,
+            Arc::new(move || {
+                h2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
         f.post_send(0, 1, 0, Bytes::new(), SimTime::ZERO).unwrap();
         f.post_send(0, 1, 0, Bytes::new(), SimTime::ZERO).unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 2);
@@ -414,7 +515,9 @@ mod tests {
     fn rdma_write_read_roundtrip() {
         let f = fabric_two_hosts();
         let mr = f.register_mr(2, 128).unwrap();
-        let w = f.rdma_write(0, mr.rkey(), 16, b"payload", SimTime::ZERO).unwrap();
+        let w = f
+            .rdma_write(0, mr.rkey(), 16, b"payload", SimTime::ZERO)
+            .unwrap();
         assert!(w.data_at < w.completed_at);
         // Target sees the data without participating.
         assert_eq!(mr.read(16, 7), b"payload");
@@ -437,7 +540,10 @@ mod tests {
     #[test]
     fn bad_rkey_is_rejected() {
         let f = fabric_two_hosts();
-        assert!(matches!(f.rdma_write(0, RKey(999), 0, b"x", SimTime::ZERO), Err(FabricError::BadRKey)));
+        assert!(matches!(
+            f.rdma_write(0, RKey(999), 0, b"x", SimTime::ZERO),
+            Err(FabricError::BadRKey)
+        ));
     }
 
     #[test]
@@ -450,11 +556,72 @@ mod tests {
     }
 
     #[test]
+    fn qp_creation_failure_budget_is_consumed_by_retries() {
+        let plan = FaultPlan::none().with_qp_attach_failures(0, 2);
+        let f = Fabric::with_faults(CostModel::default(), plan);
+        assert_eq!(
+            f.attach(0, HostId(0), true),
+            Err(FabricError::QpCreationFailed(0))
+        );
+        assert_eq!(
+            f.attach(0, HostId(0), true),
+            Err(FabricError::QpCreationFailed(0))
+        );
+        // Third attempt succeeds; other ranks never fail.
+        assert_eq!(f.attach(0, HostId(0), true), Ok(()));
+        assert_eq!(f.attach(1, HostId(0), true), Ok(()));
+    }
+
+    #[test]
+    fn transient_send_fault_recovers_on_repost() {
+        // Every 2nd send fails once; a single repost always succeeds.
+        let plan = FaultPlan::none().with_send_faults(2, 1);
+        let f = Fabric::with_faults(CostModel::default(), plan);
+        f.attach(0, HostId(0), true).unwrap();
+        f.attach(1, HostId(1), true).unwrap();
+        let payload = Bytes::from_static(b"x");
+        // op 0 clean, op 1 faults then recovers.
+        assert!(f.post_send(0, 1, 0, payload.clone(), SimTime::ZERO).is_ok());
+        assert_eq!(
+            f.post_send(0, 1, 0, payload.clone(), SimTime::ZERO)
+                .unwrap_err(),
+            FabricError::TransientCompletion { src: 0, dst: 1 }
+        );
+        assert!(f.post_send(0, 1, 0, payload.clone(), SimTime::ZERO).is_ok());
+        // Both deliveries (not the errored attempt) reached the receiver.
+        assert_eq!(f.poll_recv(1).unwrap().len(), 2);
+        // Failed attempts are not counted as sends.
+        assert_eq!(f.stats(0).unwrap().sends, 2);
+    }
+
+    #[test]
+    fn send_faults_are_deterministic_per_op_index() {
+        let plan = FaultPlan::none().with_send_faults(3, 2);
+        let f = Fabric::with_faults(CostModel::default(), plan);
+        f.attach(0, HostId(0), true).unwrap();
+        f.attach(1, HostId(1), true).unwrap();
+        let mut failures = Vec::new();
+        for op in 0..9u64 {
+            let mut attempts = 0;
+            while f.post_send(0, 1, 0, Bytes::new(), SimTime::ZERO).is_err() {
+                attempts += 1;
+            }
+            if attempts > 0 {
+                failures.push((op, attempts));
+            }
+        }
+        // Ops 2, 5, 8 each fail exactly `repeats` = 2 times.
+        assert_eq!(failures, vec![(2, 2), (5, 2), (8, 2)]);
+    }
+
+    #[test]
     fn stats_accumulate() {
         let f = fabric_two_hosts();
-        f.post_send(0, 1, 0, Bytes::from(vec![0u8; 100]), SimTime::ZERO).unwrap();
+        f.post_send(0, 1, 0, Bytes::from(vec![0u8; 100]), SimTime::ZERO)
+            .unwrap();
         let mr = f.register_mr(1, 64).unwrap();
-        f.rdma_write(0, mr.rkey(), 0, &[0u8; 32], SimTime::ZERO).unwrap();
+        f.rdma_write(0, mr.rkey(), 0, &[0u8; 32], SimTime::ZERO)
+            .unwrap();
         let st = f.stats(0).unwrap();
         assert_eq!(st.sends, 1);
         assert_eq!(st.send_bytes, 100);

@@ -21,7 +21,11 @@ pub struct MemoryRegion {
 
 impl MemoryRegion {
     pub(crate) fn new(rkey: RKey, owner: usize, len: usize) -> Self {
-        MemoryRegion { rkey, owner, data: Mutex::new(vec![0u8; len]) }
+        MemoryRegion {
+            rkey,
+            owner,
+            data: Mutex::new(vec![0u8; len]),
+        }
     }
 
     /// The region's remote key.
@@ -61,7 +65,13 @@ impl MemoryRegion {
 
 impl std::fmt::Debug for MemoryRegion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MemoryRegion(rkey {:?}, owner {}, {} bytes)", self.rkey, self.owner, self.len())
+        write!(
+            f,
+            "MemoryRegion(rkey {:?}, owner {}, {} bytes)",
+            self.rkey,
+            self.owner,
+            self.len()
+        )
     }
 }
 

@@ -45,11 +45,17 @@ fn main() {
                 i += 2;
             }
             "--max-size" => {
-                max_size = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                max_size = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--iters" => {
-                iters = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                iters = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             _ => usage(),
@@ -80,22 +86,64 @@ fn main() {
 
     let (unit, points): (&str, Vec<SizePoint>) = match bench.as_str() {
         "latency" => ("us", pt2pt::latency(&spec, &sizes, iters)),
-        "bw" => ("MB/s", pt2pt::bandwidth(&spec, &sizes, pt2pt::BW_WINDOW, iters.min(8))),
-        "bibw" => ("MB/s", pt2pt::bibandwidth(&spec, &sizes, pt2pt::BW_WINDOW, iters.min(8))),
+        "bw" => (
+            "MB/s",
+            pt2pt::bandwidth(&spec, &sizes, pt2pt::BW_WINDOW, iters.min(8)),
+        ),
+        "bibw" => (
+            "MB/s",
+            pt2pt::bibandwidth(&spec, &sizes, pt2pt::BW_WINDOW, iters.min(8)),
+        ),
         "put-lat" => ("us", onesided::put_latency(&spec, &sizes, iters)),
-        "put-bw" => ("MB/s", onesided::put_bandwidth(&spec, &sizes, 64, iters.min(8))),
+        "put-bw" => (
+            "MB/s",
+            onesided::put_bandwidth(&spec, &sizes, 64, iters.min(8)),
+        ),
         "get-lat" => ("us", onesided::get_latency(&spec, &sizes, iters)),
-        "get-bw" => ("MB/s", onesided::get_bandwidth(&spec, &sizes, 64, iters.min(8))),
-        "bcast" => ("us", collective::latency(&spec, CollOp::Bcast, &sizes, iters.min(5))),
-        "allreduce" => ("us", collective::latency(&spec, CollOp::Allreduce, &sizes, iters.min(5))),
-        "allgather" => ("us", collective::latency(&spec, CollOp::Allgather, &sizes, iters.min(5))),
-        "alltoall" => ("us", collective::latency(&spec, CollOp::Alltoall, &sizes, iters.min(5))),
-        "barrier" => ("us", collective::latency(&spec, CollOp::Barrier, &[8], iters.min(5))),
-        "reduce" => ("us", collective::latency(&spec, CollOp::Reduce, &sizes, iters.min(5))),
-        "gather" => ("us", collective::latency(&spec, CollOp::Gather, &sizes, iters.min(5))),
-        "scatter" => ("us", collective::latency(&spec, CollOp::Scatter, &sizes, iters.min(5))),
-        "reduce-scatter" => ("us", collective::latency(&spec, CollOp::ReduceScatter, &sizes, iters.min(5))),
-        "scan" => ("us", collective::latency(&spec, CollOp::Scan, &sizes, iters.min(5))),
+        "get-bw" => (
+            "MB/s",
+            onesided::get_bandwidth(&spec, &sizes, 64, iters.min(8)),
+        ),
+        "bcast" => (
+            "us",
+            collective::latency(&spec, CollOp::Bcast, &sizes, iters.min(5)),
+        ),
+        "allreduce" => (
+            "us",
+            collective::latency(&spec, CollOp::Allreduce, &sizes, iters.min(5)),
+        ),
+        "allgather" => (
+            "us",
+            collective::latency(&spec, CollOp::Allgather, &sizes, iters.min(5)),
+        ),
+        "alltoall" => (
+            "us",
+            collective::latency(&spec, CollOp::Alltoall, &sizes, iters.min(5)),
+        ),
+        "barrier" => (
+            "us",
+            collective::latency(&spec, CollOp::Barrier, &[8], iters.min(5)),
+        ),
+        "reduce" => (
+            "us",
+            collective::latency(&spec, CollOp::Reduce, &sizes, iters.min(5)),
+        ),
+        "gather" => (
+            "us",
+            collective::latency(&spec, CollOp::Gather, &sizes, iters.min(5)),
+        ),
+        "scatter" => (
+            "us",
+            collective::latency(&spec, CollOp::Scatter, &sizes, iters.min(5)),
+        ),
+        "reduce-scatter" => (
+            "us",
+            collective::latency(&spec, CollOp::ReduceScatter, &sizes, iters.min(5)),
+        ),
+        "scan" => (
+            "us",
+            collective::latency(&spec, CollOp::Scan, &sizes, iters.min(5)),
+        ),
         _ => usage(),
     };
 

@@ -84,9 +84,12 @@ pub fn latency(spec: &JobSpec, op: CollOp, sizes: &[usize], iters: usize) -> Vec
                 }
                 mpi.now() - t0
             });
-            let avg_ns: f64 = r.results.iter().map(|t| t.as_ns() as f64).sum::<f64>()
-                / r.results.len() as f64;
-            SizePoint::new(size, us_per_op(SimTime::from_ns(avg_ns as u64), iters as u64))
+            let avg_ns: f64 =
+                r.results.iter().map(|t| t.as_ns() as f64).sum::<f64>() / r.results.len() as f64;
+            SizePoint::new(
+                size,
+                us_per_op(SimTime::from_ns(avg_ns as u64), iters as u64),
+            )
         })
         .collect()
 }
@@ -124,8 +127,7 @@ fn run_op(mpi: &mut cmpi_core::Mpi, op: CollOp, mine: &[u64], elems: usize, n: u
             mpi.gather(mine, 0);
         }
         CollOp::Scatter => {
-            let data: Option<Vec<u64>> =
-                (mpi.rank() == 0).then(|| vec![0u64; elems * n]);
+            let data: Option<Vec<u64>> = (mpi.rank() == 0).then(|| vec![0u64; elems * n]);
             mpi.scatter(data.as_deref(), elems, 0);
         }
         CollOp::ReduceScatter => {
@@ -154,13 +156,23 @@ mod tests {
     /// 16 ranks: 4 containers x 4 ranks on one host (scaled-down V-C
     /// deployment).
     fn spec(policy: LocalityPolicy) -> JobSpec {
-        JobSpec::new(DeploymentScenario::containers(1, 4, 4, NamespaceSharing::default()))
-            .with_policy(policy)
+        JobSpec::new(DeploymentScenario::containers(
+            1,
+            4,
+            4,
+            NamespaceSharing::default(),
+        ))
+        .with_policy(policy)
     }
 
     #[test]
     fn collectives_opt_beats_default() {
-        for op in [CollOp::Bcast, CollOp::Allreduce, CollOp::Allgather, CollOp::Alltoall] {
+        for op in [
+            CollOp::Bcast,
+            CollOp::Allreduce,
+            CollOp::Allgather,
+            CollOp::Alltoall,
+        ] {
             let o = latency(&spec(LocalityPolicy::ContainerDetector), op, &[1024], 3)[0].value;
             let d = latency(&spec(LocalityPolicy::Hostname), op, &[1024], 3)[0].value;
             assert!(d > o, "{}: def {d}us opt {o}us", op.name());
@@ -169,7 +181,12 @@ mod tests {
 
     #[test]
     fn latency_grows_with_size() {
-        let pts = latency(&spec(LocalityPolicy::ContainerDetector), CollOp::Allreduce, &[64, 16384], 3);
+        let pts = latency(
+            &spec(LocalityPolicy::ContainerDetector),
+            CollOp::Allreduce,
+            &[64, 16384],
+            3,
+        );
         assert!(pts[0].value < pts[1].value);
     }
 

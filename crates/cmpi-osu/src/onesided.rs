@@ -34,7 +34,12 @@ pub fn put_latency(spec: &JobSpec, sizes: &[usize], iters: usize) -> Vec<SizePoi
 }
 
 /// `osu_put_bw`: windowed puts with one flush per window; MB/s.
-pub fn put_bandwidth(spec: &JobSpec, sizes: &[usize], window: usize, iters: usize) -> Vec<SizePoint> {
+pub fn put_bandwidth(
+    spec: &JobSpec,
+    sizes: &[usize],
+    window: usize,
+    iters: usize,
+) -> Vec<SizePoint> {
     sizes
         .iter()
         .map(|&size| {
@@ -90,7 +95,12 @@ pub fn get_latency(spec: &JobSpec, sizes: &[usize], iters: usize) -> Vec<SizePoi
 }
 
 /// `osu_get_bw`: windowed gets; MB/s.
-pub fn get_bandwidth(spec: &JobSpec, sizes: &[usize], window: usize, iters: usize) -> Vec<SizePoint> {
+pub fn get_bandwidth(
+    spec: &JobSpec,
+    sizes: &[usize],
+    window: usize,
+    iters: usize,
+) -> Vec<SizePoint> {
     sizes
         .iter()
         .map(|&size| {
@@ -125,7 +135,11 @@ mod tests {
     use cmpi_core::LocalityPolicy;
 
     fn opt_pair() -> JobSpec {
-        JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+        JobSpec::new(DeploymentScenario::pt2pt_pair(
+            true,
+            true,
+            NamespaceSharing::default(),
+        ))
     }
 
     fn def_pair() -> JobSpec {

@@ -59,8 +59,9 @@ pub fn bandwidth(spec: &JobSpec, sizes: &[usize], window: usize, iters: usize) -
                 if mpi.rank() == 0 {
                     let t0 = mpi.now();
                     for _ in 0..iters {
-                        let reqs: Vec<_> =
-                            (0..window).map(|_| mpi.isend_bytes(payload.clone(), 1, 1)).collect();
+                        let reqs: Vec<_> = (0..window)
+                            .map(|_| mpi.isend_bytes(payload.clone(), 1, 1))
+                            .collect();
                         mpi.waitall(reqs);
                         mpi.recv_bytes(1, 2); // window ack
                     }
@@ -91,8 +92,9 @@ pub fn bibandwidth(spec: &JobSpec, sizes: &[usize], window: usize, iters: usize)
                 let t0 = mpi.now();
                 for _ in 0..iters {
                     let recvs: Vec<_> = (0..window).map(|_| mpi.irecv_bytes(peer, 1)).collect();
-                    let sends: Vec<_> =
-                        (0..window).map(|_| mpi.isend_bytes(payload.clone(), peer, 1)).collect();
+                    let sends: Vec<_> = (0..window)
+                        .map(|_| mpi.isend_bytes(payload.clone(), peer, 1))
+                        .collect();
                     mpi.waitall(recvs);
                     mpi.waitall(sends);
                 }
@@ -113,8 +115,9 @@ pub fn message_rate(spec: &JobSpec, size: usize, window: usize, iters: usize) ->
         if mpi.rank() == 0 {
             let t0 = mpi.now();
             for _ in 0..iters {
-                let reqs: Vec<_> =
-                    (0..window).map(|_| mpi.isend_bytes(payload.clone(), 1, 1)).collect();
+                let reqs: Vec<_> = (0..window)
+                    .map(|_| mpi.isend_bytes(payload.clone(), 1, 1))
+                    .collect();
                 mpi.waitall(reqs);
                 mpi.recv_bytes(1, 2);
             }
@@ -145,7 +148,11 @@ mod tests {
     use cmpi_core::LocalityPolicy;
 
     fn opt_pair() -> JobSpec {
-        JobSpec::new(DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default()))
+        JobSpec::new(DeploymentScenario::pt2pt_pair(
+            true,
+            true,
+            NamespaceSharing::default(),
+        ))
     }
 
     fn def_pair() -> JobSpec {

@@ -52,7 +52,13 @@ impl<T: MpiData> GlobalArray<T> {
         let ranks = mpi.size();
         let per = len.div_ceil(ranks as u64).max(1);
         let win = mpi.win_allocate((per as usize) * T::SIZE);
-        GlobalArray { win, len, per, ranks, _elem: PhantomData }
+        GlobalArray {
+            win,
+            len,
+            per,
+            ranks,
+            _elem: PhantomData,
+        }
     }
 
     /// Total element count.
@@ -72,7 +78,11 @@ impl<T: MpiData> GlobalArray<T> {
 
     /// The (owner rank, byte offset) of global index `idx`.
     pub fn locate(&self, idx: u64) -> (usize, usize) {
-        assert!(idx < self.len, "global index {idx} out of bounds ({})", self.len);
+        assert!(
+            idx < self.len,
+            "global index {idx} out of bounds ({})",
+            self.len
+        );
         let rank = (idx / self.per) as usize;
         debug_assert!(rank < self.ranks);
         (rank, (idx % self.per) as usize * T::SIZE)
@@ -181,7 +191,11 @@ pub fn gups(mpi: &mut Mpi, table_len: u64, updates: u64, seed: u64) -> (f64, u64
     ga.read_local(mpi, &mut block);
     let local_sum: u64 = block.iter().fold(0u64, |a, &b| a.wrapping_add(b));
     let total = mpi.allreduce(&[local_sum], cmpi_core::ReduceOp::Sum)[0];
-    let rate = if span.is_zero() { 0.0 } else { updates as f64 / span.as_secs_f64() };
+    let rate = if span.is_zero() {
+        0.0
+    } else {
+        updates as f64 / span.as_secs_f64()
+    };
     (rate, total)
 }
 
@@ -192,7 +206,12 @@ mod tests {
     use cmpi_core::{JobSpec, LocalityPolicy};
 
     fn spec() -> JobSpec {
-        JobSpec::new(DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default()))
+        JobSpec::new(DeploymentScenario::containers(
+            1,
+            2,
+            2,
+            NamespaceSharing::default(),
+        ))
     }
 
     #[test]
@@ -239,7 +258,9 @@ mod tests {
     #[test]
     fn gups_checksum_is_policy_invariant_and_opt_is_faster() {
         let run = |policy| {
-            let r = spec().with_policy(policy).run(|mpi| gups(mpi, 1 << 10, 200, 42));
+            let r = spec()
+                .with_policy(policy)
+                .run(|mpi| gups(mpi, 1 << 10, 200, 42));
             // All ranks agree on the checksum.
             let (_, sum0) = r.results[0];
             assert!(r.results.iter().all(|&(_, s)| s == sum0));

@@ -28,7 +28,7 @@ pub mod queue;
 pub mod segment;
 pub mod visibility;
 
-pub use locality_list::ContainerList;
-pub use queue::PairQueue;
+pub use locality_list::{AttachOutcome, ContainerList, PublishError};
+pub use queue::{PairQueue, QueueClosed};
 pub use segment::{Segment, ShmRegistry};
-pub use visibility::{can_cma, can_shm, Visibility};
+pub use visibility::{can_cma, can_shm, effective_visibility, Visibility};

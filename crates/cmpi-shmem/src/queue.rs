@@ -31,6 +31,11 @@ struct QueueState {
     closed: bool,
 }
 
+/// Error returned by [`PairQueue::acquire`] when the queue is closed
+/// while the sender waits for space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueueClosed;
+
 /// One sender→receiver bounded eager queue (a pair of ranks has one per
 /// direction).
 pub struct PairQueue {
@@ -78,8 +83,8 @@ impl PairQueue {
     /// Panics if `bytes` exceeds the queue capacity (callers must enforce
     /// `SMP_EAGER_SIZE <= SMPI_LENGTH_QUEUE`, see `Tunables::validate`).
     ///
-    /// Returns `Err(())` if the queue was closed while waiting.
-    pub fn acquire(&self, bytes: usize) -> Result<SimTime, ()> {
+    /// Returns [`QueueClosed`] if the queue was closed while waiting.
+    pub fn acquire(&self, bytes: usize) -> Result<SimTime, QueueClosed> {
         let bytes = bytes as u64;
         assert!(
             bytes <= self.capacity,
@@ -91,12 +96,12 @@ impl PairQueue {
         let required = (s.acquired + bytes).saturating_sub(self.capacity);
         while s.released < required {
             if s.closed {
-                return Err(());
+                return Err(QueueClosed);
             }
             self.cv.wait(&mut s);
         }
         if s.closed {
-            return Err(());
+            return Err(QueueClosed);
         }
         // The stall bound is the virtual time of the earliest release event
         // that satisfied `required`. Prune events below the requirement —
@@ -111,7 +116,10 @@ impl PairQueue {
                 s.history.pop_front();
             }
             debug_assert!(
-                s.history.front().map(|&(c, _)| c >= required).unwrap_or(false),
+                s.history
+                    .front()
+                    .map(|&(c, _)| c >= required)
+                    .unwrap_or(false),
                 "release history lost the satisfying event"
             );
         }
@@ -172,7 +180,12 @@ impl PairQueue {
 
 impl std::fmt::Debug for PairQueue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PairQueue(cap {}, in flight {})", self.capacity, self.in_flight())
+        write!(
+            f,
+            "PairQueue(cap {}, in flight {})",
+            self.capacity,
+            self.in_flight()
+        )
     }
 }
 

@@ -18,12 +18,23 @@ use parking_lot::Mutex;
 pub struct Segment {
     name: String,
     bytes: Box<[AtomicU8]>,
+    /// Serializes header validation / re-initialization on attach (the
+    /// simulation analogue of `O_EXCL` + `flock` on the segment file).
+    /// Steady-state byte traffic never takes it.
+    init_lock: Mutex<()>,
 }
 
 impl Segment {
     fn new(name: String, len: usize) -> Self {
-        let bytes = (0..len).map(|_| AtomicU8::new(0)).collect::<Vec<_>>().into_boxed_slice();
-        Segment { name, bytes }
+        let bytes = (0..len)
+            .map(|_| AtomicU8::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Segment {
+            name,
+            bytes,
+            init_lock: Mutex::new(()),
+        }
     }
 
     /// Segment name (e.g. `"locality"`).
@@ -52,6 +63,21 @@ impl Segment {
     #[inline]
     pub fn store(&self, offset: usize, val: u8) {
         self.bytes[offset].store(val, Ordering::Release);
+    }
+
+    /// Atomically replace the byte at `offset` iff it still equals
+    /// `current`; returns the previously stored byte on failure.
+    #[inline]
+    pub fn compare_exchange(&self, offset: usize, current: u8, new: u8) -> Result<u8, u8> {
+        self.bytes[offset].compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+    }
+
+    /// Hold the segment's initialization lock for the duration of `f`.
+    /// Attachers use this to make header validation + recovery atomic
+    /// with respect to each other.
+    pub fn with_init_lock<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.init_lock.lock();
+        f()
     }
 
     /// Bulk copy into the segment.
@@ -146,7 +172,10 @@ impl ShmRegistry {
 
     /// Look up an existing segment without creating it.
     pub fn open(&self, host: HostId, ipc_ns: NamespaceId, name: &str) -> Option<Arc<Segment>> {
-        self.segments.lock().get(&(host, ipc_ns, name.to_string())).cloned()
+        self.segments
+            .lock()
+            .get(&(host, ipc_ns, name.to_string()))
+            .cloned()
     }
 
     /// Number of live segments (diagnostics).

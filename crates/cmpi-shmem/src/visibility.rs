@@ -7,7 +7,7 @@
 //! any locality *policy* — a policy decides what the MPI library tries,
 //! the kernel (this module) decides what is possible.
 
-use cmpi_cluster::{Cluster, ContainerId};
+use cmpi_cluster::{Cluster, ContainerId, FaultPlan};
 
 /// The full visibility relation between two execution environments.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +34,33 @@ pub fn visibility(cluster: &Cluster, a: ContainerId, b: ContainerId) -> Visibili
         // set); across containers the namespaces must match.
         shm: same_container || ca.shares_ipc_with(cb),
         cma: same_container || ca.shares_pid_with(cb),
+    }
+}
+
+/// Compute the visibility relation between two containers *as the kernel
+/// would report it after a fault plan's namespace revocations*: a
+/// container restarted without `--ipc=host` / `--pid=host` lands in a
+/// private namespace, so SHM/CMA with its former peers become
+/// impossible — while co-residency (and intra-container visibility)
+/// remain real. This is the ground truth the degraded locality view is
+/// cross-checked against.
+pub fn effective_visibility(
+    cluster: &Cluster,
+    plan: &FaultPlan,
+    a: ContainerId,
+    b: ContainerId,
+) -> Visibility {
+    let ca = cluster.container(a);
+    let cb = cluster.container(b);
+    let same_container = a == b;
+    let co_resident = ca.co_resident_with(cb);
+    Visibility {
+        co_resident,
+        same_container,
+        shm: same_container
+            || (co_resident && plan.effective_ipc_ns(ca) == plan.effective_ipc_ns(cb)),
+        cma: same_container
+            || (co_resident && plan.effective_pid_ns(ca) == plan.effective_pid_ns(cb)),
     }
 }
 

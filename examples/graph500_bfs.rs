@@ -9,7 +9,12 @@ use container_mpi::apps::graph500::{self, Graph500Config};
 use container_mpi::prelude::*;
 
 fn main() {
-    let cfg = Graph500Config { scale: 12, edgefactor: 16, num_roots: 3, ..Default::default() };
+    let cfg = Graph500Config {
+        scale: 12,
+        edgefactor: 16,
+        num_roots: 3,
+        ..Default::default()
+    };
     println!(
         "Graph500: scale {} ({} vertices, {} edges), 16 ranks on 1 host\n",
         cfg.scale,
@@ -20,8 +25,12 @@ fn main() {
         "{:<14} {:>14} {:>14} {:>10}",
         "scenario", "default (ms)", "proposed (ms)", "validated"
     );
-    for (name, cph) in [("Native", 0u32), ("1-Container", 1), ("2-Containers", 2), ("4-Containers", 4)]
-    {
+    for (name, cph) in [
+        ("Native", 0u32),
+        ("1-Container", 1),
+        ("2-Containers", 2),
+        ("4-Containers", 4),
+    ] {
         let def = graph500::run(
             &JobSpec::new(DeploymentScenario::fig1(cph)).with_policy(LocalityPolicy::Hostname),
             cfg,

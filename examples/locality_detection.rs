@@ -46,10 +46,16 @@ fn main() {
     );
     for (name, policy) in [
         ("Default (hostname-based)", LocalityPolicy::Hostname),
-        ("Proposed (locality-aware)", LocalityPolicy::ContainerDetector),
+        (
+            "Proposed (locality-aware)",
+            LocalityPolicy::ContainerDetector,
+        ),
     ] {
         let (lat, shm, cma, hca) = pingpong(policy, 1024);
-        println!("{name:<28} {:>12} {shm:>8} {cma:>8} {hca:>8}", format!("{lat}"));
+        println!(
+            "{name:<28} {:>12} {shm:>8} {cma:>8} {hca:>8}",
+            format!("{lat}")
+        );
     }
     println!();
     println!("The default library cannot tell the containers are co-resident");
@@ -62,7 +68,5 @@ fn main() {
     let (lat_def, ..) = pingpong(LocalityPolicy::Hostname, 256 * 1024);
     let (lat_opt, _, cma, _) = pingpong(LocalityPolicy::ContainerDetector, 256 * 1024);
     println!();
-    println!(
-        "256 KiB: default {lat_def} vs proposed {lat_opt} ({cma} CMA single-copy transfers)"
-    );
+    println!("256 KiB: default {lat_def} vs proposed {lat_opt} ({cma} CMA single-copy transfers)");
 }

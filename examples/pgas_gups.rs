@@ -21,11 +21,17 @@ fn run(policy: LocalityPolicy) -> (f64, u64, SimTime) {
 fn main() {
     println!("PGAS GUPS: 8 ranks in 4 containers, 4096-entry global table,");
     println!("400 remote read-modify-write updates per rank\n");
-    println!("{:<28} {:>16} {:>14}", "configuration", "updates/s", "elapsed");
+    println!(
+        "{:<28} {:>16} {:>14}",
+        "configuration", "updates/s", "elapsed"
+    );
     let mut sums = Vec::new();
     for (name, policy) in [
         ("Default (hostname-based)", LocalityPolicy::Hostname),
-        ("Proposed (locality-aware)", LocalityPolicy::ContainerDetector),
+        (
+            "Proposed (locality-aware)",
+            LocalityPolicy::ContainerDetector,
+        ),
     ] {
         let (rate, sum, elapsed) = run(policy);
         println!("{name:<28} {rate:>16.0} {:>14}", format!("{elapsed}"));

@@ -27,7 +27,11 @@ fn main() {
     println!("{}", r.stats.report());
 
     let trace = r.trace.expect("tracing was enabled");
-    println!("recorded {} trace events across {} ranks", trace.len(), trace.ranks.len());
+    println!(
+        "recorded {} trace events across {} ranks",
+        trace.len(),
+        trace.ranks.len()
+    );
     let path = "target/bfs_trace.json";
     std::fs::write(path, trace.to_chrome_json()).expect("write trace");
     println!("wrote {path} — open it in chrome://tracing or https://ui.perfetto.dev");

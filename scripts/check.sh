@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything CI requires before a merge. Run from anywhere;
+# fails fast on the first broken step.
+#
+#   build   release build of the whole workspace
+#   test    unit + integration + doc tests
+#   clippy  all targets, warnings are errors
+#   fmt     rustfmt in check mode
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release" >&2
+cargo build --release
+
+echo "== cargo test -q" >&2
+cargo test -q
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings" >&2
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --all --check" >&2
+cargo fmt --all --check
+
+echo "ok: all tier-1 checks passed" >&2

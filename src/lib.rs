@@ -50,10 +50,11 @@ pub use cmpi_pgas as pgas;
 /// The most common imports in one place.
 pub mod prelude {
     pub use cmpi_cluster::{
-        Channel, CostModel, DeploymentScenario, NamespaceSharing, SimTime, Tunables,
+        Channel, ContainerId, CostModel, DeploymentScenario, FaultPlan, HostId, NamespaceSharing,
+        SimTime, Tunables,
     };
     pub use cmpi_core::{
-        CallClass, Completion, JobResult, JobSpec, LocalityPolicy, Mpi, ReduceOp, Request,
-        Status, Window, ANY_SOURCE, ANY_TAG,
+        CallClass, Completion, DowngradeReason, JobResult, JobSpec, LocalityPolicy, Mpi,
+        RecoveryStats, ReduceOp, Request, Status, Window, ANY_SOURCE, ANY_TAG,
     };
 }

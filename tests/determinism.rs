@@ -12,34 +12,44 @@ fn deterministic_patterns_have_bitwise_identical_times() {
     // exactly reproducible. (Cross-host runs add wire-arbitration
     // ambiguity under genuine contention — see the tolerance test below.)
     let run = || {
-        JobSpec::new(DeploymentScenario::containers(1, 4, 2, NamespaceSharing::default())).run(
-            |mpi| {
-                let n = mpi.size();
-                for round in 0..6u32 {
-                    let off = 1 + round as usize % (n - 1);
-                    let dst = (mpi.rank() + off) % n;
-                    let src = (mpi.rank() + n - off) % n;
-                    mpi.sendrecv_bytes(
-                        Bytes::from(vec![0u8; 1000 * (round as usize + 1)]),
-                        dst,
-                        round,
-                        src,
-                        round,
-                    );
-                    mpi.allreduce(&[round as u64], ReduceOp::Max);
-                }
-                mpi.barrier();
-                mpi.now()
-            },
-        )
+        JobSpec::new(DeploymentScenario::containers(
+            1,
+            4,
+            2,
+            NamespaceSharing::default(),
+        ))
+        .run(|mpi| {
+            let n = mpi.size();
+            for round in 0..6u32 {
+                let off = 1 + round as usize % (n - 1);
+                let dst = (mpi.rank() + off) % n;
+                let src = (mpi.rank() + n - off) % n;
+                mpi.sendrecv_bytes(
+                    Bytes::from(vec![0u8; 1000 * (round as usize + 1)]),
+                    dst,
+                    round,
+                    src,
+                    round,
+                );
+                mpi.allreduce(&[round as u64], ReduceOp::Max);
+            }
+            mpi.barrier();
+            mpi.now()
+        })
     };
     let a = run();
     let b = run();
     let c = run();
     assert_eq!(a.results, b.results, "virtual clocks must be reproducible");
     assert_eq!(b.results, c.results);
-    assert_eq!(a.stats.channel_ops(Channel::Shm), b.stats.channel_ops(Channel::Shm));
-    assert_eq!(a.stats.channel_ops(Channel::Hca), b.stats.channel_ops(Channel::Hca));
+    assert_eq!(
+        a.stats.channel_ops(Channel::Shm),
+        b.stats.channel_ops(Channel::Shm)
+    );
+    assert_eq!(
+        a.stats.channel_ops(Channel::Hca),
+        b.stats.channel_ops(Channel::Hca)
+    );
 }
 
 #[test]
@@ -49,34 +59,47 @@ fn cross_host_times_reproduce_within_contention_ambiguity() {
     // overlap itself (never to thread-scheduling noise). Virtual times
     // must agree tightly, channel routing exactly.
     let run = || {
-        JobSpec::new(DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default())).run(
-            |mpi| {
-                let n = mpi.size();
-                for round in 0..6u32 {
-                    let off = 1 + round as usize % (n - 1);
-                    let dst = (mpi.rank() + off) % n;
-                    let src = (mpi.rank() + n - off) % n;
-                    mpi.sendrecv_bytes(
-                        Bytes::from(vec![0u8; 1000 * (round as usize + 1)]),
-                        dst,
-                        round,
-                        src,
-                        round,
-                    );
-                    mpi.allreduce(&[round as u64], ReduceOp::Max);
-                }
-                mpi.barrier();
-                mpi.now()
-            },
-        )
+        JobSpec::new(DeploymentScenario::containers(
+            2,
+            2,
+            2,
+            NamespaceSharing::default(),
+        ))
+        .run(|mpi| {
+            let n = mpi.size();
+            for round in 0..6u32 {
+                let off = 1 + round as usize % (n - 1);
+                let dst = (mpi.rank() + off) % n;
+                let src = (mpi.rank() + n - off) % n;
+                mpi.sendrecv_bytes(
+                    Bytes::from(vec![0u8; 1000 * (round as usize + 1)]),
+                    dst,
+                    round,
+                    src,
+                    round,
+                );
+                mpi.allreduce(&[round as u64], ReduceOp::Max);
+            }
+            mpi.barrier();
+            mpi.now()
+        })
     };
     let a = run();
     let b = run();
-    assert_eq!(a.stats.channel_ops(Channel::Hca), b.stats.channel_ops(Channel::Hca));
-    assert_eq!(a.stats.channel_ops(Channel::Shm), b.stats.channel_ops(Channel::Shm));
+    assert_eq!(
+        a.stats.channel_ops(Channel::Hca),
+        b.stats.channel_ops(Channel::Hca)
+    );
+    assert_eq!(
+        a.stats.channel_ops(Channel::Shm),
+        b.stats.channel_ops(Channel::Shm)
+    );
     for (x, y) in a.results.iter().zip(&b.results) {
         let (x, y) = (x.as_ns() as f64, y.as_ns() as f64);
-        assert!((x - y).abs() / y < 0.02, "cross-host jitter too large: {x} vs {y}");
+        assert!(
+            (x - y).abs() / y < 0.02,
+            "cross-host jitter too large: {x} vs {y}"
+        );
     }
 }
 
@@ -84,10 +107,20 @@ fn cross_host_times_reproduce_within_contention_ambiguity() {
 fn graph500_answers_are_reproducible() {
     // BFS uses ANY_SOURCE, so virtual times may jitter slightly — but the
     // *answers* (trees, traversal counts, validation) must be identical.
-    let cfg = Graph500Config { scale: 9, edgefactor: 8, num_roots: 2, ..Default::default() };
+    let cfg = Graph500Config {
+        scale: 9,
+        edgefactor: 8,
+        num_roots: 2,
+        ..Default::default()
+    };
     let run = || {
         graph500::run(
-            &JobSpec::new(DeploymentScenario::containers(1, 2, 4, NamespaceSharing::default())),
+            &JobSpec::new(DeploymentScenario::containers(
+                1,
+                2,
+                4,
+                NamespaceSharing::default(),
+            )),
             cfg,
         )
     };
@@ -101,7 +134,10 @@ fn graph500_answers_are_reproducible() {
     // scale each search is only tens of microseconds).
     for (x, y) in a.bfs_times.iter().zip(&b.bfs_times) {
         let (x, y) = (x.as_ns() as f64, y.as_ns() as f64);
-        assert!((x - y).abs() / y < 1.0, "bfs time jitter too large: {x} vs {y}");
+        assert!(
+            (x - y).abs() / y < 1.0,
+            "bfs time jitter too large: {x} vs {y}"
+        );
     }
 }
 
@@ -116,8 +152,18 @@ fn collectives_are_value_deterministic_across_topologies() {
             .run(move |mpi| mpi.allreduce(&input(mpi.rank()), ReduceOp::Sum))
             .results
     };
-    let a = reduce(DeploymentScenario::containers(1, 2, 4, NamespaceSharing::default()));
-    let b = reduce(DeploymentScenario::containers(2, 2, 2, NamespaceSharing::default()));
+    let a = reduce(DeploymentScenario::containers(
+        1,
+        2,
+        4,
+        NamespaceSharing::default(),
+    ));
+    let b = reduce(DeploymentScenario::containers(
+        2,
+        2,
+        2,
+        NamespaceSharing::default(),
+    ));
     let c = reduce(DeploymentScenario::native(1, 8));
     // All ranks agree within a run.
     assert!(a.windows(2).all(|w| w[0] == w[1]));

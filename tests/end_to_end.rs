@@ -10,7 +10,12 @@ fn the_paper_pipeline_end_to_end() {
     // The whole story in one test: a containerized deployment where the
     // default library routes through the HCA loopback and the proposed
     // library recovers near-native behaviour — with identical results.
-    let cfg = Graph500Config { scale: 10, edgefactor: 8, num_roots: 2, ..Default::default() };
+    let cfg = Graph500Config {
+        scale: 10,
+        edgefactor: 8,
+        num_roots: 2,
+        ..Default::default()
+    };
     let deployment = || DeploymentScenario::fig1(4);
 
     let def = graph500::run(
@@ -30,7 +35,10 @@ fn the_paper_pipeline_end_to_end() {
     assert!(opt.mean_bfs_time() < def.mean_bfs_time());
     let gap = (opt.mean_bfs_time().as_ns() as f64 - native.mean_bfs_time().as_ns() as f64)
         / native.mean_bfs_time().as_ns() as f64;
-    assert!(gap < 0.40, "proposed vs native gap {gap:.2} (toy-scale bound)");
+    assert!(
+        gap < 0.40,
+        "proposed vs native gap {gap:.2} (toy-scale bound)"
+    );
 }
 
 #[test]
@@ -64,8 +72,14 @@ fn mixed_workload_single_job() {
         mpi.stats().time(CallClass::Compute).as_ns()
     });
     assert!(r.results.iter().all(|&c| c == 5_000));
-    assert!(r.stats.channel_ops(Channel::Hca) > 0, "cross-host traffic must use the fabric");
-    assert!(r.stats.channel_ops(Channel::Shm) > 0, "intra-host traffic must use shared memory");
+    assert!(
+        r.stats.channel_ops(Channel::Hca) > 0,
+        "cross-host traffic must use the fabric"
+    );
+    assert!(
+        r.stats.channel_ops(Channel::Shm) > 0,
+        "intra-host traffic must use shared memory"
+    );
 }
 
 #[test]
@@ -102,7 +116,9 @@ fn tunables_flow_through_to_routing() {
     // Dropping SMP_EAGER_SIZE to 512 pushes a 1 KiB message onto CMA.
     let scenario = || DeploymentScenario::pt2pt_pair(true, true, NamespaceSharing::default());
     let small_eager = JobSpec::new(scenario()).with_tunables(
-        Tunables::default().with_smp_eager_size(512).with_smpi_length_queue(64 * 1024),
+        Tunables::default()
+            .with_smp_eager_size(512)
+            .with_smpi_length_queue(64 * 1024),
     );
     let r = small_eager.run(|mpi| {
         if mpi.rank() == 0 {

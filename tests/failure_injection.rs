@@ -9,12 +9,13 @@ fn no_ipc_sharing_detector_falls_back_to_hca() {
     // Containers without --ipc=host cannot see each other's container
     // list or map shared queues: correctness preserved, routing falls
     // back to the loopback.
-    let sharing = NamespaceSharing { ipc: false, pid: false, privileged: true };
+    let sharing = NamespaceSharing {
+        ipc: false,
+        pid: false,
+        privileged: true,
+    };
     let spec = JobSpec::new(DeploymentScenario::containers(1, 2, 2, sharing));
-    let r = spec.run(|mpi| {
-        let sum = mpi.allreduce(&[mpi.rank() as u64], ReduceOp::Sum)[0];
-        sum
-    });
+    let r = spec.run(|mpi| mpi.allreduce(&[mpi.rank() as u64], ReduceOp::Sum)[0]);
     assert!(r.results.iter().all(|&s| s == 6));
     // Same-container traffic may use SHM, but cross-container must not.
     let spec2 = JobSpec::new(DeploymentScenario::containers(1, 4, 1, sharing));
@@ -27,7 +28,11 @@ fn no_ipc_sharing_detector_falls_back_to_hca() {
 
 #[test]
 fn pid_only_sharing_enables_cma_not_shm() {
-    let sharing = NamespaceSharing { ipc: false, pid: true, privileged: true };
+    let sharing = NamespaceSharing {
+        ipc: false,
+        pid: true,
+        privileged: true,
+    };
     let spec = JobSpec::new(DeploymentScenario::containers(1, 2, 1, sharing));
     let r = spec.run(|mpi| {
         if mpi.rank() == 0 {
@@ -51,7 +56,11 @@ fn pid_only_sharing_enables_cma_not_shm() {
 
 #[test]
 fn ipc_only_sharing_runs_large_messages_through_chunked_shm() {
-    let sharing = NamespaceSharing { ipc: true, pid: false, privileged: true };
+    let sharing = NamespaceSharing {
+        ipc: true,
+        pid: false,
+        privileged: true,
+    };
     let spec = JobSpec::new(DeploymentScenario::containers(1, 2, 1, sharing));
     let r = spec.run(|mpi| {
         if mpi.rank() == 0 {
@@ -66,7 +75,10 @@ fn ipc_only_sharing_runs_large_messages_through_chunked_shm() {
     assert_eq!(r.results[1], 100_000);
     // Detected locality via the shared list, but no CMA: the 100 KB
     // message is chunked through the SHM queue.
-    assert!(r.stats.channel_ops(Channel::Shm) > 10, "expected many chunks");
+    assert!(
+        r.stats.channel_ops(Channel::Shm) > 10,
+        "expected many chunks"
+    );
     assert_eq!(r.stats.channel_ops(Channel::Cma), 0);
     assert_eq!(r.stats.channel_ops(Channel::Hca), 0);
 }
@@ -79,7 +91,11 @@ fn unprivileged_containers_cannot_reach_remote_peers() {
     // attempt a send so both threads abort — a rank blocked in recv for
     // a dead peer would hang the scope, exactly like a real MPI job
     // wedging after one rank dies without an error handler.
-    let sharing = NamespaceSharing { ipc: true, pid: true, privileged: false };
+    let sharing = NamespaceSharing {
+        ipc: true,
+        pid: true,
+        privileged: false,
+    };
     let spec = JobSpec::new(DeploymentScenario::containers(2, 1, 1, sharing));
     spec.run(|mpi| {
         let peer = 1 - mpi.rank();
@@ -92,7 +108,11 @@ fn unprivileged_containers_cannot_reach_remote_peers() {
 #[test]
 fn unprivileged_single_host_jobs_still_work() {
     // No HCA needed when everything is co-resident and shared.
-    let sharing = NamespaceSharing { ipc: true, pid: true, privileged: false };
+    let sharing = NamespaceSharing {
+        ipc: true,
+        pid: true,
+        privileged: false,
+    };
     let spec = JobSpec::new(DeploymentScenario::containers(1, 2, 2, sharing));
     let r = spec.run(|mpi| mpi.allreduce(&[mpi.rank() as u64 + 1], ReduceOp::Sum)[0]);
     assert!(r.results.iter().all(|&s| s == 10));
@@ -101,11 +121,24 @@ fn unprivileged_single_host_jobs_still_work() {
 
 #[test]
 fn degraded_deployments_still_validate_graph500() {
-    let cfg = Graph500Config { scale: 9, edgefactor: 8, num_roots: 1, ..Default::default() };
+    let cfg = Graph500Config {
+        scale: 9,
+        edgefactor: 8,
+        num_roots: 1,
+        ..Default::default()
+    };
     for sharing in [
         NamespaceSharing::isolated(),
-        NamespaceSharing { ipc: true, pid: false, privileged: true },
-        NamespaceSharing { ipc: false, pid: true, privileged: true },
+        NamespaceSharing {
+            ipc: true,
+            pid: false,
+            privileged: true,
+        },
+        NamespaceSharing {
+            ipc: false,
+            pid: true,
+            privileged: true,
+        },
     ] {
         let spec = JobSpec::new(DeploymentScenario::containers(1, 2, 4, sharing));
         let r = graph500::run(&spec, cfg);

@@ -1,0 +1,62 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Element-count bounds for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { lo: r.start, hi: r.end }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a sampled length.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Vector of values drawn from `element`, with length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + rng.below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Strategy for fixed-size subsets of a slice of cloneable items.
+pub struct SubsetStrategy<T: Clone> {
+    items: Vec<T>,
+}
+
+/// Arbitrary subset (possibly empty) of `items`.
+pub fn subset<T: Clone>(items: Vec<T>) -> SubsetStrategy<T> {
+    SubsetStrategy { items }
+}
+
+impl<T: Clone> Strategy for SubsetStrategy<T> {
+    type Value = Vec<T>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+        self.items.iter().filter(|_| rng.next_u64() & 1 == 1).cloned().collect()
+    }
+}

@@ -1,0 +1,65 @@
+//! Deterministic RNG and per-test configuration.
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; this stand-in keeps virtual-time
+        // simulations affordable in CI while still sweeping a real sample.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Splitmix64-based RNG, seeded from the test's module path and case
+/// index so every run of every case is reproducible.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// RNG for one case of one named property.
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a over the name
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        let mut state = h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        // Warm the state so nearby (name, case) pairs decorrelate.
+        splitmix64(&mut state);
+        TestRng { state }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling range");
+        // Modulo bias is irrelevant at test-sampling fidelity.
+        self.next_u64() % bound
+    }
+}

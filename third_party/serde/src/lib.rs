@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations on configuration types; no code path serializes at
+//! runtime and the build environment cannot reach a crate registry. The
+//! traits here are markers with blanket impls so the derive annotations
+//! (which expand to nothing — see the `serde_derive` stand-in) type-check
+//! exactly as the real crate would for this workspace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}
