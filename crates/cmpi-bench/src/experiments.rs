@@ -6,7 +6,7 @@ use cmpi_cluster::{
     Channel, ContainerId, DeploymentScenario, FaultPlan, HostId, NamespaceSharing, SimTime,
     Tunables,
 };
-use cmpi_core::{CallClass, JobSpec, LocalityPolicy};
+use cmpi_core::{CallClass, CollAlgo, CollKind, JobSpec, JobStats, LocalityPolicy, ReduceOp};
 use cmpi_osu::collective::{self, CollOp};
 use cmpi_osu::{onesided, power_of_two_sizes, pt2pt};
 
@@ -737,38 +737,120 @@ pub fn ext_pgas(e: &Effort) -> Table {
     t
 }
 
-/// Ablation: flat vs two-level (SMP-aware) vs size-tuned collective
-/// algorithms on the cluster deployment.
+/// Ablation: flat vs two-level collective schedules through the
+/// [`cmpi_core::CollectiveSelector`].
+///
+/// Three configurations of the same cluster deployment:
+///
+/// * **default** — Hostname policy: the selector sees one group per
+///   container and degenerates to the flat algorithms;
+/// * **proposed** — ContainerDetector: multi-container-per-host groups,
+///   so the selector picks the two-level schedules;
+/// * **smp_off** — ContainerDetector with `MV2_USE_SMP_COLL=0`: the
+///   detector's routing stays, the two-level schedules are disabled.
+///
+/// The first seven rows compare per-collective latency (4 KiB payloads)
+/// and report which algorithm each configuration actually recorded; the
+/// remaining rows run Graph 500 and the NPB kernels end-to-end and check
+/// that the answers are bit-identical whichever schedule runs.
 pub fn ablation_smp_collectives(e: &Effort) -> Table {
     let mut t = Table::new(
-        "Ablation — collective algorithms (us), locality-aware library",
-        &[
-            "size",
-            "bcast",
-            "bcast-smp",
-            "bcast-tuned",
-            "allreduce",
-            "allreduce-smp",
-            "allreduce-tuned",
-        ],
+        "Ablation — flat vs two-level collectives through the selector",
+        &["row", "default", "proposed", "smp_off", "check"],
     );
-    let spec = JobSpec::new(DeploymentScenario::collective_256(e.hosts_div));
-    let sizes = [256usize, 4096, 65536, 262144];
-    let curves: Vec<Vec<_>> = [
-        CollOp::Bcast,
-        CollOp::BcastSmp,
-        CollOp::BcastTuned,
-        CollOp::Allreduce,
-        CollOp::AllreduceSmp,
-        CollOp::AllreduceTuned,
-    ]
-    .into_iter()
-    .map(|op| collective::latency(&spec, op, &sizes, 2))
-    .collect();
-    for (i, &size) in sizes.iter().enumerate() {
-        let mut row = vec![size.to_string()];
-        row.extend(curves.iter().map(|c| f2(c[i].value)));
-        t.row(row);
+    let def = || {
+        JobSpec::new(DeploymentScenario::collective_256(e.hosts_div))
+            .with_policy(LocalityPolicy::Hostname)
+    };
+    let opt = || {
+        JobSpec::new(DeploymentScenario::collective_256(e.hosts_div))
+            .with_policy(LocalityPolicy::ContainerDetector)
+    };
+    let off = || opt().with_tunables(Tunables::default().with_smp_coll_enable(false));
+
+    // Which algorithm a configuration selects, observed from the recorded
+    // per-call statistics of a probe job running every collective once.
+    let probe = |spec: JobSpec| -> JobStats {
+        spec.run(|mpi| {
+            let n = mpi.size();
+            let mine = vec![mpi.rank() as u64; 512];
+            let mut buf = mine.clone();
+            mpi.bcast(&mut buf, 0);
+            mpi.reduce(&mine, ReduceOp::Sum, 0);
+            mpi.allreduce(&mine, ReduceOp::Sum);
+            mpi.gather(&mine, 0);
+            mpi.allgather(&mine);
+            mpi.alltoall(&vec![0u64; 512 * n], 512);
+            mpi.barrier();
+        })
+        .stats
+    };
+    let dominant = |stats: &JobStats, kind: CollKind| -> &'static str {
+        CollAlgo::ALL
+            .into_iter()
+            .max_by_key(|&a| stats.coll_selections(kind, a))
+            .map(|a| a.name())
+            .unwrap_or("-")
+    };
+    let (pd, po, pf) = (probe(def()), probe(opt()), probe(off()));
+
+    let kinds = [
+        (CollKind::Barrier, CollOp::Barrier),
+        (CollKind::Bcast, CollOp::Bcast),
+        (CollKind::Reduce, CollOp::Reduce),
+        (CollKind::Allreduce, CollOp::Allreduce),
+        (CollKind::Gather, CollOp::Gather),
+        (CollKind::Allgather, CollOp::Allgather),
+        (CollKind::Alltoall, CollOp::Alltoall),
+    ];
+    for (kind, op) in kinds {
+        let lat = |spec: &JobSpec| f2(collective::latency(spec, op, &[4096], 2)[0].value);
+        t.row(vec![
+            op.name().into(),
+            lat(&def()),
+            lat(&opt()),
+            lat(&off()),
+            format!(
+                "{}/{}/{}",
+                dominant(&pd, kind),
+                dominant(&po, kind),
+                dominant(&pf, kind)
+            ),
+        ]);
+    }
+
+    // End-to-end identity: the BFS traversal counts and the NPB
+    // verifications must not depend on which schedule ran.
+    let mut cfg = e.graph_cfg();
+    cfg.validate = false;
+    let edges = |spec: &JobSpec| graph500::run(spec, cfg).traversed_edges;
+    let (gd, go, gf) = (edges(&def()), edges(&opt()), edges(&off()));
+    let identical = gd == go && go == gf;
+    t.row(vec![
+        "Graph500 edges".into(),
+        gd.iter().sum::<u64>().to_string(),
+        go.iter().sum::<u64>().to_string(),
+        gf.iter().sum::<u64>().to_string(),
+        if identical {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
+        .into(),
+    ]);
+    for k in Kernel::ALL {
+        let run = |spec: &JobSpec| {
+            let r = npb::run(spec, k, e.npb_class);
+            (r.verified, ms(r.elapsed))
+        };
+        let ((vd, td), (vo, to), (vf, tf)) = (run(&def()), run(&opt()), run(&off()));
+        t.row(vec![
+            format!("NPB {}", k.name()),
+            td,
+            to,
+            tf,
+            if vd && vo && vf { "verified" } else { "FAILED" }.into(),
+        ]);
     }
     t
 }
@@ -844,5 +926,27 @@ mod tests {
         let full = t.cell_f64(0, "1KiB");
         let isolated = t.cell_f64(3, "1KiB");
         assert!(isolated > 2.0 * full, "isolated {isolated} vs full {full}");
+    }
+
+    #[test]
+    fn ablation_collectives_flat_vs_two_level() {
+        let t = ablation_smp_collectives(&tiny());
+        // The per-collective rows: the default policy and the smp-off
+        // configuration stay flat, the detector picks two-level.
+        for row in 0..7 {
+            assert_eq!(
+                t.cell(row, "check"),
+                "flat/two-level/flat",
+                "row {row} ({})",
+                t.cell(row, "row")
+            );
+        }
+        // End-to-end: same BFS answer and verified NPB kernels whichever
+        // schedule ran.
+        assert_eq!(t.cell(7, "check"), "bit-identical");
+        assert_eq!(t.cell(7, "proposed"), t.cell(7, "smp_off"));
+        for row in 8..t.rows.len() {
+            assert_eq!(t.cell(row, "check"), "verified", "{}", t.cell(row, "row"));
+        }
     }
 }

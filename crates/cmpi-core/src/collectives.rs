@@ -8,19 +8,27 @@
 //! Section V-C reports: the intra-host fraction of the traffic moves from
 //! the HCA loopback to SHM/CMA.
 //!
-//! The module also provides *two-level* (SMP-aware) variants
-//! ([`Mpi::bcast_smp`], [`Mpi::allreduce_smp`]) that explicitly stage
-//! through per-host leaders — the natural follow-on design once locality
-//! information exists; benchmarked as an ablation.
+//! On top of the flat defaults the module provides a *two-level*
+//! (SMP-aware) family — [`Mpi::bcast_smp`], [`Mpi::allreduce_smp`],
+//! [`Mpi::reduce_smp`], [`Mpi::gather_smp`], [`Mpi::allgather_smp`],
+//! [`Mpi::barrier_smp`], [`Mpi::alltoall_smp`] — that stages through
+//! per-group leaders (host-local fan-in, inter-leader exchange,
+//! host-local fan-out). The public entry points route through the
+//! [`crate::coll_select::CollectiveSelector`], so `ContainerDetector`
+//! jobs pick up hierarchical scheduling automatically while the
+//! `Hostname` ("Default") policy degenerates to the flat paths.
 
 use bytes::{BufMut, Bytes, BytesMut};
 
-use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, ReduceOp, Reducible};
+use crate::coll_select::{coll_trace_name, CollAlgo, CollKind};
+use crate::datatype::{from_bytes, reduce_into, to_bytes, zeroed, MpiData, ReduceOp, Reducible};
+use crate::error::MpiError;
+use crate::locality::LocalityPolicy;
 use crate::pt2pt::CTX_COLL;
-use crate::runtime::Mpi;
+use crate::runtime::{JobState, Mpi};
 use crate::stats::CallClass;
 
-/// Collective op ids baked into internal tags (high byte).
+/// Collective op ids baked into internal tags (high bits).
 mod op {
     pub const BARRIER: u32 = 1;
     pub const BCAST: u32 = 2;
@@ -31,13 +39,51 @@ mod op {
     pub const ALLGATHER: u32 = 7;
     pub const ALLTOALL: u32 = 8;
     pub const ALLTOALLV: u32 = 9;
+    // Two-level bcast/allreduce phases (the ids the original SMP variants
+    // shipped with; kept stable so traces stay comparable).
     pub const SMP_PHASE0: u32 = 10;
     pub const SMP_PHASE1: u32 = 11;
     pub const SMP_PHASE2: u32 = 12;
+    /// Root→leader shuttle for rooted two-level ops whose root is not its
+    /// group's leader.
+    pub const SMP_SHUTTLE: u32 = 15;
+    pub const SMP_REDUCE0: u32 = 16;
+    pub const SMP_REDUCE1: u32 = 17;
+    pub const SMP_REDUCE2: u32 = 18;
+    pub const SMP_GATHER0: u32 = 20;
+    pub const SMP_GATHER1: u32 = 21;
+    pub const SMP_GATHER2: u32 = 22;
+    pub const SMP_AG0: u32 = 24;
+    pub const SMP_AG1: u32 = 25;
+    pub const SMP_AG2: u32 = 26;
+    pub const SMP_AG3: u32 = 27;
+    pub const SMP_BAR0: u32 = 28;
+    pub const SMP_BAR1: u32 = 29;
+    pub const SMP_BAR2: u32 = 30;
+    pub const SMP_A2A0: u32 = 32;
+    pub const SMP_A2A1: u32 = 33;
+    pub const SMP_A2A2: u32 = 34;
+    pub const SMP_A2A3: u32 = 35;
 }
 
-fn tag(op_id: u32, round: u32) -> u32 {
-    (op_id << 20) | round
+/// Width of the round field in an internal collective tag.
+const TAG_ROUND_BITS: u32 = 20;
+
+/// Pack a collective op id and round counter into one internal tag.
+///
+/// The round occupies the low [`TAG_ROUND_BITS`] bits; it is masked (and
+/// bound-checked in debug builds) so an overflowing round can never
+/// silently corrupt the op id and cross-match a different collective.
+pub(crate) fn tag(op_id: u32, round: u32) -> u32 {
+    debug_assert!(
+        op_id < (1 << (32 - TAG_ROUND_BITS)),
+        "collective op id {op_id} does not fit the tag"
+    );
+    debug_assert!(
+        round < (1 << TAG_ROUND_BITS),
+        "collective round {round} overflows the tag's round field"
+    );
+    (op_id << TAG_ROUND_BITS) | (round & ((1 << TAG_ROUND_BITS) - 1))
 }
 
 /// Serialize `(rank, payload)` pairs for tree bundles.
@@ -51,18 +97,93 @@ fn bundle(parts: &[(usize, Bytes)]) -> Bytes {
     out.freeze()
 }
 
-/// Inverse of [`bundle`].
-fn unbundle(data: &Bytes) -> Vec<(usize, Bytes)> {
+/// Inverse of [`bundle`], length-checked: a truncated or odd-length
+/// bundle surfaces as [`MpiError::CorruptBundle`] instead of a slice
+/// panic, so a torn frame is diagnosable.
+fn unbundle(data: &Bytes) -> Result<Vec<(usize, Bytes)>, MpiError> {
     let mut parts = Vec::new();
     let mut off = 0usize;
     while off < data.len() {
+        if data.len() - off < 8 {
+            return Err(MpiError::CorruptBundle {
+                offset: off,
+                len: data.len(),
+            });
+        }
         let rank = u32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as usize;
         let len = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap()) as usize;
         off += 8;
+        if data.len() - off < len {
+            return Err(MpiError::CorruptBundle {
+                offset: off,
+                len: data.len(),
+            });
+        }
         parts.push((rank, data.slice(off..off + len)));
         off += len;
     }
-    parts
+    Ok(parts)
+}
+
+/// [`unbundle`] for payloads that must be intact (tree-internal frames the
+/// library itself produced); panics with the structured diagnostic.
+fn unbundle_ok(data: &Bytes, what: &str) -> Vec<(usize, Bytes)> {
+    unbundle(data).unwrap_or_else(|e| panic!("{what}: {e}"))
+}
+
+/// The locality groups `state.policy` induces over all `n` ranks: each
+/// group sorted, groups ordered by smallest member. A pure function of
+/// job-wide state, so every rank computes the same partition.
+pub(crate) fn policy_groups_of(state: &JobState, n: usize) -> Vec<Vec<usize>> {
+    let mut keyed: Vec<(String, usize)> = (0..n)
+        .map(|r| {
+            let loc = state.placement.loc(r);
+            let cont = state.cluster.container(loc.container);
+            let key = match state.policy {
+                LocalityPolicy::Hostname => format!("h:{}:{}", loc.host, cont.hostname),
+                _ => format!("d:{}:{}", loc.host, cont.ipc_ns.0),
+            };
+            (key, r)
+        })
+        .collect();
+    keyed.sort();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut cur_key: Option<String> = None;
+    for (k, r) in keyed {
+        if cur_key.as_deref() == Some(k.as_str()) {
+            groups.last_mut().unwrap().push(r);
+        } else {
+            cur_key = Some(k);
+            groups.push(vec![r]);
+        }
+    }
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups.sort_by_key(|g| g[0]);
+    groups
+}
+
+/// The leader topology one two-level collective call operates on.
+///
+/// Leaders are *always* each group's smallest rank — one rule for every
+/// phase of every collective, so two phases of one call can never
+/// disagree about who the leader is. Rooted collectives whose root is not
+/// its group's leader shuttle the payload between the two explicitly.
+struct SmpTopo {
+    groups: Vec<Vec<usize>>,
+    my_group: Vec<usize>,
+    leaders: Vec<usize>,
+    my_leader: usize,
+}
+
+impl SmpTopo {
+    fn leader_of(&self, rank: usize) -> usize {
+        self.groups
+            .iter()
+            .find(|g| g.contains(&rank))
+            .expect("rank in no group")[0]
+    }
 }
 
 impl Mpi {
@@ -201,7 +322,7 @@ impl Mpi {
                 if peer_rel < n {
                     let peer = list[(peer_rel + root_pos) % n];
                     let bytes = self.coll_recv(peer, tag(op_id, 0), ctx);
-                    let mut tmp = vec![acc[0]; acc.len()];
+                    let mut tmp = zeroed(acc.len());
                     from_bytes(&bytes, &mut tmp);
                     reduce_into(rop, &mut acc, &tmp);
                 }
@@ -249,7 +370,7 @@ impl Mpi {
                 None
             };
             let bytes = self.bcast_inner_ctx(seed, list, 0, op_id + 1, ctx);
-            let mut out = vec![data[0]; data.len()];
+            let mut out = zeroed(data.len());
             from_bytes(&bytes, &mut out);
             return out;
         }
@@ -263,7 +384,7 @@ impl Mpi {
         while mask < n {
             let peer = list[me ^ mask];
             let bytes = self.coll_sendrecv(to_bytes(&acc), peer, peer, tag(op_id, round), ctx);
-            let mut tmp = vec![acc[0]; acc.len()];
+            let mut tmp = zeroed(acc.len());
             from_bytes(&bytes, &mut tmp);
             reduce_into(rop, &mut acc, &tmp);
             mask <<= 1;
@@ -307,7 +428,7 @@ impl Mpi {
                 if src_rel < n {
                     let src = list[(src_rel + root_pos) % n];
                     let b = self.coll_recv(src, tag(op_id, 0), ctx);
-                    parts.extend(unbundle(&b));
+                    parts.extend(unbundle_ok(&b, "gather subtree bundle"));
                 }
             } else {
                 let dst_rel = relative ^ mask;
@@ -326,25 +447,45 @@ impl Mpi {
     /// Synchronize all ranks (`MPI_Barrier`).
     pub fn barrier(&mut self) {
         let t0 = self.enter();
-        let list: Vec<usize> = (0..self.n).collect();
-        self.barrier_inner(&list, op::BARRIER);
-        self.exit(CallClass::Collective, t0);
+        let algo = self.coll.select(CollKind::Barrier, 0);
+        self.stats.record_coll(CollKind::Barrier, algo);
+        if algo == CollAlgo::TwoLevel {
+            self.barrier_smp_inner();
+        } else {
+            let list: Vec<usize> = (0..self.n).collect();
+            self.barrier_inner(&list, op::BARRIER);
+        }
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Barrier, algo),
+        );
     }
 
     /// Broadcast `buf` from `root` to every rank (`MPI_Bcast`).
     pub fn bcast<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
         let t0 = self.enter();
-        let list: Vec<usize> = (0..self.n).collect();
-        let seed = if self.rank == root {
-            Some(to_bytes(buf))
-        } else {
-            None
-        };
-        let out = self.bcast_inner(seed, &list, root, op::BCAST);
-        if self.rank != root {
-            from_bytes(&out, buf);
+        let algo = self
+            .coll
+            .select(CollKind::Bcast, std::mem::size_of_val(buf));
+        self.stats.record_coll(CollKind::Bcast, algo);
+        match algo {
+            CollAlgo::TwoLevel => self.bcast_smp_inner(buf, root),
+            CollAlgo::Large => self.bcast_scatter_allgather_inner(buf, root),
+            CollAlgo::Flat => {
+                let list: Vec<usize> = (0..self.n).collect();
+                let seed = (self.rank == root).then(|| to_bytes(buf));
+                let out = self.bcast_inner(seed, &list, root, op::BCAST);
+                if self.rank != root {
+                    from_bytes(&out, buf);
+                }
+            }
         }
-        self.exit(CallClass::Collective, t0);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Bcast, algo),
+        );
     }
 
     /// Reduce elementwise to `root` (`MPI_Reduce`). Returns `Some(result)`
@@ -356,18 +497,44 @@ impl Mpi {
         root: usize,
     ) -> Option<Vec<T>> {
         let t0 = self.enter();
-        let list: Vec<usize> = (0..self.n).collect();
-        let acc = self.reduce_inner(data, rop, &list, root, op::REDUCE);
-        self.exit(CallClass::Collective, t0);
+        let algo = self
+            .coll
+            .select(CollKind::Reduce, std::mem::size_of_val(data));
+        self.stats.record_coll(CollKind::Reduce, algo);
+        let acc = if algo == CollAlgo::TwoLevel {
+            self.reduce_smp_inner(data, rop, root)
+        } else {
+            let list: Vec<usize> = (0..self.n).collect();
+            self.reduce_inner(data, rop, &list, root, op::REDUCE)
+        };
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Reduce, algo),
+        );
         (self.rank == root).then_some(acc)
     }
 
     /// Elementwise reduction visible on every rank (`MPI_Allreduce`).
     pub fn allreduce<T: Reducible>(&mut self, data: &[T], rop: ReduceOp) -> Vec<T> {
         let t0 = self.enter();
-        let list: Vec<usize> = (0..self.n).collect();
-        let out = self.allreduce_inner(data, rop, &list, op::ALLREDUCE);
-        self.exit(CallClass::Collective, t0);
+        let algo = self
+            .coll
+            .select(CollKind::Allreduce, std::mem::size_of_val(data));
+        self.stats.record_coll(CollKind::Allreduce, algo);
+        let out = match algo {
+            CollAlgo::TwoLevel => self.allreduce_smp_inner(data, rop),
+            CollAlgo::Large => self.allreduce_rabenseifner_inner(data, rop),
+            CollAlgo::Flat => {
+                let list: Vec<usize> = (0..self.n).collect();
+                self.allreduce_inner(data, rop, &list, op::ALLREDUCE)
+            }
+        };
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Allreduce, algo),
+        );
         out
     }
 
@@ -375,18 +542,31 @@ impl Mpi {
     /// the rank-ordered concatenation at the root.
     pub fn gather<T: MpiData>(&mut self, data: &[T], root: usize) -> Option<Vec<T>> {
         let t0 = self.enter();
-        let list: Vec<usize> = (0..self.n).collect();
-        let parts = self.gather_inner(to_bytes(data), &list, root, op::GATHER);
-        let out = if self.rank == root {
-            let mut all = vec![data[0]; data.len() * self.n];
-            for (r, b) in parts {
-                from_bytes(&b, &mut all[r * data.len()..(r + 1) * data.len()]);
-            }
-            Some(all)
+        let algo = self
+            .coll
+            .select(CollKind::Gather, std::mem::size_of_val(data));
+        self.stats.record_coll(CollKind::Gather, algo);
+        let out = if algo == CollAlgo::TwoLevel {
+            let all = self.gather_smp_inner(data, root);
+            (self.rank == root).then_some(all)
         } else {
-            None
+            let list: Vec<usize> = (0..self.n).collect();
+            let parts = self.gather_inner(to_bytes(data), &list, root, op::GATHER);
+            if self.rank == root {
+                let mut all = zeroed(data.len() * self.n);
+                for (r, b) in parts {
+                    from_bytes(&b, &mut all[r * data.len()..(r + 1) * data.len()]);
+                }
+                Some(all)
+            } else {
+                None
+            }
         };
-        self.exit(CallClass::Collective, t0);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Gather, algo),
+        );
         out
     }
 
@@ -423,7 +603,7 @@ impl Mpi {
                 if relative & mask != 0 {
                     let parent = ((relative ^ mask) + root) % n;
                     let b = self.coll_recv(parent, tag(op::SCATTER, 0), CTX_COLL);
-                    for (rel, part) in unbundle(&b) {
+                    for (rel, part) in unbundle_ok(&b, "scatter subtree bundle") {
                         if rel == relative {
                             mine = Some(part);
                         } else {
@@ -444,13 +624,12 @@ impl Mpi {
             }
             mask <<= 1;
         }
-        // `mask` is now above my subtree span; walk down.
-        let mut m = mask >> 1;
-        // For the root, span the whole tree.
+        // `mask` is now above my subtree span; walk down. The root's span
+        // is the whole tree.
         let mut m_cur = if relative == 0 {
             n.next_power_of_two() >> 1
         } else {
-            m
+            mask >> 1
         };
         while m_cur > 0 {
             if relative + m_cur < n {
@@ -467,22 +646,39 @@ impl Mpi {
             }
             m_cur >>= 1;
         }
-        m = 0;
-        let _ = m;
         let bytes = mine.expect("scatter block never arrived");
-        let mut out = vec![T::read_le(&vec![0u8; T::SIZE]); block];
+        let mut out = zeroed(block);
         from_bytes(&bytes, &mut out);
         self.exit(CallClass::Collective, t0);
         out
     }
 
-    /// All-to-all gather of equal contributions (`MPI_Allgather`), ring
-    /// algorithm. Returns the rank-ordered concatenation.
+    /// All-to-all gather of equal contributions (`MPI_Allgather`). Returns
+    /// the rank-ordered concatenation.
     pub fn allgather<T: MpiData>(&mut self, data: &[T]) -> Vec<T> {
         let t0 = self.enter();
+        let algo = self
+            .coll
+            .select(CollKind::Allgather, std::mem::size_of_val(data));
+        self.stats.record_coll(CollKind::Allgather, algo);
+        let all = if algo == CollAlgo::TwoLevel {
+            self.allgather_smp_inner(data)
+        } else {
+            self.allgather_flat_inner(data)
+        };
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Allgather, algo),
+        );
+        all
+    }
+
+    /// Ring allgather over the world.
+    fn allgather_flat_inner<T: MpiData>(&mut self, data: &[T]) -> Vec<T> {
         let n = self.n;
         let block = data.len();
-        let mut all = vec![data[0]; block * n];
+        let mut all = zeroed(block * n);
         all[self.rank * block..(self.rank + 1) * block].copy_from_slice(data);
         if n > 1 {
             let right = (self.rank + 1) % n;
@@ -501,22 +697,37 @@ impl Mpi {
                 from_bytes(&got, &mut all[recv_block * block..(recv_block + 1) * block]);
             }
         }
-        self.exit(CallClass::Collective, t0);
         all
     }
 
-    /// Personalized all-to-all exchange (`MPI_Alltoall`), pairwise
-    /// algorithm. `data` holds one `block`-element slab per destination;
-    /// returns one slab per source.
+    /// Personalized all-to-all exchange (`MPI_Alltoall`). `data` holds one
+    /// `block`-element slab per destination; returns one slab per source.
     pub fn alltoall<T: MpiData>(&mut self, data: &[T], block: usize) -> Vec<T> {
         let t0 = self.enter();
-        let n = self.n;
         assert_eq!(
             data.len(),
-            block * n,
+            block * self.n,
             "alltoall data must be n * block elements"
         );
-        let mut out = vec![data[0]; block * n];
+        let algo = self.coll.select(CollKind::Alltoall, block * T::SIZE);
+        self.stats.record_coll(CollKind::Alltoall, algo);
+        let out = if algo == CollAlgo::TwoLevel {
+            self.alltoall_smp_inner(data, block)
+        } else {
+            self.alltoall_flat_inner(data, block)
+        };
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Alltoall, algo),
+        );
+        out
+    }
+
+    /// Pairwise alltoall over the world.
+    fn alltoall_flat_inner<T: MpiData>(&mut self, data: &[T], block: usize) -> Vec<T> {
+        let n = self.n;
+        let mut out = zeroed(block * n);
         out[self.rank * block..(self.rank + 1) * block]
             .copy_from_slice(&data[self.rank * block..(self.rank + 1) * block]);
         for step in 1..n {
@@ -527,7 +738,6 @@ impl Mpi {
                 self.coll_sendrecv(payload, dst, src, tag(op::ALLTOALL, step as u32), CTX_COLL);
             from_bytes(&got, &mut out[src * block..(src + 1) * block]);
         }
-        self.exit(CallClass::Collective, t0);
         out
     }
 
@@ -566,107 +776,424 @@ impl Mpi {
     /// groups ordered by smallest member). All ranks compute the same
     /// partition.
     pub fn policy_groups(&self) -> Vec<Vec<usize>> {
-        use crate::locality::LocalityPolicy;
-        let mut keyed: Vec<(String, usize)> = (0..self.n)
-            .map(|r| {
-                let loc = self.state.placement.loc(r);
-                let cont = self.state.cluster.container(loc.container);
-                let key = match self.state.policy {
-                    LocalityPolicy::Hostname => format!("h:{}:{}", loc.host, cont.hostname),
-                    _ => format!("d:{}:{}", loc.host, cont.ipc_ns.0),
-                };
-                (key, r)
-            })
-            .collect();
-        keyed.sort();
-        let mut groups: Vec<Vec<usize>> = Vec::new();
-        let mut cur_key: Option<String> = None;
-        for (k, r) in keyed {
-            if cur_key.as_deref() == Some(k.as_str()) {
-                groups.last_mut().unwrap().push(r);
-            } else {
-                cur_key = Some(k);
-                groups.push(vec![r]);
-            }
-        }
-        for g in &mut groups {
-            g.sort_unstable();
-        }
-        groups.sort_by_key(|g| g[0]);
-        groups
+        self.coll_groups.clone()
     }
 
-    /// Two-level broadcast: root → per-host leaders → host-local ranks.
-    pub fn bcast_smp<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
-        let t0 = self.enter();
-        let groups = self.policy_groups();
-        let my_group = groups
-            .iter()
-            .find(|g| g.contains(&self.rank))
-            .expect("rank in no group")
-            .clone();
-        // Leaders: the root represents its own group; other groups use
-        // their smallest rank.
-        let leaders: Vec<usize> = groups
-            .iter()
-            .map(|g| if g.contains(&root) { root } else { g[0] })
-            .collect();
-        let my_leader = if my_group.contains(&root) {
-            root
-        } else {
-            my_group[0]
-        };
-        let mut payload = if self.rank == root {
-            Some(to_bytes(buf))
-        } else {
-            None
-        };
-        if self.rank == my_leader && leaders.len() > 1 {
-            let root_pos = leaders.iter().position(|&l| l == root).unwrap();
-            let out = self.bcast_inner(payload.take(), &leaders, root_pos, op::SMP_PHASE0);
-            payload = Some(out);
-        }
-        if my_group.len() > 1 {
-            let root_pos = my_group.iter().position(|&l| l == my_leader).unwrap();
-            let out = self.bcast_inner(payload.take(), &my_group, root_pos, op::SMP_PHASE1);
-            payload = Some(out);
-        }
-        if self.rank != root {
-            from_bytes(&payload.expect("bcast payload missing"), buf);
-        }
-        self.exit(CallClass::Collective, t0);
-    }
-
-    /// Two-level allreduce: host-local reduce to the leader, inter-leader
-    /// allreduce, host-local broadcast.
-    pub fn allreduce_smp<T: Reducible>(&mut self, data: &[T], rop: ReduceOp) -> Vec<T> {
-        let t0 = self.enter();
-        let groups = self.policy_groups();
+    /// Snapshot the leader topology for one two-level call.
+    fn smp_topology(&self) -> SmpTopo {
+        let groups = self.coll_groups.clone();
         let my_group = groups
             .iter()
             .find(|g| g.contains(&self.rank))
             .expect("rank in no group")
             .clone();
         let leaders: Vec<usize> = groups.iter().map(|g| g[0]).collect();
-        let mut acc = if my_group.len() > 1 {
-            self.reduce_inner(data, rop, &my_group, 0, op::SMP_PHASE0)
+        let my_leader = my_group[0];
+        SmpTopo {
+            groups,
+            my_group,
+            leaders,
+            my_leader,
+        }
+    }
+
+    /// Two-level broadcast: root → its group's leader → inter-leader
+    /// binomial tree → host-local binomial trees.
+    pub fn bcast_smp<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
+        let t0 = self.enter();
+        self.bcast_smp_inner(buf, root);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Bcast, CollAlgo::TwoLevel),
+        );
+    }
+
+    fn bcast_smp_inner<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
+        let topo = self.smp_topology();
+        let root_leader = topo.leader_of(root);
+        let mut payload: Option<Bytes> = (self.rank == root).then(|| to_bytes(buf));
+        // Phase 0: shuttle to the root's group leader when the root is
+        // not a leader itself.
+        if root != root_leader {
+            if self.rank == root {
+                let b = payload.clone().expect("root payload missing");
+                self.coll_send(b, root_leader, tag(op::SMP_SHUTTLE, 0), CTX_COLL);
+            } else if self.rank == root_leader {
+                payload = Some(self.coll_recv(root, tag(op::SMP_SHUTTLE, 0), CTX_COLL));
+            }
+        }
+        // Phase 1: inter-leader broadcast.
+        if self.rank == topo.my_leader && topo.leaders.len() > 1 {
+            let root_pos = topo
+                .leaders
+                .iter()
+                .position(|&l| l == root_leader)
+                .expect("root leader not in leader list");
+            let out = self.bcast_inner(payload.take(), &topo.leaders, root_pos, op::SMP_PHASE0);
+            payload = Some(out);
+        }
+        // Phase 2: host-local broadcast from the leader.
+        if topo.my_group.len() > 1 {
+            let root_pos = topo
+                .my_group
+                .iter()
+                .position(|&l| l == topo.my_leader)
+                .expect("leader not in its group");
+            let out = self.bcast_inner(payload.take(), &topo.my_group, root_pos, op::SMP_PHASE1);
+            payload = Some(out);
+        }
+        if self.rank != root {
+            from_bytes(&payload.expect("bcast payload missing"), buf);
+        }
+    }
+
+    /// Two-level allreduce: host-local reduce to the leader, inter-leader
+    /// allreduce, host-local broadcast.
+    pub fn allreduce_smp<T: Reducible>(&mut self, data: &[T], rop: ReduceOp) -> Vec<T> {
+        let t0 = self.enter();
+        let out = self.allreduce_smp_inner(data, rop);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Allreduce, CollAlgo::TwoLevel),
+        );
+        out
+    }
+
+    fn allreduce_smp_inner<T: Reducible>(&mut self, data: &[T], rop: ReduceOp) -> Vec<T> {
+        let topo = self.smp_topology();
+        let mut acc = if topo.my_group.len() > 1 {
+            self.reduce_inner(data, rop, &topo.my_group, 0, op::SMP_PHASE0)
         } else {
             data.to_vec()
         };
-        if self.rank == my_group[0] && leaders.len() > 1 {
-            acc = self.allreduce_inner(&acc, rop, &leaders, op::SMP_PHASE1);
+        if self.rank == topo.my_leader && topo.leaders.len() > 1 {
+            acc = self.allreduce_inner(&acc, rop, &topo.leaders, op::SMP_PHASE1);
         }
-        if my_group.len() > 1 {
-            let seed = if self.rank == my_group[0] {
-                Some(to_bytes(&acc))
-            } else {
-                None
-            };
-            let out = self.bcast_inner(seed, &my_group, 0, op::SMP_PHASE2);
+        if topo.my_group.len() > 1 {
+            let seed = (self.rank == topo.my_leader).then(|| to_bytes(&acc));
+            let out = self.bcast_inner(seed, &topo.my_group, 0, op::SMP_PHASE2);
             from_bytes(&out, &mut acc);
         }
-        self.exit(CallClass::Collective, t0);
         acc
+    }
+
+    /// Two-level reduce: host-local reduce to the leader, inter-leader
+    /// reduce rooted at the root's leader, leader → root shuttle.
+    pub fn reduce_smp<T: Reducible>(
+        &mut self,
+        data: &[T],
+        rop: ReduceOp,
+        root: usize,
+    ) -> Option<Vec<T>> {
+        let t0 = self.enter();
+        let acc = self.reduce_smp_inner(data, rop, root);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Reduce, CollAlgo::TwoLevel),
+        );
+        (self.rank == root).then_some(acc)
+    }
+
+    fn reduce_smp_inner<T: Reducible>(&mut self, data: &[T], rop: ReduceOp, root: usize) -> Vec<T> {
+        let topo = self.smp_topology();
+        let root_leader = topo.leader_of(root);
+        // Phase 0: host-local fan-in to the group leader.
+        let mut acc = if topo.my_group.len() > 1 {
+            self.reduce_inner(data, rop, &topo.my_group, 0, op::SMP_REDUCE0)
+        } else {
+            data.to_vec()
+        };
+        // Phase 1: inter-leader reduce rooted at the root's leader.
+        if self.rank == topo.my_leader && topo.leaders.len() > 1 {
+            let root_pos = topo
+                .leaders
+                .iter()
+                .position(|&l| l == root_leader)
+                .expect("root leader not in leader list");
+            acc = self.reduce_inner(&acc, rop, &topo.leaders, root_pos, op::SMP_REDUCE1);
+        }
+        // Phase 2: shuttle to a non-leader root.
+        if root != root_leader {
+            if self.rank == root_leader {
+                self.coll_send(to_bytes(&acc), root, tag(op::SMP_REDUCE2, 0), CTX_COLL);
+            } else if self.rank == root {
+                let b = self.coll_recv(root_leader, tag(op::SMP_REDUCE2, 0), CTX_COLL);
+                acc = zeroed(data.len());
+                from_bytes(&b, &mut acc);
+            }
+        }
+        acc
+    }
+
+    /// Two-level gather: host-local gather to the leader, leaders gather
+    /// the per-group bundles to the root's leader, leader → root shuttle.
+    /// Returns the rank-ordered concatenation at the root.
+    pub fn gather_smp<T: MpiData>(&mut self, data: &[T], root: usize) -> Option<Vec<T>> {
+        let t0 = self.enter();
+        let all = self.gather_smp_inner(data, root);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Gather, CollAlgo::TwoLevel),
+        );
+        (self.rank == root).then_some(all)
+    }
+
+    fn gather_smp_inner<T: MpiData>(&mut self, data: &[T], root: usize) -> Vec<T> {
+        let topo = self.smp_topology();
+        let root_leader = topo.leader_of(root);
+        // Phase 0: host-local gather to the group leader.
+        let parts = self.gather_inner(to_bytes(data), &topo.my_group, 0, op::SMP_GATHER0);
+        // Phase 1: leaders gather their groups' bundles to the root's
+        // leader, which flattens them back to per-rank payloads.
+        let mut flat: Vec<(usize, Bytes)> = Vec::new();
+        if self.rank == topo.my_leader {
+            if topo.leaders.len() > 1 {
+                let root_pos = topo
+                    .leaders
+                    .iter()
+                    .position(|&l| l == root_leader)
+                    .expect("root leader not in leader list");
+                let nested =
+                    self.gather_inner(bundle(&parts), &topo.leaders, root_pos, op::SMP_GATHER1);
+                if self.rank == root_leader {
+                    for (_, group_bundle) in &nested {
+                        flat.extend(unbundle_ok(group_bundle, "gather-smp group bundle"));
+                    }
+                }
+            } else if self.rank == root_leader {
+                flat = parts;
+            }
+        }
+        // Phase 2: shuttle the flattened bundle to a non-leader root.
+        if root != root_leader {
+            if self.rank == root_leader {
+                self.coll_send(bundle(&flat), root, tag(op::SMP_GATHER2, 0), CTX_COLL);
+            } else if self.rank == root {
+                let b = self.coll_recv(root_leader, tag(op::SMP_GATHER2, 0), CTX_COLL);
+                flat = unbundle_ok(&b, "gather-smp root bundle");
+            }
+        }
+        if self.rank == root {
+            let mut all = zeroed(data.len() * self.n);
+            for (r, b) in flat {
+                from_bytes(&b, &mut all[r * data.len()..(r + 1) * data.len()]);
+            }
+            all
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Two-level allgather: host-local gather to the leaders, leaders
+    /// assemble and redistribute the world bundle, host-local broadcast.
+    /// Returns the rank-ordered concatenation on every rank.
+    pub fn allgather_smp<T: MpiData>(&mut self, data: &[T]) -> Vec<T> {
+        let t0 = self.enter();
+        let all = self.allgather_smp_inner(data);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Allgather, CollAlgo::TwoLevel),
+        );
+        all
+    }
+
+    fn allgather_smp_inner<T: MpiData>(&mut self, data: &[T]) -> Vec<T> {
+        let topo = self.smp_topology();
+        let block = data.len();
+        // Phase 0: host-local gather to the leader.
+        let parts = self.gather_inner(to_bytes(data), &topo.my_group, 0, op::SMP_AG0);
+        // Phases 1+2: leaders assemble the world bundle at the first
+        // leader and broadcast it back over the leader tree.
+        let mut world: Option<Bytes> = None;
+        if self.rank == topo.my_leader {
+            let mine = bundle(&parts);
+            if topo.leaders.len() > 1 {
+                let nested = self.gather_inner(mine, &topo.leaders, 0, op::SMP_AG1);
+                let seed = (self.rank == topo.leaders[0]).then(|| {
+                    let mut flat: Vec<(usize, Bytes)> = Vec::new();
+                    for (_, gb) in &nested {
+                        flat.extend(unbundle_ok(gb, "allgather-smp group bundle"));
+                    }
+                    flat.sort_by_key(|&(r, _)| r);
+                    bundle(&flat)
+                });
+                world = Some(self.bcast_inner(seed, &topo.leaders, 0, op::SMP_AG2));
+            } else {
+                world = Some(mine);
+            }
+        }
+        // Phase 3: host-local broadcast of the world bundle.
+        let world = if topo.my_group.len() > 1 {
+            self.bcast_inner(world, &topo.my_group, 0, op::SMP_AG3)
+        } else {
+            world.expect("allgather-smp world bundle missing")
+        };
+        let mut all = zeroed(block * self.n);
+        for (r, b) in unbundle_ok(&world, "allgather-smp world bundle") {
+            from_bytes(&b, &mut all[r * block..(r + 1) * block]);
+        }
+        all
+    }
+
+    /// Two-level barrier: host-local fan-in to the leaders, inter-leader
+    /// dissemination barrier, host-local fan-out.
+    pub fn barrier_smp(&mut self) {
+        let t0 = self.enter();
+        self.barrier_smp_inner();
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Barrier, CollAlgo::TwoLevel),
+        );
+    }
+
+    fn barrier_smp_inner(&mut self) {
+        let topo = self.smp_topology();
+        // Phase 0: host-local fan-in (empty-payload gather).
+        if topo.my_group.len() > 1 {
+            let _ = self.gather_inner(Bytes::new(), &topo.my_group, 0, op::SMP_BAR0);
+        }
+        // Phase 1: inter-leader dissemination barrier.
+        if self.rank == topo.my_leader && topo.leaders.len() > 1 {
+            self.barrier_inner(&topo.leaders, op::SMP_BAR1);
+        }
+        // Phase 2: host-local fan-out releases the group.
+        if topo.my_group.len() > 1 {
+            let seed = (self.rank == topo.my_leader).then(Bytes::new);
+            let _ = self.bcast_inner(seed, &topo.my_group, 0, op::SMP_BAR2);
+        }
+    }
+
+    /// Hierarchical alltoall: intra-group slabs exchange directly;
+    /// inter-group slabs are bundled through the leaders so only one
+    /// (aggregated) message crosses each group pair.
+    pub fn alltoall_smp<T: MpiData>(&mut self, data: &[T], block: usize) -> Vec<T> {
+        let t0 = self.enter();
+        assert_eq!(
+            data.len(),
+            block * self.n,
+            "alltoall data must be n * block elements"
+        );
+        let out = self.alltoall_smp_inner(data, block);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Alltoall, CollAlgo::TwoLevel),
+        );
+        out
+    }
+
+    fn alltoall_smp_inner<T: MpiData>(&mut self, data: &[T], block: usize) -> Vec<T> {
+        let topo = self.smp_topology();
+        let n = self.n;
+        let m = topo.my_group.len();
+        let my_pos = topo
+            .my_group
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank not in its group");
+        let mut out = zeroed(block * n);
+        out[self.rank * block..(self.rank + 1) * block]
+            .copy_from_slice(&data[self.rank * block..(self.rank + 1) * block]);
+        // Phase A: intra-group pairwise exchange (local channels).
+        for step in 1..m {
+            let dst = topo.my_group[(my_pos + step) % m];
+            let src = topo.my_group[(my_pos + m - step) % m];
+            let payload = to_bytes(&data[dst * block..(dst + 1) * block]);
+            let got =
+                self.coll_sendrecv(payload, dst, src, tag(op::SMP_A2A0, step as u32), CTX_COLL);
+            from_bytes(&got, &mut out[src * block..(src + 1) * block]);
+        }
+        let num_leaders = topo.leaders.len();
+        if num_leaders == 1 {
+            return out;
+        }
+        // Phase B: members hand their externally-destined slabs to the
+        // leader, keyed by destination rank.
+        let externals: Vec<(usize, Bytes)> = (0..n)
+            .filter(|d| !topo.my_group.contains(d))
+            .map(|d| (d, to_bytes(&data[d * block..(d + 1) * block])))
+            .collect();
+        if self.rank != topo.my_leader {
+            self.coll_send(
+                bundle(&externals),
+                topo.my_leader,
+                tag(op::SMP_A2A1, 0),
+                CTX_COLL,
+            );
+        }
+        let mut staged: Vec<(usize, usize, Bytes)> = Vec::new();
+        if self.rank == topo.my_leader {
+            staged.extend(externals.iter().map(|(d, b)| (self.rank, *d, b.clone())));
+            for &member in &topo.my_group {
+                if member == self.rank {
+                    continue;
+                }
+                let b = self.coll_recv(member, tag(op::SMP_A2A1, 0), CTX_COLL);
+                for (d, slab) in unbundle_ok(&b, "alltoall-smp member bundle") {
+                    staged.push((member, d, slab));
+                }
+            }
+            // Phase C: leaders exchange per-group aggregates pairwise,
+            // frames keyed by src*n+dst.
+            let my_lpos = topo
+                .leaders
+                .iter()
+                .position(|&l| l == self.rank)
+                .expect("leader not in leader list");
+            let mut incoming: Vec<(usize, usize, Bytes)> = Vec::new();
+            for step in 1..num_leaders {
+                let dst_leader = topo.leaders[(my_lpos + step) % num_leaders];
+                let src_leader = topo.leaders[(my_lpos + num_leaders - step) % num_leaders];
+                let dst_group = &topo.groups[topo
+                    .leaders
+                    .iter()
+                    .position(|&l| l == dst_leader)
+                    .expect("leader not in leader list")];
+                let frames: Vec<(usize, Bytes)> = staged
+                    .iter()
+                    .filter(|(_, d, _)| dst_group.contains(d))
+                    .map(|(s, d, b)| (s * n + d, b.clone()))
+                    .collect();
+                let got = self.coll_sendrecv(
+                    bundle(&frames),
+                    dst_leader,
+                    src_leader,
+                    tag(op::SMP_A2A2, step as u32),
+                    CTX_COLL,
+                );
+                for (key, slab) in unbundle_ok(&got, "alltoall-smp leader bundle") {
+                    incoming.push((key / n, key % n, slab));
+                }
+            }
+            // Phase D: distribute incoming slabs to the group, keyed by
+            // source rank.
+            for &member in &topo.my_group {
+                if member == self.rank {
+                    for (s, _, slab) in incoming.iter().filter(|(_, d, _)| *d == member) {
+                        from_bytes(slab, &mut out[s * block..(s + 1) * block]);
+                    }
+                } else {
+                    let frames: Vec<(usize, Bytes)> = incoming
+                        .iter()
+                        .filter(|(_, d, _)| *d == member)
+                        .map(|(s, _, b)| (*s, b.clone()))
+                        .collect();
+                    self.coll_send(bundle(&frames), member, tag(op::SMP_A2A3, 0), CTX_COLL);
+                }
+            }
+        } else {
+            let b = self.coll_recv(topo.my_leader, tag(op::SMP_A2A3, 0), CTX_COLL);
+            for (s, slab) in unbundle_ok(&b, "alltoall-smp distribution bundle") {
+                from_bytes(&slab, &mut out[s * block..(s + 1) * block]);
+            }
+        }
+        out
     }
 }
 
@@ -674,4 +1201,56 @@ impl Mpi {
 /// `n` (world-list variant).
 fn list_abs(rel: usize, root: usize, n: usize) -> usize {
     (rel + root) % n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_packs_op_and_round() {
+        assert_eq!(tag(op::BARRIER, 0), 1 << TAG_ROUND_BITS);
+        // The maximal round fits without touching the op id.
+        let max_round = (1 << TAG_ROUND_BITS) - 1;
+        assert_eq!(tag(3, max_round) >> TAG_ROUND_BITS, 3);
+        assert_eq!(tag(3, max_round) & max_round, max_round);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overflows the tag")]
+    fn tag_rejects_round_overflow() {
+        let _ = tag(op::BARRIER, 1 << TAG_ROUND_BITS);
+    }
+
+    #[test]
+    fn bundle_round_trips() {
+        let parts = vec![
+            (3usize, Bytes::from_static(b"abc")),
+            (7usize, Bytes::new()),
+            (0usize, Bytes::from_static(b"xy")),
+        ];
+        assert_eq!(unbundle(&bundle(&parts)).unwrap(), parts);
+        assert_eq!(unbundle(&Bytes::new()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn unbundle_rejects_torn_bundles() {
+        let whole = bundle(&[(1usize, Bytes::from_static(b"payload"))]);
+        // Truncated header: fewer than 8 framing bytes remain.
+        let torn = whole.slice(0..5);
+        assert!(matches!(
+            unbundle(&torn),
+            Err(MpiError::CorruptBundle { offset: 0, len: 5 })
+        ));
+        // Truncated payload: the frame promises more bytes than exist.
+        let torn = whole.slice(0..whole.len() - 2);
+        let err = unbundle(&torn).unwrap_err();
+        assert!(matches!(err, MpiError::CorruptBundle { offset: 8, .. }));
+        assert!(err.to_string().contains("overruns"));
+        // Odd trailing garbage after a valid frame.
+        let mut garbled = whole.to_vec();
+        garbled.extend_from_slice(&[0xff; 3]);
+        assert!(unbundle(&Bytes::from(garbled)).is_err());
+    }
 }

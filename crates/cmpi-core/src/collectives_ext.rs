@@ -8,7 +8,8 @@
 
 use bytes::Bytes;
 
-use crate::datatype::{from_bytes, reduce_into, to_bytes, ReduceOp, Reducible};
+use crate::collectives::tag;
+use crate::datatype::{from_bytes, reduce_into, to_bytes, zeroed, ReduceOp, Reducible};
 use crate::pt2pt::CTX_COLL;
 use crate::runtime::Mpi;
 use crate::stats::CallClass;
@@ -19,10 +20,6 @@ mod xop {
     pub const RSCAT: u32 = 42;
     pub const GATHERV: u32 = 44;
     pub const ALLGATHERV: u32 = 45;
-}
-
-fn tag(op_id: u32, round: u32) -> u32 {
-    (op_id << 20) | round
 }
 
 impl Mpi {
@@ -53,7 +50,7 @@ impl Mpi {
                 let rid =
                     self.irecv_inner(Some(rank - mask), Some(tag(xop::SCAN, round)), CTX_COLL);
                 let bytes = self.wait_recv_inner(rid).0;
-                let mut lower = vec![data[0]; data.len()];
+                let mut lower = zeroed(data.len());
                 from_bytes(&bytes, &mut lower);
                 // Prepend the lower window (order preserved for
                 // non-commutative thinking, though our ops are
@@ -99,7 +96,7 @@ impl Mpi {
                 let rid =
                     self.irecv_inner(Some(rank - mask), Some(tag(xop::EXSCAN, round)), CTX_COLL);
                 let bytes = self.wait_recv_inner(rid).0;
-                let mut lower = vec![data[0]; data.len()];
+                let mut lower = zeroed(data.len());
                 from_bytes(&bytes, &mut lower);
                 let mut new_partial = lower.clone();
                 reduce_into(rop, &mut new_partial, &partial);
@@ -144,7 +141,7 @@ impl Mpi {
         // Stage 1: binomial reduce to rank 0.
         let reduced = self.reduce_inner_ctx(data, rop, &list, 0, xop::RSCAT, CTX_COLL);
         // Stage 2: rank 0 scatters the blocks linearly.
-        let mut mine = vec![data[0]; block];
+        let mut mine = zeroed(block);
         if self.rank == 0 {
             mine.copy_from_slice(&reduced[..block]);
             let mut reqs = Vec::new();

@@ -13,24 +13,26 @@
 //!   bound.
 //!
 //! Both fall back to the latency-optimal algorithms for small messages or
-//! non-power-of-two groups (like MVAPICH2's tuning tables).
+//! non-power-of-two groups (like MVAPICH2's tuning tables). The main
+//! entry points (`Mpi::bcast`, `Mpi::allreduce`) reach these algorithms
+//! through the [`crate::coll_select::CollectiveSelector`] once the
+//! message crosses `MV2_COLL_LARGE_MSG`; the `*_tuned` wrappers keep the
+//! original fixed-threshold behaviour for the ablation benchmarks.
 
-use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, ReduceOp, Reducible};
+use crate::coll_select::{coll_trace_name, CollAlgo, CollKind};
+use crate::collectives::tag;
+use crate::datatype::{from_bytes, reduce_into, to_bytes, zeroed, MpiData, ReduceOp, Reducible};
 use crate::pt2pt::CTX_COLL;
 use crate::runtime::Mpi;
 use crate::stats::CallClass;
 
-/// Message size (bytes) above which the bandwidth-optimal algorithms are
-/// selected (MVAPICH2 switches in the tens of KiB).
+/// Message size (bytes) above which the `*_tuned` wrappers select the
+/// bandwidth-optimal algorithms (MVAPICH2 switches in the tens of KiB).
 pub const LARGE_COLL_THRESHOLD: usize = 32 * 1024;
 
 mod lop {
     pub const RABEN: u32 = 48;
     pub const SA_BCAST: u32 = 50;
-}
-
-fn tag(op_id: u32, round: u32) -> u32 {
-    (op_id << 20) | round
 }
 
 impl Mpi {
@@ -50,6 +52,20 @@ impl Mpi {
     /// recursive-doubling allgather. Requires a power-of-two rank count.
     pub fn allreduce_rabenseifner<T: Reducible>(&mut self, data: &[T], rop: ReduceOp) -> Vec<T> {
         let t0 = self.enter();
+        let out = self.allreduce_rabenseifner_inner(data, rop);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Allreduce, CollAlgo::Large),
+        );
+        out
+    }
+
+    pub(crate) fn allreduce_rabenseifner_inner<T: Reducible>(
+        &mut self,
+        data: &[T],
+        rop: ReduceOp,
+    ) -> Vec<T> {
         let n = self.n;
         assert!(
             n.is_power_of_two(),
@@ -61,7 +77,7 @@ impl Mpi {
         // the end, so their values are irrelevant.
         let chunk = data.len().div_ceil(n).max(1);
         let mut vec = data.to_vec();
-        vec.resize(chunk * n, data[0]);
+        vec.resize(chunk * n, zeroed::<T>(1)[0]);
 
         // Phase 1: reduce-scatter by recursive halving. `lo..hi` is the
         // chunk range this rank is still responsible for.
@@ -83,7 +99,7 @@ impl Mpi {
             let rid = self.irecv_inner(Some(partner), Some(tag(lop::RABEN, round)), CTX_COLL);
             let bytes = self.wait_recv_inner(rid).0;
             self.wait_send_inner(sid);
-            let mut incoming = vec![data[0]; (keep_hi - keep_lo) * chunk];
+            let mut incoming = zeroed((keep_hi - keep_lo) * chunk);
             from_bytes(&bytes, &mut incoming);
             reduce_into(rop, &mut vec[keep_lo * chunk..keep_hi * chunk], &incoming);
             lo = keep_lo;
@@ -108,14 +124,13 @@ impl Mpi {
             let rid = self.irecv_inner(Some(partner), Some(tag(lop::RABEN, round)), CTX_COLL);
             let bytes = self.wait_recv_inner(rid).0;
             self.wait_send_inner(sid);
-            let mut incoming = vec![data[0]; region * chunk];
+            let mut incoming = zeroed(region * chunk);
             from_bytes(&bytes, &mut incoming);
             vec[partner_lo * chunk..(partner_lo + region) * chunk].copy_from_slice(&incoming);
             mask <<= 1;
             round += 1;
         }
         vec.truncate(data.len());
-        self.exit(CallClass::Collective, t0);
         vec
     }
 
@@ -134,13 +149,22 @@ impl Mpi {
     /// allgather reassembles them everywhere.
     pub fn bcast_scatter_allgather<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
         let t0 = self.enter();
+        self.bcast_scatter_allgather_inner(buf, root);
+        self.exit_named(
+            CallClass::Collective,
+            t0,
+            coll_trace_name(CollKind::Bcast, CollAlgo::Large),
+        );
+    }
+
+    pub(crate) fn bcast_scatter_allgather_inner<T: MpiData>(&mut self, buf: &mut [T], root: usize) {
         let n = self.n;
         let rank = self.rank;
         let chunk = buf.len().div_ceil(n).max(1);
         // Scatter: root sends block i to rank (root + i) % n (linear; the
         // per-block size already amortizes the latency).
         let my_block_idx = (rank + n - root) % n;
-        let mut padded = vec![buf[0]; chunk * n];
+        let mut padded = zeroed(chunk * n);
         if rank == root {
             padded[..buf.len()].copy_from_slice(buf);
             let mut reqs = Vec::new();
@@ -188,6 +212,5 @@ impl Mpi {
             }
         }
         buf.copy_from_slice(&padded[..buf.len()]);
-        self.exit(CallClass::Collective, t0);
     }
 }

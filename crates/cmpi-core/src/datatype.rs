@@ -46,6 +46,17 @@ pub fn to_bytes<T: MpiData>(data: &[T]) -> Bytes {
     Bytes::from(out)
 }
 
+/// A zero-bit-pattern buffer of `len` elements.
+///
+/// Collectives use this to seed output buffers: unlike `vec![data[0]; len]`
+/// it is well-defined for zero-count inputs (MPI permits zero counts, and
+/// `data[0]` on an empty slice panics even when `len` is 0).
+pub fn zeroed<T: MpiData>(len: usize) -> Vec<T> {
+    let zero_bytes = vec![0u8; T::SIZE];
+    let zero = T::read_le(&zero_bytes);
+    vec![zero; len]
+}
+
 /// Deserialize bytes into a slice of elements.
 ///
 /// # Panics

@@ -49,6 +49,15 @@ pub enum MpiError {
         /// The downgraded peer's global rank.
         peer: usize,
     },
+    /// A tree-collective bundle failed structural validation: a frame
+    /// header or payload overran the buffer (truncated or odd-length
+    /// bundle).
+    CorruptBundle {
+        /// Byte offset at which decoding failed.
+        offset: usize,
+        /// Total bundle length in bytes.
+        len: usize,
+    },
     /// A bounded retry loop exhausted its attempts without recovering.
     RetriesExhausted {
         /// What was being retried (e.g. `"HCA send"`).
@@ -91,6 +100,13 @@ impl std::fmt::Display for MpiError {
                 write!(
                     f,
                     "peer {peer} downgraded from intra-host channels to the HCA"
+                )
+            }
+            MpiError::CorruptBundle { offset, len } => {
+                write!(
+                    f,
+                    "corrupt collective bundle: frame at byte {offset} overruns \
+                     the {len}-byte payload"
                 )
             }
             MpiError::RetriesExhausted { what, attempts } => {
@@ -143,6 +159,10 @@ mod tests {
             MpiError::CorruptList { host: 7 },
             MpiError::PeerUnpublished { peer: 11 },
             MpiError::ChannelDowngraded { peer: 5 },
+            MpiError::CorruptBundle {
+                offset: 12,
+                len: 15,
+            },
             MpiError::RetriesExhausted {
                 what: "HCA send",
                 attempts: 8,
@@ -162,6 +182,9 @@ mod tests {
                 MpiError::CorruptList { .. } => assert!(s.contains("corrupt")),
                 MpiError::PeerUnpublished { .. } => assert!(s.contains("never published")),
                 MpiError::ChannelDowngraded { .. } => assert!(s.contains("downgraded")),
+                MpiError::CorruptBundle { .. } => {
+                    assert!(s.contains("bundle") && s.contains("overruns"))
+                }
                 MpiError::RetriesExhausted { .. } => assert!(s.contains("exhausted")),
             }
         }

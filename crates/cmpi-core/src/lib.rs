@@ -48,6 +48,7 @@
 //! ```
 
 pub mod channel;
+pub mod coll_select;
 pub mod collectives;
 pub mod collectives_ext;
 pub mod collectives_large;
@@ -66,6 +67,7 @@ pub mod stats;
 pub mod trace;
 
 pub use channel::{ChannelSelector, Protocol, Route};
+pub use coll_select::{coll_trace_name, CollAlgo, CollKind, CollectiveSelector};
 pub use comm::Comm;
 pub use datatype::{MpiData, ReduceOp};
 pub use datatype_derived::Layout;

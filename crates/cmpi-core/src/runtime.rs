@@ -31,6 +31,7 @@ use cmpi_shmem::{AttachOutcome, ContainerList, PairQueue, ShmRegistry};
 use parking_lot::{Condvar, Mutex};
 
 use crate::channel::ChannelSelector;
+use crate::coll_select::CollectiveSelector;
 use crate::error::MpiError;
 use crate::locality::{LocalityPolicy, LocalityView};
 use crate::matching::{ArrivedBody, ArrivedMsg, MatchingEngine};
@@ -417,6 +418,12 @@ pub struct Mpi {
     pub(crate) now: SimTime,
     pub(crate) state: Arc<JobState>,
     pub(crate) selector: ChannelSelector,
+    /// Per-call collective algorithm selector (policy + tunables +
+    /// topology shape), fixed at init so every rank decides identically.
+    pub(crate) coll: CollectiveSelector,
+    /// The locality groups the policy induces, cached at init (used by
+    /// the two-level collectives and exposed via `policy_groups`).
+    pub(crate) coll_groups: Vec<Vec<usize>>,
     pub(crate) view: LocalityView,
     pub(crate) engine: MatchingEngine,
     pub(crate) stats: CommStats,
@@ -521,6 +528,8 @@ impl Mpi {
         );
         recovery.hca_downgrades = view.num_downgraded();
         let selector = ChannelSelector::new(state.policy, state.tunables);
+        let coll_groups = crate::collectives::policy_groups_of(&state, n);
+        let coll = CollectiveSelector::new(state.policy, state.tunables, &coll_groups, n);
         let stats = CommStats::with_recovery(recovery);
         Mpi {
             rank,
@@ -528,6 +537,8 @@ impl Mpi {
             now,
             state,
             selector,
+            coll,
+            coll_groups,
             view,
             engine: MatchingEngine::new(),
             stats,
@@ -567,6 +578,11 @@ impl Mpi {
         &self.selector
     }
 
+    /// The active collective algorithm selector.
+    pub fn coll_selector(&self) -> &CollectiveSelector {
+        &self.coll
+    }
+
     /// A snapshot of this rank's statistics so far.
     pub fn stats(&self) -> &CommStats {
         &self.stats
@@ -604,9 +620,15 @@ impl Mpi {
 
     /// Per-call exit: attribute elapsed virtual time to `class`.
     pub(crate) fn exit(&mut self, class: CallClass, t0: SimTime) {
+        self.exit_named(class, t0, class.name())
+    }
+
+    /// [`Mpi::exit`] with an explicit trace label (collectives record the
+    /// selected algorithm, e.g. `"bcast-smp"`, instead of the class name).
+    pub(crate) fn exit_named(&mut self, class: CallClass, t0: SimTime, name: &'static str) {
         self.stats.add_time(class, self.now - t0);
         if let Some(tr) = &mut self.trace {
-            tr.record(class, class.name(), t0, self.now);
+            tr.record(class, name, t0, self.now);
         }
     }
 

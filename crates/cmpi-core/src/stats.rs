@@ -8,6 +8,8 @@
 
 use cmpi_cluster::{Channel, SimTime};
 
+use crate::coll_select::{CollAlgo, CollKind};
+
 /// Per-channel operation and byte counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ChannelCounter {
@@ -108,6 +110,9 @@ impl RecoveryStats {
 pub struct CommStats {
     channels: [ChannelCounter; 3],
     times: [SimTime; 5],
+    /// Calls per (collective kind, selected algorithm) — the selector's
+    /// audit trail, indexed `[CollKind::index()][CollAlgo::index()]`.
+    coll: [[u64; 3]; 7],
     /// Degraded-mode recovery counters.
     pub recovery: RecoveryStats,
 }
@@ -141,6 +146,16 @@ impl CommStats {
         self.times[class.index()] += dt;
     }
 
+    /// Record which algorithm the collective selector picked for one call.
+    pub fn record_coll(&mut self, kind: CollKind, algo: CollAlgo) {
+        self.coll[kind.index()][algo.index()] += 1;
+    }
+
+    /// Number of `kind` calls that ran under `algo`.
+    pub fn coll_count(&self, kind: CollKind, algo: CollAlgo) -> u64 {
+        self.coll[kind.index()][algo.index()]
+    }
+
     /// Counter for one channel.
     pub fn channel(&self, c: Channel) -> ChannelCounter {
         self.channels[channel_index(c)]
@@ -168,6 +183,11 @@ impl CommStats {
         }
         for i in 0..5 {
             self.times[i] += other.times[i];
+        }
+        for (mine, theirs) in self.coll.iter_mut().zip(other.coll.iter()) {
+            for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                *m += t;
+            }
         }
         self.recovery.merge(&other.recovery);
     }
@@ -205,6 +225,11 @@ impl JobStats {
     /// Job-wide recovery counters (sum over ranks).
     pub fn recovery(&self) -> RecoveryStats {
         self.total.recovery
+    }
+
+    /// Job-wide count of `kind` calls the selector routed to `algo`.
+    pub fn coll_selections(&self, kind: CollKind, algo: CollAlgo) -> u64 {
+        self.total.coll_count(kind, algo)
     }
 
     /// Fraction of total time spent communicating, averaged over ranks
@@ -260,6 +285,34 @@ impl JobStats {
                 self.channel_ops(ch),
                 self.channel_bytes(ch)
             );
+        }
+        let any_coll = CollKind::ALL.iter().any(|&k| {
+            CollAlgo::ALL
+                .iter()
+                .any(|&a| self.total.coll_count(k, a) > 0)
+        });
+        if any_coll {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>10} {:>8}",
+                "collective", "flat", "two-level", "large"
+            );
+            for k in CollKind::ALL {
+                if CollAlgo::ALL
+                    .iter()
+                    .all(|&a| self.total.coll_count(k, a) == 0)
+                {
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<12} {:>8} {:>10} {:>8}",
+                    k.name(),
+                    self.total.coll_count(k, CollAlgo::Flat),
+                    self.total.coll_count(k, CollAlgo::TwoLevel),
+                    self.total.coll_count(k, CollAlgo::Large)
+                );
+            }
         }
         let rec = self.recovery();
         if rec.any() {
@@ -377,6 +430,30 @@ mod tests {
     #[test]
     fn empty_job_has_zero_fraction() {
         assert_eq!(JobStats::new(vec![]).comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn coll_selections_merge_and_surface_in_report() {
+        let mut a = CommStats::default();
+        a.record_coll(CollKind::Bcast, CollAlgo::TwoLevel);
+        a.record_coll(CollKind::Bcast, CollAlgo::TwoLevel);
+        a.record_coll(CollKind::Allreduce, CollAlgo::Large);
+        let mut b = CommStats::default();
+        b.record_coll(CollKind::Bcast, CollAlgo::Flat);
+        let js = JobStats::new(vec![a, b]);
+        assert_eq!(js.coll_selections(CollKind::Bcast, CollAlgo::TwoLevel), 2);
+        assert_eq!(js.coll_selections(CollKind::Bcast, CollAlgo::Flat), 1);
+        assert_eq!(js.coll_selections(CollKind::Allreduce, CollAlgo::Large), 1);
+        assert_eq!(js.coll_selections(CollKind::Barrier, CollAlgo::Flat), 0);
+        let rep = js.report();
+        assert!(rep.contains("two-level"));
+        assert!(rep.contains("bcast"));
+        // Kinds never called are not listed.
+        assert!(!rep.contains("alltoall"));
+        // A job without collectives omits the section entirely.
+        assert!(!JobStats::new(vec![CommStats::default()])
+            .report()
+            .contains("two-level"));
     }
 
     #[test]

@@ -292,3 +292,201 @@ fn back_to_back_collectives_do_not_cross_match() {
     });
     assert!(r.results.iter().all(|&ok| ok));
 }
+
+#[test]
+fn zero_count_collectives_return_without_panicking() {
+    // MPI permits zero counts; the seed code panicked on `data[0]`.
+    // Exercise both the flat and the two-level paths (2 hosts under the
+    // detector select two-level).
+    for policy in [LocalityPolicy::Hostname, LocalityPolicy::ContainerDetector] {
+        let spec = JobSpec::new(DeploymentScenario::containers(
+            2,
+            2,
+            2,
+            NamespaceSharing::default(),
+        ))
+        .with_policy(policy);
+        let r = spec.run(|mpi| {
+            let empty: Vec<u64> = Vec::new();
+            let mut buf: Vec<u64> = Vec::new();
+            mpi.bcast(&mut buf, 1);
+            let red = mpi.reduce(&empty, ReduceOp::Sum, 2);
+            let all = mpi.allreduce(&empty, ReduceOp::Sum);
+            let gat = mpi.gather(&empty, 3);
+            let scat = mpi.scatter((mpi.rank() == 0).then_some(&empty[..]), 0, 0);
+            let ag = mpi.allgather(&empty);
+            let a2a = mpi.alltoall(&empty, 0);
+            buf.is_empty()
+                && red.map(|v| v.is_empty()).unwrap_or(true)
+                && all.is_empty()
+                && gat.map(|v| v.is_empty()).unwrap_or(true)
+                && scat.is_empty()
+                && ag.is_empty()
+                && a2a.is_empty()
+        });
+        assert!(r.results.iter().all(|&ok| ok), "policy {policy:?}");
+    }
+}
+
+#[test]
+fn selector_routes_two_level_under_detector_and_flat_under_default() {
+    let run = |policy| {
+        JobSpec::new(DeploymentScenario::containers(
+            2,
+            2,
+            2,
+            NamespaceSharing::default(),
+        ))
+        .with_policy(policy)
+        .run(|mpi| {
+            mpi.barrier();
+            let mut b = vec![mpi.rank() as u64; 4];
+            mpi.bcast(&mut b, 0);
+            mpi.reduce(&b, ReduceOp::Sum, 0);
+            mpi.allreduce(&b, ReduceOp::Sum);
+            mpi.gather(&b, 0);
+            mpi.allgather(&b);
+            let d = vec![0u64; 8];
+            mpi.alltoall(&d, 1);
+        })
+    };
+    use cmpi_core::{CollAlgo, CollKind};
+    let opt = run(LocalityPolicy::ContainerDetector);
+    let def = run(LocalityPolicy::Hostname);
+    for kind in CollKind::ALL {
+        assert_eq!(
+            opt.stats.coll_selections(kind, CollAlgo::TwoLevel),
+            8,
+            "detector must pick two-level for {}",
+            kind.name()
+        );
+        assert_eq!(opt.stats.coll_selections(kind, CollAlgo::Flat), 0);
+        assert_eq!(
+            def.stats.coll_selections(kind, CollAlgo::Flat),
+            8,
+            "default must stay flat for {}",
+            kind.name()
+        );
+        assert_eq!(def.stats.coll_selections(kind, CollAlgo::TwoLevel), 0);
+    }
+    // The selection audit trail surfaces in the mpiP-style report.
+    assert!(opt.stats.report().contains("two-level"));
+}
+
+#[test]
+fn selector_honours_thresholds_and_large_switchover() {
+    use cmpi_cluster::Tunables;
+    use cmpi_core::{CollAlgo, CollKind};
+    let spec = || {
+        JobSpec::new(DeploymentScenario::containers(
+            2,
+            2,
+            2,
+            NamespaceSharing::default(),
+        ))
+    };
+    // Above the SMP threshold but below the large switchover: flat even
+    // under the detector.
+    let r = spec()
+        .with_tunables(Tunables::default().with_smp_bcast_threshold(64))
+        .run(|mpi| {
+            let mut b = vec![mpi.rank() as u64; 64]; // 512 bytes
+            mpi.bcast(&mut b, 0);
+        });
+    assert_eq!(r.stats.coll_selections(CollKind::Bcast, CollAlgo::Flat), 8);
+    // Above the large switchover: the scatter–allgather broadcast, with
+    // the payload still delivered intact.
+    let r = spec()
+        .with_tunables(Tunables::default().with_coll_large_msg(512))
+        .run(|mpi| {
+            let mut b = if mpi.rank() == 3 {
+                (0..128u64).collect()
+            } else {
+                vec![0u64; 128] // 1 KiB >= 512
+            };
+            mpi.bcast(&mut b, 3);
+            b
+        });
+    assert_eq!(r.stats.coll_selections(CollKind::Bcast, CollAlgo::Large), 8);
+    let expect: Vec<u64> = (0..128).collect();
+    assert!(r.results.iter().all(|v| v == &expect));
+    // Disabling MV2_USE_SMP_COLL forces flat everywhere.
+    let r = spec()
+        .with_tunables(Tunables::default().with_smp_coll_enable(false))
+        .run(|mpi| {
+            mpi.allreduce(&[mpi.rank() as u64], ReduceOp::Sum);
+        });
+    assert_eq!(
+        r.stats.coll_selections(CollKind::Allreduce, CollAlgo::Flat),
+        8
+    );
+}
+
+#[test]
+fn new_smp_variants_match_sequential_references() {
+    // 2 hosts x 2 containers x 2 ranks: genuinely hierarchical, with
+    // non-leader roots (3, 5) exercising the root<->leader shuttles.
+    let spec = JobSpec::new(DeploymentScenario::containers(
+        2,
+        2,
+        2,
+        NamespaceSharing::default(),
+    ));
+    let n = 8usize;
+    let block = 3usize;
+    let r = spec.run(move |mpi| {
+        let rank = mpi.rank();
+        let mine: Vec<u64> = (0..block).map(|i| (rank * 31 + i) as u64).collect();
+
+        let red = mpi.reduce_smp(&mine, ReduceOp::Sum, 5);
+        let gat = mpi.gather_smp(&mine, 3);
+        let ag = mpi.allgather_smp(&mine);
+        let a2a_in: Vec<u64> = (0..n * block).map(|j| (rank * 1000 + j) as u64).collect();
+        let a2a = mpi.alltoall_smp(&a2a_in, block);
+        mpi.barrier_smp();
+        (red, gat, ag, a2a)
+    });
+    let concat: Vec<u64> = (0..n)
+        .flat_map(|r| (0..block).map(move |i| (r * 31 + i) as u64))
+        .collect();
+    let sums: Vec<u64> = (0..block)
+        .map(|i| (0..n).map(|r| (r * 31 + i) as u64).sum())
+        .collect();
+    for (rank, (red, gat, ag, a2a)) in r.results.iter().enumerate() {
+        assert_eq!(red.is_some(), rank == 5);
+        if let Some(v) = red {
+            assert_eq!(v, &sums);
+        }
+        assert_eq!(gat.is_some(), rank == 3);
+        if let Some(v) = gat {
+            assert_eq!(v, &concat);
+        }
+        assert_eq!(ag, &concat, "allgather_smp rank {rank}");
+        let expect: Vec<u64> = (0..n * block)
+            .map(|j| {
+                let src = j / block;
+                (src * 1000 + rank * block + j % block) as u64
+            })
+            .collect();
+        assert_eq!(a2a, &expect, "alltoall_smp rank {rank}");
+    }
+}
+
+#[test]
+fn barrier_smp_synchronizes_clocks() {
+    let spec = JobSpec::new(DeploymentScenario::containers(
+        2,
+        2,
+        2,
+        NamespaceSharing::default(),
+    ));
+    let r = spec.run(|mpi| {
+        mpi.compute(cmpi_cluster::SimTime::from_us(10 * (mpi.rank() as u64 + 1)));
+        mpi.barrier_smp();
+        mpi.now()
+    });
+    let slowest_entry = cmpi_cluster::SimTime::from_us(80);
+    for (rk, t) in r.results.iter().enumerate() {
+        assert!(*t >= slowest_entry, "rank {rk} left the barrier at {t}");
+    }
+}

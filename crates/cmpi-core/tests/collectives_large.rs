@@ -1,7 +1,7 @@
 //! Large-message collective algorithms: correctness vs the default
 //! algorithms, and the bandwidth advantage that justifies the switch.
 
-use cmpi_cluster::{DeploymentScenario, NamespaceSharing};
+use cmpi_cluster::{DeploymentScenario, NamespaceSharing, Tunables};
 use cmpi_core::{JobSpec, ReduceOp};
 
 fn spec(n: u32) -> JobSpec {
@@ -94,18 +94,24 @@ fn tuned_variants_dispatch_by_size() {
 #[test]
 fn tuned_bcast_faster_for_large_messages() {
     let time_with = |use_tuned: bool| {
-        spec(8)
-            .run(move |mpi| {
-                let mut buf = vec![7u8; 256 * 1024];
-                let t0 = mpi.now();
-                if use_tuned {
-                    mpi.bcast_tuned(&mut buf, 0);
-                } else {
-                    mpi.bcast(&mut buf, 0);
-                }
-                mpi.now() - t0
-            })
-            .elapsed
+        let mut s = spec(8);
+        if !use_tuned {
+            // Pin the baseline to the flat binomial algorithm: the main
+            // entry point would otherwise route 256 KiB to the same
+            // scatter–allgather path through the collective selector.
+            s = s.with_tunables(Tunables::default().with_coll_large_msg(usize::MAX));
+        }
+        s.run(move |mpi| {
+            let mut buf = vec![7u8; 256 * 1024];
+            let t0 = mpi.now();
+            if use_tuned {
+                mpi.bcast_tuned(&mut buf, 0);
+            } else {
+                mpi.bcast(&mut buf, 0);
+            }
+            mpi.now() - t0
+        })
+        .elapsed
     };
     let tuned = time_with(true);
     let flat = time_with(false);

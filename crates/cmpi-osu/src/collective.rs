@@ -21,6 +21,16 @@ pub enum CollOp {
     BcastSmp,
     /// Two-level allreduce (ablation).
     AllreduceSmp,
+    /// Two-level barrier (ablation; size column is ignored).
+    BarrierSmp,
+    /// Two-level reduce to rank 0 (ablation).
+    ReduceSmp,
+    /// Two-level gather to rank 0 (ablation).
+    GatherSmp,
+    /// Two-level allgather (ablation).
+    AllgatherSmp,
+    /// Two-level alltoall (ablation).
+    AlltoallSmp,
     /// `MPI_Barrier` (size column is ignored).
     Barrier,
     /// `MPI_Reduce` to rank 0.
@@ -51,6 +61,11 @@ impl CollOp {
             CollOp::Alltoall => "alltoall",
             CollOp::BcastSmp => "bcast-smp",
             CollOp::AllreduceSmp => "allreduce-smp",
+            CollOp::BarrierSmp => "barrier-smp",
+            CollOp::ReduceSmp => "reduce-smp",
+            CollOp::GatherSmp => "gather-smp",
+            CollOp::AllgatherSmp => "allgather-smp",
+            CollOp::AlltoallSmp => "alltoall-smp",
             CollOp::Barrier => "barrier",
             CollOp::Reduce => "reduce",
             CollOp::Gather => "gather",
@@ -116,6 +131,22 @@ fn run_op(mpi: &mut cmpi_core::Mpi, op: CollOp, mine: &[u64], elems: usize, n: u
         }
         CollOp::AllreduceSmp => {
             mpi.allreduce_smp(mine, ReduceOp::Sum);
+        }
+        CollOp::BarrierSmp => {
+            mpi.barrier_smp();
+        }
+        CollOp::ReduceSmp => {
+            mpi.reduce_smp(mine, ReduceOp::Sum, 0);
+        }
+        CollOp::GatherSmp => {
+            mpi.gather_smp(mine, 0);
+        }
+        CollOp::AllgatherSmp => {
+            mpi.allgather_smp(mine);
+        }
+        CollOp::AlltoallSmp => {
+            let data = vec![0u64; elems * n];
+            mpi.alltoall_smp(&data, elems);
         }
         CollOp::Barrier => {
             mpi.barrier();
@@ -208,9 +239,17 @@ mod tests {
 
     #[test]
     fn smp_variants_run() {
-        for op in [CollOp::BcastSmp, CollOp::AllreduceSmp] {
+        for op in [
+            CollOp::BcastSmp,
+            CollOp::AllreduceSmp,
+            CollOp::BarrierSmp,
+            CollOp::ReduceSmp,
+            CollOp::GatherSmp,
+            CollOp::AllgatherSmp,
+            CollOp::AlltoallSmp,
+        ] {
             let pts = latency(&spec(LocalityPolicy::ContainerDetector), op, &[256], 2);
-            assert!(pts[0].value > 0.0);
+            assert!(pts[0].value > 0.0, "{}", op.name());
         }
     }
 }

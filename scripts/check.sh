@@ -2,10 +2,11 @@
 # Tier-1 gate: everything CI requires before a merge. Run from anywhere;
 # fails fast on the first broken step.
 #
-#   build   release build of the whole workspace
-#   test    unit + integration + doc tests
-#   clippy  all targets, warnings are errors
-#   fmt     rustfmt in check mode
+#   build     release build of the whole workspace
+#   test      unit + integration + doc tests
+#   examples  every example builds and runs to completion
+#   clippy    all targets, warnings are errors
+#   fmt       rustfmt in check mode
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,6 +15,14 @@ cargo build --release
 
 echo "== cargo test -q" >&2
 cargo test -q
+
+echo "== examples smoke" >&2
+cargo build --release --examples
+for ex in quickstart locality_detection graph500_bfs npb_kernels \
+          pgas_gups profile_and_trace fault_injection; do
+  echo "-- example: $ex" >&2
+  cargo run --release --quiet --example "$ex" >/dev/null
+done
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings" >&2
 cargo clippy --workspace --all-targets -- -D warnings
