@@ -3,8 +3,12 @@
 //! ```text
 //! figures [--fig 1|3a|3bc|7a|7b|7c|8|9|10|11|12] [--table 1]
 //!         [--ablation faults|namespaces|collectives] [--ablations]
-//!         [--all] [--full] [--csv DIR]
+//!         [--profile] [--all] [--full] [--csv DIR]
 //! ```
+//!
+//! `--profile` runs Graph 500 under the causal profiler and prints the
+//! per-peer channel matrix, the wait-state decomposition, and the
+//! substrate pressure counters for the Default vs. Proposed designs.
 //!
 //! Without `--full` the CI-sized effort is used (seconds per figure);
 //! `--full` switches to the paper-shaped deployment (256 ranks, scale-16
@@ -16,7 +20,7 @@ use cmpi_bench::{experiments as ex, Effort, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--fig <id>]... [--table 1] [--ablation <name>]... [--ablations] [--all] [--full] [--csv DIR]\n\
+        "usage: figures [--fig <id>]... [--table 1] [--ablation <name>]... [--ablations] [--profile] [--all] [--full] [--csv DIR]\n\
          \x20  figure ids: 1 3a 3bc 7a 7b 7c 8 9 10 11 12\n\
          \x20  ablation names: faults namespaces collectives"
     );
@@ -28,6 +32,7 @@ fn main() {
     let mut figs: Vec<String> = Vec::new();
     let mut tables: Vec<String> = Vec::new();
     let mut ablations = false;
+    let mut profile = false;
     let mut ablation_names: Vec<String> = Vec::new();
     let mut all = false;
     let mut full = false;
@@ -51,6 +56,10 @@ fn main() {
                 ablations = true;
                 i += 1;
             }
+            "--profile" => {
+                profile = true;
+                i += 1;
+            }
             "--all" => {
                 all = true;
                 i += 1;
@@ -72,7 +81,13 @@ fn main() {
             usage();
         }
     }
-    if figs.is_empty() && tables.is_empty() && !ablations && ablation_names.is_empty() && !all {
+    if figs.is_empty()
+        && tables.is_empty()
+        && !ablations
+        && ablation_names.is_empty()
+        && !profile
+        && !all
+    {
         all = true;
     }
     let e = if full {
@@ -139,6 +154,9 @@ fn main() {
     }
     if ablations || all {
         out.push(ex::ext_pgas(&e));
+    }
+    if profile || all {
+        out.extend(ex::profile_tables(&e));
     }
 
     for t in &out {

@@ -6,7 +6,10 @@ use cmpi_cluster::{
     Channel, ContainerId, DeploymentScenario, FaultPlan, HostId, NamespaceSharing, SimTime,
     Tunables,
 };
-use cmpi_core::{CallClass, CollAlgo, CollKind, JobSpec, JobStats, LocalityPolicy, ReduceOp};
+use cmpi_core::{
+    CallClass, CollAlgo, CollKind, JobProfile, JobSpec, JobStats, LocalityPolicy, ReduceOp,
+    WaitClass,
+};
 use cmpi_osu::collective::{self, CollOp};
 use cmpi_osu::{onesided, power_of_two_sizes, pt2pt};
 
@@ -704,6 +707,106 @@ pub fn ablation_faults(e: &Effort) -> Table {
     t
 }
 
+/// Profile mode: Table I at rank-pair granularity. Runs Graph 500 BFS on
+/// the Fig. 1 "2-Containers" deployment with the causal profiler on,
+/// under Default (Hostname) and Proposed (ContainerDetector), and reports
+/// (a) where cross-container traffic travelled per channel, (b) the
+/// wait-state decomposition, (c) conservation and substrate pressure.
+pub fn profile_tables(e: &Effort) -> Vec<Table> {
+    let scenario = DeploymentScenario::fig1(2);
+    let run = |policy: LocalityPolicy| {
+        let spec = JobSpec::new(scenario.clone())
+            .with_policy(policy)
+            .with_profiling();
+        let r = spec.run(|mpi| {
+            let cfg = e.graph_cfg();
+            cmpi_apps::graph500::bfs::run_rank(mpi, &cfg)
+        });
+        r.profile.expect("profiling was enabled")
+    };
+    let def = run(LocalityPolicy::Hostname);
+    let opt = run(LocalityPolicy::ContainerDetector);
+    let n = scenario.placement.num_ranks();
+    let container = |r: usize| scenario.placement.loc(r).container;
+
+    // (a) Cross-container bytes by channel: the paper's misrouting, now
+    // visible per pair class instead of job-wide.
+    let cross_bytes = |p: &JobProfile, ch: Channel| -> u64 {
+        let mut sum = 0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && container(i) != container(j) {
+                    sum += p.pair_channel_bytes(i, j, ch);
+                }
+            }
+        }
+        sum
+    };
+    let mut chans = Table::new(
+        "Profile — cross-container traffic by channel (Graph500 BFS, 16 ranks, 2 containers)",
+        &["channel", "default_bytes", "proposed_bytes"],
+    );
+    for ch in Channel::ALL {
+        chans.row(vec![
+            ch.name().to_string(),
+            cross_bytes(&def, ch).to_string(),
+            cross_bytes(&opt, ch).to_string(),
+        ]);
+    }
+
+    // (b) Wait states: late-partner vs transfer time per call class.
+    let mut waits = Table::new(
+        "Profile — wait-state decomposition (ms)",
+        &[
+            "class",
+            "def_late",
+            "def_transfer",
+            "def_blocked",
+            "opt_late",
+            "opt_transfer",
+            "opt_blocked",
+        ],
+    );
+    for class in WaitClass::ALL {
+        let (d, o) = (def.wait_total(class), opt.wait_total(class));
+        if d.samples == 0 && o.samples == 0 {
+            continue;
+        }
+        let late = |w: &cmpi_core::WaitBreakdown| w.late_sender + w.late_receiver + w.arrival_skew;
+        waits.row(vec![
+            class.name().to_string(),
+            ms(late(&d)),
+            ms(d.transfer),
+            ms(d.blocked),
+            ms(late(&o)),
+            ms(o.transfer),
+            ms(o.blocked),
+        ]);
+    }
+
+    // (c) Integrity + substrate pressure.
+    let mut summary = Table::new(
+        "Profile — conservation and substrate pressure",
+        &["metric", "default", "proposed"],
+    );
+    summary.row(vec![
+        "conservation_error_bytes".into(),
+        def.conservation_error().to_string(),
+        opt.conservation_error().to_string(),
+    ]);
+    summary.row(vec![
+        "shm_queue_stalled_acquires".into(),
+        def.queue.stalled_acquires.to_string(),
+        opt.queue.stalled_acquires.to_string(),
+    ]);
+    summary.row(vec![
+        "fabric_msgs_posted".into(),
+        def.fabric.iter().map(|f| f.sends).sum::<u64>().to_string(),
+        opt.fabric.iter().map(|f| f.sends).sum::<u64>().to_string(),
+    ]);
+    vec![chans, waits, summary]
+}
+
 /// Extension: PGAS (GUPS) on co-resident containers — the paper's
 /// Section VII future work, measured with the same Def/Opt/Native
 /// methodology.
@@ -868,6 +971,26 @@ mod tests {
             iters: 3,
             npb_class: NpbClass::S,
         }
+    }
+
+    #[test]
+    fn profile_tables_show_channel_migration() {
+        let tabs = profile_tables(&tiny());
+        assert_eq!(tabs.len(), 3);
+        let chans = &tabs[0];
+        // Rows are [SHM, CMA, HCA]; Default misroutes all cross-container
+        // traffic to the HCA, Proposed moves it onto the local channels.
+        let hca_def: u64 = chans.cell(2, "default_bytes").parse().unwrap();
+        let hca_opt: u64 = chans.cell(2, "proposed_bytes").parse().unwrap();
+        let local_opt: u64 = chans.cell(0, "proposed_bytes").parse::<u64>().unwrap()
+            + chans.cell(1, "proposed_bytes").parse::<u64>().unwrap();
+        assert!(hca_def > 0, "default must ride the HCA loopback");
+        assert_eq!(hca_opt, 0, "proposed must keep intra-host pairs off HCA");
+        assert!(local_opt > 0, "proposed traffic must appear on SHM/CMA");
+        // Conservation must hold in both runs.
+        let summary = &tabs[2];
+        assert_eq!(summary.cell(0, "default"), "0");
+        assert_eq!(summary.cell(0, "proposed"), "0");
     }
 
     #[test]

@@ -78,4 +78,7 @@ pub use persistent::{Persistent, PersistentRecv, PersistentSend};
 pub use pt2pt::{Completion, Request, Status, ANY_SOURCE, ANY_TAG};
 pub use runtime::{JobResult, JobSpec, Mpi};
 pub use stats::{CallClass, ChannelCounter, CommStats, JobStats, RecoveryStats};
-pub use trace::{JobTrace, RankTrace, TraceEvent};
+pub use trace::{flow_id, FlowEvent, InstantEvent, JobTrace, RankTrace, TraceEvent};
+// Profiling vocabulary (the `JobResult::profile` payload lives in
+// cmpi-prof; re-exported so downstream crates need no direct dependency).
+pub use cmpi_prof::{JobProfile, Json, WaitBreakdown, WaitClass, WaitStats};

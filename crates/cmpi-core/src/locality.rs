@@ -58,6 +58,17 @@ pub enum DowngradeReason {
     GatingMismatch,
 }
 
+impl DowngradeReason {
+    /// Stable label for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DowngradeReason::Unpublished => "unpublished",
+            DowngradeReason::CorruptByte => "corrupt-byte",
+            DowngradeReason::GatingMismatch => "gating-mismatch",
+        }
+    }
+}
+
 /// Everything a rank knows about one peer after initialization.
 #[derive(Clone, Copy, Debug)]
 pub struct PeerInfo {

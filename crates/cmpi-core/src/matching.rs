@@ -46,6 +46,11 @@ pub enum ArrivedBody {
         /// Virtual time at which the receiver finished draining all
         /// chunks from the channel.
         ready_at: SimTime,
+        /// Virtual time the last chunk became *available* at this rank,
+        /// before any drain copies — the late-sender boundary for the
+        /// wait-state decomposition (blocked time before this point is
+        /// the sender's fault, after it the channel's).
+        arrived_at: SimTime,
     },
     /// A rendezvous announcement; the payload is still at the sender.
     Rts {
@@ -91,6 +96,7 @@ struct Assembly {
     received: u64,
     buf: Vec<u8>,
     ready: SimTime,
+    arrived: SimTime,
     channel: Channel,
 }
 
@@ -109,8 +115,9 @@ impl MatchingEngine {
     }
 
     /// Ingest one eager chunk. `chunk_ready` is the virtual time at which
-    /// the receiver finished copying this chunk out of the channel.
-    /// Returns the assembled message once the last chunk lands.
+    /// the receiver finished copying this chunk out of the channel;
+    /// `available_at` is when the chunk landed on this rank before any
+    /// drain copy. Returns the assembled message once the last chunk lands.
     #[allow(clippy::too_many_arguments)]
     pub fn eager_chunk(
         &mut self,
@@ -122,6 +129,7 @@ impl MatchingEngine {
         offset: u64,
         data: Bytes,
         chunk_ready: SimTime,
+        available_at: SimTime,
         channel: Channel,
     ) -> Option<ArrivedMsg> {
         let a = self
@@ -134,6 +142,7 @@ impl MatchingEngine {
                 received: 0,
                 buf: vec![0u8; total as usize],
                 ready: SimTime::ZERO,
+                arrived: SimTime::ZERO,
                 channel,
             });
         debug_assert_eq!(
@@ -144,6 +153,7 @@ impl MatchingEngine {
         a.buf[off..off + data.len()].copy_from_slice(&data);
         a.received += data.len() as u64;
         a.ready = a.ready.max(chunk_ready);
+        a.arrived = a.arrived.max(available_at);
         assert!(
             a.received <= a.total,
             "chunk overflow for (src {src}, seq {seq})"
@@ -161,6 +171,7 @@ impl MatchingEngine {
                 body: ArrivedBody::Eager {
                     data: Bytes::from(a.buf),
                     ready_at: a.ready,
+                    arrived_at: a.arrived,
                 },
                 channel: a.channel,
             })
@@ -291,6 +302,7 @@ mod tests {
             0,
             Bytes::copy_from_slice(payload),
             SimTime::from_us(1),
+            SimTime::from_us(1),
             Channel::Shm,
         )
     }
@@ -320,6 +332,7 @@ mod tests {
                 0,
                 Bytes::from_static(b"abc"),
                 SimTime::from_us(10),
+                SimTime::from_us(8),
                 Channel::Shm
             )
             .is_none());
@@ -334,13 +347,19 @@ mod tests {
                 3,
                 Bytes::from_static(b"def"),
                 SimTime::from_us(30),
+                SimTime::from_us(25),
                 Channel::Shm,
             )
             .expect("complete");
         match m.body {
-            ArrivedBody::Eager { data, ready_at } => {
+            ArrivedBody::Eager {
+                data,
+                ready_at,
+                arrived_at,
+            } => {
                 assert_eq!(&data[..], b"abcdef");
                 assert_eq!(ready_at, SimTime::from_us(30));
+                assert_eq!(arrived_at, SimTime::from_us(25));
             }
             _ => panic!("wrong body"),
         }
@@ -360,6 +379,7 @@ mod tests {
                 0,
                 Bytes::from_static(b"a"),
                 SimTime::ZERO,
+                SimTime::ZERO,
                 Channel::Shm
             )
             .is_none());
@@ -372,6 +392,7 @@ mod tests {
                 2,
                 0,
                 Bytes::from_static(b"x"),
+                SimTime::ZERO,
                 SimTime::ZERO,
                 Channel::Shm
             )
@@ -386,6 +407,7 @@ mod tests {
                 1,
                 Bytes::from_static(b"b"),
                 SimTime::ZERO,
+                SimTime::ZERO,
                 Channel::Shm,
             )
             .unwrap();
@@ -398,6 +420,7 @@ mod tests {
                 2,
                 1,
                 Bytes::from_static(b"y"),
+                SimTime::ZERO,
                 SimTime::ZERO,
                 Channel::Shm,
             )

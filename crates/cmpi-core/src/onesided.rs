@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use cmpi_cluster::{Channel, SimTime};
 use cmpi_fabric::MemoryRegion;
+use cmpi_prof::WaitClass;
 
 use crate::datatype::{from_bytes, reduce_into, to_bytes, MpiData, ReduceOp, Reducible};
 use crate::locality::LocalityPolicy;
@@ -164,6 +165,14 @@ impl Mpi {
                     // the origin's clock tracks the full loopback/wire
                     // latency, which is what bounds the paper's 4-byte put
                     // rate to ~0.5 Mops/s on the Default configuration.
+                    let waited = comp.completed_at.saturating_sub(self.now);
+                    self.record_wait(
+                        WaitClass::OneSided,
+                        SimTime::ZERO,
+                        SimTime::ZERO,
+                        SimTime::ZERO,
+                        waited,
+                    );
                     self.now = self.now.max(comp.completed_at) + cost.copy_time(blen as u64, false);
                 } else {
                     // Large puts are true RDMA writes: asynchronous after
@@ -173,7 +182,8 @@ impl Mpi {
                 win.pending[target] = win.pending[target].max(comp.completed_at);
             }
         }
-        self.stats.record_op(channel, blen);
+        self.record_tx(target, channel, blen);
+        self.record_rx_remote(target, channel, blen);
         self.exit(CallClass::OneSided, t0);
     }
 
@@ -217,12 +227,23 @@ impl Mpi {
                     .fabric
                     .rdma_read(self.rank, rkey, offset, blen, self.now)
                     .expect("RDMA get failed");
+                let waited = comp.completed_at.saturating_sub(self.now);
+                self.record_wait(
+                    WaitClass::OneSided,
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                    SimTime::ZERO,
+                    waited,
+                );
                 self.now = self.now.max(comp.completed_at);
                 data
             }
         };
         from_bytes(&bytes, out);
-        self.stats.record_op(channel, blen);
+        // A get pulls data *from* the target: the origin initiates, the
+        // delivery lands here.
+        self.record_tx(target, channel, blen);
+        self.record_rx(target, channel, blen);
         self.exit(CallClass::OneSided, t0);
     }
 
@@ -256,19 +277,43 @@ impl Mpi {
     /// (`MPI_Win_flush`).
     pub fn flush(&mut self, win: &mut Window, target: usize) {
         let t0 = self.enter();
+        let waited = win.pending[target].saturating_sub(self.now);
+        self.record_wait(
+            WaitClass::OneSided,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            waited,
+        );
         self.now = self.now.max(win.pending[target]);
         win.pending[target] = SimTime::ZERO;
         self.exit(CallClass::OneSided, t0);
+    }
+
+    /// Drain every pending completion, attributing the jump to the
+    /// one-sided transfer bucket.
+    fn drain_pending(&mut self, win: &mut Window) {
+        let mut latest = self.now;
+        for t in win.pending.iter_mut() {
+            latest = latest.max(*t);
+            *t = SimTime::ZERO;
+        }
+        let waited = latest.saturating_sub(self.now);
+        self.record_wait(
+            WaitClass::OneSided,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            SimTime::ZERO,
+            waited,
+        );
+        self.now = latest;
     }
 
     /// Complete all pending operations to every target
     /// (`MPI_Win_flush_all`).
     pub fn flush_all(&mut self, win: &mut Window) {
         let t0 = self.enter();
-        for t in win.pending.iter_mut() {
-            self.now = self.now.max(*t);
-            *t = SimTime::ZERO;
-        }
+        self.drain_pending(win);
         self.exit(CallClass::OneSided, t0);
     }
 
@@ -276,10 +321,7 @@ impl Mpi {
     /// (`MPI_Win_fence`).
     pub fn fence(&mut self, win: &mut Window) {
         let t0 = self.enter();
-        for t in win.pending.iter_mut() {
-            self.now = self.now.max(*t);
-            *t = SimTime::ZERO;
-        }
+        self.drain_pending(win);
         let list: Vec<usize> = (0..self.n).collect();
         self.barrier_inner(&list, 14);
         self.exit(CallClass::OneSided, t0);

@@ -13,6 +13,7 @@
 
 use bytes::Bytes;
 use cmpi_cluster::{Channel, SimTime};
+use cmpi_prof::WaitClass;
 
 use crate::channel::Protocol;
 use crate::datatype::{from_bytes, to_bytes, MpiData};
@@ -20,6 +21,18 @@ use crate::matching::{ArrivedBody, ArrivedMsg, PostedRecv};
 use crate::packet::{Packet, PacketKind, ReqId};
 use crate::runtime::{Mpi, RecvState, SendState};
 use crate::stats::CallClass;
+use crate::trace::flow_id;
+
+/// Wait-state class of a blocked interval: user pt2pt traffic runs on
+/// `CTX_WORLD`; everything else (collective-internal contexts and split
+/// communicators driven by collectives) classifies as collective skew.
+fn wait_class(ctx: u32) -> WaitClass {
+    if ctx == CTX_WORLD {
+        WaitClass::Pt2pt
+    } else {
+        WaitClass::Collective
+    }
+}
 
 /// Wildcard source for receives (`MPI_ANY_SOURCE`).
 pub const ANY_SOURCE: usize = usize::MAX;
@@ -79,12 +92,17 @@ impl Mpi {
         let id = self.fresh_req();
         let len = data.len();
         let cost = self.state.cost.clone();
+        if let Some(tr) = &mut self.trace {
+            tr.flow_start(flow_id(self.rank, dst, seq), self.now);
+        }
 
         if dst == self.rank {
             // Self-message: one local copy, straight into the matching
-            // engine.
+            // engine (bypassing `handle_packet`, so both ledger sides are
+            // recorded here).
             let ready = self.now + cost.copy_time(len as u64, false);
-            self.stats.record_op(Channel::Shm, len);
+            self.record_tx(dst, Channel::Shm, len);
+            self.record_rx(dst, Channel::Shm, len);
             let msg = ArrivedMsg {
                 src: self.rank,
                 ctx,
@@ -93,13 +111,18 @@ impl Mpi {
                 body: ArrivedBody::Eager {
                     data,
                     ready_at: ready,
+                    arrived_at: ready,
                 },
                 channel: Channel::Shm,
             };
             self.dispatch(msg);
             self.sends.insert(
                 id,
-                SendState::Done(self.now + SimTime::from_ns(cost.request_ns)),
+                SendState::Done {
+                    t: self.now + SimTime::from_ns(cost.request_ns),
+                    ctx,
+                    rndv_cts: None,
+                },
             );
             return id;
         }
@@ -114,6 +137,9 @@ impl Mpi {
                 let chunk = self.state.tunables.smp_eager_size.max(1);
                 let total = len;
                 let mut off = 0usize;
+                // Time spent waiting for the receiver to drain the pair
+                // queue — late-receiver backpressure, not transfer.
+                let mut stalled = SimTime::ZERO;
                 loop {
                     let clen = chunk.min(total - off);
                     // Claim queue space; run progress while the receiver
@@ -131,6 +157,7 @@ impl Mpi {
                             break SimTime::ZERO;
                         }
                     };
+                    stalled += stall.saturating_sub(self.now);
                     self.now = self.now.max(stall)
                         + SimTime::from_ns(cost.shm_post_ns)
                         + cost.shm_copy_time(clen as u64, qcap as u64, cross);
@@ -148,15 +175,37 @@ impl Mpi {
                         },
                         data: data.slice(off..off + clen),
                     });
-                    self.stats.record_op(Channel::Shm, clen);
+                    self.record_tx(dst, Channel::Shm, clen);
                     off += clen;
                     if off >= total {
                         break;
                     }
                 }
+                if stalled > SimTime::ZERO {
+                    match wait_class(ctx) {
+                        WaitClass::Pt2pt => self.record_wait(
+                            WaitClass::Pt2pt,
+                            SimTime::ZERO,
+                            stalled,
+                            SimTime::ZERO,
+                            SimTime::ZERO,
+                        ),
+                        class => self.record_wait(
+                            class,
+                            SimTime::ZERO,
+                            SimTime::ZERO,
+                            stalled,
+                            SimTime::ZERO,
+                        ),
+                    }
+                }
                 self.sends.insert(
                     id,
-                    SendState::Done(self.now + SimTime::from_ns(cost.request_ns)),
+                    SendState::Done {
+                        t: self.now + SimTime::from_ns(cost.request_ns),
+                        ctx,
+                        rndv_cts: None,
+                    },
                 );
             }
             (Channel::Cma, Protocol::Rendezvous) => {
@@ -180,6 +229,7 @@ impl Mpi {
                         data,
                         dst,
                         channel: Channel::Cma,
+                        ctx,
                     },
                 );
             }
@@ -202,10 +252,14 @@ impl Mpi {
                 let (imm, wire) = pkt.encode();
                 let info = self.hca_post_with_retry(dst, imm, wire, self.now, "HCA eager send");
                 self.now = info.local_done;
-                self.stats.record_op(Channel::Hca, len);
+                self.record_tx(dst, Channel::Hca, len);
                 self.sends.insert(
                     id,
-                    SendState::Done(self.now + SimTime::from_ns(cost.request_ns)),
+                    SendState::Done {
+                        t: self.now + SimTime::from_ns(cost.request_ns),
+                        ctx,
+                        rndv_cts: None,
+                    },
                 );
             }
             (Channel::Hca, Protocol::Rendezvous) => {
@@ -232,6 +286,7 @@ impl Mpi {
                         data,
                         dst,
                         channel: Channel::Hca,
+                        ctx,
                     },
                 );
             }
@@ -257,15 +312,63 @@ impl Mpi {
         id
     }
 
+    /// Attribute a completed send's blocked interval: everything up to
+    /// the CTS observation (rendezvous only) is the receiver's fault, the
+    /// remainder is transfer/completion time.
+    fn settle_send(&mut self, t_enter: SimTime, t: SimTime, ctx: u32, rndv_cts: Option<SimTime>) {
+        let done = self.now.max(t);
+        let blocked = done.saturating_sub(t_enter);
+        let late = rndv_cts
+            .map(|c| c.saturating_sub(t_enter).min(blocked))
+            .unwrap_or(SimTime::ZERO);
+        let transfer = blocked.saturating_sub(late);
+        match wait_class(ctx) {
+            WaitClass::Pt2pt => self.record_wait(
+                WaitClass::Pt2pt,
+                SimTime::ZERO,
+                late,
+                SimTime::ZERO,
+                transfer,
+            ),
+            class => self.record_wait(class, SimTime::ZERO, SimTime::ZERO, late, transfer),
+        }
+        self.now = done;
+    }
+
+    /// Attribute a completed receive: blocked time before the message
+    /// (payload or RTS) arrived is a late sender (or collective arrival
+    /// skew), the remainder is transfer. Also closes the trace flow.
+    fn settle_recv(&mut self, t_enter: SimTime, t: SimTime, arrived: SimTime, ctx: u32, flow: u64) {
+        let done = self.now.max(t);
+        let blocked = done.saturating_sub(t_enter);
+        let late = arrived.saturating_sub(t_enter).min(blocked);
+        let transfer = blocked.saturating_sub(late);
+        match wait_class(ctx) {
+            WaitClass::Pt2pt => self.record_wait(
+                WaitClass::Pt2pt,
+                late,
+                SimTime::ZERO,
+                SimTime::ZERO,
+                transfer,
+            ),
+            class => self.record_wait(class, SimTime::ZERO, SimTime::ZERO, late, transfer),
+        }
+        if let Some(tr) = &mut self.trace {
+            tr.flow_finish(flow, done);
+        }
+        self.now = done;
+    }
+
     /// Block until send `id` completes; advances the clock to completion.
     pub(crate) fn wait_send_inner(&mut self, id: ReqId) {
+        let t_enter = self.now;
         loop {
             self.progress();
-            if let Some(SendState::Done(_)) = self.sends.get(&id) {
-                let Some(SendState::Done(t)) = self.sends.remove(&id) else {
+            if let Some(SendState::Done { .. }) = self.sends.get(&id) {
+                let Some(SendState::Done { t, ctx, rndv_cts }) = self.sends.remove(&id) else {
                     unreachable!()
                 };
-                self.now = self.now.max(t);
+                self.settle_send(t_enter, t, ctx, rndv_cts);
                 return;
             }
             assert!(
@@ -278,13 +381,22 @@ impl Mpi {
 
     /// Block until receive `id` completes; returns payload and status.
     pub(crate) fn wait_recv_inner(&mut self, id: ReqId) -> (Bytes, Status) {
+        let t_enter = self.now;
         loop {
             self.progress();
             if let Some(RecvState::Done { .. }) = self.recvs.get(&id) {
-                let Some(RecvState::Done { data, status, t }) = self.recvs.remove(&id) else {
+                let Some(RecvState::Done {
+                    data,
+                    status,
+                    t,
+                    arrived,
+                    ctx,
+                    flow,
+                }) = self.recvs.remove(&id)
+                else {
                     unreachable!()
                 };
-                self.now = self.now.max(t);
+                self.settle_recv(t_enter, t, arrived, ctx, flow);
                 return (data, status);
             }
             assert!(
@@ -304,20 +416,31 @@ impl Mpi {
     /// to the completion time — which is exactly the time a real spin
     /// loop would have burned inside `MPI_Test`.
     pub(crate) fn test_inner(&mut self, req: &Request) -> Option<Completion> {
+        let t_enter = self.now;
         self.progress();
         if req.is_send {
-            if let Some(SendState::Done(_)) = self.sends.get(&req.id) {
-                let Some(SendState::Done(t)) = self.sends.remove(&req.id) else {
+            if let Some(SendState::Done { .. }) = self.sends.get(&req.id) {
+                let Some(SendState::Done { t, ctx, rndv_cts }) = self.sends.remove(&req.id) else {
                     unreachable!()
                 };
-                self.now = self.now.max(t) + SimTime::from_ns(self.state.cost.poll_ns);
+                self.settle_send(t_enter, t, ctx, rndv_cts);
+                self.now += SimTime::from_ns(self.state.cost.poll_ns);
                 return Some(Completion::Send);
             }
         } else if let Some(RecvState::Done { .. }) = self.recvs.get(&req.id) {
-            let Some(RecvState::Done { data, status, t }) = self.recvs.remove(&req.id) else {
+            let Some(RecvState::Done {
+                data,
+                status,
+                t,
+                arrived,
+                ctx,
+                flow,
+            }) = self.recvs.remove(&req.id)
+            else {
                 unreachable!()
             };
-            self.now = self.now.max(t) + SimTime::from_ns(self.state.cost.poll_ns);
+            self.settle_recv(t_enter, t, arrived, ctx, flow);
+            self.now += SimTime::from_ns(self.state.cost.poll_ns);
             return Some(Completion::Recv(data, status));
         }
         None

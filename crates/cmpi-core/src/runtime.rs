@@ -38,13 +38,20 @@ use crate::matching::{ArrivedBody, ArrivedMsg, MatchingEngine};
 use crate::packet::{Packet, PacketKind, ReqId};
 use crate::pt2pt::Status;
 use crate::stats::{CallClass, CommStats, JobStats, RecoveryStats};
-use crate::trace::{JobTrace, RankTrace};
+use crate::trace::{flow_id, JobTrace, RankTrace};
+use cmpi_prof::{FabricCounters, JobProfile, ProfCollector, QueuePressure};
 
 /// Bound on fabric attach (QP creation) attempts per rank.
 const MAX_ATTACH_ATTEMPTS: u32 = 5;
 
 /// What one finished rank thread leaves behind for the job to collect.
-type RankSlot<R> = Option<(R, SimTime, CommStats, Option<RankTrace>)>;
+type RankSlot<R> = Option<(
+    R,
+    SimTime,
+    CommStats,
+    Option<RankTrace>,
+    Option<ProfCollector>,
+)>;
 
 /// Bound on reposts of a send whose completion erred transiently.
 const MAX_SEND_ATTEMPTS: u32 = 8;
@@ -66,6 +73,9 @@ pub struct JobSpec {
     pub cost: CostModel,
     /// Record per-rank virtual timelines (see [`crate::trace`]).
     pub tracing: bool,
+    /// Collect the causal profile (per-peer channel matrix + wait-state
+    /// decomposition), surfaced as [`JobResult::profile`].
+    pub profiling: bool,
     /// Fault-injection plan (empty by default). See
     /// [`cmpi_cluster::FaultPlan`].
     pub faults: FaultPlan,
@@ -81,6 +91,7 @@ impl JobSpec {
             tunables: Tunables::default(),
             cost: CostModel::default(),
             tracing: false,
+            profiling: false,
             faults: FaultPlan::none(),
         }
     }
@@ -114,6 +125,14 @@ impl JobSpec {
     /// from [`JobResult::trace`].
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Collect the causal profile: per-peer channel matrices, message-size
+    /// histograms and wait-state decomposition, assembled into
+    /// [`JobResult::profile`] at finalize.
+    pub fn with_profiling(mut self) -> Self {
+        self.profiling = true;
         self
     }
 
@@ -178,6 +197,7 @@ impl JobSpec {
             state.attached[r].store(ok, Ordering::Release);
         }
         let tracing = self.tracing;
+        let profiling = self.profiling;
         let mut slots: Vec<RankSlot<R>> = (0..n).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
@@ -192,11 +212,15 @@ impl JobSpec {
                             if tracing {
                                 mpi.trace = Some(RankTrace::default());
                             }
+                            if profiling {
+                                mpi.prof = Some(ProfCollector::new(mpi.n));
+                            }
+                            mpi.emit_init_events();
                             let out = f(&mut mpi);
                             // Drain any protocol work peers still need from
                             // us before tearing down.
                             mpi.state.finalize_barrier.wait();
-                            (out, mpi.now, mpi.stats, mpi.trace)
+                            (out, mpi.now, mpi.stats, mpi.trace, mpi.prof)
                         })
                         .expect("failed to spawn rank thread"),
                 );
@@ -209,16 +233,36 @@ impl JobSpec {
         let mut times = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
         let mut traces = Vec::with_capacity(n);
+        let mut profs = Vec::with_capacity(n);
         for s in slots {
-            let (out, t, st, tr) = s.expect("rank produced no result");
+            let (out, t, st, tr, pr) = s.expect("rank produced no result");
             results.push(out);
             times.push(t);
             stats.push(st);
             traces.push(tr);
+            profs.push(pr);
         }
         let elapsed = times.iter().copied().fold(SimTime::ZERO, SimTime::max);
         let trace = traces[0].is_some().then(|| JobTrace {
             ranks: traces.into_iter().map(Option::unwrap).collect(),
+        });
+        let profile = profs[0].is_some().then(|| {
+            let collectors = profs.into_iter().map(Option::unwrap).collect();
+            let fabric = (0..n)
+                .map(|r| match state.fabric.stats(r) {
+                    Ok(s) => FabricCounters {
+                        sends: s.sends,
+                        send_bytes: s.send_bytes,
+                        recvs: s.recvs,
+                        recv_bytes: s.recv_bytes,
+                        rdma_ops: s.rdma_ops,
+                        rdma_bytes: s.rdma_bytes,
+                    },
+                    // Unprivileged containers have no endpoint.
+                    Err(_) => FabricCounters::default(),
+                })
+                .collect();
+            JobProfile::assemble(collectors, state.queue_pressure(), fabric)
         });
         JobResult {
             results,
@@ -226,6 +270,7 @@ impl JobSpec {
             stats: JobStats::new(stats),
             elapsed,
             trace,
+            profile,
         }
     }
 }
@@ -243,6 +288,8 @@ pub struct JobResult<R> {
     pub elapsed: SimTime,
     /// Recorded timelines when the spec enabled tracing.
     pub trace: Option<JobTrace>,
+    /// Assembled causal profile when the spec enabled profiling.
+    pub profile: Option<JobProfile>,
 }
 
 struct CellInner {
@@ -362,6 +409,22 @@ impl JobState {
         self.pair_queue(src, dst).release(bytes, t);
         self.cells[src].poke();
     }
+
+    /// Aggregate backpressure counters over every instantiated pair queue
+    /// (collected at finalize for the job profile).
+    fn queue_pressure(&self) -> QueuePressure {
+        let queues = self.queues.lock();
+        let mut out = QueuePressure {
+            queues: queues.len() as u64,
+            ..QueuePressure::default()
+        };
+        for q in queues.values() {
+            let s = q.stats();
+            out.stalled_acquires += s.stalled_acquires;
+            out.max_in_flight = out.max_in_flight.max(s.max_in_flight);
+        }
+        out
+    }
 }
 
 /// Per-rank state of an in-flight send.
@@ -375,11 +438,27 @@ pub(crate) enum SendState {
         dst: usize,
         /// Channel the rendezvous runs on.
         channel: Channel,
+        /// Communicator context (classifies the wait state).
+        ctx: u32,
     },
     /// Payload dispatched; waiting for the receiver's FIN.
-    AwaitFin,
-    /// Complete as of the contained virtual time.
-    Done(SimTime),
+    AwaitFin {
+        /// Communicator context.
+        ctx: u32,
+        /// When the receiver's CTS became observable here — everything up
+        /// to this point was late-receiver time, not transfer.
+        cts_at: SimTime,
+    },
+    /// Complete as of `t`.
+    Done {
+        /// Completion time.
+        t: SimTime,
+        /// Communicator context (classifies the wait state).
+        ctx: u32,
+        /// CTS observation time for rendezvous sends (`None` for eager):
+        /// splits a blocked `wait` into late-receiver vs. transfer.
+        rndv_cts: Option<SimTime>,
+    },
 }
 
 /// Per-rank state of an in-flight receive.
@@ -399,6 +478,12 @@ pub(crate) enum RecvState {
         channel: Channel,
         /// Announced size.
         size: usize,
+        /// Communicator context.
+        ctx: u32,
+        /// Flow id (derived, both ends agree; see [`crate::trace::flow_id`]).
+        flow: u64,
+        /// When the sender's RTS arrived — the late-sender boundary.
+        rts_at: SimTime,
     },
     /// Complete: payload and status available.
     Done {
@@ -408,6 +493,14 @@ pub(crate) enum RecvState {
         status: Status,
         /// Completion time.
         t: SimTime,
+        /// When the message (eager payload / RTS) arrived at this rank —
+        /// blocked time before this point is the partner's fault, after
+        /// it the channel's.
+        arrived: SimTime,
+        /// Communicator context (classifies the wait state).
+        ctx: u32,
+        /// Flow id for the trace arrow.
+        flow: u64,
     },
 }
 
@@ -437,6 +530,8 @@ pub struct Mpi {
     pub(crate) next_ctx: u32,
     /// Recorded timeline when tracing is enabled.
     pub(crate) trace: Option<RankTrace>,
+    /// Causal-profile collector when profiling is enabled.
+    pub(crate) prof: Option<ProfCollector>,
     /// Virtual time until which this rank's receive-side copy engine is
     /// busy, tracked *per sender*. Back-to-back transfers from one sender
     /// (a bandwidth stream) serialize — the receiver cannot copy two of
@@ -550,6 +645,7 @@ impl Mpi {
             next_ctx: 16,
             copy_busy: vec![SimTime::ZERO; n],
             trace: None,
+            prof: None,
         }
     }
 
@@ -636,6 +732,76 @@ impl Mpi {
         peer != self.rank && !self.view.peer(peer).same_socket
     }
 
+    /// Ledger a data transfer this rank initiated: the aggregate channel
+    /// counters (Table I) always, plus the per-peer matrix row when
+    /// profiling.
+    pub(crate) fn record_tx(&mut self, dst: usize, channel: Channel, bytes: usize) {
+        self.stats.record_op(channel, bytes);
+        if let Some(p) = &mut self.prof {
+            p.tx.record(dst, channel, bytes);
+        }
+    }
+
+    /// Ledger a delivery to this rank (profiling only — the aggregate
+    /// counters stay initiator-side, as the seed's Table I accounting).
+    pub(crate) fn record_rx(&mut self, src: usize, channel: Channel, bytes: usize) {
+        if let Some(p) = &mut self.prof {
+            p.rx.record(src, channel, bytes);
+        }
+    }
+
+    /// Ledger a one-sided delivery this rank performed *into* `target`'s
+    /// window (the target executes no code for a put; assembly folds these
+    /// into its rx row).
+    pub(crate) fn record_rx_remote(&mut self, target: usize, channel: Channel, bytes: usize) {
+        if let Some(p) = &mut self.prof {
+            p.rx_remote.record(target, channel, bytes);
+        }
+    }
+
+    /// Attribute one blocked interval to the wait-state table.
+    pub(crate) fn record_wait(
+        &mut self,
+        class: cmpi_prof::WaitClass,
+        late_sender: SimTime,
+        late_receiver: SimTime,
+        arrival_skew: SimTime,
+        transfer: SimTime,
+    ) {
+        if let Some(p) = &mut self.prof {
+            p.waits
+                .class_mut(class)
+                .record(late_sender, late_receiver, arrival_skew, transfer);
+        }
+    }
+
+    /// Replay init-time incidents (HCA downgrades, recovery actions) into
+    /// the trace as instant events, so a Perfetto view shows *why* a pair
+    /// ended up on the HCA before the first message flows.
+    pub(crate) fn emit_init_events(&mut self) {
+        if self.trace.is_none() {
+            return;
+        }
+        let downgrades: Vec<(usize, crate::locality::DowngradeReason)> =
+            self.view.downgraded_peers().collect();
+        let recovery = self.stats.recovery;
+        let t = self.now;
+        let tr = self.trace.as_mut().expect("checked above");
+        for (peer, reason) in downgrades {
+            tr.instant("hca-downgrade", t, Some(peer), Some(reason.name()), 1);
+        }
+        for (name, count) in [
+            ("list-recovery", recovery.list_recoveries),
+            ("publish-conflict-repair", recovery.publish_conflicts),
+            ("init-retry", recovery.init_retries),
+            ("attach-retry", recovery.attach_retries),
+        ] {
+            if count > 0 {
+                tr.instant(name, t, None, None, count);
+            }
+        }
+    }
+
     /// Drain the fabric endpoint and the mailbox, handling every packet.
     pub(crate) fn progress(&mut self) {
         if self.state.attached[self.rank].load(Ordering::Acquire) {
@@ -695,6 +861,7 @@ impl Mpi {
                     Channel::Cma => unreachable!("eager data never travels on CMA"),
                 };
                 self.copy_busy[pkt.src] = chunk_ready;
+                self.record_rx(pkt.src, pkt.channel, len);
                 if let Some(msg) = self.engine.eager_chunk(
                     pkt.src,
                     ctx,
@@ -704,6 +871,7 @@ impl Mpi {
                     offset,
                     pkt.data,
                     chunk_ready,
+                    pkt.available_at,
                     pkt.channel,
                 ) {
                     self.dispatch(msg);
@@ -731,7 +899,21 @@ impl Mpi {
             PacketKind::Cts { sreq, rreq } => self.handle_cts(&pkt, sreq, rreq),
             PacketKind::RndvData { rreq } => self.handle_rndv_data(pkt, rreq),
             PacketKind::Fin { sreq } => {
-                self.sends.insert(sreq, SendState::Done(pkt.available_at));
+                let st = self
+                    .sends
+                    .remove(&sreq)
+                    .expect("FIN for unknown send request");
+                let SendState::AwaitFin { ctx, cts_at } = st else {
+                    panic!("FIN for a send not awaiting one: {st:?}");
+                };
+                self.sends.insert(
+                    sreq,
+                    SendState::Done {
+                        t: pkt.available_at,
+                        ctx,
+                        rndv_cts: Some(cts_at),
+                    },
+                );
             }
         }
     }
@@ -753,8 +935,13 @@ impl Mpi {
     /// progress engine happened to process packets cannot change costs.
     pub(crate) fn fulfill(&mut self, rreq: ReqId, msg: ArrivedMsg, posted_at: SimTime) {
         let cost = &self.state.cost;
+        let flow = flow_id(msg.src, self.rank, msg.seq);
         match msg.body {
-            ArrivedBody::Eager { data, ready_at } => {
+            ArrivedBody::Eager {
+                data,
+                ready_at,
+                arrived_at,
+            } => {
                 let mut t = if ready_at <= posted_at {
                     posted_at.max(ready_at) + cost.copy_time(data.len() as u64, false)
                 } else {
@@ -766,7 +953,17 @@ impl Mpi {
                     tag: msg.tag,
                     len: data.len(),
                 };
-                self.recvs.insert(rreq, RecvState::Done { data, status, t });
+                self.recvs.insert(
+                    rreq,
+                    RecvState::Done {
+                        data,
+                        status,
+                        t,
+                        arrived: arrived_at,
+                        ctx: msg.ctx,
+                        flow,
+                    },
+                );
             }
             ArrivedBody::Rts {
                 size,
@@ -790,6 +987,9 @@ impl Mpi {
                         sreq,
                         channel: msg.channel,
                         size: size as usize,
+                        ctx: msg.ctx,
+                        flow,
+                        rts_at: available_at,
                     },
                 );
             }
@@ -802,14 +1002,26 @@ impl Mpi {
             .sends
             .remove(&sreq)
             .expect("CTS for unknown send request");
-        let SendState::AwaitCts { data, dst, channel } = st else {
+        let SendState::AwaitCts {
+            data,
+            dst,
+            channel,
+            ctx,
+        } = st
+        else {
             panic!("CTS for a send not awaiting one: {st:?}");
         };
         let t = self.now.max(pkt.available_at);
         let len = data.len();
         self.send_control(dst, PacketKind::RndvData { rreq }, data, channel, t);
-        self.stats.record_op(channel, len);
-        self.sends.insert(sreq, SendState::AwaitFin);
+        self.record_tx(dst, channel, len);
+        self.sends.insert(
+            sreq,
+            SendState::AwaitFin {
+                ctx,
+                cts_at: pkt.available_at,
+            },
+        );
     }
 
     /// The receiver's payload handler: charge the transfer, complete the
@@ -825,6 +1037,9 @@ impl Mpi {
             sreq,
             channel,
             size,
+            ctx,
+            flow,
+            rts_at,
         } = st
         else {
             panic!("rendezvous data for a recv not awaiting it: {st:?}");
@@ -847,6 +1062,7 @@ impl Mpi {
             Channel::Shm => unreachable!("rendezvous payload never travels on SHM"),
         };
         self.send_control(src, PacketKind::Fin { sreq }, Bytes::new(), channel, t);
+        self.record_rx(src, channel, size);
         let status = Status {
             src,
             tag,
@@ -858,6 +1074,9 @@ impl Mpi {
                 data: pkt.data,
                 status,
                 t,
+                arrived: rts_at,
+                ctx,
+                flow,
             },
         );
     }
@@ -923,6 +1142,9 @@ impl Mpi {
                 Ok(info) => return info,
                 Err(FabricError::TransientCompletion { .. }) => {
                     self.stats.recovery.send_retries += 1;
+                    if let Some(tr) = &mut self.trace {
+                        tr.instant("send-retry", t, Some(dst), None, 1);
+                    }
                     t += SimTime::from_ns(self.state.cost.hca_post_ns << attempt.min(8));
                 }
                 Err(e) => panic!("{what} failed: {e} (is the container privileged?)"),

@@ -1,0 +1,151 @@
+//! Property-based tests for the causal profiling subsystem.
+//!
+//! Two invariants hold by construction and must keep holding as the
+//! channel layer evolves:
+//!
+//! * the transmitted matrix's row sums equal the rank's aggregate
+//!   [`cmpi_core::ChannelCounter`]s (the matrix is Table I refined, not a
+//!   second bookkeeping that can drift), and every byte a rank initiated
+//!   is delivered exactly once (conservation);
+//! * every wait-state breakdown's four components sum to its blocked
+//!   time.
+
+use bytes::Bytes;
+use cmpi_cluster::{Channel, DeploymentScenario, NamespaceSharing};
+use cmpi_core::{JobProfile, JobResult, JobSpec, LocalityPolicy, ReduceOp, WaitClass};
+use cmpi_prof::chan_index;
+use proptest::prelude::*;
+
+/// 4 ranks across 2 hosts × 2 containers, so random traffic exercises
+/// SHM, CMA and HCA at once.
+fn four_rank_scenario() -> DeploymentScenario {
+    DeploymentScenario::containers(2, 2, 1, NamespaceSharing::default())
+}
+
+/// Check the matrix-vs-aggregate and conservation invariants on one run.
+fn assert_ledgers_consistent<R>(r: &JobResult<R>) {
+    let p = r.profile.as_ref().expect("profiling was enabled");
+    for (rank, row) in p.tx.iter().enumerate() {
+        let totals = row.channel_totals();
+        for ch in Channel::ALL {
+            let agg = r.stats.per_rank[rank].channel(ch);
+            let cell = totals[chan_index(ch)];
+            assert_eq!(
+                (cell.ops, cell.bytes),
+                (agg.ops, agg.bytes),
+                "rank {rank} {} row sum drifted from its ChannelCounter",
+                ch.name()
+            );
+        }
+    }
+    assert_eq!(p.conservation_error(), 0, "a byte was lost or duplicated");
+}
+
+/// Check that every (rank, class) breakdown's components sum to blocked.
+fn assert_waits_decompose(p: &JobProfile) {
+    for (rank, w) in p.waits.iter().enumerate() {
+        for class in WaitClass::ALL {
+            let b = w.class(class);
+            assert_eq!(
+                b.components_total(),
+                b.blocked,
+                "rank {rank} {} components do not sum to blocked",
+                class.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random sequential pt2pt plans: matrix row sums equal the Table I
+    /// aggregates, bytes are conserved directionally, waits decompose.
+    #[test]
+    fn pt2pt_ledgers_balance(
+        // Each entry encodes (src, dst offset, size): the vendored
+        // proptest has no tuple strategies.
+        encoded in proptest::collection::vec(0usize..(4 * 3 * 40_000), 1..12),
+        hostname_policy in any::<bool>(),
+    ) {
+        let plan: Vec<(usize, usize, usize)> = encoded
+            .iter()
+            .map(|&v| (v % 4, 1 + (v / 4) % 3, 1 + (v / 12) % 40_000))
+            .collect();
+        let policy = if hostname_policy {
+            LocalityPolicy::Hostname
+        } else {
+            LocalityPolicy::ContainerDetector
+        };
+        let spec = JobSpec::new(four_rank_scenario())
+            .with_policy(policy)
+            .with_profiling();
+        let r = spec.run(move |mpi| {
+            for &(src, off, size) in &plan {
+                let dst = (src + off) % 4;
+                if mpi.rank() == src {
+                    mpi.send_bytes(Bytes::from(vec![0u8; size]), dst, 7);
+                } else if mpi.rank() == dst {
+                    mpi.recv_bytes(src, 7);
+                }
+            }
+            0u32
+        });
+        assert_ledgers_consistent(&r);
+        let p = r.profile.as_ref().unwrap();
+        prop_assert!(p.directionally_conserved());
+        assert_waits_decompose(p);
+    }
+
+    /// Random collective mixes: collective-internal traffic keeps the
+    /// same conservation and decomposition guarantees, and the skew
+    /// lands in the Collective class.
+    #[test]
+    fn collective_ledgers_balance(
+        sizes in proptest::collection::vec(1usize..3_000, 1..5),
+        with_barrier in any::<bool>(),
+    ) {
+        let spec = JobSpec::new(four_rank_scenario()).with_profiling();
+        let r = spec.run(move |mpi| {
+            let mut acc = 0u64;
+            for &s in &sizes {
+                let mine = vec![mpi.rank() as u64 + 1; s.div_ceil(8)];
+                acc += mpi.allreduce(&mine, ReduceOp::Sum)[0];
+                if with_barrier {
+                    mpi.barrier();
+                }
+            }
+            acc
+        });
+        assert_ledgers_consistent(&r);
+        let p = r.profile.as_ref().unwrap();
+        assert_waits_decompose(p);
+        for w in &p.waits {
+            prop_assert!(w.class(WaitClass::Pt2pt).samples == 0);
+        }
+    }
+
+    /// Mixed pt2pt + allreduce still balances (the two classes share the
+    /// channel layer but not their wait attribution).
+    #[test]
+    fn mixed_workload_balances(
+        size in 1usize..70_000,
+        rounds in 1usize..4,
+    ) {
+        let spec = JobSpec::new(four_rank_scenario()).with_profiling();
+        let r = spec.run(move |mpi| {
+            for _ in 0..rounds {
+                let peer = mpi.rank() ^ 1;
+                if mpi.rank() < peer {
+                    mpi.send_bytes(Bytes::from(vec![1u8; size]), peer, 9);
+                } else {
+                    mpi.recv_bytes(peer, 9);
+                }
+                mpi.allreduce(&[mpi.rank() as u64], ReduceOp::Max);
+            }
+            0u8
+        });
+        assert_ledgers_consistent(&r);
+        assert_waits_decompose(r.profile.as_ref().unwrap());
+    }
+}

@@ -92,6 +92,10 @@ pub struct EndpointStats {
     pub sends: u64,
     /// Two-sided bytes sent.
     pub send_bytes: u64,
+    /// Two-sided messages drained by this rank's progress engine.
+    pub recvs: u64,
+    /// Two-sided bytes drained.
+    pub recv_bytes: u64,
     /// RDMA operations initiated.
     pub rdma_ops: u64,
     /// RDMA bytes moved.
@@ -352,7 +356,14 @@ impl Fabric {
 
     /// Drain `rank`'s receive queue (ordered by arrival).
     pub fn poll_recv(&self, rank: usize) -> Result<Vec<FabricMsg>, FabricError> {
-        Ok(std::mem::take(&mut *self.ep(rank)?.incoming.lock()))
+        let ep = self.ep(rank)?;
+        let msgs = std::mem::take(&mut *ep.incoming.lock());
+        if !msgs.is_empty() {
+            let mut st = ep.stats.lock();
+            st.recvs += msgs.len() as u64;
+            st.recv_bytes += msgs.iter().map(|m| m.data.len() as u64).sum::<u64>();
+        }
+        Ok(msgs)
     }
 
     /// Register `len` bytes of `rank`'s memory for remote access.

@@ -3,22 +3,29 @@
 //! ```text
 //! osu <bench> [--scenario intra|inter|2hosts|native-intra|native-inter]
 //!             [--policy def|opt|shm|cma|hca] [--max-size N] [--iters N]
+//!             [--profile] [--profile-json PATH]
 //! ```
+//!
+//! `--profile` re-runs the bench kernel at the largest size with the
+//! causal profiler on and prints the per-peer channel matrix plus the
+//! wait-state decomposition; `--profile-json PATH` writes the same
+//! profile as JSON (round-trip-validated before the write).
 //!
 //! Benches: latency, bw, bibw, put-lat, put-bw, get-lat, get-bw,
 //! bcast, allreduce, allgather, alltoall, barrier, reduce, gather, scatter,
 //! reduce-scatter, scan.
 
 use cmpi_cluster::{Channel, DeploymentScenario, NamespaceSharing};
-use cmpi_core::{JobSpec, LocalityPolicy};
+use cmpi_core::{JobSpec, Json, LocalityPolicy};
 use cmpi_osu::collective::{self, CollOp};
-use cmpi_osu::{onesided, power_of_two_sizes, pt2pt, SizePoint};
+use cmpi_osu::{onesided, power_of_two_sizes, pt2pt, ProfileKernel, SizePoint};
 
 fn usage() -> ! {
     eprintln!(
         "usage: osu <latency|bw|bibw|put-lat|put-bw|get-lat|get-bw|bcast|allreduce|allgather|alltoall>\n\
          \x20        [--scenario intra|inter|2hosts|native-intra|native-inter|coll]\n\
-         \x20        [--policy def|opt|shm|cma|hca] [--max-size N] [--iters N]"
+         \x20        [--policy def|opt|shm|cma|hca] [--max-size N] [--iters N]\n\
+         \x20        [--profile] [--profile-json PATH]"
     );
     std::process::exit(2)
 }
@@ -33,6 +40,8 @@ fn main() {
     let mut policy = "opt".to_string();
     let mut max_size = 1 << 20;
     let mut iters = 20usize;
+    let mut profile = false;
+    let mut profile_json: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,6 +65,14 @@ fn main() {
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--profile" => {
+                profile = true;
+                i += 1;
+            }
+            "--profile-json" => {
+                profile_json = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             _ => usage(),
@@ -151,5 +168,32 @@ fn main() {
     println!("{:>10}  {:>14}", "size", unit);
     for p in points {
         println!("{:>10}  {:>14.2}", p.size, p.value);
+    }
+
+    if profile || profile_json.is_some() {
+        let op = match bench.as_str() {
+            "bcast" => Some(CollOp::Bcast),
+            "allreduce" => Some(CollOp::Allreduce),
+            "allgather" => Some(CollOp::Allgather),
+            "alltoall" => Some(CollOp::Alltoall),
+            "barrier" => Some(CollOp::Barrier),
+            "reduce" => Some(CollOp::Reduce),
+            "gather" => Some(CollOp::Gather),
+            "scatter" => Some(CollOp::Scatter),
+            "reduce-scatter" => Some(CollOp::ReduceScatter),
+            "scan" => Some(CollOp::Scan),
+            _ => None,
+        };
+        let kernel = ProfileKernel::for_bench(&bench, op);
+        let p = cmpi_osu::profiled_run(&spec, kernel, max_size, iters.min(8));
+        if profile {
+            print!("{}", p.report());
+        }
+        if let Some(path) = profile_json {
+            let doc = p.to_json().to_string();
+            Json::parse(&doc).expect("profile JSON must round-trip");
+            std::fs::write(&path, doc).expect("write profile json");
+            eprintln!("wrote {path}");
+        }
     }
 }

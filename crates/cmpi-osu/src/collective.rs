@@ -109,7 +109,7 @@ pub fn latency(spec: &JobSpec, op: CollOp, sizes: &[usize], iters: usize) -> Vec
         .collect()
 }
 
-fn run_op(mpi: &mut cmpi_core::Mpi, op: CollOp, mine: &[u64], elems: usize, n: usize) {
+pub(crate) fn run_op(mpi: &mut cmpi_core::Mpi, op: CollOp, mine: &[u64], elems: usize, n: usize) {
     match op {
         CollOp::Bcast => {
             let mut buf = mine.to_vec();

@@ -18,6 +18,8 @@
 pub mod collective;
 pub mod common;
 pub mod onesided;
+pub mod profile;
 pub mod pt2pt;
 
 pub use common::{power_of_two_sizes, SizePoint};
+pub use profile::{profiled_run, ProfileKernel};

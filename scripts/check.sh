@@ -5,6 +5,8 @@
 #   build     release build of the whole workspace
 #   test      unit + integration + doc tests
 #   examples  every example builds and runs to completion
+#   profile   profile-smoke: profiled OSU + figures --profile runs, with
+#             JSON parse and matrix byte-conservation asserted inside
 #   clippy    all targets, warnings are errors
 #   fmt       rustfmt in check mode
 set -euo pipefail
@@ -23,6 +25,13 @@ for ex in quickstart locality_detection graph500_bfs npb_kernels \
   echo "-- example: $ex" >&2
   cargo run --release --quiet --example "$ex" >/dev/null
 done
+
+echo "== profile smoke" >&2
+# The osu bin round-trip-validates the JSON before writing it; the
+# profile_and_trace example (run above) asserts byte conservation.
+cargo run --release --quiet -p cmpi-osu --bin osu -- latency --max-size 16384 \
+  --iters 4 --profile-json target/osu_profile.json >/dev/null
+cargo run --release --quiet -p cmpi-bench --bin figures -- --profile >/dev/null
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings" >&2
 cargo clippy --workspace --all-targets -- -D warnings

@@ -38,6 +38,10 @@ pub use cmpi_fabric as fabric;
 /// The MPI library (the paper's contribution).
 pub use cmpi_core as mpi;
 
+/// Causal profiling: per-peer channel matrices, wait-state analysis,
+/// JSON export (the `figures --profile` / `osu --profile` payload).
+pub use cmpi_prof as prof;
+
 /// OSU-style micro-benchmarks.
 pub use cmpi_osu as osu;
 
@@ -54,7 +58,8 @@ pub mod prelude {
         SimTime, Tunables,
     };
     pub use cmpi_core::{
-        CallClass, Completion, DowngradeReason, JobResult, JobSpec, LocalityPolicy, Mpi,
-        RecoveryStats, ReduceOp, Request, Status, Window, ANY_SOURCE, ANY_TAG,
+        CallClass, Completion, DowngradeReason, JobProfile, JobResult, JobSpec, JobTrace,
+        LocalityPolicy, Mpi, RecoveryStats, ReduceOp, Request, Status, WaitClass, Window,
+        ANY_SOURCE, ANY_TAG,
     };
 }
