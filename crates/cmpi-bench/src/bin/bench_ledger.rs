@@ -1,0 +1,328 @@
+//! Wall-clock benchmark ledger for the runtime's hot message path.
+//!
+//! Unlike the figure benches (which report *virtual* time), this bin
+//! measures how much **real** CPU time the simulator itself burns per
+//! operation — the harness cost the lock-free message path work (PR 4)
+//! optimizes. It emits a machine-readable JSON summary so the perf
+//! trajectory is recorded across PRs:
+//!
+//! ```text
+//! bench_ledger [--out PATH] [--baseline PATH] [--smoke]
+//! ```
+//!
+//! Kernels:
+//!
+//! * `pt2pt_eager_1k_ns_op` — 1 KiB SHM-eager ping-pong, ns per message;
+//! * `pt2pt_rndv_64k_ns_op` — 64 KiB CMA-rendezvous ping-pong, ns per
+//!   message;
+//! * `matching_probe_ns_op` — matching-engine post+match pairs with 64
+//!   outstanding receives, ns per pair (the depth makes the seed's O(n)
+//!   scan quadratic and the bucketed engine O(1));
+//! * `job32_wall_ms` / `job32_msgs_per_sec` — a 32-rank mixed
+//!   pt2pt+collective job (windowed neighbour exchange + allreduce +
+//!   barrier per step), end-to-end wall time.
+//!
+//! With `--baseline` the emitted JSON embeds the baseline's kernels and a
+//! per-kernel `speedup` map (`baseline / current`, so > 1 is faster).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bytes::Bytes;
+use cmpi_cluster::{DeploymentScenario, NamespaceSharing, SimTime};
+use cmpi_core::matching::{ArrivedBody, ArrivedMsg, MatchingEngine, PostedRecv};
+use cmpi_core::{JobSpec, ReduceOp};
+use cmpi_prof::Json;
+
+struct Config {
+    out: Option<String>,
+    baseline: Option<String>,
+    smoke: bool,
+    pressure: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_ledger [--out PATH] [--baseline PATH] [--smoke] [--pressure]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Config {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config {
+        out: None,
+        baseline: None,
+        smoke: false,
+        pressure: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                cfg.out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--baseline" => {
+                cfg.baseline = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--smoke" => {
+                cfg.smoke = true;
+                i += 1;
+            }
+            "--pressure" => {
+                cfg.pressure = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    cfg
+}
+
+/// Ping-pong of `msg`-byte messages, `iters` round trips; ns per message.
+fn pt2pt_ns_op(msg: usize, iters: u32) -> f64 {
+    let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(
+        true,
+        true,
+        NamespaceSharing::default(),
+    ));
+    let t0 = Instant::now();
+    spec.run(|mpi| {
+        let payload = Bytes::from(vec![7u8; msg]);
+        if mpi.rank() == 0 {
+            for _ in 0..iters {
+                mpi.send_bytes(payload.clone(), 1, 0);
+                mpi.recv_bytes(1, 0);
+            }
+        } else {
+            for _ in 0..iters {
+                let (m, _) = mpi.recv_bytes(0, 0);
+                mpi.send_bytes(m, 0, 0);
+            }
+        }
+    });
+    // Two messages per round trip.
+    t0.elapsed().as_nanos() as f64 / (2.0 * f64::from(iters))
+}
+
+/// Matching-engine pressure: `depth` outstanding posted receives, matched
+/// in reverse post order, plus the symmetric unexpected-queue direction.
+/// Returns ns per post+match pair.
+fn matching_ns_op(depth: u32, rounds: u32) -> f64 {
+    let mk_msg = |src: usize, tag: u32, seq: u64| ArrivedMsg {
+        src,
+        ctx: 0,
+        tag,
+        seq,
+        body: ArrivedBody::Eager {
+            data: Bytes::from_static(b"x"),
+            ready_at: SimTime::ZERO,
+            arrived_at: SimTime::ZERO,
+        },
+        channel: cmpi_cluster::Channel::Shm,
+    };
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..rounds {
+        let mut e = MatchingEngine::new();
+        // Posted side: depth receives, messages arrive in reverse tag
+        // order so the seed's linear scan walks the whole queue.
+        for i in 0..depth {
+            e.post_recv(PostedRecv {
+                rreq: u64::from(i),
+                src: Some(1),
+                ctx: 0,
+                tag: Some(i),
+                posted_at: SimTime::ZERO,
+            });
+        }
+        for i in (0..depth).rev() {
+            let m = mk_msg(1, i, u64::from(depth - 1 - i));
+            sink += e.take_matching_posted(&m).expect("posted match").rreq;
+        }
+        // Unexpected side: depth queued messages, receives posted in
+        // reverse arrival order.
+        for i in 0..depth {
+            e.push_unexpected(mk_msg(2, i, u64::from(i)));
+        }
+        for i in (0..depth).rev() {
+            let m = e
+                .post_recv(PostedRecv {
+                    rreq: u64::from(i),
+                    src: Some(2),
+                    ctx: 0,
+                    tag: Some(i),
+                    posted_at: SimTime::ZERO,
+                })
+                .expect("unexpected match");
+            sink += m.seq;
+        }
+    }
+    std::hint::black_box(sink);
+    t0.elapsed().as_nanos() as f64 / (2.0 * f64::from(depth) * f64::from(rounds))
+}
+
+/// The 32-rank mixed job: per step every rank exchanges a window of 1 KiB
+/// messages with four neighbours (receives posted out of arrival order to
+/// exercise the matching queues), then allreduces and barriers. Returns
+/// (wall ms, pt2pt messages sent).
+fn job32(steps: u32, pressure: bool) -> (f64, u64) {
+    // Two 24-core hosts, two containers of 8 ranks each per host: the
+    // neighbour exchange mixes SHM (intra-container), CMA and HCA
+    // (inter-host) traffic in one job.
+    let mut spec = JobSpec::new(DeploymentScenario::containers(
+        2,
+        2,
+        8,
+        NamespaceSharing::default(),
+    ));
+    if pressure {
+        spec = spec.with_profiling();
+    }
+    let t0 = Instant::now();
+    let result = spec.run(|mpi| {
+        let n = mpi.size();
+        let r = mpi.rank();
+        let payload = Bytes::from(vec![42u8; 1024]);
+        let offsets = [1usize, 2, 4, 8];
+        let window = 4u32;
+        let mut sent = 0u64;
+        for _ in 0..steps {
+            // Post all receives first, highest tag first, so arrivals (in
+            // ascending tag order per sender) probe a deep posted queue.
+            let mut recvs = Vec::new();
+            for &d in offsets.iter().rev() {
+                let src = (r + n - d) % n;
+                for w in (0..window).rev() {
+                    recvs.push(mpi.irecv_bytes(src, w));
+                }
+            }
+            let mut sends = Vec::new();
+            for &d in &offsets {
+                let dst = (r + d) % n;
+                for w in 0..window {
+                    sends.push(mpi.isend_bytes(payload.clone(), dst, w));
+                    sent += 1;
+                }
+            }
+            for req in recvs {
+                mpi.wait(req);
+            }
+            for req in sends {
+                mpi.wait(req);
+            }
+            let local = vec![r as u64; 256];
+            let summed = mpi.allreduce(&local, ReduceOp::Sum);
+            assert_eq!(summed[0], (n as u64 * (n as u64 - 1)) / 2);
+            mpi.barrier();
+        }
+        sent
+    });
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if let Some(p) = &result.profile {
+        let q = &p.queue;
+        eprintln!(
+            "bench_ledger: job32 pressure: {} mailbox pushes, {} parks, {} wakes, \
+             {} stalled acquires",
+            q.mailbox_pushes, q.mailbox_parks, q.mailbox_wakes, q.stalled_acquires
+        );
+    }
+    let msgs: u64 = result.results.iter().sum();
+    (wall_ms, msgs)
+}
+
+fn load_baseline(path: &str) -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = Json::parse(&text).ok()?;
+    let kernels = json.get("kernels")?.as_obj()?;
+    Some(
+        kernels
+            .iter()
+            .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+            .collect(),
+    )
+}
+
+fn main() {
+    let cfg = parse_args();
+    // Smoke mode keeps CI fast; full mode sizes the kernels so each runs
+    // long enough for stable wall-clock numbers on one core.
+    let (pp_iters, match_rounds, steps) = if cfg.smoke {
+        (50u32, 20u32, 2u32)
+    } else {
+        (10_000, 5_000, 120)
+    };
+
+    eprintln!("bench_ledger: pt2pt eager 1 KiB ({pp_iters} round trips)");
+    let eager = pt2pt_ns_op(1024, pp_iters);
+    eprintln!("bench_ledger: pt2pt rendezvous 64 KiB");
+    let rndv = pt2pt_ns_op(64 * 1024, pp_iters / 4 + 1);
+    eprintln!("bench_ledger: matching probe (depth 64)");
+    let probe = matching_ns_op(64, match_rounds);
+    eprintln!("bench_ledger: 32-rank mixed job ({steps} steps)");
+    let (job_ms, job_msgs) = job32(steps, cfg.pressure);
+    let msgs_per_sec = job_msgs as f64 / (job_ms / 1e3);
+
+    let kernels: Vec<(&str, f64)> = vec![
+        ("pt2pt_eager_1k_ns_op", eager),
+        ("pt2pt_rndv_64k_ns_op", rndv),
+        ("matching_probe_ns_op", probe),
+        ("job32_wall_ms", job_ms),
+        ("job32_msgs_per_sec", msgs_per_sec),
+    ];
+
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"cmpi-bench-ledger.v1\",\n");
+    let _ = writeln!(
+        out,
+        "  \"config\": {{\"smoke\": {}, \"ranks\": 32, \"steps\": {steps}}},",
+        cfg.smoke
+    );
+    out.push_str("  \"kernels\": {\n");
+    for (i, (k, v)) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{k}\": {v:.1}{comma}");
+    }
+    out.push_str("  }");
+
+    if let Some(path) = &cfg.baseline {
+        match load_baseline(path) {
+            Some(base) => {
+                out.push_str(",\n  \"baseline\": {\n");
+                for (i, (k, v)) in base.iter().enumerate() {
+                    let comma = if i + 1 < base.len() { "," } else { "" };
+                    let _ = writeln!(out, "    \"{k}\": {v:.1}{comma}");
+                }
+                out.push_str("  },\n  \"speedup\": {\n");
+                // For every kernel where smaller is better (ns/ms), the
+                // speedup is baseline/current; for rates it is inverted.
+                let mut lines = Vec::new();
+                for (k, cur) in &kernels {
+                    if let Some((_, b)) = base.iter().find(|(bk, _)| bk == k) {
+                        let s = if k.ends_with("per_sec") {
+                            cur / b
+                        } else {
+                            b / cur
+                        };
+                        lines.push(format!("    \"{k}\": {s:.2}"));
+                    }
+                }
+                let _ = writeln!(out, "{}", lines.join(",\n"));
+                out.push_str("  }");
+            }
+            None => eprintln!("bench_ledger: could not parse baseline {path}, skipping"),
+        }
+    }
+    out.push_str("\n}\n");
+
+    // Round-trip-validate before writing: the ledger must stay parseable
+    // for future trajectory comparisons.
+    Json::parse(&out).expect("bench_ledger emitted invalid JSON");
+    match &cfg.out {
+        Some(path) => {
+            std::fs::write(path, &out).expect("write ledger");
+            eprintln!("bench_ledger: wrote {path}");
+        }
+        None => print!("{out}"),
+    }
+}

@@ -60,7 +60,11 @@ impl std::fmt::Display for Channel {
 ///
 /// The default values reproduce the paper's reported shapes; tests and
 /// ablations may construct variants.
-#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+/// `Copy` on purpose: the runtime snapshots the model into a stack local
+/// at the top of every operation (`let cost = self.state.cost;`) instead
+/// of cloning through an allocation or bouncing an `Arc` refcount cache
+/// line between rank threads.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CostModel {
     // ---- memory system ----------------------------------------------------
     /// Plain `memcpy` bandwidth within one socket, bytes/µs (10 GB/s).

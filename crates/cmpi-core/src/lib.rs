@@ -56,7 +56,9 @@ pub mod comm;
 pub mod datatype;
 pub mod datatype_derived;
 pub mod error;
+pub(crate) mod fasthash;
 pub mod locality;
+pub mod mailbox;
 pub mod matching;
 pub mod onesided;
 pub mod packet;

@@ -1,0 +1,389 @@
+//! The rank mailbox: a lock-free MPSC packet queue with a parking slot.
+//!
+//! Every rank owns one [`RankCell`]. Any rank may push packets into it
+//! (multi-producer); only the owning rank thread pops (single consumer).
+//! The seed implementation serialized every push and pop through one
+//! `Mutex<VecDeque>` per cell — at high message rates the lock handoffs
+//! (and the futex traffic behind them) dominate the simulator's own wall
+//! clock. This module replaces the queue with an intrusive atomic-linked
+//! MPSC list (Vyukov's non-blocking queue): a push is one `swap` plus one
+//! `store`, a pop is one `load` plus a pointer chase, and no path ever
+//! blocks on another producer.
+//!
+//! A mutex+condvar pair remains, but **only** for the empty→parked
+//! transition; the steady-state push/pop path never touches it.
+//!
+//! ### The park/poke protocol
+//!
+//! Lost wake-ups are prevented by a Dekker-style flag exchange on the
+//! `poked` flag:
+//!
+//! * a producer (1) links its node (or performs the state change a poke
+//!   advertises), (2) stores `poked = true` (SeqCst), (3) loads
+//!   `sleeping`; if set, it takes the park lock and notifies;
+//! * the consumer (1) takes the park lock, (2) stores `sleeping = true`
+//!   (SeqCst), (3) re-checks the queue **and** `poked`; only if both are
+//!   clear does it wait on the condvar.
+//!
+//! SeqCst gives a total order over the two flag accesses, so at least one
+//! side observes the other: either the producer sees `sleeping` and
+//! notifies under the lock (which the consumer holds until it is inside
+//! `wait`, so the notify cannot fire early), or the consumer sees `poked`
+//! and never parks. The consumer clears `poked` with a `swap` when it
+//! leaves: the read-modify-write synchronizes with the producer's store,
+//! which makes the pushed node visible to the very next `pop`.
+
+use std::cell::UnsafeCell;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::packet::Packet;
+
+struct Node {
+    next: AtomicPtr<Node>,
+    pkt: Option<Packet>,
+}
+
+/// Vyukov-style intrusive MPSC queue. `push` is wait-free for producers
+/// (one `swap` + one `store`); `pop` is consumer-only.
+///
+/// During a push there is a short window between the `swap` and the
+/// `store` where the new node is not yet linked; `pop` observes an empty
+/// queue then. [`RankCell`]'s poke protocol covers the window: the
+/// producer raises `poked` only *after* the link store, so a consumer
+/// that parked on the momentarily-invisible node is woken and retries.
+struct MpscQueue {
+    /// Most recently pushed node; producers swap themselves in here.
+    head: AtomicPtr<Node>,
+    /// Oldest node (initially the stub); owned by the single consumer.
+    tail: UnsafeCell<*mut Node>,
+}
+
+// Producers only touch `head`; `tail` is only dereferenced by the single
+// consumer (enforced by the runtime: `pop`/`sleep_if_idle` are called by
+// the owning rank thread alone).
+unsafe impl Send for MpscQueue {}
+unsafe impl Sync for MpscQueue {}
+
+impl MpscQueue {
+    fn new() -> Self {
+        let stub = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            pkt: None,
+        }));
+        MpscQueue {
+            head: AtomicPtr::new(stub),
+            tail: UnsafeCell::new(stub),
+        }
+    }
+
+    /// Multi-producer push: link `pkt` at the head.
+    fn push(&self, pkt: Packet) {
+        let node = Box::into_raw(Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            pkt: Some(pkt),
+        }));
+        // The swap is the serialization point: the queue's pop order is
+        // the total order of these swaps, which refines per-producer
+        // program order — exactly the per-sender FIFO MPI needs.
+        let prev = self.head.swap(node, Ordering::AcqRel);
+        // Link the predecessor to us. Until this store lands the chain is
+        // broken at `prev` and pops stop there (they never reorder).
+        unsafe { (*prev).next.store(node, Ordering::Release) };
+    }
+
+    /// Single-consumer pop of the oldest packet, `None` when the queue is
+    /// empty *or* a push is mid-link (the poke protocol retries then).
+    fn pop(&self) -> Option<Packet> {
+        unsafe {
+            let tail = *self.tail.get();
+            let next = (*tail).next.load(Ordering::Acquire);
+            if next.is_null() {
+                return None;
+            }
+            *self.tail.get() = next;
+            let pkt = (*next).pkt.take();
+            drop(Box::from_raw(tail));
+            debug_assert!(pkt.is_some(), "non-stub node without a packet");
+            pkt
+        }
+    }
+
+    /// Consumer-side emptiness check (`false` may also mean a push is
+    /// mid-link; see `pop`).
+    fn has_ready(&self) -> bool {
+        unsafe { !(**self.tail.get()).next.load(Ordering::Acquire).is_null() }
+    }
+}
+
+impl Drop for MpscQueue {
+    fn drop(&mut self) {
+        // All producers are joined before the job state drops, so every
+        // link store is visible; drain and free the chain plus the final
+        // stub/tail node.
+        while self.pop().is_some() {}
+        unsafe { drop(Box::from_raw(*self.tail.get())) };
+    }
+}
+
+/// Wall-clock pressure counters of one mailbox (all relaxed; they feed
+/// the job profile, not any control flow).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MailboxStats {
+    /// Packets pushed over the cell's lifetime.
+    pub pushes: u64,
+    /// Times the owning rank parked on the empty cell.
+    pub parks: u64,
+    /// Producer-side notifies that found a parked consumer.
+    pub wakes: u64,
+}
+
+/// A rank's mailbox: intra-host packets are pushed here directly; fabric
+/// arrivals and eager-queue drains poke it so a sleeping rank wakes up.
+pub(crate) struct RankCell {
+    q: MpscQueue,
+    /// Producer-raised "state changed" flag; cleared by the consumer as
+    /// it leaves `sleep_if_idle`.
+    poked: AtomicBool,
+    /// Consumer-raised "about to park" flag; read by producers to skip
+    /// the park lock entirely on the fast path.
+    sleeping: AtomicBool,
+    park: Mutex<()>,
+    cv: Condvar,
+    pushes: AtomicU64,
+    parks: AtomicU64,
+    wakes: AtomicU64,
+}
+
+impl RankCell {
+    pub(crate) fn new() -> Self {
+        RankCell {
+            q: MpscQueue::new(),
+            poked: AtomicBool::new(false),
+            sleeping: AtomicBool::new(false),
+            park: Mutex::new(()),
+            cv: Condvar::new(),
+            pushes: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn push(&self, pkt: Packet) {
+        self.q.push(pkt);
+        self.pushes.fetch_add(1, Ordering::Relaxed);
+        self.wake();
+    }
+
+    /// Signal a state change that is not a packet (fabric arrival,
+    /// pair-queue drain): the owner re-runs its progress engine.
+    pub(crate) fn poke(&self) {
+        self.wake();
+    }
+
+    fn wake(&self) {
+        self.poked.store(true, Ordering::SeqCst);
+        if self.sleeping.load(Ordering::SeqCst) {
+            // Taking the park lock orders this notify after the consumer
+            // has entered `wait` (it holds the lock from the flag checks
+            // until the wait releases it) — the notify cannot be lost.
+            self.wakes.fetch_add(1, Ordering::Relaxed);
+            let _guard = self.park.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn pop(&self) -> Option<Packet> {
+        self.q.pop()
+    }
+
+    /// Park the owning rank until something happens (a packet push, or a
+    /// poke from the fabric or an eager-queue drain).
+    ///
+    /// Parking is preceded by a bounded yield phase: on an oversubscribed
+    /// host (more ranks than cores) yielding hands the CPU to a runnable
+    /// producer, which typically delivers within a few reschedules — no
+    /// futex wait/wake round trip on either side. Parking remains the
+    /// fallback so a genuinely idle rank does not spin.
+    pub(crate) fn sleep_if_idle(&self) {
+        const YIELD_SPINS: u32 = 8;
+        for _ in 0..YIELD_SPINS {
+            if self.q.has_ready() || self.poked.swap(false, Ordering::SeqCst) {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        let mut guard = self.park.lock();
+        self.sleeping.store(true, Ordering::SeqCst);
+        if !self.q.has_ready() && !self.poked.load(Ordering::SeqCst) {
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            self.cv.wait(&mut guard);
+        }
+        self.sleeping.store(false, Ordering::SeqCst);
+        // The swap synchronizes with the producer's `poked` store, making
+        // its linked node visible to the caller's next `pop` loop. A poke
+        // raised after this swap is not lost either: the caller re-checks
+        // its completion state before sleeping again, and the state
+        // change it advertises happened-before the poke.
+        self.poked.swap(false, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the wall-clock pressure counters.
+    pub(crate) fn stats(&self) -> MailboxStats {
+        MailboxStats {
+            pushes: self.pushes.load(Ordering::Relaxed),
+            parks: self.parks.load(Ordering::Relaxed),
+            wakes: self.wakes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use bytes::Bytes;
+    use cmpi_cluster::{Channel, SimTime};
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn pkt(src: usize, seq: u64) -> Packet {
+        Packet {
+            src,
+            channel: Channel::Shm,
+            available_at: SimTime::ZERO,
+            kind: PacketKind::Eager {
+                ctx: 0,
+                tag: 0,
+                seq,
+                total: 0,
+                offset: 0,
+            },
+            data: Bytes::new(),
+        }
+    }
+
+    fn seq_of(p: &Packet) -> u64 {
+        match p.kind {
+            PacketKind::Eager { seq, .. } => seq,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn fifo_single_producer() {
+        let cell = RankCell::new();
+        for i in 0..100 {
+            cell.push(pkt(0, i));
+        }
+        for i in 0..100 {
+            assert_eq!(seq_of(&cell.pop().expect("packet")), i);
+        }
+        assert!(cell.pop().is_none());
+    }
+
+    #[test]
+    fn per_producer_fifo_under_contention() {
+        const PRODUCERS: usize = 8;
+        const PER_PRODUCER: u64 = 2_000;
+        let cell = Arc::new(RankCell::new());
+        std::thread::scope(|s| {
+            for p in 0..PRODUCERS {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        cell.push(pkt(p, i));
+                    }
+                });
+            }
+            let cell = Arc::clone(&cell);
+            s.spawn(move || {
+                let mut next = [0u64; PRODUCERS];
+                let mut got = 0u64;
+                while got < PRODUCERS as u64 * PER_PRODUCER {
+                    match cell.pop() {
+                        Some(p) => {
+                            let seq = seq_of(&p);
+                            assert_eq!(seq, next[p.src], "per-sender FIFO violated");
+                            next[p.src] += 1;
+                            got += 1;
+                        }
+                        None => cell.sleep_if_idle(),
+                    }
+                }
+                assert!(cell.pop().is_none());
+            });
+        });
+        assert_eq!(
+            cell.stats().pushes,
+            PRODUCERS as u64 * PER_PRODUCER,
+            "push counter"
+        );
+    }
+
+    /// The regression test for the park/poke race window: producers
+    /// pushing one packet at a time must never strand a consumer that is
+    /// just deciding to park. A lost wake-up hangs this test.
+    #[test]
+    fn park_poke_race_hammer() {
+        const ROUNDS: usize = 200;
+        const PRODUCERS: usize = 4;
+        for _ in 0..ROUNDS {
+            let cell = Arc::new(RankCell::new());
+            let received = Arc::new(AtomicUsize::new(0));
+            std::thread::scope(|s| {
+                for p in 0..PRODUCERS {
+                    let cell = Arc::clone(&cell);
+                    s.spawn(move || {
+                        // No delay: the push races the consumer's
+                        // empty-check-then-park sequence head on.
+                        cell.push(pkt(p, 0));
+                        cell.poke();
+                    });
+                }
+                let cell = Arc::clone(&cell);
+                let received = Arc::clone(&received);
+                s.spawn(move || {
+                    let mut got = 0;
+                    while got < PRODUCERS {
+                        match cell.pop() {
+                            Some(_) => got += 1,
+                            None => cell.sleep_if_idle(),
+                        }
+                    }
+                    received.store(got, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(received.load(Ordering::SeqCst), PRODUCERS);
+        }
+    }
+
+    #[test]
+    fn poke_without_packet_wakes_sleeper() {
+        let cell = Arc::new(RankCell::new());
+        let cell2 = Arc::clone(&cell);
+        let h = std::thread::spawn(move || {
+            // Returns only once a poke or packet arrives.
+            cell2.sleep_if_idle();
+        });
+        // Give the sleeper a moment to actually park, then poke.
+        while cell.stats().parks == 0 && !h.is_finished() {
+            std::thread::yield_now();
+        }
+        cell.poke();
+        h.join().expect("sleeper woke");
+    }
+
+    #[test]
+    fn drop_frees_pending_packets() {
+        let cell = RankCell::new();
+        for i in 0..10 {
+            cell.push(pkt(0, i));
+        }
+        // Dropping with undrained packets must not leak or double-free
+        // (exercised under the test allocator / miri-like checks).
+        drop(cell);
+    }
+}

@@ -11,12 +11,44 @@
 //! * eager messages may arrive as multiple chunks (the SHM channel chunks
 //!   anything larger than one eager packet); the engine reassembles them
 //!   and tracks the virtual time at which the last chunk was consumed.
+//!
+//! # Bucketed queues
+//!
+//! The seed implementation kept one linear `VecDeque` per side and
+//! scanned it on every probe — O(depth) per message, quadratic for the
+//! deep out-of-order windows irregular apps post. This version buckets
+//! both sides by the full match key `(ctx, src, tag)`:
+//!
+//! * every arrived message is concrete, so the unexpected queue is purely
+//!   bucketed — a fully-specified receive probes exactly one bucket;
+//! * posted receives with a wildcard (`MPI_ANY_SOURCE` / `MPI_ANY_TAG`)
+//!   go to a separate *sideline* kept in post order.
+//!
+//! A single monotone **stamp** is assigned to every enqueued entry on
+//! either side. Buckets hold entries in stamp order, so "first match in
+//! queue order" becomes "minimum stamp among candidate bucket fronts":
+//!
+//! * incoming message vs. posted receives: compare the front of the one
+//!   exact bucket against the first matching sideline entry, take the
+//!   smaller stamp — O(1) plus the (typically empty) sideline scan;
+//! * wildcard receive vs. unexpected messages: sweep the fronts of the
+//!   buckets whose key the wildcard accepts and take the minimum stamp.
+//!   This is the documented slow path — wildcard receives trade the O(1)
+//!   probe for a scan over the bucket set (drained buckets are swept out
+//!   once they outnumber live entries), still far smaller than the full
+//!   message backlog.
+//!
+//! Because stamps are assigned in arrival/post order, min-stamp selection
+//! reproduces the linear scan's FIFO order exactly; the property test in
+//! `tests/matching_equiv.rs` checks observational equivalence against a
+//! reference linear engine under random interleavings.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use bytes::Bytes;
 use cmpi_cluster::{Channel, SimTime};
 
+use crate::fasthash::FastMap;
 use crate::packet::ReqId;
 
 /// A fully arrived message (eager payload or rendezvous announcement).
@@ -100,12 +132,62 @@ struct Assembly {
     channel: Channel,
 }
 
+/// Full match key of a concrete message: `(ctx, src, tag)`.
+type MatchKey = (u32, usize, u32);
+
+/// Upper bound on retained assembly slabs; beyond this, drained buffers
+/// fall back to the allocator.
+const SLAB_POOL_MAX: usize = 32;
+
+/// Pop a recycled slab sized to `total`, or allocate a fresh one.
+fn take_slab(slabs: &mut Vec<Vec<u8>>, total: usize) -> Vec<u8> {
+    match slabs.pop() {
+        Some(mut b) => {
+            b.clear();
+            b.resize(total, 0);
+            b
+        }
+        None => vec![0u8; total],
+    }
+}
+
+/// When a bucket map holds this many more buckets than live entries,
+/// drained buckets are swept out (amortized; keeps wildcard scans and
+/// memory bounded while letting hot keys reuse their deque allocation).
+const PRUNE_SLACK: usize = 64;
+
 /// Per-rank matching engine.
+///
+/// Drained buckets are *retained* so a hot `(ctx, src, tag)` stream
+/// reuses its deque allocation instead of churning the allocator; the
+/// wildcard sweep skips empty buckets, and `maybe_prune` sweeps them out
+/// once they outnumber live entries by [`PRUNE_SLACK`].
 #[derive(Debug, Default)]
 pub struct MatchingEngine {
-    assemblies: HashMap<(usize, u64), Assembly>,
-    unexpected: VecDeque<ArrivedMsg>,
-    posted: VecDeque<PostedRecv>,
+    assemblies: FastMap<(usize, u64), Assembly>,
+    /// Arrived messages no posted receive wanted, bucketed by match key;
+    /// entries carry their arrival stamp.
+    unexpected: FastMap<MatchKey, VecDeque<(u64, ArrivedMsg)>>,
+    unexpected_count: usize,
+    /// Fully-specified posted receives, bucketed by match key.
+    posted_exact: FastMap<MatchKey, VecDeque<(u64, PostedRecv)>>,
+    posted_exact_count: usize,
+    /// Wildcard posted receives, in post order.
+    posted_wild: VecDeque<(u64, PostedRecv)>,
+    /// Monotone enqueue stamp shared by both sides; min-stamp selection
+    /// across buckets reproduces the linear queue's FIFO order.
+    stamp: u64,
+    /// Recycled multi-chunk assembly buffers.
+    slabs: Vec<Vec<u8>>,
+}
+
+/// Sweep drained buckets once they outnumber live entries by
+/// [`PRUNE_SLACK`]. `entries` is the total queued across buckets, an
+/// upper bound on live buckets.
+fn maybe_prune<T>(map: &mut FastMap<MatchKey, VecDeque<T>>, entries: usize) {
+    if map.len() > entries + PRUNE_SLACK {
+        map.retain(|_, q| !q.is_empty());
+    }
 }
 
 impl MatchingEngine {
@@ -114,10 +196,20 @@ impl MatchingEngine {
         Self::default()
     }
 
+    fn next_stamp(&mut self) -> u64 {
+        let s = self.stamp;
+        self.stamp += 1;
+        s
+    }
+
     /// Ingest one eager chunk. `chunk_ready` is the virtual time at which
     /// the receiver finished copying this chunk out of the channel;
     /// `available_at` is when the chunk landed on this rank before any
     /// drain copy. Returns the assembled message once the last chunk lands.
+    ///
+    /// Single-chunk messages (anything at or below the channel's eager
+    /// chunk size) skip assembly entirely: the sender's buffer is handed
+    /// through zero-copy.
     #[allow(clippy::too_many_arguments)]
     pub fn eager_chunk(
         &mut self,
@@ -132,6 +224,21 @@ impl MatchingEngine {
         available_at: SimTime,
         channel: Channel,
     ) -> Option<ArrivedMsg> {
+        if offset == 0 && data.len() as u64 == total {
+            return Some(ArrivedMsg {
+                src,
+                ctx,
+                tag,
+                seq,
+                body: ArrivedBody::Eager {
+                    data,
+                    ready_at: chunk_ready,
+                    arrived_at: available_at,
+                },
+                channel,
+            });
+        }
+        let slabs = &mut self.slabs;
         let a = self
             .assemblies
             .entry((src, seq))
@@ -140,7 +247,7 @@ impl MatchingEngine {
                 tag,
                 total,
                 received: 0,
-                buf: vec![0u8; total as usize],
+                buf: take_slab(slabs, total as usize),
                 ready: SimTime::ZERO,
                 arrived: SimTime::ZERO,
                 channel,
@@ -180,6 +287,24 @@ impl MatchingEngine {
         }
     }
 
+    /// Return a drained eager payload's backing buffer to the slab pool.
+    /// No-op when the buffer is still shared (zero-copy fast-path
+    /// handouts whose sender-side handle is alive) or the pool is full.
+    pub fn recycle(&mut self, data: Bytes) {
+        if self.slabs.len() < SLAB_POOL_MAX {
+            if let Ok(buf) = data.try_into_vec() {
+                if buf.capacity() > 0 {
+                    self.slabs.push(buf);
+                }
+            }
+        }
+    }
+
+    /// Number of buffers currently in the slab pool (diagnostics).
+    pub fn pooled_slabs(&self) -> usize {
+        self.slabs.len()
+    }
+
     /// Ingest a rendezvous announcement (always a complete message).
     #[allow(clippy::too_many_arguments)]
     pub fn rts(
@@ -210,33 +335,92 @@ impl MatchingEngine {
     /// Try to match an arrived message against the posted-receive queue
     /// (FIFO in post order). On a hit the posted receive is consumed.
     pub fn take_matching_posted(&mut self, msg: &ArrivedMsg) -> Option<PostedRecv> {
-        let pos = self
-            .posted
+        let key = (msg.ctx, msg.src, msg.tag);
+        let exact_q = self.posted_exact.get_mut(&key);
+        let exact = exact_q.as_deref().and_then(|q| q.front()).map(|&(s, _)| s);
+        let wild = self
+            .posted_wild
             .iter()
-            .position(|p| p.matches(msg.src, msg.ctx, msg.tag))?;
-        self.posted.remove(pos)
+            .enumerate()
+            .find(|(_, (_, p))| p.matches(msg.src, msg.ctx, msg.tag))
+            .map(|(i, &(s, _))| (i, s));
+        let take_exact = match (exact, wild) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(es), Some((_, ws))) => es < ws,
+        };
+        let p = if take_exact {
+            let (_, p) = exact_q
+                .expect("front probed")
+                .pop_front()
+                .expect("front probed");
+            self.posted_exact_count -= 1;
+            p
+        } else {
+            let (i, _) = wild.expect("selected above");
+            let (_, p) = self.posted_wild.remove(i).expect("index probed");
+            p
+        };
+        Some(p)
     }
 
     /// Queue an arrived message no posted receive wanted.
     pub fn push_unexpected(&mut self, msg: ArrivedMsg) {
-        self.unexpected.push_back(msg);
+        let s = self.next_stamp();
+        let key = (msg.ctx, msg.src, msg.tag);
+        self.unexpected.entry(key).or_default().push_back((s, msg));
+        self.unexpected_count += 1;
+        maybe_prune(&mut self.unexpected, self.unexpected_count);
+    }
+
+    fn pop_unexpected(&mut self, key: MatchKey) -> ArrivedMsg {
+        let q = self.unexpected.get_mut(&key).expect("bucket probed");
+        let (_, m) = q.pop_front().expect("bucket probed");
+        self.unexpected_count -= 1;
+        m
+    }
+
+    /// First unexpected match for a (possibly wildcarded) receive:
+    /// bucket front for a concrete key, min-stamp sweep over live bucket
+    /// fronts otherwise.
+    fn find_unexpected(&self, p: &PostedRecv) -> Option<MatchKey> {
+        if let (Some(src), Some(tag)) = (p.src, p.tag) {
+            let key = (p.ctx, src, tag);
+            return self
+                .unexpected
+                .get(&key)
+                .is_some_and(|q| !q.is_empty())
+                .then_some(key);
+        }
+        self.unexpected
+            .iter()
+            .filter(|(&(ctx, src, tag), _)| p.matches(src, ctx, tag))
+            .filter_map(|(k, q)| q.front().map(|&(s, _)| (s, *k)))
+            .min_by_key(|&(s, _)| s)
+            .map(|(_, k)| k)
     }
 
     /// Post a receive. Returns the unexpected message it matches, if one
     /// already arrived (FIFO in arrival order); otherwise the receive is
     /// queued.
     pub fn post_recv(&mut self, p: PostedRecv) -> Option<ArrivedMsg> {
-        let pos = self
-            .unexpected
-            .iter()
-            .position(|m| p.matches(m.src, m.ctx, m.tag));
-        match pos {
-            Some(i) => self.unexpected.remove(i),
-            None => {
-                self.posted.push_back(p);
-                None
+        if let Some(key) = self.find_unexpected(&p) {
+            return Some(self.pop_unexpected(key));
+        }
+        let s = self.next_stamp();
+        match (p.src, p.tag) {
+            (Some(src), Some(tag)) => {
+                let key = (p.ctx, src, tag);
+                self.posted_exact.entry(key).or_default().push_back((s, p));
+                self.posted_exact_count += 1;
+                maybe_prune(&mut self.posted_exact, self.posted_exact_count);
+            }
+            _ => {
+                self.posted_wild.push_back((s, p));
             }
         }
+        None
     }
 
     /// Non-destructive probe of the unexpected queue.
@@ -253,27 +437,32 @@ impl MatchingEngine {
             tag,
             posted_at: SimTime::ZERO,
         };
-        self.unexpected
-            .iter()
-            .find(|m| probe.matches(m.src, m.ctx, m.tag))
+        let key = self.find_unexpected(&probe)?;
+        self.unexpected[&key].front().map(|(_, m)| m)
     }
 
     /// Remove a posted receive (used when a blocking receive completes via
-    /// a different path). Returns `true` if it was still queued.
+    /// a different path). Returns `true` if it was still queued. Cold
+    /// path: scans the buckets rather than taxing every post with an
+    /// index insert.
     pub fn cancel_posted(&mut self, rreq: ReqId) -> bool {
-        let pos = self.posted.iter().position(|p| p.rreq == rreq);
-        match pos {
-            Some(i) => {
-                self.posted.remove(i);
-                true
-            }
-            None => false,
+        if let Some(i) = self.posted_wild.iter().position(|(_, p)| p.rreq == rreq) {
+            self.posted_wild.remove(i);
+            return true;
         }
+        for q in self.posted_exact.values_mut() {
+            if let Some(i) = q.iter().position(|(_, p)| p.rreq == rreq) {
+                q.remove(i);
+                self.posted_exact_count -= 1;
+                return true;
+            }
+        }
+        false
     }
 
     /// Number of queued unexpected messages (diagnostics).
     pub fn unexpected_len(&self) -> usize {
-        self.unexpected.len()
+        self.unexpected_count
     }
 
     /// Number of incomplete chunk assemblies (diagnostics).
@@ -559,6 +748,128 @@ mod tests {
         });
         assert!(e.cancel_posted(4));
         assert!(!e.cancel_posted(4));
+    }
+
+    #[test]
+    fn exact_and_wildcard_posted_interleave_in_post_order() {
+        let mut e = MatchingEngine::new();
+        for (rreq, src, tag) in [
+            (1, Some(1), Some(7)),
+            (2, None, None),
+            (3, Some(1), Some(7)),
+        ] {
+            e.post_recv(PostedRecv {
+                rreq,
+                src,
+                ctx: 0,
+                tag,
+                posted_at: SimTime::ZERO,
+            });
+        }
+        for (seq, want) in [(0, 1), (1, 2), (2, 3)] {
+            let m = eager_msg(&mut e, 1, 7, seq, b"x").unwrap();
+            assert_eq!(e.take_matching_posted(&m).unwrap().rreq, want);
+        }
+    }
+
+    #[test]
+    fn wildcard_recv_takes_earliest_across_buckets() {
+        let mut e = MatchingEngine::new();
+        let m0 = eager_msg(&mut e, 1, 7, 0, b"a").unwrap();
+        let m1 = eager_msg(&mut e, 2, 9, 1, b"b").unwrap();
+        e.push_unexpected(m0);
+        e.push_unexpected(m1);
+        let wild = |rreq| PostedRecv {
+            rreq,
+            src: None,
+            ctx: 0,
+            tag: None,
+            posted_at: SimTime::ZERO,
+        };
+        assert_eq!(e.post_recv(wild(1)).unwrap().src, 1);
+        assert_eq!(e.post_recv(wild(2)).unwrap().src, 2);
+        assert_eq!(e.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn single_chunk_fast_path_skips_assembly() {
+        let mut e = MatchingEngine::new();
+        let payload = Bytes::from(vec![7u8; 64]);
+        let m = e
+            .eager_chunk(
+                1,
+                0,
+                0,
+                0,
+                64,
+                0,
+                payload,
+                SimTime::ZERO,
+                SimTime::ZERO,
+                Channel::Shm,
+            )
+            .expect("complete");
+        assert_eq!(e.pending_assemblies(), 0);
+        let ArrivedBody::Eager { data, .. } = m.body else {
+            panic!("wrong body");
+        };
+        // The handout is the sender's own buffer: sole whole ownership,
+        // so it recycles into the slab pool.
+        e.recycle(data);
+        assert_eq!(e.pooled_slabs(), 1);
+    }
+
+    #[test]
+    fn slab_pool_feeds_multi_chunk_assemblies() {
+        let mut e = MatchingEngine::new();
+        e.recycle(Bytes::from(vec![0u8; 128]));
+        assert_eq!(e.pooled_slabs(), 1);
+        assert!(e
+            .eager_chunk(
+                1,
+                0,
+                0,
+                0,
+                6,
+                0,
+                Bytes::from_static(b"abc"),
+                SimTime::ZERO,
+                SimTime::ZERO,
+                Channel::Shm,
+            )
+            .is_none());
+        assert_eq!(e.pooled_slabs(), 0, "assembly must draw from the pool");
+        let m = e
+            .eager_chunk(
+                1,
+                0,
+                0,
+                0,
+                6,
+                3,
+                Bytes::from_static(b"def"),
+                SimTime::ZERO,
+                SimTime::ZERO,
+                Channel::Shm,
+            )
+            .unwrap();
+        let ArrivedBody::Eager { data, .. } = m.body else {
+            panic!("wrong body");
+        };
+        assert_eq!(&data[..], b"abcdef");
+        e.recycle(data);
+        assert_eq!(e.pooled_slabs(), 1, "drained slab must come back");
+    }
+
+    #[test]
+    fn shared_or_sliced_buffers_do_not_recycle() {
+        let mut e = MatchingEngine::new();
+        let b = Bytes::from(vec![1u8; 16]);
+        let held = b.clone();
+        e.recycle(b);
+        assert_eq!(e.pooled_slabs(), 0, "shared allocation must not pool");
+        e.recycle(held.slice(1..));
+        assert_eq!(e.pooled_slabs(), 0, "sub-slice must not pool");
     }
 
     #[test]

@@ -66,27 +66,14 @@ impl Mpi {
             .fabric
             .register_mr(self.rank, len)
             .expect("window registration requires HCA access (privileged container)");
-        {
-            let mut wins = self.state.windows.lock();
-            let slot = wins.entry(id).or_insert_with(|| vec![None; self.n]);
-            slot[self.rank] = Some(Arc::clone(&mr));
-        }
+        self.state.windows.publish(id, self.rank, Arc::clone(&mr));
         // The registration exchange is collective; the barrier also
         // provides the happens-before edge for the region table.
         let list: Vec<usize> = (0..self.n).collect();
         self.barrier_inner(&list, 13);
-        let regions = {
-            let wins = self.state.windows.lock();
-            wins[&id]
-                .iter()
-                .map(|o| {
-                    Arc::clone(
-                        o.as_ref()
-                            .expect("peer window region missing after barrier"),
-                    )
-                })
-                .collect()
-        };
+        let regions = (0..self.n)
+            .map(|r| self.state.windows.region(id, r))
+            .collect();
         self.exit(CallClass::OneSided, t0);
         Window {
             id,
@@ -127,7 +114,7 @@ impl Mpi {
         let t0 = self.enter();
         let bytes = to_bytes(data);
         let blen = bytes.len();
-        let cost = self.state.cost.clone();
+        let cost = self.state.cost;
         let channel = self.onesided_channel(target, blen);
         let cross = self.cross_socket(target);
         match channel {
@@ -198,7 +185,7 @@ impl Mpi {
     ) {
         let t0 = self.enter();
         let blen = out.len() * T::SIZE;
-        let cost = self.state.cost.clone();
+        let cost = self.state.cost;
         let channel = self.onesided_channel(target, blen);
         let cross = self.cross_socket(target);
         let bytes = match channel {

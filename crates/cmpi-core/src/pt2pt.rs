@@ -11,6 +11,8 @@
 //!   message, receiver-side copy out;
 //! * **HCA rendezvous** — RTS/CTS over the fabric, zero-copy RDMA payload.
 
+use std::sync::Arc;
+
 use bytes::Bytes;
 use cmpi_cluster::{Channel, SimTime};
 use cmpi_prof::WaitClass;
@@ -91,7 +93,7 @@ impl Mpi {
         self.send_seq[dst] += 1;
         let id = self.fresh_req();
         let len = data.len();
-        let cost = self.state.cost.clone();
+        let cost = self.state.cost;
         if let Some(tr) = &mut self.trace {
             tr.flow_start(flow_id(self.rank, dst, seq), self.now);
         }
@@ -132,7 +134,7 @@ impl Mpi {
         let cross = self.cross_socket(dst);
         match (route.channel, route.protocol) {
             (Channel::Shm, Protocol::Eager) => {
-                let q = self.state.pair_queue(self.rank, dst);
+                let q = Arc::clone(self.state.pair_queue(self.rank, dst));
                 let qcap = self.state.tunables.smpi_length_queue;
                 let chunk = self.state.tunables.smp_eager_size.max(1);
                 let total = len;
@@ -523,6 +525,14 @@ impl Mpi {
     pub fn test(&mut self, req: &Request) -> Option<Completion> {
         let t0 = self.enter();
         let out = self.test_inner(req);
+        if out.is_none() {
+            // Refund the call-entry tax: a failed poll must charge no
+            // virtual time at all (see `test_inner` — the number of
+            // failed polls a spin loop performs is real scheduling, and
+            // letting it advance the clock makes virtual time
+            // nondeterministic).
+            self.now = t0;
+        }
         self.exit(CallClass::Poll, t0);
         out
     }
@@ -556,6 +566,7 @@ impl Mpi {
             buf.len()
         );
         from_bytes(&data, &mut buf[..elems]);
+        self.engine.recycle(data);
         status
     }
 
@@ -601,6 +612,7 @@ impl Mpi {
         let elems = status.len / T::SIZE;
         assert!(elems <= recv.len(), "message truncated");
         from_bytes(&data, &mut recv[..elems]);
+        self.engine.recycle(data);
         status
     }
 
@@ -627,6 +639,9 @@ impl Mpi {
             // Successful probes charge one poll (failed ones are free for
             // the same determinism reason as `test`).
             self.now += SimTime::from_ns(self.state.cost.poll_ns);
+        } else {
+            // Refund the call-entry tax too — see `test`.
+            self.now = t0;
         }
         self.exit(CallClass::Poll, t0);
         out

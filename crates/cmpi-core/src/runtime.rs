@@ -16,9 +16,8 @@
 //! hardware-offloaded transfer it models and does not slow down unrelated
 //! operations the rank is executing meanwhile.
 
-use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::{Arc, Barrier, OnceLock};
 
 use bytes::Bytes;
 use cmpi_cluster::faults::STALE_GENERATION;
@@ -28,12 +27,13 @@ use cmpi_cluster::{
 use cmpi_fabric::{Fabric, FabricError, SendInfo};
 use cmpi_shmem::visibility::visibility;
 use cmpi_shmem::{AttachOutcome, ContainerList, PairQueue, ShmRegistry};
-use parking_lot::{Condvar, Mutex};
 
 use crate::channel::ChannelSelector;
 use crate::coll_select::CollectiveSelector;
 use crate::error::MpiError;
+use crate::fasthash::FastMap;
 use crate::locality::{LocalityPolicy, LocalityView};
+use crate::mailbox::RankCell;
 use crate::matching::{ArrivedBody, ArrivedMsg, MatchingEngine};
 use crate::packet::{Packet, PacketKind, ReqId};
 use crate::pt2pt::Status;
@@ -292,54 +292,63 @@ pub struct JobResult<R> {
     pub profile: Option<JobProfile>,
 }
 
-struct CellInner {
-    q: VecDeque<Packet>,
-    poked: bool,
+/// Windows per lazily-allocated chunk of the [`WindowTable`].
+const WIN_CHUNK: usize = 64;
+/// Chunk slots preallocated per job (bounds window ids at 64 × 1024).
+const WIN_CHUNKS: usize = 1024;
+
+/// One window chunk: `WIN_CHUNK` windows × `n` per-rank region slots.
+type WindowChunk = Vec<Vec<OnceLock<Arc<cmpi_fabric::MemoryRegion>>>>;
+
+/// Rank-indexed window registry. The seed kept a job-wide
+/// `Mutex<HashMap>` here; window ids are small dense counters (identical
+/// on every rank — allocation is collective), so a chunked `OnceLock`
+/// table gives lock-free steady-state access: publishing a region is one
+/// `OnceLock::set`, reading a peer's region after the collective barrier
+/// is a plain load.
+pub(crate) struct WindowTable {
+    n: usize,
+    chunks: Vec<OnceLock<WindowChunk>>,
 }
 
-/// A rank's mailbox: intra-host packets are pushed here directly; fabric
-/// arrivals and eager-queue drains poke it so sleeping ranks wake up.
-pub(crate) struct RankCell {
-    inner: Mutex<CellInner>,
-    cv: Condvar,
-}
-
-impl RankCell {
-    fn new() -> Self {
-        RankCell {
-            inner: Mutex::new(CellInner {
-                q: VecDeque::new(),
-                poked: false,
-            }),
-            cv: Condvar::new(),
+impl WindowTable {
+    fn new(n: usize) -> Self {
+        WindowTable {
+            n,
+            chunks: (0..WIN_CHUNKS).map(|_| OnceLock::new()).collect(),
         }
     }
 
-    pub(crate) fn push(&self, pkt: Packet) {
-        let mut g = self.inner.lock();
-        g.q.push_back(pkt);
-        g.poked = true;
-        self.cv.notify_all();
+    fn chunk(&self, win: u32) -> &WindowChunk {
+        let idx = win as usize / WIN_CHUNK;
+        assert!(
+            idx < WIN_CHUNKS,
+            "window id {win} exceeds the {}-window table",
+            WIN_CHUNK * WIN_CHUNKS
+        );
+        self.chunks[idx].get_or_init(|| {
+            (0..WIN_CHUNK)
+                .map(|_| (0..self.n).map(|_| OnceLock::new()).collect())
+                .collect()
+        })
     }
 
-    pub(crate) fn poke(&self) {
-        let mut g = self.inner.lock();
-        g.poked = true;
-        self.cv.notify_all();
+    /// Publish this rank's region of window `win` (once per window).
+    pub(crate) fn publish(&self, win: u32, rank: usize, mr: Arc<cmpi_fabric::MemoryRegion>) {
+        let ok = self.chunk(win)[win as usize % WIN_CHUNK][rank]
+            .set(mr)
+            .is_ok();
+        assert!(ok, "window {win} region published twice by rank {rank}");
     }
 
-    fn pop(&self) -> Option<Packet> {
-        self.inner.lock().q.pop_front()
-    }
-
-    /// Sleep until something happens (a packet, or a poke from the fabric
-    /// or an eager-queue drain). The poked flag prevents lost wake-ups.
-    fn sleep_if_idle(&self) {
-        let mut g = self.inner.lock();
-        if g.q.is_empty() && !g.poked {
-            self.cv.wait(&mut g);
-        }
-        g.poked = false;
+    /// A peer's region of window `win`. The collective barrier in
+    /// `win_allocate` provides the happens-before edge for the slot.
+    pub(crate) fn region(&self, win: u32, rank: usize) -> Arc<cmpi_fabric::MemoryRegion> {
+        Arc::clone(
+            self.chunk(win)[win as usize % WIN_CHUNK][rank]
+                .get()
+                .expect("peer window region missing after barrier"),
+        )
     }
 }
 
@@ -354,11 +363,24 @@ pub(crate) struct JobState {
     pub(crate) fabric: Arc<Fabric>,
     pub(crate) faults: FaultPlan,
     pub(crate) attached: Vec<AtomicBool>,
+    /// Per-rank "the fabric may hold messages for you" flag, raised by the
+    /// endpoint notifier on every delivery and cleared by the drain. The
+    /// progress engine runs once per spin of every wait loop; gating the
+    /// fabric poll on this flag turns the empty pass — by far the common
+    /// case — into one relaxed load instead of a registry lookup and a
+    /// queue lock. Initialized `true` so the first pass always drains.
+    fabric_ready: Vec<AtomicBool>,
     /// Transient QP-creation failures absorbed per rank during attach.
     attach_retries: Vec<std::sync::atomic::AtomicU32>,
     pub(crate) cells: Vec<RankCell>,
-    queues: Mutex<HashMap<(usize, usize), Arc<PairQueue>>>,
-    pub(crate) windows: Mutex<HashMap<u32, Vec<Option<Arc<cmpi_fabric::MemoryRegion>>>>>,
+    /// Ranks in the job (row stride of the pair-queue table).
+    n_ranks: usize,
+    /// Rank-indexed `src → dst` pair-queue table. `OnceLock` slots make
+    /// the steady-state lookup a plain load — the seed's job-wide
+    /// `Mutex<HashMap>` serialized every SHM chunk of every pair through
+    /// one lock.
+    queues: Vec<OnceLock<Arc<PairQueue>>>,
+    pub(crate) windows: WindowTable,
     init_barrier: Barrier,
     /// Separates the post-init repair pass (conflicting-claim
     /// re-assertion) from the locality scan, so every rank scans a
@@ -375,17 +397,19 @@ impl JobState {
             placement: spec.scenario.placement.clone(),
             policy: spec.policy,
             tunables: spec.tunables,
-            cost: spec.cost.clone(),
+            cost: spec.cost,
             registry: ShmRegistry::new(),
-            fabric: Fabric::with_faults(spec.cost.clone(), spec.faults.clone()),
+            fabric: Fabric::with_faults(spec.cost, spec.faults.clone()),
             faults: spec.faults.clone(),
             attached: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            fabric_ready: (0..n).map(|_| AtomicBool::new(true)).collect(),
             attach_retries: (0..n)
                 .map(|_| std::sync::atomic::AtomicU32::new(0))
                 .collect(),
             cells: (0..n).map(|_| RankCell::new()).collect(),
-            queues: Mutex::new(HashMap::new()),
-            windows: Mutex::new(HashMap::new()),
+            n_ranks: n,
+            queues: (0..n * n).map(|_| OnceLock::new()).collect(),
+            windows: WindowTable::new(n),
             init_barrier: Barrier::new(n),
             repair_barrier: Barrier::new(n),
             finalize_barrier: Barrier::new(n),
@@ -393,14 +417,11 @@ impl JobState {
     }
 
     /// The SHM eager queue for the ordered pair `src → dst` (lazily
-    /// created with the configured `SMPI_LENGTH_QUEUE` capacity).
-    pub(crate) fn pair_queue(&self, src: usize, dst: usize) -> Arc<PairQueue> {
-        Arc::clone(
-            self.queues
-                .lock()
-                .entry((src, dst))
-                .or_insert_with(|| Arc::new(PairQueue::new(self.tunables.smpi_length_queue))),
-        )
+    /// created with the configured `SMPI_LENGTH_QUEUE` capacity). The
+    /// steady-state path is a lock-free slot load.
+    pub(crate) fn pair_queue(&self, src: usize, dst: usize) -> &Arc<PairQueue> {
+        self.queues[src * self.n_ranks + dst]
+            .get_or_init(|| Arc::new(PairQueue::new(self.tunables.smpi_length_queue)))
     }
 
     /// Receiver-side queue drain: frees space and pokes the sender (which
@@ -411,17 +432,20 @@ impl JobState {
     }
 
     /// Aggregate backpressure counters over every instantiated pair queue
-    /// (collected at finalize for the job profile).
+    /// and every rank mailbox (collected at finalize for the job profile).
     fn queue_pressure(&self) -> QueuePressure {
-        let queues = self.queues.lock();
-        let mut out = QueuePressure {
-            queues: queues.len() as u64,
-            ..QueuePressure::default()
-        };
-        for q in queues.values() {
+        let mut out = QueuePressure::default();
+        for q in self.queues.iter().filter_map(|slot| slot.get()) {
             let s = q.stats();
+            out.queues += 1;
             out.stalled_acquires += s.stalled_acquires;
             out.max_in_flight = out.max_in_flight.max(s.max_in_flight);
+        }
+        for cell in &self.cells {
+            let s = cell.stats();
+            out.mailbox_pushes += s.pushes;
+            out.mailbox_parks += s.parks;
+            out.mailbox_wakes += s.wakes;
         }
         out
     }
@@ -521,8 +545,8 @@ pub struct Mpi {
     pub(crate) engine: MatchingEngine,
     pub(crate) stats: CommStats,
     pub(crate) next_req: ReqId,
-    pub(crate) sends: HashMap<ReqId, SendState>,
-    pub(crate) recvs: HashMap<ReqId, RecvState>,
+    pub(crate) sends: FastMap<ReqId, SendState>,
+    pub(crate) recvs: FastMap<ReqId, RecvState>,
     pub(crate) send_seq: Vec<u64>,
     pub(crate) win_counter: u32,
     /// Next communicator context id this rank would propose (see
@@ -567,9 +591,15 @@ impl Mpi {
         // Wake-ups for fabric arrivals.
         if state.attached[rank].load(Ordering::Acquire) {
             let st = Arc::clone(&state);
-            state
-                .fabric
-                .set_notifier(rank, Arc::new(move || st.cells[rank].poke()));
+            state.fabric.set_notifier(
+                rank,
+                Arc::new(move || {
+                    // Raise the drain hint *before* the poke: the woken
+                    // rank's next progress pass must see it.
+                    st.fabric_ready[rank].store(true, Ordering::Release);
+                    st.cells[rank].poke();
+                }),
+            );
         }
         // Paper: "once the membership update of all processes completes,
         // the real communication can take place" — the job launch barrier.
@@ -638,8 +668,8 @@ impl Mpi {
             engine: MatchingEngine::new(),
             stats,
             next_req: 1,
-            sends: HashMap::new(),
-            recvs: HashMap::new(),
+            sends: FastMap::default(),
+            recvs: FastMap::default(),
             send_seq: vec![0; n],
             win_counter: 0,
             next_ctx: 16,
@@ -804,7 +834,14 @@ impl Mpi {
 
     /// Drain the fabric endpoint and the mailbox, handling every packet.
     pub(crate) fn progress(&mut self) {
-        if self.state.attached[self.rank].load(Ordering::Acquire) {
+        // Poll the fabric only when its notifier has signalled a delivery
+        // since the last drain. A delivery between the swap and the poll
+        // is not lost: the notifier re-raises the flag and pokes the
+        // mailbox, so the wait loop comes back around.
+        if self.state.attached[self.rank].load(Ordering::Acquire)
+            && self.state.fabric_ready[self.rank].load(Ordering::Relaxed)
+            && self.state.fabric_ready[self.rank].swap(false, Ordering::Acquire)
+        {
             if let Ok(msgs) = self.state.fabric.poll_recv(self.rank) {
                 for m in msgs {
                     let pkt = Packet::decode(m.src, m.imm, m.data, m.available_at);

@@ -52,6 +52,12 @@ pub struct QueuePressure {
     pub stalled_acquires: u64,
     /// Highest bytes-in-flight observed on any one queue.
     pub max_in_flight: u64,
+    /// Packets pushed into rank mailboxes (lock-free MPSC path).
+    pub mailbox_pushes: u64,
+    /// Times a rank parked on its mailbox condvar (empty-queue idle).
+    pub mailbox_parks: u64,
+    /// Cross-thread wakeups delivered to parked ranks.
+    pub mailbox_wakes: u64,
 }
 
 /// Per-rank fabric endpoint counters (posted vs. delivered).
@@ -249,6 +255,11 @@ impl JobProfile {
             "shm queues: {} created, {} stalled acquires, {} B max in flight",
             self.queue.queues, self.queue.stalled_acquires, self.queue.max_in_flight
         );
+        let _ = writeln!(
+            out,
+            "mailboxes: {} pushes, {} parks, {} wakes",
+            self.queue.mailbox_pushes, self.queue.mailbox_parks, self.queue.mailbox_wakes
+        );
         let posted: u64 = self.fabric.iter().map(|f| f.sends).sum();
         let drained: u64 = self.fabric.iter().map(|f| f.recvs).sum();
         let rdma: u64 = self.fabric.iter().map(|f| f.rdma_ops).sum();
@@ -294,6 +305,12 @@ impl JobProfile {
                         Json::num(self.queue.stalled_acquires),
                     ),
                     ("max_in_flight".into(), Json::num(self.queue.max_in_flight)),
+                    (
+                        "mailbox_pushes".into(),
+                        Json::num(self.queue.mailbox_pushes),
+                    ),
+                    ("mailbox_parks".into(), Json::num(self.queue.mailbox_parks)),
+                    ("mailbox_wakes".into(), Json::num(self.queue.mailbox_wakes)),
                 ]),
             ),
             ("ranks".into(), Json::Arr(ranks)),
@@ -324,6 +341,7 @@ mod tests {
                 queues: 2,
                 stalled_acquires: 1,
                 max_in_flight: 8192,
+                ..QueuePressure::default()
             },
             vec![FabricCounters::default(); 2],
         )

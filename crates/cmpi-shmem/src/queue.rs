@@ -33,6 +33,10 @@ struct QueueState {
     stalled_acquires: u64,
     /// High-water mark of bytes in flight.
     max_in_flight: u64,
+    /// Senders currently blocked in `acquire`. Lets `release`/`close`
+    /// skip the condvar broadcast (a futex syscall per eager chunk)
+    /// on the common uncontended path.
+    waiters: u64,
 }
 
 /// Backpressure counters of one queue (see [`PairQueue::stats`]).
@@ -70,6 +74,7 @@ impl PairQueue {
                 closed: false,
                 stalled_acquires: 0,
                 max_in_flight: 0,
+                waiters: 0,
             }),
             cv: Condvar::new(),
         }
@@ -113,7 +118,9 @@ impl PairQueue {
             if s.closed {
                 return Err(QueueClosed);
             }
+            s.waiters += 1;
             self.cv.wait(&mut s);
+            s.waiters -= 1;
         }
         if s.closed {
             return Err(QueueClosed);
@@ -187,13 +194,21 @@ impl PairQueue {
         let t = s.history.back().map(|&(_, t)| t.max(now)).unwrap_or(now);
         let cum = s.released;
         s.history.push_back((cum, t));
-        self.cv.notify_all();
+        // The waiter count is maintained under this same mutex, so a
+        // sender either registered before we locked (and is notified) or
+        // will re-check `released` after we unlock — no lost wakeup.
+        if s.waiters > 0 {
+            self.cv.notify_all();
+        }
     }
 
     /// Tear the queue down; blocked senders observe `Err`.
     pub fn close(&self) {
-        self.state.lock().closed = true;
-        self.cv.notify_all();
+        let mut s = self.state.lock();
+        s.closed = true;
+        if s.waiters > 0 {
+            self.cv.notify_all();
+        }
     }
 
     /// Snapshot of this queue's backpressure counters.

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Wall-clock benchmark ledger. Runs the criterion harnesses, then the
+# bench_ledger kernels against the checked-in baseline, writing
+# BENCH_pr4.json at the repo root with per-kernel speedups.
+#
+#   scripts/bench.sh           # full run (minutes on a loaded host)
+#   scripts/bench.sh --smoke   # seconds; sanity-checks the harness only
+#
+# Wall-clock numbers are host-dependent: compare runs on the same quiet
+# machine, and treat ±30 % spread on an oversubscribed single core as
+# noise (see EXPERIMENTS.md, "Hot-path wall-clock ledger").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE="--smoke"
+fi
+
+echo "== cargo bench --workspace (criterion)" >&2
+if [[ -n "$SMOKE" ]]; then
+  # Compile-only in smoke mode; criterion runs take minutes.
+  cargo bench --workspace --no-run
+else
+  cargo bench --workspace
+fi
+
+echo "== bench_ledger ${SMOKE:-(full)}" >&2
+cargo build --release -p cmpi-bench --bin bench_ledger
+./target/release/bench_ledger $SMOKE --pressure \
+  --baseline scripts/bench_baseline_pr4.json \
+  --out BENCH_pr4.json
+
+echo "ok: wrote BENCH_pr4.json" >&2

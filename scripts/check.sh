@@ -7,6 +7,7 @@
 #   examples  every example builds and runs to completion
 #   profile   profile-smoke: profiled OSU + figures --profile runs, with
 #             JSON parse and matrix byte-conservation asserted inside
+#   bench     benches compile; bench_ledger smoke run round-trips its JSON
 #   clippy    all targets, warnings are errors
 #   fmt       rustfmt in check mode
 set -euo pipefail
@@ -32,6 +33,13 @@ echo "== profile smoke" >&2
 cargo run --release --quiet -p cmpi-osu --bin osu -- latency --max-size 16384 \
   --iters 4 --profile-json target/osu_profile.json >/dev/null
 cargo run --release --quiet -p cmpi-bench --bin figures -- --profile >/dev/null
+
+echo "== cargo bench --no-run + bench_ledger smoke" >&2
+cargo bench --workspace --no-run
+cargo run --release --quiet -p cmpi-bench --bin bench_ledger -- --smoke \
+  --out target/bench_smoke.json >/dev/null
+python3 -c "import json; json.load(open('target/bench_smoke.json'))" 2>/dev/null \
+  || grep -q '"schema"' target/bench_smoke.json
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings" >&2
 cargo clippy --workspace --all-targets -- -D warnings

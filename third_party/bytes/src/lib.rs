@@ -11,9 +11,13 @@ use std::sync::Arc;
 
 /// Immutable, reference-counted byte buffer; clones and sub-slices share
 /// the same allocation.
+///
+/// Backed by an `Arc<Vec<u8>>` so `From<Vec<u8>>` and `BytesMut::freeze`
+/// adopt the vector's allocation as-is (no shrink-to-boxed-slice realloc)
+/// and [`Bytes::try_into_vec`] can hand it back for reuse.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -21,7 +25,7 @@ pub struct Bytes {
 impl Bytes {
     /// Empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]), start: 0, end: 0 }
+        Bytes { data: Arc::new(Vec::new()), start: 0, end: 0 }
     }
 
     /// Buffer borrowing a static slice (copied here; semantics identical).
@@ -31,9 +35,7 @@ impl Bytes {
 
     /// Buffer holding a copy of `bytes`.
     pub fn copy_from_slice(bytes: &[u8]) -> Self {
-        let data: Arc<[u8]> = Arc::from(bytes);
-        let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes::from(bytes.to_vec())
     }
 
     /// Length in bytes.
@@ -65,6 +67,18 @@ impl Bytes {
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
+
+    /// Recover the backing `Vec` when this handle is the sole owner of
+    /// the whole allocation; otherwise the handle comes back unchanged.
+    /// Lets receivers recycle drained buffers without copying.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        if start == 0 && end == data.len() {
+            Arc::try_unwrap(data).map_err(|data| Bytes { data, start, end })
+        } else {
+            Err(Bytes { data, start, end })
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -94,9 +108,8 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let data: Arc<[u8]> = Arc::from(v.into_boxed_slice());
-        let end = data.len();
-        Bytes { data, start: 0, end }
+        let end = v.len();
+        Bytes { data: Arc::new(v), start: 0, end }
     }
 }
 
@@ -333,5 +346,17 @@ mod tests {
         assert_eq!(frozen.slice(..4).to_vec(), 0xdead_beefu32.to_le_bytes());
         let clone = frozen.clone();
         assert_eq!(clone, frozen);
+    }
+
+    #[test]
+    fn try_into_vec_requires_sole_whole_ownership() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let clone = b.clone();
+        let b = b.try_into_vec().expect_err("shared: must refuse");
+        drop(clone);
+        let tail = b.slice(1..);
+        assert!(tail.try_into_vec().is_err(), "sub-slice: must refuse");
+        let v = b.try_into_vec().expect("sole whole owner");
+        assert_eq!(v, vec![1, 2, 3]);
     }
 }

@@ -1,8 +1,8 @@
 //! Offline stand-in for `proptest`, covering the DSL slice this
 //! workspace uses: the `proptest!` macro with an optional
 //! `#![proptest_config(...)]` header, integer-range and
-//! `collection::vec` strategies, `any::<T>()`, and the `prop_assert*`
-//! macros. Sampling is deterministic (splitmix64 keyed by case index) so
+//! `collection::vec`, tuple and `prop_map` strategies, `any::<T>()`,
+//! and the `prop_assert*` macros. Sampling is deterministic (splitmix64 keyed by case index) so
 //! failures reproduce; there is no shrinking.
 
 pub mod collection;

@@ -10,7 +10,46 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Adapter applying `f` to every sample (mirrors proptest's
+    /// `prop_map`).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
 }
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A 0, B 1);
+tuple_strategy!(A 0, B 1, C 2);
+tuple_strategy!(A 0, B 1, C 2, D 3);
+tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
