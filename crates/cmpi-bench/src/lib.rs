@@ -23,6 +23,7 @@
 //! | [`ablation_smp_collectives`] | extension — two-level collectives |
 //! | [`ext_pgas`] | extension — PGAS GUPS (paper Section VII future work) |
 
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod experiments;
 pub mod table;
 

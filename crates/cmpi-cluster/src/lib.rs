@@ -21,6 +21,7 @@
 //! happens, and elapsed time is *virtual*, advanced by a calibrated cost
 //! model ([`CostModel`]).
 
+#![forbid(unsafe_code)]
 pub mod cost;
 pub mod faults;
 pub mod placement;

@@ -47,6 +47,7 @@
 //! assert_eq!(result.results[1], 6);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod channel;
 pub mod coll_select;
 pub mod collectives;

@@ -266,10 +266,10 @@ impl MatchingEngine {
             "chunk overflow for (src {src}, seq {seq})"
         );
         if a.received == a.total {
-            let a = self
-                .assemblies
-                .remove(&(src, seq))
-                .expect("assembly vanished");
+            // The entry was touched just above, so the remove always
+            // succeeds; `?` (rather than a hot-path unwrap) degrades an
+            // impossible miss into "assembly still pending".
+            let a = self.assemblies.remove(&(src, seq))?;
             Some(ArrivedMsg {
                 src,
                 ctx: a.ctx,
@@ -350,16 +350,15 @@ impl MatchingEngine {
             (None, Some(_)) => false,
             (Some(es), Some((_, ws))) => es < ws,
         };
+        // The selected side was probed non-empty above, so these lookups
+        // always succeed; `?` keeps unwrap/expect off the hot path.
         let p = if take_exact {
-            let (_, p) = exact_q
-                .expect("front probed")
-                .pop_front()
-                .expect("front probed");
+            let (_, p) = exact_q.and_then(|q| q.pop_front())?;
             self.posted_exact_count -= 1;
             p
         } else {
-            let (i, _) = wild.expect("selected above");
-            let (_, p) = self.posted_wild.remove(i).expect("index probed");
+            let (i, _) = wild?;
+            let (_, p) = self.posted_wild.remove(i)?;
             p
         };
         Some(p)
@@ -374,11 +373,14 @@ impl MatchingEngine {
         maybe_prune(&mut self.unexpected, self.unexpected_count);
     }
 
-    fn pop_unexpected(&mut self, key: MatchKey) -> ArrivedMsg {
-        let q = self.unexpected.get_mut(&key).expect("bucket probed");
-        let (_, m) = q.pop_front().expect("bucket probed");
+    /// Pop the front of one unexpected bucket. Returns `None` only if the
+    /// key was never probed (callers pass keys from [`find_unexpected`],
+    /// which only returns non-empty buckets).
+    fn pop_unexpected(&mut self, key: MatchKey) -> Option<ArrivedMsg> {
+        let q = self.unexpected.get_mut(&key)?;
+        let (_, m) = q.pop_front()?;
         self.unexpected_count -= 1;
-        m
+        Some(m)
     }
 
     /// First unexpected match for a (possibly wildcarded) receive:
@@ -406,7 +408,7 @@ impl MatchingEngine {
     /// queued.
     pub fn post_recv(&mut self, p: PostedRecv) -> Option<ArrivedMsg> {
         if let Some(key) = self.find_unexpected(&p) {
-            return Some(self.pop_unexpected(key));
+            return self.pop_unexpected(key);
         }
         let s = self.next_stamp();
         match (p.src, p.tag) {
@@ -438,7 +440,10 @@ impl MatchingEngine {
             posted_at: SimTime::ZERO,
         };
         let key = self.find_unexpected(&probe)?;
-        self.unexpected[&key].front().map(|(_, m)| m)
+        self.unexpected
+            .get(&key)
+            .and_then(|q| q.front())
+            .map(|(_, m)| m)
     }
 
     /// Remove a posted receive (used when a blocking receive completes via
@@ -870,6 +875,91 @@ mod tests {
         assert_eq!(e.pooled_slabs(), 0, "shared allocation must not pool");
         e.recycle(held.slice(1..));
         assert_eq!(e.pooled_slabs(), 0, "sub-slice must not pool");
+    }
+
+    /// Exhaustive interleaving checks (run via
+    /// `RUSTFLAGS="--cfg cmpi_model" cargo test -p cmpi-core --lib`).
+    ///
+    /// The engine itself is `&mut self` (each rank owns one), so the
+    /// model exercises its real concurrent shape: a progress thread and
+    /// an application thread serializing through the runtime's lock. The
+    /// property is linearizability of the wildcard stamp sideline —
+    /// whatever the interleaving, matches respect arrival order and no
+    /// message or receive is lost or double-matched.
+    #[cfg(cmpi_model)]
+    mod model {
+        use super::*;
+        use cmpi_model::model::{thread, Builder};
+        use cmpi_model::sync::Mutex;
+        use std::sync::Arc;
+
+        fn msg(e: &mut MatchingEngine, src: usize, tag: u32, seq: u64) -> ArrivedMsg {
+            e.eager_chunk(
+                src,
+                0,
+                tag,
+                seq,
+                1,
+                0,
+                Bytes::from_static(b"x"),
+                SimTime::ZERO,
+                SimTime::ZERO,
+                Channel::Shm,
+            )
+            .unwrap()
+        }
+
+        #[test]
+        fn model_wildcard_sideline_is_fifo_under_contention() {
+            Builder::new().max_executions(400_000).check(|| {
+                let eng = Arc::new(Mutex::new(MatchingEngine::new()));
+                let e2 = Arc::clone(&eng);
+                // Progress thread: two messages from the same sender land
+                // as unexpected, in sequence order.
+                let producer = thread::spawn(move || {
+                    for seq in 0..2 {
+                        let mut e = e2.lock();
+                        let m = msg(&mut e, 1, 7, seq);
+                        // The app side posts and cancels under one lock
+                        // hold, so the producer can never observe a
+                        // posted receive here.
+                        assert!(e.take_matching_posted(&m).is_none());
+                        e.push_unexpected(m);
+                    }
+                });
+                // Application thread: two receives (one wildcard, one
+                // exact) that both match that sender.
+                let mut got = Vec::new();
+                let mut rreq = 0;
+                while got.len() < 2 {
+                    let mut e = eng.lock();
+                    let p = PostedRecv {
+                        rreq,
+                        src: if rreq == 0 { None } else { Some(1) },
+                        ctx: 0,
+                        tag: if rreq == 0 { None } else { Some(7) },
+                        posted_at: SimTime::ZERO,
+                    };
+                    match e.post_recv(p) {
+                        Some(m) => {
+                            got.push(m.seq);
+                            rreq += 1;
+                        }
+                        None => {
+                            // Queued; whichever message arrives next will
+                            // claim it via take_matching_posted. Model
+                            // simplification: cancel and repost instead
+                            // of completing asynchronously.
+                            assert!(e.cancel_posted(rreq));
+                            drop(e);
+                            thread::yield_now();
+                        }
+                    }
+                }
+                producer.join();
+                assert_eq!(got, vec![0, 1], "arrival order violated");
+            });
+        }
     }
 
     #[test]

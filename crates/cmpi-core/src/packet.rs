@@ -138,10 +138,14 @@ impl Packet {
     /// Reconstruct a packet from its HCA framing.
     pub fn decode(src: usize, imm: u32, wire: Bytes, available_at: SimTime) -> Packet {
         fn u32_at(b: &[u8], o: usize) -> u32 {
-            u32::from_le_bytes(b[o..o + 4].try_into().unwrap())
+            let mut w = [0u8; 4];
+            w.copy_from_slice(&b[o..o + 4]);
+            u32::from_le_bytes(w)
         }
         fn u64_at(b: &[u8], o: usize) -> u64 {
-            u64::from_le_bytes(b[o..o + 8].try_into().unwrap())
+            let mut w = [0u8; 8];
+            w.copy_from_slice(&b[o..o + 8]);
+            u64::from_le_bytes(w)
         }
         let b = &wire[..];
         let (kind, hdr) = match imm {

@@ -188,6 +188,8 @@ impl JobSpec {
                         break;
                     }
                     Err(FabricError::QpCreationFailed(_)) => {
+                        // relaxed-ok: monotonic retry counter, read only by
+                        // the recovery report; never gates control flow.
                         state.attach_retries[r].fetch_add(1, Ordering::Relaxed);
                     }
                     // Permanent (unprivileged container): no endpoint.
@@ -587,6 +589,8 @@ impl Mpi {
         ) {
             recovery.list_recoveries = 1;
         }
+        // relaxed-ok: report-only read of a monotonic counter; the launch
+        // thread finished all attaches before the rank threads spawned.
         recovery.attach_retries = state.attach_retries[rank].load(Ordering::Relaxed) as u64;
         // Wake-ups for fabric arrivals.
         if state.attached[rank].load(Ordering::Acquire) {
@@ -837,7 +841,13 @@ impl Mpi {
         // Poll the fabric only when its notifier has signalled a delivery
         // since the last drain. A delivery between the swap and the poll
         // is not lost: the notifier re-raises the flag and pokes the
-        // mailbox, so the wait loop comes back around.
+        // mailbox, so the wait loop comes back around. The no-lost-signal
+        // property is model-checked (distilled protocol) by
+        // `mailbox::model_tests::model_fabric_ready_gating_never_drops_a_delivery`.
+        //
+        // relaxed-ok: cheap peek only; the authoritative claim is the
+        // Acquire swap on the next line, and a stale `false` here is
+        // repaired by the notifier's subsequent poke re-running this path.
         if self.state.attached[self.rank].load(Ordering::Acquire)
             && self.state.fabric_ready[self.rank].load(Ordering::Relaxed)
             && self.state.fabric_ready[self.rank].swap(false, Ordering::Acquire)

@@ -22,6 +22,7 @@
 //! experiments never exhaust MVAPICH2's credit window, so we document the
 //! simplification instead of simulating it.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 pub mod endpoint;
 pub mod mr;
 

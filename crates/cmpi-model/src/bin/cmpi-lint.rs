@@ -1,0 +1,99 @@
+//! Workspace lint driver: walks every crate's `src/` tree plus the root
+//! `src/`, applies the rules in `cmpi_model::lint`, and exits non-zero
+//! on any violation. Run from the workspace root (scripts/check.sh does).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cmpi_model::lint;
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let root = std::env::current_dir().expect("cwd");
+    if !root.join("crates").is_dir() {
+        eprintln!("cmpi-lint: run from the workspace root (no crates/ here)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let entries = match std::fs::read_dir(&crates_dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("cmpi-lint: cannot read crates/: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            if let Err(e) = collect_rs(&src, &mut files) {
+                eprintln!("cmpi-lint: walking {}: {e}", src.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        if let Err(e) = collect_rs(&root_src, &mut files) {
+            eprintln!("cmpi-lint: walking {}: {e}", root_src.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut collectives_src = None;
+    let mut packet_src = None;
+    for path in &files {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cmpi-lint: reading {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(lint::lint_file(&rel, &src));
+        if rel.ends_with("crates/cmpi-core/src/collectives.rs") {
+            collectives_src = Some(src);
+        } else if rel.ends_with("crates/cmpi-core/src/packet.rs") {
+            packet_src = Some(src);
+        }
+    }
+
+    match (collectives_src, packet_src) {
+        (Some(coll), Some(pkt)) => violations.extend(lint::lint_tag_widths(&coll, &pkt)),
+        _ => {
+            eprintln!("cmpi-lint: collectives.rs / packet.rs not found for the tag-width rule");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if violations.is_empty() {
+        println!("cmpi-lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{v}");
+        }
+        println!("cmpi-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,1082 @@
+//! The model-checking engine (compiled only under `cfg(cmpi_model)`).
+//!
+//! One [`Execution`] is a single explored interleaving. Model threads are
+//! real OS threads, but exactly one runs at a time: every shim operation
+//! is a *schedule point* where the scheduler may hand the baton to
+//! another runnable thread (bounded preemption) before the op commits
+//! under the global execution lock.
+//!
+//! Weak memory is modeled with per-location store histories: a load may
+//! read any store not forbidden by coherence (per-thread floor), by
+//! happens-before (a newer store already visible to the reader), or by
+//! the SC order (for `SeqCst` accesses). Release/acquire edges join
+//! vector clocks only on a reads-from pairing of a releasing store and an
+//! acquiring load; RMWs always read the newest store and carry the
+//! previous message clock forward (release sequences).
+//!
+//! The explorer is a DFS over recorded choice points (thread switches and
+//! which store a load reads). On failure the exact schedule is re-run
+//! with tracing enabled and a replayable choice string is printed.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::{Arc, Once};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::vclock::VClock;
+
+/// Panic payload used to tear model threads down after a failure was
+/// recorded; never reported as a failure itself.
+struct ModelAbort;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Block {
+    Mutex(usize),
+    Cv(usize),
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct ThreadState {
+    state: Run,
+    clock: VClock,
+}
+
+/// One committed store to an atomic location.
+struct Store {
+    val: u64,
+    /// Clock an acquiring reader joins (zero for relaxed stores; carries
+    /// the release-sequence head through RMW chains).
+    msg: VClock,
+    /// Clock of the store event itself (for visibility floors).
+    event: VClock,
+}
+
+struct AtomicLoc {
+    stores: Vec<Store>,
+    /// Per-thread coherence floor: index of the newest store each thread
+    /// has observed (reads may never go backwards).
+    seen: Vec<usize>,
+    last_sc: Option<usize>,
+}
+
+impl AtomicLoc {
+    fn new(init: u64) -> Self {
+        AtomicLoc {
+            stores: vec![Store {
+                val: init,
+                msg: VClock::default(),
+                event: VClock::default(),
+            }],
+            seen: Vec::new(),
+            last_sc: None,
+        }
+    }
+
+    fn seen_floor(&mut self, tid: usize) -> usize {
+        if self.seen.len() <= tid {
+            self.seen.resize(tid + 1, 0);
+        }
+        self.seen[tid]
+    }
+
+    fn set_seen(&mut self, tid: usize, idx: usize) {
+        if self.seen.len() <= tid {
+            self.seen.resize(tid + 1, 0);
+        }
+        self.seen[tid] = idx;
+    }
+}
+
+/// FastTrack-style shadow word for one non-atomic location.
+struct Shadow {
+    /// Last write epoch: (writer tid, writer clock component at write).
+    write: Option<(usize, u32, &'static str)>,
+    /// Per-thread read epochs since the last write.
+    reads: Vec<Option<(u32, &'static str)>>,
+}
+
+#[derive(Default)]
+struct MutexState {
+    holder: Option<usize>,
+    clock: VClock,
+}
+
+/// One recorded nondeterministic decision: a thread switch at an op
+/// boundary, or which store a load reads (option 0 is always the
+/// default: stay on the current thread / read the newest store).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub options: usize,
+    pub chosen: usize,
+}
+
+pub(crate) struct Options {
+    pub max_executions: usize,
+    pub preemption_bound: usize,
+    pub max_steps: usize,
+    pub max_threads: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_executions: 50_000,
+            preemption_bound: 2,
+            max_steps: 10_000,
+            max_threads: 4,
+        }
+    }
+}
+
+struct Inner {
+    threads: Vec<ThreadState>,
+    current: usize,
+    live: usize,
+    done: bool,
+    atomics: HashMap<usize, AtomicLoc>,
+    shadows: HashMap<usize, Shadow>,
+    mutexes: HashMap<usize, MutexState>,
+    cvs: HashMap<usize, Vec<usize>>,
+    prefix: Vec<usize>,
+    cursor: usize,
+    log: Vec<Choice>,
+    steps: usize,
+    preemptions: usize,
+    failure: Option<String>,
+    aborting: bool,
+    trace_on: bool,
+    trace_lines: Vec<String>,
+    graveyard: Vec<Box<dyn Any + Send>>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    opts_preemption_bound: usize,
+    opts_max_steps: usize,
+    opts_max_threads: usize,
+}
+
+impl Inner {
+    fn decide(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 1, "decision with no options");
+        let chosen = if self.cursor < self.prefix.len() {
+            let c = self.prefix[self.cursor];
+            assert!(
+                c < options,
+                "cmpi-model internal error: replay diverged at choice #{} ({c} of {options})",
+                self.cursor
+            );
+            c
+        } else {
+            0
+        };
+        self.log.push(Choice { options, chosen });
+        self.cursor += 1;
+        chosen
+    }
+
+    fn tr(&mut self, tid: usize, msg: impl FnOnce() -> String) {
+        if self.trace_on {
+            let step = self.steps;
+            self.trace_lines
+                .push(format!("#{step:<4} T{tid} {}", msg()));
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| matches!(self.threads[t].state, Run::Runnable))
+            .collect()
+    }
+}
+
+pub(crate) struct Execution {
+    m: Mutex<Inner>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+    static IN_MODEL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// The execution the calling OS thread belongs to, if any.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+static HOOK_INIT: Once = Once::new();
+
+/// Model-thread panics are caught and turned into failure reports; keep
+/// the default hook from spamming stderr with expected unwinds.
+fn install_hook() {
+    HOOK_INIT.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_MODEL.with(|c| c.get()) {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+fn panic_message(p: &(dyn Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn acq(ord: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(ord, Acquire | AcqRel | SeqCst)
+}
+
+fn rel(ord: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(ord, Release | AcqRel | SeqCst)
+}
+
+fn sc(ord: std::sync::atomic::Ordering) -> bool {
+    matches!(ord, std::sync::atomic::Ordering::SeqCst)
+}
+
+impl Execution {
+    fn new(opts: &Options, prefix: Vec<usize>, trace_on: bool) -> Self {
+        Execution {
+            m: Mutex::new(Inner {
+                threads: Vec::new(),
+                current: 0,
+                live: 0,
+                done: false,
+                atomics: HashMap::new(),
+                shadows: HashMap::new(),
+                mutexes: HashMap::new(),
+                cvs: HashMap::new(),
+                prefix,
+                cursor: 0,
+                log: Vec::new(),
+                steps: 0,
+                preemptions: 0,
+                failure: None,
+                aborting: false,
+                trace_on,
+                trace_lines: Vec::new(),
+                graveyard: Vec::new(),
+                os_handles: Vec::new(),
+                opts_preemption_bound: opts.preemption_bound,
+                opts_max_steps: opts.max_steps,
+                opts_max_threads: opts.max_threads,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn abort_check(&self, g: &Inner) {
+        if g.aborting {
+            panic_any(ModelAbort);
+        }
+    }
+
+    fn fail(&self, g: &mut Inner, msg: String) {
+        if g.failure.is_none() {
+            g.failure = Some(msg);
+        }
+        g.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Pick which thread runs next. With `voluntary` (the current thread
+    /// blocked, finished, or yielded) any runnable thread may be chosen
+    /// for free; otherwise staying put is option 0 and switching costs
+    /// one preemption.
+    fn pick_next(&self, g: &mut Inner, voluntary: bool) {
+        if g.aborting {
+            return;
+        }
+        let runnable = g.runnable();
+        if runnable.is_empty() {
+            if g.live == 0 {
+                return;
+            }
+            let mut msg = String::from("lost wakeup / deadlock: every live thread is blocked:\n");
+            for (t, th) in g.threads.iter().enumerate() {
+                if !matches!(th.state, Run::Finished) {
+                    msg.push_str(&format!("  T{t}: {:?}\n", th.state));
+                }
+            }
+            self.fail(g, msg);
+            return;
+        }
+        let cur_runnable = g
+            .threads
+            .get(g.current)
+            .map(|t| matches!(t.state, Run::Runnable))
+            .unwrap_or(false);
+        if voluntary || !cur_runnable {
+            let c = g.decide(runnable.len());
+            g.current = runnable[c];
+        } else {
+            let others: Vec<usize> = runnable
+                .iter()
+                .copied()
+                .filter(|&t| t != g.current)
+                .collect();
+            let options = if g.preemptions < g.opts_preemption_bound {
+                1 + others.len()
+            } else {
+                1
+            };
+            let c = g.decide(options);
+            if c > 0 {
+                g.preemptions += 1;
+                g.current = others[c - 1];
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn wait_for_baton<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Inner>,
+        tid: usize,
+    ) -> MutexGuard<'a, Inner> {
+        loop {
+            if g.aborting {
+                drop(g);
+                panic_any(ModelAbort);
+            }
+            if g.current == tid && matches!(g.threads[tid].state, Run::Runnable) {
+                return g;
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+
+    /// Account one step, offer the scheduler a switch, and return with
+    /// the global lock held and this thread scheduled.
+    fn op_gate(&self, tid: usize) -> MutexGuard<'_, Inner> {
+        let mut g = self.m.lock();
+        self.abort_check(&g);
+        g.steps += 1;
+        if g.steps > g.opts_max_steps {
+            let bound = g.opts_max_steps;
+            self.fail(
+                &mut g,
+                format!("step bound {bound} exceeded: livelock or runaway retry loop"),
+            );
+            drop(g);
+            panic_any(ModelAbort);
+        }
+        self.pick_next(&mut g, false);
+        self.wait_for_baton(g, tid)
+    }
+
+    // ---- atomics ---------------------------------------------------
+
+    pub(crate) fn atomic_load(
+        self: &Arc<Self>,
+        tid: usize,
+        addr: usize,
+        ord: std::sync::atomic::Ordering,
+        init: u64,
+        label: &'static str,
+    ) -> u64 {
+        let mut g = self.op_gate(tid);
+        g.threads[tid].clock.tick(tid);
+        let clock = g.threads[tid].clock.clone();
+        let (floor, len) = {
+            let loc = g
+                .atomics
+                .entry(addr)
+                .or_insert_with(|| AtomicLoc::new(init));
+            let mut floor = loc.seen_floor(tid);
+            if sc(ord) {
+                if let Some(i) = loc.last_sc {
+                    floor = floor.max(i);
+                }
+            }
+            for i in (floor..loc.stores.len()).rev() {
+                if loc.stores[i].event.leq(&clock) {
+                    floor = floor.max(i);
+                    break;
+                }
+            }
+            (floor, loc.stores.len())
+        };
+        let cands = len - floor;
+        let idx = if cands > 1 {
+            let c = g.decide(cands);
+            len - 1 - c
+        } else {
+            floor
+        };
+        let (val, join_msg) = {
+            let loc = g.atomics.get_mut(&addr).expect("registered above");
+            let st = &loc.stores[idx];
+            let join = if acq(ord) && !st.msg.is_zero() {
+                Some(st.msg.clone())
+            } else {
+                None
+            };
+            let val = st.val;
+            // Fairness bound: a stale (non-newest) store may be read only
+            // once per visit — the floor advances past it so a retry loop
+            // must make progress. This prunes behaviors where the same
+            // stale value is observed twice consecutively (harmless for
+            // bug finding, essential for DFS termination on spin loops).
+            let floor_after = if idx + 1 < len { idx + 1 } else { idx };
+            loc.set_seen(tid, floor_after);
+            (val, join)
+        };
+        if let Some(m) = join_msg {
+            g.threads[tid].clock.join(&m);
+        }
+        g.tr(tid, || {
+            format!("load  {label}@{addr:#x} -> {val} ({ord:?}, store #{idx}/{len})")
+        });
+        val
+    }
+
+    pub(crate) fn atomic_store(
+        self: &Arc<Self>,
+        tid: usize,
+        addr: usize,
+        val: u64,
+        ord: std::sync::atomic::Ordering,
+        init: u64,
+        label: &'static str,
+    ) {
+        let mut g = self.op_gate(tid);
+        g.threads[tid].clock.tick(tid);
+        let clock = g.threads[tid].clock.clone();
+        let loc = g
+            .atomics
+            .entry(addr)
+            .or_insert_with(|| AtomicLoc::new(init));
+        let msg = if rel(ord) {
+            clock.clone()
+        } else {
+            VClock::default()
+        };
+        loc.stores.push(Store {
+            val,
+            msg,
+            event: clock,
+        });
+        let idx = loc.stores.len() - 1;
+        if sc(ord) {
+            loc.last_sc = Some(idx);
+        }
+        loc.set_seen(tid, idx);
+        g.tr(tid, || {
+            format!("store {label}@{addr:#x} <- {val} ({ord:?})")
+        });
+    }
+
+    /// RMW: always reads the newest store; the new store's message clock
+    /// carries the previous one forward (release sequences survive
+    /// relaxed RMW links).
+    pub(crate) fn atomic_rmw(
+        self: &Arc<Self>,
+        tid: usize,
+        addr: usize,
+        ord: std::sync::atomic::Ordering,
+        init: u64,
+        label: &'static str,
+        f: &mut dyn FnMut(u64) -> u64,
+    ) -> u64 {
+        let mut g = self.op_gate(tid);
+        g.threads[tid].clock.tick(tid);
+        let (old, prev_msg) = {
+            let loc = g
+                .atomics
+                .entry(addr)
+                .or_insert_with(|| AtomicLoc::new(init));
+            let last = loc.stores.last().expect("history never empty");
+            (last.val, last.msg.clone())
+        };
+        if acq(ord) && !prev_msg.is_zero() {
+            g.threads[tid].clock.join(&prev_msg);
+        }
+        let newv = f(old);
+        let clock = g.threads[tid].clock.clone();
+        let mut msg = prev_msg;
+        if rel(ord) {
+            msg.join(&clock);
+        }
+        let loc = g.atomics.get_mut(&addr).expect("registered above");
+        loc.stores.push(Store {
+            val: newv,
+            msg,
+            event: clock,
+        });
+        let idx = loc.stores.len() - 1;
+        if sc(ord) {
+            loc.last_sc = Some(idx);
+        }
+        loc.set_seen(tid, idx);
+        g.tr(tid, || {
+            format!("rmw   {label}@{addr:#x} {old} -> {newv} ({ord:?})")
+        });
+        old
+    }
+
+    pub(crate) fn atomic_cas(
+        self: &Arc<Self>,
+        tid: usize,
+        addr: usize,
+        expect: u64,
+        new: u64,
+        succ: std::sync::atomic::Ordering,
+        fail: std::sync::atomic::Ordering,
+        init: u64,
+        label: &'static str,
+    ) -> Result<u64, u64> {
+        let mut g = self.op_gate(tid);
+        g.threads[tid].clock.tick(tid);
+        let (old, prev_msg, len) = {
+            let loc = g
+                .atomics
+                .entry(addr)
+                .or_insert_with(|| AtomicLoc::new(init));
+            let last = loc.stores.last().expect("history never empty");
+            (last.val, last.msg.clone(), loc.stores.len())
+        };
+        if old == expect {
+            if acq(succ) && !prev_msg.is_zero() {
+                g.threads[tid].clock.join(&prev_msg);
+            }
+            let clock = g.threads[tid].clock.clone();
+            let mut msg = prev_msg;
+            if rel(succ) {
+                msg.join(&clock);
+            }
+            let loc = g.atomics.get_mut(&addr).expect("registered above");
+            loc.stores.push(Store {
+                val: new,
+                msg,
+                event: clock,
+            });
+            let idx = loc.stores.len() - 1;
+            if sc(succ) {
+                loc.last_sc = Some(idx);
+            }
+            loc.set_seen(tid, idx);
+            g.tr(tid, || {
+                format!("cas   {label}@{addr:#x} {old} -> {new} ok ({succ:?})")
+            });
+            Ok(old)
+        } else {
+            if acq(fail) && !prev_msg.is_zero() {
+                g.threads[tid].clock.join(&prev_msg);
+            }
+            let loc = g.atomics.get_mut(&addr).expect("registered above");
+            loc.set_seen(tid, len - 1);
+            g.tr(tid, || {
+                format!("cas   {label}@{addr:#x} found {old}, wanted {expect}: failed")
+            });
+            Err(old)
+        }
+    }
+
+    // ---- raw (teardown / unwind) access ----------------------------
+
+    /// Latest-value access without scheduling, used while the thread is
+    /// panicking (Drop impls during an abort teardown must not re-enter
+    /// the scheduler or double-panic).
+    pub(crate) fn raw_load(&self, addr: usize, init: u64) -> u64 {
+        let mut g = self.m.lock();
+        let loc = g
+            .atomics
+            .entry(addr)
+            .or_insert_with(|| AtomicLoc::new(init));
+        loc.stores.last().expect("history never empty").val
+    }
+
+    pub(crate) fn raw_store(&self, addr: usize, val: u64, init: u64) {
+        let mut g = self.m.lock();
+        let loc = g
+            .atomics
+            .entry(addr)
+            .or_insert_with(|| AtomicLoc::new(init));
+        loc.stores.push(Store {
+            val,
+            msg: VClock::default(),
+            event: VClock::default(),
+        });
+    }
+
+    pub(crate) fn raw_rmw(&self, addr: usize, init: u64, f: &mut dyn FnMut(u64) -> u64) -> u64 {
+        let mut g = self.m.lock();
+        let loc = g
+            .atomics
+            .entry(addr)
+            .or_insert_with(|| AtomicLoc::new(init));
+        let old = loc.stores.last().expect("history never empty").val;
+        loc.stores.push(Store {
+            val: f(old),
+            msg: VClock::default(),
+            event: VClock::default(),
+        });
+        old
+    }
+
+    pub(crate) fn raw_mutex_lock(&self, addr: usize) {
+        loop {
+            {
+                let mut g = self.m.lock();
+                let m = g.mutexes.entry(addr).or_default();
+                if m.holder.is_none() {
+                    m.holder = Some(usize::MAX);
+                    return;
+                }
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    pub(crate) fn raw_mutex_unlock(&self, addr: usize) {
+        let mut g = self.m.lock();
+        if let Some(m) = g.mutexes.get_mut(&addr) {
+            m.holder = None;
+        }
+        for t in 0..g.threads.len() {
+            if g.threads[t].state == Run::Blocked(Block::Mutex(addr)) {
+                g.threads[t].state = Run::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    // ---- mutex / condvar -------------------------------------------
+
+    pub(crate) fn mutex_lock(self: &Arc<Self>, tid: usize, addr: usize) {
+        let mut g = self.op_gate(tid);
+        loop {
+            let free = g.mutexes.entry(addr).or_default().holder.is_none();
+            if free {
+                let mc = {
+                    let m = g.mutexes.get_mut(&addr).expect("registered above");
+                    m.holder = Some(tid);
+                    m.clock.clone()
+                };
+                g.threads[tid].clock.join(&mc);
+                g.threads[tid].clock.tick(tid);
+                g.tr(tid, || format!("lock  mutex@{addr:#x}"));
+                return;
+            }
+            g.threads[tid].state = Run::Blocked(Block::Mutex(addr));
+            g.tr(tid, || format!("block mutex@{addr:#x}"));
+            self.pick_next(&mut g, true);
+            g = self.wait_for_baton(g, tid);
+        }
+    }
+
+    pub(crate) fn mutex_unlock(self: &Arc<Self>, tid: usize, addr: usize) {
+        let mut g = self.op_gate(tid);
+        g.threads[tid].clock.tick(tid);
+        let c = g.threads[tid].clock.clone();
+        {
+            let m = g.mutexes.get_mut(&addr).expect("unlock of unknown mutex");
+            debug_assert_eq!(m.holder, Some(tid), "unlock by non-holder");
+            m.holder = None;
+            m.clock.join(&c);
+        }
+        for t in 0..g.threads.len() {
+            if g.threads[t].state == Run::Blocked(Block::Mutex(addr)) {
+                g.threads[t].state = Run::Runnable;
+            }
+        }
+        g.tr(tid, || format!("unlck mutex@{addr:#x}"));
+    }
+
+    pub(crate) fn cv_wait(self: &Arc<Self>, tid: usize, cv_addr: usize, mutex_addr: usize) {
+        let mut g = self.op_gate(tid);
+        g.threads[tid].clock.tick(tid);
+        let c = g.threads[tid].clock.clone();
+        {
+            let m = g
+                .mutexes
+                .get_mut(&mutex_addr)
+                .expect("cv wait with unlocked mutex");
+            debug_assert_eq!(m.holder, Some(tid), "cv wait by non-holder");
+            m.holder = None;
+            m.clock.join(&c);
+        }
+        for t in 0..g.threads.len() {
+            if g.threads[t].state == Run::Blocked(Block::Mutex(mutex_addr)) {
+                g.threads[t].state = Run::Runnable;
+            }
+        }
+        g.cvs.entry(cv_addr).or_default().push(tid);
+        g.threads[tid].state = Run::Blocked(Block::Cv(cv_addr));
+        g.tr(tid, || format!("cwait cv@{cv_addr:#x} (parked)"));
+        self.pick_next(&mut g, true);
+        g = self.wait_for_baton(g, tid);
+        // Notified: re-acquire the mutex before returning.
+        loop {
+            let free = g.mutexes.entry(mutex_addr).or_default().holder.is_none();
+            if free {
+                let mc = {
+                    let m = g.mutexes.get_mut(&mutex_addr).expect("registered above");
+                    m.holder = Some(tid);
+                    m.clock.clone()
+                };
+                g.threads[tid].clock.join(&mc);
+                g.threads[tid].clock.tick(tid);
+                g.tr(tid, || format!("cwait cv@{cv_addr:#x} woke, relocked"));
+                return;
+            }
+            g.threads[tid].state = Run::Blocked(Block::Mutex(mutex_addr));
+            self.pick_next(&mut g, true);
+            g = self.wait_for_baton(g, tid);
+        }
+    }
+
+    pub(crate) fn cv_notify(self: &Arc<Self>, tid: usize, cv_addr: usize, all: bool) {
+        let mut g = self.op_gate(tid);
+        g.threads[tid].clock.tick(tid);
+        let woken: Vec<usize> = {
+            let ws = g.cvs.entry(cv_addr).or_default();
+            if all {
+                std::mem::take(ws)
+            } else if ws.is_empty() {
+                Vec::new()
+            } else {
+                vec![ws.remove(0)]
+            }
+        };
+        for &w in &woken {
+            if g.threads[w].state == Run::Blocked(Block::Cv(cv_addr)) {
+                g.threads[w].state = Run::Runnable;
+            }
+        }
+        g.tr(tid, || {
+            format!(
+                "ntfy  cv@{cv_addr:#x} ({}, woke {:?})",
+                if all { "all" } else { "one" },
+                woken
+            )
+        });
+    }
+
+    // ---- race-detector hooks ---------------------------------------
+
+    pub(crate) fn race_access(
+        self: &Arc<Self>,
+        tid: usize,
+        addr: usize,
+        is_write: bool,
+        label: &'static str,
+    ) {
+        let mut g = self.op_gate(tid);
+        g.threads[tid].clock.tick(tid);
+        let clock = g.threads[tid].clock.clone();
+        let nthreads = g.threads.len();
+        let mut conflict: Option<String> = None;
+        {
+            let sh = g.shadows.entry(addr).or_insert_with(|| Shadow {
+                write: None,
+                reads: Vec::new(),
+            });
+            if let Some((wt, wstamp, wlabel)) = sh.write {
+                if wt != tid && clock.get(wt) < wstamp {
+                    conflict = Some(format!(
+                        "{} \"{label}\"@{addr:#x} by T{tid} is unordered with a prior write \
+                         \"{wlabel}\" by T{wt}",
+                        if is_write { "write" } else { "read" },
+                    ));
+                }
+            }
+            if is_write && conflict.is_none() {
+                for (rt, read) in sh.reads.iter().enumerate() {
+                    if let Some((stamp, rlabel)) = read {
+                        if rt != tid && clock.get(rt) < *stamp {
+                            conflict = Some(format!(
+                                "write \"{label}\"@{addr:#x} by T{tid} is unordered with a \
+                                 prior read \"{rlabel}\" by T{rt}",
+                            ));
+                            break;
+                        }
+                    }
+                }
+            }
+            if is_write {
+                sh.write = Some((tid, clock.get(tid), label));
+                sh.reads = vec![None; nthreads];
+            } else {
+                if sh.reads.len() < nthreads {
+                    sh.reads.resize(nthreads, None);
+                }
+                sh.reads[tid] = Some((clock.get(tid), label));
+            }
+        }
+        g.tr(tid, || {
+            format!(
+                "{} \"{label}\"@{addr:#x}",
+                if is_write { "writeD" } else { "readD " }
+            )
+        });
+        if let Some(msg) = conflict {
+            self.fail(
+                &mut g,
+                format!(
+                    "data race: {msg}\nhint: the pairing atomic's Ordering is too weak, or the \
+                     access lacks synchronization entirely"
+                ),
+            );
+            drop(g);
+            panic_any(ModelAbort);
+        }
+    }
+
+    // ---- threads ----------------------------------------------------
+
+    pub(crate) fn yield_now(self: &Arc<Self>, tid: usize) {
+        let mut g = self.m.lock();
+        self.abort_check(&g);
+        g.steps += 1;
+        if g.steps > g.opts_max_steps {
+            let bound = g.opts_max_steps;
+            self.fail(
+                &mut g,
+                format!("step bound {bound} exceeded: livelock or runaway retry loop"),
+            );
+            drop(g);
+            panic_any(ModelAbort);
+        }
+        // A yield declares "I cannot make progress": when another thread
+        // is runnable the baton MUST move (loom semantics). Allowing
+        // "stay put" as an option would make every spin-loop iteration a
+        // fresh DFS branch and the schedule tree unbounded.
+        let runnable = g.runnable();
+        let mut opts: Vec<usize> = runnable.iter().copied().filter(|&t| t != tid).collect();
+        if opts.is_empty() {
+            opts.push(tid);
+        }
+        let c = g.decide(opts.len());
+        g.current = opts[c];
+        g.tr(tid, || format!("yield -> T{}", opts[c]));
+        self.cv.notify_all();
+        drop(self.wait_for_baton(g, tid));
+    }
+
+    pub(crate) fn spawn_thread(
+        self: &Arc<Self>,
+        parent: usize,
+        f: Box<dyn FnOnce() + Send>,
+    ) -> usize {
+        let mut g = self.op_gate(parent);
+        g.threads[parent].clock.tick(parent);
+        let tid = g.threads.len();
+        if tid >= g.opts_max_threads {
+            let cap = g.opts_max_threads;
+            self.fail(&mut g, format!("model thread limit {cap} exceeded"));
+            drop(g);
+            panic_any(ModelAbort);
+        }
+        let mut clock = g.threads[parent].clock.clone();
+        clock.tick(tid);
+        g.threads.push(ThreadState {
+            state: Run::Runnable,
+            clock,
+        });
+        g.live += 1;
+        g.tr(parent, || format!("spawn T{tid}"));
+        let exec = Arc::clone(self);
+        let h = std::thread::Builder::new()
+            .name(format!("cmpi-model-t{tid}"))
+            .spawn(move || thread_main(exec, tid, f))
+            .expect("spawn model OS thread");
+        g.os_handles.push(h);
+        tid
+    }
+
+    pub(crate) fn join_thread(self: &Arc<Self>, tid: usize, target: usize) {
+        let mut g = self.op_gate(tid);
+        loop {
+            if matches!(g.threads[target].state, Run::Finished) {
+                let c = g.threads[target].clock.clone();
+                g.threads[tid].clock.join(&c);
+                g.threads[tid].clock.tick(tid);
+                g.tr(tid, || format!("join  T{target}"));
+                return;
+            }
+            g.threads[tid].state = Run::Blocked(Block::Join(target));
+            self.pick_next(&mut g, true);
+            g = self.wait_for_baton(g, tid);
+        }
+    }
+
+    pub(crate) fn quarantine(&self, b: Box<dyn Any + Send>) {
+        self.m.lock().graveyard.push(b);
+    }
+}
+
+fn thread_main(exec: Arc<Execution>, tid: usize, f: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    IN_MODEL.with(|c| c.set(true));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let g = exec.m.lock();
+        drop(exec.wait_for_baton(g, tid));
+        f();
+    }));
+    let mut g = exec.m.lock();
+    if let Err(p) = result {
+        if !p.is::<ModelAbort>() {
+            let msg = panic_message(p.as_ref());
+            exec.fail(&mut g, format!("panic in model thread T{tid}: {msg}"));
+        }
+    }
+    g.threads[tid].state = Run::Finished;
+    g.live -= 1;
+    for t in 0..g.threads.len() {
+        if g.threads[t].state == Run::Blocked(Block::Join(tid)) {
+            g.threads[t].state = Run::Runnable;
+        }
+    }
+    if g.live == 0 {
+        g.done = true;
+    } else {
+        exec.pick_next(&mut g, true);
+    }
+    drop(g);
+    exec.cv.notify_all();
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) struct RunOutcome {
+    pub failure: Option<String>,
+    pub log: Vec<Choice>,
+    pub trace: Vec<String>,
+}
+
+pub(crate) fn run_once(
+    opts: &Options,
+    prefix: &[usize],
+    trace_on: bool,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    install_hook();
+    let exec = Arc::new(Execution::new(opts, prefix.to_vec(), trace_on));
+    {
+        let mut g = exec.m.lock();
+        let mut clock = VClock::default();
+        clock.tick(0);
+        g.threads.push(ThreadState {
+            state: Run::Runnable,
+            clock,
+        });
+        g.live = 1;
+        g.current = 0;
+    }
+    let e2 = Arc::clone(&exec);
+    let f2 = Arc::clone(f);
+    let root = std::thread::Builder::new()
+        .name("cmpi-model-t0".to_string())
+        .spawn(move || thread_main(e2, 0, Box::new(move || f2())))
+        .expect("spawn model root thread");
+    {
+        let mut g = exec.m.lock();
+        while !g.done {
+            exec.cv.wait(&mut g);
+        }
+    }
+    let _ = root.join();
+    loop {
+        let h = exec.m.lock().os_handles.pop();
+        match h {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    let mut g = exec.m.lock();
+    g.graveyard.clear();
+    RunOutcome {
+        failure: g.failure.take(),
+        log: std::mem::take(&mut g.log),
+        trace: std::mem::take(&mut g.trace_lines),
+    }
+}
+
+pub(crate) enum ExploreResult {
+    Passed { executions: usize },
+    Failed { report: String },
+    BudgetExhausted { executions: usize },
+}
+
+fn build_report(executions: usize, failure: &str, trace: &[String], replay: &[usize]) -> String {
+    let replay_csv = replay
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "cmpi-model: bug found after {executions} execution(s)\n\
+         --- failure ---\n{failure}\n\
+         --- schedule trace ---\n{}\n\
+         --- replay ---\nreplay: {replay_csv}\n",
+        trace.join("\n")
+    )
+}
+
+pub(crate) fn explore(opts: &Options, f: Arc<dyn Fn() + Send + Sync>) -> ExploreResult {
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        let out = run_once(opts, &prefix, false, &f);
+        executions += 1;
+        if let Some(failure) = out.failure {
+            // Deterministic re-run of the same schedule with tracing on.
+            let replay: Vec<usize> = out.log.iter().map(|c| c.chosen).collect();
+            let traced = run_once(opts, &replay, true, &f);
+            let failure = traced.failure.unwrap_or(failure);
+            return ExploreResult::Failed {
+                report: build_report(executions, &failure, &traced.trace, &replay),
+            };
+        }
+        if executions >= opts.max_executions {
+            return ExploreResult::BudgetExhausted { executions };
+        }
+        // Backtrack to the deepest choice point with an unexplored
+        // alternative.
+        let mut log = out.log;
+        loop {
+            match log.pop() {
+                None => return ExploreResult::Passed { executions },
+                Some(c) if c.chosen + 1 < c.options => {
+                    prefix = log.iter().map(|x| x.chosen).collect();
+                    prefix.push(c.chosen + 1);
+                    break;
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Run exactly one execution pinned to `schedule`, tracing on. Returns
+/// the failure report if that schedule fails.
+pub(crate) fn replay_once(
+    opts: &Options,
+    schedule: &[usize],
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> Option<String> {
+    let out = run_once(opts, schedule, true, &f);
+    out.failure
+        .map(|failure| build_report(1, &failure, &out.trace, schedule))
+}

@@ -1,0 +1,40 @@
+//! `cmpi-model`: correctness tooling for the lock-free hot path.
+//!
+//! The crate has three faces:
+//!
+//! 1. **A shim synchronization layer** ([`sync`]): drop-in stand-ins for
+//!    `std::sync::atomic::Atomic*`, `parking_lot::{Mutex, Condvar}` and a
+//!    [`sync::CondvarSlot`] parking primitive. In a normal build they
+//!    compile straight down to the real types (zero hot-path cost). Under
+//!    `RUSTFLAGS="--cfg cmpi_model"` every load/store/RMW/lock/wait is
+//!    routed through an exhaustive model-checking scheduler.
+//!
+//! 2. **A model checker** ([`model`], only under `cfg(cmpi_model)`): a
+//!    loom-style DFS over thread interleavings with a bounded number of
+//!    preemptions, a C11-flavoured weak-memory store history (loads may
+//!    read stale values unless happens-before forbids it), a FastTrack
+//!    vector-clock race detector over [`race`] hooks, lost-wakeup
+//!    (deadlock) detection, and a replayable schedule trace printed on
+//!    failure.
+//!
+//! 3. **A repo lint** ([`lint`] + the `cmpi-lint` binary): mechanical
+//!    rules the workspace must obey — `// SAFETY:` on every unsafe block,
+//!    `// relaxed-ok:` on every `Ordering::Relaxed` outside whitelisted
+//!    modules, no `unwrap()/expect()` in hot-path modules, and collective
+//!    tag field-widths within their debug-asserted bounds.
+//!
+//! See `DESIGN.md` §13 for the per-structure memory-model obligations the
+//! checker enforces and how to read a schedule trace.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod lint;
+pub mod race;
+pub mod sync;
+
+#[cfg(cmpi_model)]
+mod engine;
+#[cfg(cmpi_model)]
+pub mod model;
+#[cfg(cmpi_model)]
+mod vclock;

@@ -1,0 +1,522 @@
+//! Mechanical repo lint for the lock-free hot path (the `cmpi-lint`
+//! binary drives this from `scripts/check.sh`).
+//!
+//! Rules:
+//!
+//! 1. **safety** — every `unsafe` token in code must be preceded (within
+//!    [`SAFETY_WINDOW`] lines, or on the same line) by a `// SAFETY:`
+//!    comment stating the invariant that makes it sound.
+//! 2. **relaxed** — every `Ordering::Relaxed` outside the whitelist
+//!    ([`RELAXED_WHITELIST`]) must carry a `// relaxed-ok:` justification
+//!    within [`RELAXED_WINDOW`] lines. Relaxed is correct only for
+//!    monotonic counters feeding reports, never for control flow.
+//! 3. **hot-unwrap** — modules on the hot path ([`HOT_PATH_MODULES`])
+//!    may not call `.unwrap()` / `.expect(` outside their test modules:
+//!    a poisoned packet must surface as an `MpiError`, not a panic in
+//!    the progress engine.
+//! 4. **tag-width** — the collective tag packing in `collectives.rs`
+//!    must keep every op id inside the high bits left over above
+//!    `TAG_ROUND_BITS`, and `packet.rs` wire discriminants must stay
+//!    distinct, non-zero byte-sized values. `TAG_ROUND_BITS` may be
+//!    defined in exactly one file (single width authority).
+//!
+//! Test modules (`#[cfg(test)] mod …` tails) are exempt from rules 2–3;
+//! rule 1 applies everywhere.
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
+pub const SAFETY_WINDOW: usize = 10;
+
+/// How many lines above an `Ordering::Relaxed` a `// relaxed-ok:`
+/// justification may sit.
+pub const RELAXED_WINDOW: usize = 4;
+
+/// Modules where `Ordering::Relaxed` needs no justification: the model
+/// checker's own plumbing (it *implements* the memory model rather than
+/// relying on it).
+pub const RELAXED_WHITELIST: &[&str] = &["crates/cmpi-model/src/"];
+
+/// Hot-path modules where `unwrap()/expect()` is banned outside tests.
+pub const HOT_PATH_MODULES: &[&str] = &[
+    "crates/cmpi-core/src/mailbox.rs",
+    "crates/cmpi-core/src/matching.rs",
+    "crates/cmpi-core/src/packet.rs",
+    "crates/cmpi-core/src/pt2pt.rs",
+    "crates/cmpi-core/src/channel.rs",
+    "crates/cmpi-shmem/src/queue.rs",
+    "crates/cmpi-shmem/src/segment.rs",
+    "crates/cmpi-fabric/src/endpoint.rs",
+];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Strip string and char literals from one source line so tokens inside
+/// them are not mistaken for code. Line-local (multi-line literals are
+/// rare in this workspace and contain no lint tokens).
+fn strip_literals(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == 'r' {
+            // Raw string literal `r"…"` / `r#"…"#`: consume up to the
+            // closing quote followed by the same number of `#`s. The
+            // embedded quotes must not be mistaken for string delimiters.
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] == '#' {
+                j += 1;
+            }
+            if j < chars.len() && chars[j] == '"' {
+                let hashes = j - (i + 1);
+                let mut k = j + 1;
+                while k < chars.len() {
+                    if chars[k] == '"'
+                        && chars[k + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == '#')
+                            .count()
+                            == hashes
+                    {
+                        k += 1 + hashes;
+                        break;
+                    }
+                    k += 1;
+                }
+                out.push_str("\"\"");
+                i = k;
+                continue;
+            }
+        }
+        if c == '"' {
+            // Skip to the closing unescaped quote.
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    break;
+                }
+                i += 1;
+            }
+            i += 1;
+            out.push_str("\"\"");
+            continue;
+        }
+        if c == '\'' {
+            // Possible char literal: 'x', '\n', '\''. Lifetimes ('a)
+            // have no closing quote nearby and are left alone.
+            let close = if i + 2 < chars.len() && chars[i + 1] == '\\' {
+                (i + 3 < chars.len() && chars[i + 3] == '\'').then_some(i + 3)
+            } else {
+                (i + 2 < chars.len() && chars[i + 2] == '\'').then_some(i + 2)
+            };
+            if let Some(end) = close {
+                out.push_str("' '");
+                i = end + 1;
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// The code portion of a line: literals stripped, trailing `//` comment
+/// removed. Empty for whole-line comments.
+fn code_of(line: &str) -> String {
+    let stripped = strip_literals(line);
+    let trimmed = stripped.trim_start();
+    if trimmed.starts_with("//") {
+        return String::new();
+    }
+    match stripped.find("//") {
+        Some(pos) => stripped[..pos].to_string(),
+        None => stripped,
+    }
+}
+
+/// Does `code` contain `needle` as a standalone word?
+fn has_word(code: &str, needle: &str) -> bool {
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let after = at + needle.len();
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let after_ok = after >= bytes.len() || !is_ident(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// Index of the first line of the `#[cfg(test)] mod …` tail, if any;
+/// lines at or after it are exempt from the hot-path and relaxed rules.
+fn test_tail_start(lines: &[&str]) -> usize {
+    for (i, l) in lines.iter().enumerate() {
+        if l.trim() == "#[cfg(test)]" {
+            // Look ahead (past attributes) for a `mod` item.
+            for l2 in lines.iter().skip(i + 1).take(3) {
+                let t = l2.trim_start();
+                if t.starts_with("mod ") || t.starts_with("pub mod ") {
+                    return i;
+                }
+                if !t.starts_with("#[") {
+                    break;
+                }
+            }
+        }
+    }
+    lines.len()
+}
+
+/// Does any of `lines[lo..=hi]` carry the marker comment?
+fn window_has(lines: &[&str], hi: usize, window: usize, marker: &str) -> bool {
+    let lo = hi.saturating_sub(window);
+    lines[lo..=hi].iter().any(|l| l.contains(marker))
+}
+
+/// Run the per-file rules (safety, relaxed, hot-unwrap, duplicate tag
+/// authority) over one source file. `relpath` uses forward slashes
+/// relative to the workspace root.
+pub fn lint_file(relpath: &str, src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = src.lines().collect();
+    let tail = test_tail_start(&lines);
+    let hot = HOT_PATH_MODULES.iter().any(|m| relpath.ends_with(m));
+    let whitelisted = RELAXED_WHITELIST.iter().any(|w| relpath.contains(w));
+
+    for (i, raw) in lines.iter().enumerate() {
+        let code = code_of(raw);
+        if code.is_empty() {
+            continue;
+        }
+        // Rule 1: SAFETY comments. Lint attributes mentioning unsafe
+        // (forbid/deny) are configuration, not unsafe code.
+        if has_word(&code, "unsafe")
+            && !code.contains("forbid")
+            && !code.contains("deny")
+            && !window_has(&lines, i, SAFETY_WINDOW, "SAFETY:")
+        {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: i + 1,
+                rule: "safety",
+                msg: "unsafe without a `// SAFETY:` comment in the preceding lines".into(),
+            });
+        }
+        if i >= tail {
+            continue;
+        }
+        // Rule 2: justified Relaxed orderings.
+        if code.contains("Ordering::Relaxed")
+            && !whitelisted
+            && !window_has(&lines, i, RELAXED_WINDOW, "relaxed-ok:")
+        {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: i + 1,
+                rule: "relaxed",
+                msg: "Ordering::Relaxed without a `// relaxed-ok:` justification".into(),
+            });
+        }
+        // Rule 3: no unwrap/expect on the hot path.
+        if hot && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: i + 1,
+                rule: "hot-unwrap",
+                msg: "unwrap()/expect() in a hot-path module (return an error instead)".into(),
+            });
+        }
+        // Rule 4 (part): single tag-width authority.
+        if code.contains("TAG_ROUND_BITS:") && !relpath.ends_with("collectives.rs") {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: i + 1,
+                rule: "tag-width",
+                msg: "TAG_ROUND_BITS may only be defined in collectives.rs".into(),
+            });
+        }
+    }
+    out
+}
+
+fn parse_const_u32(line: &str, name_prefix: &str) -> Option<(String, u32)> {
+    let code = code_of(line);
+    let t = code.trim_start();
+    let t = t.strip_prefix("pub ").unwrap_or(t);
+    let t = t.strip_prefix("const ")?;
+    let (name, rest) = t.split_once(':')?;
+    let name = name.trim();
+    if !name.starts_with(name_prefix) {
+        return None;
+    }
+    let (_, val) = rest.split_once('=')?;
+    let val = val.trim().trim_end_matches(';').trim();
+    val.parse().ok().map(|v| (name.to_string(), v))
+}
+
+/// Rule 4: verify the collective tag field widths and packet wire
+/// discriminants against their debug-asserted bounds.
+pub fn lint_tag_widths(collectives_src: &str, packet_src: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let coll_file = "crates/cmpi-core/src/collectives.rs";
+    let pkt_file = "crates/cmpi-core/src/packet.rs";
+
+    let mut round_bits: Option<(usize, u32)> = None;
+    for (i, l) in collectives_src.lines().enumerate() {
+        if let Some((name, v)) = parse_const_u32(l, "TAG_ROUND_BITS") {
+            if name == "TAG_ROUND_BITS" {
+                round_bits = Some((i + 1, v));
+            }
+        }
+    }
+    let Some((bits_line, bits)) = round_bits else {
+        out.push(Violation {
+            file: coll_file.to_string(),
+            line: 1,
+            rule: "tag-width",
+            msg: "TAG_ROUND_BITS definition not found".into(),
+        });
+        return out;
+    };
+    if bits == 0 || bits >= 32 {
+        out.push(Violation {
+            file: coll_file.to_string(),
+            line: bits_line,
+            rule: "tag-width",
+            msg: format!("TAG_ROUND_BITS = {bits} leaves no room for the op id field"),
+        });
+        return out;
+    }
+    let op_limit: u64 = 1 << (32 - bits);
+
+    // Walk the `mod op { … }` block.
+    let mut in_op = false;
+    let mut seen: Vec<(String, u32, usize)> = Vec::new();
+    for (i, l) in collectives_src.lines().enumerate() {
+        let code = code_of(l);
+        if code.trim_start().starts_with("mod op") {
+            in_op = true;
+            continue;
+        }
+        if in_op {
+            if code.trim() == "}" {
+                break;
+            }
+            if let Some((name, v)) = parse_const_u32(l, "") {
+                if v == 0 {
+                    out.push(Violation {
+                        file: coll_file.to_string(),
+                        line: i + 1,
+                        rule: "tag-width",
+                        msg: format!("op id {name} = 0 collides with the reserved zero tag"),
+                    });
+                }
+                if u64::from(v) >= op_limit {
+                    out.push(Violation {
+                        file: coll_file.to_string(),
+                        line: i + 1,
+                        rule: "tag-width",
+                        msg: format!(
+                            "op id {name} = {v} does not fit the {} high bits above \
+                             TAG_ROUND_BITS = {bits}",
+                            32 - bits
+                        ),
+                    });
+                }
+                if let Some((other, _, _)) = seen.iter().find(|(_, ov, _)| *ov == v) {
+                    out.push(Violation {
+                        file: coll_file.to_string(),
+                        line: i + 1,
+                        rule: "tag-width",
+                        msg: format!("op id {name} = {v} duplicates {other}"),
+                    });
+                }
+                seen.push((name, v, i + 1));
+            }
+        }
+    }
+    if seen.is_empty() {
+        out.push(Violation {
+            file: coll_file.to_string(),
+            line: 1,
+            rule: "tag-width",
+            msg: "no op ids found in `mod op`".into(),
+        });
+    }
+
+    // Packet wire discriminants: distinct, non-zero, byte-sized.
+    let mut kinds: Vec<(String, u32, usize)> = Vec::new();
+    for (i, l) in packet_src.lines().enumerate() {
+        if let Some((name, v)) = parse_const_u32(l, "K_") {
+            if v == 0 {
+                out.push(Violation {
+                    file: pkt_file.to_string(),
+                    line: i + 1,
+                    rule: "tag-width",
+                    msg: format!("wire discriminant {name} = 0 is reserved (absent imm)"),
+                });
+            }
+            if v > u32::from(u8::MAX) {
+                out.push(Violation {
+                    file: pkt_file.to_string(),
+                    line: i + 1,
+                    rule: "tag-width",
+                    msg: format!("wire discriminant {name} = {v} exceeds one byte"),
+                });
+            }
+            if let Some((other, _, _)) = kinds.iter().find(|(_, ov, _)| *ov == v) {
+                out.push(Violation {
+                    file: pkt_file.to_string(),
+                    line: i + 1,
+                    rule: "tag-width",
+                    msg: format!("wire discriminant {name} = {v} duplicates {other}"),
+                });
+            }
+            kinds.push((name, v, i + 1));
+        }
+    }
+    if kinds.is_empty() {
+        out.push(Violation {
+            file: pkt_file.to_string(),
+            line: 1,
+            rule: "tag-width",
+            msg: "no K_* wire discriminants found".into(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn safety_rule_flags_bare_unsafe_and_accepts_annotated() {
+        let bad = "fn f(p: *mut u8) {\n    unsafe { *p = 1 };\n}\n";
+        let v = lint_file("crates/x/src/a.rs", bad);
+        assert_eq!(rules_of(&v), vec!["safety"]);
+        assert_eq!(v[0].line, 2);
+
+        let good = "fn f(p: *mut u8) {\n    // SAFETY: p is valid for writes by contract.\n    unsafe { *p = 1 };\n}\n";
+        assert!(lint_file("crates/x/src/a.rs", good).is_empty());
+    }
+
+    #[test]
+    fn safety_rule_ignores_comments_strings_and_lint_attrs() {
+        let src = concat!(
+            "//! talks about unsafe code in prose\n",
+            "#![deny(unsafe_op_in_unsafe_fn)]\n",
+            "#![forbid(unsafe_code)]\n",
+            "fn f() { let _ = \"unsafe\"; } // unsafe in a string + comment\n",
+        );
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn relaxed_rule_needs_justification_outside_whitelist() {
+        let bad = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let v = lint_file("crates/cmpi-core/src/stats.rs", bad);
+        assert_eq!(rules_of(&v), vec!["relaxed"]);
+
+        let good = "fn f(c: &AtomicU64) {\n    // relaxed-ok: monotonic counter, report-only.\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(lint_file("crates/cmpi-core/src/stats.rs", good).is_empty());
+
+        // The model crate implements the memory model; whitelisted.
+        assert!(lint_file("crates/cmpi-model/src/engine.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn hot_unwrap_rule_only_hits_hot_modules_outside_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(
+            rules_of(&lint_file("crates/cmpi-core/src/matching.rs", src)),
+            vec!["hot-unwrap"]
+        );
+        // Same code in a cold module passes.
+        assert!(lint_file("crates/cmpi-core/src/figures.rs", src).is_empty());
+        // And in the test tail of a hot module.
+        let tested = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        assert!(lint_file("crates/cmpi-core/src/matching.rs", tested).is_empty());
+    }
+
+    #[test]
+    fn tag_width_rule_accepts_current_shape_and_flags_overflow() {
+        let coll_ok = "mod op {\n    pub const BARRIER: u32 = 1;\n    pub const BCAST: u32 = 2;\n}\nconst TAG_ROUND_BITS: u32 = 20;\n";
+        let pkt_ok = "const K_EAGER: u32 = 1;\nconst K_RTS: u32 = 2;\n";
+        assert!(lint_tag_widths(coll_ok, pkt_ok).is_empty());
+
+        let coll_bad =
+            "mod op {\n    pub const HUGE: u32 = 5000;\n}\nconst TAG_ROUND_BITS: u32 = 20;\n";
+        let v = lint_tag_widths(coll_bad, pkt_ok);
+        assert_eq!(rules_of(&v), vec!["tag-width"]);
+
+        let pkt_dup = "const K_EAGER: u32 = 1;\nconst K_RTS: u32 = 1;\n";
+        let v = lint_tag_widths(coll_ok, pkt_dup);
+        assert_eq!(rules_of(&v), vec!["tag-width"]);
+    }
+
+    #[test]
+    fn tag_width_authority_is_collectives_only() {
+        let src = "const TAG_ROUND_BITS: u32 = 12;\n";
+        let v = lint_file("crates/cmpi-core/src/coll_select.rs", src);
+        assert_eq!(rules_of(&v), vec!["tag-width"]);
+        assert!(lint_file("crates/cmpi-core/src/collectives.rs", src).is_empty());
+    }
+
+    #[test]
+    fn literal_stripping_handles_quotes_and_chars() {
+        assert_eq!(
+            strip_literals(r#"let s = "unsafe {"; x"#),
+            "let s = \"\"; x"
+        );
+        assert_eq!(strip_literals("let c = '\"'; y"), "let c = ' '; y");
+        assert!(!has_word(&code_of(r#"panic!("unsafe")"#), "unsafe"));
+        assert!(has_word("unsafe impl Send for X {}", "unsafe"));
+        assert!(!has_word("deny(unsafe_code)", "unsafe"));
+    }
+
+    #[test]
+    fn literal_stripping_handles_raw_strings() {
+        assert_eq!(
+            strip_literals("let s = r\"unsafe {\"; x"),
+            "let s = \"\"; x"
+        );
+        assert_eq!(
+            strip_literals("let s = r#\"a \"quoted\" unsafe b\"#; x"),
+            "let s = \"\"; x"
+        );
+        // `r` as a plain identifier is untouched.
+        assert_eq!(strip_literals("let r = y; r"), "let r = y; r");
+    }
+}

@@ -1,0 +1,43 @@
+//! Race-detector hooks for non-atomic data reached through lock-free
+//! protocols (mailbox node payloads, shared-segment plain fields).
+//!
+//! In a normal build these compile to nothing. Under `--cfg cmpi_model`
+//! with a model execution active, each hook records a FastTrack-style
+//! epoch in per-address shadow memory and fails the execution when two
+//! accesses (at least one a write) from different threads are not
+//! ordered by happens-before — exactly the condition under which the
+//! annotated plain access would be undefined behavior on real hardware.
+//!
+//! Call `write` for any access that mutates or takes exclusive ownership
+//! (initialization, `Option::take`, freeing); `read` for shared reads.
+
+/// Record a happens-before-checked *read* of the plain data at `p`.
+#[cfg(not(cmpi_model))]
+#[inline(always)]
+pub fn read<T>(_p: *const T, _label: &'static str) {}
+
+/// Record a happens-before-checked *write* (or exclusive claim) of the
+/// plain data at `p`.
+#[cfg(not(cmpi_model))]
+#[inline(always)]
+pub fn write<T>(_p: *const T, _label: &'static str) {}
+
+#[cfg(cmpi_model)]
+pub fn read<T>(p: *const T, label: &'static str) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((e, tid)) = crate::engine::current() {
+        e.race_access(tid, p as usize, false, label);
+    }
+}
+
+#[cfg(cmpi_model)]
+pub fn write<T>(p: *const T, label: &'static str) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((e, tid)) = crate::engine::current() {
+        e.race_access(tid, p as usize, true, label);
+    }
+}

@@ -1,0 +1,66 @@
+//! Vector clocks for the model checker's happens-before tracking.
+
+/// A vector clock over model-thread ids. Component `t` is the number of
+/// events thread `t` had performed when this clock was snapshotted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    /// The clock component for thread `t` (0 when never ticked).
+    pub(crate) fn get(&self, t: usize) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    /// Advance this thread's own component by one event.
+    pub(crate) fn tick(&mut self, t: usize) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    /// Pointwise maximum (the happens-before join).
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// `self ⊑ other`: every event this clock knows of, `other` knows too.
+    pub(crate) fn leq(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+
+    /// True when no component has ever ticked (the initial clock, which
+    /// happens-before everything).
+    pub(crate) fn is_zero(&self) -> bool {
+        self.0.iter().all(|&v| v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_join_leq() {
+        let mut a = VClock::default();
+        let mut b = VClock::default();
+        assert!(a.leq(&b) && b.leq(&a));
+        a.tick(0);
+        assert!(!a.leq(&b) && b.leq(&a));
+        b.tick(1);
+        assert!(!a.leq(&b) && !b.leq(&a));
+        b.join(&a);
+        assert!(a.leq(&b));
+        assert_eq!(b.get(0), 1);
+        assert_eq!(b.get(1), 1);
+        assert!(!b.is_zero());
+        assert!(VClock::default().is_zero());
+    }
+}

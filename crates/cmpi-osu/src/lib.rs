@@ -15,6 +15,7 @@
 //! same code measures Native, Cont-Def, Cont-Opt and forced-channel
 //! configurations.
 
+#![forbid(unsafe_code)]
 pub mod collective;
 pub mod common;
 pub mod onesided;

@@ -31,6 +31,7 @@
 //! assert_eq!(r.results[0][..4], [0, 1, 2, 3]);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 use std::marker::PhantomData;
 
 use cmpi_core::{Mpi, MpiData, Window};

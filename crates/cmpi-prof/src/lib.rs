@@ -20,6 +20,7 @@
 //! The crate deliberately depends only on `cmpi-cluster` (for
 //! [`cmpi_cluster::Channel`] and `SimTime`); `cmpi-core` feeds it.
 
+#![forbid(unsafe_code)]
 pub mod json;
 pub mod matrix;
 pub mod profile;

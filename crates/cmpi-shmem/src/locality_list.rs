@@ -517,6 +517,102 @@ mod tests {
         assert_eq!(a.generation(), JOB_GENERATION);
     }
 
+    /// Exhaustive interleaving checks of the attach/publish protocol (run
+    /// via `RUSTFLAGS="--cfg cmpi_model" cargo test -p cmpi-shmem --lib`).
+    ///
+    /// Setup (seeding, registry creation) happens on the root thread
+    /// before any spawn, so only the contended protocol steps branch the
+    /// schedule space.
+    #[cfg(cmpi_model)]
+    mod model {
+        use super::*;
+        use cmpi_model::model::{thread, Builder};
+        use std::sync::Arc;
+
+        /// Under every interleaving of two attachers racing over a stale
+        /// leftover segment, exactly one performs the recovery and the
+        /// other observes an already-valid header — and the recovered
+        /// list is never torn (current generation, fully wiped body).
+        #[test]
+        fn model_stale_recovery_is_exactly_once_and_untorn() {
+            Builder::new().max_executions(400_000).check(|| {
+                let reg = Arc::new(ShmRegistry::new());
+                ContainerList::seed_stale(&reg, HostId(0), NamespaceId(0), 2, 0xdead);
+                let r2 = Arc::clone(&reg);
+                let t = thread::spawn(move || {
+                    ContainerList::attach_with(&r2, HostId(0), NamespaceId(0), 2, JOB_GENERATION)
+                });
+                let (a, out_a) =
+                    ContainerList::attach_with(&reg, HostId(0), NamespaceId(0), 2, JOB_GENERATION);
+                let (_b, out_b) = t.join();
+                let recoveries = [out_a, out_b]
+                    .iter()
+                    .filter(|&&o| o == AttachOutcome::RecoveredStale)
+                    .count();
+                assert_eq!(recoveries, 1, "outcomes: {out_a:?} / {out_b:?}");
+                assert!(
+                    [out_a, out_b].contains(&AttachOutcome::Valid),
+                    "outcomes: {out_a:?} / {out_b:?}"
+                );
+                // No torn state survives: our generation, a wiped body.
+                assert_eq!(a.generation(), JOB_GENERATION);
+                assert_eq!(a.local_size(), 0, "stale membership byte survived");
+            });
+        }
+
+        /// Two ranks publishing *different* slots concurrently never
+        /// interfere (the paper's lock-freedom claim, verified over every
+        /// schedule instead of by stress).
+        #[test]
+        fn model_disjoint_publishes_never_interfere() {
+            Builder::new().max_executions(400_000).check(|| {
+                let reg = Arc::new(ShmRegistry::new());
+                let list = ContainerList::attach(&reg, HostId(0), NamespaceId(0), 2);
+                let l2 = list.clone();
+                let t = thread::spawn(move || l2.publish(1, ContainerId(1)).unwrap());
+                list.publish(0, ContainerId(0)).unwrap();
+                t.join();
+                assert_eq!(list.local_ranks(), vec![0, 1]);
+                assert_eq!(list.local_ordering(1), Some(1));
+            });
+        }
+
+        /// A duplicate claim on one slot resolves deterministically under
+        /// every interleaving: exactly one CAS wins, the loser sees a
+        /// `Conflict` carrying the winner's byte, and the owner's
+        /// `force_publish` repair sticks.
+        #[test]
+        fn model_conflicting_publish_resolves_and_repairs() {
+            Builder::new().max_executions(400_000).check(|| {
+                let reg = Arc::new(ShmRegistry::new());
+                let list = ContainerList::attach(&reg, HostId(0), NamespaceId(0), 2);
+                let l2 = list.clone();
+                let t = thread::spawn(move || l2.publish(0, ContainerId(1)));
+                let mine = list.publish(0, ContainerId(0));
+                let theirs = t.join();
+                let (winner_byte, conflict) = match (mine, theirs) {
+                    (Ok(()), Err(e)) => (ContainerList::membership_byte(ContainerId(0)), e),
+                    (Err(e), Ok(())) => (ContainerList::membership_byte(ContainerId(1)), e),
+                    other => panic!("expected one winner, got {other:?}"),
+                };
+                match conflict {
+                    PublishError::Conflict { rank, existing, .. } => {
+                        assert_eq!(rank, 0);
+                        assert_eq!(existing, winner_byte, "loser saw a torn byte");
+                    }
+                    other => panic!("expected Conflict, got {other:?}"),
+                }
+                assert_eq!(list.membership_of(0), winner_byte);
+                // The rightful owner re-asserts; the repair is final.
+                list.force_publish(0, ContainerList::membership_byte(ContainerId(7)));
+                assert_eq!(
+                    list.membership_of(0),
+                    ContainerList::membership_byte(ContainerId(7))
+                );
+            });
+        }
+    }
+
     #[test]
     fn concurrent_attach_over_stale_segment_recovers_exactly_once() {
         let reg = registry();

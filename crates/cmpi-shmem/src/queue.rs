@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 
 use cmpi_cluster::SimTime;
-use parking_lot::{Condvar, Mutex};
+use cmpi_model::sync::{Condvar, Mutex};
 
 #[derive(Debug)]
 struct QueueState {
@@ -322,6 +322,53 @@ mod tests {
         q.release(50, SimTime::from_us(20));
         q.release(50, SimTime::from_us(10)); // out of order: clamped to 20
         assert_eq!(q.acquire(100).unwrap(), SimTime::from_us(20));
+    }
+
+    /// Exhaustive interleaving checks of the blocking protocol (run via
+    /// `RUSTFLAGS="--cfg cmpi_model" cargo test -p cmpi-shmem --lib`).
+    #[cfg(cmpi_model)]
+    mod model {
+        use super::*;
+        use cmpi_model::model::{thread, Builder};
+
+        /// The waiters counter is maintained under the state mutex, so a
+        /// release can never slip between the sender's space check and
+        /// its condvar wait: blocked acquires always drain. A lost wakeup
+        /// here is reported as a model deadlock.
+        #[test]
+        fn model_release_never_loses_a_blocked_acquire() {
+            Builder::new().check(|| {
+                let q = Arc::new(PairQueue::new(100));
+                q.acquire(100).unwrap();
+                let q2 = Arc::clone(&q);
+                let t = thread::spawn(move || {
+                    q2.release(100, SimTime::from_us(3));
+                });
+                // Blocks until the release lands; the stall bound is the
+                // release's virtual time whenever a wait happened.
+                let stall = q.acquire(50).unwrap();
+                assert!(
+                    stall == SimTime::ZERO || stall == SimTime::from_us(3),
+                    "stall bound from nowhere: {stall:?}"
+                );
+                t.join();
+            });
+        }
+
+        /// `close` must unblock a sender stuck in `acquire` under every
+        /// interleaving, and the sender always observes `QueueClosed`
+        /// (the queue is full and nothing ever releases).
+        #[test]
+        fn model_close_unblocks_blocked_acquire() {
+            Builder::new().check(|| {
+                let q = Arc::new(PairQueue::new(100));
+                q.acquire(100).unwrap();
+                let q2 = Arc::clone(&q);
+                let t = thread::spawn(move || q2.close());
+                assert_eq!(q.acquire(1), Err(QueueClosed));
+                t.join();
+            });
+        }
     }
 
     #[test]

@@ -8,11 +8,14 @@
 //! without any locking.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 use cmpi_cluster::{HostId, NamespaceId};
-use parking_lot::Mutex;
+// Byte cells and the init lock are shim-synchronized so the model
+// checker can explore attach/publish races; the registry map lock stays
+// plain (no model-visible operation happens under it).
+use cmpi_model::sync::{AtomicU8, Mutex, Ordering};
+use parking_lot::Mutex as PlainMutex;
 
 /// A shared-memory segment: a named, fixed-size region of bytes.
 pub struct Segment {
@@ -133,7 +136,7 @@ type SegKey = (HostId, NamespaceId, String);
 /// `/dev/shm`.
 #[derive(Default)]
 pub struct ShmRegistry {
-    segments: Mutex<HashMap<SegKey, Arc<Segment>>>,
+    segments: PlainMutex<HashMap<SegKey, Arc<Segment>>>,
 }
 
 impl ShmRegistry {

@@ -8,6 +8,12 @@
 #   profile   profile-smoke: profiled OSU + figures --profile runs, with
 #             JSON parse and matrix byte-conservation asserted inside
 #   bench     benches compile; bench_ledger smoke run round-trips its JSON
+#   model     exhaustive interleaving + race-detector checks: the checker's
+#             own suite, then the shim-ported hot-path structures under
+#             --cfg cmpi_model (separate target dir so the normal build
+#             cache survives)
+#   lint      cmpi-lint repo rules: SAFETY comments, relaxed-ok
+#             justifications, hot-path unwrap ban, tag field widths
 #   clippy    all targets, warnings are errors
 #   fmt       rustfmt in check mode
 set -euo pipefail
@@ -40,6 +46,18 @@ cargo run --release --quiet -p cmpi-bench --bin bench_ledger -- --smoke \
   --out target/bench_smoke.json >/dev/null
 python3 -c "import json; json.load(open('target/bench_smoke.json'))" 2>/dev/null \
   || grep -q '"schema"' target/bench_smoke.json
+
+echo "== model checker (normal cfg self-tests)" >&2
+cargo test -q -p cmpi-model
+
+echo "== model checker (--cfg cmpi_model exhaustive runs)" >&2
+RUSTFLAGS="--cfg cmpi_model" CARGO_TARGET_DIR=target/model \
+  cargo test -q -p cmpi-model
+RUSTFLAGS="--cfg cmpi_model" CARGO_TARGET_DIR=target/model \
+  cargo test -q -p cmpi-core -p cmpi-shmem -p cmpi-fabric --lib
+
+echo "== cmpi-lint" >&2
+cargo run --release --quiet -p cmpi-model --bin cmpi-lint
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings" >&2
 cargo clippy --workspace --all-targets -- -D warnings
