@@ -61,7 +61,7 @@ impl LocalGraph {
     }
 }
 
-fn encode_pairs(pairs: &[(u64, u64)]) -> Bytes {
+pub(super) fn encode_pairs(pairs: &[(u64, u64)]) -> Bytes {
     let mut b = BytesMut::with_capacity(pairs.len() * 16);
     for &(v, u) in pairs {
         b.put_u64_le(v);
@@ -70,7 +70,7 @@ fn encode_pairs(pairs: &[(u64, u64)]) -> Bytes {
     b.freeze()
 }
 
-fn decode_pairs(data: &[u8]) -> Vec<(u64, u64)> {
+pub(super) fn decode_pairs(data: &[u8]) -> Vec<(u64, u64)> {
     assert_eq!(data.len() % 16, 0, "corrupt pair batch");
     data.chunks_exact(16)
         .map(|c| {

@@ -5,11 +5,14 @@
 //! pseudo-random roots, time the BFS phase, validate the parent tree.
 
 pub mod bfs;
+pub mod ft;
 pub mod generator;
 pub mod validate;
 
 use cmpi_cluster::SimTime;
-use cmpi_core::{JobResult, JobSpec, JobStats};
+use cmpi_core::{JobResult, JobSpec, JobStats, MpiError};
+
+pub use ft::FtRankOutcome;
 
 /// Benchmark configuration.
 #[derive(Clone, Copy, Debug)]
@@ -88,6 +91,13 @@ impl Graph500Result {
 pub fn run(spec: &JobSpec, cfg: Graph500Config) -> Graph500Result {
     let res: JobResult<bfs::RankOutcome> = spec.run(move |mpi| bfs::run_rank(mpi, &cfg));
     summarize(cfg, res)
+}
+
+/// Run the fault-tolerant benchmark: every rank drives the ULFM recovery
+/// loop in [`ft`]; survivors report agreed outcomes, ranks scripted to
+/// die report their own failure.
+pub fn run_ft(spec: &JobSpec, cfg: Graph500Config) -> JobResult<Result<FtRankOutcome, MpiError>> {
+    spec.run_ft(move |mpi| ft::run_rank_ft(mpi, &cfg))
 }
 
 fn summarize(cfg: Graph500Config, res: JobResult<bfs::RankOutcome>) -> Graph500Result {

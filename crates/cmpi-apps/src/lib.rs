@@ -18,5 +18,5 @@
 pub mod graph500;
 pub mod npb;
 
-pub use graph500::{Graph500Config, Graph500Result};
+pub use graph500::{FtRankOutcome, Graph500Config, Graph500Result};
 pub use npb::{Kernel, KernelResult, NpbClass};

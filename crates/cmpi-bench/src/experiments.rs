@@ -3,12 +3,12 @@
 use cmpi_apps::graph500::{self, Graph500Config};
 use cmpi_apps::npb::{self, Kernel, NpbClass};
 use cmpi_cluster::{
-    Channel, ContainerId, DeploymentScenario, FaultPlan, HostId, NamespaceSharing, SimTime,
-    Tunables,
+    Channel, ContainerId, DeploymentScenario, FaultPlan, HostId, MidRunTrigger, NamespaceSharing,
+    SimTime, Tunables,
 };
 use cmpi_core::{
-    CallClass, CollAlgo, CollKind, JobProfile, JobSpec, JobStats, LocalityPolicy, ReduceOp,
-    WaitClass,
+    CallClass, CollAlgo, CollKind, JobProfile, JobSpec, JobStats, LocalityPolicy, MpiError,
+    ReduceOp, WaitClass,
 };
 use cmpi_osu::collective::{self, CollOp};
 use cmpi_osu::{onesided, power_of_two_sizes, pt2pt};
@@ -804,7 +804,62 @@ pub fn profile_tables(e: &Effort) -> Vec<Table> {
         def.fabric.iter().map(|f| f.sends).sum::<u64>().to_string(),
         opt.fabric.iter().map(|f| f.sends).sum::<u64>().to_string(),
     ]);
-    vec![chans, waits, summary]
+
+    // (d) Mid-run failure detection: crash one rank and turn the
+    // detector's instant trace events (death / suspect / convict /
+    // revoke / shrink) into a per-survivor latency table. Conviction is
+    // lease-based, so every latency is bounded below by FAILURE_LEASE.
+    let scenario = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+    let dead = 3usize;
+    let plan = FaultPlan::none().with_crash(dead, MidRunTrigger::AfterOps(1));
+    let spec = JobSpec::new(scenario).with_faults(plan).with_tracing();
+    let r = spec.run_ft(move |mpi| -> Result<u64, MpiError> {
+        let world = mpi.comm_world();
+        if mpi.rank() == dead {
+            mpi.try_barrier_comm(&world)?; // scripted death fires here
+            return Ok(0);
+        }
+        // Blocking on the doomed rank completes in error at conviction.
+        let _ = mpi.try_recv_bytes(dead, 9);
+        let comm = mpi.try_shrink(&world)?;
+        mpi.try_allreduce_one(&comm, 1, ReduceOp::Sum)
+    });
+    let trace = r.trace.expect("tracing was enabled");
+    let death_at = trace.ranks[dead]
+        .instants()
+        .iter()
+        .find(|i| i.name == "death")
+        .map(|i| i.at)
+        .unwrap_or_default();
+    let mut detect = Table::new(
+        "Profile — failure detection latency (4 ranks, rank 3 crashed mid-run)",
+        &["rank", "death_ms", "convict_ms", "latency_ms", "shrinks"],
+    );
+    for (rank, tr) in trace.ranks.iter().enumerate() {
+        if rank == dead {
+            continue;
+        }
+        let convict_at = tr
+            .instants()
+            .iter()
+            .find(|i| i.name == "convict" && i.peer == Some(dead))
+            .map(|i| i.at)
+            .unwrap_or_default();
+        let shrinks: u64 = tr
+            .instants()
+            .iter()
+            .filter(|i| i.name == "shrink")
+            .map(|i| i.count)
+            .sum();
+        detect.row(vec![
+            rank.to_string(),
+            ms(death_at),
+            ms(convict_at),
+            ms(SimTime(convict_at.as_ns().saturating_sub(death_at.as_ns()))),
+            shrinks.to_string(),
+        ]);
+    }
+    vec![chans, waits, summary, detect]
 }
 
 /// Extension: PGAS (GUPS) on co-resident containers — the paper's
@@ -976,7 +1031,7 @@ mod tests {
     #[test]
     fn profile_tables_show_channel_migration() {
         let tabs = profile_tables(&tiny());
-        assert_eq!(tabs.len(), 3);
+        assert_eq!(tabs.len(), 4);
         let chans = &tabs[0];
         // Rows are [SHM, CMA, HCA]; Default misroutes all cross-container
         // traffic to the HCA, Proposed moves it onto the local channels.
@@ -991,6 +1046,16 @@ mod tests {
         let summary = &tabs[2];
         assert_eq!(summary.cell(0, "default"), "0");
         assert_eq!(summary.cell(0, "proposed"), "0");
+        // Detection latency is lease-bounded at every survivor, and every
+        // survivor shrank.
+        let detect = &tabs[3];
+        let lease_ms = cmpi_core::FAILURE_LEASE.as_ms_f64();
+        for row in 0..3 {
+            let latency: f64 = detect.cell(row, "latency_ms").parse().unwrap();
+            assert!(latency >= lease_ms, "latency {latency} below the lease");
+            assert!(latency < 100.0 * lease_ms, "latency {latency} unbounded");
+            assert!(detect.cell(row, "shrinks").parse::<u64>().unwrap() >= 1);
+        }
     }
 
     #[test]

@@ -30,6 +30,50 @@ const REVOKED_NS_BASE: u32 = 0x8000_0000;
 /// constant makes failures readable.
 pub const STALE_GENERATION: u64 = 0xdead;
 
+/// When a mid-run fault fires, expressed in quantities that are pure
+/// functions of the faulted rank's own deterministic execution (virtual
+/// clock, MPI-call count) — never wall clock — so the fault lands at the
+/// same point of the same call sequence in every run.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum MidRunTrigger {
+    /// Fire at the first MPI-call boundary at or after this virtual time
+    /// (nanoseconds on the rank's own clock).
+    AtTime(u64),
+    /// Fire on the rank's `n`-th MPI call (calls count from 1).
+    AfterOps(u64),
+}
+
+impl MidRunTrigger {
+    /// Has the trigger fired for a rank at virtual time `now_ns` that has
+    /// entered `ops` MPI calls so far?
+    pub fn fires(&self, now_ns: u64, ops: u64) -> bool {
+        match *self {
+            MidRunTrigger::AtTime(t) => now_ns >= t,
+            MidRunTrigger::AfterOps(k) => ops >= k,
+        }
+    }
+}
+
+/// The mid-run fault classes a rank can suffer while the job is running
+/// (as opposed to the init-time classes above).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum MidRunFault {
+    /// The rank's process dies: queues close, its endpoint detaches, and
+    /// peers eventually convict it through the failure detector.
+    Crash,
+    /// The rank's whole container is killed: every rank placed in it
+    /// shares the trigger and dies at its own next call boundary past it.
+    ContainerKill,
+    /// The rank wedges: it stops calling progress (no more heartbeats, no
+    /// more sends) but its process stays attached, so only lease expiry —
+    /// never a transport error — reveals it.
+    Hang,
+}
+
 /// A deterministic, declarative fault-injection plan.
 ///
 /// All sets are keyed by stable identifiers (host ids, container ids,
@@ -76,6 +120,15 @@ pub struct FaultPlan {
     /// before succeeding; must stay below the transport retry budget for
     /// the job to survive.
     pub send_fault_repeats: u32,
+    /// Ranks that crash mid-run at the given trigger. Recovery: peers
+    /// convict through the failure detector, revoke, and shrink.
+    pub crash_ranks: BTreeMap<usize, MidRunTrigger>,
+    /// Ranks that hang mid-run (stop progressing, stay attached).
+    pub hang_ranks: BTreeMap<usize, MidRunTrigger>,
+    /// Containers killed mid-run: every rank placed in the container
+    /// shares the trigger and dies at its own next call boundary past it
+    /// (the kill is external; each rank observes it independently).
+    pub kill_containers: BTreeMap<u32, MidRunTrigger>,
 }
 
 /// splitmix64 — the repo-standard deterministic hash for derived seeds.
@@ -214,6 +267,25 @@ impl FaultPlan {
         self
     }
 
+    /// Crash `rank` mid-run when `trigger` fires.
+    pub fn with_crash(mut self, rank: usize, trigger: MidRunTrigger) -> Self {
+        self.crash_ranks.insert(rank, trigger);
+        self
+    }
+
+    /// Hang `rank` mid-run when `trigger` fires.
+    pub fn with_hang(mut self, rank: usize, trigger: MidRunTrigger) -> Self {
+        self.hang_ranks.insert(rank, trigger);
+        self
+    }
+
+    /// Kill every rank in `container`: each dies at its own first call
+    /// boundary past `trigger`.
+    pub fn with_container_kill(mut self, container: ContainerId, trigger: MidRunTrigger) -> Self {
+        self.kill_containers.insert(container.0, trigger);
+        self
+    }
+
     // ---- queries -------------------------------------------------------
 
     /// Does `host` start with a stale leftover container list?
@@ -262,6 +334,31 @@ impl FaultPlan {
         self.send_fault_period != 0
             && op_index % self.send_fault_period == self.send_fault_period - 1
             && attempt < self.send_fault_repeats
+    }
+
+    /// The mid-run fate of a rank placed in `container`, if the plan
+    /// schedules one: the fault class and its trigger. When several
+    /// classes name the same rank, the most severe wins (crash, then
+    /// container kill, then hang) — plans normally schedule only one.
+    pub fn midrun_fate_of(
+        &self,
+        rank: usize,
+        container: ContainerId,
+    ) -> Option<(MidRunFault, MidRunTrigger)> {
+        if let Some(&t) = self.crash_ranks.get(&rank) {
+            return Some((MidRunFault::Crash, t));
+        }
+        if let Some(&t) = self.kill_containers.get(&container.0) {
+            return Some((MidRunFault::ContainerKill, t));
+        }
+        self.hang_ranks.get(&rank).map(|&t| (MidRunFault::Hang, t))
+    }
+
+    /// Does the plan schedule any mid-run fault at all?
+    pub fn has_midrun_faults(&self) -> bool {
+        !self.crash_ranks.is_empty()
+            || !self.hang_ranks.is_empty()
+            || !self.kill_containers.is_empty()
     }
 
     /// The IPC namespace `container` effectively lives in once the plan's
@@ -325,6 +422,40 @@ mod tests {
         assert_eq!(p.attach_failures(1), 0);
         assert!(!p.is_empty());
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn midrun_fates_resolve_by_rank_and_container() {
+        let p = FaultPlan::none()
+            .with_crash(3, MidRunTrigger::AfterOps(100))
+            .with_hang(4, MidRunTrigger::AtTime(5_000))
+            .with_container_kill(ContainerId(2), MidRunTrigger::AtTime(9_000));
+        assert!(!p.is_empty() && p.has_midrun_faults());
+        assert_eq!(
+            p.midrun_fate_of(3, ContainerId(0)),
+            Some((MidRunFault::Crash, MidRunTrigger::AfterOps(100)))
+        );
+        assert_eq!(
+            p.midrun_fate_of(4, ContainerId(0)),
+            Some((MidRunFault::Hang, MidRunTrigger::AtTime(5_000)))
+        );
+        // Any rank in the killed container inherits the container's fate.
+        assert_eq!(
+            p.midrun_fate_of(9, ContainerId(2)),
+            Some((MidRunFault::ContainerKill, MidRunTrigger::AtTime(9_000)))
+        );
+        // Crash outranks the container kill for a doubly-faulted rank.
+        assert_eq!(
+            p.midrun_fate_of(3, ContainerId(2)).unwrap().0,
+            MidRunFault::Crash
+        );
+        assert_eq!(p.midrun_fate_of(0, ContainerId(0)), None);
+        assert!(!FaultPlan::none().has_midrun_faults());
+        // Trigger semantics: ops count from 1, time is >=.
+        assert!(MidRunTrigger::AfterOps(2).fires(0, 2));
+        assert!(!MidRunTrigger::AfterOps(2).fires(u64::MAX, 1));
+        assert!(MidRunTrigger::AtTime(10).fires(10, 0));
+        assert!(!MidRunTrigger::AtTime(10).fires(9, u64::MAX));
     }
 
     #[test]

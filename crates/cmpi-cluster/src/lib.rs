@@ -31,7 +31,7 @@ pub mod topology;
 pub mod tunables;
 
 pub use cost::{Channel, CostModel};
-pub use faults::FaultPlan;
+pub use faults::{FaultPlan, MidRunFault, MidRunTrigger};
 pub use placement::{Placement, RankLoc};
 pub use scenario::{DeploymentScenario, NamespaceSharing};
 pub use time::SimTime;

@@ -207,6 +207,45 @@ impl Mpi {
         out
     }
 
+    pub(crate) fn try_coll_send(
+        &mut self,
+        data: Bytes,
+        dst: usize,
+        t: u32,
+        ctx: u32,
+    ) -> Result<(), MpiError> {
+        let id = self.isend_inner(data, dst, t, ctx);
+        self.try_wait_send_inner(id)
+    }
+
+    pub(crate) fn try_coll_recv(
+        &mut self,
+        src: usize,
+        t: u32,
+        ctx: u32,
+    ) -> Result<Bytes, MpiError> {
+        let id = self.irecv_inner(Some(src), Some(t), ctx);
+        Ok(self.try_wait_recv_inner(id)?.0)
+    }
+
+    /// Both halves run to an outcome so neither request leaks on error.
+    pub(crate) fn try_coll_sendrecv(
+        &mut self,
+        data: Bytes,
+        dst: usize,
+        src: usize,
+        t: u32,
+        ctx: u32,
+    ) -> Result<Bytes, MpiError> {
+        let sid = self.isend_inner(data, dst, t, ctx);
+        let rid = self.irecv_inner(Some(src), Some(t), ctx);
+        let rout = self.try_wait_recv_inner(rid);
+        let sout = self.try_wait_send_inner(sid);
+        let out = rout?;
+        sout?;
+        Ok(out.0)
+    }
+
     /// Dissemination barrier over an explicit rank list (positions in
     /// `list` act as virtual ranks).
     pub(crate) fn barrier_inner(&mut self, list: &[usize], op_id: u32) {
@@ -215,9 +254,23 @@ impl Mpi {
 
     /// [`Mpi::barrier_inner`] on an explicit communicator context.
     pub(crate) fn barrier_inner_ctx(&mut self, list: &[usize], op_id: u32, ctx: u32) {
+        self.try_barrier_inner_ctx(list, op_id, ctx)
+            .unwrap_or_else(|e| panic!("barrier failed: {e}"))
+    }
+
+    /// Fault-tolerant [`Mpi::barrier_inner_ctx`]: fails fast at entry on a
+    /// revoked context or convicted member, and in flight when a partner
+    /// dies mid-round.
+    pub(crate) fn try_barrier_inner_ctx(
+        &mut self,
+        list: &[usize],
+        op_id: u32,
+        ctx: u32,
+    ) -> Result<(), MpiError> {
+        self.check_op_failure(ctx, None)?;
         let n = list.len();
         if n <= 1 {
-            return;
+            return Ok(());
         }
         let me = list
             .iter()
@@ -228,10 +281,11 @@ impl Mpi {
         while dist < n {
             let dst = list[(me + dist) % n];
             let src = list[(me + n - dist % n) % n];
-            self.coll_sendrecv(Bytes::new(), dst, src, tag(op_id, k), ctx);
+            self.try_coll_sendrecv(Bytes::new(), dst, src, tag(op_id, k), ctx)?;
             dist <<= 1;
             k += 1;
         }
+        Ok(())
     }
 
     /// Binomial broadcast over an explicit rank list; `root_pos` indexes
@@ -255,6 +309,20 @@ impl Mpi {
         op_id: u32,
         ctx: u32,
     ) -> Bytes {
+        self.try_bcast_inner_ctx(data, list, root_pos, op_id, ctx)
+            .unwrap_or_else(|e| panic!("bcast failed: {e}"))
+    }
+
+    /// Fault-tolerant [`Mpi::bcast_inner_ctx`].
+    pub(crate) fn try_bcast_inner_ctx(
+        &mut self,
+        data: Option<Bytes>,
+        list: &[usize],
+        root_pos: usize,
+        op_id: u32,
+        ctx: u32,
+    ) -> Result<Bytes, MpiError> {
+        self.check_op_failure(ctx, None)?;
         let n = list.len();
         let me = list
             .iter()
@@ -268,7 +336,7 @@ impl Mpi {
             if relative & mask != 0 {
                 let src_pos = (relative ^ mask) % n; // relative - mask
                 let src = list[(src_pos + root_pos) % n];
-                payload = self.coll_recv(src, tag(op_id, 0), ctx);
+                payload = self.try_coll_recv(src, tag(op_id, 0), ctx)?;
                 break;
             }
             mask <<= 1;
@@ -278,11 +346,11 @@ impl Mpi {
         while mask > 0 {
             if relative + mask < n {
                 let dst = list[((relative + mask) + root_pos) % n];
-                self.coll_send(payload.clone(), dst, tag(op_id, 0), ctx);
+                self.try_coll_send(payload.clone(), dst, tag(op_id, 0), ctx)?;
             }
             mask >>= 1;
         }
-        payload
+        Ok(payload)
     }
 
     /// Binomial reduce over a rank list; only the root's return value is
@@ -308,6 +376,21 @@ impl Mpi {
         op_id: u32,
         ctx: u32,
     ) -> Vec<T> {
+        self.try_reduce_inner_ctx(data, rop, list, root_pos, op_id, ctx)
+            .unwrap_or_else(|e| panic!("reduce failed: {e}"))
+    }
+
+    /// Fault-tolerant [`Mpi::reduce_inner_ctx`].
+    pub(crate) fn try_reduce_inner_ctx<T: Reducible>(
+        &mut self,
+        data: &[T],
+        rop: ReduceOp,
+        list: &[usize],
+        root_pos: usize,
+        op_id: u32,
+        ctx: u32,
+    ) -> Result<Vec<T>, MpiError> {
+        self.check_op_failure(ctx, None)?;
         let n = list.len();
         let me = list
             .iter()
@@ -321,7 +404,7 @@ impl Mpi {
                 let peer_rel = relative | mask;
                 if peer_rel < n {
                     let peer = list[(peer_rel + root_pos) % n];
-                    let bytes = self.coll_recv(peer, tag(op_id, 0), ctx);
+                    let bytes = self.try_coll_recv(peer, tag(op_id, 0), ctx)?;
                     let mut tmp = zeroed(acc.len());
                     from_bytes(&bytes, &mut tmp);
                     reduce_into(rop, &mut acc, &tmp);
@@ -329,12 +412,12 @@ impl Mpi {
             } else {
                 let peer_rel = relative ^ mask;
                 let peer = list[(peer_rel + root_pos) % n];
-                self.coll_send(to_bytes(&acc), peer, tag(op_id, 0), ctx);
+                self.try_coll_send(to_bytes(&acc), peer, tag(op_id, 0), ctx)?;
                 break;
             }
             mask <<= 1;
         }
-        acc
+        Ok(acc)
     }
 
     /// Recursive-doubling allreduce over a rank list (falls back to
@@ -358,21 +441,35 @@ impl Mpi {
         op_id: u32,
         ctx: u32,
     ) -> Vec<T> {
+        self.try_allreduce_inner_ctx(data, rop, list, op_id, ctx)
+            .unwrap_or_else(|e| panic!("allreduce failed: {e}"))
+    }
+
+    /// Fault-tolerant [`Mpi::allreduce_inner_ctx`].
+    pub(crate) fn try_allreduce_inner_ctx<T: Reducible>(
+        &mut self,
+        data: &[T],
+        rop: ReduceOp,
+        list: &[usize],
+        op_id: u32,
+        ctx: u32,
+    ) -> Result<Vec<T>, MpiError> {
+        self.check_op_failure(ctx, None)?;
         let n = list.len();
         if n == 1 {
-            return data.to_vec();
+            return Ok(data.to_vec());
         }
         if !n.is_power_of_two() {
-            let red = self.reduce_inner_ctx(data, rop, list, 0, op_id, ctx);
+            let red = self.try_reduce_inner_ctx(data, rop, list, 0, op_id, ctx)?;
             let seed = if self.rank == list[0] {
                 Some(to_bytes(&red))
             } else {
                 None
             };
-            let bytes = self.bcast_inner_ctx(seed, list, 0, op_id + 1, ctx);
+            let bytes = self.try_bcast_inner_ctx(seed, list, 0, op_id + 1, ctx)?;
             let mut out = zeroed(data.len());
             from_bytes(&bytes, &mut out);
-            return out;
+            return Ok(out);
         }
         let me = list
             .iter()
@@ -383,14 +480,15 @@ impl Mpi {
         let mut round = 0u32;
         while mask < n {
             let peer = list[me ^ mask];
-            let bytes = self.coll_sendrecv(to_bytes(&acc), peer, peer, tag(op_id, round), ctx);
+            let bytes =
+                self.try_coll_sendrecv(to_bytes(&acc), peer, peer, tag(op_id, round), ctx)?;
             let mut tmp = zeroed(acc.len());
             from_bytes(&bytes, &mut tmp);
             reduce_into(rop, &mut acc, &tmp);
             mask <<= 1;
             round += 1;
         }
-        acc
+        Ok(acc)
     }
 
     /// Binomial gather of per-rank payloads; only the root's return value
@@ -414,6 +512,20 @@ impl Mpi {
         op_id: u32,
         ctx: u32,
     ) -> Vec<(usize, Bytes)> {
+        self.try_gather_inner_ctx(mine, list, root_pos, op_id, ctx)
+            .unwrap_or_else(|e| panic!("gather failed: {e}"))
+    }
+
+    /// Fault-tolerant [`Mpi::gather_inner_ctx`].
+    pub(crate) fn try_gather_inner_ctx(
+        &mut self,
+        mine: Bytes,
+        list: &[usize],
+        root_pos: usize,
+        op_id: u32,
+        ctx: u32,
+    ) -> Result<Vec<(usize, Bytes)>, MpiError> {
+        self.check_op_failure(ctx, None)?;
         let n = list.len();
         let me = list
             .iter()
@@ -427,19 +539,19 @@ impl Mpi {
                 let src_rel = relative | mask;
                 if src_rel < n {
                     let src = list[(src_rel + root_pos) % n];
-                    let b = self.coll_recv(src, tag(op_id, 0), ctx);
+                    let b = self.try_coll_recv(src, tag(op_id, 0), ctx)?;
                     parts.extend(unbundle_ok(&b, "gather subtree bundle"));
                 }
             } else {
                 let dst_rel = relative ^ mask;
                 let dst = list[(dst_rel + root_pos) % n];
-                self.coll_send(bundle(&parts), dst, tag(op_id, 0), ctx);
+                self.try_coll_send(bundle(&parts), dst, tag(op_id, 0), ctx)?;
                 break;
             }
             mask <<= 1;
         }
         parts.sort_by_key(|&(r, _)| r);
-        parts
+        Ok(parts)
     }
 
     // ---- public collectives --------------------------------------------------

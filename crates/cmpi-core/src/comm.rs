@@ -19,6 +19,13 @@ pub struct Comm {
 }
 
 impl Comm {
+    /// Assemble a communicator from an agreed context id and member list
+    /// (used by `comm_split` and the fault-tolerance `shrink` path, which
+    /// derive both fields from an agreement protocol).
+    pub(crate) fn from_parts(ctx: u32, ranks: Vec<usize>) -> Comm {
+        Comm { ctx, ranks }
+    }
+
     /// The communicator's context id.
     pub fn ctx(&self) -> u32 {
         self.ctx
@@ -48,7 +55,7 @@ impl Comm {
 /// Internal op-id space for communicator collectives (kept clear of the
 /// world collectives' ids; contexts already isolate them, this is for
 /// debuggability).
-mod cop {
+pub(crate) mod cop {
     pub const SPLIT: u32 = 32;
     pub const BARRIER: u32 = 33;
     pub const BCAST: u32 = 34;
@@ -93,6 +100,9 @@ impl Mpi {
             .collect();
         members.sort_by_key(|&(k, wr, _)| (k, wr));
         let ranks: Vec<usize> = members.into_iter().map(|(_, _, r)| r).collect();
+        // Remember the membership so failure checks and revocation floods
+        // know who participates in this context.
+        self.ctx_members.insert(agreed, ranks.clone());
         self.exit(CallClass::Collective, t0);
         Comm { ctx: agreed, ranks }
     }

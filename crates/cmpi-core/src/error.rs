@@ -65,6 +65,19 @@ pub enum MpiError {
         /// How many attempts were made.
         attempts: u32,
     },
+    /// A peer involved in the operation was convicted dead by the failure
+    /// detector (ULFM `MPI_ERR_PROC_FAILED`). Pending operations that can
+    /// no longer complete — including a doomed rank's own calls — finish
+    /// with this error instead of blocking forever.
+    ProcessFailed {
+        /// The dead peer's global rank.
+        peer: usize,
+    },
+    /// The communicator the operation ran on was revoked (ULFM
+    /// `MPI_ERR_REVOKED`): a member observed a failure and called
+    /// [`revoke`](crate::Mpi::revoke), so every member fails fast instead
+    /// of deadlocking on a partially-dead collective.
+    Revoked,
 }
 
 impl std::fmt::Display for MpiError {
@@ -111,6 +124,12 @@ impl std::fmt::Display for MpiError {
             }
             MpiError::RetriesExhausted { what, attempts } => {
                 write!(f, "{what}: retries exhausted after {attempts} attempts")
+            }
+            MpiError::ProcessFailed { peer } => {
+                write!(f, "process failed: rank {peer} was convicted dead")
+            }
+            MpiError::Revoked => {
+                write!(f, "communicator revoked after a process failure")
             }
         }
     }
@@ -167,6 +186,8 @@ mod tests {
                 what: "HCA send",
                 attempts: 8,
             },
+            MpiError::ProcessFailed { peer: 13 },
+            MpiError::Revoked,
         ];
         for e in all {
             let s = e.to_string();
@@ -186,6 +207,10 @@ mod tests {
                     assert!(s.contains("bundle") && s.contains("overruns"))
                 }
                 MpiError::RetriesExhausted { .. } => assert!(s.contains("exhausted")),
+                MpiError::ProcessFailed { .. } => {
+                    assert!(s.contains("failed") && s.contains("13"))
+                }
+                MpiError::Revoked => assert!(s.contains("revoked")),
             }
         }
     }

@@ -1,0 +1,421 @@
+//! Lease-based failure detection and the fault-tolerant decision log.
+//!
+//! Mid-run fault tolerance (ULFM-style revoke/shrink/agree) needs three
+//! shared structures, all built on the rank-indexed registry pattern the
+//! lock-free message path introduced:
+//!
+//! * **Heartbeat slots** — each rank's progress loop stamps its virtual
+//!   clock into its own slot. A peer whose lease (heartbeat age) expires
+//!   is *suspected*.
+//! * **Suspicion masks** — each rank publishes the set of peers it
+//!   suspects as a bitmask; [`FailureDetector::converge`] merges every
+//!   rank's published mask (the gossip/broadcast step collapsed onto the
+//!   registry) and retracts any suspicion refuted by ground truth, so all
+//!   survivors agree on the same dead set and no live rank stays marked.
+//! * **The down table** — the simulation's ground truth of executed
+//!   deaths. A dying rank records its death (an external container kill
+//!   records every co-ranked death *atomically* — the kill is one event)
+//!   under one lock, so readers never observe a partially-dead container.
+//!
+//! Conviction is deterministic in virtual time: a rank that died at
+//! virtual time `t` is convicted at `t + lease`, and every operation that
+//! completes in error because of the death completes no earlier than the
+//! conviction time. Real-time scheduling decides only *when the library
+//! learns* (wake-ups ride the mailbox poke protocol); every time-stamped
+//! effect is a pure function of virtual quantities.
+
+use std::sync::Arc;
+
+use cmpi_cluster::{MidRunFault, SimTime};
+use cmpi_model::sync::{AtomicU64, Mutex, Ordering};
+
+use crate::fasthash::FastMap;
+
+/// The failure-detector lease: a rank whose heartbeat is older than this
+/// (equivalently, whose death is younger than this) is not yet convicted.
+/// Detection latency for every mid-run fault class is exactly one lease
+/// in virtual time.
+pub const FAILURE_LEASE: SimTime = SimTime(200_000);
+
+/// One rank's registry slot: its published heartbeat and suspicion mask.
+struct Slot {
+    /// Latest virtual time this rank's progress loop stamped.
+    beat: AtomicU64,
+    /// The set of ranks this rank suspects, one bit per rank.
+    suspected: Vec<AtomicU64>,
+}
+
+/// A recorded death: when (virtual) and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Death {
+    /// The dead rank.
+    pub rank: usize,
+    /// Virtual time the rank executed its fate.
+    pub at: SimTime,
+    /// The fault class that killed it.
+    pub kind: MidRunFault,
+}
+
+/// Ground truth of executed deaths, guarded by one lock so multi-rank
+/// events (container kills) are atomic to readers.
+#[derive(Default)]
+struct DownTable {
+    deaths: Vec<Death>,
+}
+
+/// The shared failure detector (one per job, rank-indexed).
+pub struct FailureDetector {
+    lease: SimTime,
+    slots: Vec<Slot>,
+    down: Mutex<DownTable>,
+    /// Bumped once per death *event* (a container kill is one event).
+    /// Waiters peek this to skip the full convergence scan when nothing
+    /// changed.
+    epoch: AtomicU64,
+}
+
+impl FailureDetector {
+    /// A detector for `n` ranks with the given conviction lease.
+    pub fn new(n: usize, lease: SimTime) -> Self {
+        let words = n.div_ceil(64);
+        FailureDetector {
+            lease,
+            slots: (0..n)
+                .map(|_| Slot {
+                    beat: AtomicU64::new(0),
+                    suspected: (0..words).map(|_| AtomicU64::new(0)).collect(),
+                })
+                .collect(),
+            down: Mutex::new(DownTable::default()),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The conviction lease.
+    pub fn lease(&self) -> SimTime {
+        self.lease
+    }
+
+    /// Stamp `rank`'s heartbeat at virtual time `now` (monotone max).
+    pub fn beat(&self, rank: usize, now: SimTime) {
+        let slot = &self.slots[rank].beat;
+        // relaxed-ok: the heartbeat is a monotone hint; readers that race
+        // with the final CAS see an older (still monotone) stamp, and
+        // conviction never depends on beats — only on the down table.
+        let mut cur = slot.load(Ordering::Relaxed);
+        while now.0 > cur {
+            match slot.compare_exchange(cur, now.0, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The latest heartbeat `rank` published.
+    pub fn last_beat(&self, rank: usize) -> SimTime {
+        SimTime(self.slots[rank].beat.load(Ordering::SeqCst))
+    }
+
+    /// Record one death *event*: every rank in `ranks` died together at
+    /// virtual time `at`. Returns the deaths newly recorded (empty if all
+    /// were already down). Readers never observe a partial event.
+    pub fn mark_down(&self, ranks: &[usize], at: SimTime, kind: MidRunFault) -> Vec<Death> {
+        let mut table = self.down.lock();
+        let fresh: Vec<Death> = ranks
+            .iter()
+            .filter(|&&r| table.deaths.iter().all(|d| d.rank != r))
+            .map(|&rank| Death { rank, at, kind })
+            .collect();
+        if !fresh.is_empty() {
+            table.deaths.extend(fresh.iter().copied());
+            self.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        fresh
+    }
+
+    /// Ground truth: is `rank` dead, and if so when/how did it die?
+    pub fn is_down(&self, rank: usize) -> Option<Death> {
+        self.down
+            .lock()
+            .deaths
+            .iter()
+            .find(|d| d.rank == rank)
+            .copied()
+    }
+
+    /// The deterministic virtual time at which `death` is convicted.
+    pub fn convict_time(&self, death: &Death) -> SimTime {
+        SimTime(death.at.0 + self.lease.0)
+    }
+
+    /// Cheap change detector: bumped once per death event.
+    pub fn epoch(&self) -> u64 {
+        // relaxed-ok: a stale epoch only delays the next convergence scan
+        // by one wait-loop iteration; the mailbox poke that accompanies
+        // every death event re-runs the loop promptly.
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Publish a suspicion: `observer` suspects `rank`.
+    pub fn suspect(&self, observer: usize, rank: usize) {
+        self.slots[observer].suspected[rank / 64].fetch_or(1 << (rank % 64), Ordering::SeqCst);
+    }
+
+    /// Retract a suspicion `observer` published about `rank`.
+    pub fn retract(&self, observer: usize, rank: usize) {
+        self.slots[observer].suspected[rank / 64]
+            .fetch_and(!(1u64 << (rank % 64)), Ordering::SeqCst);
+    }
+
+    /// The suspicion mask `observer` currently publishes.
+    pub fn published_suspects(&self, observer: usize) -> Vec<u64> {
+        self.slots[observer]
+            .suspected
+            .iter()
+            .map(|w| w.load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// One convergence round for `observer`: suspect every expired lease
+    /// it can observe locally, merge every peer's published mask (the
+    /// gossip step), retract suspicions refuted by ground truth (the rank
+    /// is alive — no lost survivor), publish the result, and return the
+    /// converged dead set sorted by rank.
+    pub fn converge(&self, observer: usize) -> Vec<Death> {
+        let n = self.slots.len();
+        let words = n.div_ceil(64);
+        let mut mask = vec![0u64; words];
+        // Gossip merge: union what everyone else already suspects.
+        for slot in &self.slots {
+            for (w, word) in slot.suspected.iter().enumerate() {
+                mask[w] |= word.load(Ordering::SeqCst);
+            }
+        }
+        // Local lease observations, and ground-truth retraction.
+        let deaths: Vec<Death> = {
+            let table = self.down.lock();
+            table.deaths.clone()
+        };
+        for d in &deaths {
+            mask[d.rank / 64] |= 1 << (d.rank % 64);
+        }
+        let mut out = Vec::new();
+        for r in 0..n {
+            if mask[r / 64] & (1 << (r % 64)) == 0 {
+                continue;
+            }
+            if let Some(d) = deaths.iter().find(|d| d.rank == r) {
+                out.push(*d);
+            } else {
+                // Suspicion refuted: the rank is alive (its heartbeats
+                // continue). Clear it everywhere we control.
+                mask[r / 64] &= !(1u64 << (r % 64));
+                self.retract(observer, r);
+            }
+        }
+        // Publish the converged view so later joiners converge in one
+        // merge.
+        for (w, word) in mask.iter().enumerate() {
+            if *word != 0 {
+                self.slots[observer].suspected[w].fetch_or(*word, Ordering::SeqCst);
+            }
+        }
+        out.sort_by_key(|d| d.rank);
+        out
+    }
+}
+
+/// A committed shrink decision: the agreed dead set and the context id of
+/// the survivor communicator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Decision {
+    /// World ranks agreed dead (sorted).
+    pub dead: Vec<usize>,
+    /// Fresh context id for the shrunk communicator.
+    pub new_ctx: u32,
+    /// Virtual decision time: every adopter advances to at least this.
+    pub at: SimTime,
+}
+
+/// Write-once log of shrink decisions, keyed by `(parent ctx, shrink
+/// generation)`. The committing root's record wins; a root that dies
+/// right after committing leaves the record behind, so its successor (and
+/// every restarted participant) adopts the *same* decision instead of
+/// deciding again — this is what makes the agreement protocol tolerate
+/// failures during agreement without ever splitting the membership.
+pub struct DecisionLog {
+    map: Mutex<FastMap<(u32, u64), Arc<Decision>>>,
+}
+
+impl Default for DecisionLog {
+    fn default() -> Self {
+        DecisionLog {
+            map: Mutex::new(FastMap::default()),
+        }
+    }
+}
+
+impl DecisionLog {
+    /// Commit `decision` for `key` unless one is already committed;
+    /// returns the winning record either way.
+    pub fn commit(&self, key: (u32, u64), decision: Decision) -> Arc<Decision> {
+        let mut map = self.map.lock();
+        map.entry(key).or_insert_with(|| Arc::new(decision)).clone()
+    }
+
+    /// The committed decision for `key`, if any.
+    pub fn get(&self, key: (u32, u64)) -> Option<Arc<Decision>> {
+        self.map.lock().get(&key).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conviction_is_lease_after_death() {
+        let fd = FailureDetector::new(4, SimTime(100));
+        assert!(fd.is_down(2).is_none());
+        let fresh = fd.mark_down(&[2], SimTime(1_000), MidRunFault::Crash);
+        assert_eq!(fresh.len(), 1);
+        let d = fd.is_down(2).unwrap();
+        assert_eq!(d.at, SimTime(1_000));
+        assert_eq!(fd.convict_time(&d), SimTime(1_100));
+        // Marking again is a no-op (idempotent event).
+        assert!(fd
+            .mark_down(&[2], SimTime(2_000), MidRunFault::Hang)
+            .is_empty());
+        assert_eq!(fd.is_down(2).unwrap().at, SimTime(1_000));
+    }
+
+    #[test]
+    fn container_kill_is_one_atomic_event() {
+        let fd = FailureDetector::new(8, SimTime(100));
+        let e0 = fd.epoch();
+        let fresh = fd.mark_down(&[4, 5, 6, 7], SimTime(50), MidRunFault::ContainerKill);
+        assert_eq!(fresh.len(), 4);
+        assert_eq!(fd.epoch(), e0 + 1, "one event, one epoch bump");
+        let dead = fd.converge(0);
+        assert_eq!(
+            dead.iter().map(|d| d.rank).collect::<Vec<_>>(),
+            vec![4, 5, 6, 7]
+        );
+    }
+
+    #[test]
+    fn gossip_converges_and_retracts_false_suspicion() {
+        let fd = FailureDetector::new(4, SimTime(100));
+        fd.mark_down(&[3], SimTime(10), MidRunFault::Crash);
+        // Rank 0 falsely suspects rank 1 (which keeps beating).
+        fd.suspect(0, 1);
+        fd.beat(1, SimTime(500));
+        let dead0 = fd.converge(0);
+        assert_eq!(dead0.iter().map(|d| d.rank).collect::<Vec<_>>(), vec![3]);
+        // Rank 2 learns of 3 purely through the gossip merge of 0's
+        // published mask (0 published it during converge).
+        let dead2 = fd.converge(2);
+        assert_eq!(dead2.iter().map(|d| d.rank).collect::<Vec<_>>(), vec![3]);
+        // The false suspicion about 1 was retracted, not propagated.
+        assert_eq!(fd.published_suspects(0)[0] & (1 << 1), 0);
+        assert_eq!(fd.published_suspects(2)[0] & (1 << 1), 0);
+        assert_eq!(fd.last_beat(1), SimTime(500));
+    }
+
+    #[test]
+    fn heartbeats_are_monotone() {
+        let fd = FailureDetector::new(2, FAILURE_LEASE);
+        fd.beat(0, SimTime(100));
+        fd.beat(0, SimTime(50));
+        assert_eq!(fd.last_beat(0), SimTime(100));
+        fd.beat(0, SimTime(150));
+        assert_eq!(fd.last_beat(0), SimTime(150));
+    }
+
+    #[test]
+    fn decision_log_is_write_once() {
+        let log = DecisionLog::default();
+        assert!(log.get((1, 0)).is_none());
+        let first = log.commit(
+            (1, 0),
+            Decision {
+                dead: vec![2],
+                new_ctx: 40,
+                at: SimTime(9_000),
+            },
+        );
+        // A later (would-be conflicting) commit adopts the first record.
+        let second = log.commit(
+            (1, 0),
+            Decision {
+                dead: vec![2, 3],
+                new_ctx: 41,
+                at: SimTime(9_500),
+            },
+        );
+        assert_eq!(first, second);
+        assert_eq!(log.get((1, 0)).unwrap().new_ctx, 40);
+        // A different generation is an independent slot.
+        assert!(log.get((1, 1)).is_none());
+    }
+}
+
+/// Exhaustive interleaving checks for the detector's shared state (run
+/// with `RUSTFLAGS="--cfg cmpi_model" cargo test -p cmpi-core --lib`).
+#[cfg(all(test, cmpi_model))]
+mod model {
+    use super::*;
+    use cmpi_model::model::{thread, Builder};
+
+    /// A suspicion published concurrently with a death event is never
+    /// lost: after both happen, every observer's convergence includes the
+    /// dead rank, under every interleaving of the mask/table accesses.
+    #[test]
+    fn model_no_lost_suspicion() {
+        Builder::new().max_executions(2_000).check(|| {
+            let fd = Arc::new(FailureDetector::new(3, SimTime(100)));
+            let fd1 = fd.clone();
+            let fd2 = fd.clone();
+            let t1 = thread::spawn(move || {
+                fd1.mark_down(&[2], SimTime(10), MidRunFault::Crash);
+                fd1.converge(0)
+            });
+            let t2 = thread::spawn(move || fd2.converge(1));
+            let d0 = t1.join();
+            let _ = t2.join();
+            // The marking observer always convicts its own observation.
+            assert_eq!(d0.iter().map(|d| d.rank).collect::<Vec<_>>(), vec![2]);
+            // And once both threads are done, every rank converges to the
+            // same dead set: the suspicion survived every interleaving.
+            for obs in 0..3 {
+                let d = fd.converge(obs);
+                assert_eq!(d.iter().map(|d| d.rank).collect::<Vec<_>>(), vec![2]);
+            }
+        });
+    }
+
+    /// A false suspicion racing with the suspect's heartbeat is always
+    /// retracted by convergence — no survivor stays marked dead under any
+    /// interleaving.
+    #[test]
+    fn model_no_survivor_permanently_dead() {
+        Builder::new().max_executions(2_000).check(|| {
+            let fd = Arc::new(FailureDetector::new(2, SimTime(100)));
+            let fd1 = fd.clone();
+            let fd2 = fd.clone();
+            let t1 = thread::spawn(move || {
+                fd1.suspect(0, 1);
+                fd1.converge(0)
+            });
+            let t2 = thread::spawn(move || fd2.beat(1, SimTime(777)));
+            let d0 = t1.join();
+            t2.join();
+            assert!(d0.is_empty(), "live rank must never be convicted");
+            // Convergence retracted the published suspicion everywhere.
+            let final_dead = fd.converge(0);
+            assert!(final_dead.is_empty());
+            assert_eq!(fd.published_suspects(0)[0] & (1 << 1), 0);
+            assert_eq!(fd.last_beat(1), SimTime(777));
+        });
+    }
+}

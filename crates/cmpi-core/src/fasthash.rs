@@ -64,6 +64,9 @@ impl Hasher for FastHasher {
 /// `HashMap` wired to [`FastHasher`].
 pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
+/// `HashSet` wired to [`FastHasher`].
+pub type FastSet<T> = std::collections::HashSet<T, BuildHasherDefault<FastHasher>>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,515 @@
+//! ULFM-style recovery: [`Mpi::revoke`], [`Mpi::try_shrink`] and the
+//! fault-tolerant communicator operations.
+//!
+//! The recovery protocol mirrors User-Level Failure Mitigation as
+//! MVAPICH2/Open MPI implement it:
+//!
+//! 1. any operation touching a convicted rank (or a revoked context)
+//!    completes with [`MpiError::ProcessFailed`] / [`MpiError::Revoked`];
+//! 2. a survivor calls [`Mpi::revoke`], flooding a revocation notice so
+//!    *every* member fails fast instead of deadlocking on the dead rank;
+//! 3. every survivor calls [`Mpi::try_shrink`], which agrees on the dead
+//!    set and produces the survivor communicator.
+//!
+//! **Callers must revoke before shrinking** (the standard ULFM
+//! discipline): without the revocation, members still blocked inside a
+//! collective over the broken communicator may never reach `try_shrink`.
+//!
+//! Agreement runs as a binomial-tree reduction of the dead-set bitmask
+//! over the locally-believed survivor list, on the dedicated — and never
+//! revocable — [`CTX_FT`] context. It tolerates failures *during*
+//! agreement: every blocking step watches the detector epoch and restarts
+//! the attempt when a new death lands, and the committed outcome is a
+//! write-once [`Decision`] keyed by `(parent ctx, shrink generation)`, so
+//! racing attempts (including two ranks that both believe they are the
+//! tree root) converge on one answer. A decision may still miss deaths
+//! that land after its epoch — then the next operation on the shrunk
+//! communicator errors and the caller shrinks again at generation + 1,
+//! exactly like iterated `MPI_Comm_shrink`. Stale messages from aborted
+//! attempts carry attempt-distinct tags (epoch and tree level are packed
+//! into the round field) and rot harmlessly in the unexpected buckets,
+//! bounded by deaths × tree depth.
+//!
+//! Two non-goals, both deliberate: context ids of shrunk communicators
+//! are *not* run-deterministic (they come from a shared allocator raced
+//! by redundant commits — assert membership and results, never ctx
+//! values), and the shrunk communicator's collectives run the flat
+//! algorithms (its re-derived locality groups and collective selector
+//! are exposed via [`Mpi::comm_groups`] for apps that want hierarchy).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::coll_select::CollectiveSelector;
+use crate::collectives::tag;
+use crate::comm::{cop, Comm};
+use crate::datatype::{from_bytes, to_bytes, zeroed, MpiData, ReduceOp, Reducible};
+use crate::error::MpiError;
+use crate::failure::Decision;
+use crate::packet::ReqId;
+use crate::pt2pt::{Status, CTX_FT};
+use crate::runtime::{Mpi, RecvState, SendState};
+use crate::stats::CallClass;
+
+/// Base op id of agreement tags (kept clear of `op::`/`cop::` spaces; the
+/// shrink generation is folded in mod 256 so consecutive generations never
+/// cross-match).
+const AGREE_OP_BASE: u32 = 2048;
+
+/// Pack an agreement attempt's identity into the 20-bit tag round field:
+/// detector epoch (mod 2^14) in the high bits, tree level (< 64) in the
+/// low bits — messages from an aborted attempt can never match a later
+/// one.
+fn agree_round(epoch: u64, level: u32) -> u32 {
+    (((epoch % (1 << 14)) as u32) << 6) | level
+}
+
+/// Outcome of one abortable agreement step.
+enum AgreeStep {
+    /// The transfer completed (payload for receives, empty for sends).
+    Data(Bytes),
+    /// Another attempt already committed the decision for this key.
+    Decided(Arc<Decision>),
+    /// The detector epoch moved: a death landed mid-agreement, restart.
+    Restart,
+}
+
+impl Mpi {
+    // ---- revoke -------------------------------------------------------------
+
+    /// Revoke `comm` (≈ `MPI_Comm_revoke`): after this, every pending and
+    /// future operation on it — at every member, once the flood reaches
+    /// them — completes with [`MpiError::Revoked`]. Idempotent and
+    /// purely local-plus-flood: no agreement, callable from any member.
+    pub fn revoke(&mut self, comm: &Comm) {
+        let t0 = self.enter();
+        if self.mark_revoked(comm.ctx()) {
+            self.stats.recovery.revokes += 1;
+            if let Some(tr) = &mut self.trace {
+                tr.instant("revoke", self.now, None, None, 1);
+            }
+            self.flood_revoke(comm.ctx());
+        }
+        self.exit(CallClass::Pt2pt, t0);
+    }
+
+    /// Whether `comm` has been revoked (locally observed).
+    pub fn is_revoked(&self, comm: &Comm) -> bool {
+        self.revoked.contains(&comm.ctx())
+    }
+
+    // ---- shrink -------------------------------------------------------------
+
+    /// Agree on the dead set and build the survivor communicator
+    /// (≈ `MPI_Comm_shrink`). Blocking and collective over the survivors
+    /// of `comm`; returns the same membership at every survivor. Errors
+    /// only if the *calling* rank is scripted to die during the call.
+    pub fn try_shrink(&mut self, comm: &Comm) -> Result<Comm, MpiError> {
+        let t0 = self.ft_enter()?;
+        let out = self.try_shrink_inner(comm);
+        self.exit_named(CallClass::Collective, t0, "shrink");
+        out
+    }
+
+    fn try_shrink_inner(&mut self, comm: &Comm) -> Result<Comm, MpiError> {
+        let parent = comm.ctx();
+        let gen = self.shrink_gen.get(&parent).copied().unwrap_or(0);
+        let key = (parent, gen);
+        'attempt: loop {
+            if let Some(d) = self.state.decisions.get(key) {
+                return Ok(self.adopt_decision(comm, gen, &d));
+            }
+            // Local view of the dead set: gossip union, false suspicions
+            // retracted against ground truth.
+            let all_dead = self.state.detector.converge(self.rank);
+            for d in &all_dead {
+                if comm.ranks().contains(&d.rank) {
+                    self.convict(*d);
+                }
+            }
+            let epoch = self.state.detector.epoch();
+            let dead_ranks: Vec<usize> = all_dead.iter().map(|d| d.rank).collect();
+            let survivors: Vec<usize> = comm
+                .ranks()
+                .iter()
+                .copied()
+                .filter(|r| !dead_ranks.contains(r))
+                .collect();
+            let s = survivors.len();
+            let me = survivors
+                .iter()
+                .position(|&r| r == self.rank)
+                .expect("shrinking rank is not a survivor of its own communicator");
+            let op_id = AGREE_OP_BASE + (gen % 256) as u32;
+            let mut acc = vec![0u8; self.n.div_ceil(8)];
+            for &r in &dead_ranks {
+                acc[r / 8] |= 1 << (r % 8);
+            }
+            // Binomial-tree reduction of the mask to position 0 of the
+            // survivor list.
+            let mut mask = 1usize;
+            let mut level = 0u32;
+            while mask < s {
+                let t = tag(op_id, agree_round(epoch, level));
+                if me & mask == 0 {
+                    let child = me | mask;
+                    if child < s {
+                        match self.agree_recv(survivors[child], t, key, epoch) {
+                            AgreeStep::Data(b) => {
+                                for (a, byte) in acc.iter_mut().zip(b.iter()) {
+                                    *a |= byte;
+                                }
+                            }
+                            AgreeStep::Decided(d) => return Ok(self.adopt_decision(comm, gen, &d)),
+                            AgreeStep::Restart => continue 'attempt,
+                        }
+                    }
+                } else {
+                    let parent_pos = me ^ mask;
+                    match self.agree_send(
+                        Bytes::copy_from_slice(&acc),
+                        survivors[parent_pos],
+                        t,
+                        key,
+                        epoch,
+                    ) {
+                        AgreeStep::Data(_) => {}
+                        AgreeStep::Decided(d) => return Ok(self.adopt_decision(comm, gen, &d)),
+                        AgreeStep::Restart => continue 'attempt,
+                    }
+                    break;
+                }
+                mask <<= 1;
+                level += 1;
+            }
+            if me == 0 {
+                // Root: commit the union (write-once — a racing root's
+                // earlier commit wins and is returned instead).
+                let dead: Vec<usize> = (0..self.n)
+                    .filter(|&r| acc[r / 8] & (1 << (r % 8)) != 0)
+                    .collect();
+                let new_ctx = self.state.ft_ctx.fetch_add(1, Ordering::SeqCst);
+                let d = self.state.decisions.commit(
+                    key,
+                    Decision {
+                        dead,
+                        new_ctx,
+                        at: self.now,
+                    },
+                );
+                // Wake every blocked survivor so they observe the log.
+                self.state.poke_all();
+                return Ok(self.adopt_decision(comm, gen, &d));
+            }
+            // Non-root: the decision arrives through the write-once log
+            // (not a down-tree broadcast — the log survives any subset of
+            // ranks dying after commit).
+            loop {
+                self.progress();
+                if let Some(d) = self.state.decisions.get(key) {
+                    return Ok(self.adopt_decision(comm, gen, &d));
+                }
+                if self.state.detector.epoch() != epoch {
+                    continue 'attempt;
+                }
+                self.sleep_if_idle();
+            }
+        }
+    }
+
+    /// Apply a committed shrink decision: bump the generation, adopt the
+    /// decision's timestamp, derive the survivor communicator and its
+    /// locality/selector topology.
+    fn adopt_decision(&mut self, comm: &Comm, gen: u64, d: &Decision) -> Comm {
+        self.shrink_gen.insert(comm.ctx(), gen + 1);
+        self.now = self.now.max(d.at);
+        let survivors: Vec<usize> = comm
+            .ranks()
+            .iter()
+            .copied()
+            .filter(|r| !d.dead.contains(r))
+            .collect();
+        self.ctx_members.insert(d.new_ctx, survivors.clone());
+        let groups: Vec<Vec<usize>> = self
+            .coll_groups
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .copied()
+                    .filter(|r| survivors.contains(r))
+                    .collect::<Vec<usize>>()
+            })
+            .filter(|g| !g.is_empty())
+            .collect();
+        let sel = CollectiveSelector::new(
+            self.state.policy,
+            self.state.tunables,
+            &groups,
+            survivors.len(),
+        );
+        self.ctx_coll.insert(d.new_ctx, Arc::new((groups, sel)));
+        self.stats.recovery.shrinks += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.instant("shrink", self.now, None, None, 1);
+        }
+        Comm::from_parts(d.new_ctx, survivors)
+    }
+
+    /// The locality groups re-derived for a shrink-produced communicator
+    /// (`None` for communicators that did not come from [`Mpi::try_shrink`]).
+    pub fn comm_groups(&self, comm: &Comm) -> Option<Vec<Vec<usize>>> {
+        self.ctx_coll.get(&comm.ctx()).map(|g| g.0.clone())
+    }
+
+    /// Whether the re-derived collective selector of a shrink-produced
+    /// communicator would schedule hierarchically.
+    pub fn comm_hierarchical(&self, comm: &Comm) -> Option<bool> {
+        self.ctx_coll.get(&comm.ctx()).map(|g| g.1.hierarchical())
+    }
+
+    // ---- abortable agreement steps ------------------------------------------
+
+    fn abort_req(&mut self, id: ReqId, is_send: bool) {
+        if is_send {
+            self.sends.remove(&id);
+        } else {
+            self.engine.cancel_posted(id);
+            self.recvs.remove(&id);
+        }
+        self.cancelled.insert(id);
+    }
+
+    /// Receive one agreement payload, abandoning the attempt if a
+    /// decision or a fresh death preempts it. The peer is a believed
+    /// survivor, but it may never send (it adopted a decision or
+    /// restarted on a newer epoch) — hence the watchful loop instead of
+    /// a plain wait.
+    fn agree_recv(&mut self, src: usize, t: u32, key: (u32, u64), epoch: u64) -> AgreeStep {
+        let id = self.irecv_inner(Some(src), Some(t), CTX_FT);
+        loop {
+            self.progress();
+            if matches!(self.recvs.get(&id), Some(RecvState::Done { .. })) {
+                let (data, _) = self
+                    .try_wait_recv_inner(id)
+                    .unwrap_or_else(|e| panic!("completed agreement recv failed: {e}"));
+                return AgreeStep::Data(data);
+            }
+            if let Some(d) = self.state.decisions.get(key) {
+                self.abort_req(id, false);
+                return AgreeStep::Decided(d);
+            }
+            if self.state.detector.epoch() != epoch {
+                self.abort_req(id, false);
+                return AgreeStep::Restart;
+            }
+            self.sleep_if_idle();
+        }
+    }
+
+    /// Send one agreement payload with the same abort semantics. The
+    /// payload is a few mask bytes, so on SHM/HCA it completes locally;
+    /// only a CMA (rendezvous-only) route can park it on the receiver,
+    /// and that receiver is inside the same watchful protocol.
+    fn agree_send(
+        &mut self,
+        data: Bytes,
+        dst: usize,
+        t: u32,
+        key: (u32, u64),
+        epoch: u64,
+    ) -> AgreeStep {
+        let id = self.isend_inner(data, dst, t, CTX_FT);
+        loop {
+            self.progress();
+            if matches!(self.sends.get(&id), Some(SendState::Done { .. })) {
+                self.try_wait_send_inner(id)
+                    .unwrap_or_else(|e| panic!("completed agreement send failed: {e}"));
+                return AgreeStep::Data(Bytes::new());
+            }
+            if let Some(d) = self.state.decisions.get(key) {
+                self.abort_req(id, true);
+                return AgreeStep::Decided(d);
+            }
+            if self.state.detector.epoch() != epoch {
+                self.abort_req(id, true);
+                return AgreeStep::Restart;
+            }
+            self.sleep_if_idle();
+        }
+    }
+
+    // ---- fault-tolerant communicator collectives ----------------------------
+
+    /// Fault-tolerant [`Mpi::barrier_comm`].
+    pub fn try_barrier_comm(&mut self, comm: &Comm) -> Result<(), MpiError> {
+        let t0 = self.ft_enter()?;
+        let out = self.try_barrier_inner_ctx(comm.ranks(), cop::BARRIER, comm.ctx());
+        self.exit(CallClass::Collective, t0);
+        out
+    }
+
+    /// Fault-tolerant [`Mpi::bcast_comm`] from communicator-rank `root`.
+    pub fn try_bcast_comm<T: MpiData>(
+        &mut self,
+        comm: &Comm,
+        buf: &mut [T],
+        root: usize,
+    ) -> Result<(), MpiError> {
+        let t0 = self.ft_enter()?;
+        let seed = (self.rank == comm.world_rank(root)).then(|| to_bytes(buf));
+        let out = self.try_bcast_inner_ctx(seed, comm.ranks(), root, cop::BCAST, comm.ctx());
+        let out = out.map(|bytes| {
+            if self.rank != comm.world_rank(root) {
+                from_bytes(&bytes, buf);
+            }
+        });
+        self.exit(CallClass::Collective, t0);
+        out
+    }
+
+    /// Fault-tolerant [`Mpi::reduce_comm`] to communicator-rank `root`.
+    pub fn try_reduce_comm<T: Reducible>(
+        &mut self,
+        comm: &Comm,
+        data: &[T],
+        rop: ReduceOp,
+        root: usize,
+    ) -> Result<Option<Vec<T>>, MpiError> {
+        let t0 = self.ft_enter()?;
+        let out = self.try_reduce_inner_ctx(data, rop, comm.ranks(), root, cop::REDUCE, comm.ctx());
+        self.exit(CallClass::Collective, t0);
+        out.map(|acc| (self.rank == comm.world_rank(root)).then_some(acc))
+    }
+
+    /// Fault-tolerant [`Mpi::allreduce_comm`].
+    pub fn try_allreduce_comm<T: Reducible>(
+        &mut self,
+        comm: &Comm,
+        data: &[T],
+        rop: ReduceOp,
+    ) -> Result<Vec<T>, MpiError> {
+        let t0 = self.ft_enter()?;
+        let out = self.try_allreduce_inner_ctx(data, rop, comm.ranks(), cop::ALLREDUCE, comm.ctx());
+        self.exit(CallClass::Collective, t0);
+        out
+    }
+
+    /// Fault-tolerant [`Mpi::allgather_comm`] (communicator-rank order).
+    pub fn try_allgather_comm<T: MpiData>(
+        &mut self,
+        comm: &Comm,
+        data: &[T],
+    ) -> Result<Vec<T>, MpiError> {
+        let t0 = self.ft_enter()?;
+        let out = self.try_allgather_list(data, comm.ranks(), cop::GATHER, comm.ctx());
+        self.exit(CallClass::Collective, t0);
+        out
+    }
+
+    /// Fault-tolerant gather-then-broadcast allgather over an explicit
+    /// rank list (mirrors `allgather_list`).
+    fn try_allgather_list<T: MpiData>(
+        &mut self,
+        data: &[T],
+        list: &[usize],
+        op_id: u32,
+        ctx: u32,
+    ) -> Result<Vec<T>, MpiError> {
+        let n = list.len();
+        let me = list
+            .iter()
+            .position(|&r| r == self.rank)
+            .expect("rank not in group");
+        let block = data.len();
+        let mut all = vec![data[0]; block * n];
+        all[me * block..(me + 1) * block].copy_from_slice(data);
+        let parts = self.try_gather_inner_ctx(to_bytes(data), list, 0, op_id, ctx)?;
+        if self.rank == list[0] {
+            for (world_rank, bytes) in parts {
+                let pos = list.iter().position(|&r| r == world_rank).unwrap();
+                from_bytes(&bytes, &mut all[pos * block..(pos + 1) * block]);
+            }
+        }
+        let seed = (self.rank == list[0]).then(|| to_bytes(&all));
+        let bytes = self.try_bcast_inner_ctx(seed, list, 0, op_id + 1, ctx)?;
+        from_bytes(&bytes, &mut all);
+        Ok(all)
+    }
+
+    // ---- fault-tolerant communicator point-to-point -------------------------
+
+    /// Fault-tolerant blocking send to communicator-rank `dst` on `comm`.
+    /// User tags on a communicator must stay below `1 << 20` (the space
+    /// above is reserved for the library's internal collective tags).
+    pub fn try_send_comm(
+        &mut self,
+        comm: &Comm,
+        data: Bytes,
+        dst: usize,
+        tag: u32,
+    ) -> Result<(), MpiError> {
+        assert!(tag < 1 << 20, "communicator user tag {tag} out of range");
+        let t0 = self.ft_enter()?;
+        let id = self.isend_inner(data, comm.world_rank(dst), tag, comm.ctx());
+        let out = self.try_wait_send_inner(id);
+        self.exit(CallClass::Pt2pt, t0);
+        out
+    }
+
+    /// Fault-tolerant blocking receive from communicator-rank `src` on
+    /// `comm`. The returned status carries *world* ranks.
+    pub fn try_recv_comm(
+        &mut self,
+        comm: &Comm,
+        src: usize,
+        tag: u32,
+    ) -> Result<(Bytes, Status), MpiError> {
+        assert!(tag < 1 << 20, "communicator user tag {tag} out of range");
+        let t0 = self.ft_enter()?;
+        let id = self.irecv_inner(Some(comm.world_rank(src)), Some(tag), comm.ctx());
+        let out = self.try_wait_recv_inner(id);
+        self.exit(CallClass::Pt2pt, t0);
+        out
+    }
+
+    /// Fault-tolerant pairwise exchange on `comm` (communicator ranks).
+    pub fn try_sendrecv_comm(
+        &mut self,
+        comm: &Comm,
+        data: Bytes,
+        dst: usize,
+        stag: u32,
+        src: usize,
+        rtag: u32,
+    ) -> Result<(Bytes, Status), MpiError> {
+        assert!(
+            stag < 1 << 20 && rtag < 1 << 20,
+            "communicator user tag out of range"
+        );
+        let t0 = self.ft_enter()?;
+        let sid = self.isend_inner(data, comm.world_rank(dst), stag, comm.ctx());
+        let rid = self.irecv_inner(Some(comm.world_rank(src)), Some(rtag), comm.ctx());
+        let rout = self.try_wait_recv_inner(rid);
+        let sout = self.try_wait_send_inner(sid);
+        self.exit(CallClass::Pt2pt, t0);
+        let out = rout?;
+        sout?;
+        Ok(out)
+    }
+
+    /// Fault-tolerant typed allreduce convenience used by recovery loops:
+    /// reduce a single value over the communicator.
+    pub fn try_allreduce_one<T: Reducible>(
+        &mut self,
+        comm: &Comm,
+        value: T,
+        rop: ReduceOp,
+    ) -> Result<T, MpiError> {
+        let out = self.try_allreduce_comm(comm, &[value], rop)?;
+        let mut one = zeroed::<T>(1);
+        one.copy_from_slice(&out);
+        Ok(one[0])
+    }
+}

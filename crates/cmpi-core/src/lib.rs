@@ -57,7 +57,9 @@ pub mod comm;
 pub mod datatype;
 pub mod datatype_derived;
 pub mod error;
+pub mod failure;
 pub(crate) mod fasthash;
+pub mod ft;
 pub mod locality;
 pub mod mailbox;
 pub mod matching;
@@ -75,6 +77,7 @@ pub use comm::Comm;
 pub use datatype::{MpiData, ReduceOp};
 pub use datatype_derived::Layout;
 pub use error::MpiError;
+pub use failure::{Death, Decision, FailureDetector, FAILURE_LEASE};
 pub use locality::{DowngradeReason, LocalityPolicy, LocalityView, PublishReport};
 pub use onesided::Window;
 pub use persistent::{Persistent, PersistentRecv, PersistentSend};

@@ -60,6 +60,13 @@ pub enum PacketKind {
         /// Sender request now complete.
         sreq: ReqId,
     },
+    /// Communicator revocation notice (ULFM `MPI_Comm_revoke`): a member
+    /// observed a process failure and is flooding the revocation so every
+    /// member fails fast instead of deadlocking on a dead collective.
+    Revoke {
+        /// Context id of the revoked communicator.
+        ctx: u32,
+    },
 }
 
 /// A channel-layer message.
@@ -83,6 +90,7 @@ const K_RTS: u32 = 2;
 const K_CTS: u32 = 3;
 const K_RNDV: u32 = 4;
 const K_FIN: u32 = 5;
+const K_REVOKE: u32 = 6;
 
 impl Packet {
     /// Frame the packet for the HCA channel: `(imm, wire bytes)`.
@@ -129,6 +137,10 @@ impl Packet {
             PacketKind::Fin { sreq } => {
                 buf.put_u64_le(sreq);
                 K_FIN
+            }
+            PacketKind::Revoke { ctx } => {
+                buf.put_u32_le(ctx);
+                K_REVOKE
             }
         };
         buf.extend_from_slice(&self.data);
@@ -178,6 +190,7 @@ impl Packet {
             ),
             K_RNDV => (PacketKind::RndvData { rreq: u64_at(b, 0) }, 8),
             K_FIN => (PacketKind::Fin { sreq: u64_at(b, 0) }, 8),
+            K_REVOKE => (PacketKind::Revoke { ctx: u32_at(b, 0) }, 4),
             other => panic!("corrupt HCA frame: unknown kind {other}"),
         };
         Packet {
@@ -257,6 +270,7 @@ mod tests {
         roundtrip(PacketKind::Cts { sreq: 1, rreq: 2 }, b"");
         roundtrip(PacketKind::Fin { sreq: u64::MAX }, b"");
         roundtrip(PacketKind::RndvData { rreq: 77 }, b"payload bytes");
+        roundtrip(PacketKind::Revoke { ctx: 0x8000_0007 }, b"");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use cmpi_prof::WaitClass;
 
 use crate::channel::Protocol;
 use crate::datatype::{from_bytes, to_bytes, MpiData};
+use crate::error::MpiError;
 use crate::matching::{ArrivedBody, ArrivedMsg, PostedRecv};
 use crate::packet::{Packet, PacketKind, ReqId};
 use crate::runtime::{Mpi, RecvState, SendState};
@@ -45,6 +46,10 @@ pub const ANY_TAG: u32 = u32::MAX;
 pub(crate) const CTX_WORLD: u32 = 0;
 /// Context id reserved for collective-internal traffic.
 pub(crate) const CTX_COLL: u32 = 1;
+/// Context id reserved for fault-tolerance agreement traffic. Never
+/// revoked: shrink's tree agreement must stay usable while every user
+/// context is down.
+pub(crate) const CTX_FT: u32 = 2;
 
 /// Completion information of a receive.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,6 +155,21 @@ impl Mpi {
                         if let Some(s) = q.try_acquire(clen) {
                             break s;
                         }
+                        // The receiver died mid-run: its queue will never
+                        // drain again (a crash closed it; a hang left it
+                        // full). Eager completion is local, so the send
+                        // still succeeds — the remaining chunks go nowhere.
+                        if q.is_closed() || self.state.detector.is_down(dst).is_some() {
+                            self.sends.insert(
+                                id,
+                                SendState::Done {
+                                    t: self.now + SimTime::from_ns(cost.request_ns),
+                                    ctx,
+                                    rndv_cts: None,
+                                },
+                            );
+                            return id;
+                        }
                         self.progress();
                         if q.try_acquire(clen).is_none() {
                             self.sleep_if_idle();
@@ -252,9 +272,12 @@ impl Mpi {
                     data,
                 };
                 let (imm, wire) = pkt.encode();
-                let info = self.hca_post_with_retry(dst, imm, wire, self.now, "HCA eager send");
-                self.now = info.local_done;
-                self.record_tx(dst, Channel::Hca, len);
+                // A detached (dead) destination swallows the message; the
+                // eager send still completes locally.
+                if let Some(info) = self.try_hca_post(dst, imm, wire, self.now, "HCA eager send") {
+                    self.now = info.local_done;
+                    self.record_tx(dst, Channel::Hca, len);
+                }
                 self.sends.insert(
                     id,
                     SendState::Done {
@@ -280,8 +303,13 @@ impl Mpi {
                     data: Bytes::new(),
                 };
                 let (imm, wire) = rts.encode();
-                let info = self.hca_post_with_retry(dst, imm, wire, self.now, "HCA rendezvous RTS");
-                self.now = info.local_done;
+                // A dead destination never answers the RTS; park the send
+                // anyway and let wait complete it in error.
+                if let Some(info) =
+                    self.try_hca_post(dst, imm, wire, self.now, "HCA rendezvous RTS")
+                {
+                    self.now = info.local_done;
+                }
                 self.sends.insert(
                     id,
                     SendState::AwaitCts {
@@ -300,7 +328,7 @@ impl Mpi {
     /// Post a receive on context `ctx`. `None` = wildcard.
     pub(crate) fn irecv_inner(&mut self, src: Option<usize>, tag: Option<u32>, ctx: u32) -> ReqId {
         let id = self.fresh_req();
-        self.recvs.insert(id, RecvState::Posted);
+        self.recvs.insert(id, RecvState::Posted { src, ctx });
         let posted_at = self.now;
         if let Some(msg) = self.engine.post_recv(PostedRecv {
             rreq: id,
@@ -362,49 +390,86 @@ impl Mpi {
     }
 
     /// Block until send `id` completes; advances the clock to completion.
+    /// Errors caused by injected faults abort the job (the plain API has
+    /// `MPI_ERRORS_ARE_FATAL` semantics).
     pub(crate) fn wait_send_inner(&mut self, id: ReqId) {
+        self.try_wait_send_inner(id)
+            .unwrap_or_else(|e| panic!("wait on send request {id} failed: {e}"));
+    }
+
+    /// Block until send `id` completes, or fail it when its destination
+    /// is convicted dead or its communicator is revoked. A failed send is
+    /// removed and remembered in `cancelled` so late protocol packets
+    /// (CTS, FIN) for it are dropped instead of resurrecting it.
+    pub(crate) fn try_wait_send_inner(&mut self, id: ReqId) -> Result<(), MpiError> {
         let t_enter = self.now;
         loop {
             self.progress();
-            if let Some(SendState::Done { .. }) = self.sends.get(&id) {
-                let Some(SendState::Done { t, ctx, rndv_cts }) = self.sends.remove(&id) else {
-                    unreachable!()
-                };
-                self.settle_send(t_enter, t, ctx, rndv_cts);
-                return;
+            let (ctx, dst) = match self.sends.get(&id) {
+                Some(SendState::Done { .. }) => {
+                    let Some(SendState::Done { t, ctx, rndv_cts }) = self.sends.remove(&id) else {
+                        unreachable!()
+                    };
+                    self.settle_send(t_enter, t, ctx, rndv_cts);
+                    return Ok(());
+                }
+                Some(&SendState::AwaitCts { dst, ctx, .. })
+                | Some(&SendState::AwaitFin { dst, ctx, .. }) => (ctx, dst),
+                None => panic!("waiting on unknown send request {id}"),
+            };
+            if let Err(e) = self.check_op_failure(ctx, Some(dst)) {
+                self.sends.remove(&id);
+                self.cancelled.insert(id);
+                return Err(e);
             }
-            assert!(
-                self.sends.contains_key(&id),
-                "waiting on unknown send request {id}"
-            );
             self.sleep_if_idle();
         }
     }
 
     /// Block until receive `id` completes; returns payload and status.
+    /// Errors caused by injected faults abort the job (the plain API has
+    /// `MPI_ERRORS_ARE_FATAL` semantics).
     pub(crate) fn wait_recv_inner(&mut self, id: ReqId) -> (Bytes, Status) {
+        self.try_wait_recv_inner(id)
+            .unwrap_or_else(|e| panic!("wait on recv request {id} failed: {e}"))
+    }
+
+    /// Block until receive `id` completes, or fail it when its source is
+    /// convicted dead (for a wildcard: when *any* member of the context
+    /// is — the ULFM failed-process-pending analog) or its communicator
+    /// is revoked. A failed receive is unposted from the matching engine
+    /// so a stale arrival cannot fill it, and remembered in `cancelled`
+    /// so a late rendezvous payload is dropped.
+    pub(crate) fn try_wait_recv_inner(&mut self, id: ReqId) -> Result<(Bytes, Status), MpiError> {
         let t_enter = self.now;
         loop {
             self.progress();
-            if let Some(RecvState::Done { .. }) = self.recvs.get(&id) {
-                let Some(RecvState::Done {
-                    data,
-                    status,
-                    t,
-                    arrived,
-                    ctx,
-                    flow,
-                }) = self.recvs.remove(&id)
-                else {
-                    unreachable!()
-                };
-                self.settle_recv(t_enter, t, arrived, ctx, flow);
-                return (data, status);
+            let (ctx, peer) = match self.recvs.get(&id) {
+                Some(RecvState::Done { .. }) => {
+                    let Some(RecvState::Done {
+                        data,
+                        status,
+                        t,
+                        arrived,
+                        ctx,
+                        flow,
+                    }) = self.recvs.remove(&id)
+                    else {
+                        unreachable!()
+                    };
+                    self.settle_recv(t_enter, t, arrived, ctx, flow);
+                    return Ok((data, status));
+                }
+                Some(&RecvState::Posted { src, ctx }) => (ctx, src),
+                Some(&RecvState::AwaitData { src, ctx, .. }) => (ctx, Some(src)),
+                None => panic!("waiting on unknown recv request {id}"),
+            };
+            if let Err(e) = self.check_op_failure(ctx, peer) {
+                self.engine.cancel_posted(id);
+                self.recvs.remove(&id);
+                self.cancelled.insert(id);
+                return Err(e);
             }
-            assert!(
-                self.recvs.contains_key(&id),
-                "waiting on unknown recv request {id}"
-            );
             self.sleep_if_idle();
         }
     }
@@ -446,6 +511,41 @@ impl Mpi {
             return Some(Completion::Recv(data, status));
         }
         None
+    }
+
+    /// [`Self::test_inner`] with failure reporting: a request whose peer
+    /// is convicted dead (or whose communicator is revoked) completes in
+    /// error instead of never completing. Failed polls stay free.
+    pub(crate) fn try_test_inner(&mut self, req: &Request) -> Result<Option<Completion>, MpiError> {
+        if let Some(c) = self.test_inner(req) {
+            return Ok(Some(c));
+        }
+        let (ctx, peer) = if req.is_send {
+            match self.sends.get(&req.id) {
+                Some(&SendState::AwaitCts { dst, ctx, .. })
+                | Some(&SendState::AwaitFin { dst, ctx, .. }) => (ctx, Some(dst)),
+                _ => return Ok(None),
+            }
+        } else {
+            match self.recvs.get(&req.id) {
+                Some(&RecvState::Posted { src, ctx }) => (ctx, src),
+                Some(&RecvState::AwaitData { src, ctx, .. }) => (ctx, Some(src)),
+                _ => return Ok(None),
+            }
+        };
+        match self.check_op_failure(ctx, peer) {
+            Ok(()) => Ok(None),
+            Err(e) => {
+                if !req.is_send {
+                    self.engine.cancel_posted(req.id);
+                    self.recvs.remove(&req.id);
+                } else {
+                    self.sends.remove(&req.id);
+                }
+                self.cancelled.insert(req.id);
+                Err(e)
+            }
+        }
     }
 
     fn src_opt(src: usize) -> Option<usize> {
@@ -531,6 +631,80 @@ impl Mpi {
             // failed polls a spin loop performs is real scheduling, and
             // letting it advance the clock makes virtual time
             // nondeterministic).
+            self.now = t0;
+        }
+        self.exit(CallClass::Poll, t0);
+        out
+    }
+
+    // ---- public fault-tolerant API ------------------------------------------
+    //
+    // `try_` variants return `Err(ProcessFailed | Revoked)` where the
+    // plain API would hang or abort; they also execute this rank's own
+    // scripted mid-run fate at entry (the call boundary is where a
+    // simulated rank can die).
+
+    /// Fault-tolerant [`Self::send_bytes`].
+    pub fn try_send_bytes(&mut self, data: Bytes, dst: usize, tag: u32) -> Result<(), MpiError> {
+        let t0 = self.ft_enter()?;
+        let id = self.isend_inner(data, dst, tag, CTX_WORLD);
+        let out = self.try_wait_send_inner(id);
+        self.exit(CallClass::Pt2pt, t0);
+        out
+    }
+
+    /// Fault-tolerant [`Self::recv_bytes`].
+    pub fn try_recv_bytes(&mut self, src: usize, tag: u32) -> Result<(Bytes, Status), MpiError> {
+        let t0 = self.ft_enter()?;
+        let id = self.irecv_inner(Self::src_opt(src), Self::tag_opt(tag), CTX_WORLD);
+        let out = self.try_wait_recv_inner(id);
+        self.exit(CallClass::Pt2pt, t0);
+        out
+    }
+
+    /// Fault-tolerant [`Self::sendrecv_bytes`]. Both halves run to an
+    /// outcome (so neither request leaks); the receive's error wins.
+    pub fn try_sendrecv_bytes(
+        &mut self,
+        data: Bytes,
+        dst: usize,
+        stag: u32,
+        src: usize,
+        rtag: u32,
+    ) -> Result<(Bytes, Status), MpiError> {
+        let t0 = self.ft_enter()?;
+        let sid = self.isend_inner(data, dst, stag, CTX_WORLD);
+        let rid = self.irecv_inner(Self::src_opt(src), Self::tag_opt(rtag), CTX_WORLD);
+        let rout = self.try_wait_recv_inner(rid);
+        let sout = self.try_wait_send_inner(sid);
+        self.exit(CallClass::Pt2pt, t0);
+        let out = rout?;
+        sout?;
+        Ok(out)
+    }
+
+    /// Fault-tolerant [`Self::wait`].
+    pub fn try_wait(&mut self, req: Request) -> Result<Completion, MpiError> {
+        let t0 = self.ft_enter()?;
+        let out = if req.is_send {
+            self.try_wait_send_inner(req.id).map(|()| Completion::Send)
+        } else {
+            self.try_wait_recv_inner(req.id)
+                .map(|(data, status)| Completion::Recv(data, status))
+        };
+        self.exit(CallClass::Pt2pt, t0);
+        out
+    }
+
+    /// Fault-tolerant [`Self::test`]: `Ok(None)` means "not yet", and a
+    /// request on a dead peer or revoked communicator finishes with
+    /// `Err` instead of polling `None` forever.
+    pub fn try_test(&mut self, req: &Request) -> Result<Option<Completion>, MpiError> {
+        let t0 = self.enter();
+        self.check_fate()?;
+        let out = self.try_test_inner(req);
+        if matches!(out, Ok(None)) {
+            // Refund the call-entry tax exactly like `test`.
             self.now = t0;
         }
         self.exit(CallClass::Poll, t0);

@@ -16,13 +16,14 @@
 //! hardware-offloaded transfer it models and does not slow down unrelated
 //! operations the rank is executing meanwhile.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Barrier, OnceLock};
 
 use bytes::Bytes;
 use cmpi_cluster::faults::STALE_GENERATION;
 use cmpi_cluster::{
-    Channel, Cluster, CostModel, DeploymentScenario, FaultPlan, Placement, SimTime, Tunables,
+    Channel, Cluster, CostModel, DeploymentScenario, FaultPlan, MidRunFault, MidRunTrigger,
+    Placement, SimTime, Tunables,
 };
 use cmpi_fabric::{Fabric, FabricError, SendInfo};
 use cmpi_shmem::visibility::visibility;
@@ -31,12 +32,13 @@ use cmpi_shmem::{AttachOutcome, ContainerList, PairQueue, ShmRegistry};
 use crate::channel::ChannelSelector;
 use crate::coll_select::CollectiveSelector;
 use crate::error::MpiError;
-use crate::fasthash::FastMap;
+use crate::failure::{Death, DecisionLog, FailureDetector, FAILURE_LEASE};
+use crate::fasthash::{FastMap, FastSet};
 use crate::locality::{LocalityPolicy, LocalityView};
 use crate::mailbox::RankCell;
 use crate::matching::{ArrivedBody, ArrivedMsg, MatchingEngine};
 use crate::packet::{Packet, PacketKind, ReqId};
-use crate::pt2pt::Status;
+use crate::pt2pt::{Status, CTX_COLL, CTX_WORLD};
 use crate::stats::{CallClass, CommStats, JobStats, RecoveryStats};
 use crate::trace::{flow_id, JobTrace, RankTrace};
 use cmpi_prof::{FabricCounters, JobProfile, ProfCollector, QueuePressure};
@@ -58,6 +60,12 @@ const MAX_SEND_ATTEMPTS: u32 = 8;
 
 /// Bound on post-barrier container-list rescans for silent peers.
 const MAX_INIT_RETRIES: u32 = 3;
+
+/// Base of the context-id space [`JobState::ft_ctx`] allocates for
+/// shrink-produced survivor communicators. High enough to stay disjoint
+/// from `comm_split` ids (small agreed counters) under any interleaving
+/// of splits and shrinks.
+const FT_CTX_BASE: u32 = 0x8000_0000;
 
 /// A complete job description: where ranks run and how the library is
 /// configured.
@@ -275,6 +283,28 @@ impl JobSpec {
             profile,
         }
     }
+
+    /// Launch a fault-tolerant job: like [`JobSpec::run`], but the rank
+    /// closure returns `Result`, so injected mid-run deaths surface as
+    /// `Err(MpiError::ProcessFailed { .. })` values in `results` instead
+    /// of panics — a crashed rank's slot reports its own death while the
+    /// survivors' slots report what they salvaged.
+    pub fn run_ft<R, F>(&self, f: F) -> JobResult<Result<R, MpiError>>
+    where
+        R: Send,
+        F: Fn(&mut Mpi) -> Result<R, MpiError> + Send + Sync,
+    {
+        self.run(f)
+    }
+}
+
+/// Trace/report label for a mid-run fault class.
+fn midrun_fault_name(fault: MidRunFault) -> &'static str {
+    match fault {
+        MidRunFault::Crash => "crash",
+        MidRunFault::ContainerKill => "container-kill",
+        MidRunFault::Hang => "hang",
+    }
 }
 
 /// What a finished job returns.
@@ -301,6 +331,10 @@ const WIN_CHUNKS: usize = 1024;
 
 /// One window chunk: `WIN_CHUNK` windows × `n` per-rank region slots.
 type WindowChunk = Vec<Vec<OnceLock<Arc<cmpi_fabric::MemoryRegion>>>>;
+
+/// Collective topology of a shrink-produced communicator: the survivor
+/// policy groups and a selector sized to the shrunk membership.
+pub(crate) type ShrunkTopology = (Vec<Vec<usize>>, CollectiveSelector);
 
 /// Rank-indexed window registry. The seed kept a job-wide
 /// `Mutex<HashMap>` here; window ids are small dense counters (identical
@@ -365,6 +399,14 @@ pub(crate) struct JobState {
     pub(crate) fabric: Arc<Fabric>,
     pub(crate) faults: FaultPlan,
     pub(crate) attached: Vec<AtomicBool>,
+    /// The job-wide failure detector: heartbeat slots, suspicion masks,
+    /// and the ground-truth down table.
+    pub(crate) detector: FailureDetector,
+    /// Write-once log of shrink decisions (see [`DecisionLog`]): what
+    /// makes the agreement protocol tolerate a root dying mid-decision.
+    pub(crate) decisions: DecisionLog,
+    /// Allocator for shrink-produced communicator context ids.
+    pub(crate) ft_ctx: AtomicU32,
     /// Per-rank "the fabric may hold messages for you" flag, raised by the
     /// endpoint notifier on every delivery and cleared by the drain. The
     /// progress engine runs once per spin of every wait loop; gating the
@@ -404,6 +446,9 @@ impl JobState {
             fabric: Fabric::with_faults(spec.cost, spec.faults.clone()),
             faults: spec.faults.clone(),
             attached: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            detector: FailureDetector::new(n, FAILURE_LEASE),
+            decisions: DecisionLog::default(),
+            ft_ctx: AtomicU32::new(FT_CTX_BASE),
             fabric_ready: (0..n).map(|_| AtomicBool::new(true)).collect(),
             attach_retries: (0..n)
                 .map(|_| std::sync::atomic::AtomicU32::new(0))
@@ -431,6 +476,27 @@ impl JobState {
     pub(crate) fn release_queue(&self, src: usize, dst: usize, bytes: usize, t: SimTime) {
         self.pair_queue(src, dst).release(bytes, t);
         self.cells[src].poke();
+    }
+
+    /// Close every instantiated SHM eager queue delivering *to* `rank`:
+    /// the receiver side dies with the rank, and senders blocked on (or
+    /// spinning against) its backpressure must observe the closure
+    /// instead of waiting forever.
+    pub(crate) fn close_incoming_queues(&self, rank: usize) {
+        for src in 0..self.n_ranks {
+            if let Some(q) = self.queues[src * self.n_ranks + rank].get() {
+                q.close();
+            }
+        }
+    }
+
+    /// Wake every rank's mailbox. Death and shrink-decision events call
+    /// this because `sleep_if_idle` has no timeout — a waiter blocked on
+    /// a rank that just died re-checks the failure state only when poked.
+    pub(crate) fn poke_all(&self) {
+        for cell in &self.cells {
+            cell.poke();
+        }
     }
 
     /// Aggregate backpressure counters over every instantiated pair queue
@@ -469,6 +535,8 @@ pub(crate) enum SendState {
     },
     /// Payload dispatched; waiting for the receiver's FIN.
     AwaitFin {
+        /// Destination rank (consulted when a death must fail the send).
+        dst: usize,
         /// Communicator context.
         ctx: u32,
         /// When the receiver's CTS became observable here — everything up
@@ -491,7 +559,14 @@ pub(crate) enum SendState {
 #[derive(Debug)]
 pub(crate) enum RecvState {
     /// Posted, nothing matched yet.
-    Posted,
+    Posted {
+        /// Expected source (`None` = wildcard). A wildcard receive fails
+        /// when *any* member of its context is convicted dead — the ULFM
+        /// "failed process pending" analog.
+        src: Option<usize>,
+        /// Communicator context.
+        ctx: u32,
+    },
     /// Matched an RTS and sent the CTS; waiting for the payload.
     AwaitData {
         /// Sender rank.
@@ -554,6 +629,37 @@ pub struct Mpi {
     /// Next communicator context id this rank would propose (see
     /// `Mpi::comm_split`).
     pub(crate) next_ctx: u32,
+    /// This rank's scripted mid-run fate, resolved from the fault plan at
+    /// init. Deaths are always *self-inflicted* at the rank's own call
+    /// boundaries, so they land at the same program point in every run.
+    fate: Option<(MidRunFault, MidRunTrigger)>,
+    /// MPI calls entered through the fault-tolerant API so far (drives
+    /// [`MidRunTrigger::AfterOps`]). Failed polls never count, for the
+    /// same determinism reason they never charge virtual time.
+    ops: u64,
+    /// Set once this rank executed its scripted death.
+    dead: bool,
+    /// Whether the fault plan schedules any mid-run fault (caches the
+    /// hot-path gate for heartbeats).
+    ft_active: bool,
+    /// Communicator contexts revoked at this rank.
+    pub(crate) revoked: FastSet<u32>,
+    /// World-rank membership of registered communicator contexts,
+    /// consulted when a death must fail pending wildcard receives.
+    /// Unregistered contexts are treated as spanning all ranks.
+    pub(crate) ctx_members: FastMap<u32, Vec<usize>>,
+    /// Requests cancelled by failure handling: late protocol packets
+    /// referencing them are dropped instead of panicking.
+    pub(crate) cancelled: FastSet<ReqId>,
+    /// Dead peers whose conviction this rank has already ledgered
+    /// (suspicion/conviction stats and trace events fire once per peer).
+    convicted_seen: FastSet<usize>,
+    /// Shrink generation per parent context (how many shrinks of that
+    /// communicator this rank has adopted).
+    pub(crate) shrink_gen: FastMap<u32, u64>,
+    /// Collective topology for shrink-produced contexts: the survivor
+    /// policy groups and a selector sized to the shrunk membership.
+    pub(crate) ctx_coll: FastMap<u32, Arc<ShrunkTopology>>,
     /// Recorded timeline when tracing is enabled.
     pub(crate) trace: Option<RankTrace>,
     /// Causal-profile collector when profiling is enabled.
@@ -660,6 +766,11 @@ impl Mpi {
         let coll_groups = crate::collectives::policy_groups_of(&state, n);
         let coll = CollectiveSelector::new(state.policy, state.tunables, &coll_groups, n);
         let stats = CommStats::with_recovery(recovery);
+        let fate = plan.midrun_fate_of(rank, state.placement.loc(rank).container);
+        let ft_active = plan.has_midrun_faults();
+        let mut ctx_members = FastMap::default();
+        ctx_members.insert(CTX_WORLD, (0..n).collect::<Vec<usize>>());
+        ctx_members.insert(CTX_COLL, (0..n).collect::<Vec<usize>>());
         Mpi {
             rank,
             n,
@@ -677,6 +788,16 @@ impl Mpi {
             send_seq: vec![0; n],
             win_counter: 0,
             next_ctx: 16,
+            fate,
+            ops: 0,
+            dead: false,
+            ft_active,
+            revoked: FastSet::default(),
+            ctx_members,
+            cancelled: FastSet::default(),
+            convicted_seen: FastSet::default(),
+            shrink_gen: FastMap::default(),
+            ctx_coll: FastMap::default(),
             copy_busy: vec![SimTime::ZERO; n],
             trace: None,
             prof: None,
@@ -766,6 +887,182 @@ impl Mpi {
         peer != self.rank && !self.view.peer(peer).same_socket
     }
 
+    // ---- mid-run fault tolerance --------------------------------------------
+
+    /// Entry bookkeeping for fault-tolerant calls: bump the deterministic
+    /// op counter, execute this rank's scripted fate if its trigger
+    /// fired, then charge the usual call-entry tax. `Err` means the
+    /// caller itself is dead.
+    pub(crate) fn ft_enter(&mut self) -> Result<SimTime, MpiError> {
+        self.ops += 1;
+        self.check_fate()?;
+        Ok(self.enter())
+    }
+
+    /// Execute this rank's scripted mid-run fate if its trigger has
+    /// fired. Triggers are pure functions of the rank's own virtual
+    /// clock and op count, so the death lands at the same point of the
+    /// same call sequence in every run — including every rank of a
+    /// killed container, which all carry the container's trigger.
+    pub(crate) fn check_fate(&mut self) -> Result<(), MpiError> {
+        if self.dead {
+            return Err(MpiError::ProcessFailed { peer: self.rank });
+        }
+        let Some((fault, trigger)) = self.fate else {
+            return Ok(());
+        };
+        if trigger.fires(self.now.as_ns(), self.ops) {
+            return Err(self.execute_death(fault));
+        }
+        Ok(())
+    }
+
+    /// The death itself: record it in the down table (ground truth),
+    /// tear down what the fault class tears down, and wake every peer so
+    /// blocked waiters re-check the failure state. Returns the error the
+    /// dying rank's own call completes with.
+    fn execute_death(&mut self, fault: MidRunFault) -> MpiError {
+        self.dead = true;
+        // Mark down FIRST: everything this rank sent precedes the mark in
+        // its program order, so a peer that observes the death and then
+        // drains its mailbox sees every pre-death packet.
+        self.state.detector.mark_down(&[self.rank], self.now, fault);
+        if let Some(tr) = &mut self.trace {
+            tr.instant("death", self.now, None, Some(midrun_fault_name(fault)), 1);
+        }
+        match fault {
+            // A hung rank keeps its endpoint and queues: only lease
+            // expiry — never a transport error — reveals it.
+            MidRunFault::Hang => {}
+            MidRunFault::Crash | MidRunFault::ContainerKill => {
+                self.state.close_incoming_queues(self.rank);
+                if self.state.attached[self.rank].load(Ordering::Acquire) {
+                    self.state.fabric.detach(self.rank);
+                }
+            }
+        }
+        self.state.poke_all();
+        MpiError::ProcessFailed { peer: self.rank }
+    }
+
+    /// Check a pending operation against the failure state: `Err` if its
+    /// context was revoked or a rank it depends on is convicted dead.
+    /// `peer == None` is a wildcard receive, failed by *any* dead member
+    /// of the context. Cheap on healthy runs: one relaxed epoch load.
+    pub(crate) fn check_op_failure(
+        &mut self,
+        ctx: u32,
+        peer: Option<usize>,
+    ) -> Result<(), MpiError> {
+        if !self.revoked.is_empty() && self.revoked.contains(&ctx) {
+            return Err(MpiError::Revoked);
+        }
+        if self.state.detector.epoch() == 0 {
+            return Ok(());
+        }
+        let death = match peer {
+            Some(p) if p != self.rank => self.state.detector.is_down(p),
+            Some(_) => None,
+            None => {
+                let members = self.ctx_members.get(&ctx);
+                let detector = &self.state.detector;
+                match members {
+                    Some(m) => m
+                        .iter()
+                        .filter(|&&r| r != self.rank)
+                        .find_map(|&r| detector.is_down(r)),
+                    None => (0..self.n)
+                        .filter(|&r| r != self.rank)
+                        .find_map(|r| detector.is_down(r)),
+                }
+            }
+        };
+        if let Some(d) = death {
+            self.convict(d);
+            return Err(MpiError::ProcessFailed { peer: d.rank });
+        }
+        Ok(())
+    }
+
+    /// Ledger a conviction: advance the clock to the deterministic
+    /// conviction time (death + lease) and, on first observation of this
+    /// peer's death, record suspicion/conviction stats and trace events.
+    pub(crate) fn convict(&mut self, d: Death) {
+        let convict_at = self.state.detector.convict_time(&d);
+        self.now = self.now.max(convict_at);
+        if self.convicted_seen.insert(d.rank) {
+            self.state.detector.suspect(self.rank, d.rank);
+            self.stats.recovery.suspicions += 1;
+            self.stats.recovery.convictions += 1;
+            self.stats.recovery.detect_ns = self
+                .stats
+                .recovery
+                .detect_ns
+                .max(self.now.as_ns() - d.at.as_ns());
+            if let Some(tr) = &mut self.trace {
+                tr.instant("suspect", convict_at, Some(d.rank), None, 1);
+                tr.instant(
+                    "convict",
+                    self.now,
+                    Some(d.rank),
+                    Some(midrun_fault_name(d.kind)),
+                    1,
+                );
+            }
+        }
+    }
+
+    /// Mark `ctx` revoked locally, pairing the user world context and the
+    /// collective-internal context (they are one communicator). Returns
+    /// whether `ctx` itself was freshly marked.
+    pub(crate) fn mark_revoked(&mut self, ctx: u32) -> bool {
+        let fresh = self.revoked.insert(ctx);
+        if ctx == CTX_COLL {
+            self.revoked.insert(CTX_WORLD);
+        } else if ctx == CTX_WORLD {
+            self.revoked.insert(CTX_COLL);
+        }
+        fresh
+    }
+
+    /// Process an incoming revocation notice: the first receipt marks
+    /// the context revoked and re-floods the notice (mark-first, so the
+    /// flood terminates); repeats are dropped.
+    fn handle_revoke_packet(&mut self, ctx: u32) {
+        if !self.mark_revoked(ctx) {
+            return;
+        }
+        self.stats.recovery.revokes += 1;
+        if let Some(tr) = &mut self.trace {
+            tr.instant("revoke", self.now, None, None, 1);
+        }
+        self.flood_revoke(ctx);
+    }
+
+    /// Push the revocation notice for `ctx` to every member's mailbox
+    /// (best effort: dead peers' mailboxes absorb it harmlessly). The
+    /// flood is out-of-band control traffic — every receiver re-floods
+    /// once, so the notice survives the originator dying mid-flood.
+    pub(crate) fn flood_revoke(&mut self, ctx: u32) {
+        let members: Vec<usize> = match self.ctx_members.get(&ctx) {
+            Some(m) => m.clone(),
+            None => (0..self.n).collect(),
+        };
+        let t = self.now + SimTime::from_ns(self.state.cost.shm_post_ns);
+        for dst in members {
+            if dst == self.rank {
+                continue;
+            }
+            self.state.cells[dst].push(Packet {
+                src: self.rank,
+                channel: Channel::Shm,
+                available_at: t,
+                kind: PacketKind::Revoke { ctx },
+                data: Bytes::new(),
+            });
+        }
+    }
+
     /// Ledger a data transfer this rank initiated: the aggregate channel
     /// counters (Table I) always, plus the per-peer matrix row when
     /// profiling.
@@ -838,6 +1135,12 @@ impl Mpi {
 
     /// Drain the fabric endpoint and the mailbox, handling every packet.
     pub(crate) fn progress(&mut self) {
+        // Renew this rank's liveness lease. Gated on `ft_active` so
+        // healthy jobs never touch the detector's atomics; a dead rank
+        // must not resurrect itself.
+        if self.ft_active && !self.dead {
+            self.state.detector.beat(self.rank, self.now);
+        }
         // Poll the fabric only when its notifier has signalled a delivery
         // since the last drain. A delivery between the swap and the poll
         // is not lost: the notifier re-raises the flag and pokes the
@@ -946,11 +1249,17 @@ impl Mpi {
             PacketKind::Cts { sreq, rreq } => self.handle_cts(&pkt, sreq, rreq),
             PacketKind::RndvData { rreq } => self.handle_rndv_data(pkt, rreq),
             PacketKind::Fin { sreq } => {
+                // A late FIN for a send we already completed in error
+                // (peer convicted dead / context revoked) has no request
+                // to finish: drop it.
+                if self.cancelled.contains(&sreq) {
+                    return;
+                }
                 let st = self
                     .sends
                     .remove(&sreq)
                     .expect("FIN for unknown send request");
-                let SendState::AwaitFin { ctx, cts_at } = st else {
+                let SendState::AwaitFin { ctx, cts_at, .. } = st else {
                     panic!("FIN for a send not awaiting one: {st:?}");
                 };
                 self.sends.insert(
@@ -962,6 +1271,7 @@ impl Mpi {
                     },
                 );
             }
+            PacketKind::Revoke { ctx } => self.handle_revoke_packet(ctx),
         }
     }
 
@@ -1045,6 +1355,11 @@ impl Mpi {
 
     /// The sender's CTS handler: dispatch the parked payload.
     fn handle_cts(&mut self, pkt: &Packet, sreq: ReqId, rreq: ReqId) {
+        // The send was already completed in error: the parked payload is
+        // gone and the receiver (dead or revoked with us) gets nothing.
+        if self.cancelled.contains(&sreq) {
+            return;
+        }
         let st = self
             .sends
             .remove(&sreq)
@@ -1065,6 +1380,7 @@ impl Mpi {
         self.sends.insert(
             sreq,
             SendState::AwaitFin {
+                dst,
                 ctx,
                 cts_at: pkt.available_at,
             },
@@ -1074,6 +1390,12 @@ impl Mpi {
     /// The receiver's payload handler: charge the transfer, complete the
     /// receive, notify the sender.
     fn handle_rndv_data(&mut self, pkt: Packet, rreq: ReqId) {
+        // The receive was already completed in error; its sender either
+        // died (no FIN owed) or will fail out of its own wait via the
+        // revoked-context check, so dropping the payload cannot hang it.
+        if self.cancelled.contains(&rreq) {
+            return;
+        }
         let st = self
             .recvs
             .remove(&rreq)
@@ -1160,7 +1482,9 @@ impl Mpi {
                     data,
                 };
                 let (imm, wire) = pkt.encode();
-                self.hca_post_with_retry(dst, imm, wire, t, "HCA control send");
+                // Control traffic to a rank that died mid-run is dropped:
+                // nothing the dead rank will ever do depends on it.
+                let _ = self.try_hca_post(dst, imm, wire, t, "HCA control send");
             }
         }
     }
@@ -1168,31 +1492,39 @@ impl Mpi {
     /// Post a fabric send, absorbing transient completion errors with a
     /// bounded, exponentially backed-off repost. Each failed attempt
     /// pushes the (virtual) post time out by one more doorbell interval.
+    /// A post to a peer that crashed mid-run returns `None` — MPI send
+    /// completion is *local*, so a message dropped on the floor because
+    /// its receiver is gone still completed successfully at the sender.
     ///
     /// # Panics
     /// Panics on permanent fabric errors (unattached endpoint — the
     /// container was not privileged) and when the retry budget runs out.
-    pub(crate) fn hca_post_with_retry(
+    pub(crate) fn try_hca_post(
         &mut self,
         dst: usize,
         imm: u32,
         wire: Bytes,
         mut t: SimTime,
         what: &'static str,
-    ) -> SendInfo {
+    ) -> Option<SendInfo> {
         for attempt in 0..MAX_SEND_ATTEMPTS {
             match self
                 .state
                 .fabric
                 .post_send(self.rank, dst, imm, wire.clone(), t)
             {
-                Ok(info) => return info,
+                Ok(info) => return Some(info),
                 Err(FabricError::TransientCompletion { .. }) => {
                     self.stats.recovery.send_retries += 1;
                     if let Some(tr) = &mut self.trace {
                         tr.instant("send-retry", t, Some(dst), None, 1);
                     }
                     t += SimTime::from_ns(self.state.cost.hca_post_ns << attempt.min(8));
+                }
+                Err(FabricError::NotAttached(r))
+                    if r == dst && self.state.detector.is_down(dst).is_some() =>
+                {
+                    return None;
                 }
                 Err(e) => panic!("{what} failed: {e} (is the container privileged?)"),
             }

@@ -86,10 +86,25 @@ pub struct RecoveryStats {
     pub send_retries: u64,
     /// Peers downgraded from intra-host channels (SHM/CMA) to the HCA.
     pub hca_downgrades: u64,
+    /// Peers this rank locally suspected after an expired heartbeat lease.
+    pub suspicions: u64,
+    /// Peers this rank convicted dead (lease expiry confirmed by the
+    /// job-wide down table).
+    pub convictions: u64,
+    /// Communicator revocations this rank initiated or propagated.
+    pub revokes: u64,
+    /// Survivor communicators this rank adopted via `shrink`.
+    pub shrinks: u64,
+    /// Worst observed detection latency in virtual nanoseconds: the span
+    /// from a peer's death to this rank convicting it. Max-merged, so the
+    /// job-wide value is the slowest detection anywhere.
+    pub detect_ns: u64,
 }
 
 impl RecoveryStats {
-    /// Fieldwise sum.
+    /// Fieldwise sum (detection latency is max-merged: the aggregate
+    /// reports the worst detection anywhere in the job, not a meaningless
+    /// sum of latencies).
     pub fn merge(&mut self, other: &RecoveryStats) {
         self.list_recoveries += other.list_recoveries;
         self.publish_conflicts += other.publish_conflicts;
@@ -97,6 +112,11 @@ impl RecoveryStats {
         self.attach_retries += other.attach_retries;
         self.send_retries += other.send_retries;
         self.hca_downgrades += other.hca_downgrades;
+        self.suspicions += other.suspicions;
+        self.convictions += other.convictions;
+        self.revokes += other.revokes;
+        self.shrinks += other.shrinks;
+        self.detect_ns = self.detect_ns.max(other.detect_ns);
     }
 
     /// `true` when any recovery action was taken.
@@ -328,6 +348,18 @@ impl JobStats {
                 rec.hca_downgrades
             );
         }
+        if rec.convictions > 0 || rec.suspicions > 0 {
+            let _ = writeln!(
+                out,
+                "faults: {} suspicions, {} convictions, {} revokes, {} shrinks, \
+                 worst detection {}",
+                rec.suspicions,
+                rec.convictions,
+                rec.revokes,
+                rec.shrinks,
+                SimTime(rec.detect_ns)
+            );
+        }
         // Top ranks by communication time.
         let mut by_comm: Vec<(usize, SimTime)> = self
             .per_rank
@@ -475,5 +507,35 @@ mod tests {
         assert!(!JobStats::new(vec![CommStats::default()])
             .report()
             .contains("recovery:"));
+    }
+
+    #[test]
+    fn fault_counters_sum_except_detection_latency_which_maxes() {
+        let mut a = CommStats::default();
+        a.recovery.suspicions = 2;
+        a.recovery.convictions = 1;
+        a.recovery.detect_ns = 400_000;
+        let mut b = CommStats::default();
+        b.recovery.suspicions = 1;
+        b.recovery.convictions = 1;
+        b.recovery.revokes = 1;
+        b.recovery.shrinks = 1;
+        b.recovery.detect_ns = 250_000;
+        let js = JobStats::new(vec![a, b]);
+        let rec = js.recovery();
+        assert_eq!(rec.suspicions, 3);
+        assert_eq!(rec.convictions, 2);
+        assert_eq!(rec.revokes, 1);
+        assert_eq!(rec.shrinks, 1);
+        // Max-merge: the job-wide latency is the worst rank's, not a sum.
+        assert_eq!(rec.detect_ns, 400_000);
+        let rep = js.report();
+        assert!(rep.contains("3 suspicions"));
+        assert!(rep.contains("2 convictions"));
+        assert!(rep.contains("worst detection"));
+        // A healthy job reports no fault line at all.
+        assert!(!JobStats::new(vec![CommStats::default()])
+            .report()
+            .contains("faults:"));
     }
 }

@@ -272,6 +272,18 @@ impl Fabric {
         Ok(())
     }
 
+    /// Tear down `rank`'s endpoint (the QP-destroy a dying rank — or its
+    /// container's OOM killer — performs). Subsequent sends addressed to
+    /// the rank fail with [`FabricError::NotAttached`]; packets already
+    /// delivered to its receive queue are dropped with the endpoint.
+    /// Detaching a never-attached rank is a no-op.
+    pub fn detach(&self, rank: usize) {
+        let mut eps = self.endpoints.write();
+        if let Some(slot) = eps.get_mut(rank) {
+            *slot = None;
+        }
+    }
+
     /// Register a wake-up callback invoked whenever a message lands in
     /// `rank`'s receive queue (the MPI progress engine's interrupt).
     pub fn set_notifier(&self, rank: usize, f: Arc<dyn Fn() + Send + Sync>) {

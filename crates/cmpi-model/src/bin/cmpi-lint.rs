@@ -57,6 +57,7 @@ fn main() -> ExitCode {
     let mut violations = Vec::new();
     let mut collectives_src = None;
     let mut packet_src = None;
+    let mut error_src = None;
     for path in &files {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -75,6 +76,8 @@ fn main() -> ExitCode {
             collectives_src = Some(src);
         } else if rel.ends_with("crates/cmpi-core/src/packet.rs") {
             packet_src = Some(src);
+        } else if rel.ends_with("crates/cmpi-core/src/error.rs") {
+            error_src = Some(src);
         }
     }
 
@@ -82,6 +85,13 @@ fn main() -> ExitCode {
         (Some(coll), Some(pkt)) => violations.extend(lint::lint_tag_widths(&coll, &pkt)),
         _ => {
             eprintln!("cmpi-lint: collectives.rs / packet.rs not found for the tag-width rule");
+            return ExitCode::FAILURE;
+        }
+    }
+    match error_src {
+        Some(err) => violations.extend(lint::lint_error_display(&err)),
+        None => {
+            eprintln!("cmpi-lint: error.rs not found for the error-display rule");
             return ExitCode::FAILURE;
         }
     }

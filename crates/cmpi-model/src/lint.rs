@@ -19,6 +19,12 @@
 //!    `TAG_ROUND_BITS`, and `packet.rs` wire discriminants must stay
 //!    distinct, non-zero byte-sized values. `TAG_ROUND_BITS` may be
 //!    defined in exactly one file (single width authority).
+//! 5. **error-display** — every `MpiError` variant must appear in
+//!    `error.rs`'s exhaustive `display_covers_every_variant` test, so a
+//!    new error class cannot ship without a rendering check. (The test's
+//!    own match is wildcard-free and catches this at compile time; the
+//!    lint additionally catches a variant missing from the *value list*
+//!    the test iterates, which the compiler cannot see.)
 //!
 //! Test modules (`#[cfg(test)] mod …` tails) are exempt from rules 2–3;
 //! rule 1 applies everywhere.
@@ -413,6 +419,112 @@ pub fn lint_tag_widths(collectives_src: &str, packet_src: &str) -> Vec<Violation
     out
 }
 
+/// Variant names of `pub enum MpiError`, with the 1-based line each is
+/// declared on. Struct-variant fields (lowercase) and nested lines are
+/// skipped by tracking brace depth inside the enum body.
+fn mpi_error_variants(error_src: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut depth: i32 = -1; // -1: outside the enum
+    for (i, raw) in error_src.lines().enumerate() {
+        let code = code_of(raw);
+        if depth < 0 {
+            if code.contains("enum MpiError") && code.contains('{') {
+                depth = 1;
+            }
+            continue;
+        }
+        if depth == 1 {
+            let t = code.trim_start();
+            let name: String = t
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                out.push((name, i + 1));
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth <= 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Rule 5: every `MpiError` variant appears in the exhaustive
+/// `display_covers_every_variant` test in `error.rs`.
+pub fn lint_error_display(error_src: &str) -> Vec<Violation> {
+    let err_file = "crates/cmpi-core/src/error.rs";
+    let mut out = Vec::new();
+
+    let variants = mpi_error_variants(error_src);
+    if variants.is_empty() {
+        out.push(Violation {
+            file: err_file.to_string(),
+            line: 1,
+            rule: "error-display",
+            msg: "`pub enum MpiError` not found (or has no variants)".into(),
+        });
+        return out;
+    }
+
+    let Some(test_at) = error_src
+        .lines()
+        .position(|l| code_of(l).contains("fn display_covers_every_variant"))
+    else {
+        out.push(Violation {
+            file: err_file.to_string(),
+            line: 1,
+            rule: "error-display",
+            msg: "exhaustive Display test `display_covers_every_variant` not found".into(),
+        });
+        return out;
+    };
+
+    // The test body: from the fn header to its closing brace.
+    let mut body = String::new();
+    let mut depth = 0i32;
+    let mut opened = false;
+    for l in error_src.lines().skip(test_at) {
+        let code = code_of(l);
+        body.push_str(&code);
+        body.push('\n');
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            break;
+        }
+    }
+
+    for (name, line) in &variants {
+        if !has_word(&body, name) {
+            out.push(Violation {
+                file: err_file.to_string(),
+                line: *line,
+                rule: "error-display",
+                msg: format!(
+                    "MpiError::{name} is missing from the `display_covers_every_variant` test"
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,6 +604,63 @@ mod tests {
         let v = lint_file("crates/cmpi-core/src/coll_select.rs", src);
         assert_eq!(rules_of(&v), vec!["tag-width"]);
         assert!(lint_file("crates/cmpi-core/src/collectives.rs", src).is_empty());
+    }
+
+    #[test]
+    fn error_display_rule_flags_untested_variants() {
+        let covered = concat!(
+            "pub enum MpiError {\n",
+            "    Truncated { msg_len: usize, buf_len: usize },\n",
+            "    Revoked,\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn display_covers_every_variant() {\n",
+            "        let _ = MpiError::Truncated { msg_len: 1, buf_len: 2 };\n",
+            "        let _ = MpiError::Revoked;\n",
+            "    }\n",
+            "}\n",
+        );
+        assert!(lint_error_display(covered).is_empty());
+
+        // Drop `Revoked` from the test body: the rule pins the variant's
+        // declaration line.
+        let missing = covered.replace("let _ = MpiError::Revoked;\n", "");
+        let v = lint_error_display(&missing);
+        assert_eq!(rules_of(&v), vec!["error-display"]);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].msg.contains("Revoked"));
+
+        // No enum / no test at all are violations, not silent passes.
+        assert_eq!(
+            rules_of(&lint_error_display("fn f() {}\n")),
+            vec!["error-display"]
+        );
+        let no_test = "pub enum MpiError { Revoked }\n";
+        let v = lint_error_display(no_test);
+        assert_eq!(rules_of(&v), vec!["error-display"]);
+        assert!(v[0].msg.contains("not found"));
+    }
+
+    #[test]
+    fn error_display_variant_parser_skips_fields_and_nested_lines() {
+        let src = concat!(
+            "pub enum MpiError {\n",
+            "    /// doc\n",
+            "    Fabric(FabricError),\n",
+            "    StaleSegment {\n",
+            "        host: u32,\n",
+            "        generation: u64,\n",
+            "    },\n",
+            "    Revoked,\n",
+            "}\n",
+        );
+        let names: Vec<String> = mpi_error_variants(src)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, vec!["Fabric", "StaleSegment", "Revoked"]);
     }
 
     #[test]

@@ -202,6 +202,13 @@ impl PairQueue {
         }
     }
 
+    /// `true` once [`PairQueue::close`] ran. Senders spinning on
+    /// [`PairQueue::try_acquire`] poll this to stop chunking into a dead
+    /// receiver instead of retrying forever.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
     /// Tear the queue down; blocked senders observe `Err`.
     pub fn close(&self) {
         let mut s = self.state.lock();

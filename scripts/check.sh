@@ -8,12 +8,17 @@
 #   profile   profile-smoke: profiled OSU + figures --profile runs, with
 #             JSON parse and matrix byte-conservation asserted inside
 #   bench     benches compile; bench_ledger smoke run round-trips its JSON
+#   chaos     chaos-midrun: mid-run crash / hang / container-kill runs in
+#             release mode (detector conviction, revoke/shrink recovery,
+#             deterministic FT Graph 500 answers) plus the failure-detector
+#             convergence property test
 #   model     exhaustive interleaving + race-detector checks: the checker's
 #             own suite, then the shim-ported hot-path structures under
 #             --cfg cmpi_model (separate target dir so the normal build
 #             cache survives)
 #   lint      cmpi-lint repo rules: SAFETY comments, relaxed-ok
-#             justifications, hot-path unwrap ban, tag field widths
+#             justifications, hot-path unwrap ban, tag field widths,
+#             MpiError Display-test coverage
 #   clippy    all targets, warnings are errors
 #   fmt       rustfmt in check mode
 set -euo pipefail
@@ -46,6 +51,10 @@ cargo run --release --quiet -p cmpi-bench --bin bench_ledger -- --smoke \
   --out target/bench_smoke.json >/dev/null
 python3 -c "import json; json.load(open('target/bench_smoke.json'))" 2>/dev/null \
   || grep -q '"schema"' target/bench_smoke.json
+
+echo "== chaos-midrun (crash / hang / container-kill + detector property test)" >&2
+cargo test -q --release --test chaos_midrun
+cargo test -q --release -p cmpi-core --test failure_proptest
 
 echo "== model checker (normal cfg self-tests)" >&2
 cargo test -q -p cmpi-model

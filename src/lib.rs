@@ -55,12 +55,12 @@ pub use cmpi_pgas as pgas;
 /// The most common imports in one place.
 pub mod prelude {
     pub use cmpi_cluster::{
-        Channel, ContainerId, CostModel, DeploymentScenario, FaultPlan, HostId, NamespaceSharing,
-        SimTime, Tunables,
+        Channel, ContainerId, CostModel, DeploymentScenario, FaultPlan, HostId, MidRunFault,
+        MidRunTrigger, NamespaceSharing, SimTime, Tunables,
     };
     pub use cmpi_core::{
-        CallClass, Completion, DowngradeReason, JobProfile, JobResult, JobSpec, JobTrace,
-        LocalityPolicy, Mpi, RecoveryStats, ReduceOp, Request, Status, WaitClass, Window,
-        ANY_SOURCE, ANY_TAG,
+        CallClass, Comm, Completion, DowngradeReason, JobProfile, JobResult, JobSpec, JobTrace,
+        LocalityPolicy, Mpi, MpiError, RecoveryStats, ReduceOp, Request, Status, WaitClass, Window,
+        ANY_SOURCE, ANY_TAG, FAILURE_LEASE,
     };
 }

@@ -1,0 +1,345 @@
+//! Mid-run chaos suite: ranks die *while the job is running* — process
+//! crash, hung rank, whole-container kill — and the job survives through
+//! the failure detector + ULFM revoke/shrink/agree path.
+//!
+//! The determinism contract at this layer is the *recovery boundary*:
+//! deaths are self-inflicted at the dying rank's own deterministic call
+//! boundary, but rendezvous handshakes straddling a death can resolve
+//! either way in real time. So these tests assert result values, survivor
+//! membership and error values — which must be bit-identical across runs
+//! — and never timings, context ids or scheduling-dependent stats.
+
+use bytes::Bytes;
+use container_mpi::apps::graph500::{self, FtRankOutcome, Graph500Config};
+use container_mpi::prelude::*;
+
+fn cfg() -> Graph500Config {
+    Graph500Config {
+        scale: 9,
+        edgefactor: 8,
+        num_roots: 2,
+        ..Default::default()
+    }
+}
+
+/// The acceptance-scale scenario: 32 ranks as 2 hosts x 4 containers x 4
+/// ranks. Container c holds ranks 4c..4c+4; containers 0-3 are on host 0.
+fn acceptance() -> DeploymentScenario {
+    DeploymentScenario::containers(2, 4, 4, NamespaceSharing::default())
+}
+
+type FtResults = Vec<Result<FtRankOutcome, MpiError>>;
+
+fn run_ft(
+    scenario: DeploymentScenario,
+    plan: FaultPlan,
+) -> (FtResults, JobResult<Result<FtRankOutcome, MpiError>>) {
+    let r = graph500::run_ft(&JobSpec::new(scenario).with_faults(plan), cfg());
+    (r.results.clone(), r)
+}
+
+/// The core mid-run robustness check, shared by the three fault classes:
+/// survivors complete with one agreed outcome, the doomed ranks report
+/// their own death, and the whole result vector is identical across runs.
+fn assert_survivable(
+    scenario: DeploymentScenario,
+    plan: FaultPlan,
+    doomed: &[usize],
+) -> JobResult<Result<FtRankOutcome, MpiError>> {
+    let n = scenario.num_ranks();
+    let clean = graph500::run_ft(&JobSpec::new(scenario.clone()), cfg());
+    let (a, job) = run_ft(scenario.clone(), plan.clone());
+    let (b, _) = run_ft(scenario, plan);
+
+    // Recovery-boundary determinism: the full per-rank outcome vector
+    // (values and error values alike) is identical run to run.
+    assert_eq!(a, b, "mid-run fault recovery must be deterministic");
+
+    let survivors: Vec<usize> = (0..n).filter(|r| !doomed.contains(r)).collect();
+    for &d in doomed {
+        assert_eq!(
+            a[d],
+            Err(MpiError::ProcessFailed { peer: d }),
+            "doomed rank {d} must report its own death"
+        );
+    }
+    let reference = a[survivors[0]]
+        .as_ref()
+        .expect("survivor failed to recover");
+    assert_eq!(
+        reference.comm_ranks, survivors,
+        "shrunk communicator must hold exactly the survivors"
+    );
+    assert!(reference.recoveries >= 1, "no recovery cycle recorded");
+    for &s in &survivors {
+        assert_eq!(
+            a[s].as_ref().expect("survivor failed to recover"),
+            reference,
+            "survivor {s} disagreed on the agreed outcome"
+        );
+    }
+    // The reached-vertex count per root is a property of the graph, not
+    // of the partition: it must match the fault-free run exactly even
+    // though the survivors repartitioned the graph.
+    let clean_out = clean.results[0].as_ref().expect("clean run failed");
+    assert_eq!(
+        reference.reached, clean_out.reached,
+        "recomputed BFS diverged from the fault-free answer"
+    );
+    job
+}
+
+/// Detection happened, and in bounded virtual time: conviction is lease
+/// expiry, so the worst detection latency sits between one lease and a
+/// small multiple of it (slack for the convicting rank's own clock).
+fn assert_bounded_detection(rec: &RecoveryStats, survivors: u64) {
+    assert!(
+        rec.convictions >= survivors,
+        "every survivor must convict the dead: {rec:?}"
+    );
+    assert!(rec.suspicions >= survivors, "{rec:?}");
+    assert!(rec.revokes >= survivors, "{rec:?}");
+    assert!(rec.shrinks >= survivors, "{rec:?}");
+    let lease = FAILURE_LEASE.as_ns();
+    assert!(
+        rec.detect_ns >= lease,
+        "conviction cannot precede lease expiry: {rec:?}"
+    );
+    assert!(
+        rec.detect_ns < 100 * lease,
+        "detection latency unbounded: {rec:?}"
+    );
+}
+
+#[test]
+fn graph500_survives_a_midrun_rank_crash() {
+    let doomed = 20usize; // container 5, host 1
+    let plan = FaultPlan::none().with_crash(doomed, MidRunTrigger::AfterOps(50));
+    let job = assert_survivable(acceptance(), plan, &[doomed]);
+    assert_bounded_detection(&job.stats.recovery(), 31);
+}
+
+#[test]
+fn graph500_survives_a_hung_rank() {
+    // A hung rank keeps its queues open and its endpoint attached: no
+    // transport error ever fires, only lease expiry reveals it.
+    let doomed = 9usize; // container 2, host 0
+    let plan = FaultPlan::none().with_hang(doomed, MidRunTrigger::AfterOps(70));
+    let job = assert_survivable(acceptance(), plan, &[doomed]);
+    assert_bounded_detection(&job.stats.recovery(), 31);
+}
+
+#[test]
+fn graph500_survives_a_whole_container_kill() {
+    // Container 5 = ranks 20..24, all on host 1: four deaths, one shrink.
+    let plan = FaultPlan::none().with_container_kill(ContainerId(5), MidRunTrigger::AfterOps(60));
+    let job = assert_survivable(acceptance(), plan, &[20, 21, 22, 23]);
+    assert_bounded_detection(&job.stats.recovery(), 28);
+}
+
+#[test]
+fn pending_operations_on_a_dead_peer_error_instead_of_hanging() {
+    // 4 ranks in 2 containers; rank 1 crashes at its 3rd MPI call. Every
+    // blocked-operation shape — exact-source recv, wildcard recv,
+    // rendezvous send — must finish with ProcessFailed, and an eager send
+    // to the corpse must still complete locally (MPI local-completion
+    // semantics: a send is complete when the buffer is reusable).
+    let scenario = DeploymentScenario::containers(1, 2, 2, NamespaceSharing::default());
+    let plan = FaultPlan::none().with_crash(1, MidRunTrigger::AfterOps(3));
+    let run = || {
+        JobSpec::new(scenario.clone())
+            .with_faults(plan.clone())
+            .run_ft(|mpi| -> Result<&'static str, MpiError> {
+                match mpi.rank() {
+                    0 => {
+                        // Two eager messages arrive before the crash...
+                        let (m1, _) = mpi.try_recv_bytes(1, 7)?;
+                        let (m2, _) = mpi.try_recv_bytes(1, 7)?;
+                        assert_eq!((m1.as_ref(), m2.as_ref()), (&b"a"[..], &b"b"[..]));
+                        // ...the third blocks on a corpse and must error.
+                        match mpi.try_recv_bytes(1, 7) {
+                            Err(MpiError::ProcessFailed { peer: 1 }) => Ok("recv-errored"),
+                            other => panic!("exact-source recv on dead peer: {other:?}"),
+                        }
+                    }
+                    1 => {
+                        mpi.try_send_bytes(Bytes::from_static(b"a"), 0, 7)?;
+                        mpi.try_send_bytes(Bytes::from_static(b"b"), 0, 7)?;
+                        // Third call boundary: the scripted crash fires.
+                        let e = mpi
+                            .try_send_bytes(Bytes::from_static(b"c"), 0, 7)
+                            .expect_err("scripted crash did not fire");
+                        Err(e)
+                    }
+                    2 => {
+                        // A posted wildcard receive matching the dead rank
+                        // (nobody else ever sends to us) must drain in
+                        // error, not leak.
+                        let req = mpi.irecv_bytes(ANY_SOURCE, ANY_TAG);
+                        match mpi.try_wait(req) {
+                            Err(MpiError::ProcessFailed { peer: 1 }) => Ok("wildcard-errored"),
+                            other => panic!("wildcard recv with dead peer: {other:?}"),
+                        }
+                    }
+                    _ => {
+                        // Rendezvous-sized send to the corpse: no CTS will
+                        // ever come, the wait must error...
+                        let big = Bytes::from(vec![0x5au8; 64 * 1024]);
+                        match mpi.try_send_bytes(big, 1, 9) {
+                            Err(MpiError::ProcessFailed { peer: 1 }) => {}
+                            other => panic!("rendezvous send to dead peer: {other:?}"),
+                        }
+                        // ...while an eager send to the same corpse is a
+                        // successful local completion.
+                        mpi.try_send_bytes(Bytes::from_static(b"x"), 1, 9)?;
+                        Ok("send-errored-then-eager-ok")
+                    }
+                }
+            })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.results[0], Ok("recv-errored"));
+    assert_eq!(a.results[1], Err(MpiError::ProcessFailed { peer: 1 }));
+    assert_eq!(a.results[2], Ok("wildcard-errored"));
+    assert_eq!(a.results[3], Ok("send-errored-then-eager-ok"));
+    let rec = a.stats.recovery();
+    assert!(rec.convictions >= 3, "{rec:?}");
+    assert!(rec.detect_ns >= FAILURE_LEASE.as_ns(), "{rec:?}");
+}
+
+#[test]
+fn collectives_on_a_revoked_communicator_fail_fast_at_every_member() {
+    // No deaths at all: rank 0 revokes the world communicator before
+    // touching the collective, so the others block inside it until the
+    // revocation flood reaches them. Every member must fail fast with
+    // Revoked — and a subsequent shrink (same membership, fresh context)
+    // must restore working collectives.
+    let scenario = DeploymentScenario::containers(1, 2, 4, NamespaceSharing::default());
+    let run = || {
+        JobSpec::new(scenario.clone()).run_ft(|mpi| -> Result<(Vec<usize>, u64), MpiError> {
+            let world = mpi.comm_world();
+            if mpi.rank() == 0 {
+                mpi.revoke(&world);
+            }
+            let err = mpi
+                .try_allreduce_one(&world, 1u64, ReduceOp::Sum)
+                .expect_err("collective on a revoked communicator succeeded");
+            assert_eq!(err, MpiError::Revoked, "wrong fail-fast error");
+            // Revocation is sticky: later operations fail instantly too.
+            assert!(mpi.is_revoked(&world));
+            assert_eq!(
+                mpi.try_barrier_comm(&world),
+                Err(MpiError::Revoked),
+                "revocation must be sticky"
+            );
+            // Shrink (nobody died, membership is unchanged) and recover.
+            let fixed = mpi.try_shrink(&world)?;
+            let sum = mpi.try_allreduce_one(&fixed, mpi.rank() as u64 + 1, ReduceOp::Sum)?;
+            Ok((fixed.ranks().to_vec(), sum))
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.results, b.results);
+    let everyone: Vec<usize> = (0..8).collect();
+    for r in &a.results {
+        let (ranks, sum) = r.as_ref().expect("recovery after revoke failed");
+        assert_eq!(ranks, &everyone, "shrink without deaths changed membership");
+        assert_eq!(*sum, 36, "collective on the shrunk communicator is wrong");
+    }
+    assert_eq!(a.stats.recovery().convictions, 0, "nobody died");
+    assert!(a.stats.recovery().revokes >= 8);
+}
+
+#[test]
+fn shrunk_communicator_rederives_locality_topology() {
+    // Kill a whole container; the surviving communicator's re-derived
+    // collective groups must cover exactly the survivors and preserve the
+    // container partition (no dead rank lingers in any group).
+    let scenario = DeploymentScenario::containers(1, 2, 4, NamespaceSharing::default());
+    let plan = FaultPlan::none().with_container_kill(ContainerId(1), MidRunTrigger::AfterOps(4));
+    let r = JobSpec::new(scenario).with_faults(plan).run_ft(
+        |mpi| -> Result<(Vec<Vec<usize>>, bool), MpiError> {
+            let world = mpi.comm_world();
+            // Ranks 4..8 die at their 4th call; survivors grind allreduces
+            // until the failure surfaces, then recover.
+            let mut comm = world.clone();
+            loop {
+                match mpi.try_allreduce_one(&comm, 1u64, ReduceOp::Sum) {
+                    Ok(_) => {
+                        if comm.size() == 4 {
+                            let groups = mpi.comm_groups(&comm).expect("no topology recorded");
+                            let hier = mpi.comm_hierarchical(&comm).unwrap();
+                            return Ok((groups, hier));
+                        }
+                    }
+                    Err(MpiError::ProcessFailed { peer }) if peer == mpi.rank() => {
+                        return Err(MpiError::ProcessFailed { peer })
+                    }
+                    Err(MpiError::ProcessFailed { .. } | MpiError::Revoked) => {
+                        mpi.revoke(&comm);
+                        comm = mpi.try_shrink(&comm)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        },
+    );
+    for (rank, out) in r.results.iter().enumerate() {
+        if rank < 4 {
+            let (groups, _) = out.as_ref().expect("survivor failed");
+            let mut members: Vec<usize> = groups.iter().flatten().copied().collect();
+            members.sort_unstable();
+            assert_eq!(members, vec![0, 1, 2, 3], "groups must cover the survivors");
+            for g in groups {
+                for &m in g {
+                    assert!(m < 4, "dead rank {m} lingers in a collective group");
+                }
+            }
+        } else {
+            assert_eq!(*out, Err(MpiError::ProcessFailed { peer: rank }));
+        }
+    }
+}
+
+#[test]
+fn fully_revoked_namespaces_plus_midrun_crash_recovers_on_hca() {
+    // Satellite hardening: container 1 lost BOTH its IPC and PID
+    // namespace sharing (SHM and CMA impossible — all its traffic lands
+    // on the HCA loopback, counted as downgrades), and on top of that a
+    // rank in container 0 crashes mid-run. The job must complete with the
+    // same answers, never abort.
+    let scenario = DeploymentScenario::containers(1, 2, 4, NamespaceSharing::default());
+    let plan = FaultPlan::none()
+        .with_revoked_ipc(ContainerId(1))
+        .with_revoked_pid(ContainerId(1))
+        .with_crash(1, MidRunTrigger::AfterOps(25));
+    let clean = graph500::run_ft(&JobSpec::new(scenario.clone()), cfg());
+    let r = graph500::run_ft(&JobSpec::new(scenario).with_faults(plan), cfg());
+    let survivors: Vec<usize> = (0..8).filter(|&x| x != 1).collect();
+    let out = r.results[0].as_ref().expect("survivor failed to recover");
+    assert_eq!(out.comm_ranks, survivors);
+    for &s in &survivors {
+        assert_eq!(r.results[s].as_ref().unwrap(), out);
+    }
+    assert_eq!(r.results[1], Err(MpiError::ProcessFailed { peer: 1 }));
+    assert_eq!(
+        out.reached,
+        clean.results[0].as_ref().unwrap().reached,
+        "degraded-channel recovery changed the answer"
+    );
+    let rec = r.stats.recovery();
+    // Every cross-container pair downgraded, from both sides.
+    assert!(rec.hca_downgrades >= 32, "{rec:?}");
+    assert!(rec.shrinks >= 7, "{rec:?}");
+    assert!(
+        r.stats.channel_ops(Channel::Hca) > 0,
+        "no HCA fallback traffic"
+    );
+    assert!(
+        r.stats.channel_ops(Channel::Shm) > 0,
+        "intra-container SHM gone"
+    );
+}
