@@ -7,7 +7,7 @@
 //! trajectory is recorded across PRs:
 //!
 //! ```text
-//! bench_ledger [--out PATH] [--baseline PATH] [--smoke]
+//! bench_ledger [--out PATH] [--baseline PATH] [--gate PATH] [--smoke]
 //! ```
 //!
 //! Kernels:
@@ -18,12 +18,24 @@
 //! * `matching_probe_ns_op` — matching-engine post+match pairs with 64
 //!   outstanding receives, ns per pair (the depth makes the seed's O(n)
 //!   scan quadratic and the bucketed engine O(1));
+//! * `probe_storm_ns_op` — iprobe storm against a long-lived engine:
+//!   mostly misses on empty and non-matching buckets, ns per probe (the
+//!   occupancy summaries make a miss a couple of loads);
 //! * `job32_wall_ms` / `job32_msgs_per_sec` — a 32-rank mixed
 //!   pt2pt+collective job (windowed neighbour exchange + allreduce +
 //!   barrier per step), end-to-end wall time.
 //!
 //! With `--baseline` the emitted JSON embeds the baseline's kernels and a
-//! per-kernel `speedup` map (`baseline / current`, so > 1 is faster).
+//! per-kernel `speedup` map (`baseline / current`, so > 1 is faster). A
+//! missing or malformed baseline (including a wrong `schema` field) is a
+//! hard error — a perf run silently losing its reference defeats the
+//! trajectory.
+//!
+//! With `--gate` the run becomes a pass/fail perf gate for CI: kernels
+//! run several times, the best (least-noisy) repetition of each is
+//! compared against the gate baseline, and any kernel more than 10 %
+//! worse fails the process. Best-of-N plus the generous threshold keeps
+//! the gate meaningful on shared, noisy CI machines.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -34,15 +46,21 @@ use cmpi_core::matching::{ArrivedBody, ArrivedMsg, MatchingEngine, PostedRecv};
 use cmpi_core::{JobSpec, ReduceOp};
 use cmpi_prof::Json;
 
+/// Ledger format version; `--baseline`/`--gate` files must match.
+const SCHEMA: &str = "cmpi-bench-ledger.v1";
+
 struct Config {
     out: Option<String>,
     baseline: Option<String>,
+    gate: Option<String>,
     smoke: bool,
     pressure: bool,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_ledger [--out PATH] [--baseline PATH] [--smoke] [--pressure]");
+    eprintln!(
+        "usage: bench_ledger [--out PATH] [--baseline PATH] [--gate PATH] [--smoke] [--pressure]"
+    );
     std::process::exit(2)
 }
 
@@ -51,6 +69,7 @@ fn parse_args() -> Config {
     let mut cfg = Config {
         out: None,
         baseline: None,
+        gate: None,
         smoke: false,
         pressure: false,
     };
@@ -63,6 +82,10 @@ fn parse_args() -> Config {
             }
             "--baseline" => {
                 cfg.baseline = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--gate" => {
+                cfg.gate = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             "--smoke" => {
@@ -162,6 +185,60 @@ fn matching_ns_op(depth: u32, rounds: u32) -> f64 {
     t0.elapsed().as_nanos() as f64 / (2.0 * f64::from(depth) * f64::from(rounds))
 }
 
+/// Probe storm against one *long-lived* engine (no per-round rebuild, so
+/// the number isolates probe cost from engine construction). The engine
+/// holds 32 resident unexpected messages in distinct buckets; each round
+/// fires 64 miss-probes — same source with a tag nothing carries, and a
+/// source that never sent — plus one hit-probe so the path is exercised
+/// end to end. Returns ns per probe.
+fn probe_storm_ns_op(rounds: u32) -> f64 {
+    const RESIDENT: u32 = 32;
+    let mut e = MatchingEngine::new();
+    for i in 0..RESIDENT {
+        e.push_unexpected(ArrivedMsg {
+            src: i as usize,
+            ctx: 0,
+            tag: 1000 + i,
+            seq: u64::from(i),
+            body: ArrivedBody::Eager {
+                data: Bytes::from_static(b"x"),
+                ready_at: SimTime::ZERO,
+                arrived_at: SimTime::ZERO,
+            },
+            channel: cmpi_cluster::Channel::Shm,
+        });
+    }
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for r in 0..rounds {
+        for i in 0..RESIDENT {
+            // Non-matching tag on a source that *does* have traffic.
+            if e.peek_unexpected(Some(i as usize), 0, Some(i)).is_some() {
+                hits += 1;
+            }
+            // Source that never sent anything.
+            if e.peek_unexpected(Some(64 + i as usize), 0, Some(1000 + i))
+                .is_some()
+            {
+                hits += 1;
+            }
+        }
+        let j = r % RESIDENT;
+        if e.peek_unexpected(Some(j as usize), 0, Some(1000 + j))
+            .is_some()
+        {
+            hits += 1;
+        }
+    }
+    assert_eq!(
+        hits,
+        u64::from(rounds),
+        "probe storm hit/miss accounting broke"
+    );
+    std::hint::black_box(hits);
+    t0.elapsed().as_nanos() as f64 / (f64::from(2 * RESIDENT + 1) * f64::from(rounds))
+}
+
 /// The 32-rank mixed job: per step every rank exchanges a window of 1 KiB
 /// messages with four neighbours (receives posted out of arrival order to
 /// exercise the matching queues), then allreduces and barriers. Returns
@@ -231,23 +308,96 @@ fn job32(steps: u32, pressure: bool) -> (f64, u64) {
     (wall_ms, msgs)
 }
 
-fn load_baseline(path: &str) -> Option<Vec<(String, f64)>> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let json = Json::parse(&text).ok()?;
-    let kernels = json.get("kernels")?.as_obj()?;
-    Some(
-        kernels
-            .iter()
-            .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
-            .collect(),
-    )
+/// Load a ledger baseline, validating the schema tag. Every failure is a
+/// hard error: a perf comparison that silently runs ungated because its
+/// reference file went missing or stale is how the PR 4 probe regression
+/// slipped through.
+fn load_baseline(path: &str) -> Vec<(String, f64)> {
+    let fail = |why: &str| -> ! {
+        eprintln!("bench_ledger: baseline {path}: {why}");
+        std::process::exit(1)
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read: {e}")));
+    let json = Json::parse(&text).unwrap_or_else(|e| fail(&format!("invalid JSON: {e}")));
+    match json.get("schema").and_then(|s| s.as_str()) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => fail(&format!("schema {s:?} does not match {SCHEMA:?}")),
+        None => fail("missing \"schema\" field"),
+    }
+    let kernels: Vec<(String, f64)> = json
+        .get("kernels")
+        .and_then(|k| k.as_obj())
+        .unwrap_or_else(|| fail("missing \"kernels\" object"))
+        .iter()
+        .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+        .collect();
+    if kernels.is_empty() {
+        fail("\"kernels\" object holds no numeric entries");
+    }
+    kernels
 }
 
-fn main() {
-    let cfg = parse_args();
+/// How many gate repetitions; the best of each kernel is compared, which
+/// filters scheduler noise without demanding a quiet machine.
+const GATE_REPS: usize = 3;
+
+/// Relative slowdown tolerated by the gate before it fails.
+const GATE_TOLERANCE: f64 = 1.10;
+
+/// `true` when larger values of kernel `k` are better.
+fn higher_is_better(k: &str) -> bool {
+    k.ends_with("per_sec")
+}
+
+/// Merge a repetition into the running per-kernel best.
+fn merge_best(best: &mut Vec<(&'static str, f64)>, rep: Vec<(&'static str, f64)>) {
+    if best.is_empty() {
+        *best = rep;
+        return;
+    }
+    for ((bk, bv), (rk, rv)) in best.iter_mut().zip(rep) {
+        assert_eq!(*bk, rk, "kernel order changed between repetitions");
+        *bv = if higher_is_better(bk) {
+            bv.max(rv)
+        } else {
+            bv.min(rv)
+        };
+    }
+}
+
+/// Compare bests against the gate baseline; returns the failure report
+/// lines (empty = pass). Kernels absent from the baseline pass — a new
+/// kernel must be able to land together with its first reference number.
+fn gate_regressions(best: &[(&'static str, f64)], base: &[(String, f64)]) -> Vec<String> {
+    let mut bad = Vec::new();
+    for (k, cur) in best {
+        let Some((_, b)) = base.iter().find(|(bk, _)| bk == k) else {
+            continue;
+        };
+        if *b <= 0.0 {
+            continue;
+        }
+        let slowdown = if higher_is_better(k) {
+            b / cur
+        } else {
+            cur / b
+        };
+        if slowdown > GATE_TOLERANCE {
+            bad.push(format!(
+                "  {k}: {cur:.1} vs baseline {b:.1} ({:.0}% worse, tolerance {:.0}%)",
+                (slowdown - 1.0) * 100.0,
+                (GATE_TOLERANCE - 1.0) * 100.0
+            ));
+        }
+    }
+    bad
+}
+
+/// One full ledger pass; returns every kernel in a stable order.
+fn run_kernels(smoke: bool, pressure: bool) -> Vec<(&'static str, f64)> {
     // Smoke mode keeps CI fast; full mode sizes the kernels so each runs
     // long enough for stable wall-clock numbers on one core.
-    let (pp_iters, match_rounds, steps) = if cfg.smoke {
+    let (pp_iters, match_rounds, steps) = if smoke {
         (50u32, 20u32, 2u32)
     } else {
         (10_000, 5_000, 120)
@@ -259,20 +409,49 @@ fn main() {
     let rndv = pt2pt_ns_op(64 * 1024, pp_iters / 4 + 1);
     eprintln!("bench_ledger: matching probe (depth 64)");
     let probe = matching_ns_op(64, match_rounds);
+    eprintln!("bench_ledger: probe storm (long-lived engine)");
+    let storm = probe_storm_ns_op(match_rounds.saturating_mul(8).max(1_000));
     eprintln!("bench_ledger: 32-rank mixed job ({steps} steps)");
-    let (job_ms, job_msgs) = job32(steps, cfg.pressure);
+    let (job_ms, job_msgs) = job32(steps, pressure);
     let msgs_per_sec = job_msgs as f64 / (job_ms / 1e3);
 
-    let kernels: Vec<(&str, f64)> = vec![
+    vec![
         ("pt2pt_eager_1k_ns_op", eager),
         ("pt2pt_rndv_64k_ns_op", rndv),
         ("matching_probe_ns_op", probe),
+        ("probe_storm_ns_op", storm),
         ("job32_wall_ms", job_ms),
         ("job32_msgs_per_sec", msgs_per_sec),
-    ];
+    ]
+}
+
+fn main() {
+    let cfg = parse_args();
+    // Gate mode: best-of-N repetitions against a mandatory baseline.
+    let kernels = if let Some(gate_path) = &cfg.gate {
+        let base = load_baseline(gate_path);
+        let mut best: Vec<(&'static str, f64)> = Vec::new();
+        for rep in 0..GATE_REPS {
+            eprintln!("bench_ledger: gate repetition {}/{GATE_REPS}", rep + 1);
+            merge_best(&mut best, run_kernels(cfg.smoke, cfg.pressure));
+        }
+        let bad = gate_regressions(&best, &base);
+        if !bad.is_empty() {
+            eprintln!("bench_ledger: PERF GATE FAILED vs {gate_path}:");
+            for line in &bad {
+                eprintln!("{line}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("bench_ledger: perf gate passed vs {gate_path}");
+        best
+    } else {
+        run_kernels(cfg.smoke, cfg.pressure)
+    };
+    let steps = if cfg.smoke { 2 } else { 120 };
 
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"cmpi-bench-ledger.v1\",\n");
+    let _ = writeln!(out, "{{\n  \"schema\": \"{SCHEMA}\",");
     let _ = writeln!(
         out,
         "  \"config\": {{\"smoke\": {}, \"ranks\": 32, \"steps\": {steps}}},",
@@ -286,32 +465,28 @@ fn main() {
     out.push_str("  }");
 
     if let Some(path) = &cfg.baseline {
-        match load_baseline(path) {
-            Some(base) => {
-                out.push_str(",\n  \"baseline\": {\n");
-                for (i, (k, v)) in base.iter().enumerate() {
-                    let comma = if i + 1 < base.len() { "," } else { "" };
-                    let _ = writeln!(out, "    \"{k}\": {v:.1}{comma}");
-                }
-                out.push_str("  },\n  \"speedup\": {\n");
-                // For every kernel where smaller is better (ns/ms), the
-                // speedup is baseline/current; for rates it is inverted.
-                let mut lines = Vec::new();
-                for (k, cur) in &kernels {
-                    if let Some((_, b)) = base.iter().find(|(bk, _)| bk == k) {
-                        let s = if k.ends_with("per_sec") {
-                            cur / b
-                        } else {
-                            b / cur
-                        };
-                        lines.push(format!("    \"{k}\": {s:.2}"));
-                    }
-                }
-                let _ = writeln!(out, "{}", lines.join(",\n"));
-                out.push_str("  }");
-            }
-            None => eprintln!("bench_ledger: could not parse baseline {path}, skipping"),
+        let base = load_baseline(path);
+        out.push_str(",\n  \"baseline\": {\n");
+        for (i, (k, v)) in base.iter().enumerate() {
+            let comma = if i + 1 < base.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{k}\": {v:.1}{comma}");
         }
+        out.push_str("  },\n  \"speedup\": {\n");
+        // For every kernel where smaller is better (ns/ms), the
+        // speedup is baseline/current; for rates it is inverted.
+        let mut lines = Vec::new();
+        for (k, cur) in &kernels {
+            if let Some((_, b)) = base.iter().find(|(bk, _)| bk == k) {
+                let s = if higher_is_better(k) {
+                    cur / b
+                } else {
+                    b / cur
+                };
+                lines.push(format!("    \"{k}\": {s:.2}"));
+            }
+        }
+        let _ = writeln!(out, "{}", lines.join(",\n"));
+        out.push_str("  }");
     }
     out.push_str("\n}\n");
 

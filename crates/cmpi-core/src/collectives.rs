@@ -18,6 +18,8 @@
 //! jobs pick up hierarchical scheduling automatically while the
 //! `Hostname` ("Default") policy degenerates to the flat paths.
 
+use std::sync::Arc;
+
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::coll_select::{coll_trace_name, CollAlgo, CollKind};
@@ -170,7 +172,7 @@ pub(crate) fn policy_groups_of(state: &JobState, n: usize) -> Vec<Vec<usize>> {
 /// phase of every collective, so two phases of one call can never
 /// disagree about who the leader is. Rooted collectives whose root is not
 /// its group's leader shuttle the payload between the two explicitly.
-struct SmpTopo {
+pub(crate) struct SmpTopo {
     groups: Vec<Vec<usize>>,
     my_group: Vec<usize>,
     leaders: Vec<usize>,
@@ -178,6 +180,24 @@ struct SmpTopo {
 }
 
 impl SmpTopo {
+    /// Derive one rank's topology view from the locality groups.
+    pub(crate) fn build(groups: &[Vec<usize>], rank: usize) -> SmpTopo {
+        let groups = groups.to_vec();
+        let my_group = groups
+            .iter()
+            .find(|g| g.contains(&rank))
+            .expect("rank in no group")
+            .clone();
+        let leaders: Vec<usize> = groups.iter().map(|g| g[0]).collect();
+        let my_leader = my_group[0];
+        SmpTopo {
+            groups,
+            my_group,
+            leaders,
+            my_leader,
+        }
+    }
+
     fn leader_of(&self, rank: usize) -> usize {
         self.groups
             .iter()
@@ -244,6 +264,36 @@ impl Mpi {
         let out = rout?;
         sout?;
         Ok(out.0)
+    }
+
+    /// Flat fan-in to `list[0]`: every member posts one empty message to
+    /// the leader and moves on; the leader absorbs them all. On an
+    /// oversubscribed host this beats a tree for synchronization-only
+    /// traffic — members never wait on each other (no intermediate
+    /// park/wake chain), only the leader blocks — mirroring the
+    /// shared-memory flag barrier MVAPICH2 uses for its SMP phase.
+    pub(crate) fn coll_fanin_inner(&mut self, list: &[usize], op_id: u32) {
+        let leader = list[0];
+        if self.rank == leader {
+            for &r in &list[1..] {
+                let _ = self.coll_recv(r, tag(op_id, 0), CTX_COLL);
+            }
+        } else {
+            self.coll_send(Bytes::new(), leader, tag(op_id, 0), CTX_COLL);
+        }
+    }
+
+    /// Flat fan-out from `list[0]`: the leader releases every member with
+    /// one empty message. Counterpart of [`Mpi::coll_fanin_inner`].
+    pub(crate) fn coll_fanout_inner(&mut self, list: &[usize], op_id: u32) {
+        let leader = list[0];
+        if self.rank == leader {
+            for &r in &list[1..] {
+                self.coll_send(Bytes::new(), r, tag(op_id, 1), CTX_COLL);
+            }
+        } else {
+            let _ = self.coll_recv(leader, tag(op_id, 1), CTX_COLL);
+        }
     }
 
     /// Dissemination barrier over an explicit rank list (positions in
@@ -564,8 +614,7 @@ impl Mpi {
         if algo == CollAlgo::TwoLevel {
             self.barrier_smp_inner();
         } else {
-            let list: Vec<usize> = (0..self.n).collect();
-            self.barrier_inner(&list, op::BARRIER);
+            self.with_world_list(|mpi, list| mpi.barrier_inner(list, op::BARRIER));
         }
         self.exit_named(
             CallClass::Collective,
@@ -585,9 +634,9 @@ impl Mpi {
             CollAlgo::TwoLevel => self.bcast_smp_inner(buf, root),
             CollAlgo::Large => self.bcast_scatter_allgather_inner(buf, root),
             CollAlgo::Flat => {
-                let list: Vec<usize> = (0..self.n).collect();
                 let seed = (self.rank == root).then(|| to_bytes(buf));
-                let out = self.bcast_inner(seed, &list, root, op::BCAST);
+                let out =
+                    self.with_world_list(|mpi, list| mpi.bcast_inner(seed, list, root, op::BCAST));
                 if self.rank != root {
                     from_bytes(&out, buf);
                 }
@@ -616,8 +665,7 @@ impl Mpi {
         let acc = if algo == CollAlgo::TwoLevel {
             self.reduce_smp_inner(data, rop, root)
         } else {
-            let list: Vec<usize> = (0..self.n).collect();
-            self.reduce_inner(data, rop, &list, root, op::REDUCE)
+            self.with_world_list(|mpi, list| mpi.reduce_inner(data, rop, list, root, op::REDUCE))
         };
         self.exit_named(
             CallClass::Collective,
@@ -637,10 +685,8 @@ impl Mpi {
         let out = match algo {
             CollAlgo::TwoLevel => self.allreduce_smp_inner(data, rop),
             CollAlgo::Large => self.allreduce_rabenseifner_inner(data, rop),
-            CollAlgo::Flat => {
-                let list: Vec<usize> = (0..self.n).collect();
-                self.allreduce_inner(data, rop, &list, op::ALLREDUCE)
-            }
+            CollAlgo::Flat => self
+                .with_world_list(|mpi, list| mpi.allreduce_inner(data, rop, list, op::ALLREDUCE)),
         };
         self.exit_named(
             CallClass::Collective,
@@ -662,8 +708,9 @@ impl Mpi {
             let all = self.gather_smp_inner(data, root);
             (self.rank == root).then_some(all)
         } else {
-            let list: Vec<usize> = (0..self.n).collect();
-            let parts = self.gather_inner(to_bytes(data), &list, root, op::GATHER);
+            let parts = self.with_world_list(|mpi, list| {
+                mpi.gather_inner(to_bytes(data), list, root, op::GATHER)
+            });
             if self.rank == root {
                 let mut all = zeroed(data.len() * self.n);
                 for (r, b) in parts {
@@ -892,21 +939,13 @@ impl Mpi {
     }
 
     /// Snapshot the leader topology for one two-level call.
-    fn smp_topology(&self) -> SmpTopo {
-        let groups = self.coll_groups.clone();
-        let my_group = groups
-            .iter()
-            .find(|g| g.contains(&self.rank))
-            .expect("rank in no group")
-            .clone();
-        let leaders: Vec<usize> = groups.iter().map(|g| g[0]).collect();
-        let my_leader = my_group[0];
-        SmpTopo {
-            groups,
-            my_group,
-            leaders,
-            my_leader,
-        }
+    /// This rank's two-level topology view. Built once at init (the world
+    /// locality groups never change after that; shrink-produced
+    /// communicators carry their own groups in `ctx_coll`), so every
+    /// collective call pays a refcount bump instead of re-cloning the
+    /// whole group structure.
+    fn smp_topology(&self) -> Arc<SmpTopo> {
+        Arc::clone(&self.smp_topo)
     }
 
     /// Two-level broadcast: root → its group's leader → inter-leader
@@ -1166,9 +1205,10 @@ impl Mpi {
 
     fn barrier_smp_inner(&mut self) {
         let topo = self.smp_topology();
-        // Phase 0: host-local fan-in (empty-payload gather).
+        // Phase 0: host-local flat fan-in (members post-and-go, only the
+        // leader blocks — no intermediate tree hops to schedule).
         if topo.my_group.len() > 1 {
-            let _ = self.gather_inner(Bytes::new(), &topo.my_group, 0, op::SMP_BAR0);
+            self.coll_fanin_inner(&topo.my_group, op::SMP_BAR0);
         }
         // Phase 1: inter-leader dissemination barrier.
         if self.rank == topo.my_leader && topo.leaders.len() > 1 {
@@ -1176,8 +1216,7 @@ impl Mpi {
         }
         // Phase 2: host-local fan-out releases the group.
         if topo.my_group.len() > 1 {
-            let seed = (self.rank == topo.my_leader).then(Bytes::new);
-            let _ = self.bcast_inner(seed, &topo.my_group, 0, op::SMP_BAR2);
+            self.coll_fanout_inner(&topo.my_group, op::SMP_BAR2);
         }
     }
 

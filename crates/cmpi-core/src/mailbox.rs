@@ -37,15 +37,72 @@ use std::cell::UnsafeCell;
 use std::ptr;
 
 use cmpi_model::race;
-use cmpi_model::sync::{
-    quarantine, yield_now, AtomicBool, AtomicPtr, AtomicU64, CondvarSlot, Ordering,
-};
+#[cfg(cmpi_model)]
+use cmpi_model::sync::quarantine;
+use cmpi_model::sync::{yield_now, AtomicBool, AtomicPtr, AtomicU64, CondvarSlot, Ordering};
 
 use crate::packet::Packet;
 
 struct Node {
     next: AtomicPtr<Node>,
     pkt: Option<Packet>,
+}
+
+impl Node {
+    fn boxed(pkt: Option<Packet>) -> Box<Node> {
+        Box::new(Node {
+            next: AtomicPtr::new(ptr::null_mut()),
+            pkt,
+        })
+    }
+}
+
+/// Thread-local recycling of mailbox nodes, so the steady-state push/pop
+/// path performs zero heap allocations per packet.
+///
+/// Each rank thread both produces (its sends push into peers' cells) and
+/// consumes (it pops its own cell), so a per-*thread* free stack
+/// self-balances under request/reply traffic: every node the consumer
+/// unlinks goes back into the pantry the same thread's next push draws
+/// from. No cross-thread handoff means no synchronization — the node's
+/// memory was fully acquired by the pop that retired it, and it stays on
+/// that thread until the Release link store of its next push publishes
+/// it again. Purely one-sided traffic degrades gracefully: a pure sink
+/// caps its pantry at [`PANTRY_MAX`] nodes, a pure source falls back to
+/// the allocator exactly as before.
+///
+/// Disabled under the model checker: `quarantine` must see every retired
+/// node so deferred frees keep race detection sound, and the model's
+/// schedule exploration does not measure allocator pressure anyway.
+#[cfg(not(cmpi_model))]
+mod pantry {
+    use super::Node;
+    use std::cell::RefCell;
+
+    /// Cap on the per-thread free stack; beyond it, retired nodes fall
+    /// back to the allocator.
+    pub(super) const PANTRY_MAX: usize = 256;
+
+    thread_local! {
+        // The boxes ARE the point: recycled nodes keep their heap
+        // address, so a queued Box<Node> hands the exact allocation
+        // back to the next push without a move or a malloc.
+        #[allow(clippy::vec_box)]
+        static PANTRY: RefCell<Vec<Box<Node>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn take() -> Option<Box<Node>> {
+        PANTRY.with(|p| p.borrow_mut().pop())
+    }
+
+    pub(super) fn give(n: Box<Node>) {
+        PANTRY.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < PANTRY_MAX {
+                p.push(n);
+            }
+        });
+    }
 }
 
 /// Vyukov-style intrusive MPSC queue. `push` is wait-free for producers
@@ -73,22 +130,27 @@ unsafe impl Sync for MpscQueue {}
 
 impl MpscQueue {
     fn new() -> Self {
-        let stub = Box::into_raw(Box::new(Node {
-            next: AtomicPtr::new(ptr::null_mut()),
-            pkt: None,
-        }));
+        let stub = Box::into_raw(Node::boxed(None));
         MpscQueue {
             head: AtomicPtr::new(stub),
             tail: UnsafeCell::new(stub),
         }
     }
 
-    /// Multi-producer push: link `pkt` at the head.
+    /// Multi-producer push: link `pkt` at the head. Steady-state pushes
+    /// reuse pantry nodes and never touch the allocator.
     fn push(&self, pkt: Packet) {
-        let node = Box::into_raw(Box::new(Node {
-            next: AtomicPtr::new(ptr::null_mut()),
-            pkt: Some(pkt),
-        }));
+        #[cfg(not(cmpi_model))]
+        let node = {
+            let mut n = pantry::take().unwrap_or_else(|| Node::boxed(None));
+            // The node is exclusively this thread's until the Release
+            // link store below publishes it, so plain resets suffice.
+            *n.next.get_mut() = ptr::null_mut();
+            n.pkt = Some(pkt);
+            Box::into_raw(n)
+        };
+        #[cfg(cmpi_model)]
+        let node = Box::into_raw(Node::boxed(Some(pkt)));
         // The node's plain fields were just initialized; the model's race
         // detector checks that every later plain access happens-after.
         race::write(node, "mailbox: node init");
@@ -128,9 +190,48 @@ impl MpscQueue {
             race::write(next, "mailbox: pop takes payload");
             let pkt = (*next).pkt.take();
             race::write(tail, "mailbox: pop frees prev tail");
+            #[cfg(cmpi_model)]
             quarantine(Box::from_raw(tail));
+            #[cfg(not(cmpi_model))]
+            pantry::give(Box::from_raw(tail));
             debug_assert!(pkt.is_some(), "non-stub node without a packet");
             pkt
+        }
+    }
+
+    /// Single-consumer batched drain: pop up to `max` ready packets into
+    /// `out` in one chain walk. Hoists the tail bookkeeping out of the
+    /// per-packet loop and lets the caller amortize one buffer across
+    /// every progress tick. Returns the number of packets taken.
+    fn pop_batch(&self, out: &mut Vec<Packet>, max: usize) -> usize {
+        // SAFETY: same single-consumer contract as `pop` — only the
+        // owning rank thread walks `tail`, every `next` hop is an
+        // Acquire load pairing with the producer's Release link store,
+        // and unlinked nodes are exclusively ours to recycle.
+        unsafe {
+            let mut tail = *self.tail.get();
+            let mut taken = 0;
+            while taken < max {
+                let next = (*tail).next.load(Ordering::Acquire);
+                if next.is_null() {
+                    break;
+                }
+                race::write(next, "mailbox: pop takes payload");
+                let pkt = (*next).pkt.take();
+                race::write(tail, "mailbox: pop frees prev tail");
+                #[cfg(cmpi_model)]
+                quarantine(Box::from_raw(tail));
+                #[cfg(not(cmpi_model))]
+                pantry::give(Box::from_raw(tail));
+                tail = next;
+                debug_assert!(pkt.is_some(), "non-stub node without a packet");
+                if let Some(pkt) = pkt {
+                    out.push(pkt);
+                    taken += 1;
+                }
+            }
+            *self.tail.get() = tail;
+            taken
         }
     }
 
@@ -151,7 +252,15 @@ impl Drop for MpscQueue {
         while self.pop().is_some() {}
         // SAFETY: after the drain `tail` points at the last remaining
         // node (the stub or the final popped node), owned solely by us.
-        unsafe { quarantine(Box::from_raw(*self.tail.get())) };
+        #[cfg(cmpi_model)]
+        unsafe {
+            quarantine(Box::from_raw(*self.tail.get()))
+        };
+        #[cfg(not(cmpi_model))]
+        // SAFETY: as above — the final node is solely ours.
+        unsafe {
+            pantry::give(Box::from_raw(*self.tail.get()))
+        };
     }
 }
 
@@ -223,8 +332,16 @@ impl RankCell {
         }
     }
 
+    /// Single-packet pop; production drains go through `pop_batch`, this
+    /// remains for tests exercising the queue one step at a time.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn pop(&self) -> Option<Packet> {
         self.q.pop()
+    }
+
+    /// Batched consumer drain; see [`MpscQueue::pop_batch`].
+    pub(crate) fn pop_batch(&self, out: &mut Vec<Packet>, max: usize) -> usize {
+        self.q.pop_batch(out, max)
     }
 
     /// Park the owning rank until something happens (a packet push, or a

@@ -34,15 +34,41 @@
 //! * wildcard receive vs. unexpected messages: sweep the fronts of the
 //!   buckets whose key the wildcard accepts and take the minimum stamp.
 //!   This is the documented slow path — wildcard receives trade the O(1)
-//!   probe for a scan over the bucket set (drained buckets are swept out
-//!   once they outnumber live entries), still far smaller than the full
-//!   message backlog.
+//!   probe for a scan over the bucket set, still far smaller than the
+//!   full message backlog.
 //!
 //! Because stamps are assigned in arrival/post order, min-stamp selection
-//! reproduces the linear scan's FIFO order exactly; the property test in
-//! `tests/matching_equiv.rs` checks observational equivalence against a
-//! reference linear engine under random interleavings.
+//! reproduces the linear scan's FIFO order exactly; the property tests in
+//! `tests/matching_equiv.rs` check observational equivalence against a
+//! reference linear engine under random interleavings, including
+//! probe-heavy mixes.
+//!
+//! # Occupancy summaries
+//!
+//! Probes dominate many real traffic patterns (`MPI_Iprobe` polling
+//! loops, speculative receives), and most probes miss. Each side
+//! therefore keeps a two-load summary consulted before any map or
+//! sideline work:
+//!
+//! * a **count** of queued entries — zero means the whole side is empty
+//!   and the probe returns after one branch;
+//! * a resettable 128-bit [`KeyFilter`] over the concrete match keys
+//!   present — a filter miss proves the key absent without touching the
+//!   map, so a non-matching probe never walks the wildcard sideline or
+//!   hashes into the bucket table.
+//!
+//! # Allocation discipline
+//!
+//! The single-entry bucket case — by far the common one — is stored
+//! inline ([`Bucket::One`]), so steady-state request/reply traffic
+//! allocates nothing per message. A bucket only *spills* to a
+//! [`VecDeque`] while two or more entries with the same key are queued
+//! simultaneously, and the spill deques are recycled through a small
+//! pool. Buckets are removed from the map the moment they drain (every
+//! bucket present is non-empty — the wildcard sweep relies on this), so
+//! the maps never accumulate tombstones and need no periodic pruning.
 
+use std::collections::hash_map::Entry;
 use std::collections::VecDeque;
 
 use bytes::Bytes;
@@ -151,27 +177,175 @@ fn take_slab(slabs: &mut Vec<Vec<u8>>, total: usize) -> Vec<u8> {
     }
 }
 
-/// When a bucket map holds this many more buckets than live entries,
-/// drained buckets are swept out (amortized; keeps wildcard scans and
-/// memory bounded while letting hot keys reuse their deque allocation).
-const PRUNE_SLACK: usize = 64;
+/// Upper bound on retained spill deques per side; beyond this, drained
+/// deques fall back to the allocator.
+const DEQUE_POOL_MAX: usize = 8;
+
+/// Initial bucket-table capacity per side — sized past the live key set
+/// of the paper-shape jobs so steady-state traffic never rehashes.
+const BUCKETS_PREALLOC: usize = 64;
+
+/// Resettable 128-bit membership filter over concrete match keys.
+///
+/// Two bits (one per 64-bit word) are derived from a single
+/// multiply-xorshift mix of the key. Inserts set bits; removals never clear
+/// them, so a *miss is definitive*: a probe for a key that was never
+/// inserted costs two loads and skips the map entirely, while stale bits
+/// left by removals only cost a false-positive map lookup. The owning
+/// side clears the whole filter whenever its entry count drops to zero —
+/// request/reply traffic drains constantly, so stale bits do not
+/// accumulate over a rank's lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+struct KeyFilter {
+    bits: [u64; 2],
+}
+
+impl KeyFilter {
+    #[inline]
+    fn masks(key: &MatchKey) -> (u64, u64) {
+        // One multiply-xorshift round over the packed key — cheaper than
+        // a full hasher pass, and the filter only needs bit dispersion,
+        // not avalanche quality: a weak mix costs false positives (a
+        // wasted map probe), never correctness.
+        let &(ctx, src, tag) = key;
+        let packed = u64::from(ctx) ^ (src as u64).rotate_left(21) ^ u64::from(tag).rotate_left(42);
+        let mut h = packed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 32;
+        (1u64 << (h & 63), 1u64 << ((h >> 6) & 63))
+    }
+
+    #[inline]
+    fn insert(&mut self, key: &MatchKey) {
+        let (m0, m1) = Self::masks(key);
+        self.bits[0] |= m0;
+        self.bits[1] |= m1;
+    }
+
+    /// `false` proves the key was never inserted since the last clear;
+    /// `true` may be a false positive.
+    #[inline]
+    fn may_contain(&self, key: &MatchKey) -> bool {
+        let (m0, m1) = Self::masks(key);
+        self.bits[0] & m0 != 0 && self.bits[1] & m1 != 0
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.bits = [0; 2];
+    }
+}
+
+/// One matching bucket. The single-entry case stays inline — no heap
+/// allocation for steady-state one-in-one-out traffic; a bucket spills
+/// to a deque only while two or more entries with the same key are
+/// queued simultaneously.
+#[derive(Debug)]
+enum Bucket<T> {
+    /// Exactly one queued entry, stored inline.
+    One(u64, T),
+    /// Spilled: two or more entries arrived before the first drained.
+    /// May transiently hold one entry after a pop; never left empty in
+    /// the map.
+    Many(VecDeque<(u64, T)>),
+}
+
+impl<T> Bucket<T> {
+    fn front_stamp(&self) -> Option<u64> {
+        match self {
+            Bucket::One(s, _) => Some(*s),
+            Bucket::Many(q) => q.front().map(|&(s, _)| s),
+        }
+    }
+
+    fn front(&self) -> Option<&T> {
+        match self {
+            Bucket::One(_, v) => Some(v),
+            Bucket::Many(q) => q.front().map(|(_, v)| v),
+        }
+    }
+}
+
+/// Append to a bucket in stamp order, spilling `One` → `Many` through
+/// the recycled-deque pool when a second simultaneous entry arrives.
+fn bucket_push<T>(
+    map: &mut FastMap<MatchKey, Bucket<T>>,
+    pool: &mut Vec<VecDeque<(u64, T)>>,
+    key: MatchKey,
+    stamp: u64,
+    val: T,
+) {
+    match map.entry(key) {
+        Entry::Vacant(e) => {
+            e.insert(Bucket::One(stamp, val));
+        }
+        Entry::Occupied(mut e) => match e.get_mut() {
+            Bucket::Many(q) => q.push_back((stamp, val)),
+            one => {
+                let mut q = pool.pop().unwrap_or_default();
+                debug_assert!(q.is_empty(), "pooled spill deque must arrive drained");
+                // `one` is `Bucket::One` in this arm; the temporary
+                // empty `Many` never escapes (overwritten below).
+                if let Bucket::One(s0, v0) = std::mem::replace(one, Bucket::Many(VecDeque::new())) {
+                    q.push_back((s0, v0));
+                }
+                q.push_back((stamp, val));
+                *one = Bucket::Many(q);
+            }
+        },
+    }
+}
+
+/// Pop a bucket's front entry, removing the bucket the moment it drains
+/// (upholding the "every present bucket is non-empty" invariant the
+/// wildcard sweep relies on) and recycling spill deques through `pool`.
+fn bucket_pop_front<T>(
+    map: &mut FastMap<MatchKey, Bucket<T>>,
+    pool: &mut Vec<VecDeque<(u64, T)>>,
+    key: MatchKey,
+) -> Option<(u64, T)> {
+    let Entry::Occupied(mut e) = map.entry(key) else {
+        return None;
+    };
+    if let Bucket::Many(q) = e.get_mut() {
+        let out = q.pop_front();
+        if q.is_empty() {
+            if let (Bucket::Many(q), true) = (e.remove(), pool.len() < DEQUE_POOL_MAX) {
+                pool.push(q);
+            }
+        }
+        out
+    } else if let Bucket::One(s, v) = e.remove() {
+        Some((s, v))
+    } else {
+        // Unreachable: the entry is either `Many` (first branch) or
+        // `One` (second); `?`-style degradation instead of a panic.
+        None
+    }
+}
 
 /// Per-rank matching engine.
 ///
-/// Drained buckets are *retained* so a hot `(ctx, src, tag)` stream
-/// reuses its deque allocation instead of churning the allocator; the
-/// wildcard sweep skips empty buckets, and `maybe_prune` sweeps them out
-/// once they outnumber live entries by [`PRUNE_SLACK`].
-#[derive(Debug, Default)]
+/// Both bucket tables are pre-sized, keep their single-entry buckets
+/// inline, and drop drained buckets immediately (spill deques recycle
+/// through small pools), so steady-state matching performs no heap
+/// allocation; per-side counts and the unexpected-side [`KeyFilter`]
+/// short-circuit probes on empty or non-matching state before any map
+/// access.
+#[derive(Debug)]
 pub struct MatchingEngine {
     assemblies: FastMap<(usize, u64), Assembly>,
     /// Arrived messages no posted receive wanted, bucketed by match key;
-    /// entries carry their arrival stamp.
-    unexpected: FastMap<MatchKey, VecDeque<(u64, ArrivedMsg)>>,
+    /// entries carry their arrival stamp. Invariant: every bucket
+    /// present is non-empty.
+    unexpected: FastMap<MatchKey, Bucket<ArrivedMsg>>,
     unexpected_count: usize,
-    /// Fully-specified posted receives, bucketed by match key.
-    posted_exact: FastMap<MatchKey, VecDeque<(u64, PostedRecv)>>,
+    unexpected_filter: KeyFilter,
+    spare_msg_deques: Vec<VecDeque<(u64, ArrivedMsg)>>,
+    /// Fully-specified posted receives, bucketed by match key. Same
+    /// non-empty invariant as `unexpected`.
+    posted_exact: FastMap<MatchKey, Bucket<PostedRecv>>,
     posted_exact_count: usize,
+    spare_recv_deques: Vec<VecDeque<(u64, PostedRecv)>>,
     /// Wildcard posted receives, in post order.
     posted_wild: VecDeque<(u64, PostedRecv)>,
     /// Monotone enqueue stamp shared by both sides; min-stamp selection
@@ -181,24 +355,42 @@ pub struct MatchingEngine {
     slabs: Vec<Vec<u8>>,
 }
 
-/// Sweep drained buckets once they outnumber live entries by
-/// [`PRUNE_SLACK`]. `entries` is the total queued across buckets, an
-/// upper bound on live buckets.
-fn maybe_prune<T>(map: &mut FastMap<MatchKey, VecDeque<T>>, entries: usize) {
-    if map.len() > entries + PRUNE_SLACK {
-        map.retain(|_, q| !q.is_empty());
+impl Default for MatchingEngine {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl MatchingEngine {
-    /// Create an empty engine.
+    /// Create an empty engine with pre-sized bucket tables.
     pub fn new() -> Self {
-        Self::default()
+        MatchingEngine {
+            assemblies: FastMap::default(),
+            unexpected: FastMap::with_capacity_and_hasher(BUCKETS_PREALLOC, Default::default()),
+            unexpected_count: 0,
+            unexpected_filter: KeyFilter::default(),
+            spare_msg_deques: Vec::new(),
+            posted_exact: FastMap::with_capacity_and_hasher(BUCKETS_PREALLOC, Default::default()),
+            posted_exact_count: 0,
+            spare_recv_deques: Vec::new(),
+            posted_wild: VecDeque::new(),
+            stamp: 0,
+            slabs: Vec::new(),
+        }
     }
 
     fn next_stamp(&mut self) -> u64 {
         let s = self.stamp;
-        self.stamp += 1;
+        // Wrap safety: a wrapped stamp of 0 would jump ahead of every
+        // queued entry and break FIFO across the sideline. The counter
+        // is u64 and advances once per enqueue, so even at one enqueue
+        // per nanosecond it takes ~584 years of rank uptime to wrap —
+        // unreachable for any deployment; the debug_assert turns the
+        // impossible wrap into a loud failure in test builds instead of
+        // a silent reorder (wrapping_add keeps `-C overflow-checks`
+        // release builds panic-free on the same impossible edge).
+        debug_assert!(s != u64::MAX, "matching stamp counter wrapped");
+        self.stamp = s.wrapping_add(1);
         s
     }
 
@@ -335,15 +527,29 @@ impl MatchingEngine {
     /// Try to match an arrived message against the posted-receive queue
     /// (FIFO in post order). On a hit the posted receive is consumed.
     pub fn take_matching_posted(&mut self, msg: &ArrivedMsg) -> Option<PostedRecv> {
+        let have_exact = self.posted_exact_count != 0;
+        let have_wild = !self.posted_wild.is_empty();
+        if !have_exact && !have_wild {
+            return None;
+        }
         let key = (msg.ctx, msg.src, msg.tag);
-        let exact_q = self.posted_exact.get_mut(&key);
-        let exact = exact_q.as_deref().and_then(|q| q.front()).map(|&(s, _)| s);
-        let wild = self
-            .posted_wild
-            .iter()
-            .enumerate()
-            .find(|(_, (_, p))| p.matches(msg.src, msg.ctx, msg.tag))
-            .map(|(i, &(s, _))| (i, s));
+        // The count check above already proved the side non-empty; the
+        // map probe itself is the cheapest definitive membership test
+        // (an extra filter pass would hash the key a second time).
+        let exact = if have_exact {
+            self.posted_exact.get(&key).and_then(|b| b.front_stamp())
+        } else {
+            None
+        };
+        let wild = if have_wild {
+            self.posted_wild
+                .iter()
+                .enumerate()
+                .find(|(_, (_, p))| p.matches(msg.src, msg.ctx, msg.tag))
+                .map(|(i, &(s, _))| (i, s))
+        } else {
+            None
+        };
         let take_exact = match (exact, wild) {
             (None, None) => return None,
             (Some(_), None) => true,
@@ -352,53 +558,73 @@ impl MatchingEngine {
         };
         // The selected side was probed non-empty above, so these lookups
         // always succeed; `?` keeps unwrap/expect off the hot path.
-        let p = if take_exact {
-            let (_, p) = exact_q.and_then(|q| q.pop_front())?;
-            self.posted_exact_count -= 1;
-            p
+        if take_exact {
+            let (_, p) =
+                bucket_pop_front(&mut self.posted_exact, &mut self.spare_recv_deques, key)?;
+            self.note_posted_exact_removed();
+            Some(p)
         } else {
             let (i, _) = wild?;
             let (_, p) = self.posted_wild.remove(i)?;
-            p
-        };
-        Some(p)
+            Some(p)
+        }
+    }
+
+    fn note_posted_exact_removed(&mut self) {
+        self.posted_exact_count -= 1;
+    }
+
+    fn note_unexpected_removed(&mut self) {
+        self.unexpected_count -= 1;
+        if self.unexpected_count == 0 {
+            self.unexpected_filter.clear();
+        }
     }
 
     /// Queue an arrived message no posted receive wanted.
     pub fn push_unexpected(&mut self, msg: ArrivedMsg) {
         let s = self.next_stamp();
         let key = (msg.ctx, msg.src, msg.tag);
-        self.unexpected.entry(key).or_default().push_back((s, msg));
+        self.unexpected_filter.insert(&key);
+        bucket_push(
+            &mut self.unexpected,
+            &mut self.spare_msg_deques,
+            key,
+            s,
+            msg,
+        );
         self.unexpected_count += 1;
-        maybe_prune(&mut self.unexpected, self.unexpected_count);
     }
 
-    /// Pop the front of one unexpected bucket. Returns `None` only if the
-    /// key was never probed (callers pass keys from [`find_unexpected`],
-    /// which only returns non-empty buckets).
+    /// Pop the front of one unexpected bucket; `None` when no such
+    /// bucket exists (the map probe is the membership test — callers
+    /// may pass speculative keys).
     fn pop_unexpected(&mut self, key: MatchKey) -> Option<ArrivedMsg> {
-        let q = self.unexpected.get_mut(&key)?;
-        let (_, m) = q.pop_front()?;
-        self.unexpected_count -= 1;
+        let (_, m) = bucket_pop_front(&mut self.unexpected, &mut self.spare_msg_deques, key)?;
+        self.note_unexpected_removed();
         Some(m)
     }
 
     /// First unexpected match for a (possibly wildcarded) receive:
-    /// bucket front for a concrete key, min-stamp sweep over live bucket
-    /// fronts otherwise.
+    /// bucket front for a concrete key, min-stamp sweep over bucket
+    /// fronts otherwise. Empty or filter-missing state returns in a
+    /// couple of loads without touching the map.
     fn find_unexpected(&self, p: &PostedRecv) -> Option<MatchKey> {
+        if self.unexpected_count == 0 {
+            return None;
+        }
         if let (Some(src), Some(tag)) = (p.src, p.tag) {
             let key = (p.ctx, src, tag);
-            return self
-                .unexpected
-                .get(&key)
-                .is_some_and(|q| !q.is_empty())
-                .then_some(key);
+            if !self.unexpected_filter.may_contain(&key) {
+                return None;
+            }
+            // Present implies non-empty (buckets are removed on drain).
+            return self.unexpected.contains_key(&key).then_some(key);
         }
         self.unexpected
             .iter()
             .filter(|(&(ctx, src, tag), _)| p.matches(src, ctx, tag))
-            .filter_map(|(k, q)| q.front().map(|&(s, _)| (s, *k)))
+            .filter_map(|(k, b)| b.front_stamp().map(|s| (s, *k)))
             .min_by_key(|&(s, _)| s)
             .map(|(_, k)| k)
     }
@@ -407,18 +633,33 @@ impl MatchingEngine {
     /// already arrived (FIFO in arrival order); otherwise the receive is
     /// queued.
     pub fn post_recv(&mut self, p: PostedRecv) -> Option<ArrivedMsg> {
-        if let Some(key) = self.find_unexpected(&p) {
-            return self.pop_unexpected(key);
-        }
-        let s = self.next_stamp();
         match (p.src, p.tag) {
             (Some(src), Some(tag)) => {
+                // Concrete key: go straight for the bucket pop rather
+                // than through `find_unexpected` — probing existence
+                // first would hash and walk the same bucket twice; a pop
+                // miss is just as definitive and no more expensive.
                 let key = (p.ctx, src, tag);
-                self.posted_exact.entry(key).or_default().push_back((s, p));
+                if self.unexpected_count != 0 {
+                    if let Some(m) = self.pop_unexpected(key) {
+                        return Some(m);
+                    }
+                }
+                let s = self.next_stamp();
+                bucket_push(
+                    &mut self.posted_exact,
+                    &mut self.spare_recv_deques,
+                    key,
+                    s,
+                    p,
+                );
                 self.posted_exact_count += 1;
-                maybe_prune(&mut self.posted_exact, self.posted_exact_count);
             }
             _ => {
+                if let Some(key) = self.find_unexpected(&p) {
+                    return self.pop_unexpected(key);
+                }
+                let s = self.next_stamp();
                 self.posted_wild.push_back((s, p));
             }
         }
@@ -440,10 +681,7 @@ impl MatchingEngine {
             posted_at: SimTime::ZERO,
         };
         let key = self.find_unexpected(&probe)?;
-        self.unexpected
-            .get(&key)
-            .and_then(|q| q.front())
-            .map(|(_, m)| m)
+        self.unexpected.get(&key).and_then(|b| b.front())
     }
 
     /// Remove a posted receive (used when a blocking receive completes via
@@ -455,14 +693,35 @@ impl MatchingEngine {
             self.posted_wild.remove(i);
             return true;
         }
-        for q in self.posted_exact.values_mut() {
-            if let Some(i) = q.iter().position(|(_, p)| p.rreq == rreq) {
-                q.remove(i);
-                self.posted_exact_count -= 1;
-                return true;
+        let mut hit = None;
+        for (k, b) in self.posted_exact.iter_mut() {
+            match b {
+                Bucket::One(_, p) if p.rreq == rreq => {
+                    hit = Some((*k, true));
+                    break;
+                }
+                Bucket::Many(q) => {
+                    if let Some(i) = q.iter().position(|(_, p)| p.rreq == rreq) {
+                        q.remove(i);
+                        hit = Some((*k, q.is_empty()));
+                        break;
+                    }
+                }
+                _ => {}
             }
         }
-        false
+        let Some((k, drained)) = hit else {
+            return false;
+        };
+        if drained {
+            if let Some(Bucket::Many(q)) = self.posted_exact.remove(&k) {
+                if self.spare_recv_deques.len() < DEQUE_POOL_MAX {
+                    self.spare_recv_deques.push(q);
+                }
+            }
+        }
+        self.note_posted_exact_removed();
+        true
     }
 
     /// Number of queued unexpected messages (diagnostics).
@@ -756,6 +1015,28 @@ mod tests {
     }
 
     #[test]
+    fn cancel_posted_removes_exact_from_spilled_bucket() {
+        let mut e = MatchingEngine::new();
+        for rreq in [1u64, 2, 3] {
+            e.post_recv(PostedRecv {
+                rreq,
+                src: Some(1),
+                ctx: 0,
+                tag: Some(7),
+                posted_at: SimTime::ZERO,
+            });
+        }
+        assert!(e.cancel_posted(2));
+        assert!(!e.cancel_posted(2));
+        // Remaining receives still match FIFO (1 then 3).
+        let m = eager_msg(&mut e, 1, 7, 0, b"x").unwrap();
+        assert_eq!(e.take_matching_posted(&m).unwrap().rreq, 1);
+        let m = eager_msg(&mut e, 1, 7, 1, b"y").unwrap();
+        assert_eq!(e.take_matching_posted(&m).unwrap().rreq, 3);
+        assert!(!e.cancel_posted(1));
+    }
+
+    #[test]
     fn exact_and_wildcard_posted_interleave_in_post_order() {
         let mut e = MatchingEngine::new();
         for (rreq, src, tag) in [
@@ -794,6 +1075,80 @@ mod tests {
         assert_eq!(e.post_recv(wild(1)).unwrap().src, 1);
         assert_eq!(e.post_recv(wild(2)).unwrap().src, 2);
         assert_eq!(e.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn same_key_backlog_spills_then_recycles_the_deque() {
+        let mut e = MatchingEngine::new();
+        for seq in 0..3 {
+            let m = eager_msg(&mut e, 1, 7, seq, b"x").unwrap();
+            e.push_unexpected(m);
+        }
+        // One key, three entries: a single spilled bucket.
+        assert_eq!(e.unexpected.len(), 1);
+        for want in 0..3u64 {
+            let got = e
+                .post_recv(PostedRecv {
+                    rreq: want,
+                    src: Some(1),
+                    ctx: 0,
+                    tag: Some(7),
+                    posted_at: SimTime::ZERO,
+                })
+                .unwrap();
+            assert_eq!(got.seq, want, "spilled bucket must stay FIFO");
+        }
+        // Drained: bucket removed, spill deque recycled, filter reset.
+        assert_eq!(e.unexpected.len(), 0);
+        assert_eq!(e.spare_msg_deques.len(), 1);
+        assert_eq!(e.unexpected_filter.bits, [0, 0]);
+        // The next spill reuses the pooled deque instead of allocating.
+        for seq in 3..5 {
+            let m = eager_msg(&mut e, 2, 9, seq, b"y").unwrap();
+            e.push_unexpected(m);
+        }
+        assert_eq!(e.spare_msg_deques.len(), 0, "spill must draw from pool");
+    }
+
+    #[test]
+    fn drained_buckets_are_removed_immediately() {
+        let mut e = MatchingEngine::new();
+        for src in 0..8 {
+            let m = eager_msg(&mut e, src, 7, src as u64, b"x").unwrap();
+            e.push_unexpected(m);
+        }
+        assert_eq!(e.unexpected.len(), 8);
+        for src in 0..8 {
+            assert!(e
+                .post_recv(PostedRecv {
+                    rreq: src as u64,
+                    src: Some(src),
+                    ctx: 0,
+                    tag: Some(7),
+                    posted_at: SimTime::ZERO,
+                })
+                .is_some());
+            assert_eq!(
+                e.unexpected.len(),
+                8 - src - 1,
+                "bucket must vanish the moment it drains"
+            );
+        }
+        assert_eq!(e.unexpected_filter.bits, [0, 0], "filter resets on empty");
+    }
+
+    #[test]
+    fn key_filter_miss_is_definitive_and_clear_resets() {
+        let mut f = KeyFilter::default();
+        let a = (0u32, 1usize, 7u32);
+        let b = (1u32, 2usize, 9u32);
+        assert!(!f.may_contain(&a));
+        f.insert(&a);
+        assert!(f.may_contain(&a));
+        // A different key may false-positive but these two disperse.
+        assert!(!f.may_contain(&b));
+        f.clear();
+        assert!(!f.may_contain(&a));
     }
 
     #[test]

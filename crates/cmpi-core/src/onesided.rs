@@ -69,8 +69,7 @@ impl Mpi {
         self.state.windows.publish(id, self.rank, Arc::clone(&mr));
         // The registration exchange is collective; the barrier also
         // provides the happens-before edge for the region table.
-        let list: Vec<usize> = (0..self.n).collect();
-        self.barrier_inner(&list, 13);
+        self.with_world_list(|mpi, list| mpi.barrier_inner(list, 13));
         let regions = (0..self.n)
             .map(|r| self.state.windows.region(id, r))
             .collect();
@@ -309,8 +308,7 @@ impl Mpi {
     pub fn fence(&mut self, win: &mut Window) {
         let t0 = self.enter();
         self.drain_pending(win);
-        let list: Vec<usize> = (0..self.n).collect();
-        self.barrier_inner(&list, 14);
+        self.with_world_list(|mpi, list| mpi.barrier_inner(list, 14));
         self.exit(CallClass::OneSided, t0);
     }
 

@@ -2,9 +2,15 @@
 //!
 //! Intra-host channels (SHM/CMA) deliver [`Packet`] values directly
 //! through the receiving rank's mailbox. The HCA channel moves bytes, so
-//! packets crossing it are framed with [`Packet::encode`] and re-assembled
-//! with [`Packet::decode`] — the immediate value carries the protocol
-//! discriminant exactly like MVAPICH2 uses IB immediate data.
+//! packets crossing it are framed with [`Packet::encode_parts`] and
+//! re-assembled with [`Packet::decode_parts`] — the immediate value
+//! carries the protocol discriminant exactly like MVAPICH2 uses IB
+//! immediate data. The frame is split: the fixed-size header travels in
+//! a stack [`WireHeader`] (the WQE's inline segment) while the payload
+//! rides as a reference-counted [`Bytes`] handle, so neither framing nor
+//! unframing copies or allocates for the payload. The single-buffer
+//! [`Packet::encode`]/[`Packet::decode`] forms remain for callers that
+//! want one contiguous frame.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use cmpi_cluster::{Channel, SimTime};
@@ -92,10 +98,113 @@ const K_RNDV: u32 = 4;
 const K_FIN: u32 = 5;
 const K_REVOKE: u32 = 6;
 
+/// Largest encoded header across all [`PacketKind`]s (Eager/Rts: 32
+/// bytes).
+pub const WIRE_HEADER_MAX: usize = 32;
+
+/// The fixed-size encoded header of an HCA frame, held on the stack —
+/// the simulator analogue of posting protocol framing through the WQE's
+/// inline segment instead of a registered buffer. Building and shipping
+/// one never touches the heap.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireHeader {
+    buf: [u8; WIRE_HEADER_MAX],
+    len: u8,
+}
+
+impl WireHeader {
+    /// Copy raw header bytes back into the stack buffer (receive side).
+    ///
+    /// # Panics
+    /// Panics if `bytes` exceeds [`WIRE_HEADER_MAX`] — a corrupt frame.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        let mut h = WireHeader::default();
+        h.put_slice(bytes);
+        h
+    }
+
+    /// The encoded header bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the header is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl BufMut for WireHeader {
+    fn put_slice(&mut self, src: &[u8]) {
+        let at = self.len as usize;
+        self.buf[at..at + src.len()].copy_from_slice(src);
+        self.len += src.len() as u8;
+    }
+}
+
+fn u32_at(b: &[u8], o: usize) -> u32 {
+    let mut w = [0u8; 4];
+    w.copy_from_slice(&b[o..o + 4]);
+    u32::from_le_bytes(w)
+}
+
+fn u64_at(b: &[u8], o: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&b[o..o + 8]);
+    u64::from_le_bytes(w)
+}
+
+/// Parse a [`PacketKind`] out of encoded header bytes.
+fn parse_kind(imm: u32, b: &[u8]) -> PacketKind {
+    match imm {
+        K_EAGER => PacketKind::Eager {
+            ctx: u32_at(b, 0),
+            tag: u32_at(b, 4),
+            seq: u64_at(b, 8),
+            total: u64_at(b, 16),
+            offset: u64_at(b, 24),
+        },
+        K_RTS => PacketKind::Rts {
+            ctx: u32_at(b, 0),
+            tag: u32_at(b, 4),
+            seq: u64_at(b, 8),
+            size: u64_at(b, 16),
+            sreq: u64_at(b, 24),
+        },
+        K_CTS => PacketKind::Cts {
+            sreq: u64_at(b, 0),
+            rreq: u64_at(b, 8),
+        },
+        K_RNDV => PacketKind::RndvData { rreq: u64_at(b, 0) },
+        K_FIN => PacketKind::Fin { sreq: u64_at(b, 0) },
+        K_REVOKE => PacketKind::Revoke { ctx: u32_at(b, 0) },
+        other => panic!("corrupt HCA frame: unknown kind {other}"),
+    }
+}
+
+/// Encoded header length for a given discriminant.
+fn header_len(imm: u32) -> usize {
+    match imm {
+        K_EAGER | K_RTS => 32,
+        K_CTS => 16,
+        K_RNDV | K_FIN => 8,
+        K_REVOKE => 4,
+        other => panic!("corrupt HCA frame: unknown kind {other}"),
+    }
+}
+
 impl Packet {
-    /// Frame the packet for the HCA channel: `(imm, wire bytes)`.
-    pub fn encode(&self) -> (u32, Bytes) {
-        let mut buf = BytesMut::with_capacity(48 + self.data.len());
+    /// Frame the packet for the HCA channel without touching the heap:
+    /// `(imm, header, payload)`. The header lives on the stack and the
+    /// payload handle shares the packet's allocation (refcount bump, no
+    /// copy).
+    pub fn encode_parts(&self) -> (u32, WireHeader, Bytes) {
+        let mut hdr = WireHeader::default();
         let imm = match self.kind {
             PacketKind::Eager {
                 ctx,
@@ -104,11 +213,11 @@ impl Packet {
                 total,
                 offset,
             } => {
-                buf.put_u32_le(ctx);
-                buf.put_u32_le(tag);
-                buf.put_u64_le(seq);
-                buf.put_u64_le(total);
-                buf.put_u64_le(offset);
+                hdr.put_u32_le(ctx);
+                hdr.put_u32_le(tag);
+                hdr.put_u64_le(seq);
+                hdr.put_u64_le(total);
+                hdr.put_u64_le(offset);
                 K_EAGER
             }
             PacketKind::Rts {
@@ -118,86 +227,72 @@ impl Packet {
                 size,
                 sreq,
             } => {
-                buf.put_u32_le(ctx);
-                buf.put_u32_le(tag);
-                buf.put_u64_le(seq);
-                buf.put_u64_le(size);
-                buf.put_u64_le(sreq);
+                hdr.put_u32_le(ctx);
+                hdr.put_u32_le(tag);
+                hdr.put_u64_le(seq);
+                hdr.put_u64_le(size);
+                hdr.put_u64_le(sreq);
                 K_RTS
             }
             PacketKind::Cts { sreq, rreq } => {
-                buf.put_u64_le(sreq);
-                buf.put_u64_le(rreq);
+                hdr.put_u64_le(sreq);
+                hdr.put_u64_le(rreq);
                 K_CTS
             }
             PacketKind::RndvData { rreq } => {
-                buf.put_u64_le(rreq);
+                hdr.put_u64_le(rreq);
                 K_RNDV
             }
             PacketKind::Fin { sreq } => {
-                buf.put_u64_le(sreq);
+                hdr.put_u64_le(sreq);
                 K_FIN
             }
             PacketKind::Revoke { ctx } => {
-                buf.put_u32_le(ctx);
+                hdr.put_u32_le(ctx);
                 K_REVOKE
             }
         };
-        buf.extend_from_slice(&self.data);
-        (imm, buf.freeze())
+        (imm, hdr, self.data.clone())
     }
 
-    /// Reconstruct a packet from its HCA framing.
-    pub fn decode(src: usize, imm: u32, wire: Bytes, available_at: SimTime) -> Packet {
-        fn u32_at(b: &[u8], o: usize) -> u32 {
-            let mut w = [0u8; 4];
-            w.copy_from_slice(&b[o..o + 4]);
-            u32::from_le_bytes(w)
-        }
-        fn u64_at(b: &[u8], o: usize) -> u64 {
-            let mut w = [0u8; 8];
-            w.copy_from_slice(&b[o..o + 8]);
-            u64::from_le_bytes(w)
-        }
-        let b = &wire[..];
-        let (kind, hdr) = match imm {
-            K_EAGER => (
-                PacketKind::Eager {
-                    ctx: u32_at(b, 0),
-                    tag: u32_at(b, 4),
-                    seq: u64_at(b, 8),
-                    total: u64_at(b, 16),
-                    offset: u64_at(b, 24),
-                },
-                32,
-            ),
-            K_RTS => (
-                PacketKind::Rts {
-                    ctx: u32_at(b, 0),
-                    tag: u32_at(b, 4),
-                    seq: u64_at(b, 8),
-                    size: u64_at(b, 16),
-                    sreq: u64_at(b, 24),
-                },
-                32,
-            ),
-            K_CTS => (
-                PacketKind::Cts {
-                    sreq: u64_at(b, 0),
-                    rreq: u64_at(b, 8),
-                },
-                16,
-            ),
-            K_RNDV => (PacketKind::RndvData { rreq: u64_at(b, 0) }, 8),
-            K_FIN => (PacketKind::Fin { sreq: u64_at(b, 0) }, 8),
-            K_REVOKE => (PacketKind::Revoke { ctx: u32_at(b, 0) }, 4),
-            other => panic!("corrupt HCA frame: unknown kind {other}"),
-        };
+    /// Reconstruct a packet from split HCA framing. The payload handle is
+    /// adopted whole — no copy, and (unlike a sub-slice of a contiguous
+    /// frame) it stays recyclable by the receiver's slab pool.
+    pub fn decode_parts(
+        src: usize,
+        imm: u32,
+        hdr: &[u8],
+        payload: Bytes,
+        available_at: SimTime,
+    ) -> Packet {
         Packet {
             src,
             channel: Channel::Hca,
             available_at,
-            kind,
+            kind: parse_kind(imm, hdr),
+            data: payload,
+        }
+    }
+
+    /// Frame the packet as one contiguous buffer: `(imm, wire bytes)`.
+    /// Copies header and payload; kept for callers that want a single
+    /// frame (the hot HCA path uses [`Packet::encode_parts`]).
+    pub fn encode(&self) -> (u32, Bytes) {
+        let (imm, hdr, payload) = self.encode_parts();
+        let mut buf = BytesMut::with_capacity(hdr.len() + payload.len());
+        buf.extend_from_slice(hdr.as_slice());
+        buf.extend_from_slice(&payload);
+        (imm, buf.freeze())
+    }
+
+    /// Reconstruct a packet from a contiguous HCA frame.
+    pub fn decode(src: usize, imm: u32, wire: Bytes, available_at: SimTime) -> Packet {
+        let hdr = header_len(imm);
+        Packet {
+            src,
+            channel: Channel::Hca,
+            available_at,
+            kind: parse_kind(imm, &wire[..hdr]),
             data: wire.slice(hdr..),
         }
     }
@@ -277,5 +372,59 @@ mod tests {
     #[should_panic(expected = "corrupt HCA frame")]
     fn unknown_kind_panics() {
         Packet::decode(0, 200, Bytes::new(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn split_and_contiguous_framings_agree() {
+        let payload = Bytes::from(vec![0x5au8; 1024]);
+        let p = Packet {
+            src: 4,
+            channel: Channel::Hca,
+            available_at: SimTime::from_us(3),
+            kind: PacketKind::Eager {
+                ctx: 2,
+                tag: 17,
+                seq: 8,
+                total: 1024,
+                offset: 0,
+            },
+            data: payload.clone(),
+        };
+        let (imm, hdr, body) = p.encode_parts();
+        let (imm2, wire) = p.encode();
+        assert_eq!(imm, imm2);
+        assert_eq!([hdr.as_slice(), &body[..]].concat(), wire.to_vec());
+        let q = Packet::decode_parts(4, imm, hdr.as_slice(), body, SimTime::from_us(3));
+        let r = Packet::decode(4, imm, wire, SimTime::from_us(3));
+        assert_eq!(q.kind, p.kind);
+        assert_eq!(r.kind, p.kind);
+        assert_eq!(q.data, p.data);
+        assert_eq!(r.data, p.data);
+        // The split payload is the sender's own allocation (shared), not
+        // a copy: dropping the other handles makes it recyclable whole.
+        drop((p, r, payload));
+        assert!(
+            q.data.try_into_vec().is_ok(),
+            "split payload must stay whole-allocation"
+        );
+    }
+
+    #[test]
+    fn wire_header_round_trips_through_from_slice() {
+        let p = Packet {
+            src: 0,
+            channel: Channel::Hca,
+            available_at: SimTime::ZERO,
+            kind: PacketKind::Cts { sreq: 9, rreq: 11 },
+            data: Bytes::new(),
+        };
+        let (imm, hdr, _) = p.encode_parts();
+        let copied = WireHeader::from_slice(hdr.as_slice());
+        assert_eq!(copied, hdr);
+        assert_eq!(parse_header(imm, copied.as_slice()), p.kind);
+    }
+
+    fn parse_header(imm: u32, b: &[u8]) -> PacketKind {
+        super::parse_kind(imm, b)
     }
 }

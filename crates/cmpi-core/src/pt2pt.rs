@@ -271,10 +271,12 @@ impl Mpi {
                     },
                     data,
                 };
-                let (imm, wire) = pkt.encode();
+                let (imm, hdr, payload) = pkt.encode_parts();
                 // A detached (dead) destination swallows the message; the
                 // eager send still completes locally.
-                if let Some(info) = self.try_hca_post(dst, imm, wire, self.now, "HCA eager send") {
+                if let Some(info) =
+                    self.try_hca_post(dst, imm, hdr, payload, self.now, "HCA eager send")
+                {
                     self.now = info.local_done;
                     self.record_tx(dst, Channel::Hca, len);
                 }
@@ -302,11 +304,11 @@ impl Mpi {
                     },
                     data: Bytes::new(),
                 };
-                let (imm, wire) = rts.encode();
+                let (imm, hdr, payload) = rts.encode_parts();
                 // A dead destination never answers the RTS; park the send
                 // anyway and let wait complete it in error.
                 if let Some(info) =
-                    self.try_hca_post(dst, imm, wire, self.now, "HCA rendezvous RTS")
+                    self.try_hca_post(dst, imm, hdr, payload, self.now, "HCA rendezvous RTS")
                 {
                     self.now = info.local_done;
                 }

@@ -37,7 +37,7 @@ use crate::fasthash::{FastMap, FastSet};
 use crate::locality::{LocalityPolicy, LocalityView};
 use crate::mailbox::RankCell;
 use crate::matching::{ArrivedBody, ArrivedMsg, MatchingEngine};
-use crate::packet::{Packet, PacketKind, ReqId};
+use crate::packet::{Packet, PacketKind, ReqId, WireHeader};
 use crate::pt2pt::{Status, CTX_COLL, CTX_WORLD};
 use crate::stats::{CallClass, CommStats, JobStats, RecoveryStats};
 use crate::trace::{flow_id, JobTrace, RankTrace};
@@ -618,6 +618,9 @@ pub struct Mpi {
     /// The locality groups the policy induces, cached at init (used by
     /// the two-level collectives and exposed via `policy_groups`).
     pub(crate) coll_groups: Vec<Vec<usize>>,
+    /// This rank's two-level topology view over `coll_groups`, shared so
+    /// each collective call is a refcount bump, not a structure clone.
+    pub(crate) smp_topo: Arc<crate::collectives::SmpTopo>,
     pub(crate) view: LocalityView,
     pub(crate) engine: MatchingEngine,
     pub(crate) stats: CommStats,
@@ -673,6 +676,14 @@ pub struct Mpi {
     /// packet drained early must not delay an earlier-stamped one from
     /// someone else).
     pub(crate) copy_busy: Vec<SimTime>,
+    /// Reusable scratch buffer for batched mailbox drains in `progress`;
+    /// its capacity persists across ticks so the steady-state drain path
+    /// never allocates.
+    drain_buf: Vec<Packet>,
+    /// Cached world rank list `[0, 1, .., n-1]`, built once at init so flat
+    /// collectives don't re-collect it on every call. Borrowed via
+    /// `mem::take` around `&mut self` inner calls.
+    pub(crate) world_list: Vec<usize>,
 }
 
 impl Mpi {
@@ -778,6 +789,7 @@ impl Mpi {
             state,
             selector,
             coll,
+            smp_topo: Arc::new(crate::collectives::SmpTopo::build(&coll_groups, rank)),
             coll_groups,
             view,
             engine: MatchingEngine::new(),
@@ -801,6 +813,8 @@ impl Mpi {
             copy_busy: vec![SimTime::ZERO; n],
             trace: None,
             prof: None,
+            drain_buf: Vec::new(),
+            world_list: (0..n).collect(),
         }
     }
 
@@ -1157,14 +1171,50 @@ impl Mpi {
         {
             if let Ok(msgs) = self.state.fabric.poll_recv(self.rank) {
                 for m in msgs {
-                    let pkt = Packet::decode(m.src, m.imm, m.data, m.available_at);
+                    // Split framing: the header parses off the inline
+                    // segment and the payload `Bytes` is adopted whole,
+                    // so a rendezvous payload lands in the user's
+                    // completion untouched (and the slab can reclaim
+                    // its allocation — a sliced frame could never be
+                    // reclaimed, it shares the header's allocation).
+                    let pkt = Packet::decode_parts(
+                        m.src,
+                        m.imm,
+                        m.hdr.as_slice(),
+                        m.data,
+                        m.available_at,
+                    );
                     self.handle_packet(pkt);
                 }
             }
         }
-        while let Some(pkt) = self.state.cells[self.rank].pop() {
-            self.handle_packet(pkt);
+        // Batched mailbox drain: unlink a run of packets in one chain
+        // walk, then dispatch. The scratch buffer is a field so its
+        // capacity survives across ticks — steady state allocates
+        // nothing. The loop re-drains because handlers can push to our
+        // own cell (intra-host loopback control), and the bound keeps
+        // one tick from monopolizing the thread under a packet storm.
+        const DRAIN_BATCH: usize = 64;
+        let mut buf = std::mem::take(&mut self.drain_buf);
+        loop {
+            if self.state.cells[self.rank].pop_batch(&mut buf, DRAIN_BATCH) == 0 {
+                break;
+            }
+            for pkt in buf.drain(..) {
+                self.handle_packet(pkt);
+            }
         }
+        self.drain_buf = buf;
+    }
+
+    /// Run `f` with the cached world rank list `[0, .., n-1]` without
+    /// allocating. The list is `mem::take`n around the call because the
+    /// inner collectives need `&mut self`.
+    pub(crate) fn with_world_list<R>(&mut self, f: impl FnOnce(&mut Self, &[usize]) -> R) -> R {
+        let list = std::mem::take(&mut self.world_list);
+        let out = f(self, &list);
+        self.world_list = list;
+        out
     }
 
     /// Park until new packets or pokes arrive.
@@ -1481,10 +1531,10 @@ impl Mpi {
                     kind,
                     data,
                 };
-                let (imm, wire) = pkt.encode();
+                let (imm, hdr, payload) = pkt.encode_parts();
                 // Control traffic to a rank that died mid-run is dropped:
                 // nothing the dead rank will ever do depends on it.
-                let _ = self.try_hca_post(dst, imm, wire, t, "HCA control send");
+                let _ = self.try_hca_post(dst, imm, hdr, payload, t, "HCA control send");
             }
         }
     }
@@ -1503,16 +1553,22 @@ impl Mpi {
         &mut self,
         dst: usize,
         imm: u32,
-        wire: Bytes,
+        hdr: WireHeader,
+        payload: Bytes,
         mut t: SimTime,
         what: &'static str,
     ) -> Option<SendInfo> {
         for attempt in 0..MAX_SEND_ATTEMPTS {
-            match self
-                .state
-                .fabric
-                .post_send(self.rank, dst, imm, wire.clone(), t)
-            {
+            // Repost cost: the header lives on the stack and the payload
+            // clone is a refcount bump — no per-attempt heap traffic.
+            match self.state.fabric.post_send_parts(
+                self.rank,
+                dst,
+                imm,
+                hdr.as_slice(),
+                payload.clone(),
+                t,
+            ) {
                 Ok(info) => return Some(info),
                 Err(FabricError::TransientCompletion { .. }) => {
                     self.stats.recovery.send_retries += 1;

@@ -144,6 +144,36 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// Probe-storm mix: four probes for every arrival or post, over a keyspace
+/// wide enough that most probes miss. This drives the occupancy-summary
+/// fast path (per-side counts + the unexpected-side key filter) — the
+/// machinery the probe regression fix added — through both hit and miss
+/// branches, against a reference that has no summaries at all.
+fn probe_heavy_strategy() -> impl Strategy<Value = Op> {
+    fn peek_op() -> impl Strategy<Value = Op> {
+        (maybe_src(), 0u32..2, maybe_tag()).prop_map(|(src, ctx, tag)| Op::Peek { src, ctx, tag })
+    }
+    // Concrete-key probes (no wildcards) take the filter's packed-key
+    // test; widen the tag range so most of them miss.
+    fn concrete_peek_op() -> impl Strategy<Value = Op> {
+        (0usize..4, 0u32..2, 0u32..8).prop_map(|(src, ctx, tag)| Op::Peek {
+            src: Some(src),
+            ctx,
+            tag: Some(tag),
+        })
+    }
+    prop_oneof![
+        arrive_op(),
+        post_op(),
+        peek_op(),
+        peek_op(),
+        peek_op(),
+        peek_op(),
+        concrete_peek_op(),
+        concrete_peek_op(),
+    ]
+}
+
 fn mk_msg(src: usize, ctx: u32, tag: u32, seq: u64) -> ArrivedMsg {
     ArrivedMsg {
         src,
@@ -273,6 +303,20 @@ proptest! {
     #[test]
     fn bucketed_engine_equals_linear_reference(
         ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        let (got, got_len) = run_bucketed(&ops);
+        let (want, want_len) = run_reference(&ops);
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(got_len, want_len);
+    }
+
+    /// Probe-storm interleavings (four probes per state change, mostly
+    /// misses) observe exactly what the linear reference observes — the
+    /// summary/filter fast path may only short-circuit, never change an
+    /// answer.
+    #[test]
+    fn probe_heavy_interleavings_equal_linear_reference(
+        ops in proptest::collection::vec(probe_heavy_strategy(), 0..400),
     ) {
         let (got, got_len) = run_bucketed(&ops);
         let (want, want_len) = run_reference(&ops);

@@ -283,12 +283,21 @@ fn test_polls_until_completion() {
     let spec = pair(LocalityPolicy::ContainerDetector);
     let r = spec.run(|mpi| {
         if mpi.rank() == 0 {
+            // Wait for the receiver's "I have polled once" handshake, so
+            // at least one failed poll is guaranteed regardless of how
+            // the OS schedules the two rank threads.
+            let go = mpi.irecv_bytes(1, 1);
+            mpi.wait(go);
             mpi.compute(SimTime::from_us(50));
             mpi.send_bytes(Bytes::from_static(b"late"), 1, 0);
             0usize
         } else {
             let req = mpi.irecv_bytes(0, 0);
             let mut polls = 0usize;
+            if mpi.test(&req).is_none() {
+                polls += 1;
+            }
+            mpi.send_bytes(Bytes::from_static(b"go"), 0, 1);
             loop {
                 if let Some(Completion::Recv(data, _)) = mpi.test(&req) {
                     assert_eq!(&data[..], b"late");

@@ -57,6 +57,64 @@ impl std::fmt::Display for FabricError {
 
 impl std::error::Error for FabricError {}
 
+/// Capacity of [`InlineHdr`] — covers every protocol header the MPI
+/// layer frames, with slack for future fields.
+pub const INLINE_HDR_MAX: usize = 40;
+
+/// A small fixed-capacity header that rides alongside a two-sided
+/// message without heap allocation — the analogue of a WQE's inline
+/// data segment, which verbs implementations use for exactly this kind
+/// of protocol framing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InlineHdr {
+    buf: [u8; INLINE_HDR_MAX],
+    len: u8,
+}
+
+impl Default for InlineHdr {
+    fn default() -> Self {
+        InlineHdr {
+            buf: [0; INLINE_HDR_MAX],
+            len: 0,
+        }
+    }
+}
+
+impl InlineHdr {
+    /// Copy `bytes` into an inline header.
+    ///
+    /// # Panics
+    /// Panics if `bytes` exceeds [`INLINE_HDR_MAX`].
+    pub fn new(bytes: &[u8]) -> Self {
+        assert!(
+            bytes.len() <= INLINE_HDR_MAX,
+            "inline header of {} bytes exceeds the {INLINE_HDR_MAX}-byte segment",
+            bytes.len()
+        );
+        let mut h = InlineHdr {
+            buf: [0; INLINE_HDR_MAX],
+            len: bytes.len() as u8,
+        };
+        h.buf[..bytes.len()].copy_from_slice(bytes);
+        h
+    }
+
+    /// The header bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Header length in bytes.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the header is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// An incoming two-sided message.
 #[derive(Clone, Debug)]
 pub struct FabricMsg {
@@ -64,6 +122,8 @@ pub struct FabricMsg {
     pub src: usize,
     /// Immediate value (protocol dispatch tag).
     pub imm: u32,
+    /// Inline protocol header (empty for sends posted without one).
+    pub hdr: InlineHdr,
     /// Payload.
     pub data: Bytes,
     /// Virtual time at which the message is observable at the receiver.
@@ -353,6 +413,23 @@ impl Fabric {
         data: Bytes,
         now: SimTime,
     ) -> Result<SendInfo, FabricError> {
+        self.post_send_parts(src, dst, imm, &[], data, now)
+    }
+
+    /// Post a two-sided send framed as an inline protocol header plus a
+    /// payload that travels by reference. The header rides in the WQE's
+    /// inline segment ([`InlineHdr`]); the payload `Bytes` is adopted
+    /// whole, so the upper layer never copies it into a contiguous
+    /// frame. Wire cost and byte accounting cover both parts.
+    pub fn post_send_parts(
+        &self,
+        src: usize,
+        dst: usize,
+        imm: u32,
+        hdr: &[u8],
+        data: Bytes,
+        now: SimTime,
+    ) -> Result<SendInfo, FabricError> {
         let s = self.ep(src)?;
         let d = self.ep(dst)?;
         {
@@ -366,18 +443,20 @@ impl Fabric {
             prog.op_index += 1;
             prog.attempts = 0;
         }
+        let wire_len = (hdr.len() + data.len()) as u64;
         let local_done = now + SimTime::from_ns(self.cost.hca_post_ns);
-        let delivered_at = self.schedule(&s, &d, src, dst, data.len() as u64, local_done);
+        let delivered_at = self.schedule(&s, &d, src, dst, wire_len, local_done);
         {
             let mut st = s.stats.lock();
             st.sends += 1;
-            st.send_bytes += data.len() as u64;
+            st.send_bytes += wire_len;
         }
         {
             let mut q = d.incoming.lock();
             q.push(FabricMsg {
                 src,
                 imm,
+                hdr: InlineHdr::new(hdr),
                 data,
                 available_at: delivered_at,
             });
@@ -416,7 +495,10 @@ impl Fabric {
         if !msgs.is_empty() {
             let mut st = ep.stats.lock();
             st.recvs += msgs.len() as u64;
-            st.recv_bytes += msgs.iter().map(|m| m.data.len() as u64).sum::<u64>();
+            st.recv_bytes += msgs
+                .iter()
+                .map(|m| (m.hdr.len() + m.data.len()) as u64)
+                .sum::<u64>();
         }
         Ok(msgs)
     }

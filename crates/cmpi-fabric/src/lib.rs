@@ -26,5 +26,5 @@
 pub mod endpoint;
 pub mod mr;
 
-pub use endpoint::{Fabric, FabricError, FabricMsg, RdmaCompletion, SendInfo};
+pub use endpoint::{Fabric, FabricError, FabricMsg, InlineHdr, RdmaCompletion, SendInfo};
 pub use mr::{MemoryRegion, RKey};

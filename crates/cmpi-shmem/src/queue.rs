@@ -61,6 +61,13 @@ pub struct PairQueue {
     cv: Condvar,
 }
 
+/// Hard bound on the release-history length. Pre-allocated at queue
+/// construction so the steady-state release path never reallocates; when
+/// the bound is hit the oldest event is merged away, which can only
+/// *overstate* a later stall (the walk lands on a later release time),
+/// never understate it.
+const HISTORY_CAP: usize = 256;
+
 impl PairQueue {
     /// Create a queue of `capacity` bytes (the `SMPI_LENGTH_QUEUE` value).
     pub fn new(capacity: usize) -> Self {
@@ -70,7 +77,7 @@ impl PairQueue {
             state: Mutex::new(QueueState {
                 acquired: 0,
                 released: 0,
-                history: VecDeque::new(),
+                history: VecDeque::with_capacity(HISTORY_CAP),
                 closed: false,
                 stalled_acquires: 0,
                 max_in_flight: 0,
@@ -193,7 +200,28 @@ impl PairQueue {
         // history's monotonicity.
         let t = s.history.back().map(|&(_, t)| t.max(now)).unwrap_or(now);
         let cum = s.released;
-        s.history.push_back((cum, t));
+        // A zero-byte release adds no information: the stall walk stops at
+        // the FIRST event reaching a cumulative count, so a duplicate would
+        // never be consulted. Skipping it keeps the history bounded even
+        // under a stream of empty packets.
+        if s.history.back().map(|&(c, _)| c) != Some(cum) {
+            if s.history.len() == HISTORY_CAP {
+                // Conservative merge: queries the dropped event would have
+                // answered now land on its successor's (later) time.
+                s.history.pop_front();
+            }
+            s.history.push_back((cum, t));
+        }
+        // Drop events no future acquire can consult: `required` is always
+        // `acquired + bytes - capacity` and `acquired` is monotone, so any
+        // event below `acquired - capacity` would be skipped by every later
+        // stall walk. Without this the history grows without bound on the
+        // uncontended path (backpressured acquires are the only other
+        // place that prunes).
+        let dead = s.acquired.saturating_sub(self.capacity);
+        while s.history.front().is_some_and(|&(c, _)| c < dead) {
+            s.history.pop_front();
+        }
         // The waiter count is maintained under this same mutex, so a
         // sender either registered before we locked (and is notified) or
         // will re-check `released` after we unlock — no lost wakeup.

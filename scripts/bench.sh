@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Wall-clock benchmark ledger. Runs the criterion harnesses, then the
 # bench_ledger kernels against the checked-in baseline, writing
-# BENCH_pr4.json at the repo root with per-kernel speedups.
+# BENCH_pr7.json at the repo root with per-kernel speedups (the
+# baseline is PR 4's measured ledger — the run the probe regression
+# was reclaimed against).
 #
 #   scripts/bench.sh           # full run (minutes on a loaded host)
 #   scripts/bench.sh --smoke   # seconds; sanity-checks the harness only
@@ -28,7 +30,7 @@ fi
 echo "== bench_ledger ${SMOKE:-(full)}" >&2
 cargo build --release -p cmpi-bench --bin bench_ledger
 ./target/release/bench_ledger $SMOKE --pressure \
-  --baseline scripts/bench_baseline_pr4.json \
-  --out BENCH_pr4.json
+  --baseline scripts/bench_baseline_pr7.json \
+  --out BENCH_pr7.json
 
-echo "ok: wrote BENCH_pr4.json" >&2
+echo "ok: wrote BENCH_pr7.json" >&2

@@ -19,6 +19,8 @@
 #   lint      cmpi-lint repo rules: SAFETY comments, relaxed-ok
 #             justifications, hot-path unwrap ban, tag field widths,
 #             MpiError Display-test coverage
+#   gate      perf gate: best-of-3 smoke bench_ledger kernels vs the
+#             checked-in baseline, any kernel >10 % slower fails
 #   clippy    all targets, warnings are errors
 #   fmt       rustfmt in check mode
 set -euo pipefail
@@ -67,6 +69,12 @@ RUSTFLAGS="--cfg cmpi_model" CARGO_TARGET_DIR=target/model \
 
 echo "== cmpi-lint" >&2
 cargo run --release --quiet -p cmpi-model --bin cmpi-lint
+
+echo "== bench gate (smoke kernels vs scripts/bench_gate_smoke.json)" >&2
+# Best-of-3 smoke kernels against the checked-in baseline; >10 % slower
+# on any kernel fails the build (see bench_ledger --gate).
+cargo run --release --quiet -p cmpi-bench --bin bench_ledger -- --smoke \
+  --gate scripts/bench_gate_smoke.json >/dev/null
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings" >&2
 cargo clippy --workspace --all-targets -- -D warnings

@@ -52,8 +52,27 @@ fn assert_survivable(
     let (b, _) = run_ft(scenario, plan);
 
     // Recovery-boundary determinism: the full per-rank outcome vector
-    // (values and error values alike) is identical run to run.
-    assert_eq!(a, b, "mid-run fault recovery must be deterministic");
+    // (values and error values alike) is identical run to run — except
+    // the recovery count. A shrink decision may miss a death that lands
+    // (in real time) after its epoch and iterate at generation + 1 (see
+    // the ft.rs module doc), so `recoveries` is a scheduling-dependent
+    // stat: it still must agree across survivors *within* a run (the
+    // `reference` comparison below), but not across runs.
+    let shape = |r: &FtResults| -> FtResults {
+        r.iter()
+            .map(|x| {
+                x.clone().map(|mut o| {
+                    o.recoveries = 0;
+                    o
+                })
+            })
+            .collect()
+    };
+    assert_eq!(
+        shape(&a),
+        shape(&b),
+        "mid-run fault recovery must be deterministic"
+    );
 
     let survivors: Vec<usize> = (0..n).filter(|r| !doomed.contains(r)).collect();
     for &d in doomed {

@@ -12,25 +12,39 @@ use std::sync::Arc;
 /// Immutable, reference-counted byte buffer; clones and sub-slices share
 /// the same allocation.
 ///
-/// Backed by an `Arc<Vec<u8>>` so `From<Vec<u8>>` and `BytesMut::freeze`
-/// adopt the vector's allocation as-is (no shrink-to-boxed-slice realloc)
-/// and [`Bytes::try_into_vec`] can hand it back for reuse.
+/// Two backings behind one 3-word handle: a shared `Arc<Vec<u8>>` (so
+/// `From<Vec<u8>>` and `BytesMut::freeze` adopt the vector's allocation
+/// as-is and [`Bytes::try_into_vec`] can hand it back for reuse), or a
+/// borrowed `&'static [u8]` (so [`Bytes::new`] and [`Bytes::from_static`]
+/// never allocate, matching the real crate). `view` always points at the
+/// visible window; `arc` is `None` for the static backing.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
-    start: usize,
-    end: usize,
+    /// Raw window into either the `Arc`'d vector or a static slice. Kept
+    /// as raw parts (not `&'static [u8]`) because for the shared backing
+    /// the borrow is tied to `arc`, not `'static`.
+    ptr: *const u8,
+    len: usize,
+    arc: Option<Arc<Vec<u8>>>,
 }
 
+// SAFETY: the pointer window either targets a `&'static [u8]` or the
+// heap buffer owned by `arc`, which is immutable (no API mutates the
+// vector after construction) and kept alive by the `Arc` travelling with
+// the handle, so sending/sharing across threads is sound.
+unsafe impl Send for Bytes {}
+// SAFETY: see `Send` above — all access is read-only.
+unsafe impl Sync for Bytes {}
+
 impl Bytes {
-    /// Empty buffer.
+    /// Empty buffer. Allocation-free: borrows a static empty slice.
     pub fn new() -> Self {
-        Bytes { data: Arc::new(Vec::new()), start: 0, end: 0 }
+        Bytes::from_static(&[])
     }
 
-    /// Buffer borrowing a static slice (copied here; semantics identical).
+    /// Buffer borrowing a static slice. Allocation-free.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes::copy_from_slice(bytes)
+        Bytes { ptr: bytes.as_ptr(), len: bytes.len(), arc: None }
     }
 
     /// Buffer holding a copy of `bytes`.
@@ -40,12 +54,12 @@ impl Bytes {
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.end - self.start
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.start == self.end
+        self.len == 0
     }
 
     /// Zero-copy sub-slice sharing this buffer's allocation.
@@ -61,22 +75,30 @@ impl Bytes {
             Bound::Unbounded => self.len(),
         };
         assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds of {}", self.len());
-        Bytes { data: Arc::clone(&self.data), start: self.start + lo, end: self.start + hi }
+        // SAFETY: `lo <= hi <= len` was just asserted, so the new window
+        // stays inside the backing the (cloned) `arc`/static keeps alive.
+        Bytes { ptr: unsafe { self.ptr.add(lo) }, len: hi - lo, arc: self.arc.clone() }
     }
 
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        // SAFETY: `ptr`/`len` always describe a live window — into the
+        // vector `self.arc` owns (immutable while any handle exists) or
+        // into a `&'static [u8]`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
     }
 
     /// Recover the backing `Vec` when this handle is the sole owner of
     /// the whole allocation; otherwise the handle comes back unchanged.
-    /// Lets receivers recycle drained buffers without copying.
+    /// Lets receivers recycle drained buffers without copying. Static-
+    /// backed buffers (including the empty one) always refuse: they have
+    /// no allocation to give back.
     pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
-        let Bytes { data, start, end } = self;
-        if start == 0 && end == data.len() {
-            Arc::try_unwrap(data).map_err(|data| Bytes { data, start, end })
-        } else {
-            Err(Bytes { data, start, end })
+        let Bytes { ptr, len, arc } = self;
+        match arc {
+            Some(data) if ptr == data.as_ptr() && len == data.len() => {
+                Arc::try_unwrap(data).map_err(|data| Bytes { ptr, len, arc: Some(data) })
+            }
+            arc => Err(Bytes { ptr, len, arc }),
         }
     }
 }
@@ -108,20 +130,20 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        let end = v.len();
-        Bytes { data: Arc::new(v), start: 0, end }
+        let (ptr, len) = (v.as_ptr(), v.len());
+        Bytes { ptr, len, arc: Some(Arc::new(v)) }
     }
 }
 
 impl From<&'static [u8]> for Bytes {
     fn from(s: &'static [u8]) -> Self {
-        Bytes::copy_from_slice(s)
+        Bytes::from_static(s)
     }
 }
 
 impl<const N: usize> From<&'static [u8; N]> for Bytes {
     fn from(s: &'static [u8; N]) -> Self {
-        Bytes::copy_from_slice(s)
+        Bytes::from_static(s)
     }
 }
 
@@ -133,7 +155,7 @@ impl From<String> for Bytes {
 
 impl From<&'static str> for Bytes {
     fn from(s: &'static str) -> Self {
-        Bytes::copy_from_slice(s.as_bytes())
+        Bytes::from_static(s.as_bytes())
     }
 }
 
