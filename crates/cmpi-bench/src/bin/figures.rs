@@ -3,12 +3,16 @@
 //! ```text
 //! figures [--fig 1|3a|3bc|7a|7b|7c|8|9|10|11|12] [--table 1]
 //!         [--ablation faults|namespaces|collectives] [--ablations]
-//!         [--profile] [--all] [--full] [--csv DIR]
+//!         [--profile] [--health] [--all] [--full] [--csv DIR]
 //! ```
 //!
 //! `--profile` runs Graph 500 under the causal profiler and prints the
 //! per-peer channel matrix, the wait-state decomposition, and the
 //! substrate pressure counters for the Default vs. Proposed designs.
+//!
+//! `--health` runs a 32-rank mixed job under the always-on telemetry
+//! layer, validates the Prometheus and JSON expositions, and prints the
+//! health evaluator's verdict plus the job-total metrics.
 //!
 //! Without `--full` the CI-sized effort is used (seconds per figure);
 //! `--full` switches to the paper-shaped deployment (256 ranks, scale-16
@@ -20,7 +24,7 @@ use cmpi_bench::{experiments as ex, Effort, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--fig <id>]... [--table 1] [--ablation <name>]... [--ablations] [--profile] [--all] [--full] [--csv DIR]\n\
+        "usage: figures [--fig <id>]... [--table 1] [--ablation <name>]... [--ablations] [--profile] [--health] [--all] [--full] [--csv DIR]\n\
          \x20  figure ids: 1 3a 3bc 7a 7b 7c 8 9 10 11 12\n\
          \x20  ablation names: faults namespaces collectives"
     );
@@ -33,6 +37,7 @@ fn main() {
     let mut tables: Vec<String> = Vec::new();
     let mut ablations = false;
     let mut profile = false;
+    let mut health = false;
     let mut ablation_names: Vec<String> = Vec::new();
     let mut all = false;
     let mut full = false;
@@ -58,6 +63,10 @@ fn main() {
             }
             "--profile" => {
                 profile = true;
+                i += 1;
+            }
+            "--health" => {
+                health = true;
                 i += 1;
             }
             "--all" => {
@@ -86,6 +95,7 @@ fn main() {
         && !ablations
         && ablation_names.is_empty()
         && !profile
+        && !health
         && !all
     {
         all = true;
@@ -157,6 +167,9 @@ fn main() {
     }
     if profile || all {
         out.extend(ex::profile_tables(&e));
+    }
+    if health || all {
+        out.extend(ex::health_tables(&e));
     }
 
     for t in &out {

@@ -7,8 +7,8 @@ use cmpi_cluster::{
     SimTime, Tunables,
 };
 use cmpi_core::{
-    CallClass, CollAlgo, CollKind, JobProfile, JobSpec, JobStats, LocalityPolicy, MpiError,
-    ReduceOp, WaitClass,
+    validate_prometheus, CallClass, CollAlgo, CollKind, JobProfile, JobSpec, JobStats, Json,
+    LocalityPolicy, MetricId, MpiError, ReduceOp, WaitClass,
 };
 use cmpi_osu::collective::{self, CollOp};
 use cmpi_osu::{onesided, power_of_two_sizes, pt2pt};
@@ -835,16 +835,22 @@ pub fn profile_tables(e: &Effort) -> Vec<Table> {
         "Profile — failure detection latency (4 ranks, rank 3 crashed mid-run)",
         &["rank", "death_ms", "convict_ms", "latency_ms", "shrinks"],
     );
+    let mut convictions = 0usize;
     for (rank, tr) in trace.ranks.iter().enumerate() {
         if rank == dead {
             continue;
         }
-        let convict_at = tr
+        let Some(convict_at) = tr
             .instants()
             .iter()
             .find(|i| i.name == "convict" && i.peer == Some(dead))
             .map(|i| i.at)
-            .unwrap_or_default();
+        else {
+            // A survivor that never convicted contributes no latency
+            // sample; a zero row here would read as "instant detection".
+            continue;
+        };
+        convictions += 1;
         let shrinks: u64 = tr
             .instants()
             .iter()
@@ -859,7 +865,114 @@ pub fn profile_tables(e: &Effort) -> Vec<Table> {
             shrinks.to_string(),
         ]);
     }
+    if convictions == 0 {
+        // Say so explicitly instead of printing an empty (or all-zero)
+        // table that silently reads as perfect detection.
+        detect.row(vec![
+            "-".into(),
+            "no failures observed".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ]);
+    }
     vec![chans, waits, summary, detect]
+}
+
+/// `figures --health`: run a 32-rank mixed job (2 hosts × 4 containers
+/// × 4 ranks — SHM, CMA, and HCA traffic all live) under the always-on
+/// telemetry layer, validate both exposition formats, and turn the
+/// health evaluator's verdict into tables.
+///
+/// The workload exercises every hook family: small eager and large
+/// rendezvous pt2pt around a ring, a probe miss, and the collective
+/// selector across flat and two-level schedules.
+pub fn health_tables(e: &Effort) -> Vec<Table> {
+    let scenario = DeploymentScenario::containers(2, 4, 4, NamespaceSharing::default());
+    let spec = JobSpec::new(scenario).with_policy(LocalityPolicy::ContainerDetector);
+    let iters = e.iters.min(6);
+    let r = spec.run(move |mpi| {
+        let n = mpi.size();
+        let me = mpi.rank();
+        let next = (me + 1) % n;
+        let prev = (me + n - 1) % n;
+        for k in 0..iters as u32 {
+            // Eager (1 KiB) then rendezvous (128 KiB) around the ring.
+            for size in [1024usize, 128 * 1024] {
+                let payload = bytes::Bytes::from(vec![k as u8; size]);
+                if me % 2 == 0 {
+                    mpi.send_bytes(payload, next, k);
+                    let _ = mpi.recv_bytes(prev, k);
+                } else {
+                    let _ = mpi.recv_bytes(prev, k);
+                    mpi.send_bytes(payload, next, k);
+                }
+            }
+        }
+        // A probe that misses (nothing in flight on this tag).
+        let _ = mpi.iprobe(prev, 4096);
+        mpi.allreduce(&[me as u64], ReduceOp::Sum);
+        mpi.barrier();
+    });
+    let snap = r.telemetry.expect("telemetry is on by default");
+
+    // Both exposition formats must validate before anything is printed;
+    // this is the CI surface for the snapshot encoders.
+    let prom = snap.to_prometheus();
+    let samples = validate_prometheus(&prom).expect("prometheus exposition must validate");
+    Json::parse(&snap.to_json().to_string()).expect("metrics JSON must round-trip");
+    Json::parse(&snap.flight_chrome_json().to_string()).expect("flight dump must round-trip");
+
+    let health = cmpi_core::evaluate_health_default(&snap);
+    let mut verdict = Table::new(
+        format!(
+            "Health — 32-rank mixed job, overall {} ({} validated samples)",
+            health.status.name(),
+            samples
+        ),
+        &["scope", "rule", "status", "detail"],
+    );
+    if health.findings.is_empty() {
+        // Same guard as the detection-latency table: an empty table must
+        // not be mistaken for "nothing was checked".
+        verdict.row(vec![
+            "job".into(),
+            "-".into(),
+            "ok".into(),
+            "no failures observed; all health rules passed".into(),
+        ]);
+    }
+    for f in &health.findings {
+        verdict.row(vec![
+            f.rank.map_or_else(|| "job".into(), |r| format!("rank {r}")),
+            f.rule.to_string(),
+            f.status.name().to_string(),
+            f.detail.clone(),
+        ]);
+    }
+
+    let mut totals = Table::new(
+        "Health — telemetry job totals (32 ranks)",
+        &["metric", "job_total"],
+    );
+    for id in [
+        MetricId::EagerMsgs,
+        MetricId::RndvMsgs,
+        MetricId::ShmOps,
+        MetricId::CmaOps,
+        MetricId::HcaOps,
+        MetricId::CollFlat,
+        MetricId::CollTwoLevel,
+        MetricId::CollLarge,
+        MetricId::ProbeMisses,
+        MetricId::ShmQueueAcquires,
+        MetricId::ShmQueueStalls,
+        MetricId::FlightEvents,
+        MetricId::FlightDropped,
+    ] {
+        totals.row(vec![id.name().to_string(), snap.job_total(id).to_string()]);
+    }
+    vec![verdict, totals]
 }
 
 /// Extension: PGAS (GUPS) on co-resident containers — the paper's

@@ -610,7 +610,7 @@ impl Mpi {
     pub fn barrier(&mut self) {
         let t0 = self.enter();
         let algo = self.coll.select(CollKind::Barrier, 0);
-        self.stats.record_coll(CollKind::Barrier, algo);
+        self.record_coll_sel(CollKind::Barrier, algo);
         if algo == CollAlgo::TwoLevel {
             self.barrier_smp_inner();
         } else {
@@ -629,7 +629,7 @@ impl Mpi {
         let algo = self
             .coll
             .select(CollKind::Bcast, std::mem::size_of_val(buf));
-        self.stats.record_coll(CollKind::Bcast, algo);
+        self.record_coll_sel(CollKind::Bcast, algo);
         match algo {
             CollAlgo::TwoLevel => self.bcast_smp_inner(buf, root),
             CollAlgo::Large => self.bcast_scatter_allgather_inner(buf, root),
@@ -661,7 +661,7 @@ impl Mpi {
         let algo = self
             .coll
             .select(CollKind::Reduce, std::mem::size_of_val(data));
-        self.stats.record_coll(CollKind::Reduce, algo);
+        self.record_coll_sel(CollKind::Reduce, algo);
         let acc = if algo == CollAlgo::TwoLevel {
             self.reduce_smp_inner(data, rop, root)
         } else {
@@ -681,7 +681,7 @@ impl Mpi {
         let algo = self
             .coll
             .select(CollKind::Allreduce, std::mem::size_of_val(data));
-        self.stats.record_coll(CollKind::Allreduce, algo);
+        self.record_coll_sel(CollKind::Allreduce, algo);
         let out = match algo {
             CollAlgo::TwoLevel => self.allreduce_smp_inner(data, rop),
             CollAlgo::Large => self.allreduce_rabenseifner_inner(data, rop),
@@ -703,7 +703,7 @@ impl Mpi {
         let algo = self
             .coll
             .select(CollKind::Gather, std::mem::size_of_val(data));
-        self.stats.record_coll(CollKind::Gather, algo);
+        self.record_coll_sel(CollKind::Gather, algo);
         let out = if algo == CollAlgo::TwoLevel {
             let all = self.gather_smp_inner(data, root);
             (self.rank == root).then_some(all)
@@ -819,7 +819,7 @@ impl Mpi {
         let algo = self
             .coll
             .select(CollKind::Allgather, std::mem::size_of_val(data));
-        self.stats.record_coll(CollKind::Allgather, algo);
+        self.record_coll_sel(CollKind::Allgather, algo);
         let all = if algo == CollAlgo::TwoLevel {
             self.allgather_smp_inner(data)
         } else {
@@ -869,7 +869,7 @@ impl Mpi {
             "alltoall data must be n * block elements"
         );
         let algo = self.coll.select(CollKind::Alltoall, block * T::SIZE);
-        self.stats.record_coll(CollKind::Alltoall, algo);
+        self.record_coll_sel(CollKind::Alltoall, algo);
         let out = if algo == CollAlgo::TwoLevel {
             self.alltoall_smp_inner(data, block)
         } else {

@@ -251,6 +251,17 @@ impl Mpi {
         );
         self.ctx_coll.insert(d.new_ctx, Arc::new((groups, sel)));
         self.stats.recovery.shrinks += 1;
+        if let Some(tel) = self.tel() {
+            tel.metrics.inc(cmpi_telemetry::MetricId::FtShrinks);
+            tel.flight.record(
+                cmpi_telemetry::FlightEvent::new(
+                    cmpi_telemetry::EventKind::Shrink,
+                    self.now.as_ns(),
+                )
+                .a(d.new_ctx as u64)
+                .b(survivors.len() as u64),
+            );
+        }
         if let Some(tr) = &mut self.trace {
             tr.instant("shrink", self.now, None, None, 1);
         }

@@ -88,3 +88,10 @@ pub use trace::{flow_id, FlowEvent, InstantEvent, JobTrace, RankTrace, TraceEven
 // Profiling vocabulary (the `JobResult::profile` payload lives in
 // cmpi-prof; re-exported so downstream crates need no direct dependency).
 pub use cmpi_prof::{JobProfile, Json, WaitBreakdown, WaitClass, WaitStats};
+// Telemetry vocabulary (the `JobResult::telemetry` payload lives in
+// cmpi-telemetry; re-exported for the same reason).
+pub use cmpi_telemetry::{
+    evaluate as evaluate_health, evaluate_default as evaluate_health_default, validate_prometheus,
+    EventKind, FlightEvent, FlightSnapshot, HealthFinding, HealthReport, HealthStatus,
+    HealthThresholds, HistogramSnapshot, MetricId, MetricKind, RankSnapshot, TelemetrySnapshot,
+};

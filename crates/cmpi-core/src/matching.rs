@@ -729,6 +729,12 @@ impl MatchingEngine {
         self.unexpected_count
     }
 
+    /// Number of outstanding posted receives, exact and wildcard
+    /// (diagnostics — feeds the matching-occupancy peak gauges).
+    pub fn posted_len(&self) -> usize {
+        self.posted_exact_count + self.posted_wild.len()
+    }
+
     /// Number of incomplete chunk assemblies (diagnostics).
     pub fn pending_assemblies(&self) -> usize {
         self.assemblies.len()

@@ -25,6 +25,7 @@ use crate::packet::{Packet, PacketKind, ReqId};
 use crate::runtime::{Mpi, RecvState, SendState};
 use crate::stats::CallClass;
 use crate::trace::flow_id;
+use cmpi_telemetry::{chan_code, EventKind, FlightEvent, MetricId};
 
 /// Wait-state class of a blocked interval: user pt2pt traffic runs on
 /// `CTX_WORLD`; everything else (collective-internal contexts and split
@@ -91,6 +92,57 @@ impl Completion {
 impl Mpi {
     // ---- internal operations (no time-class attribution) -------------------
 
+    /// Always-on routing ledger for one send: protocol counter and
+    /// message-size histogram on every call, flight events only on
+    /// protocol edges (first use of a channel, each rendezvous start) so
+    /// the eager steady state never touches the ring.
+    #[inline]
+    fn tel_route(&mut self, dst: usize, code: u8, rendezvous: bool, len: usize) {
+        if self.state.telemetry.is_none() {
+            return;
+        }
+        let bit = 1u8 << code;
+        let first_use = self.chan_seen & bit == 0;
+        self.chan_seen |= bit;
+        self.tel_observe_msg_size(len as u64);
+        if rendezvous {
+            self.tel_pending.rndv_msgs += 1;
+        } else {
+            self.tel_pending.eager_msgs += 1;
+        }
+        if rendezvous || first_use {
+            self.tel_route_edge(dst, code, rendezvous, first_use, len);
+        }
+    }
+
+    /// The protocol-edge tail of [`Mpi::tel_route`], kept out of line so
+    /// the eager steady state (which takes neither branch) pays only a
+    /// not-taken jump for it.
+    fn tel_route_edge(
+        &mut self,
+        dst: usize,
+        code: u8,
+        rendezvous: bool,
+        first_use: bool,
+        len: usize,
+    ) {
+        let now = self.now.as_ns();
+        if rendezvous {
+            self.tel_sample_flight(
+                FlightEvent::new(EventKind::RndvStart, now)
+                    .peer(dst)
+                    .a(len as u64),
+            );
+        }
+        if first_use {
+            self.tel_record_flight(
+                FlightEvent::new(EventKind::ChannelChoice, now)
+                    .peer(dst)
+                    .detail(code),
+            );
+        }
+    }
+
     /// Start a send on communicator context `ctx`.
     pub(crate) fn isend_inner(&mut self, data: Bytes, dst: usize, tag: u32, ctx: u32) -> ReqId {
         assert!(dst < self.n, "send to invalid rank {dst}");
@@ -107,6 +159,7 @@ impl Mpi {
             // Self-message: one local copy, straight into the matching
             // engine (bypassing `handle_packet`, so both ledger sides are
             // recorded here).
+            self.tel_route(dst, chan_code::SELF, false, len);
             let ready = self.now + cost.copy_time(len as u64, false);
             self.record_tx(dst, Channel::Shm, len);
             self.record_rx(dst, Channel::Shm, len);
@@ -137,6 +190,12 @@ impl Mpi {
         let peer = *self.view.peer(dst);
         let route = self.selector.route(&peer, len);
         let cross = self.cross_socket(dst);
+        let tel_code = match route.channel {
+            Channel::Shm => chan_code::SHM,
+            Channel::Cma => chan_code::CMA,
+            Channel::Hca => chan_code::HCA,
+        };
+        let tel_rndv = matches!(route.protocol, Protocol::Rendezvous);
         match (route.channel, route.protocol) {
             (Channel::Shm, Protocol::Eager) => {
                 let q = Arc::clone(self.state.pair_queue(self.rank, dst));
@@ -324,6 +383,12 @@ impl Mpi {
             }
             (c, p) => unreachable!("selector produced impossible route {c:?}/{p:?}"),
         }
+        // Ledger the routing decision *after* the wire work: the peer is
+        // already unblocked, so the scratch stores overlap with its
+        // processing instead of stalling the pre-push critical path (a
+        // locked queue CAS drains the store buffer, so even a handful of
+        // cold stores ahead of it shows up directly in latency).
+        self.tel_route(dst, tel_code, tel_rndv, len);
         id
     }
 
@@ -340,6 +405,12 @@ impl Mpi {
             posted_at,
         }) {
             self.fulfill(id, msg, posted_at);
+        } else if self.state.telemetry.is_some() {
+            // The receive stayed posted: track the occupancy high-water
+            // mark (a consumed post cannot raise it).
+            let depth = self.engine.posted_len() as u64;
+            let p = &mut self.tel_pending;
+            p.posted_peak = p.posted_peak.max(depth);
         }
         id
     }
@@ -354,6 +425,13 @@ impl Mpi {
             .map(|c| c.saturating_sub(t_enter).min(blocked))
             .unwrap_or(SimTime::ZERO);
         let transfer = blocked.saturating_sub(late);
+        if self.state.telemetry.is_some() {
+            self.tel_pending.late_receiver_ns += late.as_ns();
+            self.tel_pending.transfer_ns += transfer.as_ns();
+            if matches!(wait_class(ctx), WaitClass::Pt2pt) {
+                self.tel_observe_latency(blocked.as_ns());
+            }
+        }
         match wait_class(ctx) {
             WaitClass::Pt2pt => self.record_wait(
                 WaitClass::Pt2pt,
@@ -375,6 +453,13 @@ impl Mpi {
         let blocked = done.saturating_sub(t_enter);
         let late = arrived.saturating_sub(t_enter).min(blocked);
         let transfer = blocked.saturating_sub(late);
+        if self.state.telemetry.is_some() {
+            self.tel_pending.late_sender_ns += late.as_ns();
+            self.tel_pending.transfer_ns += transfer.as_ns();
+            if matches!(wait_class(ctx), WaitClass::Pt2pt) {
+                self.tel_observe_latency(blocked.as_ns());
+            }
+        }
         match wait_class(ctx) {
             WaitClass::Pt2pt => self.record_wait(
                 WaitClass::Pt2pt,
@@ -818,6 +903,13 @@ impl Mpi {
         } else {
             // Refund the call-entry tax too — see `test`.
             self.now = t0;
+        }
+        if self.state.telemetry.is_some() {
+            self.tel_scratch.inc(if out.is_some() {
+                MetricId::ProbeHits
+            } else {
+                MetricId::ProbeMisses
+            });
         }
         self.exit(CallClass::Poll, t0);
         out

@@ -31,6 +31,7 @@ use cmpi_shmem::{AttachOutcome, ContainerList, PairQueue, ShmRegistry};
 
 use crate::channel::ChannelSelector;
 use crate::coll_select::CollectiveSelector;
+use crate::coll_select::{CollAlgo, CollKind};
 use crate::error::MpiError;
 use crate::failure::{Death, DecisionLog, FailureDetector, FAILURE_LEASE};
 use crate::fasthash::{FastMap, FastSet};
@@ -42,6 +43,10 @@ use crate::pt2pt::{Status, CTX_COLL, CTX_WORLD};
 use crate::stats::{CallClass, CommStats, JobStats, RecoveryStats};
 use crate::trace::{flow_id, JobTrace, RankTrace};
 use cmpi_prof::{FabricCounters, JobProfile, ProfCollector, QueuePressure};
+use cmpi_telemetry::{
+    EventKind, FlightEvent, JobTelemetry, LocalMetrics, MetricId, RankTelemetry, TelemetrySnapshot,
+    DEFAULT_FLIGHT_CAPACITY,
+};
 
 /// Bound on fabric attach (QP creation) attempts per rank.
 const MAX_ATTACH_ATTEMPTS: u32 = 5;
@@ -84,6 +89,11 @@ pub struct JobSpec {
     /// Collect the causal profile (per-peer channel matrix + wait-state
     /// decomposition), surfaced as [`JobResult::profile`].
     pub profiling: bool,
+    /// Always-on telemetry (flight recorder + metrics registry),
+    /// surfaced as [`JobResult::telemetry`]. On by default — the bench
+    /// suite gates its hot-path cost at 2 % — and droppable with
+    /// [`JobSpec::without_telemetry`] for overhead A/B runs.
+    pub telemetry: bool,
     /// Fault-injection plan (empty by default). See
     /// [`cmpi_cluster::FaultPlan`].
     pub faults: FaultPlan,
@@ -100,6 +110,7 @@ impl JobSpec {
             cost: CostModel::default(),
             tracing: false,
             profiling: false,
+            telemetry: true,
             faults: FaultPlan::none(),
         }
     }
@@ -141,6 +152,15 @@ impl JobSpec {
     /// [`JobResult::profile`] at finalize.
     pub fn with_profiling(mut self) -> Self {
         self.profiling = true;
+        self
+    }
+
+    /// Drop the always-on telemetry layer (flight recorder + metrics).
+    /// Exists for the overhead A/B bench gate and for callers that want
+    /// the absolute minimum per-op cost; everything else should leave it
+    /// on.
+    pub fn without_telemetry(mut self) -> Self {
+        self.telemetry = false;
         self
     }
 
@@ -230,6 +250,7 @@ impl JobSpec {
                             // Drain any protocol work peers still need from
                             // us before tearing down.
                             mpi.state.finalize_barrier.wait();
+                            mpi.tel_flush();
                             (out, mpi.now, mpi.stats, mpi.trace, mpi.prof)
                         })
                         .expect("failed to spawn rank thread"),
@@ -274,6 +295,51 @@ impl JobSpec {
                 .collect();
             JobProfile::assemble(collectors, state.queue_pressure(), fabric)
         });
+        let telemetry = state.telemetry.as_ref().map(|t| {
+            // Fold the substrate counters in at the sample point: the
+            // job-wide mailbox/queue aggregates land on rank 0 (their
+            // `help()` text says "(job-wide, sampled)"), the per-endpoint
+            // fabric counters and heartbeat gaps on their own ranks.
+            let qp = state.queue_pressure();
+            let m0 = &t.rank(0).metrics;
+            m0.add(MetricId::MailboxPushes, qp.mailbox_pushes);
+            m0.add(MetricId::MailboxParks, qp.mailbox_parks);
+            m0.add(MetricId::MailboxWakes, qp.mailbox_wakes);
+            m0.add(MetricId::ShmQueueAcquires, qp.acquires);
+            m0.add(MetricId::ShmQueueStalls, qp.stalled_acquires);
+            m0.gauge_set(MetricId::ShmMaxInFlight, qp.max_in_flight);
+            for r in 0..n {
+                let m = &t.rank(r).metrics;
+                // Channel ops/bytes come from the per-rank CommStats the
+                // hot path already maintains — recounting them in the
+                // telemetry scratch would double the per-message cost
+                // for numbers the stats layer has anyway.
+                for (ch, ops_id, by_id) in [
+                    (Channel::Shm, MetricId::ShmOps, MetricId::ShmBytes),
+                    (Channel::Cma, MetricId::CmaOps, MetricId::CmaBytes),
+                    (Channel::Hca, MetricId::HcaOps, MetricId::HcaBytes),
+                ] {
+                    let c = stats[r].channel(ch);
+                    m.add(ops_id, c.ops);
+                    m.add(by_id, c.bytes);
+                }
+                if let Ok(s) = state.fabric.stats(r) {
+                    m.add(MetricId::FabricSends, s.sends);
+                    m.add(MetricId::FabricRecvs, s.recvs);
+                    m.add(MetricId::FabricRdma, s.rdma_ops);
+                }
+                // Heartbeats only flow on fault-active jobs; a zero beat
+                // means the detector never armed for this rank.
+                let beat = state.detector.last_beat(r);
+                if beat.as_ns() > 0 {
+                    m.gauge_set(
+                        MetricId::HeartbeatGapNs,
+                        elapsed.as_ns().saturating_sub(beat.as_ns()),
+                    );
+                }
+            }
+            t.snapshot()
+        });
         JobResult {
             results,
             times,
@@ -281,6 +347,7 @@ impl JobSpec {
             elapsed,
             trace,
             profile,
+            telemetry,
         }
     }
 
@@ -307,6 +374,15 @@ fn midrun_fault_name(fault: MidRunFault) -> &'static str {
     }
 }
 
+/// Flight-event `detail` code of a mid-run fault class.
+fn midrun_fault_code(fault: MidRunFault) -> u8 {
+    match fault {
+        MidRunFault::Crash => 1,
+        MidRunFault::ContainerKill => 2,
+        MidRunFault::Hang => 3,
+    }
+}
+
 /// What a finished job returns.
 #[derive(Debug)]
 pub struct JobResult<R> {
@@ -322,6 +398,9 @@ pub struct JobResult<R> {
     pub trace: Option<JobTrace>,
     /// Assembled causal profile when the spec enabled profiling.
     pub profile: Option<JobProfile>,
+    /// Always-on telemetry snapshot (metrics + flight rings), absent
+    /// only under [`JobSpec::without_telemetry`].
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Windows per lazily-allocated chunk of the [`WindowTable`].
@@ -414,6 +493,11 @@ pub(crate) struct JobState {
     /// case — into one relaxed load instead of a registry lookup and a
     /// queue lock. Initialized `true` so the first pass always drains.
     fabric_ready: Vec<AtomicBool>,
+    /// Always-on per-rank instruments (None only under
+    /// [`JobSpec::without_telemetry`]). Rank threads write their own
+    /// slot; the finalize path folds substrate counters in and
+    /// snapshots.
+    pub(crate) telemetry: Option<JobTelemetry>,
     /// Transient QP-creation failures absorbed per rank during attach.
     attach_retries: Vec<std::sync::atomic::AtomicU32>,
     pub(crate) cells: Vec<RankCell>,
@@ -450,6 +534,9 @@ impl JobState {
             decisions: DecisionLog::default(),
             ft_ctx: AtomicU32::new(FT_CTX_BASE),
             fabric_ready: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            telemetry: spec
+                .telemetry
+                .then(|| JobTelemetry::new(n, DEFAULT_FLIGHT_CAPACITY)),
             attach_retries: (0..n)
                 .map(|_| std::sync::atomic::AtomicU32::new(0))
                 .collect(),
@@ -506,6 +593,7 @@ impl JobState {
         for q in self.queues.iter().filter_map(|slot| slot.get()) {
             let s = q.stats();
             out.queues += 1;
+            out.acquires += s.acquires;
             out.stalled_acquires += s.stalled_acquires;
             out.max_in_flight = out.max_in_flight.max(s.max_in_flight);
         }
@@ -606,6 +694,38 @@ pub(crate) enum RecvState {
 }
 
 /// The per-rank MPI handle — the library's ADI3 surface.
+/// Size of the flight-event write-behind buffer (see
+/// [`Mpi::tel_record_flight`]).
+const FLIGHT_SPILL: usize = 16;
+
+/// Hot settle-path telemetry accumulator (see the `tel_pending` field
+/// docs): a handful of plain counters plus a one-bucket latency
+/// histogram cache, sized to stay within a cache line.
+#[derive(Default)]
+pub(crate) struct TelPending {
+    pub(crate) late_sender_ns: u64,
+    pub(crate) late_receiver_ns: u64,
+    pub(crate) transfer_ns: u64,
+    pub(crate) eager_msgs: u64,
+    pub(crate) rndv_msgs: u64,
+    pub(crate) posted_peak: u64,
+    pub(crate) unexpected_peak: u64,
+    pub(crate) coll_flat: u64,
+    pub(crate) coll_two_level: u64,
+    pub(crate) coll_large: u64,
+    lat_sum: u64,
+    lat_count: u64,
+    lat_bucket: u32,
+    /// Zero-latency observations, counted apart from the bucket cache: a
+    /// windowed workload settles most requests with no blocking at all,
+    /// and the zeros would otherwise alternate with the occasional real
+    /// wait and defeat the one-bucket cache every time.
+    lat_zero: u64,
+    msg_sum: u64,
+    msg_count: u64,
+    msg_bucket: u32,
+}
+
 pub struct Mpi {
     pub(crate) rank: usize,
     pub(crate) n: usize,
@@ -663,6 +783,44 @@ pub struct Mpi {
     /// Collective topology for shrink-produced contexts: the survivor
     /// policy groups and a selector sized to the shrunk membership.
     pub(crate) ctx_coll: FastMap<u32, Arc<ShrunkTopology>>,
+    /// Channels this rank has routed at least one message on, as a
+    /// bitmask of `1 << cmpi_telemetry::chan_code::*`. Gates the
+    /// first-use `ChannelChoice` flight event so the steady-state send
+    /// path stays event-free.
+    pub(crate) chan_seen: u8,
+    /// This thread's unsynchronized metric scratch: hot-path counters
+    /// and histogram samples accumulate here with plain arithmetic and
+    /// merge into the shared slab once, at rank teardown — a dozen
+    /// locked RMWs per message would cost ~10 % on the eager path.
+    pub(crate) tel_scratch: Box<LocalMetrics>,
+    /// Write-behind buffer for high-rate flight events (rendezvous
+    /// protocol steps, channel choices): plain stores into one warm
+    /// line, spilled to the shared ring in batches. A direct ring
+    /// `record` is 2–3 cold-line touches once a large payload copy has
+    /// flushed L1, which alone cost ~2 % on the 64 KiB rendezvous
+    /// kernel. Rare critical events (convict, revoke, death, retry,
+    /// downgrade) still hit the ring directly so they are never lost in
+    /// an unflushed buffer. Ring publication order may therefore trail
+    /// virtual-time order slightly; events carry their own timestamps.
+    pub(crate) tel_flight_buf: [FlightEvent; FLIGHT_SPILL],
+    pub(crate) tel_flight_len: u8,
+    /// Sampling counter for the per-message rendezvous handshake events
+    /// (`RndvStart`/`RndvCts`/`RndvData`): even buffered, recording all
+    /// three steps of every 64 KiB transfer costs a few percent, so the
+    /// ring keeps a 1-in-8 sample (first candidate always recorded).
+    /// Exact message counts live in the metrics registry (`EagerMsgs`,
+    /// `RndvMsgs`); the ring is a diagnostic trace, not a ledger.
+    pub(crate) tel_flight_sample: u8,
+    /// Per-message telemetry accumulator, kept inline (not behind the
+    /// scratch box) for two reasons: settle runs between a receive
+    /// completing and the next send's locked queue CAS, where stores
+    /// that miss serialize into measured latency; and on an
+    /// oversubscribed core every message context-switches, evicting any
+    /// line the hooks touch — inline fields share lines the hot path
+    /// re-warms anyway, a separate allocation re-misses every op.
+    /// Spilled into `tel_scratch` on histogram-bucket change and at
+    /// [`Mpi::tel_flush`].
+    pub(crate) tel_pending: TelPending,
     /// Recorded timeline when tracing is enabled.
     pub(crate) trace: Option<RankTrace>,
     /// Causal-profile collector when profiling is enabled.
@@ -811,6 +969,12 @@ impl Mpi {
             shrink_gen: FastMap::default(),
             ctx_coll: FastMap::default(),
             copy_busy: vec![SimTime::ZERO; n],
+            chan_seen: 0,
+            tel_flight_buf: [FlightEvent::new(EventKind::ChannelChoice, 0); FLIGHT_SPILL],
+            tel_flight_len: 0,
+            tel_flight_sample: 0,
+            tel_scratch: Box::default(),
+            tel_pending: TelPending::default(),
             trace: None,
             prof: None,
             drain_buf: Vec::new(),
@@ -901,6 +1065,194 @@ impl Mpi {
         peer != self.rank && !self.view.peer(peer).same_socket
     }
 
+    /// This rank's always-on instruments (`None` only under
+    /// [`JobSpec::without_telemetry`]). The rank thread is the sole
+    /// flight-ring writer; metric slabs tolerate concurrent snapshots.
+    #[inline]
+    pub(crate) fn tel(&self) -> Option<&RankTelemetry> {
+        self.state.telemetry.as_ref().map(|t| t.rank(self.rank))
+    }
+
+    /// Ledger one collective-selector decision: the per-(kind, algo)
+    /// audit matrix always, plus the always-on decision counters.
+    pub(crate) fn record_coll_sel(&mut self, kind: CollKind, algo: CollAlgo) {
+        self.stats.record_coll(kind, algo);
+        if self.state.telemetry.is_some() {
+            match algo {
+                CollAlgo::Flat => self.tel_pending.coll_flat += 1,
+                CollAlgo::TwoLevel => self.tel_pending.coll_two_level += 1,
+                CollAlgo::Large => self.tel_pending.coll_large += 1,
+            }
+        }
+    }
+
+    /// Queue a high-rate flight event via the write-behind buffer (see
+    /// the `tel_flight_buf` field docs). Only call with telemetry on.
+    #[inline]
+    pub(crate) fn tel_record_flight(&mut self, ev: FlightEvent) {
+        let n = self.tel_flight_len as usize;
+        self.tel_flight_buf[n] = ev;
+        self.tel_flight_len += 1;
+        if self.tel_flight_len as usize == FLIGHT_SPILL {
+            self.tel_flight_spill();
+        }
+    }
+
+    /// Queue a *sampled* high-rate flight event: 1-in-8 of the
+    /// per-message rendezvous handshake steps reach the ring (see the
+    /// `tel_flight_sample` field docs). The first candidate always
+    /// records so short jobs still show the protocol in their trace.
+    #[inline]
+    pub(crate) fn tel_sample_flight(&mut self, ev: FlightEvent) {
+        self.tel_flight_sample = self.tel_flight_sample.wrapping_add(1);
+        if self.tel_flight_sample & 7 == 1 {
+            self.tel_record_flight(ev);
+        }
+    }
+
+    /// Publish the buffered flight events to this rank's ring.
+    pub(crate) fn tel_flight_spill(&mut self) {
+        if let Some(t) = self.state.telemetry.as_ref() {
+            let flight = &t.rank(self.rank).flight;
+            for ev in &self.tel_flight_buf[..self.tel_flight_len as usize] {
+                flight.record(*ev);
+            }
+        }
+        self.tel_flight_len = 0;
+    }
+
+    /// Merge the scratch into this rank's shared slab (teardown, and any
+    /// point a live reader is about to sample).
+    pub(crate) fn tel_flush(&mut self) {
+        self.tel_flight_spill();
+        if let Some(t) = self.state.telemetry.as_ref() {
+            let p = &mut self.tel_pending;
+            if p.late_sender_ns > 0 {
+                self.tel_scratch
+                    .add(MetricId::LateSenderNs, p.late_sender_ns);
+                p.late_sender_ns = 0;
+            }
+            if p.late_receiver_ns > 0 {
+                self.tel_scratch
+                    .add(MetricId::LateReceiverNs, p.late_receiver_ns);
+                p.late_receiver_ns = 0;
+            }
+            if p.transfer_ns > 0 {
+                self.tel_scratch.add(MetricId::TransferNs, p.transfer_ns);
+                p.transfer_ns = 0;
+            }
+            if p.eager_msgs > 0 {
+                self.tel_scratch.add(MetricId::EagerMsgs, p.eager_msgs);
+                p.eager_msgs = 0;
+            }
+            if p.rndv_msgs > 0 {
+                self.tel_scratch.add(MetricId::RndvMsgs, p.rndv_msgs);
+                p.rndv_msgs = 0;
+            }
+            if p.coll_flat > 0 {
+                self.tel_scratch.add(MetricId::CollFlat, p.coll_flat);
+                p.coll_flat = 0;
+            }
+            if p.coll_two_level > 0 {
+                self.tel_scratch
+                    .add(MetricId::CollTwoLevel, p.coll_two_level);
+                p.coll_two_level = 0;
+            }
+            if p.coll_large > 0 {
+                self.tel_scratch.add(MetricId::CollLarge, p.coll_large);
+                p.coll_large = 0;
+            }
+            if p.posted_peak > 0 {
+                self.tel_scratch
+                    .gauge_max(MetricId::MatchPostedPeak, p.posted_peak);
+                p.posted_peak = 0;
+            }
+            if p.unexpected_peak > 0 {
+                self.tel_scratch
+                    .gauge_max(MetricId::MatchUnexpectedPeak, p.unexpected_peak);
+                p.unexpected_peak = 0;
+            }
+            if p.lat_count > 0 {
+                self.tel_scratch.observe_bulk(
+                    MetricId::Pt2ptLatencyNs,
+                    p.lat_bucket as usize,
+                    p.lat_count,
+                    p.lat_sum,
+                );
+                p.lat_count = 0;
+                p.lat_sum = 0;
+            }
+            if p.lat_zero > 0 {
+                self.tel_scratch
+                    .observe_bulk(MetricId::Pt2ptLatencyNs, 0, p.lat_zero, 0);
+                p.lat_zero = 0;
+            }
+            if p.msg_count > 0 {
+                self.tel_scratch.observe_bulk(
+                    MetricId::MsgSizeBytes,
+                    p.msg_bucket as usize,
+                    p.msg_count,
+                    p.msg_sum,
+                );
+                p.msg_count = 0;
+                p.msg_sum = 0;
+            }
+            self.tel_scratch.flush_into(&t.rank(self.rank).metrics);
+        }
+    }
+
+    /// Record one pt2pt blocking latency via the pending same-bucket
+    /// cache: consecutive samples that land in one log2 bucket (the
+    /// common case — virtual-time latencies repeat) cost three plain
+    /// adds on the hot line; the histogram proper is only touched when
+    /// the bucket changes.
+    #[inline]
+    pub(crate) fn tel_observe_latency(&mut self, v: u64) {
+        if v == 0 {
+            // The windowed common case: the completion was already in
+            // hand, nothing blocked. One add, no bucket math.
+            self.tel_pending.lat_zero += 1;
+            return;
+        }
+        let b = cmpi_prof::size_bucket(v as usize) as u32;
+        let p = &mut self.tel_pending;
+        if b != p.lat_bucket && p.lat_count > 0 {
+            self.tel_scratch.observe_bulk(
+                MetricId::Pt2ptLatencyNs,
+                p.lat_bucket as usize,
+                p.lat_count,
+                p.lat_sum,
+            );
+            p.lat_count = 0;
+            p.lat_sum = 0;
+        }
+        p.lat_bucket = b;
+        p.lat_count += 1;
+        p.lat_sum += v;
+    }
+
+    /// Record one sent-message size via the pending same-bucket cache
+    /// (same rationale as [`Mpi::tel_observe_latency`]; a ping-pong
+    /// stream repeats one size forever).
+    #[inline]
+    pub(crate) fn tel_observe_msg_size(&mut self, v: u64) {
+        let b = cmpi_prof::size_bucket(v as usize) as u32;
+        let p = &mut self.tel_pending;
+        if b != p.msg_bucket && p.msg_count > 0 {
+            self.tel_scratch.observe_bulk(
+                MetricId::MsgSizeBytes,
+                p.msg_bucket as usize,
+                p.msg_count,
+                p.msg_sum,
+            );
+            p.msg_count = 0;
+            p.msg_sum = 0;
+        }
+        p.msg_bucket = b;
+        p.msg_count += 1;
+        p.msg_sum += v;
+    }
+
     // ---- mid-run fault tolerance --------------------------------------------
 
     /// Entry bookkeeping for fault-tolerant calls: bump the deterministic
@@ -941,6 +1293,13 @@ impl Mpi {
         // its program order, so a peer that observes the death and then
         // drains its mailbox sees every pre-death packet.
         self.state.detector.mark_down(&[self.rank], self.now, fault);
+        self.tel_flight_spill();
+        if let Some(tel) = self.tel() {
+            tel.flight.record(
+                FlightEvent::new(EventKind::Death, self.now.as_ns())
+                    .detail(midrun_fault_code(fault)),
+            );
+        }
         if let Some(tr) = &mut self.trace {
             tr.instant("death", self.now, None, Some(midrun_fault_name(fault)), 1);
         }
@@ -1013,6 +1372,17 @@ impl Mpi {
                 .recovery
                 .detect_ns
                 .max(self.now.as_ns() - d.at.as_ns());
+            if let Some(tel) = self.tel() {
+                tel.metrics.inc(MetricId::FtSuspicions);
+                tel.metrics.inc(MetricId::FtConvictions);
+                tel.flight
+                    .record(FlightEvent::new(EventKind::Suspect, convict_at.as_ns()).peer(d.rank));
+                tel.flight.record(
+                    FlightEvent::new(EventKind::Convict, self.now.as_ns())
+                        .peer(d.rank)
+                        .a(self.now.as_ns() - d.at.as_ns()),
+                );
+            }
             if let Some(tr) = &mut self.trace {
                 tr.instant("suspect", convict_at, Some(d.rank), None, 1);
                 tr.instant(
@@ -1047,6 +1417,11 @@ impl Mpi {
             return;
         }
         self.stats.recovery.revokes += 1;
+        if let Some(tel) = self.tel() {
+            tel.metrics.inc(MetricId::FtRevokes);
+            tel.flight
+                .record(FlightEvent::new(EventKind::Revoke, self.now.as_ns()).a(ctx as u64));
+        }
         if let Some(tr) = &mut self.trace {
             tr.instant("revoke", self.now, None, None, 1);
         }
@@ -1124,11 +1499,21 @@ impl Mpi {
     /// the trace as instant events, so a Perfetto view shows *why* a pair
     /// ended up on the HCA before the first message flows.
     pub(crate) fn emit_init_events(&mut self) {
+        let downgrades: Vec<(usize, crate::locality::DowngradeReason)> =
+            self.view.downgraded_peers().collect();
+        // Telemetry is unconditional: downgrades must show up in the
+        // health surface even when nobody asked for a trace.
+        if let Some(tel) = self.tel() {
+            for (peer, _) in &downgrades {
+                tel.metrics.inc(MetricId::HcaDowngrades);
+                tel.flight.record(
+                    FlightEvent::new(EventKind::HcaDowngrade, self.now.as_ns()).peer(*peer),
+                );
+            }
+        }
         if self.trace.is_none() {
             return;
         }
-        let downgrades: Vec<(usize, crate::locality::DowngradeReason)> =
-            self.view.downgraded_peers().collect();
         let recovery = self.stats.recovery;
         let t = self.now;
         let tr = self.trace.as_mut().expect("checked above");
@@ -1329,7 +1714,14 @@ impl Mpi {
     pub(crate) fn dispatch(&mut self, msg: ArrivedMsg) {
         match self.engine.take_matching_posted(&msg) {
             Some(p) => self.fulfill(p.rreq, msg, p.posted_at),
-            None => self.engine.push_unexpected(msg),
+            None => {
+                self.engine.push_unexpected(msg);
+                if self.state.telemetry.is_some() {
+                    let depth = self.engine.unexpected_len() as u64;
+                    let p = &mut self.tel_pending;
+                    p.unexpected_peak = p.unexpected_peak.max(depth);
+                }
+            }
         }
     }
 
@@ -1427,6 +1819,13 @@ impl Mpi {
         let len = data.len();
         self.send_control(dst, PacketKind::RndvData { rreq }, data, channel, t);
         self.record_tx(dst, channel, len);
+        if self.state.telemetry.is_some() {
+            self.tel_sample_flight(
+                FlightEvent::new(EventKind::RndvCts, t.as_ns())
+                    .peer(dst)
+                    .a(len as u64),
+            );
+        }
         self.sends.insert(
             sreq,
             SendState::AwaitFin {
@@ -1482,6 +1881,13 @@ impl Mpi {
         };
         self.send_control(src, PacketKind::Fin { sreq }, Bytes::new(), channel, t);
         self.record_rx(src, channel, size);
+        if self.state.telemetry.is_some() {
+            self.tel_sample_flight(
+                FlightEvent::new(EventKind::RndvData, t.as_ns())
+                    .peer(src)
+                    .a(size as u64),
+            );
+        }
         let status = Status {
             src,
             tag,
@@ -1572,6 +1978,11 @@ impl Mpi {
                 Ok(info) => return Some(info),
                 Err(FabricError::TransientCompletion { .. }) => {
                     self.stats.recovery.send_retries += 1;
+                    if let Some(tel) = self.tel() {
+                        tel.metrics.inc(MetricId::SendRetries);
+                        tel.flight
+                            .record(FlightEvent::new(EventKind::SendRetry, t.as_ns()).peer(dst));
+                    }
                     if let Some(tr) = &mut self.trace {
                         tr.instant("send-retry", t, Some(dst), None, 1);
                     }

@@ -124,3 +124,70 @@ fn steady_state_eager_loop_is_allocation_free() {
          (rerun with CMPI_ALLOC_TRACE=1 for backtraces)"
     );
 }
+
+/// Steady-state rendezvous ping-pong — with telemetry on (the default),
+/// so every round trip records counters, histogram samples, and the
+/// sampled rendezvous flight events (RndvStart / RndvCts / RndvData,
+/// 1-in-8) — allocates nothing per op. The measured phase runs long
+/// enough to wrap the 256-slot flight ring even at the sampling rate,
+/// covering the drop-oldest path too.
+#[test]
+fn steady_state_rndv_recording_is_allocation_free() {
+    if std::env::var_os("CMPI_ALLOC_TRACE").is_some() {
+        TRACING.store(true, Ordering::Relaxed);
+    }
+    const WARMUP: u32 = 16;
+    // 3 sampled-event candidates per rank per round trip at 1-in-8 →
+    // ~0.375 ring records each; 800 trips ≈ 306 events > 256 slots.
+    const MEASURED: u32 = 800;
+    const SIZE: usize = 64 * 1024; // CMA rendezvous on the intra-host pair
+    let spec = JobSpec::new(DeploymentScenario::pt2pt_pair(
+        true,
+        true,
+        NamespaceSharing::default(),
+    ));
+    let counted = spec.run(|mpi| {
+        let payload = Bytes::from(vec![7u8; SIZE]);
+        let me = mpi.rank();
+        let peer = 1 - me;
+        let pingpong = |mpi: &mut cmpi_core::Mpi, iters: u32| {
+            for _ in 0..iters {
+                if me == 0 {
+                    mpi.send_bytes(payload.clone(), peer, 0);
+                    mpi.recv_bytes(peer, 0);
+                } else {
+                    let (m, _) = mpi.recv_bytes(peer, 0);
+                    mpi.send_bytes(m, peer, 0);
+                }
+            }
+        };
+        pingpong(mpi, WARMUP);
+        mpi.barrier();
+        if me == 0 {
+            ALLOCS.store(0, Ordering::Relaxed);
+            COUNTING.store(true, Ordering::Relaxed);
+        }
+        mpi.barrier();
+        pingpong(mpi, MEASURED);
+        mpi.barrier();
+        if me == 0 {
+            COUNTING.store(false, Ordering::Relaxed);
+            ALLOCS.load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    });
+    let allocs = counted.results[0];
+    assert_eq!(
+        allocs, 0,
+        "steady-state rendezvous loop (telemetry on) allocated {allocs} times over \
+         {MEASURED} round trips (rerun with CMPI_ALLOC_TRACE=1 for backtraces)"
+    );
+    // The zero-alloc claim must include the drop-oldest path: the run
+    // has to have actually wrapped the flight ring.
+    let snap = counted.telemetry.expect("telemetry on by default");
+    assert!(
+        snap.ranks.iter().any(|r| r.flight.dropped > 0),
+        "measured phase never wrapped the flight ring; lengthen MEASURED"
+    );
+}

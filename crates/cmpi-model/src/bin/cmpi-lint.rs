@@ -58,6 +58,7 @@ fn main() -> ExitCode {
     let mut collectives_src = None;
     let mut packet_src = None;
     let mut error_src = None;
+    let mut metrics_src = None;
     for path in &files {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -78,6 +79,8 @@ fn main() -> ExitCode {
             packet_src = Some(src);
         } else if rel.ends_with("crates/cmpi-core/src/error.rs") {
             error_src = Some(src);
+        } else if rel.ends_with("crates/cmpi-telemetry/src/metrics.rs") {
+            metrics_src = Some(src);
         }
     }
 
@@ -92,6 +95,20 @@ fn main() -> ExitCode {
         Some(err) => violations.extend(lint::lint_error_display(&err)),
         None => {
             eprintln!("cmpi-lint: error.rs not found for the error-display rule");
+            return ExitCode::FAILURE;
+        }
+    }
+    let design_md = match std::fs::read_to_string(root.join("DESIGN.md")) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cmpi-lint: reading DESIGN.md for the metric-ids rule: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match metrics_src {
+        Some(met) => violations.extend(lint::lint_metric_ids(&met, &design_md)),
+        None => {
+            eprintln!("cmpi-lint: metrics.rs not found for the metric-ids rule");
             return ExitCode::FAILURE;
         }
     }

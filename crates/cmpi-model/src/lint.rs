@@ -423,12 +423,19 @@ pub fn lint_tag_widths(collectives_src: &str, packet_src: &str) -> Vec<Violation
 /// declared on. Struct-variant fields (lowercase) and nested lines are
 /// skipped by tracking brace depth inside the enum body.
 fn mpi_error_variants(error_src: &str) -> Vec<(String, usize)> {
+    enum_variants(error_src, "enum MpiError")
+}
+
+/// Variant names of the first enum whose header contains `needle`, with
+/// the 1-based line each is declared on (shared parser for the
+/// error-display and metric-ids rules).
+fn enum_variants(src: &str, needle: &str) -> Vec<(String, usize)> {
     let mut out = Vec::new();
     let mut depth: i32 = -1; // -1: outside the enum
-    for (i, raw) in error_src.lines().enumerate() {
+    for (i, raw) in src.lines().enumerate() {
         let code = code_of(raw);
         if depth < 0 {
-            if code.contains("enum MpiError") && code.contains('{') {
+            if code.contains(needle) && code.contains('{') {
                 depth = 1;
             }
             continue;
@@ -474,10 +481,7 @@ pub fn lint_error_display(error_src: &str) -> Vec<Violation> {
         return out;
     }
 
-    let Some(test_at) = error_src
-        .lines()
-        .position(|l| code_of(l).contains("fn display_covers_every_variant"))
-    else {
+    let Some(body) = fn_body(error_src, "fn display_covers_every_variant") else {
         out.push(Violation {
             file: err_file.to_string(),
             line: 1,
@@ -487,11 +491,29 @@ pub fn lint_error_display(error_src: &str) -> Vec<Violation> {
         return out;
     };
 
-    // The test body: from the fn header to its closing brace.
+    for (name, line) in &variants {
+        if !has_word(&body, name) {
+            out.push(Violation {
+                file: err_file.to_string(),
+                line: *line,
+                rule: "error-display",
+                msg: format!(
+                    "MpiError::{name} is missing from the `display_covers_every_variant` test"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The comment-stripped body of the first fn whose header contains
+/// `marker`, from the header line to its matching closing brace.
+fn fn_body(src: &str, marker: &str) -> Option<String> {
+    let at = src.lines().position(|l| code_of(l).contains(marker))?;
     let mut body = String::new();
     let mut depth = 0i32;
     let mut opened = false;
-    for l in error_src.lines().skip(test_at) {
+    for l in src.lines().skip(at) {
         let code = code_of(l);
         body.push_str(&code);
         body.push('\n');
@@ -509,16 +531,57 @@ pub fn lint_error_display(error_src: &str) -> Vec<Violation> {
             break;
         }
     }
+    Some(body)
+}
+
+/// Rule 6: every `MetricId` variant appears both in the DESIGN.md
+/// metric inventory table (§15) and in the exhaustive
+/// `exposition_covers_every_metric` test in cmpi-telemetry's
+/// `metrics.rs` — the same closed loop the error-display rule keeps for
+/// `MpiError`, so a metric cannot be added without being documented and
+/// exposed.
+pub fn lint_metric_ids(metrics_src: &str, design_md: &str) -> Vec<Violation> {
+    let met_file = "crates/cmpi-telemetry/src/metrics.rs";
+    let mut out = Vec::new();
+
+    let variants = enum_variants(metrics_src, "enum MetricId");
+    if variants.is_empty() {
+        out.push(Violation {
+            file: met_file.to_string(),
+            line: 1,
+            rule: "metric-ids",
+            msg: "`pub enum MetricId` not found (or has no variants)".into(),
+        });
+        return out;
+    }
+
+    let Some(body) = fn_body(metrics_src, "fn exposition_covers_every_metric") else {
+        out.push(Violation {
+            file: met_file.to_string(),
+            line: 1,
+            rule: "metric-ids",
+            msg: "exhaustive exposition test `exposition_covers_every_metric` not found".into(),
+        });
+        return out;
+    };
 
     for (name, line) in &variants {
         if !has_word(&body, name) {
             out.push(Violation {
-                file: err_file.to_string(),
+                file: met_file.to_string(),
                 line: *line,
-                rule: "error-display",
+                rule: "metric-ids",
                 msg: format!(
-                    "MpiError::{name} is missing from the `display_covers_every_variant` test"
+                    "MetricId::{name} is missing from the `exposition_covers_every_metric` test"
                 ),
+            });
+        }
+        if !has_word(design_md, name) {
+            out.push(Violation {
+                file: met_file.to_string(),
+                line: *line,
+                rule: "metric-ids",
+                msg: format!("MetricId::{name} is missing from the DESIGN.md metric table"),
             });
         }
     }
@@ -661,6 +724,48 @@ mod tests {
             .map(|(n, _)| n)
             .collect();
         assert_eq!(names, vec!["Fabric", "StaleSegment", "Revoked"]);
+    }
+
+    #[test]
+    fn metric_ids_rule_requires_test_and_design_coverage() {
+        let covered_src = concat!(
+            "pub enum MetricId {\n",
+            "    ShmOps = 0,\n",
+            "    LateSenderNs = 1,\n",
+            "}\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn exposition_covers_every_metric() {\n",
+            "        let _ = [MetricId::ShmOps, MetricId::LateSenderNs];\n",
+            "    }\n",
+            "}\n",
+        );
+        let design = "| `ShmOps` | counter |\n| `LateSenderNs` | counter |\n";
+        assert!(lint_metric_ids(covered_src, design).is_empty());
+
+        // A variant absent from the test body pins its declaration line.
+        let untested = covered_src.replace("MetricId::LateSenderNs]", "]");
+        let v = lint_metric_ids(&untested, design);
+        assert_eq!(rules_of(&v), vec!["metric-ids"]);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].msg.contains("LateSenderNs"));
+        assert!(v[0].msg.contains("exposition_covers_every_metric"));
+
+        // A variant absent from DESIGN.md is a separate violation.
+        let v = lint_metric_ids(covered_src, "| `ShmOps` |\n");
+        assert_eq!(rules_of(&v), vec!["metric-ids"]);
+        assert!(v[0].msg.contains("DESIGN.md"));
+
+        // No enum / no test are violations, not silent passes.
+        assert_eq!(
+            rules_of(&lint_metric_ids("fn f() {}\n", design)),
+            vec!["metric-ids"]
+        );
+        let no_test = "pub enum MetricId { ShmOps = 0 }\n";
+        let v = lint_metric_ids(no_test, design);
+        assert_eq!(rules_of(&v), vec!["metric-ids"]);
+        assert!(v[0].msg.contains("not found"));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! osu <bench> [--scenario intra|inter|2hosts|native-intra|native-inter]
 //!             [--policy def|opt|shm|cma|hca] [--max-size N] [--iters N]
 //!             [--profile] [--profile-json PATH]
+//!             [--metrics] [--metrics-json PATH]
 //! ```
 //!
 //! `--profile` re-runs the bench kernel at the largest size with the
@@ -11,12 +12,17 @@
 //! wait-state decomposition; `--profile-json PATH` writes the same
 //! profile as JSON (round-trip-validated before the write).
 //!
+//! `--metrics` re-runs the kernel and prints the always-on telemetry
+//! snapshot as Prometheus exposition text plus the health verdict;
+//! `--metrics-json PATH` writes the same snapshot as JSON. Both
+//! outputs are validated before leaving the process.
+//!
 //! Benches: latency, bw, bibw, put-lat, put-bw, get-lat, get-bw,
 //! bcast, allreduce, allgather, alltoall, barrier, reduce, gather, scatter,
 //! reduce-scatter, scan.
 
 use cmpi_cluster::{Channel, DeploymentScenario, NamespaceSharing};
-use cmpi_core::{JobSpec, Json, LocalityPolicy};
+use cmpi_core::{evaluate_health_default, validate_prometheus, JobSpec, Json, LocalityPolicy};
 use cmpi_osu::collective::{self, CollOp};
 use cmpi_osu::{onesided, power_of_two_sizes, pt2pt, ProfileKernel, SizePoint};
 
@@ -25,7 +31,7 @@ fn usage() -> ! {
         "usage: osu <latency|bw|bibw|put-lat|put-bw|get-lat|get-bw|bcast|allreduce|allgather|alltoall>\n\
          \x20        [--scenario intra|inter|2hosts|native-intra|native-inter|coll]\n\
          \x20        [--policy def|opt|shm|cma|hca] [--max-size N] [--iters N]\n\
-         \x20        [--profile] [--profile-json PATH]"
+         \x20        [--profile] [--profile-json PATH] [--metrics] [--metrics-json PATH]"
     );
     std::process::exit(2)
 }
@@ -42,6 +48,8 @@ fn main() {
     let mut iters = 20usize;
     let mut profile = false;
     let mut profile_json: Option<String> = None;
+    let mut metrics = false;
+    let mut metrics_json: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -73,6 +81,14 @@ fn main() {
             }
             "--profile-json" => {
                 profile_json = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--metrics" => {
+                metrics = true;
+                i += 1;
+            }
+            "--metrics-json" => {
+                metrics_json = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
                 i += 2;
             }
             _ => usage(),
@@ -170,7 +186,7 @@ fn main() {
         println!("{:>10}  {:>14.2}", p.size, p.value);
     }
 
-    if profile || profile_json.is_some() {
+    if profile || profile_json.is_some() || metrics || metrics_json.is_some() {
         let op = match bench.as_str() {
             "bcast" => Some(CollOp::Bcast),
             "allreduce" => Some(CollOp::Allreduce),
@@ -185,15 +201,54 @@ fn main() {
             _ => None,
         };
         let kernel = ProfileKernel::for_bench(&bench, op);
-        let p = cmpi_osu::profiled_run(&spec, kernel, max_size, iters.min(8));
-        if profile {
-            print!("{}", p.report());
+        if profile || profile_json.is_some() {
+            let p = cmpi_osu::profiled_run(&spec, kernel, max_size, iters.min(8));
+            if profile {
+                print!("{}", p.report());
+            }
+            if let Some(path) = profile_json {
+                let doc = p.to_json().to_string();
+                Json::parse(&doc).expect("profile JSON must round-trip");
+                std::fs::write(&path, doc).expect("write profile json");
+                eprintln!("wrote {path}");
+            }
         }
-        if let Some(path) = profile_json {
-            let doc = p.to_json().to_string();
-            Json::parse(&doc).expect("profile JSON must round-trip");
-            std::fs::write(&path, doc).expect("write profile json");
-            eprintln!("wrote {path}");
+        if metrics || metrics_json.is_some() {
+            let snap = cmpi_osu::metrics_run(&spec, kernel, max_size, iters.min(8));
+            if metrics {
+                let prom = snap.to_prometheus();
+                let samples =
+                    validate_prometheus(&prom).expect("prometheus exposition must validate");
+                print!("{prom}");
+                let health = evaluate_health_default(&snap);
+                println!("# health: {}", health.status.name());
+                for f in &health.findings {
+                    match f.rank {
+                        Some(r) => {
+                            println!(
+                                "# health[{}] rank {}: {} — {}",
+                                f.status.name(),
+                                r,
+                                f.rule,
+                                f.detail
+                            )
+                        }
+                        None => println!(
+                            "# health[{}] job: {} — {}",
+                            f.status.name(),
+                            f.rule,
+                            f.detail
+                        ),
+                    }
+                }
+                eprintln!("# {samples} samples");
+            }
+            if let Some(path) = metrics_json {
+                let doc = snap.to_json().to_string();
+                Json::parse(&doc).expect("metrics JSON must round-trip");
+                std::fs::write(&path, doc).expect("write metrics json");
+                eprintln!("wrote {path}");
+            }
         }
     }
 }

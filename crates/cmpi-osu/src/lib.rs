@@ -23,4 +23,4 @@ pub mod profile;
 pub mod pt2pt;
 
 pub use common::{power_of_two_sizes, SizePoint};
-pub use profile::{profiled_run, ProfileKernel};
+pub use profile::{metrics_run, profiled_run, ProfileKernel};

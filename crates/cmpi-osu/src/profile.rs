@@ -10,7 +10,7 @@
 
 use bytes::Bytes;
 use cmpi_cluster::SimTime;
-use cmpi_core::{JobProfile, JobSpec};
+use cmpi_core::{JobProfile, JobSpec, Mpi, TelemetrySnapshot};
 
 use crate::collective::{run_op, CollOp};
 
@@ -36,16 +36,10 @@ impl ProfileKernel {
     }
 }
 
-/// Run `kernel` at `size` bytes for `iters` iterations with the causal
-/// profiler enabled; returns the assembled job profile.
-pub fn profiled_run(
-    spec: &JobSpec,
-    kernel: ProfileKernel,
-    size: usize,
-    iters: usize,
-) -> JobProfile {
-    let spec = spec.clone().with_profiling();
-    let r = spec.run(move |mpi| match kernel {
+/// One rank's worth of the chosen kernel (shared between the profiled
+/// and the telemetry-snapshot runs so both measure the same pattern).
+fn run_kernel(mpi: &mut Mpi, kernel: ProfileKernel, size: usize, iters: usize) -> SimTime {
+    match kernel {
         ProfileKernel::PingPong => {
             let payload = Bytes::from(vec![0u8; size]);
             if mpi.rank() == 0 {
@@ -83,8 +77,35 @@ pub fn profiled_run(
             }
             SimTime::ZERO
         }
-    });
+    }
+}
+
+/// Run `kernel` at `size` bytes for `iters` iterations with the causal
+/// profiler enabled; returns the assembled job profile.
+pub fn profiled_run(
+    spec: &JobSpec,
+    kernel: ProfileKernel,
+    size: usize,
+    iters: usize,
+) -> JobProfile {
+    let spec = spec.clone().with_profiling();
+    let r = spec.run(move |mpi| run_kernel(mpi, kernel, size, iters));
     r.profile.expect("profiling was enabled on the spec")
+}
+
+/// Run `kernel` once and return the always-on telemetry snapshot
+/// (metric registry + flight rings) for exactly that communication
+/// pattern — what `osu --metrics` prints.
+pub fn metrics_run(
+    spec: &JobSpec,
+    kernel: ProfileKernel,
+    size: usize,
+    iters: usize,
+) -> TelemetrySnapshot {
+    let mut spec = spec.clone();
+    spec.telemetry = true;
+    let r = spec.run(move |mpi| run_kernel(mpi, kernel, size, iters));
+    r.telemetry.expect("telemetry was enabled on the spec")
 }
 
 #[cfg(test)]

@@ -27,6 +27,8 @@ pub mod profile;
 pub mod wait;
 
 pub use json::{Json, JsonError};
-pub use matrix::{chan_index, size_bucket, ChanCell, PeerCell, RankMatrix, SizeHistogram};
+pub use matrix::{
+    chan_index, size_bucket, ChanCell, PeerCell, RankMatrix, SizeHistogram, SIZE_BUCKETS,
+};
 pub use profile::{FabricCounters, JobProfile, ProfCollector, QueuePressure};
 pub use wait::{WaitBreakdown, WaitClass, WaitStats};

@@ -46,6 +46,9 @@ impl ProfCollector {
 pub struct QueuePressure {
     /// Pair queues instantiated.
     pub queues: u64,
+    /// Successful space claims across all queues (the stall-ratio
+    /// denominator the health evaluator consumes).
+    pub acquires: u64,
     /// Acquires that found the queue full and had to wait for a
     /// receiver-side drain (each one is backpressure the Fig. 7(b)
     /// sweep measures).

@@ -29,6 +29,8 @@ struct QueueState {
     history: VecDeque<(u64, SimTime)>,
     /// Set when the receiver side is torn down; pending acquires fail.
     closed: bool,
+    /// Successful space claims (the stall-ratio denominator).
+    acquires: u64,
     /// Acquires that found the queue full (backpressure events).
     stalled_acquires: u64,
     /// High-water mark of bytes in flight.
@@ -42,6 +44,9 @@ struct QueueState {
 /// Backpressure counters of one queue (see [`PairQueue::stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QueueStats {
+    /// Successful space claims (every eager chunk acquires once), the
+    /// denominator for backpressure ratios.
+    pub acquires: u64,
     /// Acquires that had to wait for a receiver-side drain.
     pub stalled_acquires: u64,
     /// Highest bytes-in-flight ever observed.
@@ -79,6 +84,7 @@ impl PairQueue {
                 released: 0,
                 history: VecDeque::with_capacity(HISTORY_CAP),
                 closed: false,
+                acquires: 0,
                 stalled_acquires: 0,
                 max_in_flight: 0,
                 waiters: 0,
@@ -153,6 +159,7 @@ impl PairQueue {
                 "release history lost the satisfying event"
             );
         }
+        s.acquires += 1;
         s.acquired += bytes;
         s.max_in_flight = s.max_in_flight.max(s.acquired - s.released);
         Ok(stall)
@@ -185,6 +192,7 @@ impl PairQueue {
                 s.history.pop_front();
             }
         }
+        s.acquires += 1;
         s.acquired += bytes;
         s.max_in_flight = s.max_in_flight.max(s.acquired - s.released);
         Some(stall)
@@ -250,6 +258,7 @@ impl PairQueue {
     pub fn stats(&self) -> QueueStats {
         let s = self.state.lock();
         QueueStats {
+            acquires: s.acquires,
             stalled_acquires: s.stalled_acquires,
             max_in_flight: s.max_in_flight,
         }
@@ -320,6 +329,7 @@ mod tests {
         assert_eq!(
             q.stats(),
             QueueStats {
+                acquires: 1,
                 stalled_acquires: 0,
                 max_in_flight: 100
             }
@@ -334,6 +344,7 @@ mod tests {
         assert_eq!(
             q.stats(),
             QueueStats {
+                acquires: 2,
                 stalled_acquires: 1,
                 max_in_flight: 100
             }

@@ -1,0 +1,205 @@
+//! Always-on observability for container-MPI jobs.
+//!
+//! Three pieces, all cheap enough to never turn off (the bench suite
+//! gates the telemetry-on/off delta at 2 % on the hot kernels):
+//!
+//! * a **flight recorder** ([`FlightRecorder`]) — a fixed-capacity,
+//!   allocation-free per-rank event ring recording protocol
+//!   transitions, channel choices, retries/downgrades and
+//!   failure-detector events, dumpable as Chrome-trace JSON;
+//! * a **metrics registry** ([`RankMetrics`], [`MetricId`]) — typed
+//!   counters/gauges/log2 histograms behind a static id table (no
+//!   string lookups on the hot path), snapshotted to Prometheus text
+//!   and JSON exposition;
+//! * a **health evaluator** ([`evaluate`]) — threshold rules over
+//!   snapshots producing per-rank/per-job verdicts.
+//!
+//! This crate is substrate-agnostic: `cmpi-core` owns the
+//! [`JobTelemetry`] instance (one [`RankTelemetry`] per rank, shared
+//! via `Arc`), feeds the hot-path hooks, folds substrate counters in
+//! at sample points, and surfaces snapshots through `JobResult`. The
+//! opt-in PR 3 profiler answers *why was this job slow* after the
+//! fact; this crate answers *is this job healthy* while it runs.
+
+#![forbid(unsafe_code)]
+
+pub mod health;
+pub mod metrics;
+pub mod ring;
+
+pub use health::{
+    evaluate, evaluate_default, HealthFinding, HealthReport, HealthStatus, HealthThresholds,
+};
+pub use metrics::{
+    validate_prometheus, AtomicHistogram, HistogramSnapshot, LocalMetrics, MetricId, MetricKind,
+    RankMetrics, RankSnapshot, TelemetrySnapshot, NUM_METRICS,
+};
+pub use ring::{
+    chan_code, chan_code_name, EventKind, FlightEvent, FlightRecorder, FlightSnapshot,
+    DEFAULT_FLIGHT_CAPACITY,
+};
+
+use cmpi_prof::Json;
+
+/// One rank's always-on instruments: its metric slab plus its flight
+/// ring. The owning rank thread is the only writer; snapshot readers
+/// may run concurrently.
+pub struct RankTelemetry {
+    /// The typed metric slab.
+    pub metrics: RankMetrics,
+    /// The event ring.
+    pub flight: FlightRecorder,
+}
+
+/// A whole job's telemetry: one [`RankTelemetry`] per rank, created at
+/// job setup and shared (`Arc`) between the rank threads and whoever
+/// snapshots.
+pub struct JobTelemetry {
+    ranks: Vec<RankTelemetry>,
+}
+
+impl JobTelemetry {
+    /// Instruments for `num_ranks` ranks with `flight_capacity` events
+    /// of ring per rank (see [`DEFAULT_FLIGHT_CAPACITY`]).
+    pub fn new(num_ranks: usize, flight_capacity: usize) -> JobTelemetry {
+        JobTelemetry {
+            ranks: (0..num_ranks)
+                .map(|_| RankTelemetry {
+                    metrics: RankMetrics::default(),
+                    flight: FlightRecorder::new(flight_capacity),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of ranks instrumented.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// One rank's instruments.
+    pub fn rank(&self, rank: usize) -> &RankTelemetry {
+        &self.ranks[rank]
+    }
+
+    /// Point-in-time copy of every rank's metrics and ring. The
+    /// flight-recorder volume counters ([`MetricId::FlightEvents`],
+    /// [`MetricId::FlightDropped`]) are sampled from the rings here
+    /// rather than double-counted on the record path.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            ranks: self
+                .ranks
+                .iter()
+                .map(|r| {
+                    let flight = r.flight.snapshot();
+                    let mut scalars = r.metrics.snapshot_scalars();
+                    scalars[MetricId::FlightEvents.index()] = flight.published;
+                    scalars[MetricId::FlightDropped.index()] = flight.dropped;
+                    RankSnapshot {
+                        scalars,
+                        histos: r.metrics.snapshot_histos(),
+                        flight,
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Append one ring snapshot's Chrome trace-event objects (`ph:"i"`
+/// instants, `tid` = rank, microsecond timestamps) to `out`.
+pub(crate) fn ring_chrome_events(flight: &FlightSnapshot, rank: usize, out: &mut Vec<Json>) {
+    for ev in &flight.events {
+        let mut args = vec![("detail".to_string(), Json::num(ev.detail as u64))];
+        if let Some(p) = ev.peer {
+            args.push(("peer".to_string(), Json::num(p as u64)));
+        }
+        if ev.kind == EventKind::ChannelChoice {
+            args.push(("chan".to_string(), Json::str(chan_code_name(ev.detail))));
+        }
+        args.push(("a".to_string(), Json::num(ev.a)));
+        args.push(("b".to_string(), Json::num(ev.b)));
+        out.push(Json::Obj(vec![
+            ("name".to_string(), Json::str(ev.kind.name())),
+            ("cat".to_string(), Json::str("flight")),
+            ("ph".to_string(), Json::str("i")),
+            ("s".to_string(), Json::str("t")),
+            ("pid".to_string(), Json::num(0)),
+            ("tid".to_string(), Json::num(rank as u64)),
+            ("ts".to_string(), Json::Num(ev.at_ns as f64 / 1_000.0)),
+            ("args".to_string(), Json::Obj(args)),
+        ]));
+    }
+    // One summary instant per rank so a dump always shows the drop
+    // accounting even after heavy wrap.
+    out.push(Json::Obj(vec![
+        ("name".to_string(), Json::str("flight-summary")),
+        ("cat".to_string(), Json::str("flight")),
+        ("ph".to_string(), Json::str("i")),
+        ("s".to_string(), Json::str("t")),
+        ("pid".to_string(), Json::num(0)),
+        ("tid".to_string(), Json::num(rank as u64)),
+        ("ts".to_string(), Json::Num(0.0)),
+        (
+            "args".to_string(),
+            Json::Obj(vec![
+                ("published".to_string(), Json::num(flight.published)),
+                ("dropped".to_string(), Json::num(flight.dropped)),
+            ]),
+        ),
+    ]));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_telemetry_snapshot_samples_flight_counters() {
+        let t = JobTelemetry::new(2, 4);
+        for i in 0..6 {
+            t.rank(0)
+                .flight
+                .record(FlightEvent::new(EventKind::SendRetry, i));
+        }
+        t.rank(1).metrics.inc(MetricId::EagerMsgs);
+        let snap = t.snapshot();
+        assert_eq!(snap.num_ranks(), 2);
+        assert_eq!(snap.ranks[0].get(MetricId::FlightEvents), 6);
+        assert_eq!(snap.ranks[0].get(MetricId::FlightDropped), 2);
+        assert_eq!(snap.ranks[1].get(MetricId::FlightEvents), 0);
+        assert_eq!(snap.ranks[1].get(MetricId::EagerMsgs), 1);
+        assert_eq!(snap.ranks[0].flight.events.len(), 4);
+    }
+
+    #[test]
+    fn flight_chrome_dump_round_trips() {
+        let t = JobTelemetry::new(2, 8);
+        t.rank(0).flight.record(
+            FlightEvent::new(EventKind::ChannelChoice, 1_500)
+                .peer(1)
+                .detail(chan_code::CMA),
+        );
+        t.rank(1)
+            .flight
+            .record(FlightEvent::new(EventKind::Convict, 9_000).peer(0).a(1234));
+        let doc = t.snapshot().flight_chrome_json().to_string();
+        let parsed = Json::parse(&doc).expect("chrome dump must parse");
+        let events = parsed.as_arr().unwrap();
+        // Two real events plus one summary per rank.
+        assert_eq!(events.len(), 4);
+        let choice = &events[0];
+        assert_eq!(choice.get("name").unwrap().as_str(), Some("channel-choice"));
+        assert_eq!(choice.get("ph").unwrap().as_str(), Some("i"));
+        let args = choice.get("args").unwrap();
+        assert_eq!(args.get("chan").unwrap().as_str(), Some("cma"));
+        assert_eq!(args.get("peer").unwrap().as_f64(), Some(1.0));
+        let convict = &events[2];
+        assert_eq!(convict.get("tid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            convict.get("args").unwrap().get("a").unwrap().as_f64(),
+            Some(1234.0)
+        );
+    }
+}

@@ -1,0 +1,1043 @@
+//! The metrics registry: typed counters, gauges and log2-bucket
+//! histograms with a static id table.
+//!
+//! Every metric is a [`MetricId`] variant — registered once, at compile
+//! time. Hot-path updates index a per-rank atomic slab directly
+//! (`metric id → array slot`, no string hashing, no locks, no
+//! allocation); string names only appear at exposition time.
+//! Snapshots are point-in-time copies exposed as Prometheus text
+//! ([`TelemetrySnapshot::to_prometheus`]) and JSON
+//! ([`TelemetrySnapshot::to_json`], via the strict [`cmpi_prof::Json`]
+//! model, so every emitted document round-trips).
+//!
+//! Histograms reuse the profiler's log2 bucketing
+//! ([`cmpi_prof::size_bucket`]): bucket `k` counts values whose
+//! `next_power_of_two` is `2^k`. A histogram snapshot never tears —
+//! `bucket sum == count` always holds on the emitted copy (bounded
+//! validation retries with a reconcile fallback; see
+//! [`AtomicHistogram::snapshot`]).
+
+use cmpi_model::sync::{AtomicU64, Ordering};
+use cmpi_prof::{size_bucket, Json, SIZE_BUCKETS};
+
+use crate::ring::FlightSnapshot;
+
+/// What a metric measures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// Point-in-time level (peaks are kept via [`RankMetrics::gauge_max`]).
+    Gauge,
+    /// Log2-bucket value distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// Prometheus `# TYPE` name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Every metric the runtime records. The discriminant is the slot index
+/// in the per-rank registry; histograms sit at the tail.
+///
+/// Adding a variant requires: an [`MetricId::ALL`] entry, `name`/`help`
+/// arms, a row in the DESIGN.md §15 metric inventory table, and a line
+/// in the `exposition_covers_every_metric` test — cmpi-lint enforces
+/// the last two.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum MetricId {
+    /// SHM channel sends.
+    ShmOps = 0,
+    /// CMA channel sends.
+    CmaOps = 1,
+    /// HCA channel sends.
+    HcaOps = 2,
+    /// SHM bytes sent.
+    ShmBytes = 3,
+    /// CMA bytes sent.
+    CmaBytes = 4,
+    /// HCA bytes sent.
+    HcaBytes = 5,
+    /// Messages sent via the eager protocol.
+    EagerMsgs = 6,
+    /// Messages sent via the rendezvous protocol.
+    RndvMsgs = 7,
+    /// `iprobe` calls that found a match.
+    ProbeHits = 8,
+    /// `iprobe` calls that found nothing.
+    ProbeMisses = 9,
+    /// Fabric sends retried after transient failures.
+    SendRetries = 10,
+    /// Peers downgraded off the HCA channel.
+    HcaDowngrades = 11,
+    /// Failure-detector suspicion onsets.
+    FtSuspicions = 12,
+    /// Peers convicted dead.
+    FtConvictions = 13,
+    /// Communicator revocations observed.
+    FtRevokes = 14,
+    /// Shrink agreements completed.
+    FtShrinks = 15,
+    /// Collectives routed to the flat algorithm.
+    CollFlat = 16,
+    /// Collectives routed to the two-level SMP algorithm.
+    CollTwoLevel = 17,
+    /// Collectives routed to the large-message algorithm.
+    CollLarge = 18,
+    /// Packets pushed into rank mailboxes (job-wide, sampled).
+    MailboxPushes = 19,
+    /// Mailbox condvar parks (job-wide, sampled).
+    MailboxParks = 20,
+    /// Wakeups delivered to parked ranks (job-wide, sampled).
+    MailboxWakes = 21,
+    /// SHM pair-queue credit acquires (job-wide, sampled).
+    ShmQueueAcquires = 22,
+    /// Acquires that stalled on a full queue (job-wide, sampled).
+    ShmQueueStalls = 23,
+    /// Fabric two-sided sends posted (sampled).
+    FabricSends = 24,
+    /// Fabric messages drained by progress (sampled).
+    FabricRecvs = 25,
+    /// Fabric RDMA operations initiated (sampled).
+    FabricRdma = 26,
+    /// Wait time attributed to late senders, ns.
+    LateSenderNs = 27,
+    /// Wait time attributed to late receivers, ns.
+    LateReceiverNs = 28,
+    /// Wait time attributed to data transfer, ns.
+    TransferNs = 29,
+    /// Events published to the flight recorder (sampled).
+    FlightEvents = 30,
+    /// Flight-recorder events dropped by ring wrap (sampled).
+    FlightDropped = 31,
+    /// Peak posted-receive queue depth.
+    MatchPostedPeak = 32,
+    /// Peak unexpected-message queue depth.
+    MatchUnexpectedPeak = 33,
+    /// Heartbeat gap behind the freshest peer at finalize, ns (sampled).
+    HeartbeatGapNs = 34,
+    /// Peak bytes in flight on any SHM pair queue (job-wide, sampled).
+    ShmMaxInFlight = 35,
+    /// Point-to-point completion latency distribution, ns.
+    Pt2ptLatencyNs = 36,
+    /// Sent message size distribution, bytes.
+    MsgSizeBytes = 37,
+}
+
+/// Total number of registered metrics.
+pub const NUM_METRICS: usize = 38;
+/// Number of histogram metrics (the registry tail).
+pub const NUM_HISTOGRAMS: usize = 2;
+const FIRST_HISTOGRAM: usize = NUM_METRICS - NUM_HISTOGRAMS;
+
+impl MetricId {
+    /// Every metric, in slot order.
+    pub const ALL: [MetricId; NUM_METRICS] = [
+        MetricId::ShmOps,
+        MetricId::CmaOps,
+        MetricId::HcaOps,
+        MetricId::ShmBytes,
+        MetricId::CmaBytes,
+        MetricId::HcaBytes,
+        MetricId::EagerMsgs,
+        MetricId::RndvMsgs,
+        MetricId::ProbeHits,
+        MetricId::ProbeMisses,
+        MetricId::SendRetries,
+        MetricId::HcaDowngrades,
+        MetricId::FtSuspicions,
+        MetricId::FtConvictions,
+        MetricId::FtRevokes,
+        MetricId::FtShrinks,
+        MetricId::CollFlat,
+        MetricId::CollTwoLevel,
+        MetricId::CollLarge,
+        MetricId::MailboxPushes,
+        MetricId::MailboxParks,
+        MetricId::MailboxWakes,
+        MetricId::ShmQueueAcquires,
+        MetricId::ShmQueueStalls,
+        MetricId::FabricSends,
+        MetricId::FabricRecvs,
+        MetricId::FabricRdma,
+        MetricId::LateSenderNs,
+        MetricId::LateReceiverNs,
+        MetricId::TransferNs,
+        MetricId::FlightEvents,
+        MetricId::FlightDropped,
+        MetricId::MatchPostedPeak,
+        MetricId::MatchUnexpectedPeak,
+        MetricId::HeartbeatGapNs,
+        MetricId::ShmMaxInFlight,
+        MetricId::Pt2ptLatencyNs,
+        MetricId::MsgSizeBytes,
+    ];
+
+    /// The registry slot this metric occupies.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The exposition name (Prometheus conventions: `_total` suffix on
+    /// counters, base unit in the name).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricId::ShmOps => "cmpi_shm_ops_total",
+            MetricId::CmaOps => "cmpi_cma_ops_total",
+            MetricId::HcaOps => "cmpi_hca_ops_total",
+            MetricId::ShmBytes => "cmpi_shm_bytes_total",
+            MetricId::CmaBytes => "cmpi_cma_bytes_total",
+            MetricId::HcaBytes => "cmpi_hca_bytes_total",
+            MetricId::EagerMsgs => "cmpi_eager_msgs_total",
+            MetricId::RndvMsgs => "cmpi_rndv_msgs_total",
+            MetricId::ProbeHits => "cmpi_probe_hits_total",
+            MetricId::ProbeMisses => "cmpi_probe_misses_total",
+            MetricId::SendRetries => "cmpi_send_retries_total",
+            MetricId::HcaDowngrades => "cmpi_hca_downgrades_total",
+            MetricId::FtSuspicions => "cmpi_ft_suspicions_total",
+            MetricId::FtConvictions => "cmpi_ft_convictions_total",
+            MetricId::FtRevokes => "cmpi_ft_revokes_total",
+            MetricId::FtShrinks => "cmpi_ft_shrinks_total",
+            MetricId::CollFlat => "cmpi_coll_flat_total",
+            MetricId::CollTwoLevel => "cmpi_coll_two_level_total",
+            MetricId::CollLarge => "cmpi_coll_large_total",
+            MetricId::MailboxPushes => "cmpi_mailbox_pushes_total",
+            MetricId::MailboxParks => "cmpi_mailbox_parks_total",
+            MetricId::MailboxWakes => "cmpi_mailbox_wakes_total",
+            MetricId::ShmQueueAcquires => "cmpi_shm_queue_acquires_total",
+            MetricId::ShmQueueStalls => "cmpi_shm_queue_stalls_total",
+            MetricId::FabricSends => "cmpi_fabric_sends_total",
+            MetricId::FabricRecvs => "cmpi_fabric_recvs_total",
+            MetricId::FabricRdma => "cmpi_fabric_rdma_total",
+            MetricId::LateSenderNs => "cmpi_late_sender_ns_total",
+            MetricId::LateReceiverNs => "cmpi_late_receiver_ns_total",
+            MetricId::TransferNs => "cmpi_transfer_ns_total",
+            MetricId::FlightEvents => "cmpi_flight_events_total",
+            MetricId::FlightDropped => "cmpi_flight_dropped_total",
+            MetricId::MatchPostedPeak => "cmpi_match_posted_peak",
+            MetricId::MatchUnexpectedPeak => "cmpi_match_unexpected_peak",
+            MetricId::HeartbeatGapNs => "cmpi_heartbeat_gap_ns",
+            MetricId::ShmMaxInFlight => "cmpi_shm_max_in_flight",
+            MetricId::Pt2ptLatencyNs => "cmpi_pt2pt_latency_ns",
+            MetricId::MsgSizeBytes => "cmpi_msg_size_bytes",
+        }
+    }
+
+    /// Prometheus `# HELP` text.
+    pub fn help(self) -> &'static str {
+        match self {
+            MetricId::ShmOps => "Messages sent over the intra-container SHM channel",
+            MetricId::CmaOps => "Messages sent over the cross-container CMA channel",
+            MetricId::HcaOps => "Messages sent over the InfiniBand HCA channel",
+            MetricId::ShmBytes => "Bytes sent over the SHM channel",
+            MetricId::CmaBytes => "Bytes sent over the CMA channel",
+            MetricId::HcaBytes => "Bytes sent over the HCA channel",
+            MetricId::EagerMsgs => "Messages sent with the eager protocol",
+            MetricId::RndvMsgs => "Messages sent with the rendezvous protocol",
+            MetricId::ProbeHits => "iprobe calls that found a matching message",
+            MetricId::ProbeMisses => "iprobe calls that found nothing",
+            MetricId::SendRetries => "Fabric sends retried after transient failures",
+            MetricId::HcaDowngrades => "Peers downgraded off the HCA channel",
+            MetricId::FtSuspicions => "Failure-detector suspicion onsets",
+            MetricId::FtConvictions => "Peers convicted dead by the failure detector",
+            MetricId::FtRevokes => "Communicator revocations observed",
+            MetricId::FtShrinks => "Shrink agreements completed",
+            MetricId::CollFlat => "Collective calls routed to the flat algorithm",
+            MetricId::CollTwoLevel => "Collective calls routed to the two-level SMP algorithm",
+            MetricId::CollLarge => "Collective calls routed to the large-message algorithm",
+            MetricId::MailboxPushes => "Packets pushed into rank mailboxes",
+            MetricId::MailboxParks => "Times a rank parked on its empty mailbox",
+            MetricId::MailboxWakes => "Cross-thread wakeups delivered to parked ranks",
+            MetricId::ShmQueueAcquires => "SHM pair-queue credit acquisitions",
+            MetricId::ShmQueueStalls => "Pair-queue acquisitions that stalled on a full queue",
+            MetricId::FabricSends => "Two-sided messages posted to the fabric",
+            MetricId::FabricRecvs => "Fabric messages drained by the progress engine",
+            MetricId::FabricRdma => "RDMA operations initiated",
+            MetricId::LateSenderNs => "Blocked nanoseconds attributed to late senders",
+            MetricId::LateReceiverNs => "Blocked nanoseconds attributed to late receivers",
+            MetricId::TransferNs => "Blocked nanoseconds attributed to data transfer",
+            MetricId::FlightEvents => "Events published to the flight recorder",
+            MetricId::FlightDropped => "Flight-recorder events lost to ring wrap",
+            MetricId::MatchPostedPeak => "Peak posted-receive queue depth",
+            MetricId::MatchUnexpectedPeak => "Peak unexpected-message queue depth",
+            MetricId::HeartbeatGapNs => "Heartbeat gap behind the freshest peer at finalize",
+            MetricId::ShmMaxInFlight => "Peak bytes in flight on any SHM pair queue",
+            MetricId::Pt2ptLatencyNs => "Point-to-point completion latency in nanoseconds",
+            MetricId::MsgSizeBytes => "Sent message sizes in bytes",
+        }
+    }
+
+    /// Counter, gauge or histogram.
+    pub fn kind(self) -> MetricKind {
+        match self {
+            MetricId::MatchPostedPeak
+            | MetricId::MatchUnexpectedPeak
+            | MetricId::HeartbeatGapNs
+            | MetricId::ShmMaxInFlight => MetricKind::Gauge,
+            MetricId::Pt2ptLatencyNs | MetricId::MsgSizeBytes => MetricKind::Histogram,
+            _ => MetricKind::Counter,
+        }
+    }
+
+    #[inline]
+    fn histo_index(self) -> usize {
+        debug_assert!(self.index() >= FIRST_HISTOGRAM);
+        self.index() - FIRST_HISTOGRAM
+    }
+}
+
+/// A concurrently-updatable log2 histogram.
+///
+/// Updates are wait-free. A snapshot validates `bucket sum == count`
+/// with bounded retries; if a concurrent updater keeps the copy torn,
+/// the fallback reconciles `count` to the observed bucket sum so the
+/// invariant holds on every emitted snapshot.
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        AtomicHistogram {
+            buckets: (0..SIZE_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl AtomicHistogram {
+    /// Count one observation of `v`.
+    pub fn record(&self, v: u64) {
+        // relaxed-ok: per-bucket and sum increments carry no ordering
+        // obligation of their own; the Release on count below publishes
+        // them for the snapshot's Acquire validation read.
+        self.buckets[size_bucket(v as usize)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Release);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time copy satisfying `buckets.iter().sum() == count`.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        for _ in 0..8 {
+            let c1 = self.count.load(Ordering::Acquire);
+            let (buckets, total) = self.read_buckets();
+            // relaxed-ok: both are validation reads; acceptance only
+            // requires that no update landed between the two count
+            // loads, which the equality test itself establishes.
+            let sum = self.sum.load(Ordering::Relaxed);
+            let c2 = self.count.load(Ordering::Relaxed);
+            if c1 == c2 && total == c1 {
+                return HistogramSnapshot {
+                    buckets,
+                    count: c1,
+                    sum,
+                };
+            }
+        }
+        // Reconcile under sustained concurrent updates: trust the bucket
+        // copy and derive count from it, keeping the invariant exact
+        // (sum stays a same-order approximation).
+        let (buckets, total) = self.read_buckets();
+        // relaxed-ok: sum is documented as a same-order approximation
+        // under concurrent updates; the count/bucket invariant is kept
+        // exact by read_buckets, not by ordering on sum.
+        let sum = self.sum.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            buckets,
+            count: total,
+            sum,
+        }
+    }
+
+    fn read_buckets(&self) -> (Vec<u64>, u64) {
+        let mut copy = vec![0u64; SIZE_BUCKETS];
+        let mut total = 0u64;
+        for (out, b) in copy.iter_mut().zip(self.buckets.iter()) {
+            // relaxed-ok: the enclosing snapshot loop validates the copy
+            // against two Acquire/Relaxed count reads before accepting.
+            *out = b.load(Ordering::Relaxed);
+            total += *out;
+        }
+        (copy, total)
+    }
+}
+
+/// A torn-free histogram copy (`buckets` sum equals `count`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts, `SIZE_BUCKETS` entries (bucket `k` holds
+    /// values with `next_power_of_two == 2^k`).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+/// One rank's always-on metric slab. Scalar metrics live in a flat
+/// atomic array indexed by [`MetricId::index`]; histograms at the tail.
+pub struct RankMetrics {
+    scalars: Box<[AtomicU64]>,
+    histos: [AtomicHistogram; NUM_HISTOGRAMS],
+}
+
+impl Default for RankMetrics {
+    fn default() -> Self {
+        RankMetrics {
+            scalars: (0..NUM_METRICS).map(|_| AtomicU64::new(0)).collect(),
+            histos: Default::default(),
+        }
+    }
+}
+
+impl RankMetrics {
+    /// Add to a counter. Wait-free, allocation-free.
+    #[inline]
+    pub fn add(&self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Counter);
+        // relaxed-ok: independent monotone counters; snapshots tolerate
+        // any interleaving of individual increments.
+        self.scalars[id.index()].fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Count one event on a counter.
+    #[inline]
+    pub fn inc(&self, id: MetricId) {
+        self.add(id, 1);
+    }
+
+    /// Set a gauge to `v`.
+    #[inline]
+    pub fn gauge_set(&self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Gauge);
+        // relaxed-ok: gauges are sampled levels with no ordering ties.
+        self.scalars[id.index()].store(v, Ordering::Relaxed);
+    }
+
+    /// Raise a peak gauge to at least `v`. Single-writer discipline:
+    /// only the owning rank thread updates its gauges, so the
+    /// load/store pair cannot lose a concurrent raise.
+    #[inline]
+    pub fn gauge_max(&self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Gauge);
+        let slot = &self.scalars[id.index()];
+        // relaxed-ok: single-writer peak tracking (see doc comment).
+        if v > slot.load(Ordering::Relaxed) {
+            slot.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Observe a histogram value.
+    #[inline]
+    pub fn observe(&self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Histogram);
+        self.histos[id.histo_index()].record(v);
+    }
+
+    /// Current value of a scalar metric.
+    pub fn value(&self, id: MetricId) -> u64 {
+        debug_assert_ne!(id.kind(), MetricKind::Histogram);
+        // relaxed-ok: a scalar metric is a single independent word; a
+        // reader needs no ordering against other metrics, only the
+        // atomicity of this load.
+        self.scalars[id.index()].load(Ordering::Relaxed)
+    }
+
+    /// The live histogram behind a histogram metric.
+    pub fn histogram(&self, id: MetricId) -> &AtomicHistogram {
+        debug_assert_eq!(id.kind(), MetricKind::Histogram);
+        &self.histos[id.histo_index()]
+    }
+
+    pub(crate) fn snapshot_scalars(&self) -> Vec<u64> {
+        self.scalars
+            .iter()
+            // relaxed-ok: scalars are independent words; a snapshot is
+            // point-in-time per metric, not a cross-metric consistent
+            // cut (the histogram invariant is handled separately).
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    pub(crate) fn snapshot_histos(&self) -> Vec<HistogramSnapshot> {
+        self.histos.iter().map(|h| h.snapshot()).collect()
+    }
+}
+
+/// One thread's unsynchronized metric scratch.
+///
+/// Atomic RMWs are locked instructions; a message-path that fires a
+/// dozen of them per operation pays measurably (~10 % on the eager
+/// ping-pong). A rank thread therefore accumulates its hot-path metrics
+/// here with plain arithmetic and merges the whole scratch into the
+/// shared [`RankMetrics`] slab once, via [`LocalMetrics::flush_into`],
+/// at teardown. Rare-path updates (fault handling, retries) may still
+/// hit the atomic slab directly — `flush_into` adds, so the two
+/// write routes compose.
+pub struct LocalMetrics {
+    scalars: [u64; NUM_METRICS],
+    histos: [LocalHistogram; NUM_HISTOGRAMS],
+}
+
+struct LocalHistogram {
+    buckets: [u64; SIZE_BUCKETS],
+    sum: u64,
+    count: u64,
+}
+
+impl Default for LocalMetrics {
+    fn default() -> Self {
+        LocalMetrics {
+            scalars: [0; NUM_METRICS],
+            histos: std::array::from_fn(|_| LocalHistogram {
+                buckets: [0; SIZE_BUCKETS],
+                sum: 0,
+                count: 0,
+            }),
+        }
+    }
+}
+
+impl LocalMetrics {
+    /// Add to a counter.
+    #[inline]
+    pub fn add(&mut self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Counter);
+        self.scalars[id.index()] += v;
+    }
+
+    /// Count one event on a counter.
+    #[inline]
+    pub fn inc(&mut self, id: MetricId) {
+        self.add(id, 1);
+    }
+
+    /// Raise a peak gauge to at least `v` (flushed with
+    /// [`RankMetrics::gauge_max`], so scratch peaks merge with any
+    /// directly-set slab value).
+    #[inline]
+    pub fn gauge_max(&mut self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Gauge);
+        let slot = &mut self.scalars[id.index()];
+        *slot = v.max(*slot);
+    }
+
+    /// Observe a histogram value.
+    #[inline]
+    pub fn observe(&mut self, id: MetricId, v: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Histogram);
+        let h = &mut self.histos[id.histo_index()];
+        h.buckets[size_bucket(v as usize)] += 1;
+        h.sum += v;
+        h.count += 1;
+    }
+
+    /// Merge `count` observations that all landed in `bucket`, carrying
+    /// their value `sum` — the runtime batches consecutive same-bucket
+    /// samples on one hot cache line and spills them here in bulk.
+    #[inline]
+    pub fn observe_bulk(&mut self, id: MetricId, bucket: usize, count: u64, sum: u64) {
+        debug_assert_eq!(id.kind(), MetricKind::Histogram);
+        let h = &mut self.histos[id.histo_index()];
+        h.buckets[bucket] += count;
+        h.sum += sum;
+        h.count += count;
+    }
+
+    /// Merge everything accumulated so far into the shared slab and
+    /// reset the scratch to zero.
+    pub fn flush_into(&mut self, m: &RankMetrics) {
+        for (i, v) in self.scalars.iter_mut().enumerate() {
+            if *v == 0 {
+                continue;
+            }
+            let id = MetricId::ALL[i];
+            match id.kind() {
+                MetricKind::Counter => m.add(id, *v),
+                MetricKind::Gauge => m.gauge_max(id, *v),
+                MetricKind::Histogram => unreachable!("histogram slots stay zero"),
+            }
+            *v = 0;
+        }
+        for (k, h) in self.histos.iter_mut().enumerate() {
+            if h.count == 0 {
+                continue;
+            }
+            let target = &m.histos[k];
+            for (j, b) in h.buckets.iter_mut().enumerate() {
+                if *b != 0 {
+                    // relaxed-ok: published by the Release on count below,
+                    // mirroring AtomicHistogram::record.
+                    target.buckets[j].fetch_add(*b, Ordering::Relaxed);
+                    *b = 0;
+                }
+            }
+            // relaxed-ok: published by the Release on count below,
+            // mirroring AtomicHistogram::record.
+            target.sum.fetch_add(h.sum, Ordering::Relaxed);
+            target.count.fetch_add(h.count, Ordering::Release);
+            h.sum = 0;
+            h.count = 0;
+        }
+    }
+}
+
+/// One rank's slice of a [`TelemetrySnapshot`].
+#[derive(Clone, Debug)]
+pub struct RankSnapshot {
+    /// Scalar values, indexed by [`MetricId::index`] (histogram slots
+    /// stay zero).
+    pub scalars: Vec<u64>,
+    /// Histogram copies, registry-tail order.
+    pub histos: Vec<HistogramSnapshot>,
+    /// This rank's flight-recorder contents.
+    pub flight: FlightSnapshot,
+}
+
+impl RankSnapshot {
+    /// Scalar metric value.
+    pub fn get(&self, id: MetricId) -> u64 {
+        debug_assert_ne!(id.kind(), MetricKind::Histogram);
+        self.scalars[id.index()]
+    }
+
+    /// Histogram metric copy.
+    pub fn histogram(&self, id: MetricId) -> &HistogramSnapshot {
+        &self.histos[id.histo_index()]
+    }
+}
+
+/// A whole job's point-in-time telemetry: per-rank metric values,
+/// histograms and flight-recorder contents.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Per-rank slices, rank-ordered.
+    pub ranks: Vec<RankSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Number of ranks captured.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Job-wide value of a scalar metric: counters sum across ranks,
+    /// gauges take the peak.
+    pub fn job_total(&self, id: MetricId) -> u64 {
+        let per_rank = self.ranks.iter().map(|r| r.get(id));
+        match id.kind() {
+            MetricKind::Gauge => per_rank.max().unwrap_or(0),
+            _ => per_rank.sum(),
+        }
+    }
+
+    /// Prometheus text exposition: one family per metric, one sample
+    /// per rank labelled `rank="N"`, histograms in cumulative-bucket
+    /// form. The output passes [`validate_prometheus`].
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for id in MetricId::ALL {
+            let name = id.name();
+            writeln!(out, "# HELP {name} {}", id.help()).expect("string write");
+            writeln!(out, "# TYPE {name} {}", id.kind().name()).expect("string write");
+            for (rank, r) in self.ranks.iter().enumerate() {
+                if id.kind() == MetricKind::Histogram {
+                    let h = r.histogram(id);
+                    let mut cum = 0u64;
+                    let last = h.buckets.iter().rposition(|&c| c != 0).unwrap_or(0);
+                    for (k, &c) in h.buckets.iter().enumerate().take(last + 1) {
+                        cum += c;
+                        let le = 1u128 << k;
+                        writeln!(out, "{name}_bucket{{rank=\"{rank}\",le=\"{le}\"}} {cum}")
+                            .expect("string write");
+                    }
+                    writeln!(
+                        out,
+                        "{name}_bucket{{rank=\"{rank}\",le=\"+Inf\"}} {}",
+                        h.count
+                    )
+                    .expect("string write");
+                    writeln!(out, "{name}_sum{{rank=\"{rank}\"}} {}", h.sum).expect("string write");
+                    writeln!(out, "{name}_count{{rank=\"{rank}\"}} {}", h.count)
+                        .expect("string write");
+                } else {
+                    writeln!(out, "{name}{{rank=\"{rank}\"}} {}", r.get(id)).expect("string write");
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON exposition (schema `cmpi-telemetry.v1`), built on the
+    /// strict [`Json`] model so it round-trips by construction.
+    pub fn to_json(&self) -> Json {
+        let mut metrics = Vec::with_capacity(NUM_METRICS);
+        for id in MetricId::ALL {
+            let mut fields = vec![
+                ("name".to_string(), Json::str(id.name())),
+                ("kind".to_string(), Json::str(id.kind().name())),
+            ];
+            if id.kind() == MetricKind::Histogram {
+                let per_rank = self
+                    .ranks
+                    .iter()
+                    .map(|r| {
+                        let h = r.histogram(id);
+                        let buckets = h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &c)| c != 0)
+                            .map(|(k, &c)| Json::Arr(vec![Json::num(k as u64), Json::num(c)]))
+                            .collect();
+                        Json::Obj(vec![
+                            ("count".to_string(), Json::num(h.count)),
+                            ("sum".to_string(), Json::num(h.sum)),
+                            ("buckets".to_string(), Json::Arr(buckets)),
+                        ])
+                    })
+                    .collect();
+                fields.push(("per_rank".to_string(), Json::Arr(per_rank)));
+            } else {
+                let per_rank = self.ranks.iter().map(|r| Json::num(r.get(id))).collect();
+                fields.push(("per_rank".to_string(), Json::Arr(per_rank)));
+                fields.push(("total".to_string(), Json::num(self.job_total(id))));
+            }
+            metrics.push(Json::Obj(fields));
+        }
+        Json::Obj(vec![
+            ("schema".to_string(), Json::str("cmpi-telemetry.v1")),
+            ("ranks".to_string(), Json::num(self.ranks.len() as u64)),
+            ("metrics".to_string(), Json::Arr(metrics)),
+        ])
+    }
+
+    /// All ranks' flight-recorder contents as one Chrome trace-event
+    /// array (`ph:"i"` instants, `tid` = rank).
+    pub fn flight_chrome_json(&self) -> Json {
+        let mut events = Vec::new();
+        for (rank, r) in self.ranks.iter().enumerate() {
+            crate::ring_chrome_events(&r.flight, rank, &mut events);
+        }
+        Json::Arr(events)
+    }
+}
+
+/// Structural check on a Prometheus text exposition: every sample line
+/// is `name{labels} value`, every family has `# HELP`/`# TYPE` before
+/// its samples, histogram cumulative buckets are monotone and end at a
+/// `+Inf` bucket equal to `_count`. Returns the number of sample lines.
+pub fn validate_prometheus(text: &str) -> Result<usize, String> {
+    let mut helped: Vec<&str> = Vec::new();
+    let mut typed: Vec<&str> = Vec::new();
+    let mut samples = 0usize;
+    // (series key → last cumulative value, final count) per histogram rank.
+    let mut cum: Option<(String, u64)> = None;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap_or("");
+            if name.is_empty() || rest.len() == name.len() {
+                return Err(format!("line {ln}: HELP without text"));
+            }
+            helped.push(name);
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            let name = it.next().unwrap_or("");
+            let kind = it.next().unwrap_or("");
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return Err(format!("line {ln}: bad TYPE {kind:?}"));
+            }
+            typed.push(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {ln}: unknown comment form"));
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {ln}: no value"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {ln}: bad value {value:?}"))?;
+        let name = series.split('{').next().unwrap_or("");
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.contains(f))
+            .unwrap_or(name);
+        if !typed.contains(&family) || !helped.contains(&family) {
+            return Err(format!("line {ln}: sample {name:?} without HELP/TYPE"));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(format!("line {ln}: unterminated label set"));
+        }
+        // Histogram structure: per consecutive bucket run, cumulative
+        // values must be monotone and the +Inf bucket closes the run.
+        if name.ends_with("_bucket") {
+            let key = series.split("le=").next().unwrap_or("").to_string();
+            let v = value as u64;
+            match &mut cum {
+                Some((k, prev)) if *k == key => {
+                    if v < *prev {
+                        return Err(format!("line {ln}: cumulative bucket decreased"));
+                    }
+                    *prev = v;
+                }
+                _ => cum = Some((key, v)),
+            }
+            if series.contains("le=\"+Inf\"") {
+                cum = None;
+            }
+        } else if cum.is_some() {
+            return Err(format!("line {ln}: bucket run not closed by +Inf"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::FlightSnapshot;
+
+    fn snap_of(m: &RankMetrics) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            ranks: vec![RankSnapshot {
+                scalars: m.snapshot_scalars(),
+                histos: m.snapshot_histos(),
+                flight: FlightSnapshot::default(),
+            }],
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_unique() {
+        for (i, id) in MetricId::ALL.iter().enumerate() {
+            assert_eq!(id.index(), i, "ALL must list metrics in slot order");
+        }
+        for (i, a) in MetricId::ALL.iter().enumerate() {
+            for b in &MetricId::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+        let histos = MetricId::ALL
+            .iter()
+            .filter(|id| id.kind() == MetricKind::Histogram)
+            .count();
+        assert_eq!(histos, NUM_HISTOGRAMS);
+        for id in &MetricId::ALL[FIRST_HISTOGRAM..] {
+            assert_eq!(
+                id.kind(),
+                MetricKind::Histogram,
+                "histograms sit at the tail"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let m = RankMetrics::default();
+        m.inc(MetricId::ShmOps);
+        m.add(MetricId::ShmOps, 4);
+        m.add(MetricId::ShmBytes, 1024);
+        m.gauge_max(MetricId::MatchPostedPeak, 3);
+        m.gauge_max(MetricId::MatchPostedPeak, 2);
+        m.gauge_set(MetricId::HeartbeatGapNs, 77);
+        assert_eq!(m.value(MetricId::ShmOps), 5);
+        assert_eq!(m.value(MetricId::ShmBytes), 1024);
+        assert_eq!(
+            m.value(MetricId::MatchPostedPeak),
+            3,
+            "peak must not regress"
+        );
+        assert_eq!(m.value(MetricId::HeartbeatGapNs), 77);
+        assert_eq!(m.value(MetricId::CmaOps), 0);
+    }
+
+    #[test]
+    fn histogram_snapshot_holds_invariant() {
+        let m = RankMetrics::default();
+        for v in [0u64, 1, 2, 3, 100, 5_000, 1 << 20] {
+            m.observe(MetricId::Pt2ptLatencyNs, v);
+        }
+        let h = m.histogram(MetricId::Pt2ptLatencyNs).snapshot();
+        assert_eq!(h.count, 7);
+        assert_eq!(h.sum, 5_106 + (1 << 20));
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        assert_eq!(h.buckets[0], 2, "0 and 1 share bucket 0");
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[20], 1);
+    }
+
+    #[test]
+    fn exposition_covers_every_metric() {
+        // Every variant spelled out (not `MetricId::ALL`) so the
+        // cmpi-lint metric-ids rule can hold each one to a literal
+        // appearance here: adding a metric without extending this list
+        // and the DESIGN.md inventory table fails CI.
+        let all = [
+            MetricId::ShmOps,
+            MetricId::CmaOps,
+            MetricId::HcaOps,
+            MetricId::ShmBytes,
+            MetricId::CmaBytes,
+            MetricId::HcaBytes,
+            MetricId::EagerMsgs,
+            MetricId::RndvMsgs,
+            MetricId::ProbeHits,
+            MetricId::ProbeMisses,
+            MetricId::SendRetries,
+            MetricId::HcaDowngrades,
+            MetricId::FtSuspicions,
+            MetricId::FtConvictions,
+            MetricId::FtRevokes,
+            MetricId::FtShrinks,
+            MetricId::CollFlat,
+            MetricId::CollTwoLevel,
+            MetricId::CollLarge,
+            MetricId::MailboxPushes,
+            MetricId::MailboxParks,
+            MetricId::MailboxWakes,
+            MetricId::ShmQueueAcquires,
+            MetricId::ShmQueueStalls,
+            MetricId::FabricSends,
+            MetricId::FabricRecvs,
+            MetricId::FabricRdma,
+            MetricId::LateSenderNs,
+            MetricId::LateReceiverNs,
+            MetricId::TransferNs,
+            MetricId::FlightEvents,
+            MetricId::FlightDropped,
+            MetricId::MatchPostedPeak,
+            MetricId::MatchUnexpectedPeak,
+            MetricId::HeartbeatGapNs,
+            MetricId::ShmMaxInFlight,
+            MetricId::Pt2ptLatencyNs,
+            MetricId::MsgSizeBytes,
+        ];
+        assert_eq!(all.len(), NUM_METRICS, "extend this list for new metrics");
+        for (i, id) in all.iter().enumerate() {
+            assert_eq!(id.index(), i, "list must stay in slot order");
+            assert_eq!(*id, MetricId::ALL[i], "list must mirror MetricId::ALL");
+        }
+        // Every metric emits a named, documented family in both
+        // expositions, even at zero.
+        let m = RankMetrics::default();
+        let snap = snap_of(&m);
+        let text = snap.to_prometheus();
+        validate_prometheus(&text).expect("exposition must validate");
+        let json = snap.to_json().to_string();
+        for id in all {
+            assert!(!id.help().is_empty(), "{:?} needs HELP text", id);
+            assert!(
+                text.contains(&format!("# TYPE {}", id.name())),
+                "{} missing from the Prometheus exposition",
+                id.name()
+            );
+            assert!(
+                json.contains(id.name()),
+                "{} missing from the JSON exposition",
+                id.name()
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_validates() {
+        let m = RankMetrics::default();
+        m.add(MetricId::HcaOps, 9);
+        m.observe(MetricId::MsgSizeBytes, 512);
+        m.observe(MetricId::MsgSizeBytes, 64);
+        let text = snap_of(&m).to_prometheus();
+        let samples = validate_prometheus(&text).expect("exposition must validate");
+        assert!(
+            samples >= NUM_METRICS,
+            "every family emits at least one sample"
+        );
+        assert!(text.contains("cmpi_hca_ops_total{rank=\"0\"} 9"));
+        assert!(text.contains("cmpi_msg_size_bytes_count{rank=\"0\"} 2"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        assert!(
+            validate_prometheus("cmpi_x_total{rank=\"0\"} 1").is_err(),
+            "no HELP/TYPE"
+        );
+        let bad = "# HELP m h\n# TYPE m counter\nm{rank=\"0\" notanumber";
+        assert!(validate_prometheus(bad).is_err());
+        let decreasing = "# HELP h x\n# TYPE h histogram\n\
+                          h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5";
+        assert!(validate_prometheus(decreasing).is_err());
+    }
+
+    #[test]
+    fn json_exposition_round_trips() {
+        let m = RankMetrics::default();
+        m.add(MetricId::EagerMsgs, 3);
+        m.observe(MetricId::Pt2ptLatencyNs, 1000);
+        let doc = snap_of(&m).to_json().to_string();
+        let parsed = Json::parse(&doc).expect("telemetry JSON must parse");
+        assert_eq!(
+            parsed.get("schema").and_then(|s| s.as_str()),
+            Some("cmpi-telemetry.v1")
+        );
+        let metrics = parsed.get("metrics").and_then(|m| m.as_arr()).unwrap();
+        assert_eq!(metrics.len(), NUM_METRICS);
+        let eager = metrics
+            .iter()
+            .find(|m| m.get("name").and_then(|n| n.as_str()) == Some("cmpi_eager_msgs_total"))
+            .expect("eager metric present");
+        assert_eq!(eager.get("total").and_then(|t| t.as_f64()), Some(3.0));
+    }
+
+    #[test]
+    fn job_total_sums_counters_and_peaks_gauges() {
+        let a = RankMetrics::default();
+        let b = RankMetrics::default();
+        a.add(MetricId::RndvMsgs, 2);
+        b.add(MetricId::RndvMsgs, 5);
+        a.gauge_max(MetricId::ShmMaxInFlight, 10);
+        b.gauge_max(MetricId::ShmMaxInFlight, 4);
+        let snap = TelemetrySnapshot {
+            ranks: [&a, &b]
+                .iter()
+                .map(|m| RankSnapshot {
+                    scalars: m.snapshot_scalars(),
+                    histos: m.snapshot_histos(),
+                    flight: FlightSnapshot::default(),
+                })
+                .collect(),
+        };
+        assert_eq!(snap.job_total(MetricId::RndvMsgs), 7);
+        assert_eq!(snap.job_total(MetricId::ShmMaxInFlight), 10);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property tests for the always-on telemetry layer: a metrics
+//! snapshot taken during concurrent histogram updates never tears
+//! (bucket sum == count, sum plausible), and a flight-recorder dump
+//! always round-trips through the strict cmpi-prof JSON parser with
+//! its event stream intact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cmpi_prof::Json;
+use cmpi_telemetry::{
+    validate_prometheus, EventKind, FlightEvent, JobTelemetry, MetricId, RankMetrics,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A reader snapshotting a histogram while a writer hammers it with
+    /// arbitrary values must always observe `sum(buckets) == count`:
+    /// the seq-consistent bucket/count protocol may lag the writer but
+    /// can never expose a half-applied observation.
+    #[test]
+    fn histogram_snapshot_never_tears_under_concurrent_writes(
+        values in proptest::collection::vec(any::<u64>(), 1..512),
+    ) {
+        let m = Arc::new(RankMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = std::thread::spawn({
+            let m = Arc::clone(&m);
+            let stop = Arc::clone(&stop);
+            let values = values.clone();
+            move || {
+                // Loop the value stream until the reader has taken its
+                // snapshots, so writes genuinely overlap them.
+                while !stop.load(Ordering::Relaxed) {
+                    for &v in &values {
+                        m.observe(MetricId::Pt2ptLatencyNs, v);
+                        m.observe(MetricId::MsgSizeBytes, v >> 32);
+                    }
+                }
+            }
+        });
+        for _ in 0..64 {
+            for id in [MetricId::Pt2ptLatencyNs, MetricId::MsgSizeBytes] {
+                let h = m.histogram(id).snapshot();
+                prop_assert_eq!(
+                    h.buckets.iter().sum::<u64>(),
+                    h.count,
+                    "snapshot tore a histogram"
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        // Quiescent: the final snapshot accounts for every observation.
+        let rounds = {
+            let h = m.histogram(MetricId::Pt2ptLatencyNs).snapshot();
+            prop_assert_eq!(h.count % values.len() as u64, 0);
+            h.count / values.len() as u64
+        };
+        let expect_sum: u64 = values
+            .iter()
+            .fold(0u64, |a, &v| a.wrapping_add(v))
+            .wrapping_mul(rounds);
+        let h = m.histogram(MetricId::Pt2ptLatencyNs).snapshot();
+        prop_assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+        prop_assert_eq!(h.sum, expect_sum);
+    }
+
+    /// Any event stream — including ones that wrap the ring — dumps to
+    /// Chrome-trace JSON that the strict cmpi-prof parser accepts, with
+    /// one instant per surviving event plus one summary per rank, and
+    /// exact published/dropped accounting.
+    #[test]
+    fn flight_dump_round_trips_through_strict_json_parser(
+        capacity in 1usize..=32,
+        events in proptest::collection::vec(
+            (0usize..EventKind::ALL.len(), any::<u32>(), any::<u64>(), any::<u64>()),
+            0..96,
+        ),
+    ) {
+        let t = JobTelemetry::new(1, capacity);
+        for &(kind, peer, at_ns, a) in &events {
+            t.rank(0).flight.record(
+                FlightEvent::new(EventKind::ALL[kind], at_ns).peer(peer as usize).a(a),
+            );
+        }
+        let snap = t.snapshot();
+        let flight = &snap.ranks[0].flight;
+        prop_assert_eq!(flight.published, events.len() as u64);
+        prop_assert_eq!(
+            flight.dropped + flight.events.len() as u64,
+            flight.published,
+            "dropped counter must be exact"
+        );
+
+        let doc = snap.flight_chrome_json().to_string();
+        let parsed = Json::parse(&doc).expect("flight dump must be strict JSON");
+        let arr = parsed.as_arr().expect("chrome trace is an array");
+        // Every surviving event plus the per-rank summary instant.
+        prop_assert_eq!(arr.len(), flight.events.len() + 1);
+        for (obj, ev) in arr.iter().zip(&flight.events) {
+            prop_assert_eq!(obj.get("name").and_then(|n| n.as_str()), Some(ev.kind.name()));
+            prop_assert_eq!(obj.get("ph").and_then(|p| p.as_str()), Some("i"));
+            let args = obj.get("args").expect("instant args");
+            prop_assert_eq!(args.get("a").and_then(|v| v.as_f64()), Some(ev.a as f64));
+        }
+        let summary = arr.last().expect("summary instant");
+        prop_assert_eq!(
+            summary.get("name").and_then(|n| n.as_str()),
+            Some("flight-summary")
+        );
+        let args = summary.get("args").expect("summary args");
+        prop_assert_eq!(
+            args.get("published").and_then(|v| v.as_f64()),
+            Some(flight.published as f64)
+        );
+        prop_assert_eq!(
+            args.get("dropped").and_then(|v| v.as_f64()),
+            Some(flight.dropped as f64)
+        );
+
+        // The same snapshot's Prometheus exposition stays valid with
+        // the sampled flight counters folded in.
+        validate_prometheus(&snap.to_prometheus()).expect("exposition must validate");
+    }
+}

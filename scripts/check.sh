@@ -7,6 +7,9 @@
 #   examples  every example builds and runs to completion
 #   profile   profile-smoke: profiled OSU + figures --profile runs, with
 #             JSON parse and matrix byte-conservation asserted inside
+#   telemetry osu --metrics / figures --health smoke (validated Prometheus
+#             + JSON exposition on a 32-rank mixed job), and the overhead
+#             gate: telemetry-on vs -off kernel pairs, >2 % fails
 #   bench     benches compile; bench_ledger smoke run round-trips its JSON
 #   chaos     chaos-midrun: mid-run crash / hang / container-kill runs in
 #             release mode (detector conviction, revoke/shrink recovery,
@@ -47,6 +50,15 @@ cargo run --release --quiet -p cmpi-osu --bin osu -- latency --max-size 16384 \
   --iters 4 --profile-json target/osu_profile.json >/dev/null
 cargo run --release --quiet -p cmpi-bench --bin figures -- --profile >/dev/null
 
+echo "== telemetry smoke (osu --metrics + figures --health)" >&2
+# Both validate the Prometheus exposition and JSON snapshot internally
+# before printing; --health runs the 32-rank mixed job.
+cargo run --release --quiet -p cmpi-osu --bin osu -- latency --max-size 4096 \
+  --iters 4 --metrics --metrics-json target/osu_metrics.json >/dev/null
+python3 -c "import json; json.load(open('target/osu_metrics.json'))" 2>/dev/null \
+  || grep -q '"schema"' target/osu_metrics.json
+cargo run --release --quiet -p cmpi-bench --bin figures -- --health >/dev/null
+
 echo "== cargo bench --no-run + bench_ledger smoke" >&2
 cargo bench --workspace --no-run
 cargo run --release --quiet -p cmpi-bench --bin bench_ledger -- --smoke \
@@ -65,7 +77,7 @@ echo "== model checker (--cfg cmpi_model exhaustive runs)" >&2
 RUSTFLAGS="--cfg cmpi_model" CARGO_TARGET_DIR=target/model \
   cargo test -q -p cmpi-model
 RUSTFLAGS="--cfg cmpi_model" CARGO_TARGET_DIR=target/model \
-  cargo test -q -p cmpi-core -p cmpi-shmem -p cmpi-fabric --lib
+  cargo test -q -p cmpi-core -p cmpi-shmem -p cmpi-fabric -p cmpi-telemetry --lib
 
 echo "== cmpi-lint" >&2
 cargo run --release --quiet -p cmpi-model --bin cmpi-lint
@@ -75,6 +87,12 @@ echo "== bench gate (smoke kernels vs scripts/bench_gate_smoke.json)" >&2
 # on any kernel fails the build (see bench_ledger --gate).
 cargo run --release --quiet -p cmpi-bench --bin bench_ledger -- --smoke \
   --gate scripts/bench_gate_smoke.json >/dev/null
+
+echo "== telemetry overhead gate (on/off pairs, budget 2%)" >&2
+# Paired on/off runs of the eager, rendezvous and job32 kernels; fails
+# if always-on telemetry costs more than 2 % on any of them (see the
+# estimator notes in bench_ledger's run_overhead_gate).
+cargo run --release --quiet -p cmpi-bench --bin bench_ledger -- --overhead-gate
 
 echo "== cargo clippy --workspace --all-targets -- -D warnings" >&2
 cargo clippy --workspace --all-targets -- -D warnings
