@@ -3,7 +3,7 @@
 //! ```text
 //! figures [--fig 1|3a|3bc|7a|7b|7c|8|9|10|11|12] [--table 1]
 //!         [--ablation faults|namespaces|collectives] [--ablations]
-//!         [--profile] [--health] [--all] [--full] [--csv DIR]
+//!         [--profile] [--health] [--scaling] [--all] [--full] [--csv DIR]
 //! ```
 //!
 //! `--profile` runs Graph 500 under the causal profiler and prints the
@@ -13,6 +13,10 @@
 //! `--health` runs a 32-rank mixed job under the always-on telemetry
 //! layer, validates the Prometheus and JSON expositions, and prints the
 //! health evaluator's verdict plus the job-total metrics.
+//!
+//! `--scaling` runs the mixed job on the task execution engine at
+//! growing rank counts (to 1024 quick, 4096 with `--full`) and prints
+//! the wall-clock growth against the rank-count growth.
 //!
 //! Without `--full` the CI-sized effort is used (seconds per figure);
 //! `--full` switches to the paper-shaped deployment (256 ranks, scale-16
@@ -24,7 +28,7 @@ use cmpi_bench::{experiments as ex, Effort, Table};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [--fig <id>]... [--table 1] [--ablation <name>]... [--ablations] [--profile] [--health] [--all] [--full] [--csv DIR]\n\
+        "usage: figures [--fig <id>]... [--table 1] [--ablation <name>]... [--ablations] [--profile] [--health] [--scaling] [--all] [--full] [--csv DIR]\n\
          \x20  figure ids: 1 3a 3bc 7a 7b 7c 8 9 10 11 12\n\
          \x20  ablation names: faults namespaces collectives"
     );
@@ -38,6 +42,7 @@ fn main() {
     let mut ablations = false;
     let mut profile = false;
     let mut health = false;
+    let mut scaling = false;
     let mut ablation_names: Vec<String> = Vec::new();
     let mut all = false;
     let mut full = false;
@@ -69,6 +74,10 @@ fn main() {
                 health = true;
                 i += 1;
             }
+            "--scaling" => {
+                scaling = true;
+                i += 1;
+            }
             "--all" => {
                 all = true;
                 i += 1;
@@ -96,6 +105,7 @@ fn main() {
         && ablation_names.is_empty()
         && !profile
         && !health
+        && !scaling
         && !all
     {
         all = true;
@@ -170,6 +180,9 @@ fn main() {
     }
     if health || all {
         out.extend(ex::health_tables(&e));
+    }
+    if scaling || all {
+        out.push(ex::scaling_table(&e));
     }
 
     for t in &out {

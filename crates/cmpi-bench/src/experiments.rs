@@ -975,6 +975,133 @@ pub fn health_tables(e: &Effort) -> Vec<Table> {
     vec![verdict, totals]
 }
 
+/// One measured point of the rank-scaling column: the ledger's mixed
+/// job at `hosts × 2 containers × 8 ranks`, ranks as fibers on the
+/// worker pool.
+pub struct ScalingPoint {
+    /// Job size (`hosts × 16`).
+    pub ranks: usize,
+    /// Steps actually run at this size.
+    pub steps: u32,
+    /// Real wall-clock for the whole job (spec build to result).
+    pub wall_ms: f64,
+    /// Virtual makespan the simulation reports.
+    pub virt_ms: f64,
+    /// Point-to-point messages sent across all ranks.
+    pub msgs: u64,
+}
+
+/// Worker count for scaling runs: the cores this machine actually has,
+/// capped at 16 (oversubscribing a small box with more OS threads only
+/// adds scheduler thrash, and the acceptance envelope is "≤ 16
+/// workers").
+pub fn scaling_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+/// Run one scaling point: per step a windowed 4-neighbour exchange
+/// (offsets 1/2/4/8, window 4, 1 KiB payloads), a 256-element
+/// allreduce, and a barrier — the same workload `bench_ledger` records
+/// as `job32_wall_ms`, scaled out.
+pub fn scaling_point(hosts: u32, steps: u32) -> ScalingPoint {
+    let scenario = DeploymentScenario::containers(hosts, 2, 8, NamespaceSharing::default());
+    let ranks = scenario.num_ranks();
+    let spec = JobSpec::new(scenario)
+        .with_exec(cmpi_core::ExecMode::Tasks)
+        .with_workers(scaling_workers())
+        // Shallow bench frames: the 1 MiB default stack would cost a
+        // per-fiber mmap + page-fault storm at 4096 ranks.
+        .with_stack_kib(128);
+    let t0 = std::time::Instant::now();
+    let r = spec.run(move |mpi| {
+        let n = mpi.size();
+        let me = mpi.rank();
+        let payload = bytes::Bytes::from(vec![42u8; 1024]);
+        let offsets = [1usize, 2, 4, 8];
+        let window = 4u32;
+        let mut sent = 0u64;
+        for _ in 0..steps {
+            let mut recvs = Vec::new();
+            for &d in offsets.iter().rev() {
+                let src = (me + n - d) % n;
+                for w in (0..window).rev() {
+                    recvs.push(mpi.irecv_bytes(src, w));
+                }
+            }
+            let mut sends = Vec::new();
+            for &d in &offsets {
+                let dst = (me + d) % n;
+                for w in 0..window {
+                    sends.push(mpi.isend_bytes(payload.clone(), dst, w));
+                    sent += 1;
+                }
+            }
+            for req in recvs {
+                mpi.wait(req);
+            }
+            for req in sends {
+                mpi.wait(req);
+            }
+            let local = vec![me as u64; 256];
+            let summed = mpi.allreduce(&local, ReduceOp::Sum);
+            assert_eq!(summed[0], (n as u64 * (n as u64 - 1)) / 2);
+            mpi.barrier();
+        }
+        sent
+    });
+    ScalingPoint {
+        ranks,
+        steps,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        virt_ms: r.elapsed.as_ms_f64(),
+        msgs: r.results.iter().sum(),
+    }
+}
+
+/// `figures --scaling`: the mixed job scaled 16× in ranks at fixed
+/// total message volume (steps shrink as ranks grow), on the task
+/// engine. The claim is the column's *shape*: real wall-clock grows
+/// sub-linearly in rank count while per-message virtual cost stays
+/// flat. Quick effort tops out at 1024 ranks; `--full` at 4096.
+pub fn scaling_table(e: &Effort) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Rank scaling — mixed job, task engine ({} workers, fixed total work)",
+            scaling_workers()
+        ),
+        &[
+            "ranks", "hosts", "steps", "wall_ms", "wall_x", "ranks_x", "virt_ms", "msgs",
+        ],
+    );
+    let hosts_col: &[u32] = if e.hosts_div == 1 {
+        &[16, 64, 256]
+    } else {
+        &[4, 16, 64]
+    };
+    let base_ranks = hosts_col[0] * 16;
+    let mut base_wall = None;
+    for &hosts in hosts_col {
+        let ranks = hosts * 16;
+        let steps = (16 * base_ranks / ranks).max(1);
+        let p = scaling_point(hosts, steps);
+        let base = *base_wall.get_or_insert(p.wall_ms);
+        t.row(vec![
+            p.ranks.to_string(),
+            hosts.to_string(),
+            p.steps.to_string(),
+            f2(p.wall_ms),
+            f2(p.wall_ms / base),
+            f2(ranks as f64 / base_ranks as f64),
+            f2(p.virt_ms),
+            p.msgs.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Extension: PGAS (GUPS) on co-resident containers — the paper's
 /// Section VII future work, measured with the same Def/Opt/Native
 /// methodology.

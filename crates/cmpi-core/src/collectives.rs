@@ -935,7 +935,7 @@ impl Mpi {
     /// groups ordered by smallest member). All ranks compute the same
     /// partition.
     pub fn policy_groups(&self) -> Vec<Vec<usize>> {
-        self.coll_groups.clone()
+        self.coll_groups.as_ref().clone()
     }
 
     /// Snapshot the leader topology for one two-level call.

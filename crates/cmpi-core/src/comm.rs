@@ -102,7 +102,8 @@ impl Mpi {
         let ranks: Vec<usize> = members.into_iter().map(|(_, _, r)| r).collect();
         // Remember the membership so failure checks and revocation floods
         // know who participates in this context.
-        self.ctx_members.insert(agreed, ranks.clone());
+        self.ctx_members
+            .insert(agreed, std::sync::Arc::new(ranks.clone()));
         self.exit(CallClass::Collective, t0);
         Comm { ctx: agreed, ranks }
     }

@@ -1,0 +1,1199 @@
+//! The execution engine: ranks as cooperative tasks on a fixed worker pool.
+//!
+//! The seed runtime spawns one OS thread per rank. That is faithful to a
+//! real MPI launch and keeps the model suites simple, but it caps the
+//! simulator at the host scheduler's comfort zone — a 4096-rank job means
+//! 4096 threads whose futex parks and wakes dominate wall clock long
+//! before the simulated protocol does. This module adds a second mode
+//! (`CMPI_EXEC=tasks`): every rank becomes a stackful fiber multiplexed
+//! over a fixed pool of workers (default: available cores). A rank that
+//! would block — recv wait, rendezvous CTS, SHM backpressure, barrier
+//! fan-in, failure-detector decision — yields its stack to the worker
+//! instead of parking on a condvar, and the *existing* mailbox poke
+//! re-enqueues it. Thread-per-rank stays as a compile-compatible
+//! fallback so the chaos and model suites can ablate both modes.
+//!
+//! ### Why fibers and not a state-machine rewrite
+//!
+//! Rank bodies are arbitrary user closures (`Fn(&mut Mpi) -> R`) that
+//! block deep inside library calls (a `recv` inside a collective inside
+//! a proptest plan). CPS-converting every wait site would fork the whole
+//! pt2pt/collective surface into hand-written state machines. A stackful
+//! fiber keeps the blocking call *sites* exactly where they are —
+//! `RankCell::sleep_if_idle` is the single funnel every wait loop
+//! already goes through — and swaps only what "sleep" means there:
+//! park-on-condvar (threads) vs. yield-to-worker (tasks). The virtual
+//! clock, the call-entry-tax refund rules and the packet protocol are
+//! untouched, which is what makes thread/task equivalence testable
+//! bit-for-bit.
+//!
+//! ### The yield/poke handoff
+//!
+//! The one new concurrency protocol is the blocked→queued transition in
+//! [`handoff::TaskState`]: a fiber that yields must not lose a poke that
+//! races with its own descheduling, and must never be enqueued twice
+//! (one rank on two workers would break the mailbox's single-consumer
+//! contract). The protocol is two words — a state byte and a sticky
+//! `notified` flag, all SeqCst — and lives in its own module on the
+//! model-checker atomics so the litmus tests in `model_tests` explore
+//! every interleaving of the *production* transition code.
+//!
+//! Single-consumer safety across worker migration: all of a fiber's
+//! mailbox pops happen while its task state is RUNNING on one worker.
+//! The chain {pops on worker A} → BLOCKED store (SeqCst, worker A) →
+//! poker's CAS (SeqCst) → enqueue under the run-queue mutex → dequeue +
+//! RUNNING swap on worker B gives every pop on B a happens-before edge
+//! to every pop on A — the queue's `tail` cursor migrates safely even
+//! though it is an unsynchronized `UnsafeCell`.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// How ranks are mapped onto OS threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One OS thread per rank (the seed model; default).
+    Threads,
+    /// Ranks are cooperative fibers on a fixed worker pool.
+    Tasks,
+}
+
+/// Execution-engine knobs on a [`crate::JobSpec`]. Unset fields fall
+/// back to the environment (`CMPI_EXEC`, `CMPI_WORKERS`,
+/// `CMPI_STACK_KIB`) and then to defaults, so a whole test binary can be
+/// switched to task mode without touching any spec.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecSpec {
+    /// Execution mode; `None` = `CMPI_EXEC` or [`ExecMode::Threads`].
+    pub mode: Option<ExecMode>,
+    /// Worker count in task mode; `None` = `CMPI_WORKERS` or available
+    /// cores. Clamped to the rank count.
+    pub workers: Option<usize>,
+    /// Fiber stack size in KiB; `None` = `CMPI_STACK_KIB` or 1024.
+    pub stack_kib: Option<usize>,
+}
+
+/// Fully resolved engine configuration (spec ∪ env ∪ defaults).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ExecConfig {
+    pub(crate) mode: ExecMode,
+    pub(crate) workers: usize,
+    pub(crate) stack_bytes: usize,
+}
+
+/// Minimum fiber stack: deep collective recursion plus a panic unwind
+/// both fit comfortably; anything smaller risks silent overruns since
+/// the stacks carry no guard page (see [`FiberStack`]).
+const MIN_STACK_KIB: usize = 64;
+/// Default fiber stack (KiB).
+const DEFAULT_STACK_KIB: usize = 1024;
+
+impl ExecSpec {
+    pub(crate) fn resolve(&self) -> ExecConfig {
+        let mode = self.mode.or_else(env_mode).unwrap_or(ExecMode::Threads);
+        let mode = if mode == ExecMode::Tasks && !fibers_supported() {
+            eprintln!(
+                "cmpi: CMPI_EXEC=tasks is not supported on this target \
+                 (need x86_64/aarch64 Linux); falling back to threads"
+            );
+            ExecMode::Threads
+        } else {
+            mode
+        };
+        let workers = self
+            .workers
+            .or_else(|| env_usize("CMPI_WORKERS"))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+            .max(1);
+        let stack_kib = self
+            .stack_kib
+            .or_else(|| env_usize("CMPI_STACK_KIB"))
+            .unwrap_or(DEFAULT_STACK_KIB)
+            .max(MIN_STACK_KIB);
+        ExecConfig {
+            mode,
+            workers,
+            stack_bytes: stack_kib * 1024,
+        }
+    }
+}
+
+fn env_mode() -> Option<ExecMode> {
+    match std::env::var("CMPI_EXEC")
+        .ok()?
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "tasks" | "task" | "fibers" => Some(ExecMode::Tasks),
+        "threads" | "thread" => Some(ExecMode::Threads),
+        other => {
+            eprintln!("cmpi: ignoring unknown CMPI_EXEC value {other:?} (want tasks|threads)");
+            None
+        }
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key)
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&v| v > 0)
+}
+
+/// Whether the stackful-fiber backend exists for this target.
+pub(crate) const fn fibers_supported() -> bool {
+    cfg!(all(
+        any(target_arch = "x86_64", target_arch = "aarch64"),
+        target_os = "linux"
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// The blocked→queued handoff (model-checked)
+// ---------------------------------------------------------------------------
+
+/// The wake/yield handoff protocol, on the model-checker atomics so the
+/// litmus tests in `model_tests` run the production transitions under
+/// exhaustive interleaving.
+pub(crate) mod handoff {
+    use cmpi_model::sync::{AtomicBool, AtomicU8, Ordering};
+
+    /// Task is on a worker, executing.
+    pub(crate) const RUNNING: u8 = 0;
+    /// Task sits in exactly one run queue (or is being carried to one by
+    /// the unique thread whose CAS won the blocked→queued transition).
+    pub(crate) const QUEUED: u8 = 1;
+    /// Task yielded; its stack is suspended, no worker owns it.
+    pub(crate) const BLOCKED: u8 = 2;
+    /// Task body returned (or unwound); it will never run again.
+    pub(crate) const DONE: u8 = 3;
+
+    /// The per-task scheduling word.
+    ///
+    /// Invariant: a task enters a run queue exactly once per block
+    /// episode, because entering requires winning the single
+    /// `BLOCKED → QUEUED` compare-exchange of that episode. `wake` and
+    /// `block` race for it; SeqCst gives their accesses a total order in
+    /// which exactly one side observes the other:
+    ///
+    /// * if the waker's CAS fails (state still `RUNNING`), the CAS
+    ///   precedes the yielder's `BLOCKED` store in the SC order, hence
+    ///   also precedes its `notified` swap — which therefore sees the
+    ///   waker's earlier `notified` store and re-enqueues locally: the
+    ///   wakeup is not lost;
+    /// * if the waker's CAS succeeds, the yielder's swap may see `true`
+    ///   but its own CAS then finds `QUEUED` and fails: no double
+    ///   enqueue.
+    pub(crate) struct TaskState {
+        state: AtomicU8,
+        /// Sticky "a poke happened" flag, consumed by `block`. A stale
+        /// `true` (poke while running) costs one spurious re-enqueue;
+        /// the task re-checks its mailbox and yields again.
+        notified: AtomicBool,
+    }
+
+    impl TaskState {
+        /// New task, already sitting in its seed run queue.
+        pub(crate) fn new_queued() -> Self {
+            TaskState {
+                state: AtomicU8::new(QUEUED),
+                notified: AtomicBool::new(false),
+            }
+        }
+
+        /// Poke-side transition. Returns `true` iff the caller must
+        /// enqueue the task (it won the blocked→queued CAS).
+        pub(crate) fn wake(&self) -> bool {
+            self.notified.store(true, Ordering::SeqCst);
+            self.state
+                .compare_exchange(BLOCKED, QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        }
+
+        /// Worker-side transition after the fiber yielded. Returns
+        /// `true` iff the worker must re-enqueue the task itself (a
+        /// poke raced with the yield and lost the CAS).
+        pub(crate) fn block(&self) -> bool {
+            self.state.store(BLOCKED, Ordering::SeqCst);
+            if self.notified.swap(false, Ordering::SeqCst) {
+                return self
+                    .state
+                    .compare_exchange(BLOCKED, QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+            }
+            false
+        }
+
+        /// Dequeue-side transition: the worker that popped the task
+        /// takes ownership. Panics if the queue held a task that was
+        /// not `QUEUED` — that would mean two workers own one rank.
+        pub(crate) fn claim(&self) {
+            let prev = self.state.swap(RUNNING, Ordering::SeqCst);
+            assert_eq!(prev, QUEUED, "task claimed while not queued (state {prev})");
+        }
+
+        /// Voluntary-yield transition: the running worker puts the task
+        /// straight back to `QUEUED` without ever passing through
+        /// `BLOCKED`. Used by `yield_now` (cooperative poll loops): the
+        /// task needs no poke to become runnable again, and skipping
+        /// `BLOCKED` means a racing `wake` can only set the sticky
+        /// `notified` flag (its CAS finds `RUNNING`/`QUEUED` and fails),
+        /// so the single-enqueue invariant holds — the worker's enqueue
+        /// after this call is the episode's only one.
+        pub(crate) fn requeue(&self) {
+            self.state.store(QUEUED, Ordering::SeqCst);
+        }
+
+        /// Terminal transition.
+        pub(crate) fn finish(&self) {
+            self.state.store(DONE, Ordering::SeqCst);
+        }
+
+        pub(crate) fn is_blocked(&self) -> bool {
+            self.state.load(Ordering::SeqCst) == BLOCKED
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stackful fibers
+// ---------------------------------------------------------------------------
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+std::arch::global_asm!(
+    // Save the SysV callee-saved set and the stack pointer of the
+    // current context into `*save` (rdi), then resume the context whose
+    // stack pointer is `to` (rsi). Returns on the *target* stack.
+    ".text",
+    ".global cmpi_core_fiber_switch",
+    ".p2align 4",
+    "cmpi_core_fiber_switch:",
+    "push rbp",
+    "push rbx",
+    "push r12",
+    "push r13",
+    "push r14",
+    "push r15",
+    "mov [rdi], rsp",
+    "mov rsp, rsi",
+    "pop r15",
+    "pop r14",
+    "pop r13",
+    "pop r12",
+    "pop rbx",
+    "pop rbp",
+    "ret",
+    // First-entry trampoline: a fresh fiber's stack is seeded so the
+    // restore above "returns" here with the task pointer in r12 and
+    // rsp 16-aligned, i.e. call-site alignment for the boot call.
+    ".global cmpi_core_fiber_thunk",
+    ".p2align 4",
+    "cmpi_core_fiber_thunk:",
+    "mov rdi, r12",
+    "call cmpi_core_fiber_boot",
+    "ud2",
+);
+
+#[cfg(all(target_arch = "aarch64", target_os = "linux"))]
+std::arch::global_asm!(
+    // AAPCS64 callee-saved set: x19-x28, fp, lr, d8-d15 — a 160-byte
+    // frame. `save` is x0, `to` is x1.
+    ".text",
+    ".global cmpi_core_fiber_switch",
+    ".p2align 2",
+    "cmpi_core_fiber_switch:",
+    "sub sp, sp, #160",
+    "stp x19, x20, [sp, #0]",
+    "stp x21, x22, [sp, #16]",
+    "stp x23, x24, [sp, #32]",
+    "stp x25, x26, [sp, #48]",
+    "stp x27, x28, [sp, #64]",
+    "stp x29, x30, [sp, #80]",
+    "stp d8, d9, [sp, #96]",
+    "stp d10, d11, [sp, #112]",
+    "stp d12, d13, [sp, #128]",
+    "stp d14, d15, [sp, #144]",
+    "mov x9, sp",
+    "str x9, [x0]",
+    "mov sp, x1",
+    "ldp x19, x20, [sp, #0]",
+    "ldp x21, x22, [sp, #16]",
+    "ldp x23, x24, [sp, #32]",
+    "ldp x25, x26, [sp, #48]",
+    "ldp x27, x28, [sp, #64]",
+    "ldp x29, x30, [sp, #80]",
+    "ldp d8, d9, [sp, #96]",
+    "ldp d10, d11, [sp, #112]",
+    "ldp d12, d13, [sp, #128]",
+    "ldp d14, d15, [sp, #144]",
+    "add sp, sp, #160",
+    "ret",
+    // First entry: restored x19 carries the task pointer, restored lr
+    // points here; sp is back at the 16-aligned stack top.
+    ".global cmpi_core_fiber_thunk",
+    ".p2align 2",
+    "cmpi_core_fiber_thunk:",
+    "mov x0, x19",
+    "bl cmpi_core_fiber_boot",
+    "brk #1",
+);
+
+#[cfg(all(
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    target_os = "linux"
+))]
+extern "C" {
+    fn cmpi_core_fiber_switch(save: *mut *mut u8, to: *mut u8);
+    fn cmpi_core_fiber_thunk();
+}
+
+/// Unsupported-target stubs so the module typechecks everywhere; the
+/// resolver downgrades Tasks→Threads before these could ever run.
+#[cfg(not(all(
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    target_os = "linux"
+)))]
+#[allow(non_snake_case)]
+mod fallback_asm {
+    // SAFETY: trivially safe — the stub aborts; it is `unsafe fn` only
+    // to keep one signature with the real asm symbol.
+    pub(super) unsafe fn cmpi_core_fiber_switch(_save: *mut *mut u8, _to: *mut u8) {
+        unreachable!("fiber switch on unsupported target")
+    }
+    // SAFETY: trivially safe — the stub aborts; it is `unsafe fn` only
+    // to keep one signature with the real asm symbol.
+    pub(super) unsafe fn cmpi_core_fiber_thunk() {
+        unreachable!("fiber thunk on unsupported target")
+    }
+}
+#[cfg(not(all(
+    any(target_arch = "x86_64", target_arch = "aarch64"),
+    target_os = "linux"
+)))]
+use fallback_asm::{cmpi_core_fiber_switch, cmpi_core_fiber_thunk};
+
+/// A fiber stack from the global allocator. No guard page: adding one
+/// needs `mprotect`, and the workspace deliberately has no libc-level
+/// dependency. The stack is generously sized (1 MiB default, see
+/// `CMPI_STACK_KIB`) against rank bodies whose deepest frames are a
+/// collective inside a proptest plan; virtual memory is cheap and only
+/// touched pages commit.
+struct FiberStack {
+    base: *mut u8,
+    layout: std::alloc::Layout,
+}
+
+impl FiberStack {
+    fn new(bytes: usize) -> FiberStack {
+        // 16-byte alignment and a 16-multiple size keep the top aligned
+        // for both ABIs.
+        let bytes = bytes.max(MIN_STACK_KIB * 1024) & !15;
+        let layout = std::alloc::Layout::from_size_align(bytes, 16).expect("stack layout");
+        // SAFETY: layout has non-zero size (>= MIN_STACK_KIB pages).
+        let base = unsafe { std::alloc::alloc(layout) };
+        assert!(!base.is_null(), "fiber stack allocation failed");
+        FiberStack { base, layout }
+    }
+
+    /// One past the highest byte — the initial (empty, 16-aligned) top.
+    fn top(&self) -> *mut u8 {
+        // SAFETY: base..base+size is the allocation we own.
+        unsafe { self.base.add(self.layout.size()) }
+    }
+}
+
+impl Drop for FiberStack {
+    fn drop(&mut self) {
+        // SAFETY: base/layout are exactly what alloc returned.
+        unsafe { std::alloc::dealloc(self.base, self.layout) }
+    }
+}
+
+/// Seed a fresh stack so the first `cmpi_core_fiber_switch` into it
+/// restores zeroed registers, the task pointer in the callee-saved slot
+/// the thunk expects, and "returns" into the thunk.
+///
+/// # Safety
+/// `top` must be the 16-aligned top of a live allocation with at least
+/// 256 free bytes below it; `task` must outlive the fiber.
+// SAFETY: the `# Safety` contract above is the whole obligation; every
+// write below stays within the 256 bytes the caller guarantees.
+unsafe fn seed_stack(top: *mut u8, task: *const Task) -> *mut u8 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // Layout (low→high): r15 r14 r13 r12 rbx rbp ret.
+        let sp = top.wrapping_sub(56) as *mut u64;
+        // SAFETY: 56 bytes below `top` are inside the fresh stack.
+        unsafe {
+            for i in 0..6 {
+                sp.add(i).write(0);
+            }
+            sp.add(3).write(task as u64); // r12 = task
+            sp.add(6)
+                .write(cmpi_core_fiber_thunk as *const () as usize as u64);
+        }
+        sp as *mut u8
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        // Layout mirrors the 160-byte stp frame in the asm above.
+        let sp = top.wrapping_sub(160) as *mut u64;
+        // SAFETY: 160 bytes below `top` are inside the fresh stack.
+        unsafe {
+            for i in 0..20 {
+                sp.add(i).write(0);
+            }
+            sp.add(0).write(task as u64); // x19 = task
+            sp.add(11)
+                .write(cmpi_core_fiber_thunk as *const () as usize as u64); // x30
+        }
+        sp as *mut u8
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        let _ = (top, task);
+        unreachable!("fiber seed on unsupported target")
+    }
+}
+
+/// Run state of a fiber's stack (worker-private; see [`Task`] safety).
+enum FiberStatus {
+    /// Never switched into; `body` is still intact.
+    New,
+    /// Yielded mid-body; `sp` resumes it.
+    Suspended,
+    /// Body returned or unwound; the stack is dead and freed.
+    Done,
+}
+
+/// Sentinel panic payload used to unwind a cancelled fiber's stack so
+/// its locals drop. Swallowed by `fiber_main`; never user-visible.
+struct Cancelled;
+
+/// Worker-private half of a task: the suspended stack and everything
+/// the body left behind.
+struct FiberState {
+    status: FiberStatus,
+    /// Suspended stack pointer (valid iff `Suspended`).
+    sp: *mut u8,
+    /// Where the fiber switches back to: the address of the `resume`
+    /// local of whichever worker currently runs it, into which that
+    /// worker's switch-in saved its own stack pointer. The fiber loads
+    /// the slot at yield time (not earlier — the save happens inside
+    /// the worker's switch).
+    ret_sp: *mut *mut u8,
+    /// The rank body, taken at first entry.
+    body: Option<Box<dyn FnOnce() + Send + 'static>>,
+    stack: Option<FiberStack>,
+    stack_bytes: usize,
+    /// Voluntary-yield flag: set by `yield_now` before switching out so
+    /// the worker re-enqueues the task directly instead of running the
+    /// blocked→queued handoff (no poke is coming; the task is runnable).
+    requeue: bool,
+    /// Teardown flag: checked at every yield resume; set only after the
+    /// workers have exited, resumed from the pool's own thread.
+    cancel: bool,
+    /// A real (non-`Cancelled`) panic the body unwound with.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One rank as a schedulable task.
+///
+/// The `fiber` cell is worker-private state despite the `Sync` impl:
+/// exactly one thread may touch it at a time, namely whichever thread
+/// owns the task per the [`handoff::TaskState`] protocol (RUNNING: the
+/// worker that claimed it; BLOCKED: nobody; teardown: the pool thread
+/// after the workers joined). The SeqCst transitions in `handoff` and
+/// the run-queue mutex provide the happens-before edges between
+/// consecutive owners.
+struct Task {
+    state: handoff::TaskState,
+    fiber: UnsafeCell<FiberState>,
+}
+
+// SAFETY: see the `Task` doc comment — `fiber` access is serialized by
+// the handoff state machine, never concurrent.
+unsafe impl Sync for Task {}
+// SAFETY: all fields are owned; raw pointers inside `FiberState` point
+// into heap allocations the task itself owns (or a worker stack slot
+// only dereferenced by that worker).
+unsafe impl Send for Task {}
+
+/// What a mailbox poke needs to reschedule a parked rank: the handoff
+/// word plus a route back to the run queues. Held by `RankCell` in task
+/// mode; cloned freely (pokes come from arbitrary ranks).
+pub(crate) struct TaskHook {
+    pool: Arc<PoolShared>,
+    index: usize,
+}
+
+impl TaskHook {
+    /// Poke-side wakeup: if this task was blocked, move it to its home
+    /// run queue. Called instead of the condvar notify; safe from any
+    /// thread, any number of times.
+    pub(crate) fn wake(&self) {
+        if self.pool.tasks[self.index].state.wake() {
+            self.pool.enqueue(self.index);
+        }
+    }
+}
+
+thread_local! {
+    /// The task the current worker thread is running, if any. Null on
+    /// rank threads (thread mode) and on workers between tasks — which
+    /// is what routes `RankCell::sleep_if_idle` to the right backend.
+    static CURRENT: Cell<*const Task> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Yield the current fiber back to its worker, to be resumed by the
+/// next [`TaskHook::wake`]. Must be called on a fiber. The caller is
+/// responsible for having published its "I am waiting" state (the
+/// mailbox `poked` protocol) *before* yielding; the handoff CAS closes
+/// the remaining race.
+pub(crate) fn yield_blocked() {
+    let task = CURRENT.with(|c| c.get());
+    assert!(!task.is_null(), "yield_blocked outside a fiber");
+    // SAFETY: `task` points into the pool's task slab, alive for the
+    // whole pool run; we are the unique RUNNING owner of its fiber cell.
+    unsafe {
+        let fs = (*task).fiber.get();
+        (*fs).status = FiberStatus::Suspended;
+        let ret = *(*fs).ret_sp;
+        // SAFETY: `ret` is the worker context that switched into us; the
+        // save slot is our own `sp` field. The worker completes the
+        // BLOCKED transition after this switch returns control to it.
+        cmpi_core_fiber_switch(std::ptr::addr_of_mut!((*fs).sp), ret);
+        // Resumed. If the pool is tearing us down, unwind so locals drop.
+        if (*fs).cancel {
+            std::panic::resume_unwind(Box::new(Cancelled));
+        }
+    }
+}
+
+/// Cooperative-scheduling hint for non-blocking poll loops (`test`,
+/// `iprobe`): give the worker back so other ranks make progress, then
+/// resume without waiting for a poke. No-op off-fiber — in thread mode
+/// the OS preempts spin loops, but a fiber that busy-polls would starve
+/// every other rank multiplexed on its worker (livelock on a pool
+/// smaller than the spinning ranks). Purely a real-time scheduling
+/// event: callers have already refunded the failed poll's virtual time,
+/// so thread/task clock equivalence is untouched.
+pub(crate) fn yield_now() {
+    let task = CURRENT.with(|c| c.get());
+    if task.is_null() {
+        return;
+    }
+    // SAFETY: same ownership argument as `yield_blocked` — we are the
+    // unique RUNNING owner of the fiber cell until the switch, and the
+    // worker (sole next owner) takes over after it.
+    unsafe {
+        let fs = (*task).fiber.get();
+        (*fs).requeue = true;
+        (*fs).status = FiberStatus::Suspended;
+        let ret = *(*fs).ret_sp;
+        // SAFETY: `ret` is the worker context that switched into us; the
+        // save slot is our own `sp` field. The worker re-enqueues us
+        // after this switch hands control back to it — never before, so
+        // no other worker can resume this stack while it is still live
+        // here.
+        cmpi_core_fiber_switch(std::ptr::addr_of_mut!((*fs).sp), ret);
+        if (*fs).cancel {
+            std::panic::resume_unwind(Box::new(Cancelled));
+        }
+    }
+}
+
+/// Fiber entry point, called from the boot thunk on the fiber's own
+/// stack. Runs the body under `catch_unwind`, records any real panic,
+/// and switches back to the worker for the last time.
+///
+/// # Safety
+/// Called only by the seeded thunk with the task pointer planted by
+/// `seed_stack`.
+#[no_mangle]
+extern "C" fn cmpi_core_fiber_boot(task: *mut Task) -> ! {
+    // SAFETY: the thunk passes the pointer `seed_stack` planted; the
+    // task outlives the fiber. No &mut is held across the body call —
+    // the body may yield, and each yield re-derives its own pointer.
+    let panicked = unsafe {
+        let body = (*task)
+            .fiber
+            .get()
+            .as_mut()
+            .and_then(|fs| fs.body.take())
+            .expect("fiber booted twice");
+        std::panic::catch_unwind(AssertUnwindSafe(body)).err()
+    };
+    // SAFETY: body finished; we are again the unique owner of the cell.
+    unsafe {
+        let fs = (*task).fiber.get();
+        if let Some(p) = panicked {
+            if !p.is::<Cancelled>() {
+                (*fs).panic = Some(p);
+            }
+        }
+        (*fs).status = FiberStatus::Done;
+        let ret = *(*fs).ret_sp;
+        // SAFETY: final switch back to the worker; this context is dead
+        // and its save slot will never be restored.
+        cmpi_core_fiber_switch(std::ptr::addr_of_mut!((*fs).sp), ret);
+    }
+    unreachable!("fiber resumed after Done")
+}
+
+// ---------------------------------------------------------------------------
+// The worker pool
+// ---------------------------------------------------------------------------
+
+/// Parked-worker bookkeeping, under the `idle` mutex.
+struct IdleState {
+    parked: usize,
+    /// Consecutive full-quiescence observations (all workers parked,
+    /// queues empty, tasks outstanding). Reset by any sign of life.
+    strikes: u32,
+}
+
+/// Everything the workers and the pokers share.
+pub(crate) struct PoolShared {
+    tasks: Box<[Task]>,
+    /// One FIFO run queue per worker. Pokes enqueue to the task's home
+    /// queue (index % workers); idle workers steal from the back of
+    /// other queues.
+    queues: Box<[Mutex<VecDeque<usize>>]>,
+    idle: Mutex<IdleState>,
+    idle_cv: Condvar,
+    /// Tasks not yet Done. The last finisher wakes all parked workers
+    /// so the pool winds down promptly.
+    live: AtomicUsize,
+    /// Raised on a task panic or detected deadlock: workers stop
+    /// claiming work and exit; teardown unwinds the remnants.
+    poisoned: AtomicBool,
+}
+
+/// Park timeout. Also the deadlock-detector sampling period: with no
+/// external wake sources (all pokes come from running ranks), a fully
+/// parked pool with live tasks and empty queues can only be a lost-
+/// progress bug, reported after `DEADLOCK_STRIKES` consecutive samples.
+const PARK_TIMEOUT: Duration = Duration::from_millis(100);
+const DEADLOCK_STRIKES: u32 = 3;
+
+impl PoolShared {
+    fn home(&self, index: usize) -> usize {
+        index % self.queues.len()
+    }
+
+    /// Put a QUEUED task onto a run queue and wake a parked worker.
+    fn enqueue(&self, index: usize) {
+        self.queues[self.home(index)].lock().push_back(index);
+        if self.idle.lock().parked > 0 {
+            self.idle_cv.notify_one();
+        }
+    }
+
+    fn any_queued(&self) -> bool {
+        self.queues.iter().any(|q| !q.lock().is_empty())
+    }
+
+    /// Local pop, then steal sweep.
+    fn find_work(&self, me: usize) -> Option<usize> {
+        if let Some(idx) = self.queues[me].lock().pop_front() {
+            return Some(idx);
+        }
+        let w = self.queues.len();
+        for k in 1..w {
+            if let Some(idx) = self.queues[(me + k) % w].lock().pop_back() {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
+    fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.idle_cv.notify_all();
+    }
+
+    /// Worker main loop.
+    fn worker(&self, me: usize) {
+        loop {
+            if self.poisoned() {
+                return;
+            }
+            if let Some(idx) = self.find_work(me) {
+                self.run_task(me, idx);
+                continue;
+            }
+            if self.live.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            self.park();
+        }
+    }
+
+    fn park(&self) {
+        let mut g = self.idle.lock();
+        // Re-check with the lock held: an enqueue between our sweep and
+        // this lock sees `parked == 0` and skips the notify, so we must
+        // not wait on it.
+        if self.any_queued() || self.live.load(Ordering::SeqCst) == 0 || self.poisoned() {
+            return;
+        }
+        g.parked += 1;
+        let timed_out = self.idle_cv.wait_for(&mut g, PARK_TIMEOUT).timed_out();
+        g.parked -= 1;
+        if !timed_out {
+            g.strikes = 0;
+            return;
+        }
+        // Timed out: quiescence probe. `parked` was decremented above,
+        // so "everyone else parked" is parked == workers - 1.
+        let all_parked = g.parked == self.queues.len() - 1;
+        let live = self.live.load(Ordering::SeqCst);
+        if all_parked && live > 0 && !self.any_queued() && !self.poisoned() {
+            g.strikes += 1;
+            if g.strikes >= DEADLOCK_STRIKES {
+                let stuck: Vec<usize> = (0..self.tasks.len())
+                    .filter(|&i| self.tasks[i].state.is_blocked())
+                    .collect();
+                self.poison();
+                drop(g);
+                panic!(
+                    "cmpi task pool deadlock: {live} task(s) outstanding, all workers idle, \
+                     no queued work; blocked ranks: {stuck:?}"
+                );
+            }
+        } else {
+            g.strikes = 0;
+        }
+    }
+
+    /// Claim, switch into, and dispose of one task.
+    fn run_task(&self, _me: usize, idx: usize) {
+        let task = &self.tasks[idx];
+        task.state.claim();
+        let mut resume: *mut u8 = std::ptr::null_mut();
+        // SAFETY: claim() made us the unique owner of the fiber cell
+        // (see the Task doc comment for the cross-worker ordering).
+        unsafe {
+            let fs = task.fiber.get();
+            if matches!((*fs).status, FiberStatus::New) {
+                let stack = FiberStack::new((*fs).stack_bytes);
+                let sp = seed_stack(stack.top(), task);
+                (*fs).stack = Some(stack);
+                (*fs).sp = sp;
+                (*fs).status = FiberStatus::Suspended;
+            }
+            (*fs).ret_sp = std::ptr::addr_of_mut!(resume);
+            let to = (*fs).sp;
+            CURRENT.with(|c| c.set(task as *const Task));
+            // SAFETY: `to` is a stack this pool seeded/suspended; the
+            // save slot is this frame's `resume` local, which outlives
+            // the switch because the fiber always switches back here.
+            cmpi_core_fiber_switch(&mut resume, to);
+            CURRENT.with(|c| c.set(std::ptr::null()));
+            match (*fs).status {
+                FiberStatus::Done => {
+                    (*fs).stack = None;
+                    task.state.finish();
+                    if (*fs).panic.is_some() {
+                        self.poison();
+                    }
+                    if self.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        let _g = self.idle.lock();
+                        self.idle_cv.notify_all();
+                    }
+                }
+                FiberStatus::Suspended => {
+                    if (*fs).requeue {
+                        // Voluntary yield: the task is runnable now; put
+                        // it straight back without the blocked handoff.
+                        (*fs).requeue = false;
+                        task.state.requeue();
+                        self.enqueue(idx);
+                    } else if task.state.block() {
+                        self.enqueue(idx);
+                    }
+                }
+                FiberStatus::New => unreachable!("fiber yielded before first entry"),
+            }
+        }
+    }
+
+    /// Post-join teardown, on the pool thread: unwind every fiber that
+    /// is not Done so its stack-held locals drop, and drop unstarted
+    /// bodies. Workers are gone, so this thread owns every fiber cell.
+    fn cancel_remnants(&self) {
+        for (idx, task) in self.tasks.iter().enumerate() {
+            // SAFETY: single-threaded teardown; no other accessor left.
+            unsafe {
+                let fs = task.fiber.get();
+                (*fs).cancel = true;
+                match (*fs).status {
+                    FiberStatus::Done => {}
+                    FiberStatus::New => {
+                        (*fs).body = None;
+                        (*fs).status = FiberStatus::Done;
+                    }
+                    FiberStatus::Suspended => {
+                        // Bounded: each resume unwinds via Cancelled
+                        // unless the body catches it, which nothing in
+                        // this crate does.
+                        for _ in 0..64 {
+                            if matches!((*fs).status, FiberStatus::Done) {
+                                break;
+                            }
+                            let mut resume: *mut u8 = std::ptr::null_mut();
+                            (*fs).ret_sp = std::ptr::addr_of_mut!(resume);
+                            let to = (*fs).sp;
+                            CURRENT.with(|c| c.set(task as *const Task));
+                            // SAFETY: suspended stack owned solely by us.
+                            cmpi_core_fiber_switch(&mut resume, to);
+                            CURRENT.with(|c| c.set(std::ptr::null()));
+                        }
+                        (*fs).stack = None;
+                        let _ = idx;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run `bodies[i]` as task `i` on `cfg.workers` workers; `bind(i, hook)`
+/// is called before any task starts so mailbox cells can route pokes.
+/// Returns when every body has run to completion; propagates the
+/// lowest-index panic (matching thread mode's rank-ordered join).
+///
+/// The `'a` bodies are transmuted to `'static` internally; this is the
+/// scoped-thread pattern — every fiber is finished or unwound before
+/// this function returns, so no body outlives its borrows.
+pub(crate) fn run_task_pool<'a>(
+    bodies: Vec<Box<dyn FnOnce() + Send + 'a>>,
+    cfg: &ExecConfig,
+    mut bind: impl FnMut(usize, Arc<TaskHook>),
+) {
+    let n = bodies.len();
+    if n == 0 {
+        return;
+    }
+    let workers = cfg.workers.max(1).min(n);
+    let tasks: Box<[Task]> = bodies
+        .into_iter()
+        .map(|body| {
+            // SAFETY: lifetime erasure only ('a → 'static); see the
+            // function doc — the pool finishes or unwinds every body
+            // before returning, so the borrows never dangle.
+            let body: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(body) };
+            Task {
+                state: handoff::TaskState::new_queued(),
+                fiber: UnsafeCell::new(FiberState {
+                    status: FiberStatus::New,
+                    sp: std::ptr::null_mut(),
+                    ret_sp: std::ptr::null_mut(),
+                    body: Some(body),
+                    stack: None,
+                    stack_bytes: cfg.stack_bytes,
+                    requeue: false,
+                    cancel: false,
+                    panic: None,
+                }),
+            }
+        })
+        .collect();
+    let pool = Arc::new(PoolShared {
+        tasks,
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        idle: Mutex::new(IdleState {
+            parked: 0,
+            strikes: 0,
+        }),
+        idle_cv: Condvar::new(),
+        live: AtomicUsize::new(n),
+        poisoned: AtomicBool::new(false),
+    });
+    for i in 0..n {
+        bind(
+            i,
+            Arc::new(TaskHook {
+                pool: Arc::clone(&pool),
+                index: i,
+            }),
+        );
+    }
+    // Seed: every task starts queued on its home worker.
+    for i in 0..n {
+        pool.queues[pool.home(i)].lock().push_back(i);
+    }
+    let mut worker_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let pool = &pool;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("cmpi-worker-{w}"))
+                    .spawn_scoped(scope, move || pool.worker(w))
+                    .expect("failed to spawn pool worker"),
+            );
+        }
+        for h in handles {
+            if let Err(p) = h.join() {
+                worker_panic.get_or_insert(p);
+            }
+        }
+    });
+    pool.cancel_remnants();
+    // Rank-ordered panic propagation, matching thread mode's join loop.
+    for task in pool.tasks.iter() {
+        // SAFETY: workers joined, teardown done; sole owner.
+        if let Some(p) = unsafe { (*task.fiber.get()).panic.take() } {
+            std::panic::resume_unwind(p);
+        }
+    }
+    if let Some(p) = worker_panic {
+        std::panic::resume_unwind(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cmpi_model::sync::AtomicU64;
+
+    fn cfg(workers: usize) -> ExecConfig {
+        ExecConfig {
+            mode: ExecMode::Tasks,
+            workers,
+            stack_bytes: 256 * 1024,
+        }
+    }
+
+    #[test]
+    fn pool_runs_every_body_once() {
+        let counter = AtomicU64::new(0);
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_task_pool(bodies, &cfg(4), |_, _| {});
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn yield_and_wake_resume_a_blocked_task() {
+        // Task 0 blocks until task 1 (running later on the same worker)
+        // pokes it — the fiber handoff in miniature.
+        let flag = Arc::new(AtomicU64::new(0));
+        let hooks: Arc<Mutex<Vec<Option<Arc<TaskHook>>>>> = Arc::new(Mutex::new(vec![None, None]));
+        let f0 = Arc::clone(&flag);
+        let f1 = Arc::clone(&flag);
+        let h1 = Arc::clone(&hooks);
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(move || {
+                while f0.load(Ordering::SeqCst) == 0 {
+                    yield_blocked();
+                }
+                f0.store(2, Ordering::SeqCst);
+            }),
+            Box::new(move || {
+                f1.store(1, Ordering::SeqCst);
+                if let Some(h) = h1.lock()[0].as_ref() {
+                    h.wake();
+                }
+            }),
+        ];
+        let hb = Arc::clone(&hooks);
+        run_task_pool(bodies, &cfg(1), move |i, h| {
+            hb.lock()[i] = Some(h);
+        });
+        assert_eq!(flag.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn results_written_through_erased_slots() {
+        let mut slots: Vec<Option<u64>> = vec![None; 16];
+        struct SlotPtr(*mut Option<u64>);
+        // SAFETY: each closure gets a distinct slot; the pool joins
+        // before the vec is read.
+        unsafe impl Send for SlotPtr {}
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                let p = SlotPtr(slot as *mut _);
+                Box::new(move || {
+                    let p = p;
+                    // SAFETY: distinct slot per task, pool joins first.
+                    unsafe { *p.0 = Some(i as u64 * 3) };
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        run_task_pool(bodies, &cfg(3), |_, _| {});
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(*s, Some(i as u64 * 3));
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_lowest_index_first() {
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(|| panic!("rank 0 boom")),
+            Box::new(|| panic!("rank 1 boom")),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_task_pool(bodies, &cfg(2), |_, _| {});
+        }))
+        .expect_err("pool should propagate the panic");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom"), "unexpected payload {msg:?}");
+    }
+
+    #[test]
+    fn blocked_fiber_is_unwound_on_teardown() {
+        // A task that blocks forever (nobody wakes it) alongside a
+        // panicking task: the pool must cancel it, run its destructors,
+        // and still propagate the real panic.
+        struct DropFlag(Arc<AtomicU64>);
+        impl Drop for DropFlag {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let dropped = Arc::new(AtomicU64::new(0));
+        let d = Arc::clone(&dropped);
+        let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = vec![
+            Box::new(move || {
+                let _guard = DropFlag(d);
+                loop {
+                    yield_blocked();
+                }
+            }),
+            Box::new(|| panic!("take the pool down")),
+        ];
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_task_pool(bodies, &cfg(2), |_, _| {});
+        }));
+        assert!(err.is_err());
+        assert_eq!(dropped.load(Ordering::SeqCst), 1, "guard never dropped");
+    }
+
+    #[test]
+    fn resolve_prefers_spec_over_env() {
+        let spec = ExecSpec {
+            mode: Some(ExecMode::Tasks),
+            workers: Some(3),
+            stack_kib: Some(128),
+        };
+        let cfg = spec.resolve();
+        assert_eq!(cfg.mode, ExecMode::Tasks);
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.stack_bytes, 128 * 1024);
+    }
+}
+
+/// Exhaustive interleaving checks of the blocked→queued handoff — the
+/// protocol that replaces the condvar park under `CMPI_EXEC=tasks`.
+/// Run via `scripts/check.sh` with `RUSTFLAGS="--cfg cmpi_model"`.
+#[cfg(all(test, cmpi_model))]
+mod model_tests {
+    use super::handoff::TaskState;
+    use cmpi_model::model::{thread, Builder};
+    use cmpi_model::sync::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A poke racing a yield: however the two interleave, the task is
+    /// enqueued exactly once — the wakeup is never lost (no enqueue at
+    /// all would strand the rank) and never duplicated (two enqueues
+    /// would run one rank on two workers and break the mailbox's
+    /// single-consumer contract).
+    #[test]
+    fn model_yield_vs_poke_enqueues_exactly_once() {
+        Builder::new().max_executions(400_000).check(|| {
+            let st = Arc::new(TaskState::new_queued());
+            st.claim(); // the worker is running the task
+            let enq = Arc::new(AtomicUsize::new(0));
+            let (st_p, enq_p) = (Arc::clone(&st), Arc::clone(&enq));
+            let poker = thread::spawn(move || {
+                if st_p.wake() {
+                    enq_p.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            // The worker completing the fiber's yield.
+            if st.block() {
+                enq.fetch_add(1, Ordering::SeqCst);
+            }
+            poker.join();
+            assert_eq!(enq.load(Ordering::SeqCst), 1, "lost or duplicated wakeup");
+            // And the single enqueue is claimable exactly once.
+            st.claim();
+        });
+    }
+
+    /// Two pokers racing each other over an already-blocked task: only
+    /// one wins the CAS, so the task still enters a queue exactly once.
+    #[test]
+    fn model_concurrent_pokes_enqueue_once() {
+        Builder::new().max_executions(400_000).check(|| {
+            let st = Arc::new(TaskState::new_queued());
+            st.claim();
+            assert!(!st.block(), "no poke yet, worker must not re-enqueue");
+            let enq = Arc::new(AtomicUsize::new(0));
+            let mut joins = Vec::new();
+            for _ in 0..2 {
+                let (s, e) = (Arc::clone(&st), Arc::clone(&enq));
+                joins.push(thread::spawn(move || {
+                    if s.wake() {
+                        e.fetch_add(1, Ordering::SeqCst);
+                    }
+                }));
+            }
+            for j in joins {
+                j.join();
+            }
+            assert_eq!(
+                enq.load(Ordering::SeqCst),
+                1,
+                "blocked task must enqueue once"
+            );
+            st.claim();
+        });
+    }
+
+    /// A poke that lands while the task is still RUNNING (before the
+    /// yield starts) is deferred, not dropped: the subsequent block()
+    /// observes the sticky notified flag and re-enqueues.
+    #[test]
+    fn model_early_poke_is_deferred_not_lost() {
+        Builder::new().max_executions(400_000).check(|| {
+            let st = TaskState::new_queued();
+            st.claim();
+            assert!(!st.wake(), "running task must not be enqueued by a poke");
+            assert!(st.block(), "deferred poke must re-enqueue at yield");
+            st.claim();
+        });
+    }
+}

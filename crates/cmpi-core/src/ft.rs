@@ -231,7 +231,8 @@ impl Mpi {
             .copied()
             .filter(|r| !d.dead.contains(r))
             .collect();
-        self.ctx_members.insert(d.new_ctx, survivors.clone());
+        self.ctx_members
+            .insert(d.new_ctx, std::sync::Arc::new(survivors.clone()));
         let groups: Vec<Vec<usize>> = self
             .coll_groups
             .iter()

@@ -57,6 +57,7 @@ pub mod comm;
 pub mod datatype;
 pub mod datatype_derived;
 pub mod error;
+pub mod exec;
 pub mod failure;
 pub(crate) mod fasthash;
 pub mod ft;
@@ -77,6 +78,7 @@ pub use comm::Comm;
 pub use datatype::{MpiData, ReduceOp};
 pub use datatype_derived::Layout;
 pub use error::MpiError;
+pub use exec::{ExecMode, ExecSpec};
 pub use failure::{Death, Decision, FailureDetector, FAILURE_LEASE};
 pub use locality::{DowngradeReason, LocalityPolicy, LocalityView, PublishReport};
 pub use onesided::Window;

@@ -8,10 +8,11 @@
 //! work; the **container detector** recovers the truth from the shared
 //! container list.
 
-use cmpi_cluster::{Channel, Cluster, FaultPlan, Placement};
+use cmpi_cluster::{Channel, Cluster, ContainerId, FaultPlan, Placement};
 use cmpi_shmem::locality_list::{AttachOutcome, PublishError, JOB_GENERATION};
 use cmpi_shmem::visibility::{effective_visibility, visibility};
 use cmpi_shmem::{ContainerList, ShmRegistry, Visibility};
+use std::sync::Arc;
 
 /// How the library decides peer locality.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,17 +91,130 @@ pub struct PublishReport {
     pub outcome: AttachOutcome,
 }
 
+/// Container-pair visibility plus the hostname relation — everything
+/// about a peer that depends only on *which containers* the two ranks
+/// occupy, not on the ranks themselves.
+#[derive(Clone, Copy, Debug)]
+struct PairVis {
+    vis: Visibility,
+    hostname_eq: bool,
+}
+
+/// Rank-count-independent locality ground truth, computed **once per
+/// job** and shared by every rank's view. A job with `n` ranks has far
+/// fewer containers than ranks (`C ≪ n`), and every per-peer fact the
+/// per-rank scan needs — visibility, hostname equality, the expected
+/// membership byte — is a pure function of the *container pair*. Before
+/// this table each rank recomputed namespace gating per peer, an
+/// O(n²) job-init term that dominated 4096-rank launches.
+#[derive(Debug)]
+pub struct LocalityMap {
+    n: usize,
+    n_conts: usize,
+    /// rank → raw host id.
+    host: Box<[u32]>,
+    /// rank → raw socket id.
+    socket: Box<[u32]>,
+    /// rank → raw container id (dense: containers index the pair table).
+    pub(crate) cont: Box<[u32]>,
+    /// rank → index among its host's ranks, rank-ascending. Sizes the
+    /// per-sender SHM pair-queue rows by host width instead of job width.
+    pub(crate) host_rank_idx: Box<[u32]>,
+    /// rank → number of ranks placed on its host.
+    pub(crate) host_ranks: Box<[u32]>,
+    /// Row-major `C × C` container-pair table (fault-free visibility).
+    pair: Box<[PairVis]>,
+    /// container → the membership byte its ranks publish.
+    expected_byte: Box<[u8]>,
+    /// container → runs inside a real container (per-call tax).
+    in_container: Box<[bool]>,
+}
+
+impl LocalityMap {
+    /// Precompute the shared tables for one job. `O(n + C²)`.
+    pub fn build(cluster: &Cluster, placement: &Placement) -> LocalityMap {
+        let n = placement.num_ranks();
+        let n_conts = cluster.containers.len();
+        let mut host = Vec::with_capacity(n);
+        let mut socket = Vec::with_capacity(n);
+        let mut cont = Vec::with_capacity(n);
+        let mut host_rank_idx = Vec::with_capacity(n);
+        let mut seen = vec![0u32; cluster.hosts.len()];
+        for r in 0..n {
+            let loc = placement.loc(r);
+            host.push(loc.host.0);
+            socket.push(loc.socket.0);
+            cont.push(loc.container.0);
+            host_rank_idx.push(seen[loc.host.0 as usize]);
+            seen[loc.host.0 as usize] += 1;
+        }
+        let host_ranks = (0..n).map(|r| seen[host[r] as usize]).collect();
+        let mut pair = Vec::with_capacity(n_conts * n_conts);
+        for a in &cluster.containers {
+            for b in &cluster.containers {
+                pair.push(PairVis {
+                    vis: visibility(cluster, a.id, b.id),
+                    hostname_eq: a.hostname == b.hostname,
+                });
+            }
+        }
+        LocalityMap {
+            n,
+            n_conts,
+            host: host.into(),
+            socket: socket.into(),
+            cont: cont.into(),
+            host_rank_idx: host_rank_idx.into(),
+            host_ranks,
+            pair: pair.into(),
+            expected_byte: (0..n_conts)
+                .map(|i| ContainerList::membership_byte(ContainerId(i as u32)))
+                .collect(),
+            in_container: cluster.containers.iter().map(|c| !c.native).collect(),
+        }
+    }
+
+    /// The pair-table entry for two containers.
+    fn pair(&self, a: u32, b: u32) -> PairVis {
+        self.pair[a as usize * self.n_conts + b as usize]
+    }
+
+    /// Same-socket relation (mirrors [`Placement::same_socket`]).
+    fn same_socket(&self, a: usize, b: usize) -> bool {
+        self.host[a] == self.host[b] && self.socket[a] == self.socket[b]
+    }
+
+    /// Same-host relation (mirrors [`Placement::same_host`]).
+    pub(crate) fn same_host(&self, a: usize, b: usize) -> bool {
+        self.host[a] == self.host[b]
+    }
+}
+
+/// How a view answers per-peer queries.
+#[derive(Clone, Debug)]
+enum ViewRepr {
+    /// Fault-path representation: a dense per-peer table, built by the
+    /// full cross-check walk (`O(n)` per rank, with per-peer effective
+    /// visibility).
+    Dense { peers: Vec<PeerInfo> },
+    /// Fault-free representation: per-peer answers are derived on demand
+    /// from the job-shared [`LocalityMap`] — nothing rank-sized is
+    /// allocated beyond the (host-bounded) local rank list, and no
+    /// downgrade can exist by construction.
+    Shared { map: Arc<LocalityMap>, my_cont: u32 },
+}
+
 /// A rank's resolved locality knowledge.
 #[derive(Clone, Debug)]
 pub struct LocalityView {
     rank: usize,
-    peers: Vec<PeerInfo>,
     /// Ranks the policy considers local, ascending (includes self).
     local_ranks: Vec<usize>,
     /// Position of this rank within `local_ranks`.
     local_ordering: usize,
     /// Whether this rank runs inside a real container (per-call tax).
     in_container: bool,
+    repr: ViewRepr,
 }
 
 impl LocalityView {
@@ -258,10 +372,59 @@ impl LocalityView {
             .expect("rank missing from its own locality set");
         LocalityView {
             rank,
-            peers,
             local_ranks,
             local_ordering,
             in_container: !my_cont.native,
+            repr: ViewRepr::Dense { peers },
+        }
+    }
+
+    /// Fault-free phase 2 against the job-shared [`LocalityMap`]: one
+    /// cheap pass over the membership bytes (two array loads and a
+    /// compare per peer) instead of per-peer namespace recomputation.
+    ///
+    /// Equivalent to [`LocalityView::build`] when the fault plan is
+    /// empty: with no silent/torn publishers and no namespace
+    /// revocations, effective visibility equals declared visibility, a
+    /// peer's byte appears on this rank's segment iff the pair shares an
+    /// IPC namespace on one host, and a published byte always matches
+    /// its container — so the detector's verdict collapses to the byte
+    /// compare and no peer can be downgraded.
+    pub(crate) fn build_shared(
+        policy: LocalityPolicy,
+        map: &Arc<LocalityMap>,
+        rank: usize,
+        list: &ContainerList,
+    ) -> LocalityView {
+        let myc = map.cont[rank];
+        let mut local_ranks = Vec::new();
+        for peer in 0..map.n {
+            let pc = map.cont[peer];
+            let local = peer == rank
+                || match policy {
+                    LocalityPolicy::Hostname => map.pair(myc, pc).hostname_eq,
+                    LocalityPolicy::ContainerDetector | LocalityPolicy::ForceChannel(_) => {
+                        let byte = list.membership_of(peer);
+                        byte != 0 && byte == map.expected_byte[pc as usize]
+                    }
+                };
+            if local {
+                local_ranks.push(peer);
+            }
+        }
+        let local_ordering = local_ranks
+            .iter()
+            .position(|&p| p == rank)
+            .expect("rank missing from its own locality set");
+        LocalityView {
+            rank,
+            local_ranks,
+            local_ordering,
+            in_container: map.in_container[myc as usize],
+            repr: ViewRepr::Shared {
+                map: Arc::clone(map),
+                my_cont: myc,
+            },
         }
     }
 
@@ -309,9 +472,21 @@ impl LocalityView {
         self.rank
     }
 
-    /// Peer knowledge.
-    pub fn peer(&self, peer: usize) -> &PeerInfo {
-        &self.peers[peer]
+    /// Peer knowledge. In the shared representation the answer is
+    /// assembled on demand from the job-wide map; `local_ranks` is
+    /// host-bounded (≤ ranks-per-host), so the membership search is a
+    /// handful of compares.
+    pub fn peer(&self, peer: usize) -> PeerInfo {
+        match &self.repr {
+            ViewRepr::Dense { peers } => peers[peer],
+            ViewRepr::Shared { map, my_cont } => PeerInfo {
+                considered_local: peer == self.rank
+                    || self.local_ranks.binary_search(&peer).is_ok(),
+                vis: map.pair(*my_cont, map.cont[peer]).vis,
+                same_socket: map.same_socket(self.rank, peer),
+                downgraded: None,
+            },
+        }
     }
 
     /// Ranks considered local (includes self), ascending.
@@ -334,9 +509,14 @@ impl LocalityView {
         self.in_container
     }
 
-    /// Peers this rank downgraded to the HCA, with the reason.
+    /// Peers this rank downgraded to the HCA, with the reason. The
+    /// shared (fault-free) representation has none by construction.
     pub fn downgraded_peers(&self) -> impl Iterator<Item = (usize, DowngradeReason)> + '_ {
-        self.peers
+        let peers: &[PeerInfo] = match &self.repr {
+            ViewRepr::Dense { peers } => peers,
+            ViewRepr::Shared { .. } => &[],
+        };
+        peers
             .iter()
             .enumerate()
             .filter_map(|(p, info)| info.downgraded.map(|r| (p, r)))
@@ -344,7 +524,7 @@ impl LocalityView {
 
     /// Number of peers downgraded to the HCA.
     pub fn num_downgraded(&self) -> u64 {
-        self.peers.iter().filter(|p| p.downgraded.is_some()).count() as u64
+        self.downgraded_peers().count() as u64
     }
 
     /// The downgrades as reportable [`MpiError`] diagnostics.

@@ -35,12 +35,14 @@
 
 use std::cell::UnsafeCell;
 use std::ptr;
+use std::sync::{Arc, OnceLock};
 
 use cmpi_model::race;
 #[cfg(cmpi_model)]
 use cmpi_model::sync::quarantine;
 use cmpi_model::sync::{yield_now, AtomicBool, AtomicPtr, AtomicU64, CondvarSlot, Ordering};
 
+use crate::exec::TaskHook;
 use crate::packet::Packet;
 
 struct Node {
@@ -287,6 +289,12 @@ pub(crate) struct RankCell {
     /// the park lock entirely on the fast path.
     sleeping: AtomicBool,
     park: CondvarSlot,
+    /// Task-mode scheduling hook (`CMPI_EXEC=tasks`): when bound, the
+    /// owning rank is a fiber on the worker pool, `sleep_if_idle` yields
+    /// instead of parking, and `wake` re-enqueues the fiber instead of
+    /// notifying the condvar. Unbound (thread mode), the cell behaves
+    /// exactly as the seed park/poke protocol.
+    task: OnceLock<Arc<TaskHook>>,
     pushes: AtomicU64,
     parks: AtomicU64,
     wakes: AtomicU64,
@@ -299,10 +307,18 @@ impl RankCell {
             poked: AtomicBool::new(false),
             sleeping: AtomicBool::new(false),
             park: CondvarSlot::new(),
+            task: OnceLock::new(),
             pushes: AtomicU64::new(0),
             parks: AtomicU64::new(0),
             wakes: AtomicU64::new(0),
         }
+    }
+
+    /// Route this cell's wake-ups to a pool task (task mode only; called
+    /// once per job, before any rank starts).
+    pub(crate) fn bind_task(&self, hook: Arc<TaskHook>) {
+        let bound = self.task.set(hook).is_ok();
+        assert!(bound, "rank cell bound to two tasks");
     }
 
     pub(crate) fn push(&self, pkt: Packet) {
@@ -320,6 +336,16 @@ impl RankCell {
 
     fn wake(&self) {
         self.poked.store(true, Ordering::SeqCst);
+        if let Some(hook) = self.task.get() {
+            // Task mode: `sleeping` is never set (the owner yields to
+            // the pool instead of parking), so the condvar path below is
+            // dead; the handoff CAS in `TaskHook::wake` provides the
+            // exactly-once re-enqueue the notify provides in thread
+            // mode. The `poked` store above still precedes it, so the
+            // resumed fiber's progress pass observes the state change.
+            hook.wake();
+            return;
+        }
         if self.sleeping.load(Ordering::SeqCst) {
             // Taking the park lock orders this notify after the consumer
             // has entered `wait` (it holds the lock from the flag checks
@@ -360,6 +386,23 @@ impl RankCell {
         const YIELD_SPINS: u32 = 1;
         #[cfg(not(cmpi_model))]
         const YIELD_SPINS: u32 = 8;
+        if self.task.get().is_some() {
+            // Task mode: no spin phase — a fiber switch is ~100 ns (no
+            // futex round trip), and spinning would hold the worker away
+            // from runnable peer ranks, which is exactly the resource
+            // the pool multiplexes. Yield straight back to the worker;
+            // the next poke re-enqueues us (handoff protocol), and the
+            // trailing `poked` swap below keeps the same
+            // packet-visibility edge the thread path documents.
+            if self.q.has_ready() || self.poked.swap(false, Ordering::SeqCst) {
+                return;
+            }
+            // relaxed-ok: profile counter, feeds stats() only.
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            crate::exec::yield_blocked();
+            self.poked.swap(false, Ordering::SeqCst);
+            return;
+        }
         for _ in 0..YIELD_SPINS {
             if self.q.has_ready() || self.poked.swap(false, Ordering::SeqCst) {
                 return;
@@ -380,6 +423,28 @@ impl RankCell {
         // its completion state before sleeping again, and the state
         // change it advertises happened-before the poke.
         self.poked.swap(false, Ordering::SeqCst);
+    }
+
+    /// Sleep for a `PokeBarrier` waiter: pending-but-undrained packets
+    /// must NOT keep the caller runnable (unlike [`Self::sleep_if_idle`])
+    /// because a rank parked at a barrier drains nothing until released.
+    /// Only the release poke (or any racing poke, re-checked by the
+    /// caller's generation loop) matters. Wakeups are not lost: a poke
+    /// landing after the `poked` swap below is caught by the handoff's
+    /// sticky `notified` flag (task mode) or the locked `poked` re-check
+    /// (thread mode).
+    pub(crate) fn sleep_at_barrier(&self) {
+        if self.task.get().is_some() {
+            if self.poked.swap(false, Ordering::SeqCst) {
+                return;
+            }
+            // relaxed-ok: profile counter, feeds stats() only.
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            crate::exec::yield_blocked();
+            self.poked.swap(false, Ordering::SeqCst);
+            return;
+        }
+        self.sleep_if_idle();
     }
 
     /// Snapshot of the wall-clock pressure counters.

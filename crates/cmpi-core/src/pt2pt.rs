@@ -187,7 +187,7 @@ impl Mpi {
             return id;
         }
 
-        let peer = *self.view.peer(dst);
+        let peer = self.view.peer(dst);
         let route = self.selector.route(&peer, len);
         let cross = self.cross_socket(dst);
         let tel_code = match route.channel {
@@ -719,6 +719,9 @@ impl Mpi {
             // letting it advance the clock makes virtual time
             // nondeterministic).
             self.now = t0;
+            // Task mode: hand the worker to other ranks between polls so
+            // a `test` spin loop cannot starve its own sender.
+            crate::exec::yield_now();
         }
         self.exit(CallClass::Poll, t0);
         out
@@ -793,6 +796,8 @@ impl Mpi {
         if matches!(out, Ok(None)) {
             // Refund the call-entry tax exactly like `test`.
             self.now = t0;
+            // And yield the worker between polls exactly like `test`.
+            crate::exec::yield_now();
         }
         self.exit(CallClass::Poll, t0);
         out
@@ -903,6 +908,9 @@ impl Mpi {
         } else {
             // Refund the call-entry tax too — see `test`.
             self.now = t0;
+            // Failed probes also yield the worker in task mode — probe
+            // storms are the canonical fiber-starvation loop.
+            crate::exec::yield_now();
         }
         if self.state.telemetry.is_some() {
             self.tel_scratch.inc(if out.is_some() {

@@ -16,8 +16,8 @@
 //! hardware-offloaded transfer it models and does not slow down unrelated
 //! operations the rank is executing meanwhile.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
-use std::sync::{Arc, Barrier, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
 use cmpi_cluster::faults::STALE_GENERATION;
@@ -33,9 +33,10 @@ use crate::channel::ChannelSelector;
 use crate::coll_select::CollectiveSelector;
 use crate::coll_select::{CollAlgo, CollKind};
 use crate::error::MpiError;
+use crate::exec::{ExecMode, ExecSpec};
 use crate::failure::{Death, DecisionLog, FailureDetector, FAILURE_LEASE};
 use crate::fasthash::{FastMap, FastSet};
-use crate::locality::{LocalityPolicy, LocalityView};
+use crate::locality::{LocalityMap, LocalityPolicy, LocalityView};
 use crate::mailbox::RankCell;
 use crate::matching::{ArrivedBody, ArrivedMsg, MatchingEngine};
 use crate::packet::{Packet, PacketKind, ReqId, WireHeader};
@@ -97,6 +98,10 @@ pub struct JobSpec {
     /// Fault-injection plan (empty by default). See
     /// [`cmpi_cluster::FaultPlan`].
     pub faults: FaultPlan,
+    /// Execution-engine selection (thread-per-rank vs. task pool); unset
+    /// fields defer to `CMPI_EXEC`/`CMPI_WORKERS`/`CMPI_STACK_KIB`. See
+    /// [`crate::exec`].
+    pub exec: ExecSpec,
 }
 
 impl JobSpec {
@@ -112,7 +117,32 @@ impl JobSpec {
             profiling: false,
             telemetry: true,
             faults: FaultPlan::none(),
+            exec: ExecSpec::default(),
         }
+    }
+
+    /// Pin the execution mode (overrides `CMPI_EXEC`): thread-per-rank
+    /// or cooperative tasks on the worker pool.
+    pub fn with_exec(mut self, mode: ExecMode) -> Self {
+        self.exec.mode = Some(mode);
+        self
+    }
+
+    /// Pin the task-mode worker count (overrides `CMPI_WORKERS`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.exec.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Pin the fiber stack size in KiB (overrides `CMPI_STACK_KIB`;
+    /// clamped to the 64 KiB minimum). Large-rank jobs whose bodies
+    /// have shallow frames should set this well below the 1 MiB
+    /// default: per-fiber stacks above the allocator's mmap threshold
+    /// cost a fresh mmap + page-fault storm + munmap per rank, which
+    /// at thousands of ranks dominates job setup.
+    pub fn with_stack_kib(mut self, kib: usize) -> Self {
+        self.exec.stack_kib = Some(kib);
+        self
     }
 
     /// Inject the faults described by `plan` into this job's shared
@@ -228,38 +258,76 @@ impl JobSpec {
         }
         let tracing = self.tracing;
         let profiling = self.profiling;
+        let exec = self.exec.resolve();
+        // The per-rank body is identical in both execution modes — only
+        // the mapping of ranks onto OS threads differs, which is what
+        // keeps thread/task results bit-identical (the equivalence
+        // proptest pins this).
+        let run_rank = |r: usize, state: Arc<JobState>| {
+            let mut mpi = Mpi::init(r, state);
+            if tracing {
+                mpi.trace = Some(RankTrace::default());
+            }
+            if profiling {
+                mpi.prof = Some(ProfCollector::new(mpi.n));
+            }
+            mpi.emit_init_events();
+            let out = f(&mut mpi);
+            // Drain any protocol work peers still need from
+            // us before tearing down.
+            let rank = mpi.rank;
+            mpi.state.finalize_barrier.wait(&mpi.state, rank);
+            mpi.tel_flush();
+            (out, mpi.now, mpi.stats, mpi.trace, mpi.prof)
+        };
         let mut slots: Vec<RankSlot<R>> = (0..n).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for r in 0..n {
-                let state = Arc::clone(&state);
-                let f = &f;
-                handles.push(
-                    std::thread::Builder::new()
-                        .name(format!("mpi-rank-{r}"))
-                        .spawn_scoped(scope, move || {
-                            let mut mpi = Mpi::init(r, state);
-                            if tracing {
-                                mpi.trace = Some(RankTrace::default());
-                            }
-                            if profiling {
-                                mpi.prof = Some(ProfCollector::new(mpi.n));
-                            }
-                            mpi.emit_init_events();
-                            let out = f(&mut mpi);
-                            // Drain any protocol work peers still need from
-                            // us before tearing down.
-                            mpi.state.finalize_barrier.wait();
-                            mpi.tel_flush();
-                            (out, mpi.now, mpi.stats, mpi.trace, mpi.prof)
-                        })
-                        .expect("failed to spawn rank thread"),
-                );
+        match exec.mode {
+            ExecMode::Threads => {
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(n);
+                    for r in 0..n {
+                        let state = Arc::clone(&state);
+                        let run_rank = &run_rank;
+                        handles.push(
+                            std::thread::Builder::new()
+                                .name(format!("mpi-rank-{r}"))
+                                .spawn_scoped(scope, move || run_rank(r, state))
+                                .expect("failed to spawn rank thread"),
+                        );
+                    }
+                    for (r, h) in handles.into_iter().enumerate() {
+                        slots[r] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+                    }
+                });
             }
-            for (r, h) in handles.into_iter().enumerate() {
-                slots[r] = Some(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            ExecMode::Tasks => {
+                // Ranks as fibers on a fixed worker pool (see
+                // `crate::exec`): each rank's mailbox cell is bound to
+                // its task so pokes re-enqueue the fiber, and bodies
+                // write results through per-rank erased slots.
+                struct SlotPtr<R>(*mut RankSlot<R>);
+                // SAFETY: every task writes a distinct slot, and the
+                // pool joins all workers before `slots` is read again.
+                unsafe impl<R> Send for SlotPtr<R> {}
+                let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(r, slot)| {
+                        let state = Arc::clone(&state);
+                        let run_rank = &run_rank;
+                        let slot = SlotPtr(slot as *mut RankSlot<R>);
+                        Box::new(move || {
+                            let slot = slot;
+                            let out = run_rank(r, state);
+                            // SAFETY: distinct slot per rank; the pool
+                            // joins before the collection loop reads.
+                            unsafe { *slot.0 = Some(out) };
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                crate::exec::run_task_pool(bodies, &exec, |r, hook| state.cells[r].bind_task(hook));
             }
-        });
+        }
         let mut results = Vec::with_capacity(n);
         let mut times = Vec::with_capacity(n);
         let mut stats = Vec::with_capacity(n);
@@ -308,7 +376,7 @@ impl JobSpec {
             m0.add(MetricId::ShmQueueAcquires, qp.acquires);
             m0.add(MetricId::ShmQueueStalls, qp.stalled_acquires);
             m0.gauge_set(MetricId::ShmMaxInFlight, qp.max_in_flight);
-            for r in 0..n {
+            for (r, rank_stats) in stats.iter().enumerate().take(n) {
                 let m = &t.rank(r).metrics;
                 // Channel ops/bytes come from the per-rank CommStats the
                 // hot path already maintains — recounting them in the
@@ -319,7 +387,7 @@ impl JobSpec {
                     (Channel::Cma, MetricId::CmaOps, MetricId::CmaBytes),
                     (Channel::Hca, MetricId::HcaOps, MetricId::HcaBytes),
                 ] {
-                    let c = stats[r].channel(ch);
+                    let c = rank_stats.channel(ch);
                     m.add(ops_id, c.ops);
                     m.add(by_id, c.bytes);
                 }
@@ -467,6 +535,61 @@ impl WindowTable {
     }
 }
 
+/// A job-wide rank barrier built on the mailbox poke protocol instead
+/// of `std::sync::Barrier`, so it works identically for rank *threads*
+/// (the waiter parks on its cell's condvar) and rank *fibers* (the
+/// waiter yields to the worker pool) — a futex barrier would wedge an
+/// entire worker and deadlock task mode at any worker count below the
+/// rank count.
+///
+/// Sense-reversing: waiters spin on the generation word through
+/// `sleep_if_idle`, the last arriver resets the count, bumps the
+/// generation and pokes every cell. The release-ordered generation bump
+/// paired with the acquire loads (and the release sequence through the
+/// `arrived` RMWs) publishes every pre-barrier write to every leaver,
+/// matching the `std::sync::Barrier` guarantee the init path relied on.
+pub(crate) struct PokeBarrier {
+    arrived: AtomicUsize,
+    gen: AtomicUsize,
+    n: usize,
+}
+
+impl PokeBarrier {
+    fn new(n: usize) -> Self {
+        PokeBarrier {
+            arrived: AtomicUsize::new(0),
+            gen: AtomicUsize::new(0),
+            n,
+        }
+    }
+
+    /// Block rank `rank` until all `n` ranks have arrived.
+    pub(crate) fn wait(&self, state: &JobState, rank: usize) {
+        let gen0 = self.gen.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // relaxed-ok: the reset is ordered before the releasing
+            // `gen` bump below, and no rank can re-arrive at this
+            // barrier until it observes that bump.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.gen.fetch_add(1, Ordering::Release);
+            state.poke_all();
+        } else {
+            while self.gen.load(Ordering::Acquire) == gen0 {
+                // Not `sleep_if_idle`: its has-pending-packets fast path
+                // keeps a barrier waiter runnable, but a rank parked here
+                // drains nothing until released — in task mode that spin
+                // would hold the worker away from the very ranks whose
+                // arrival bumps `gen` (livelock on a small pool).
+                state.cells[rank].sleep_at_barrier();
+            }
+        }
+    }
+}
+
+/// One sender's lazily-allocated row of same-host pair queues, sized by
+/// the sender's host width (see the `queues` field below).
+type PairQueueRow = OnceLock<Box<[OnceLock<Arc<PairQueue>>]>>;
+
 /// Shared, immutable-after-init job state.
 pub(crate) struct JobState {
     pub(crate) cluster: Cluster,
@@ -506,15 +629,31 @@ pub(crate) struct JobState {
     /// Rank-indexed `src → dst` pair-queue table. `OnceLock` slots make
     /// the steady-state lookup a plain load — the seed's job-wide
     /// `Mutex<HashMap>` serialized every SHM chunk of every pair through
-    /// one lock.
-    queues: Vec<OnceLock<Arc<PairQueue>>>,
+    /// one lock. Rows are lazily allocated per *sender* and sized by the
+    /// sender's host width, not the job width: SHM eager queues only
+    /// ever connect co-resident pairs, and the dense `n × n` table this
+    /// replaces cost 270 MB of zeroed memory at 4096 ranks before a
+    /// single byte moved.
+    queues: Vec<PairQueueRow>,
+    /// Job-shared locality tables (also sizes the pair-queue rows).
+    pub(crate) loc_map: Arc<LocalityMap>,
     pub(crate) windows: WindowTable,
-    init_barrier: Barrier,
+    init_barrier: PokeBarrier,
     /// Separates the post-init repair pass (conflicting-claim
     /// re-assertion) from the locality scan, so every rank scans a
     /// settled list.
-    repair_barrier: Barrier,
-    finalize_barrier: Barrier,
+    repair_barrier: PokeBarrier,
+    finalize_barrier: PokeBarrier,
+    /// World membership `[0, 1, .., n-1]`, built once per job and shared
+    /// by every rank's context table and flat-collective path — at 4096
+    /// ranks, per-rank copies of this list alone cost ~134 MB and an
+    /// O(n²) init.
+    world_members: Arc<Vec<usize>>,
+    /// The policy locality groups, identical on every rank by
+    /// construction, computed once by whichever rank initializes first:
+    /// the per-rank computation is O(n log n) string-keyed grouping, so
+    /// per-rank recomputation made job init O(n² log n).
+    coll_groups_cache: OnceLock<Arc<Vec<Vec<usize>>>>,
 }
 
 impl JobState {
@@ -542,11 +681,17 @@ impl JobState {
                 .collect(),
             cells: (0..n).map(|_| RankCell::new()).collect(),
             n_ranks: n,
-            queues: (0..n * n).map(|_| OnceLock::new()).collect(),
+            queues: (0..n).map(|_| OnceLock::new()).collect(),
+            loc_map: Arc::new(LocalityMap::build(
+                &spec.scenario.cluster,
+                &spec.scenario.placement,
+            )),
             windows: WindowTable::new(n),
-            init_barrier: Barrier::new(n),
-            repair_barrier: Barrier::new(n),
-            finalize_barrier: Barrier::new(n),
+            init_barrier: PokeBarrier::new(n),
+            repair_barrier: PokeBarrier::new(n),
+            finalize_barrier: PokeBarrier::new(n),
+            world_members: Arc::new((0..n).collect()),
+            coll_groups_cache: OnceLock::new(),
         }
     }
 
@@ -554,7 +699,16 @@ impl JobState {
     /// created with the configured `SMPI_LENGTH_QUEUE` capacity). The
     /// steady-state path is a lock-free slot load.
     pub(crate) fn pair_queue(&self, src: usize, dst: usize) -> &Arc<PairQueue> {
-        self.queues[src * self.n_ranks + dst]
+        let row = self.queues[src].get_or_init(|| {
+            (0..self.loc_map.host_ranks[src] as usize)
+                .map(|_| OnceLock::new())
+                .collect()
+        });
+        // SHM eager traffic is co-resident by construction (the channel
+        // selector only picks SHM for pairs the kernel gating allows),
+        // so `dst` always lives on `src`'s host and the host-local index
+        // is in bounds.
+        row[self.loc_map.host_rank_idx[dst] as usize]
             .get_or_init(|| Arc::new(PairQueue::new(self.tunables.smpi_length_queue)))
     }
 
@@ -570,9 +724,18 @@ impl JobState {
     /// spinning against) its backpressure must observe the closure
     /// instead of waiting forever.
     pub(crate) fn close_incoming_queues(&self, rank: usize) {
+        let dst_idx = self.loc_map.host_rank_idx[rank] as usize;
         for src in 0..self.n_ranks {
-            if let Some(q) = self.queues[src * self.n_ranks + rank].get() {
-                q.close();
+            // Rows are indexed by host-local position, so a row of a
+            // sender on another host must not be touched — its slot at
+            // `dst_idx` belongs to a different rank.
+            if !self.loc_map.same_host(src, rank) {
+                continue;
+            }
+            if let Some(row) = self.queues[src].get() {
+                if let Some(q) = row[dst_idx].get() {
+                    q.close();
+                }
             }
         }
     }
@@ -590,7 +753,8 @@ impl JobState {
     /// and every rank mailbox (collected at finalize for the job profile).
     fn queue_pressure(&self) -> QueuePressure {
         let mut out = QueuePressure::default();
-        for q in self.queues.iter().filter_map(|slot| slot.get()) {
+        let rows = self.queues.iter().filter_map(|slot| slot.get());
+        for q in rows.flat_map(|row| row.iter().filter_map(OnceLock::get)) {
             let s = q.stats();
             out.queues += 1;
             out.acquires += s.acquires;
@@ -735,9 +899,10 @@ pub struct Mpi {
     /// Per-call collective algorithm selector (policy + tunables +
     /// topology shape), fixed at init so every rank decides identically.
     pub(crate) coll: CollectiveSelector,
-    /// The locality groups the policy induces, cached at init (used by
-    /// the two-level collectives and exposed via `policy_groups`).
-    pub(crate) coll_groups: Vec<Vec<usize>>,
+    /// The locality groups the policy induces, computed once per job
+    /// and shared across ranks (used by the two-level collectives and
+    /// exposed via `policy_groups`).
+    pub(crate) coll_groups: Arc<Vec<Vec<usize>>>,
     /// This rank's two-level topology view over `coll_groups`, shared so
     /// each collective call is a refcount bump, not a structure clone.
     pub(crate) smp_topo: Arc<crate::collectives::SmpTopo>,
@@ -769,8 +934,11 @@ pub struct Mpi {
     pub(crate) revoked: FastSet<u32>,
     /// World-rank membership of registered communicator contexts,
     /// consulted when a death must fail pending wildcard receives.
-    /// Unregistered contexts are treated as spanning all ranks.
-    pub(crate) ctx_members: FastMap<u32, Vec<usize>>,
+    /// Unregistered contexts are treated as spanning all ranks. The
+    /// lists are shared (`Arc`): the world contexts point at the one
+    /// job-wide member list, and split-produced lists are cloned only
+    /// on revocation floods.
+    pub(crate) ctx_members: FastMap<u32, Arc<Vec<usize>>>,
     /// Requests cancelled by failure handling: late protocol packets
     /// referencing them are dropped instead of panicking.
     pub(crate) cancelled: FastSet<ReqId>,
@@ -838,10 +1006,11 @@ pub struct Mpi {
     /// its capacity persists across ticks so the steady-state drain path
     /// never allocates.
     drain_buf: Vec<Packet>,
-    /// Cached world rank list `[0, 1, .., n-1]`, built once at init so flat
-    /// collectives don't re-collect it on every call. Borrowed via
-    /// `mem::take` around `&mut self` inner calls.
-    pub(crate) world_list: Vec<usize>,
+    /// The job-wide world rank list `[0, 1, .., n-1]` (shared, see
+    /// [`JobState::world_members`]), so flat collectives don't
+    /// re-collect it on every call; a refcount bump lends it around
+    /// `&mut self` inner calls.
+    pub(crate) world_list: Arc<Vec<usize>>,
 }
 
 impl Mpi {
@@ -882,7 +1051,7 @@ impl Mpi {
         }
         // Paper: "once the membership update of all processes completes,
         // the real communication can take place" — the job launch barrier.
-        state.init_barrier.wait();
+        state.init_barrier.wait(&state, rank);
         // Repair pass (fault runs only, so the healthy init path keeps
         // its exact barrier structure): re-assert this rank's byte if a
         // conflicting claim overwrote it; a second barrier keeps scans
@@ -891,7 +1060,7 @@ impl Mpi {
         if !plan.is_empty() {
             recovery.publish_conflicts =
                 LocalityView::repair_own_slot(&list, &state.cluster, &state.placement, rank, &plan);
-            state.repair_barrier.wait();
+            state.repair_barrier.wait(&state, rank);
         }
         // Each absorbed attach failure cost one backed-off QP-creation
         // round trip of virtual time.
@@ -920,26 +1089,40 @@ impl Mpi {
                 recovery.init_retries += 1;
             }
         }
-        // Phase 2: scan the list, cross-check against namespace ground
-        // truth, and resolve peers — downgrading instead of aborting.
-        let view = LocalityView::build_with(
-            state.policy,
-            &state.cluster,
-            &state.placement,
-            rank,
-            &list,
-            &plan,
-        );
+        // Phase 2: scan the list and resolve peers. Fault-free jobs take
+        // the shared-map fast path (per-peer byte compares against the
+        // job-wide locality tables); fault plans take the full per-peer
+        // cross-check walk, which downgrades instead of aborting.
+        let view = if plan.is_empty() {
+            LocalityView::build_shared(state.policy, &state.loc_map, rank, &list)
+        } else {
+            LocalityView::build_with(
+                state.policy,
+                &state.cluster,
+                &state.placement,
+                rank,
+                &list,
+                &plan,
+            )
+        };
         recovery.hca_downgrades = view.num_downgraded();
         let selector = ChannelSelector::new(state.policy, state.tunables);
-        let coll_groups = crate::collectives::policy_groups_of(&state, n);
+        // All ranks derive identical groups from the same placement, so
+        // one rank computes them and the rest share the Arc — per-rank
+        // recomputation was an O(n² log n) term in job init.
+        let coll_groups = Arc::clone(
+            state
+                .coll_groups_cache
+                .get_or_init(|| Arc::new(crate::collectives::policy_groups_of(&state, n))),
+        );
         let coll = CollectiveSelector::new(state.policy, state.tunables, &coll_groups, n);
         let stats = CommStats::with_recovery(recovery);
         let fate = plan.midrun_fate_of(rank, state.placement.loc(rank).container);
         let ft_active = plan.has_midrun_faults();
         let mut ctx_members = FastMap::default();
-        ctx_members.insert(CTX_WORLD, (0..n).collect::<Vec<usize>>());
-        ctx_members.insert(CTX_COLL, (0..n).collect::<Vec<usize>>());
+        ctx_members.insert(CTX_WORLD, Arc::clone(&state.world_members));
+        ctx_members.insert(CTX_COLL, Arc::clone(&state.world_members));
+        let world_list = Arc::clone(&state.world_members);
         Mpi {
             rank,
             n,
@@ -978,7 +1161,7 @@ impl Mpi {
             trace: None,
             prof: None,
             drain_buf: Vec::new(),
-            world_list: (0..n).collect(),
+            world_list,
         }
     }
 
@@ -1433,12 +1616,12 @@ impl Mpi {
     /// flood is out-of-band control traffic — every receiver re-floods
     /// once, so the notice survives the originator dying mid-flood.
     pub(crate) fn flood_revoke(&mut self, ctx: u32) {
-        let members: Vec<usize> = match self.ctx_members.get(&ctx) {
-            Some(m) => m.clone(),
-            None => (0..self.n).collect(),
+        let members: Arc<Vec<usize>> = match self.ctx_members.get(&ctx) {
+            Some(m) => Arc::clone(m),
+            None => Arc::clone(&self.state.world_members),
         };
         let t = self.now + SimTime::from_ns(self.state.cost.shm_post_ns);
-        for dst in members {
+        for &dst in members.iter() {
             if dst == self.rank {
                 continue;
             }
@@ -1592,14 +1775,12 @@ impl Mpi {
         self.drain_buf = buf;
     }
 
-    /// Run `f` with the cached world rank list `[0, .., n-1]` without
-    /// allocating. The list is `mem::take`n around the call because the
-    /// inner collectives need `&mut self`.
+    /// Run `f` with the shared world rank list `[0, .., n-1]` without
+    /// allocating. A refcount bump lends the list out because the inner
+    /// collectives need `&mut self`.
     pub(crate) fn with_world_list<R>(&mut self, f: impl FnOnce(&mut Self, &[usize]) -> R) -> R {
-        let list = std::mem::take(&mut self.world_list);
-        let out = f(self, &list);
-        self.world_list = list;
-        out
+        let list = Arc::clone(&self.world_list);
+        f(self, &list)
     }
 
     /// Park until new packets or pokes arrive.
@@ -1769,8 +1950,15 @@ impl Mpi {
                 sreq,
                 available_at,
             } => {
-                // Send the clear-to-send on the announcing channel.
-                let t = self.now.max(available_at) + SimTime::from_ns(cost.request_ns);
+                // Send the clear-to-send on the announcing channel. The
+                // CTS is stamped from the later of "receive posted" and
+                // "RTS available" — both virtual-causal times — and NOT
+                // from this rank's clock at the real moment the RTS got
+                // drained: which call's progress tick processed it is
+                // thread scheduling (same rule as the eager drain-copy
+                // floor above), and recv completion is floored at the
+                // receiver's clock in wait anyway.
+                let t = posted_at.max(available_at) + SimTime::from_ns(cost.request_ns);
                 self.send_control(
                     msg.src,
                     PacketKind::Cts { sreq, rreq },
@@ -1815,7 +2003,12 @@ impl Mpi {
         else {
             panic!("CTS for a send not awaiting one: {st:?}");
         };
-        let t = self.now.max(pkt.available_at);
+        // Inject the payload when the CTS becomes available, not at this
+        // rank's clock when it really drained the packet — the parked
+        // payload has been ready since the RTS (causally before any CTS),
+        // and the drain moment is thread scheduling. The sender's wait
+        // floors its own completion at its clock via `settle_send`.
+        let t = pkt.available_at;
         let len = data.len();
         self.send_control(dst, PacketKind::RndvData { rreq }, data, channel, t);
         self.record_tx(dst, channel, len);
@@ -1873,10 +2066,11 @@ impl Mpi {
                 self.copy_busy[src] = t;
                 t
             }
-            // RDMA: zero copy, just completion handling.
-            Channel::Hca => {
-                self.now.max(pkt.available_at) + SimTime::from_ns(cost.hca_completion_ns)
-            }
+            // RDMA: zero copy, just completion handling. Floored at the
+            // payload's availability only — the receiver's clock floors
+            // the completion in wait (`settle_recv`), and the real drain
+            // moment must not leak into virtual time.
+            Channel::Hca => pkt.available_at + SimTime::from_ns(cost.hca_completion_ns),
             Channel::Shm => unreachable!("rendezvous payload never travels on SHM"),
         };
         self.send_control(src, PacketKind::Fin { sreq }, Bytes::new(), channel, t);

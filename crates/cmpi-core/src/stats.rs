@@ -126,7 +126,7 @@ impl RecoveryStats {
 }
 
 /// One rank's statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     channels: [ChannelCounter; 3],
     times: [SimTime; 5],
@@ -214,7 +214,7 @@ impl CommStats {
 }
 
 /// Job-wide aggregated statistics.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct JobStats {
     /// Per-rank statistics, rank-ordered.
     pub per_rank: Vec<CommStats>,

@@ -4,6 +4,9 @@
 #
 #   build     release build of the whole workspace
 #   test      unit + integration + doc tests
+#   tasks     the same root-package test suite with CMPI_EXEC=tasks, so
+#             every tier-1 behavior is exercised with ranks as fibers on
+#             the worker pool as well as thread-per-rank
 #   examples  every example builds and runs to completion
 #   profile   profile-smoke: profiled OSU + figures --profile runs, with
 #             JSON parse and matrix byte-conservation asserted inside
@@ -22,8 +25,9 @@
 #   lint      cmpi-lint repo rules: SAFETY comments, relaxed-ok
 #             justifications, hot-path unwrap ban, tag field widths,
 #             MpiError Display-test coverage
-#   gate      perf gate: best-of-3 smoke bench_ledger kernels vs the
-#             checked-in baseline, any kernel >10 % slower fails
+#   gate      perf gate: best-of-3 smoke bench_ledger kernels (including
+#             the task-engine job32 kernel) vs the checked-in baseline,
+#             any kernel >10 % slower fails
 #   clippy    all targets, warnings are errors
 #   fmt       rustfmt in check mode
 set -euo pipefail
@@ -34,6 +38,14 @@ cargo build --release
 
 echo "== cargo test -q" >&2
 cargo test -q
+
+echo "== cargo test -q (CMPI_EXEC=tasks)" >&2
+# The env knob flips every spec that does not pin a mode (see
+# crate::exec): the whole suite must hold with ranks as fibers on a
+# fixed worker pool. The exec_equiv proptest separately pins
+# bit-identical thread/task results; this run catches task-mode-only
+# breakage in tests that never mention the engine.
+CMPI_EXEC=tasks cargo test -q
 
 echo "== examples smoke" >&2
 cargo build --release --examples

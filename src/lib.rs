@@ -59,8 +59,8 @@ pub mod prelude {
         MidRunTrigger, NamespaceSharing, SimTime, Tunables,
     };
     pub use cmpi_core::{
-        CallClass, Comm, Completion, DowngradeReason, JobProfile, JobResult, JobSpec, JobTrace,
-        LocalityPolicy, Mpi, MpiError, RecoveryStats, ReduceOp, Request, Status, WaitClass, Window,
-        ANY_SOURCE, ANY_TAG, FAILURE_LEASE,
+        CallClass, Comm, Completion, DowngradeReason, ExecMode, JobProfile, JobResult, JobSpec,
+        JobTrace, LocalityPolicy, Mpi, MpiError, RecoveryStats, ReduceOp, Request, Status,
+        WaitClass, Window, ANY_SOURCE, ANY_TAG, FAILURE_LEASE,
     };
 }
