@@ -751,10 +751,18 @@ impl PoolShared {
         // Re-check with the lock held: an enqueue between our sweep and
         // this lock sees `parked == 0` and skips the notify, so we must
         // not wait on it.
+        // lock-order: idle -> queues is the designed order — park holds
+        // `idle` while any_queued sweeps the run queues; enqueue takes
+        // queues then idle *sequentially* (each released before the
+        // next), so the reverse edge never exists.
         if self.any_queued() || self.live.load(Ordering::SeqCst) == 0 || self.poisoned() {
             return;
         }
         g.parked += 1;
+        // fiber-ok: worker-thread context, never fiber context — park()
+        // runs on the pool's OS worker between tasks (fibers block via
+        // yield_blocked(), which switches back to this loop instead of
+        // ever reaching an OS wait).
         let timed_out = self.idle_cv.wait_for(&mut g, PARK_TIMEOUT).timed_out();
         g.parked -= 1;
         if !timed_out {

@@ -414,6 +414,9 @@ impl RankCell {
         if !self.q.has_ready() && !self.poked.load(Ordering::SeqCst) {
             // relaxed-ok: profile counter, feeds stats() only.
             self.parks.fetch_add(1, Ordering::Relaxed);
+            // fiber-ok: thread-mode-only tail — task mode took the
+            // yield_blocked() branch above and returned before reaching
+            // this park, so no fiber can strand a pool worker here.
             self.park.wait(&mut guard);
         }
         self.sleeping.store(false, Ordering::SeqCst);

@@ -1,0 +1,570 @@
+//! The three whole-program passes over an extracted [`Workspace`].
+//!
+//! Call resolution is name-based and conservative: an uppercase path
+//! qualifier (`Endpoint::new`) resolves against impl types; method and
+//! plain calls resolve to *every* workspace function with that name.
+//! Over-linking is the safe direction for both taint and lock
+//! propagation — a false edge produces a finding a human can justify
+//! with an annotation, a missed edge produces silence where a deadlock
+//! hides.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use super::extract::{Call, FnInfo};
+use super::{SeedSpec, Workspace};
+use crate::lint::Violation;
+
+/// Method names that, on an *untyped* receiver, are overwhelmingly std
+/// container / iterator / slice operations; the name-based fallback
+/// skips them so a `Vec` guard's `.push()` never links to a workspace
+/// `push`. (Typed receivers, `self.`, and `Type::name` calls resolve
+/// before this list is consulted.)
+const STD_CONTAINER_METHODS: &[&str] = &[
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "len",
+    "is_empty",
+    "clear",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "any",
+    "all",
+    "find",
+    "filter",
+    "map",
+    "for_each",
+    "contains",
+    "contains_key",
+    "entry",
+    "drain",
+    "take",
+    "extend",
+    "collect",
+    "resize",
+    "resize_with",
+    "truncate",
+    "retain",
+    "sort",
+    "sort_by",
+    "split_off",
+    "first",
+    "last",
+    "keys",
+    "values",
+    "position",
+    "count",
+    "chain",
+    "zip",
+    "rev",
+    "fold",
+    "flat_map",
+    "cloned",
+    "copied",
+    "enumerate",
+];
+
+/// Call-resolution index over the workspace functions: exact for
+/// `Type::method` and typed receivers, name+arity-filtered otherwise.
+struct Resolver<'w> {
+    ws: &'w Workspace,
+    by_name: HashMap<String, Vec<usize>>,
+    by_impl: HashMap<(String, String), Vec<usize>>,
+    impl_types: BTreeSet<String>,
+}
+
+impl<'w> Resolver<'w> {
+    fn new(ws: &'w Workspace) -> Self {
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut by_impl: HashMap<(String, String), Vec<usize>> = HashMap::new();
+        let mut impl_types = BTreeSet::new();
+        for (i, f) in ws.fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+            if let Some(t) = &f.impl_type {
+                impl_types.insert(t.clone());
+                by_impl
+                    .entry((t.clone(), f.name.clone()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        Resolver {
+            ws,
+            by_name,
+            by_impl,
+            impl_types,
+        }
+    }
+
+    fn of_impl(&self, ty: &str, name: &str) -> Vec<usize> {
+        self.by_impl
+            .get(&(ty.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Candidate callees for a call site inside `caller`. Empty for
+    /// calls that resolve outside the workspace (std, vendored deps,
+    /// dead names).
+    fn resolve(&self, caller: &FnInfo, call: &Call) -> Vec<usize> {
+        if let Some(q) = &call.qual {
+            if q.chars().next().is_some_and(char::is_uppercase) {
+                // `Type::method` — exact when the type is a workspace
+                // impl type, external otherwise.
+                if self.impl_types.contains(q) {
+                    return self.of_impl(q, &call.name);
+                }
+                return Vec::new();
+            }
+        }
+        if call.method {
+            let Some(recv) = &call.recv else {
+                // Method on a call-result receiver (`f().is_empty()`):
+                // the type is unknowable here and a name fallback links
+                // common names (`len`, `is_empty`) to every workspace
+                // impl — pure noise. Treat as external.
+                return Vec::new();
+            };
+            // `self.f()` — the enclosing impl's own method set.
+            if recv == "self" {
+                if let Some(t) = &caller.impl_type {
+                    return self.of_impl(t, &call.name);
+                }
+            }
+            // A receiver with a known declared type (in this file —
+            // typed decls are file-scoped) resolves only against impls
+            // of those types — `queues.len()` on a `Box<[Mutex<…>]>`
+            // must not link to every workspace `len`. A known type set
+            // with no workspace match means the call is external: no
+            // fallback.
+            if let Some(tys) = self
+                .ws
+                .decls
+                .typed_of(caller.file, self.ws.decls.canonical(recv))
+            {
+                let mut out: Vec<usize> = tys
+                    .iter()
+                    .filter(|t| self.impl_types.contains(*t))
+                    .flat_map(|t| self.of_impl(t, &call.name))
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                return out;
+            }
+        }
+        // An untyped method receiver whose method is a ubiquitous std
+        // container/iterator name resolves to std with near certainty —
+        // `q.push(msg)` on a guard over `Vec<FabricMsg>` must not link
+        // to `Mailbox::push`. Workspace methods with these names are
+        // still reachable through `self.`, typed receivers, and
+        // `Type::name` paths.
+        if call.method && STD_CONTAINER_METHODS.contains(&call.name.as_str()) {
+            return Vec::new();
+        }
+        // Name-based fallback, arity-filtered: a 1-argument call cannot
+        // land on a 4-parameter fn (this is what keeps `drop(g)` from
+        // linking to every `Drop::drop` and `.get(k)` from linking to
+        // `Mpi::get`).
+        self.by_name
+            .get(&call.name)
+            .map(|v| {
+                v.iter()
+                    .copied()
+                    .filter(|&i| self.ws.fns[i].params_n == call.args_n)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Seed function indices for the fiber-blocking pass.
+fn seed_fns(ws: &Workspace, seeds: &SeedSpec) -> Vec<usize> {
+    ws.fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            seeds.fns.iter().any(|s| s == &f.name)
+                || f.impl_type
+                    .as_ref()
+                    .is_some_and(|t| seeds.impl_types.iter().any(|s| s == t))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// BFS over the call graph from the seeds. Returns, for each reachable
+/// function, the parent edge it was first discovered through (seeds map
+/// to themselves).
+fn reachable(ws: &Workspace, res: &Resolver, seeds: &[usize]) -> HashMap<usize, usize> {
+    let mut parent: HashMap<usize, usize> = HashMap::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &s in seeds {
+        if parent.insert(s, s).is_none() {
+            queue.push_back(s);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for call in &ws.fns[f].calls {
+            for callee in res.resolve(&ws.fns[f], call) {
+                if callee != f && parent.insert(callee, f).is_none() {
+                    queue.push_back(callee);
+                }
+            }
+        }
+    }
+    parent
+}
+
+/// Render the seed→fn discovery path, e.g.
+/// `Mpi::barrier -> Mailbox::sleep_if_idle`.
+fn path_to(ws: &Workspace, parent: &HashMap<usize, usize>, mut f: usize) -> String {
+    let mut names = vec![ws.fns[f].qual_name()];
+    // Parent chains are acyclic (BFS tree), but cap the walk anyway.
+    for _ in 0..64 {
+        let p = parent[&f];
+        if p == f {
+            break;
+        }
+        f = p;
+        names.push(ws.fns[f].qual_name());
+    }
+    names.reverse();
+    names.join(" -> ")
+}
+
+/// Pass 1: no OS-blocking primitive may be reachable from fiber
+///-executed code without a `fiber-ok:` justification. Also flags a
+/// blocking lock guard held *across* a blocking site in reachable code
+/// (the condvar idiom `cv.wait(&mut guard)` is exempt — the wait
+/// releases that guard).
+pub fn fiber_blocking(ws: &Workspace, seeds: &SeedSpec) -> Vec<Violation> {
+    let res = Resolver::new(ws);
+    let seed_ids = seed_fns(ws, seeds);
+    let parent = reachable(ws, &res, &seed_ids);
+    let mut out = Vec::new();
+    for &fid in parent.keys() {
+        let f = &ws.fns[fid];
+        for b in &f.blocks {
+            if ws.annotated(f.file, b.line, "fiber-ok:") {
+                continue;
+            }
+            out.push(Violation {
+                file: ws.path(f.file).to_string(),
+                line: b.line,
+                rule: "fiber-blocking",
+                msg: format!(
+                    "OS-blocking {} `{}` reachable from fiber context ({}); \
+                     route through the exec yield path or justify with `// fiber-ok:`",
+                    b.kind.describe(),
+                    b.what,
+                    path_to(ws, &parent, fid),
+                ),
+            });
+        }
+        for l in &f.locks {
+            for b in &f.blocks {
+                if !(l.tok < b.tok && b.tok <= l.region_end) {
+                    continue;
+                }
+                // `wait(&mut g)` atomically releases g — not held.
+                if l.guard.as_ref().is_some_and(|g| b.args.contains(g)) {
+                    continue;
+                }
+                if ws.annotated(f.file, l.line, "fiber-ok:") {
+                    continue;
+                }
+                out.push(Violation {
+                    file: ws.path(f.file).to_string(),
+                    line: l.line,
+                    rule: "fiber-blocking",
+                    msg: format!(
+                        "lock `{}` held across blocking {} `{}` in fiber-reachable `{}`; \
+                         drop the guard first or justify with `// fiber-ok:`",
+                        l.lock,
+                        b.kind.describe(),
+                        b.what,
+                        f.qual_name(),
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One edge of the global lock graph with a representative site.
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    pub file: usize,
+    pub line: usize,
+    /// Function whose body witnesses the edge.
+    pub witness: String,
+}
+
+/// Transitive set of locks a function may acquire, through calls.
+fn trans_locks(
+    ws: &Workspace,
+    res: &Resolver<'_>,
+    fid: usize,
+    memo: &mut HashMap<usize, BTreeSet<String>>,
+    visiting: &mut BTreeSet<usize>,
+) -> BTreeSet<String> {
+    if let Some(cached) = memo.get(&fid) {
+        return cached.clone();
+    }
+    if !visiting.insert(fid) {
+        // Recursion: the cycle's locks are accounted for at the entry
+        // frame; returning the direct set keeps this terminating.
+        return ws.fns[fid].locks.iter().map(|l| l.lock.clone()).collect();
+    }
+    let mut set: BTreeSet<String> = ws.fns[fid].locks.iter().map(|l| l.lock.clone()).collect();
+    let calls: Vec<Call> = ws.fns[fid].calls.clone();
+    for call in &calls {
+        for callee in res.resolve(&ws.fns[fid], call) {
+            set.extend(trans_locks(ws, res, callee, memo, visiting));
+        }
+    }
+    visiting.remove(&fid);
+    memo.insert(fid, set.clone());
+    set
+}
+
+/// Pass 2: build the global lock graph (A → B when B is acquired —
+/// directly or through any call — while A is held) and fail on cycles.
+/// A `lock-order:` annotation at the *inner* site suppresses the edges
+/// that site generates. Returns the findings plus the full edge list
+/// (the recorded lock-order DAG, used by docs/tests).
+pub fn lock_order(ws: &Workspace) -> (Vec<Violation>, Vec<LockEdge>) {
+    let res = Resolver::new(ws);
+    let mut memo = HashMap::new();
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut edge_keys: BTreeSet<(String, String)> = BTreeSet::new();
+    for f in &ws.fns {
+        for outer in &f.locks {
+            let region = (outer.tok + 1)..=outer.region_end;
+            // Direct nesting.
+            for inner in &f.locks {
+                if !region.contains(&inner.tok) || inner.lock == outer.lock {
+                    continue;
+                }
+                if ws.annotated(f.file, inner.line, "lock-order:") {
+                    continue;
+                }
+                if edge_keys.insert((outer.lock.clone(), inner.lock.clone())) {
+                    edges.push(LockEdge {
+                        from: outer.lock.clone(),
+                        to: inner.lock.clone(),
+                        file: f.file,
+                        line: inner.line,
+                        witness: f.qual_name(),
+                    });
+                }
+            }
+            // Interprocedural: locks acquired by callees invoked while
+            // the outer guard is held.
+            for call in &f.calls {
+                if !region.contains(&call.tok) {
+                    continue;
+                }
+                if ws.annotated(f.file, call.line, "lock-order:") {
+                    continue;
+                }
+                let mut inner_locks = BTreeSet::new();
+                for callee in res.resolve(f, call) {
+                    inner_locks.extend(trans_locks(
+                        ws,
+                        &res,
+                        callee,
+                        &mut memo,
+                        &mut BTreeSet::new(),
+                    ));
+                }
+                for inner in inner_locks {
+                    if inner == outer.lock {
+                        continue;
+                    }
+                    if edge_keys.insert((outer.lock.clone(), inner.clone())) {
+                        edges.push(LockEdge {
+                            from: outer.lock.clone(),
+                            to: inner,
+                            file: f.file,
+                            line: call.line,
+                            witness: f.qual_name(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: Tarjan SCC over the lock graph. An edge is a
+    // violation only when both endpoints share a non-trivial SCC (or it
+    // is a self-loop) — locks merely downstream of a cycle are fine.
+    let scc = tarjan_scc(&edges);
+    let mut out = Vec::new();
+    for e in &edges {
+        let same = scc.get(e.from.as_str()) == scc.get(e.to.as_str());
+        let comp = scc.get(e.from.as_str());
+        let trivial = comp.is_some_and(|&c| scc.values().filter(|&&v| v == c).count() == 1);
+        if !(same && (!trivial || e.from == e.to)) {
+            continue;
+        }
+        let members: Vec<&str> = scc
+            .iter()
+            .filter(|(_, &v)| Some(&v) == comp)
+            .map(|(&k, _)| k)
+            .collect();
+        out.push(Violation {
+            file: ws.path(e.file).to_string(),
+            line: e.line,
+            rule: "lock-order",
+            msg: format!(
+                "lock-order cycle: `{}` -> `{}` (in `{}`) participates in a cycle over \
+                 {{{}}}; fix the nesting order or justify with `// lock-order:`",
+                e.from,
+                e.to,
+                e.witness,
+                members.join(", "),
+            ),
+        });
+    }
+    (out, edges)
+}
+
+/// Tarjan's strongly-connected components over the lock-edge list.
+/// Returns lock name → component id.
+fn tarjan_scc(edges: &[LockEdge]) -> BTreeMap<&str, usize> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        adj.entry(&e.to).or_default();
+    }
+    struct State<'a> {
+        index: BTreeMap<&'a str, usize>,
+        low: BTreeMap<&'a str, usize>,
+        on_stack: BTreeSet<&'a str>,
+        stack: Vec<&'a str>,
+        next: usize,
+        comp: BTreeMap<&'a str, usize>,
+        ncomp: usize,
+    }
+    fn visit<'a>(v: &'a str, adj: &BTreeMap<&'a str, BTreeSet<&'a str>>, st: &mut State<'a>) {
+        st.index.insert(v, st.next);
+        st.low.insert(v, st.next);
+        st.next += 1;
+        st.stack.push(v);
+        st.on_stack.insert(v);
+        if let Some(next) = adj.get(v) {
+            for &w in next {
+                if !st.index.contains_key(w) {
+                    visit(w, adj, st);
+                    let lw = st.low[w];
+                    let lv = st.low.get_mut(v).expect("visited");
+                    *lv = (*lv).min(lw);
+                } else if st.on_stack.contains(w) {
+                    let iw = st.index[w];
+                    let lv = st.low.get_mut(v).expect("visited");
+                    *lv = (*lv).min(iw);
+                }
+            }
+        }
+        if st.low[v] == st.index[v] {
+            let c = st.ncomp;
+            st.ncomp += 1;
+            while let Some(w) = st.stack.pop() {
+                st.on_stack.remove(w);
+                st.comp.insert(w, c);
+                if w == v {
+                    break;
+                }
+            }
+        }
+    }
+    let mut st = State {
+        index: BTreeMap::new(),
+        low: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        comp: BTreeMap::new(),
+        ncomp: 0,
+    };
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for v in nodes {
+        if !st.index.contains_key(v) {
+            visit(v, &adj, &mut st);
+        }
+    }
+    st.comp
+}
+
+/// Pass 3: every atomic with Release-class stores needs an
+/// Acquire-class load somewhere in the workspace (and vice versa);
+/// relaxed-only atomics are fine (counters), and `pairing-ok:` at any
+/// site justifies the whole field.
+pub fn atomic_pairing(ws: &Workspace) -> Vec<Violation> {
+    struct FieldUse {
+        rel_stores: Vec<(usize, usize)>,
+        acq_loads: Vec<(usize, usize)>,
+        any_annotated: bool,
+        /// Any op with an unparsed ordering (variable, helper fn) —
+        /// treated as SeqCst on both sides, i.e. paired.
+        unknown: bool,
+    }
+    let mut fields: BTreeMap<String, FieldUse> = BTreeMap::new();
+    for f in &ws.fns {
+        for op in &f.atomics {
+            let entry = fields.entry(op.field.clone()).or_insert(FieldUse {
+                rel_stores: Vec::new(),
+                acq_loads: Vec::new(),
+                any_annotated: false,
+                unknown: false,
+            });
+            if ws.annotated(f.file, op.line, "pairing-ok:") {
+                entry.any_annotated = true;
+            }
+            match (op.load_ord, op.store_ord) {
+                (None, None) => entry.unknown = true,
+                (lo, so) => {
+                    if so.is_some_and(|o| o.is_release_class()) {
+                        entry.rel_stores.push((f.file, op.line));
+                    }
+                    if lo.is_some_and(|o| o.is_acquire_class()) {
+                        entry.acq_loads.push((f.file, op.line));
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (field, usage) in &fields {
+        if usage.any_annotated || usage.unknown {
+            continue;
+        }
+        let (one_sided, missing) = match (usage.rel_stores.is_empty(), usage.acq_loads.is_empty()) {
+            (false, true) => (&usage.rel_stores, "no Acquire-class load"),
+            (true, false) => (&usage.acq_loads, "no Release-class store"),
+            _ => continue,
+        };
+        for &(file, line) in one_sided {
+            out.push(Violation {
+                file: ws.path(file).to_string(),
+                line,
+                rule: "atomic-pairing",
+                msg: format!(
+                    "atomic `{field}` has {missing} anywhere in the workspace; one-sided \
+                     Release/Acquire publishes nothing — pair it, relax it, or justify \
+                     with `// pairing-ok:`"
+                ),
+            });
+        }
+    }
+    out
+}

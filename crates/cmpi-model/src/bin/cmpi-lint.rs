@@ -1,11 +1,22 @@
-//! Workspace lint driver: walks every crate's `src/` tree plus the root
-//! `src/`, applies the rules in `cmpi_model::lint`, and exits non-zero
-//! on any violation. Run from the workspace root (scripts/check.sh does).
+//! Workspace lint + analyzer driver: walks every crate's `src/` tree
+//! plus the root `src/`, applies the line-based rules in
+//! `cmpi_model::lint` and (with `--analyze`) the whole-program passes
+//! in `cmpi_model::analyze`, and exits non-zero on any violation. Run
+//! from the workspace root (scripts/check.sh does).
+//!
+//! Flags:
+//!
+//! * `--analyze` — run the call-graph passes (fiber-blocking taint,
+//!   lock-order cycles, atomic pairing) instead of the line-based lint.
+//! * `--json PATH` — additionally write machine-readable findings to
+//!   PATH (schema `cmpi-lint.v1`), which check.sh archives next to the
+//!   bench ledger so finding counts are tracked across PRs.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cmpi_model::lint;
+use cmpi_model::analyze;
+use cmpi_model::lint::{self, Violation};
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
@@ -20,37 +31,63 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let root = std::env::current_dir().expect("cwd");
-    if !root.join("crates").is_dir() {
-        eprintln!("cmpi-lint: run from the workspace root (no crates/ here)");
-        return ExitCode::FAILURE;
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
+    out
+}
 
+fn render_json(mode: &str, files: usize, violations: &[Violation]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"schema\": \"cmpi-lint.v1\",\n  \"mode\": \"{mode}\",\n  \
+         \"files\": {files},\n  \"count\": {},\n  \"findings\": [",
+        violations.len()
+    ));
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"msg\": \"{}\"}}",
+            json_escape(&v.file),
+            v.line,
+            json_escape(v.rule),
+            json_escape(&v.msg),
+        ));
+    }
+    if !violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn run_lint(root: &Path) -> Result<(usize, Vec<Violation>), String> {
     let mut files = Vec::new();
     let crates_dir = root.join("crates");
-    let entries = match std::fs::read_dir(&crates_dir) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("cmpi-lint: cannot read crates/: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| format!("cannot read crates/: {e}"))?;
     for entry in entries.flatten() {
         let src = entry.path().join("src");
         if src.is_dir() {
-            if let Err(e) = collect_rs(&src, &mut files) {
-                eprintln!("cmpi-lint: walking {}: {e}", src.display());
-                return ExitCode::FAILURE;
-            }
+            collect_rs(&src, &mut files).map_err(|e| format!("walking {}: {e}", src.display()))?;
         }
     }
     let root_src = root.join("src");
     if root_src.is_dir() {
-        if let Err(e) = collect_rs(&root_src, &mut files) {
-            eprintln!("cmpi-lint: walking {}: {e}", root_src.display());
-            return ExitCode::FAILURE;
-        }
+        collect_rs(&root_src, &mut files)
+            .map_err(|e| format!("walking {}: {e}", root_src.display()))?;
     }
     files.sort();
 
@@ -60,15 +97,10 @@ fn main() -> ExitCode {
     let mut error_src = None;
     let mut metrics_src = None;
     for path in &files {
-        let src = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("cmpi-lint: reading {}: {e}", path.display());
-                return ExitCode::FAILURE;
-            }
-        };
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
         let rel = path
-            .strip_prefix(&root)
+            .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
@@ -86,41 +118,86 @@ fn main() -> ExitCode {
 
     match (collectives_src, packet_src) {
         (Some(coll), Some(pkt)) => violations.extend(lint::lint_tag_widths(&coll, &pkt)),
-        _ => {
-            eprintln!("cmpi-lint: collectives.rs / packet.rs not found for the tag-width rule");
-            return ExitCode::FAILURE;
-        }
+        _ => return Err("collectives.rs / packet.rs not found for the tag-width rule".into()),
     }
     match error_src {
         Some(err) => violations.extend(lint::lint_error_display(&err)),
-        None => {
-            eprintln!("cmpi-lint: error.rs not found for the error-display rule");
-            return ExitCode::FAILURE;
+        None => return Err("error.rs not found for the error-display rule".into()),
+    }
+    let design_md = std::fs::read_to_string(root.join("DESIGN.md"))
+        .map_err(|e| format!("reading DESIGN.md: {e}"))?;
+    match metrics_src {
+        Some(met) => violations.extend(lint::lint_metric_ids(&met, &design_md)),
+        None => return Err("metrics.rs not found for the metric-ids rule".into()),
+    }
+    violations.extend(lint::lint_rule_inventory(&design_md));
+    Ok((files.len(), violations))
+}
+
+fn run_analyze(root: &Path) -> Result<(usize, Vec<Violation>), String> {
+    let ws = analyze::Workspace::load_root(root)
+        .map_err(|e| format!("loading workspace sources: {e}"))?;
+    let findings = ws.analyze(&analyze::default_seeds());
+    Ok((ws.files.len(), findings))
+}
+
+fn main() -> ExitCode {
+    let mut do_analyze = false;
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--analyze" => do_analyze = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("cmpi-lint: --json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("cmpi-lint: unknown flag `{other}` (expected --analyze / --json PATH)");
+                return ExitCode::FAILURE;
+            }
         }
     }
-    let design_md = match std::fs::read_to_string(root.join("DESIGN.md")) {
-        Ok(s) => s,
+
+    let root = std::env::current_dir().expect("cwd");
+    if !root.join("crates").is_dir() {
+        eprintln!("cmpi-lint: run from the workspace root (no crates/ here)");
+        return ExitCode::FAILURE;
+    }
+
+    let mode = if do_analyze { "analyze" } else { "lint" };
+    let result = if do_analyze {
+        run_analyze(&root)
+    } else {
+        run_lint(&root)
+    };
+    let (files, violations) = match result {
+        Ok(r) => r,
         Err(e) => {
-            eprintln!("cmpi-lint: reading DESIGN.md for the metric-ids rule: {e}");
+            eprintln!("cmpi-lint: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match metrics_src {
-        Some(met) => violations.extend(lint::lint_metric_ids(&met, &design_md)),
-        None => {
-            eprintln!("cmpi-lint: metrics.rs not found for the metric-ids rule");
+
+    if let Some(path) = &json_path {
+        let doc = render_json(mode, files, &violations);
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("cmpi-lint: writing {}: {e}", path.display());
             return ExitCode::FAILURE;
         }
     }
 
     if violations.is_empty() {
-        println!("cmpi-lint: {} files clean", files.len());
+        println!("cmpi-{mode}: {files} files clean");
         ExitCode::SUCCESS
     } else {
         for v in &violations {
             println!("{v}");
         }
-        println!("cmpi-lint: {} violation(s)", violations.len());
+        println!("cmpi-{mode}: {} violation(s)", violations.len());
         ExitCode::FAILURE
     }
 }

@@ -23,13 +23,24 @@
 //!    modules, no `unwrap()/expect()` in hot-path modules, and collective
 //!    tag field-widths within their debug-asserted bounds.
 //!
+//! 4. **A whole-program analyzer** ([`analyze`], the `--analyze` face of
+//!    the `cmpi-lint` binary): a dependency-free lexer ([`strip`]) plus
+//!    item/impl/fn extraction and an intra-workspace call graph, running
+//!    three passes no line-based lint can express — fiber-blocking taint
+//!    (no OS-blocking primitive reachable from fiber-executed code),
+//!    lock-order cycle detection over the global lock graph, and a
+//!    Release/Acquire pairing audit over every named atomic.
+//!
 //! See `DESIGN.md` §13 for the per-structure memory-model obligations the
-//! checker enforces and how to read a schedule trace.
+//! checker enforces and how to read a schedule trace, and §17 for the
+//! static-analysis rule inventory and annotation grammar.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod analyze;
 pub mod lint;
 pub mod race;
+pub mod strip;
 pub mod sync;
 
 #[cfg(cmpi_model)]

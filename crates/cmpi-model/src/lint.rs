@@ -28,6 +28,13 @@
 //!
 //! Test modules (`#[cfg(test)] mod …` tails) are exempt from rules 2–3;
 //! rule 1 applies everywhere.
+//!
+//! Comment/literal discrimination is delegated to the shared lexer in
+//! [`crate::strip`] (also the front end of [`crate::analyze`]), so
+//! nested block comments and raw strings spanning macro invocations are
+//! handled exactly rather than line-locally.
+
+use crate::strip;
 
 /// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
 pub const SAFETY_WINDOW: usize = 10;
@@ -69,96 +76,6 @@ impl std::fmt::Display for Violation {
             "{}:{}: [{}] {}",
             self.file, self.line, self.rule, self.msg
         )
-    }
-}
-
-/// Strip string and char literals from one source line so tokens inside
-/// them are not mistaken for code. Line-local (multi-line literals are
-/// rare in this workspace and contain no lint tokens).
-fn strip_literals(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let chars: Vec<char> = line.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == 'r' {
-            // Raw string literal `r"…"` / `r#"…"#`: consume up to the
-            // closing quote followed by the same number of `#`s. The
-            // embedded quotes must not be mistaken for string delimiters.
-            let mut j = i + 1;
-            while j < chars.len() && chars[j] == '#' {
-                j += 1;
-            }
-            if j < chars.len() && chars[j] == '"' {
-                let hashes = j - (i + 1);
-                let mut k = j + 1;
-                while k < chars.len() {
-                    if chars[k] == '"'
-                        && chars[k + 1..]
-                            .iter()
-                            .take(hashes)
-                            .filter(|&&h| h == '#')
-                            .count()
-                            == hashes
-                    {
-                        k += 1 + hashes;
-                        break;
-                    }
-                    k += 1;
-                }
-                out.push_str("\"\"");
-                i = k;
-                continue;
-            }
-        }
-        if c == '"' {
-            // Skip to the closing unescaped quote.
-            i += 1;
-            while i < chars.len() {
-                if chars[i] == '\\' {
-                    i += 2;
-                    continue;
-                }
-                if chars[i] == '"' {
-                    break;
-                }
-                i += 1;
-            }
-            i += 1;
-            out.push_str("\"\"");
-            continue;
-        }
-        if c == '\'' {
-            // Possible char literal: 'x', '\n', '\''. Lifetimes ('a)
-            // have no closing quote nearby and are left alone.
-            let close = if i + 2 < chars.len() && chars[i + 1] == '\\' {
-                (i + 3 < chars.len() && chars[i + 3] == '\'').then_some(i + 3)
-            } else {
-                (i + 2 < chars.len() && chars[i + 2] == '\'').then_some(i + 2)
-            };
-            if let Some(end) = close {
-                out.push_str("' '");
-                i = end + 1;
-                continue;
-            }
-        }
-        out.push(c);
-        i += 1;
-    }
-    out
-}
-
-/// The code portion of a line: literals stripped, trailing `//` comment
-/// removed. Empty for whole-line comments.
-fn code_of(line: &str) -> String {
-    let stripped = strip_literals(line);
-    let trimmed = stripped.trim_start();
-    if trimmed.starts_with("//") {
-        return String::new();
-    }
-    match stripped.find("//") {
-        Some(pos) => stripped[..pos].to_string(),
-        None => stripped,
     }
 }
 
@@ -212,18 +129,19 @@ fn window_has(lines: &[&str], hi: usize, window: usize, marker: &str) -> bool {
 pub fn lint_file(relpath: &str, src: &str) -> Vec<Violation> {
     let mut out = Vec::new();
     let lines: Vec<&str> = src.lines().collect();
+    let codes = strip::code_lines(src);
     let tail = test_tail_start(&lines);
     let hot = HOT_PATH_MODULES.iter().any(|m| relpath.ends_with(m));
     let whitelisted = RELAXED_WHITELIST.iter().any(|w| relpath.contains(w));
 
-    for (i, raw) in lines.iter().enumerate() {
-        let code = code_of(raw);
-        if code.is_empty() {
+    for (i, code) in codes.iter().enumerate() {
+        if code.trim().is_empty() {
             continue;
         }
+        let code = code.as_str();
         // Rule 1: SAFETY comments. Lint attributes mentioning unsafe
         // (forbid/deny) are configuration, not unsafe code.
-        if has_word(&code, "unsafe")
+        if has_word(code, "unsafe")
             && !code.contains("forbid")
             && !code.contains("deny")
             && !window_has(&lines, i, SAFETY_WINDOW, "SAFETY:")
@@ -272,8 +190,9 @@ pub fn lint_file(relpath: &str, src: &str) -> Vec<Violation> {
     out
 }
 
-fn parse_const_u32(line: &str, name_prefix: &str) -> Option<(String, u32)> {
-    let code = code_of(line);
+/// Parse `[pub] const NAME: u32 = N;` from an already comment-stripped
+/// code line.
+fn parse_const_u32(code: &str, name_prefix: &str) -> Option<(String, u32)> {
     let t = code.trim_start();
     let t = t.strip_prefix("pub ").unwrap_or(t);
     let t = t.strip_prefix("const ")?;
@@ -294,8 +213,11 @@ pub fn lint_tag_widths(collectives_src: &str, packet_src: &str) -> Vec<Violation
     let coll_file = "crates/cmpi-core/src/collectives.rs";
     let pkt_file = "crates/cmpi-core/src/packet.rs";
 
+    let coll_lines = strip::code_lines(collectives_src);
+    let pkt_lines = strip::code_lines(packet_src);
+
     let mut round_bits: Option<(usize, u32)> = None;
-    for (i, l) in collectives_src.lines().enumerate() {
+    for (i, l) in coll_lines.iter().enumerate() {
         if let Some((name, v)) = parse_const_u32(l, "TAG_ROUND_BITS") {
             if name == "TAG_ROUND_BITS" {
                 round_bits = Some((i + 1, v));
@@ -325,8 +247,7 @@ pub fn lint_tag_widths(collectives_src: &str, packet_src: &str) -> Vec<Violation
     // Walk the `mod op { … }` block.
     let mut in_op = false;
     let mut seen: Vec<(String, u32, usize)> = Vec::new();
-    for (i, l) in collectives_src.lines().enumerate() {
-        let code = code_of(l);
+    for (i, code) in coll_lines.iter().enumerate() {
         if code.trim_start().starts_with("mod op") {
             in_op = true;
             continue;
@@ -335,7 +256,7 @@ pub fn lint_tag_widths(collectives_src: &str, packet_src: &str) -> Vec<Violation
             if code.trim() == "}" {
                 break;
             }
-            if let Some((name, v)) = parse_const_u32(l, "") {
+            if let Some((name, v)) = parse_const_u32(code, "") {
                 if v == 0 {
                     out.push(Violation {
                         file: coll_file.to_string(),
@@ -379,7 +300,7 @@ pub fn lint_tag_widths(collectives_src: &str, packet_src: &str) -> Vec<Violation
 
     // Packet wire discriminants: distinct, non-zero, byte-sized.
     let mut kinds: Vec<(String, u32, usize)> = Vec::new();
-    for (i, l) in packet_src.lines().enumerate() {
+    for (i, l) in pkt_lines.iter().enumerate() {
         if let Some((name, v)) = parse_const_u32(l, "K_") {
             if v == 0 {
                 out.push(Violation {
@@ -432,8 +353,7 @@ fn mpi_error_variants(error_src: &str) -> Vec<(String, usize)> {
 fn enum_variants(src: &str, needle: &str) -> Vec<(String, usize)> {
     let mut out = Vec::new();
     let mut depth: i32 = -1; // -1: outside the enum
-    for (i, raw) in src.lines().enumerate() {
-        let code = code_of(raw);
+    for (i, code) in strip::code_lines(src).iter().enumerate() {
         if depth < 0 {
             if code.contains(needle) && code.contains('{') {
                 depth = 1;
@@ -509,13 +429,13 @@ pub fn lint_error_display(error_src: &str) -> Vec<Violation> {
 /// The comment-stripped body of the first fn whose header contains
 /// `marker`, from the header line to its matching closing brace.
 fn fn_body(src: &str, marker: &str) -> Option<String> {
-    let at = src.lines().position(|l| code_of(l).contains(marker))?;
+    let codes = strip::code_lines(src);
+    let at = codes.iter().position(|l| l.contains(marker))?;
     let mut body = String::new();
     let mut depth = 0i32;
     let mut opened = false;
-    for l in src.lines().skip(at) {
-        let code = code_of(l);
-        body.push_str(&code);
+    for code in codes.iter().skip(at) {
+        body.push_str(code);
         body.push('\n');
         for c in code.chars() {
             match c {
@@ -582,6 +502,28 @@ pub fn lint_metric_ids(metrics_src: &str, design_md: &str) -> Vec<Violation> {
                 line: *line,
                 rule: "metric-ids",
                 msg: format!("MetricId::{name} is missing from the DESIGN.md metric table"),
+            });
+        }
+    }
+    out
+}
+
+/// Rule 7: every analyzer rule name ([`crate::analyze::RULES`]) appears
+/// in the DESIGN.md §17 rule inventory — the same closed documentation
+/// loop the error-display (§14) and metric-ids (§15) rules keep, so an
+/// analyzer pass cannot be added without its obligations and annotation
+/// grammar being written down.
+pub fn lint_rule_inventory(design_md: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for rule in crate::analyze::RULES {
+        if !design_md.contains(&format!("`{rule}`")) {
+            out.push(Violation {
+                file: "DESIGN.md".to_string(),
+                line: 1,
+                rule: "rule-inventory",
+                msg: format!(
+                    "analyzer rule `{rule}` is missing from the DESIGN.md §17 rule inventory"
+                ),
             });
         }
     }
@@ -769,28 +711,52 @@ mod tests {
     }
 
     #[test]
-    fn literal_stripping_handles_quotes_and_chars() {
-        assert_eq!(
-            strip_literals(r#"let s = "unsafe {"; x"#),
-            "let s = \"\"; x"
-        );
-        assert_eq!(strip_literals("let c = '\"'; y"), "let c = ' '; y");
-        assert!(!has_word(&code_of(r#"panic!("unsafe")"#), "unsafe"));
+    fn rule_inventory_requires_every_analyzer_rule_in_design() {
+        let full = "§17 … `fiber-blocking` … `lock-order` … `atomic-pairing` …";
+        assert!(lint_rule_inventory(full).is_empty());
+        let partial = "§17 … `fiber-blocking` only";
+        let v = lint_rule_inventory(partial);
+        assert_eq!(rules_of(&v), vec!["rule-inventory", "rule-inventory"]);
+        assert!(v[0].msg.contains("lock-order"));
+        assert!(v[1].msg.contains("atomic-pairing"));
+    }
+
+    #[test]
+    fn literal_stripping_handles_quotes_chars_and_raw_strings() {
+        for src in [
+            "fn f() { let s = \"unsafe {\"; }\n",
+            "fn f() { let c = '\"'; let s = \"unsafe\"; }\n",
+            "fn f() { panic!(\"unsafe\") }\n",
+            "fn f() { let s = r\"unsafe {\"; }\n",
+            "fn f() { let s = r#\"a \"quoted\" unsafe b\"#; }\n",
+        ] {
+            assert!(lint_file("crates/x/src/a.rs", src).is_empty(), "{src}");
+        }
         assert!(has_word("unsafe impl Send for X {}", "unsafe"));
         assert!(!has_word("deny(unsafe_code)", "unsafe"));
     }
 
+    // Regression: the seed lint's line-local stripper had two blind
+    // spots — nested block comments and raw strings spanning macro
+    // lines. Both now route through the shared lexer in `strip`.
     #[test]
-    fn literal_stripping_handles_raw_strings() {
-        assert_eq!(
-            strip_literals("let s = r\"unsafe {\"; x"),
-            "let s = \"\"; x"
+    fn nested_block_comments_do_not_leak_tokens_into_rules() {
+        let src = concat!(
+            "/* outer /* inner */\n",
+            "   unsafe { Ordering::Relaxed } still comment */\n",
+            "fn f() {}\n",
         );
-        assert_eq!(
-            strip_literals("let s = r#\"a \"quoted\" unsafe b\"#; x"),
-            "let s = \"\"; x"
+        assert!(lint_file("crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_string_inside_macro_does_not_leak_tokens_into_rules() {
+        let src = concat!(
+            "fn f() {\n",
+            "    emit!(r#\"unsafe { .unwrap() }\n",
+            "        Ordering::Relaxed across lines\"#);\n",
+            "}\n",
         );
-        // `r` as a plain identifier is untouched.
-        assert_eq!(strip_literals("let r = y; r"), "let r = y; r");
+        assert!(lint_file("crates/cmpi-core/src/matching.rs", src).is_empty());
     }
 }

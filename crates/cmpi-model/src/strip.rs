@@ -1,0 +1,589 @@
+//! Shared syntax-aware source stripper and token lexer.
+//!
+//! Both the line-based repo lint ([`crate::lint`]) and the whole-program
+//! analyzer ([`crate::analyze`]) need the same primitive: tell code
+//! apart from comments and literal contents without being fooled by
+//! `"unsafe {"` inside a string, `//` inside a raw string, nested block
+//! comments, or `r#"…"#` literals spanning macro invocations. The seed
+//! lint carried a line-local approximation with two known blind spots
+//! (nested `/* /* */ */` and raw strings inside macros); this module
+//! replaces it with a real lexer over the whole file.
+//!
+//! Guarantees (property-tested in `tests/lexer_props.rs`):
+//!
+//! * [`lex`] never panics, on any input, including non-UTF-8-looking
+//!   byte soups that survived `String` conversion and unterminated
+//!   literals or comments.
+//! * Token byte offsets are strictly monotone: for consecutive tokens
+//!   `a`, `b`: `a.start < a.end <= b.start`, and every offset lies on a
+//!   `char` boundary within the source.
+//! * [`strip_source`] preserves byte length and line structure exactly:
+//!   output length equals input length and every `\n` stays in place,
+//!   so line/column positions computed on the stripped text are valid
+//!   for the original.
+
+/// Kind of one lexed token. Comments are not tokens — their spans are
+/// reported separately by [`lex_full`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident` forms).
+    Ident,
+    /// Lifetime such as `'a` (the quote plus the name).
+    Lifetime,
+    /// Numeric literal (integers, floats, and their suffixed forms).
+    Num,
+    /// String-like literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// Any other single non-whitespace character.
+    Punct,
+}
+
+/// One token with its byte span and 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || !c.is_ascii()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || !c.is_ascii()
+}
+
+/// Lex `src` into tokens plus the byte spans of every comment
+/// (line comments exclude the trailing newline; block comments nest).
+/// Unterminated literals and comments extend to end of input rather
+/// than failing.
+pub fn lex_full(src: &str) -> (Vec<Tok>, Vec<(usize, usize)>) {
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let n = chars.len();
+    let total = src.len();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Byte offset one past chars[k], i.e. the start of chars[k + 1].
+    let end_of = |k: usize| -> usize {
+        if k + 1 < n {
+            chars[k + 1].0
+        } else {
+            total
+        }
+    };
+
+    while i < n {
+        let (at, c) = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n {
+            let c1 = chars[i + 1].1;
+            if c1 == '/' {
+                let mut j = i + 2;
+                while j < n && chars[j].1 != '\n' {
+                    j += 1;
+                }
+                comments.push((at, if j < n { chars[j].0 } else { total }));
+                i = j;
+                continue;
+            }
+            if c1 == '*' {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if chars[j].1 == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j].1 == '/' && j + 1 < n && chars[j + 1].1 == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j].1 == '*' && j + 1 < n && chars[j + 1].1 == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                comments.push((at, if j < n { chars[j].0 } else { total }));
+                i = j;
+                continue;
+            }
+        }
+        // Raw strings / byte strings / raw identifiers, all led by `r`
+        // or `b` prefixes.
+        if c == 'r' || c == 'b' {
+            let has_r = c == 'r' || (i + 1 < n && chars[i + 1].1 == 'r');
+            let after_prefix = if c == 'b' && has_r { i + 2 } else { i + 1 };
+            if has_r {
+                // Count `#`s, then require `"` for a raw string.
+                let mut hashes = 0usize;
+                let mut k = after_prefix;
+                while k < n && chars[k].1 == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && chars[k].1 == '"' {
+                    // Raw (byte) string r"…", r#"…"#, br#"…"#: no escape
+                    // processing; closes on `"` followed by `hashes` #s.
+                    let start_line = line;
+                    let mut m = k + 1;
+                    let close = loop {
+                        if m >= n {
+                            break n;
+                        }
+                        if chars[m].1 == '\n' {
+                            line += 1;
+                            m += 1;
+                            continue;
+                        }
+                        if chars[m].1 == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && m + 1 + h < n && chars[m + 1 + h].1 == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                break m + hashes;
+                            }
+                        }
+                        m += 1;
+                    };
+                    let end = if close < n { end_of(close) } else { total };
+                    toks.push(Tok {
+                        kind: TokKind::Str,
+                        start: at,
+                        end,
+                        line: start_line,
+                    });
+                    i = close + 1;
+                    continue;
+                }
+                if c == 'r' && hashes >= 1 && k < n && is_ident_start(chars[k].1) {
+                    // Raw identifier r#ident.
+                    let mut m = k;
+                    while m < n && is_ident_continue(chars[m].1) {
+                        m += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        start: at,
+                        end: end_of(m - 1),
+                        line,
+                    });
+                    i = m;
+                    continue;
+                }
+            }
+            if c == 'b' && i + 1 < n && chars[i + 1].1 == '\'' {
+                // Byte literal b'x'.
+                let (end_idx, end) = scan_quoted(&chars, i + 1, total, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    start: at,
+                    end,
+                    line,
+                });
+                i = end_idx;
+                continue;
+            }
+            if c == 'b' && i + 1 < n && chars[i + 1].1 == '"' {
+                // Byte string b"…": escapes apply, unlike raw forms.
+                let start_line = line;
+                let (end_idx, end) = scan_string(&chars, i + 1, total, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    start: at,
+                    end,
+                    line: start_line,
+                });
+                i = end_idx;
+                continue;
+            }
+            // Plain identifier starting with r/b.
+            let mut m = i;
+            while m < n && is_ident_continue(chars[m].1) {
+                m += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                start: at,
+                end: end_of(m - 1),
+                line,
+            });
+            i = m;
+            continue;
+        }
+        if c == '"' {
+            let start_line = line;
+            let (end_idx, end) = scan_string(&chars, i, total, &mut line);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                start: at,
+                end,
+                line: start_line,
+            });
+            i = end_idx;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime vs char literal. `'\…'` and `'x'` are chars;
+            // `'ident` with no closing quote right after is a lifetime.
+            let next_is_escape = i + 1 < n && chars[i + 1].1 == '\\';
+            let closes_as_char = i + 2 < n && chars[i + 2].1 == '\'' && chars[i + 1].1 != '\'';
+            if next_is_escape || closes_as_char {
+                let (end_idx, end) = scan_quoted(&chars, i, total, &mut line);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    start: at,
+                    end,
+                    line,
+                });
+                i = end_idx;
+                continue;
+            }
+            if i + 1 < n && is_ident_start(chars[i + 1].1) {
+                let mut m = i + 1;
+                while m < n && is_ident_continue(chars[m].1) {
+                    m += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    start: at,
+                    end: if m > 0 { end_of(m - 1) } else { total },
+                    line,
+                });
+                i = m;
+                continue;
+            }
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                start: at,
+                end: end_of(i),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut m = i;
+            while m < n && is_ident_continue(chars[m].1) {
+                m += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                start: at,
+                end: end_of(m - 1),
+                line,
+            });
+            i = m;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut m = i;
+            while m < n
+                && (is_ident_continue(chars[m].1)
+                    || (chars[m].1 == '.'
+                        && m + 1 < n
+                        && chars[m + 1].1.is_ascii_digit()
+                        && m > i
+                        && src.as_bytes().get(chars[m].0.wrapping_sub(1)) != Some(&b'.')))
+            {
+                m += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                start: at,
+                end: end_of(m - 1),
+                line,
+            });
+            i = m;
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            start: at,
+            end: end_of(i),
+            line,
+        });
+        i += 1;
+    }
+    (toks, comments)
+}
+
+/// Scan a `"…"` string starting at `chars[i]` (the opening quote).
+/// Returns (index one past the closing quote, byte end offset).
+fn scan_string(
+    chars: &[(usize, char)],
+    i: usize,
+    total: usize,
+    line: &mut usize,
+) -> (usize, usize) {
+    let n = chars.len();
+    let mut m = i + 1;
+    while m < n {
+        match chars[m].1 {
+            '\\' => {
+                if m + 1 < n && chars[m + 1].1 == '\n' {
+                    *line += 1;
+                }
+                m += 2;
+            }
+            '\n' => {
+                *line += 1;
+                m += 1;
+            }
+            '"' => {
+                return (m + 1, if m + 1 < n { chars[m + 1].0 } else { total });
+            }
+            _ => m += 1,
+        }
+    }
+    (n, total)
+}
+
+/// Scan a `'…'` char/byte literal starting at `chars[i]` (the opening
+/// quote). Returns (index one past the closing quote, byte end offset).
+fn scan_quoted(
+    chars: &[(usize, char)],
+    i: usize,
+    total: usize,
+    line: &mut usize,
+) -> (usize, usize) {
+    let n = chars.len();
+    let mut m = i + 1;
+    while m < n {
+        match chars[m].1 {
+            '\\' => {
+                if m + 1 < n && chars[m + 1].1 == '\n' {
+                    *line += 1;
+                }
+                m += 2;
+            }
+            '\n' => {
+                *line += 1;
+                m += 1;
+            }
+            '\'' => {
+                return (m + 1, if m + 1 < n { chars[m + 1].0 } else { total });
+            }
+            _ => m += 1,
+        }
+    }
+    (n, total)
+}
+
+/// Lex `src` into code tokens (comments skipped).
+pub fn lex(src: &str) -> Vec<Tok> {
+    lex_full(src).0
+}
+
+/// A copy of `src` with the same byte length and line structure in
+/// which every comment byte and every string/char literal *content*
+/// byte is replaced by a space. String literals keep a `"…"` husk
+/// (first and last byte) so stripped code still reads as code;
+/// everything that could confuse a token search is gone.
+pub fn strip_source(src: &str) -> String {
+    let (toks, comments) = lex_full(src);
+    let mut out: Vec<u8> = src.as_bytes().to_vec();
+    let blank = |out: &mut Vec<u8>, lo: usize, hi: usize| {
+        for b in &mut out[lo..hi] {
+            if *b != b'\n' {
+                *b = b' ';
+            }
+        }
+    };
+    for &(lo, hi) in &comments {
+        blank(&mut out, lo, hi);
+    }
+    for t in &toks {
+        match t.kind {
+            TokKind::Str => {
+                blank(&mut out, t.start, t.end);
+                out[t.start] = b'"';
+                if t.end > t.start + 1 {
+                    out[t.end - 1] = b'"';
+                }
+            }
+            TokKind::Char => {
+                blank(&mut out, t.start, t.end);
+                out[t.start] = b'\'';
+                if t.end > t.start + 1 {
+                    out[t.end - 1] = b'\'';
+                }
+            }
+            _ => {}
+        }
+    }
+    // SAFETY-free by construction: only ASCII bytes were written, and
+    // multi-byte chars are either untouched or fully blanked.
+    String::from_utf8(out).unwrap_or_else(|e| {
+        // Unreachable in practice; keep total robustness anyway.
+        String::from_utf8_lossy(e.as_bytes()).into_owned()
+    })
+}
+
+/// The comment- and literal-stripped lines of `src`, parallel to
+/// `src.lines()`. The line count always matches.
+pub fn code_lines(src: &str) -> Vec<String> {
+    strip_source(src).lines().map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_plain_code() {
+        let toks = lex("fn f(x: u32) -> u32 { x + 1 }");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text("fn f(x: u32) -> u32 { x + 1 }"))
+            .collect();
+        assert_eq!(idents, vec!["fn", "f", "x", "u32", "u32", "x"]);
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_comment() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let (toks, comments) = lex_full(src);
+        assert_eq!(toks.len(), 2);
+        assert_eq!(comments.len(), 1);
+        let stripped = strip_source(src);
+        assert!(!stripped.contains("comment"));
+        assert!(stripped.starts_with('a') && stripped.ends_with('b'));
+    }
+
+    #[test]
+    fn nested_block_comment_hides_unsafe_across_lines() {
+        let src = "/* outer /* unsafe */\nstill unsafe comment */\nfn f() {}\n";
+        let lines = code_lines(src);
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(!lines[1].contains("unsafe"));
+        assert!(lines[2].contains("fn f"));
+    }
+
+    #[test]
+    fn raw_string_inside_macro_is_stripped() {
+        let src = "println!(r#\"unsafe { \"quoted\" } // not a comment\"#); x";
+        let stripped = strip_source(src);
+        assert!(!stripped.contains("unsafe"));
+        assert!(!stripped.contains("not a comment"));
+        assert!(stripped.contains('x'));
+        assert_eq!(stripped.len(), src.len());
+    }
+
+    #[test]
+    fn multiline_raw_string_blanks_every_line() {
+        let src = "let s = r#\"line one unsafe\nline two // junk\n\"#;\nlet y = 1;";
+        let lines = code_lines(src);
+        assert_eq!(lines.len(), 4);
+        assert!(!lines[0].contains("unsafe"));
+        assert!(!lines[1].contains("junk"));
+        assert!(lines[3].contains("let y"));
+    }
+
+    #[test]
+    fn char_and_lifetime_disambiguation() {
+        assert_eq!(
+            kinds("'a', 'b'"),
+            vec![TokKind::Char, TokKind::Punct, TokKind::Char]
+        );
+        let toks = lex("fn f<'a>(x: &'a str) {}");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(kinds("'\\n'"), vec![TokKind::Char]);
+        // A quote char literal.
+        assert_eq!(kinds("'\\''"), vec![TokKind::Char]);
+    }
+
+    #[test]
+    fn byte_and_raw_identifier_forms() {
+        assert_eq!(kinds("b'x'"), vec![TokKind::Char]);
+        assert_eq!(kinds("b\"bytes\""), vec![TokKind::Str]);
+        assert_eq!(kinds("br#\"raw bytes\"#"), vec![TokKind::Str]);
+        let toks = lex("r#fn");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::Ident);
+    }
+
+    #[test]
+    fn line_comments_and_doc_comments_are_comments() {
+        let src = "//! module doc unsafe\n/// item doc unsafe\ncode();";
+        let stripped = strip_source(src);
+        assert!(!stripped.contains("unsafe"));
+        assert!(stripped.contains("code"));
+    }
+
+    #[test]
+    fn unterminated_forms_reach_eof_without_panic() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed /* nested",
+            "'",
+            "b'",
+            "r#",
+            "let x = \"\\",
+        ] {
+            let (toks, _) = lex_full(src);
+            for w in toks.windows(2) {
+                assert!(w[0].end <= w[1].start);
+            }
+            assert_eq!(strip_source(src).len(), src.len());
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline\"\nb /* c\nd */ e\nf";
+        let toks = lex(src);
+        let by_text: Vec<(&str, usize)> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text(src), t.line))
+            .collect();
+        assert_eq!(by_text, vec![("a", 1), ("b", 4), ("e", 5), ("f", 6)]);
+    }
+
+    #[test]
+    fn strip_preserves_length_and_lines() {
+        let src = "let s = \"a\\\"b\"; /* x\ny */ let c = 'q'; // tail\n";
+        let stripped = strip_source(src);
+        assert_eq!(stripped.len(), src.len());
+        assert_eq!(stripped.lines().count(), src.lines().count());
+        assert!(stripped.contains("let s = \""));
+        assert!(!stripped.contains("tail"));
+    }
+}

@@ -1,0 +1,154 @@
+//! Pins each `cmpi-analyze` rule against a fixture mini-crate: every
+//! violating fixture must produce its rule's finding, and the clean
+//! mirror (same patterns, annotated or fixed) must be silent.
+//!
+//! The fixtures live under `tests/fixtures/{violating,clean}/` and are
+//! loaded through [`Workspace::from_sources`] with a fixture-specific
+//! [`SeedSpec`] (`App` is the fiber entry impl type), exactly the
+//! in-memory path `Workspace::load_root` funnels into.
+
+use cmpi_model::analyze::{SeedSpec, SourceFile, Workspace};
+use cmpi_model::lint::Violation;
+
+const FIBER_BLOCK: &str = include_str!("fixtures/violating/fiber_block.rs");
+const LOCK_CYCLE: &str = include_str!("fixtures/violating/lock_cycle.rs");
+const ATOMIC_UNPAIRED: &str = include_str!("fixtures/violating/atomic_unpaired.rs");
+const CLEAN: &str = include_str!("fixtures/clean/annotated.rs");
+
+fn seeds() -> SeedSpec {
+    SeedSpec {
+        impl_types: vec!["App".to_string()],
+        fns: Vec::new(),
+    }
+}
+
+fn analyze(files: &[(&str, &str)]) -> Vec<Violation> {
+    let ws = Workspace::from_sources(
+        files
+            .iter()
+            .map(|(p, t)| SourceFile {
+                path: (*p).to_string(),
+                text: (*t).to_string(),
+            })
+            .collect(),
+    );
+    ws.analyze(&seeds())
+}
+
+fn rule_findings<'v>(all: &'v [Violation], rule: &str) -> Vec<&'v Violation> {
+    all.iter().filter(|v| v.rule == rule).collect()
+}
+
+#[test]
+fn fiber_blocking_catches_indirect_sleep_and_direct_wait() {
+    let all = analyze(&[("fiber_block.rs", FIBER_BLOCK)]);
+    let fb = rule_findings(&all, "fiber-blocking");
+    assert!(
+        fb.iter().any(|v| v.msg.contains("thread::sleep")),
+        "sleep two calls below the App seed must be caught: {all:?}"
+    );
+    assert!(
+        fb.iter().any(|v| v.msg.contains("condvar")),
+        "unannotated condvar wait in a seed method must be caught: {all:?}"
+    );
+}
+
+#[test]
+fn fiber_blocking_reports_the_call_path() {
+    let all = analyze(&[("fiber_block.rs", FIBER_BLOCK)]);
+    let sleep = rule_findings(&all, "fiber-blocking")
+        .into_iter()
+        .find(|v| v.msg.contains("thread::sleep"))
+        .expect("sleep finding");
+    // The finding must name the taint path from the seed, not just the
+    // sink — that is what makes a report actionable.
+    assert!(
+        sleep.msg.contains("tick") && sleep.msg.contains("backoff"),
+        "expected seed->helper path in message, got: {}",
+        sleep.msg
+    );
+}
+
+#[test]
+fn lock_order_catches_two_lock_cycle() {
+    let all = analyze(&[("lock_cycle.rs", LOCK_CYCLE)]);
+    let lo = rule_findings(&all, "lock-order");
+    assert!(
+        !lo.is_empty(),
+        "a->b vs b->a nesting must be reported: {all:?}"
+    );
+    assert!(
+        lo.iter()
+            .all(|v| v.msg.contains("`a`") && v.msg.contains("`b`")),
+        "cycle findings must name both locks: {lo:?}"
+    );
+}
+
+#[test]
+fn atomic_pairing_catches_one_sided_release() {
+    let all = analyze(&[("atomic_unpaired.rs", ATOMIC_UNPAIRED)]);
+    let ap = rule_findings(&all, "atomic-pairing");
+    assert!(
+        ap.iter().any(|v| v.msg.contains("ready")),
+        "Release store of `ready` with only Relaxed loads must be \
+         reported: {all:?}"
+    );
+    // `payload` is Relaxed on both sides by design: not a pairing bug.
+    assert!(
+        !ap.iter().any(|v| v.msg.contains("payload")),
+        "relaxed-only field must not be reported: {ap:?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let all = analyze(&[("annotated.rs", CLEAN)]);
+    assert!(
+        all.is_empty(),
+        "clean mirror must produce zero findings: {all:?}"
+    );
+}
+
+#[test]
+fn violations_vanish_when_annotated() {
+    // The same blocking wait as the violating fixture, plus the window
+    // annotation: the finding must disappear — this pins the
+    // annotation-window mechanics, not just the clean-file composite.
+    let src = r#"
+use std::sync::{Condvar, Mutex};
+pub struct App { cv: Condvar, m: Mutex<u32> }
+impl App {
+    pub fn drain(&self) {
+        let mut g = self.m.lock().unwrap();
+        // fiber-ok: test justification.
+        g = self.cv.wait(g).unwrap();
+        let _ = *g;
+    }
+}
+"#;
+    let all = analyze(&[("annotated_wait.rs", src)]);
+    assert!(
+        rule_findings(&all, "fiber-blocking").is_empty(),
+        "fiber-ok within the window must suppress the finding: {all:?}"
+    );
+}
+
+#[test]
+fn whole_fixture_set_reports_exactly_the_violating_files() {
+    let all = analyze(&[
+        ("fiber_block.rs", FIBER_BLOCK),
+        ("lock_cycle.rs", LOCK_CYCLE),
+        ("atomic_unpaired.rs", ATOMIC_UNPAIRED),
+        ("annotated.rs", CLEAN),
+    ]);
+    assert!(
+        all.iter().all(|v| v.file != "annotated.rs"),
+        "clean file must stay silent even alongside violators: {all:?}"
+    );
+    for rule in cmpi_model::analyze::RULES {
+        assert!(
+            all.iter().any(|v| v.rule == *rule),
+            "rule {rule} must fire somewhere in the violating set: {all:?}"
+        );
+    }
+}

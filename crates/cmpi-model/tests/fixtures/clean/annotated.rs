@@ -1,0 +1,68 @@
+//! Fixture: the clean mirror — every pattern from the violating
+//! fixtures, either fixed or carrying the justification annotation the
+//! analyzer honors. The analyzer must stay silent on this file.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Condvar;
+use std::sync::Mutex;
+
+pub struct App {
+    cv: Condvar,
+    m: Mutex<u32>,
+    lo: Mutex<i64>,
+    hi: Mutex<i64>,
+    flag: AtomicBool,
+    data: AtomicU64,
+    gauge: AtomicU64,
+}
+
+impl App {
+    /// Condvar wait, justified: the fixture pretends this method is
+    /// documented as thread-mode-only.
+    pub fn drain(&self) {
+        let mut g = self.m.lock().unwrap();
+        while *g == 0 {
+            // fiber-ok: fixture — documented thread-mode-only path.
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Nested locks, same global order everywhere: `lo` before `hi`.
+    pub fn transfer(&self, amt: i64) {
+        // lock-order: fixture — lo -> hi is the recorded order.
+        let mut ga = self.lo.lock().unwrap();
+        let mut gb = self.hi.lock().unwrap();
+        *ga -= amt;
+        *gb += amt;
+    }
+
+    pub fn audit(&self) -> i64 {
+        let ga = self.lo.lock().unwrap();
+        let gb = self.hi.lock().unwrap();
+        *ga + *gb
+    }
+
+    /// Release store paired with an Acquire load: proper publication.
+    pub fn publish(&self, v: u64) {
+        self.data.store(v, Ordering::Relaxed);
+        self.flag.store(true, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> Option<u64> {
+        if self.flag.load(Ordering::Acquire) {
+            Some(self.data.load(Ordering::Relaxed))
+        } else {
+            None
+        }
+    }
+
+    /// One-sided Release with an explicit justification.
+    pub fn bump(&self) {
+        // pairing-ok: fixture — monotonic gauge read by a debugger only.
+        self.gauge.store(1, Ordering::Release);
+    }
+
+    pub fn gauge(&self) -> u64 {
+        self.gauge.load(Ordering::Relaxed)
+    }
+}

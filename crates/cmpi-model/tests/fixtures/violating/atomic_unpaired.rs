@@ -1,0 +1,27 @@
+//! Fixture: a one-sided Release publication the analyzer must catch.
+//!
+//! `ready` is stored with `Release` but only ever loaded `Relaxed`, so
+//! the store publishes nothing: no load on any thread synchronizes-with
+//! it and `payload`'s initialization is not ordered before observation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Cell {
+    ready: AtomicBool,
+    payload: AtomicU64,
+}
+
+impl Cell {
+    pub fn publish(&self, v: u64) {
+        self.payload.store(v, Ordering::Relaxed);
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn peek(&self) -> Option<u64> {
+        if self.ready.load(Ordering::Relaxed) {
+            Some(self.payload.load(Ordering::Relaxed))
+        } else {
+            None
+        }
+    }
+}

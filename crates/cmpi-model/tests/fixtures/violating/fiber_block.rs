@@ -1,0 +1,40 @@
+//! Fixture: fiber-blocking violations the analyzer must catch.
+//!
+//! `App` is the fixture seed impl type (the tests pass a custom
+//! `SeedSpec`), so every method here runs "on a fiber". Two distinct
+//! paths reach OS-blocking primitives with no `fiber-ok:` annotation:
+//! an indirect `thread::sleep` two calls deep, and a direct condvar
+//! wait.
+
+use std::sync::Condvar;
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct App {
+    cv: Condvar,
+    m: Mutex<u32>,
+}
+
+impl App {
+    /// Seed method -> helper -> `thread::sleep`: taint must propagate
+    /// through the call graph, not just direct calls.
+    pub fn tick(&self) {
+        self.backoff();
+    }
+
+    fn backoff(&self) {
+        nap();
+    }
+
+    /// Seed method with a direct, unannotated condvar wait.
+    pub fn drain(&self) {
+        let mut g = self.m.lock().unwrap();
+        while *g == 0 {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+fn nap() {
+    std::thread::sleep(Duration::from_millis(1));
+}

@@ -1,0 +1,28 @@
+//! Fixture: a two-lock ordering cycle the analyzer must catch.
+//!
+//! `transfer` acquires `a` then `b`; `refund` acquires `b` then `a`.
+//! Both edges land in the same strongly connected component of the
+//! global lock graph, so both nestings are deadlock candidates.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    a: Mutex<i64>,
+    b: Mutex<i64>,
+}
+
+impl Ledger {
+    pub fn transfer(&self, amt: i64) {
+        let mut ga = self.a.lock().unwrap();
+        let mut gb = self.b.lock().unwrap();
+        *ga -= amt;
+        *gb += amt;
+    }
+
+    pub fn refund(&self, amt: i64) {
+        let mut gb = self.b.lock().unwrap();
+        let mut ga = self.a.lock().unwrap();
+        *gb -= amt;
+        *ga += amt;
+    }
+}

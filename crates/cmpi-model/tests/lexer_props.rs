@@ -1,0 +1,124 @@
+//! Property tests for the shared lexer (`cmpi_model::strip`).
+//!
+//! The lexer underpins every lint rule and all three analyzer passes,
+//! so its contract is pinned against random inputs, not just the
+//! hand-written unit cases:
+//!
+//! 1. `lex_full` never panics — on arbitrary byte soups decoded
+//!    lossily, or on Rust-flavored token soups (the adversarial case:
+//!    unterminated strings, stray `r#`, nested comment openers,
+//!    trailing backslashes).
+//! 2. Token byte offsets are monotonic, in-bounds, non-empty, and land
+//!    on `char` boundaries, so every downstream slice is panic-free.
+//! 3. `strip_source` preserves byte length and line structure exactly —
+//!    the invariant that keeps lint line numbers honest.
+
+use cmpi_model::strip;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Arbitrary (mostly-ASCII, occasionally multibyte) strings from raw
+/// bytes — `from_utf8_lossy` keeps every input valid UTF-8 while still
+/// exercising replacement chars and embedded control bytes.
+fn raw_string() -> impl Strategy<Value = String> {
+    vec(any::<u8>(), 0..64).prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+/// Rust-ish fragments: pieces that exercise the lexer's tricky state
+/// machine transitions when concatenated in random orders.
+fn fragment() -> impl Strategy<Value = String> {
+    let lit = |s: &'static str| Just(s.to_string());
+    prop_oneof![
+        lit("fn "),
+        lit("r#\""),
+        lit("\"#"),
+        lit("\""),
+        lit("'"),
+        lit("'a"),
+        lit("b\""),
+        lit("br##\""),
+        lit("/*"),
+        lit("*/"),
+        lit("//"),
+        lit("\n"),
+        lit("\\"),
+        lit("\\\""),
+        lit("::"),
+        lit("0x1f"),
+        lit("ident"),
+        lit("{ } ( ) [ ]"),
+        lit("é∀"),
+        vec(32u8..127u8, 0..8).prop_map(|b| String::from_utf8(b).unwrap()),
+    ]
+}
+
+fn soup() -> impl Strategy<Value = String> {
+    vec(fragment(), 0..24).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #[test]
+    fn lex_never_panics_on_arbitrary_strings(src in raw_string()) {
+        let _ = strip::lex_full(&src);
+    }
+
+    #[test]
+    fn lex_never_panics_on_token_soup(src in soup()) {
+        let _ = strip::lex_full(&src);
+    }
+
+    #[test]
+    fn token_offsets_are_monotonic_and_sliceable(src in soup()) {
+        let toks = strip::lex(&src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            prop_assert!(t.start < t.end, "empty token {:?}", t);
+            prop_assert!(t.end <= src.len(), "token past EOF {:?}", t);
+            prop_assert!(t.start >= prev_end, "overlapping tokens at {:?}", t);
+            prop_assert!(src.is_char_boundary(t.start), "start mid-char {:?}", t);
+            prop_assert!(src.is_char_boundary(t.end), "end mid-char {:?}", t);
+            // The whole point of offsets: slicing must not panic.
+            let _ = &src[t.start..t.end];
+            prev_end = t.end;
+        }
+    }
+
+    #[test]
+    fn token_lines_are_monotonic_and_in_range(src in soup()) {
+        let toks = strip::lex(&src);
+        let n_lines = src.lines().count().max(1);
+        let mut prev = 1usize;
+        for t in &toks {
+            prop_assert!(t.line >= prev, "line went backwards at {:?}", t);
+            prop_assert!(t.line <= n_lines, "line past EOF at {:?}", t);
+            prev = t.line;
+        }
+    }
+
+    #[test]
+    fn strip_preserves_length_and_lines(src in soup()) {
+        let stripped = strip::strip_source(&src);
+        prop_assert_eq!(stripped.len(), src.len(), "byte length changed");
+        prop_assert_eq!(
+            stripped.matches('\n').count(),
+            src.matches('\n').count(),
+            "newline count changed"
+        );
+    }
+
+    #[test]
+    fn strip_preserves_length_on_arbitrary_strings(src in raw_string()) {
+        let stripped = strip::strip_source(&src);
+        prop_assert_eq!(stripped.len(), src.len());
+        prop_assert_eq!(
+            stripped.matches('\n').count(),
+            src.matches('\n').count()
+        );
+    }
+
+    #[test]
+    fn code_lines_matches_source_line_count(src in soup()) {
+        let codes = strip::code_lines(&src);
+        prop_assert_eq!(codes.len(), src.lines().count());
+    }
+}

@@ -24,7 +24,13 @@
 #             cache survives)
 #   lint      cmpi-lint repo rules: SAFETY comments, relaxed-ok
 #             justifications, hot-path unwrap ban, tag field widths,
-#             MpiError Display-test coverage
+#             MpiError Display-test coverage, analyzer-rule inventory
+#             in DESIGN.md §17
+#   analyze   cmpi-analyze whole-program passes: fiber-blocking taint
+#             from the Mpi/fiber-boot seeds, lock-order cycle detection,
+#             atomic Release/Acquire pairing audit; any unjustified
+#             finding is a hard failure. Both stages archive their JSON
+#             findings next to the bench ledger in target/
 #   gate      perf gate: best-of-3 smoke bench_ledger kernels (including
 #             the task-engine job32 kernel) vs the checked-in baseline,
 #             any kernel >10 % slower fails
@@ -92,7 +98,13 @@ RUSTFLAGS="--cfg cmpi_model" CARGO_TARGET_DIR=target/model \
   cargo test -q -p cmpi-core -p cmpi-shmem -p cmpi-fabric -p cmpi-telemetry --lib
 
 echo "== cmpi-lint" >&2
-cargo run --release --quiet -p cmpi-model --bin cmpi-lint
+cargo run --release --quiet -p cmpi-model --bin cmpi-lint -- --json target/lint_findings.json
+
+echo "== cmpi-analyze (call-graph passes; findings are hard failures)" >&2
+cargo run --release --quiet -p cmpi-model --bin cmpi-lint -- --analyze \
+  --json target/analyze_findings.json
+python3 -c "import json; json.load(open('target/analyze_findings.json'))" 2>/dev/null \
+  || grep -q '"schema"' target/analyze_findings.json
 
 echo "== bench gate (smoke kernels vs scripts/bench_gate_smoke.json)" >&2
 # Best-of-3 smoke kernels against the checked-in baseline; >10 % slower
